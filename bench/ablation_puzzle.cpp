@@ -1,0 +1,77 @@
+// Ablation A1: HIP's computational puzzle as DoS defence (paper §IV-B).
+// Sweeps the responder's puzzle difficulty K and reports the initiator's
+// BEX completion latency plus the asymmetry between initiator and
+// responder work — the property that lets a loaded responder slow
+// attackers down cheaply.
+
+#include <cstdio>
+
+#include "core/path_lab.hpp"
+
+using namespace hipcloud;
+
+int main() {
+  std::printf("=== Ablation A1: BEX latency vs puzzle difficulty K ===\n\n");
+  std::printf("%4s %16s %20s %22s\n", "K", "BEX latency (ms)",
+              "initiator hashes", "responder verify hashes");
+
+  double latency_k0 = 0;
+  for (const std::uint8_t k : {0, 4, 8, 10, 12, 14, 16, 18, 20}) {
+    core::PathLab::Config cfg;
+    cfg.hip.puzzle_difficulty = k;
+    core::PathLab lab(cfg);
+
+    sim::Duration latency = 0;
+    lab.hip1()->on_established(
+        [&](const net::Ipv6Addr&, sim::Duration l) { latency = l; });
+    lab.establish(core::PathLab::Path::kHit);
+
+    // The initiator brute-forces ~2^K hashes; the responder verifies with
+    // exactly one.
+    const hip::Puzzle probe{k, 42};
+    const auto solution =
+        probe.solve(lab.hip1()->hit(), lab.hip2()->hit());
+    std::printf("%4d %16.2f %20llu %22d\n", int(k),
+                sim::to_millis(latency),
+                static_cast<unsigned long long>(solution.attempts), 1);
+    if (k == 0) latency_k0 = sim::to_millis(latency);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nInterpretation: every +2 bits of K roughly quadruples the\n"
+              "initiator's work while the responder's stays one hash —\n"
+              "BEX latency at K=0 was %.2f ms, so the responder can trade\n"
+              "client-side setup latency for DoS resilience.\n",
+              latency_k0);
+
+  // Adaptive mode demonstration: difficulty climbs under an I1 flood.
+  core::PathLab::Config cfg;
+  cfg.hip.puzzle_difficulty = 8;
+  cfg.hip.adaptive_puzzle = true;
+  cfg.hip.adaptive_threshold_rps = 10;
+  core::PathLab lab(cfg);
+  lab.establish(core::PathLab::Path::kHit);
+  const int baseline = lab.hip2()->current_puzzle_difficulty();
+  // Forge an I1 flood from a spoofed HIT (attacker inside the cloud).
+  auto& loop = lab.network().loop();
+  for (int i = 0; i < 256; ++i) {
+    loop.schedule(i * sim::from_millis(2), [&lab] {
+      hip::HipMessage i1;
+      i1.type = hip::MsgType::kI1;
+      i1.sender_hit = net::Ipv6Addr::parse("2001:10::bad");
+      i1.receiver_hit = lab.hip2()->hit();
+      net::Packet pkt;
+      pkt.src = lab.vm1()->private_ip();
+      pkt.dst = lab.vm2()->private_ip();
+      pkt.proto = net::IpProto::kHip;
+      pkt.payload = i1.serialize();
+      pkt.stamp_l3_overhead();
+      lab.vm2()->node()->deliver(std::move(pkt), 0);
+    });
+  }
+  loop.run(loop.now() + sim::kSecond / 2);
+  std::printf("\nAdaptive puzzle: baseline K=%d; under a 500 req/s I1 flood "
+              "the responder raises K to %d.\n",
+              baseline, int(lab.hip2()->current_puzzle_difficulty()));
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Extension (paper §VII): the paper used Teredo for NAT traversal only
+// because "the native support was not available in any of the
+// implementations yet". This bench implements the comparison the authors
+// could not run: a NATted power user reaching a cloud VM over (a) HIP
+// over Teredo (relay detour) and (b) native HIP UDP encapsulation
+// (direct path through the learned NAT mapping).
+
+#include <cstdio>
+
+#include "cloud/cloud.hpp"
+#include "crypto/drbg.hpp"
+#include "hip/daemon.hpp"
+#include "hip/udp_encap.hpp"
+#include "net/icmp.hpp"
+#include "net/nat.hpp"
+#include "net/teredo.hpp"
+
+using namespace hipcloud;
+
+namespace {
+
+hip::HostIdentity make_identity(const char* name) {
+  crypto::HmacDrbg drbg(89, std::string("natbench:") + name);
+  return hip::HostIdentity::generate(drbg, hip::HiAlgorithm::kRsa, 1024);
+}
+
+struct Result {
+  double bex_ms = -1;
+  double rtt_ms = -1;
+};
+
+/// Home-NATted admin -> internet -> cloud VM, with a Teredo server on the
+/// internet. `use_teredo` selects the traversal mechanism.
+Result run(bool use_teredo) {
+  net::Network net(97);
+  cloud::Cloud ec2(net, cloud::ProviderProfile::ec2(), 1);
+  ec2.add_host();
+  auto* vm = ec2.launch("vm", cloud::InstanceType::small());
+  auto* inet = net.add_node("internet");
+  inet->set_forwarding(true);
+  ec2.attach_external(inet, ec2.profile().gateway_link);
+
+  auto* teredo_srv = net.add_node("teredo-server");
+  const auto tl = net.connect(teredo_srv, inet,
+                              {100e6, sim::from_millis(2),
+                               sim::from_millis(100), 0.0, 1500});
+  teredo_srv->add_address(tl.iface_a, net::Ipv4Addr(83, 1, 1, 1));
+  inet->add_address(tl.iface_b, net::Ipv4Addr(83, 1, 1, 254));
+  teredo_srv->set_default_route(tl.iface_a);
+  inet->add_route(net::IpAddr(net::Ipv4Addr(83, 1, 1, 1)), 32, tl.iface_b);
+
+  auto* home_nat = net.add_node("home-router");
+  auto* admin = net.add_node("admin", 4e9);
+  const auto hl = net.connect(admin, home_nat,
+                              {50e6, sim::from_millis(1),
+                               sim::from_millis(100), 0.0, 1500});
+  const auto ul = net.connect(home_nat, inet,
+                              {20e6, sim::from_millis(8),
+                               sim::from_millis(100), 0.0, 1500});
+  admin->add_address(hl.iface_a, net::Ipv4Addr(192, 168, 1, 100));
+  home_nat->add_address(hl.iface_b, net::Ipv4Addr(192, 168, 1, 1));
+  home_nat->add_address(ul.iface_a, net::Ipv4Addr(84, 20, 30, 41));
+  inet->add_address(ul.iface_b, net::Ipv4Addr(84, 20, 30, 254));
+  admin->set_default_route(hl.iface_a);
+  home_nat->add_route(net::IpAddr(net::Ipv4Addr(192, 168, 1, 0)), 24,
+                      hl.iface_b);
+  home_nat->set_default_route(ul.iface_a);
+  net::Nat nat(home_nat, hl.iface_b, ul.iface_a,
+               net::Ipv4Addr(84, 20, 30, 40));
+  inet->add_route(net::IpAddr(net::Ipv4Addr(84, 20, 30, 40)), 32,
+                  ul.iface_b);
+
+  hip::HipDaemon hip_admin(admin, make_identity("admin"));
+  hip::HipDaemon hip_vm(vm->node(), make_identity("vm"));
+  net::UdpStack u_admin(admin), u_vm(vm->node()), u_srv(teredo_srv);
+  net::IcmpStack icmp_admin(admin), icmp_vm(vm->node());
+
+  std::unique_ptr<net::TeredoServer> server;
+  std::unique_ptr<net::TeredoClient> t_admin, t_vm;
+  std::unique_ptr<hip::UdpEncap> e_admin, e_vm;
+
+  if (use_teredo) {
+    server = std::make_unique<net::TeredoServer>(teredo_srv, &u_srv);
+    const net::Endpoint srv_ep{net::IpAddr(net::Ipv4Addr(83, 1, 1, 1)),
+                               net::kTeredoPort};
+    t_admin = std::make_unique<net::TeredoClient>(admin, &u_admin, srv_ep);
+    t_vm = std::make_unique<net::TeredoClient>(vm->node(), &u_vm, srv_ep);
+    t_admin->qualify([](const net::Ipv6Addr&) {});
+    t_vm->qualify([](const net::Ipv6Addr&) {});
+    net.loop().run();
+    hip_admin.add_peer(hip_vm.hit(), net::IpAddr(t_vm->address()));
+    hip_vm.add_peer(hip_admin.hit(), net::IpAddr(t_admin->address()));
+  } else {
+    e_admin = std::make_unique<hip::UdpEncap>(admin, &u_admin, 0);
+    e_vm = std::make_unique<hip::UdpEncap>(vm->node(), &u_vm,
+                                           hip::kHipNatPort);
+    hip_admin.add_peer(hip_vm.hit(), net::IpAddr(vm->private_ip()));
+    e_admin->add_encap_peer(net::IpAddr(vm->private_ip()));
+  }
+
+  Result result;
+  hip_admin.on_established([&](const net::Ipv6Addr&, sim::Duration l) {
+    result.bex_ms = sim::to_millis(l);
+  });
+  hip_admin.initiate(hip_vm.hit());
+  net.loop().run();
+
+  icmp_admin.ping(net::IpAddr(hip_vm.hit()), 20, sim::from_millis(50), 56,
+                  [&](const sim::Summary& rtts, int lost) {
+                    if (lost == 0) result.rtt_ms = rtts.mean();
+                  });
+  net.loop().run();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: native HIP NAT traversal vs Teredo ===\n\n");
+  std::printf("%-26s %12s %14s\n", "traversal", "BEX (ms)",
+              "ESP RTT (ms)");
+  const Result teredo = run(true);
+  std::printf("%-26s %12.2f %14.3f\n", "HIP over Teredo (relay)",
+              teredo.bex_ms, teredo.rtt_ms);
+  const Result native = run(false);
+  std::printf("%-26s %12.2f %14.3f\n", "native UDP encapsulation",
+              native.bex_ms, native.rtt_ms);
+
+  auto mark = [](bool ok) { return ok ? "PASS" : "FAIL"; };
+  std::printf("\nShape checks:\n"
+              "  [%s] both mechanisms traverse the NAT (BEX completes)\n"
+              "  [%s] native mode has lower RTT (no relay detour)\n"
+              "  [%s] native mode completes the BEX faster\n",
+              mark(teredo.bex_ms > 0 && native.bex_ms > 0),
+              mark(native.rtt_ms > 0 && native.rtt_ms < teredo.rtt_ms),
+              mark(native.bex_ms < teredo.bex_ms));
+  return 0;
+}

@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared driver for the Figure 2 reproduction (public EC2 and private
+// OpenNebula variants).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/testbed.hpp"
+
+namespace hipcloud::bench {
+
+/// The paper's client counts for Figure 2.
+inline constexpr int kFig2Clients[] = {2, 3, 4, 6, 10, 20, 30, 50};
+
+struct Fig2Row {
+  int clients;
+  double basic, hip, ssl;
+};
+
+inline std::vector<Fig2Row> run_fig2(const cloud::ProviderProfile& provider,
+                                     const char* title) {
+  std::printf("%s\n", title);
+  std::printf(
+      "Throughput (successful requests/second) of the RUBiS-like auction "
+      "service,\n3 web VMs (t1.micro) + 1 DB VM (m1.large), HAProxy-style "
+      "round-robin LB,\nclosed-loop clients, 30 s per point.\n\n");
+  std::printf("%8s %10s %10s %10s   %s\n", "clients", "basic", "hip", "ssl",
+              "(mean latency ms: basic/hip/ssl)");
+  std::vector<Fig2Row> rows;
+  for (const int clients : kFig2Clients) {
+    Fig2Row row{clients, 0, 0, 0};
+    double lat[3];
+    int i = 0;
+    for (const auto mode :
+         {core::SecurityMode::kBasic, core::SecurityMode::kHip,
+          core::SecurityMode::kSsl}) {
+      core::TestbedConfig cfg;
+      cfg.provider = provider;
+      cfg.deployment.mode = mode;
+      core::Testbed bed(cfg);
+      const auto report = bed.run_closed_loop(clients, 30 * sim::kSecond);
+      (i == 0 ? row.basic : i == 1 ? row.hip : row.ssl) =
+          report.throughput_rps();
+      lat[i] = report.latency_ms.mean();
+      ++i;
+    }
+    std::printf("%8d %10.1f %10.1f %10.1f   (%.0f / %.0f / %.0f)\n", clients,
+                row.basic, row.hip, row.ssl, lat[0], lat[1], lat[2]);
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+
+  // Shape checks against the paper's qualitative findings.
+  bool basic_highest = true, comparable = true;
+  for (const auto& row : rows) {
+    if (row.basic < row.hip || row.basic < row.ssl) basic_highest = false;
+    if (row.clients <= 20 &&
+        std::abs(row.hip - row.ssl) > 0.12 * std::max(row.hip, row.ssl)) {
+      comparable = false;
+    }
+  }
+  const auto& last = rows.back();
+  const bool hip_slightly_below =
+      last.hip < last.ssl && last.hip > last.ssl * 0.7;
+  const bool basic_surges = last.basic > 1.1 * last.ssl;
+  auto mark = [](bool ok) { return ok ? "PASS" : "FAIL"; };
+  std::printf(
+      "\nPaper (Fig. 2) shape checks:\n"
+      "  [%s] basic has the highest throughput at every point\n"
+      "  [%s] HIP comparable to SSL (within 12%%) up to 20 clients\n"
+      "  [%s] at 50 clients HIP is slightly below SSL\n"
+      "  [%s] basic surges ahead of both at 50 clients\n\n",
+      mark(basic_highest), mark(comparable), mark(hip_slightly_below),
+      mark(basic_surges));
+  return rows;
+}
+
+}  // namespace hipcloud::bench

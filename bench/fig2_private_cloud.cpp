@@ -1,0 +1,15 @@
+// Reproduces the paper's private-cloud cross-check of Figure 2: the same
+// experiment on an OpenNebula-like private deployment "in order to
+// cross-check the validity of the results". The paper reports the private
+// results were "very much aligned" with the EC2 ones; the shape checks
+// below verify the same holds here.
+
+#include "fig2_common.hpp"
+
+int main() {
+  hipcloud::bench::run_fig2(
+      hipcloud::cloud::ProviderProfile::opennebula(),
+      "=== Figure 2 cross-check: Basic, HIP and SSL throughput in a "
+      "private OpenNebula cloud ===");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Figure 2 of the paper: RUBiS throughput for the basic, HIP
+// and SSL scenarios vs. concurrent clients, in the public (EC2-like)
+// cloud.
+
+#include "fig2_common.hpp"
+
+int main() {
+  hipcloud::bench::run_fig2(
+      hipcloud::cloud::ProviderProfile::ec2(),
+      "=== Figure 2: Basic, HIP and SSL throughput comparison in Amazon "
+      "(public IaaS) ===");
+  return 0;
+}

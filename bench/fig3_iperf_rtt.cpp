@@ -1,0 +1,58 @@
+// Reproduces Figure 3 of the paper: iperf TCP bandwidth and ICMP RTT
+// between two VMs inside Amazon EC2 for every connectivity mode — plain
+// IPv4, HIP with LSIs/HITs over IPv4 locators, plain Teredo, and HIP over
+// Teredo. The paper reports: plain IPv4 fastest; LSI translation slower
+// than HITs; Teredo the worst latency. iperf TCP window 85.3 KB, ping
+// averaged over 20 requests.
+
+#include <cstdio>
+#include <map>
+
+#include "core/path_lab.hpp"
+
+using namespace hipcloud;
+using Path = core::PathLab::Path;
+
+int main() {
+  // Figure 3's x-axis order.
+  const Path paths[] = {Path::kLsi,       Path::kTeredo,    Path::kIpv4,
+                        Path::kHit,       Path::kHitTeredo, Path::kLsiTeredo};
+
+  std::printf("=== Figure 3: iperf and RTT measurements in Amazon EC2 ===\n\n");
+  std::printf("%-14s %16s %12s\n", "path", "iperf (Mbit/s)", "RTT (ms)");
+
+  std::map<Path, double> mbps, rtt;
+  for (const Path path : paths) {
+    // A fresh lab per path keeps measurements independent (and the
+    // simulation deterministic regardless of run order).
+    core::PathLab lab;
+    const auto dst = lab.establish(path);
+    rtt[path] = lab.ping_rtt_ms(dst, 20);
+    mbps[path] = lab.iperf_mbps(dst, 10 * sim::kSecond);
+    std::printf("%-14s %16.1f %12.3f\n", core::PathLab::path_name(path),
+                mbps[path], rtt[path]);
+    std::fflush(stdout);
+  }
+
+  auto mark = [](bool ok) { return ok ? "PASS" : "FAIL"; };
+  std::printf(
+      "\nPaper (Fig. 3) shape checks:\n"
+      "  [%s] plain IPv4 has the highest bandwidth\n"
+      "  [%s] LSI RTT is higher than HIT RTT (extra translations)\n"
+      "  [%s] Teredo paths have the worst RTTs\n"
+      "  [%s] HIP-over-IPv4 bandwidth below plain IPv4 (crypto CPU-bound)\n"
+      "  [%s] Teredo-based paths have the lowest bandwidth (relay detour)\n",
+      mark(mbps[Path::kIpv4] > mbps[Path::kHit] &&
+           mbps[Path::kIpv4] > mbps[Path::kLsi] &&
+           mbps[Path::kIpv4] > mbps[Path::kTeredo]),
+      mark(rtt[Path::kLsi] > rtt[Path::kHit] &&
+           rtt[Path::kLsiTeredo] >= rtt[Path::kHitTeredo]),
+      mark(rtt[Path::kTeredo] > rtt[Path::kIpv4] &&
+           rtt[Path::kHitTeredo] > rtt[Path::kHit] &&
+           rtt[Path::kLsiTeredo] > rtt[Path::kLsi]),
+      mark(mbps[Path::kHit] < mbps[Path::kIpv4] &&
+           mbps[Path::kLsi] <= mbps[Path::kHit]),
+      mark(mbps[Path::kHitTeredo] < mbps[Path::kHit] &&
+           mbps[Path::kLsiTeredo] < mbps[Path::kLsi]));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces the paper's §V-B httperf experiment: a single web server
+// backed by the database server, driven open-loop at 120 requests/second
+// with the MySQL query cache ENABLED ("to reduce the possibility of the
+// database being a bottleneck"). The paper reports mean response times of
+// 116.4 ms (basic), 132.2 ms (HIP) and 128.3 ms (SSL), with HIP's deficit
+// attributed to LSI translation.
+
+#include <cstdio>
+
+#include "core/testbed.hpp"
+
+using namespace hipcloud;
+
+int main() {
+  std::printf(
+      "=== In-text experiment (Sec. V-B): httperf at 120 req/s, single web "
+      "server, query cache on ===\n\n");
+  std::printf("%8s %12s %12s %12s %10s\n", "mode", "mean (ms)", "stddev",
+              "p95 (ms)", "errors");
+
+  struct Row {
+    core::SecurityMode mode;
+    double paper_mean_ms;
+  };
+  const Row rows[] = {{core::SecurityMode::kBasic, 116.4},
+                      {core::SecurityMode::kHip, 132.2},
+                      {core::SecurityMode::kSsl, 128.3}};
+
+  double measured[3];
+  int i = 0;
+  for (const auto& row : rows) {
+    core::TestbedConfig cfg;
+    cfg.deployment.mode = row.mode;
+    cfg.deployment.web_servers = 1;
+    cfg.deployment.db_query_cache = true;
+    // httperf drives a single light URL ("the requests almost always
+    // required a database connection"), calibrated so the single web
+    // server sustains 120 req/s at high utilization (see EXPERIMENTS.md).
+    cfg.deployment.web_request_cycles = 2.6e6;
+    cfg.client_wan.latency = sim::from_millis(50);  // ~100 ms client RTT
+    core::Testbed bed(cfg);
+    const auto report =
+        bed.run_open_loop(120.0, 30 * sim::kSecond, "/user?id=7");
+    measured[i++] = report.latency_ms.mean();
+    std::printf("%8s %12.1f %12.1f %12.1f %10llu\n",
+                core::mode_name(row.mode), report.latency_ms.mean(),
+                report.latency_ms.stddev(), report.latency_ms.percentile(95),
+                static_cast<unsigned long long>(report.errors));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nPaper reference: basic 116.4 ms, HIP 132.2 ms, SSL 128.3 ms "
+              "(means)\n");
+  const bool ordering =
+      measured[0] < measured[2] && measured[2] < measured[1];
+  const bool comparable =
+      measured[1] < 1.35 * measured[0];  // "largely comparable"
+  std::printf("Shape checks:\n"
+              "  [%s] basic < SSL < HIP ordering (HIP worst due to LSIs)\n"
+              "  [%s] all three within ~35%% (\"largely comparable\")\n",
+              ordering ? "PASS" : "FAIL", comparable ? "PASS" : "FAIL");
+  return 0;
+}

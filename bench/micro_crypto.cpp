@@ -1,0 +1,140 @@
+// Ablation A6: microbenchmarks of the from-scratch crypto primitives
+// (real wall-clock performance of this implementation, complementing the
+// calibrated virtual-time cost model in crypto::CostModel).
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec_p256.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "hip/puzzle.hpp"
+
+namespace {
+
+using namespace hipcloud;
+using crypto::Bytes;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1500);
+
+void BM_AesCtr(benchmark::State& state) {
+  const crypto::Aes aes(Bytes(16, 0x22));
+  const Bytes nonce(12, 0x33);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_ctr(aes, nonce, 1, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  const crypto::Aes aes(Bytes(16, 0x22));
+  const Bytes iv(16, 0x44);
+  const Bytes data(1500, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_cbc_encrypt(aes, iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_AesCbcEncrypt);
+
+void BM_RsaSign(benchmark::State& state) {
+  crypto::HmacDrbg drbg(1, "bench");
+  const auto key =
+      crypto::rsa_generate(drbg, static_cast<std::size_t>(state.range(0)));
+  const Bytes msg = crypto::to_bytes("benchmark message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign_pkcs1(key.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  crypto::HmacDrbg drbg(1, "bench");
+  const auto key =
+      crypto::rsa_generate(drbg, static_cast<std::size_t>(state.range(0)));
+  const Bytes msg = crypto::to_bytes("benchmark message");
+  const Bytes sig = crypto::rsa_sign_pkcs1(key.priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify_pkcs1(key.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  crypto::HmacDrbg drbg(1, "bench");
+  const auto key = crypto::p256::generate(drbg);
+  const Bytes msg = crypto::to_bytes("benchmark message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::p256::ecdsa_sign(key.private_scalar, drbg, msg));
+  }
+}
+BENCHMARK(BM_EcdsaSign)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  crypto::HmacDrbg drbg(1, "bench");
+  const auto key = crypto::p256::generate(drbg);
+  const Bytes msg = crypto::to_bytes("benchmark message");
+  const auto sig = crypto::p256::ecdsa_sign(key.private_scalar, drbg, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::p256::ecdsa_verify(key.public_point, msg, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify)->Unit(benchmark::kMicrosecond);
+
+void BM_DhExchange(benchmark::State& state) {
+  crypto::HmacDrbg drbg(1, "bench");
+  const crypto::DhKeyPair a(crypto::DhGroup::kModp1536, drbg);
+  const crypto::DhKeyPair b(crypto::DhGroup::kModp1536, drbg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compute_shared(b.public_value()));
+  }
+}
+BENCHMARK(BM_DhExchange)->Unit(benchmark::kMicrosecond);
+
+void BM_PuzzleSolve(benchmark::State& state) {
+  const auto hit_i = net::Ipv6Addr::parse("2001:10::1");
+  const auto hit_r = net::Ipv6Addr::parse("2001:10::2");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const hip::Puzzle puzzle{static_cast<std::uint8_t>(state.range(0)), ++i};
+    benchmark::DoNotOptimize(puzzle.solve(hit_i, hit_r));
+  }
+}
+BENCHMARK(BM_PuzzleSolve)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HmacDrbg(benchmark::State& state) {
+  crypto::HmacDrbg drbg(1, "bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drbg.generate(32));
+  }
+}
+BENCHMARK(BM_HmacDrbg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Hybrid cloud (paper §IV-A): a company runs its web tier in a private
+// OpenNebula cloud but keeps the database on-premises... inverted here to
+// the paper's canonical case: the web tier bursts into a public EC2-like
+// cloud while the shared database stays in the private cloud. HIP
+// authenticates and protects the inter-cloud traffic; a HIP-aware
+// firewall at the private gateway admits only the authorized public VMs.
+
+#include <cstdio>
+
+#include "apps/database.hpp"
+#include "cloud/cloud.hpp"
+#include "crypto/drbg.hpp"
+#include "hip/daemon.hpp"
+#include "hip/firewall.hpp"
+
+using namespace hipcloud;
+
+namespace {
+hip::HostIdentity make_identity(const char* name) {
+  crypto::HmacDrbg drbg(23, std::string("hybrid-example:") + name);
+  return hip::HostIdentity::generate(drbg, hip::HiAlgorithm::kRsa, 1024);
+}
+}  // namespace
+
+int main() {
+  net::Network net(29);
+
+  // Two clouds joined across a WAN.
+  cloud::Cloud priv(net, cloud::ProviderProfile::opennebula(), 1);
+  cloud::Cloud pub(net, cloud::ProviderProfile::ec2(), 2);
+  priv.add_host();
+  pub.add_host();
+  pub.add_host();
+
+  auto* wan = net.add_node("wan");
+  wan->set_forwarding(true);
+  net::LinkConfig wan_link{200e6, sim::from_millis(12), sim::from_millis(200),
+                           0.0, 1500};
+  priv.attach_external(wan, wan_link);
+  pub.attach_external(wan, wan_link);
+
+  // The database stays private; two web workers burst into EC2.
+  auto* db_vm = priv.launch("db", cloud::InstanceType::large(), "acme");
+  auto* web1 = pub.launch("web1", cloud::InstanceType::small(), "acme");
+  auto* web2 = pub.launch("web2", cloud::InstanceType::small(), "acme");
+  // A competing tenant shares the public cloud.
+  auto* rival = pub.launch("rival", cloud::InstanceType::small(), "rival");
+
+  hip::HipDaemon hd(db_vm->node(), make_identity("db"));
+  hip::HipDaemon h1(web1->node(), make_identity("web1"));
+  hip::HipDaemon h2(web2->node(), make_identity("web2"));
+  hip::HipDaemon hr(rival->node(), make_identity("rival"));
+
+  // hosts.allow on the database: only the company's own web workers.
+  hd.set_default_accept(false);
+  hd.allow(h1.hit());
+  hd.allow(h2.hit());
+
+  // A HIP-aware firewall at the private cloud's gateway passes only the
+  // authorized HIT pairs and their negotiated ESP flows.
+  hip::HipFirewall firewall(priv.gateway(), /*default_accept=*/false);
+  firewall.allow_pair(hd.hit(), h1.hit());
+  firewall.allow_pair(hd.hit(), h2.hit());
+
+  hd.add_peer(h1.hit(), net::IpAddr(web1->private_ip()));
+  hd.add_peer(h2.hit(), net::IpAddr(web2->private_ip()));
+  h1.add_peer(hd.hit(), net::IpAddr(db_vm->private_ip()));
+  h2.add_peer(hd.hit(), net::IpAddr(db_vm->private_ip()));
+  hr.add_peer(hd.hit(), net::IpAddr(db_vm->private_ip()));
+
+  net::TcpStack td(db_vm->node()), t1(web1->node()), t2(web2->node()),
+      tr(rival->node());
+  apps::DatabaseServer db(db_vm->node(), &td, 3306);
+  for (int i = 0; i < 100; ++i) db.load_row("customers", i, 512);
+
+  // Authorized workers query across clouds by HIT.
+  int ok1 = 0, ok2 = 0;
+  apps::DbClient c1(web1->node(), &t1,
+                    net::Endpoint{net::IpAddr(hd.hit()), 3306});
+  apps::DbClient c2(web2->node(), &t2,
+                    net::Endpoint{net::IpAddr(hd.hit()), 3306});
+  for (int i = 0; i < 10; ++i) {
+    c1.query("GET customers " + std::to_string(i),
+             [&](std::optional<apps::DbResult> result, sim::Duration) {
+               if (result && result->ok && !result->rows.empty()) ++ok1;
+             });
+    c2.query("GET customers " + std::to_string(i + 10),
+             [&](std::optional<apps::DbResult> result, sim::Duration) {
+               if (result && result->ok && !result->rows.empty()) ++ok2;
+             });
+  }
+  // The rival tries the same — both over HIP (denied by ACL + firewall)
+  // and with a plain TCP connection (dropped by the firewall).
+  int rival_ok = 0;
+  apps::DbClient cr_hip(rival->node(), &tr,
+                        net::Endpoint{net::IpAddr(hd.hit()), 3306});
+  cr_hip.query("GET customers 0",
+               [&](std::optional<apps::DbResult> result, sim::Duration) {
+                 if (result && result->ok) ++rival_ok;
+               });
+  apps::DbClient cr_plain(rival->node(), &tr,
+                          net::Endpoint{net::IpAddr(db_vm->private_ip()),
+                                        3306});
+  cr_plain.query("GET customers 0",
+                 [&](std::optional<apps::DbResult> result, sim::Duration) {
+                   if (result && result->ok) ++rival_ok;
+                 });
+
+  net.loop().run(60 * sim::kSecond);
+
+  std::printf("Hybrid cloud demo results:\n");
+  std::printf("  web1 (authorized, EC2)  : %d/10 queries answered\n", ok1);
+  std::printf("  web2 (authorized, EC2)  : %d/10 queries answered\n", ok2);
+  std::printf("  rival tenant            : %d queries answered (HIP denied "
+              "by ACL, plain TCP dropped by HIP firewall)\n",
+              rival_ok);
+  std::printf("  firewall: %llu packets passed, %llu dropped, %zu ESP flows "
+              "learned\n",
+              static_cast<unsigned long long>(firewall.passed()),
+              static_cast<unsigned long long>(firewall.dropped()),
+              firewall.learned_spis());
+  const bool success = ok1 == 10 && ok2 == 10 && rival_ok == 0;
+  std::printf("hybrid_cloud %s\n", success ? "OK" : "FAILED");
+  return success ? 0 : 1;
+}

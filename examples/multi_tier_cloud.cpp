@@ -1,0 +1,63 @@
+// The paper's Figure 1 architecture end-to-end: consumers reach a
+// reverse HTTP proxy / load balancer over plain HTTP; the proxy
+// terminates HIP and balances across three web-server VMs which share a
+// database VM — all intra-cloud traffic protected by BEET-ESP tunnels.
+// Demonstrates the end-to-middle deployment: the client never speaks HIP.
+
+#include <cstdio>
+
+#include "core/testbed.hpp"
+#include "sim/log.hpp"
+
+using namespace hipcloud;
+
+int main() {
+  core::TestbedConfig cfg;
+  cfg.deployment.mode = core::SecurityMode::kHip;
+  cfg.deployment.web_servers = 3;
+  core::Testbed bed(cfg);
+
+  std::printf("Deployed the Figure 1 architecture in an EC2-like cloud:\n");
+  std::printf("  load balancer : %s (outside the cloud)\n",
+              bed.service().frontend().to_string().c_str());
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto* vm = bed.service().web_vms()[i];
+    std::printf("  web%zu          : %s  HIT %s (%s)\n", i,
+                vm->private_ip().to_string().c_str(),
+                bed.service().web_hip(i)->hit().to_string().c_str(),
+                vm->type().name.c_str());
+  }
+  std::printf("  db            : %s  HIT %s (%s)\n",
+              bed.service().db_vm()->private_ip().to_string().c_str(),
+              bed.service().db_hip()->hit().to_string().c_str(),
+              bed.service().db_vm()->type().name.c_str());
+
+  std::printf("\nDriving 10 concurrent consumers (plain HTTP) for 15 s of "
+              "virtual time...\n");
+  const auto report = bed.run_closed_loop(10, 15 * sim::kSecond);
+
+  std::printf("\nResults:\n");
+  std::printf("  completed requests : %llu (%.1f req/s)\n",
+              static_cast<unsigned long long>(report.completed),
+              report.throughput_rps());
+  std::printf("  errors             : %llu\n",
+              static_cast<unsigned long long>(report.errors));
+  std::printf("  latency mean/p95   : %.1f / %.1f ms\n",
+              report.latency_ms.mean(), report.latency_ms.percentile(95));
+
+  const auto& dispatched = bed.service().proxy().dispatched();
+  std::printf("  round-robin spread : %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(dispatched[0]),
+              static_cast<unsigned long long>(dispatched[1]),
+              static_cast<unsigned long long>(dispatched[2]));
+  std::printf("  ESP packets (all daemons, outbound): %llu\n",
+              static_cast<unsigned long long>(
+                  bed.service().total_esp_packets()));
+  std::printf("  DB queries executed: %llu\n",
+              static_cast<unsigned long long>(
+                  bed.service().database().queries_executed()));
+  std::printf("\nEvery byte between the LB, web tier and DB crossed the\n"
+              "multi-tenant fabric inside authenticated, encrypted ESP —\n"
+              "while the consumers used nothing but HTTP.\n");
+  return report.completed > 0 && report.errors == 0 ? 0 : 1;
+}

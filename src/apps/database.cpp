@@ -1,0 +1,319 @@
+#include "apps/database.hpp"
+
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::apps {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+namespace {
+
+/// Frame: length(4) | payload. Returns complete frames from buf.
+std::optional<Bytes> pop_frame(Bytes& buf) {
+  if (buf.size() < 4) return std::nullopt;
+  const auto len = static_cast<std::size_t>(crypto::read_be(buf, 0, 4));
+  if (buf.size() < 4 + len) return std::nullopt;
+  Bytes frame(buf.begin() + 4, buf.begin() + 4 + static_cast<long>(len));
+  buf.erase(buf.begin(), buf.begin() + 4 + static_cast<long>(len));
+  return frame;
+}
+
+Bytes frame(BytesView payload) {
+  Bytes out;
+  crypto::append_be(out, payload.size(), 4);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+/// Deterministic synthetic row payload.
+Bytes synthetic_row(const std::string& table, std::uint64_t id,
+                    std::size_t size) {
+  Bytes row(size);
+  std::uint64_t x = id * 0x9e3779b97f4a7c15ULL + table.size();
+  for (auto& b : row) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<std::uint8_t>(x);
+  }
+  return row;
+}
+
+}  // namespace
+
+Bytes DbResult::serialize() const {
+  Bytes out;
+  out.push_back(ok ? 1 : 0);
+  crypto::append_be(out, rows.size(), 4);
+  for (const auto& [id, payload] : rows) {
+    crypto::append_be(out, id, 8);
+    crypto::append_be(out, payload.size(), 4);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::optional<DbResult> DbResult::parse(BytesView wire) {
+  if (wire.size() < 5) return std::nullopt;
+  DbResult result;
+  result.ok = wire[0] == 1;
+  const auto count = static_cast<std::size_t>(crypto::read_be(wire, 1, 4));
+  std::size_t off = 5;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (off + 12 > wire.size()) return std::nullopt;
+    const std::uint64_t id = crypto::read_be(wire, off, 8);
+    const auto len = static_cast<std::size_t>(crypto::read_be(wire, off + 8, 4));
+    off += 12;
+    if (off + len > wire.size()) return std::nullopt;
+    result.rows.emplace_back(
+        id, Bytes(wire.begin() + static_cast<long>(off),
+                  wire.begin() + static_cast<long>(off + len)));
+    off += len;
+  }
+  return result;
+}
+
+DatabaseServer::DatabaseServer(net::Node* node, net::TcpStack* tcp,
+                               std::uint16_t port, DbConfig config)
+    : node_(node), config_(std::move(config)) {
+  tcp->listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
+    on_accept(std::move(conn));
+  });
+}
+
+void DatabaseServer::load_row(const std::string& table, std::uint64_t id,
+                              std::size_t payload_size) {
+  tables_[table][id] = synthetic_row(table, id, payload_size);
+}
+
+std::size_t DatabaseServer::table_size(const std::string& table) const {
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.size();
+}
+
+void DatabaseServer::on_accept(std::shared_ptr<net::TcpConnection> conn) {
+  const std::uint64_t id = next_id_++;
+  auto session = std::make_shared<Session>();
+  session->stream =
+      make_server_stream(std::move(conn), node_, config_.transport);
+  sessions_[id] = session;
+  session->stream->on_data([this, id](Bytes chunk) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    auto& s = *it->second;
+    s.buf.insert(s.buf.end(), chunk.begin(), chunk.end());
+    while (auto f = pop_frame(s.buf)) {
+      s.pending.emplace_back(f->begin(), f->end());
+    }
+    pump(id);
+  });
+  session->stream->on_close([this, id] {
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      it->second->closed = true;
+      if (!it->second->busy) sessions_.erase(it);
+    }
+  });
+}
+
+void DatabaseServer::pump(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  auto session = it->second;
+  if (session->busy || session->closed || session->pending.empty()) return;
+  const std::string query = std::move(session->pending.front());
+  session->pending.pop_front();
+  session->busy = true;
+
+  auto [result, cycles] = execute(query);
+  node_->cpu().run(cycles, [this, id, session, r = std::move(result)] {
+    session->busy = false;
+    if (session->closed) {
+      sessions_.erase(id);
+      return;
+    }
+    session->stream->send(frame(r.serialize()));
+    pump(id);
+  });
+}
+
+std::pair<DbResult, double> DatabaseServer::execute(const std::string& query) {
+  ++queries_;
+  // Query cache lookup for read statements.
+  const bool is_read = query.rfind("GET", 0) == 0 ||
+                       query.rfind("RANGE", 0) == 0 ||
+                       query.rfind("COUNT", 0) == 0;
+  if (config_.query_cache && is_read) {
+    const auto hit = cache_.find(query);
+    if (hit != cache_.end()) {
+      ++cache_hits_;
+      auto result = DbResult::parse(hit->second);
+      return {result ? std::move(*result) : DbResult{false, {}},
+              config_.cache_hit_cycles};
+    }
+  }
+
+  std::istringstream in(query);
+  std::string op, table;
+  in >> op >> table;
+  DbResult result;
+  double cycles = config_.base_cycles;
+
+  if (op == "GET") {
+    std::uint64_t id = 0;
+    in >> id;
+    const auto tit = tables_.find(table);
+    if (tit != tables_.end()) {
+      const auto rit = tit->second.find(id);
+      if (rit != tit->second.end()) {
+        result.rows.emplace_back(rit->first, rit->second);
+      }
+    }
+    cycles += config_.per_row_cycles;
+  } else if (op == "RANGE") {
+    std::uint64_t lo = 0, hi = 0;
+    in >> lo >> hi;
+    const auto tit = tables_.find(table);
+    if (tit != tables_.end()) {
+      for (auto rit = tit->second.lower_bound(lo);
+           rit != tit->second.end() && rit->first < hi; ++rit) {
+        result.rows.emplace_back(rit->first, rit->second);
+      }
+    }
+    cycles += config_.per_row_cycles * static_cast<double>(result.rows.size() + 1);
+  } else if (op == "PUT") {
+    std::uint64_t id = 0;
+    std::size_t size = 0;
+    in >> id >> size;
+    tables_[table][id] = synthetic_row(table, id, size);
+    cycles += 2 * config_.per_row_cycles;  // index update + write
+    // Writes invalidate cached reads touching this table.
+    if (config_.query_cache) {
+      std::erase_if(cache_, [&table](const auto& kv) {
+        return kv.first.find(table) != std::string::npos;
+      });
+    }
+  } else if (op == "COUNT") {
+    result.rows.emplace_back(table_size(table), Bytes{});
+    cycles += config_.per_row_cycles;
+  } else {
+    result.ok = false;
+  }
+
+  std::size_t bytes_out = 0;
+  for (const auto& [rid, payload] : result.rows) bytes_out += payload.size();
+  cycles += config_.per_byte_cycles * static_cast<double>(bytes_out);
+
+  if (config_.query_cache && is_read && result.ok) {
+    cache_[query] = result.serialize();
+  }
+  return {std::move(result), cycles};
+}
+
+// ---------------------------------------------------------------------------
+// DbClient
+
+DbClient::DbClient(net::Node* node, net::TcpStack* tcp, net::Endpoint server,
+                   TransportConfig transport)
+    : node_(node), tcp_(tcp), server_(std::move(server)),
+      transport_(std::move(transport)) {}
+
+void DbClient::query(const std::string& q, ResultFn done) {
+  waiting_.emplace_back(q, std::move(done));
+  dispatch();
+}
+
+void DbClient::dispatch() {
+  while (!waiting_.empty()) {
+    std::uint64_t chosen = 0;
+    for (auto& [id, conn] : conns_) {
+      if (conn->connected && !conn->busy && !conn->dead) {
+        chosen = id;
+        break;
+      }
+    }
+    if (chosen == 0) {
+      bool pending_conn = false;
+      for (auto& [id, conn] : conns_) {
+        if (!conn->connected && !conn->dead) pending_conn = true;
+      }
+      if (conns_.size() >= max_conns_) return;
+      if (pending_conn && conns_.size() >= waiting_.size()) return;
+      const std::uint64_t id = next_conn_id_++;
+      auto conn = std::make_shared<Conn>();
+      std::shared_ptr<net::TcpConnection> tcp_conn;
+      try {
+        tcp_conn = tcp_->connect(server_);
+      } catch (const std::runtime_error&) {
+        auto [q, done] = std::move(waiting_.front());
+        waiting_.pop_front();
+        ++failures_;
+        done(std::nullopt, 0);
+        continue;
+      }
+      conn->stream = make_client_stream(std::move(tcp_conn), node_, transport_);
+      conns_[id] = conn;
+      conn->stream->on_ready([this, id] {
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) return;
+        it->second->connected = true;
+        dispatch();
+      });
+      conn->stream->on_data([this, id](Bytes chunk) {
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) return;
+        auto& c = *it->second;
+        c.buf.insert(c.buf.end(), chunk.begin(), chunk.end());
+        if (auto f = pop_frame(c.buf)) {
+          finish(id, DbResult::parse(*f));
+        }
+      });
+      conn->stream->on_close([this, id] {
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) return;
+        it->second->dead = true;
+        if (it->second->busy) {
+          finish(id, std::nullopt);
+          return;
+        }
+        const bool was_connecting = !it->second->connected;
+        conns_.erase(it);
+        if (was_connecting && !waiting_.empty()) {
+          auto [q, done] = std::move(waiting_.front());
+          waiting_.pop_front();
+          ++failures_;
+          done(std::nullopt, 0);
+          dispatch();
+        }
+      });
+      return;
+    }
+    auto conn = conns_.at(chosen);
+    auto [q, done] = std::move(waiting_.front());
+    waiting_.pop_front();
+    conn->busy = true;
+    conn->done = std::move(done);
+    conn->issued_at = node_->network().loop().now();
+    conn->stream->send(frame(crypto::to_bytes(q)));
+  }
+}
+
+void DbClient::finish(std::uint64_t conn_id, std::optional<DbResult> result) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end() || !it->second->busy) return;
+  auto conn = it->second;
+  conn->busy = false;
+  const sim::Duration latency =
+      node_->network().loop().now() - conn->issued_at;
+  auto done = std::move(conn->done);
+  conn->done = nullptr;
+  if (!result) ++failures_;
+  if (conn->dead) conns_.erase(conn_id);
+  if (done) done(std::move(result), latency);
+  dispatch();
+}
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/stream.hpp"
+
+namespace hipcloud::apps {
+
+/// Result of a database query: rows of (id, payload).
+struct DbResult {
+  bool ok = true;
+  std::vector<std::pair<std::uint64_t, crypto::Bytes>> rows;
+
+  crypto::Bytes serialize() const;
+  static std::optional<DbResult> parse(crypto::BytesView wire);
+};
+
+struct DbConfig {
+  /// MySQL-style query cache: identical SELECTs served from memory. The
+  /// paper enables this only for the httperf response-time experiment.
+  bool query_cache = false;
+  /// Cost model (cycles): parse/plan/execute baseline per query, per row
+  /// touched, per byte shipped, and the cheap cache-hit path.
+  double base_cycles = 150e3;
+  double per_row_cycles = 1800;
+  double per_byte_cycles = 3.0;
+  double cache_hit_cycles = 25e3;
+  TransportConfig transport;
+};
+
+/// The database server ("MySQL 5.1 on an m1.large" in the paper's
+/// setup). Speaks a tiny SQL-ish text protocol over length-prefixed
+/// frames:
+///   GET <table> <id>
+///   RANGE <table> <lo> <hi>      (rows with lo <= id < hi)
+///   PUT <table> <id> <size>      (synthetic payload of `size` bytes)
+///   COUNT <table>
+class DatabaseServer {
+ public:
+  DatabaseServer(net::Node* node, net::TcpStack* tcp, std::uint16_t port,
+                 DbConfig config = {});
+
+  /// Bulk-load a synthetic row (dataset setup; no cost charged).
+  void load_row(const std::string& table, std::uint64_t id,
+                std::size_t payload_size);
+  std::size_t table_size(const std::string& table) const;
+
+  std::uint64_t queries_executed() const { return queries_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<Stream> stream;
+    crypto::Bytes buf;
+    bool busy = false;
+    std::deque<std::string> pending;
+    bool closed = false;
+  };
+
+  void on_accept(std::shared_ptr<net::TcpConnection> conn);
+  void pump(std::uint64_t id);
+  /// Executes the query, returns the result and its cost in cycles.
+  std::pair<DbResult, double> execute(const std::string& query);
+
+  net::Node* node_;
+  DbConfig config_;
+  std::map<std::string, std::map<std::uint64_t, crypto::Bytes>> tables_;
+  std::map<std::string, crypto::Bytes> cache_;  // query -> serialized result
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+/// Client side: pooled connections, one outstanding query per connection.
+class DbClient {
+ public:
+  using ResultFn = std::function<void(std::optional<DbResult>, sim::Duration)>;
+
+  DbClient(net::Node* node, net::TcpStack* tcp, net::Endpoint server,
+           TransportConfig transport = {});
+
+  void query(const std::string& q, ResultFn done);
+
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  struct Conn {
+    std::unique_ptr<Stream> stream;
+    crypto::Bytes buf;
+    bool connected = false;
+    bool busy = false;
+    bool dead = false;
+    ResultFn done;
+    sim::Time issued_at = 0;
+  };
+
+  void dispatch();
+  void finish(std::uint64_t conn_id, std::optional<DbResult> result);
+
+  net::Node* node_;
+  net::TcpStack* tcp_;
+  net::Endpoint server_;
+  TransportConfig transport_;
+  std::size_t max_conns_ = 16;
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+  std::deque<std::pair<std::string, ResultFn>> waiting_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,217 @@
+#include "apps/http.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace hipcloud::apps {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+void append_str(Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+Bytes HttpRequest::serialize() const {
+  Bytes out;
+  append_str(out, method);
+  append_str(out, " ");
+  append_str(out, path);
+  append_str(out, " HTTP/1.1\r\n");
+  auto hdrs = headers;
+  hdrs["content-length"] = std::to_string(body.size());
+  for (const auto& [name, value] : hdrs) {
+    append_str(out, name);
+    append_str(out, ": ");
+    append_str(out, value);
+    append_str(out, "\r\n");
+  }
+  append_str(out, "\r\n");
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::string HttpRequest::path_only() const {
+  const auto q = path.find('?');
+  return q == std::string::npos ? path : path.substr(0, q);
+}
+
+std::optional<std::string> HttpRequest::query_param(
+    const std::string& name) const {
+  const auto q = path.find('?');
+  if (q == std::string::npos) return std::nullopt;
+  std::string query = path.substr(q + 1);
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    const auto amp = query.find('&', pos);
+    const std::string pair =
+        query.substr(pos, amp == std::string::npos ? amp : amp - pos);
+    const auto eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == name) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+Bytes HttpResponse::serialize() const {
+  Bytes out;
+  append_str(out, "HTTP/1.1 ");
+  append_str(out, std::to_string(status));
+  append_str(out, " ");
+  append_str(out, status_text(status));
+  append_str(out, "\r\n");
+  auto hdrs = headers;
+  hdrs["content-length"] = std::to_string(body.size());
+  for (const auto& [name, value] : hdrs) {
+    append_str(out, name);
+    append_str(out, ": ");
+    append_str(out, value);
+    append_str(out, "\r\n");
+  }
+  append_str(out, "\r\n");
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+HttpResponse HttpResponse::make(int status, Bytes body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  return resp;
+}
+
+void HttpParser::feed(BytesView chunk) {
+  if (error_) return;
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  while (try_parse()) {
+  }
+}
+
+bool HttpParser::try_parse() {
+  // Find the end of the header block.
+  static const char* kSep = "\r\n\r\n";
+  const auto it = std::search(buf_.begin(), buf_.end(), kSep, kSep + 4);
+  if (it == buf_.end()) {
+    if (buf_.size() > 64 * 1024) error_ = true;  // header flood guard
+    return false;
+  }
+  const std::size_t header_len =
+      static_cast<std::size_t>(it - buf_.begin()) + 4;
+  const std::string head(buf_.begin(), buf_.begin() + header_len - 4);
+
+  // Split head into lines.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= head.size()) {
+    const auto eol = head.find("\r\n", pos);
+    lines.push_back(head.substr(pos, eol == std::string::npos ? eol
+                                                              : eol - pos));
+    if (eol == std::string::npos) break;
+    pos = eol + 2;
+  }
+  if (lines.empty()) {
+    error_ = true;
+    return false;
+  }
+
+  std::map<std::string, std::string> headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto colon = lines[i].find(':');
+    if (colon == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    std::string value = lines[i].substr(colon + 1);
+    const auto start = value.find_first_not_of(' ');
+    value = start == std::string::npos ? "" : value.substr(start);
+    headers[to_lower(lines[i].substr(0, colon))] = value;
+  }
+
+  std::size_t content_length = 0;
+  if (const auto cl = headers.find("content-length"); cl != headers.end()) {
+    const auto& s = cl->second;
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), content_length);
+    if (ec != std::errc() || ptr != s.data() + s.size()) {
+      error_ = true;
+      return false;
+    }
+  }
+  if (buf_.size() < header_len + content_length) return false;  // need body
+
+  Bytes body(buf_.begin() + static_cast<long>(header_len),
+             buf_.begin() + static_cast<long>(header_len + content_length));
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<long>(header_len + content_length));
+
+  // Parse the start line.
+  const std::string& start_line = lines[0];
+  if (kind_ == Kind::kRequest) {
+    const auto sp1 = start_line.find(' ');
+    const auto sp2 = start_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    HttpRequest req;
+    req.method = start_line.substr(0, sp1);
+    req.path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.headers = std::move(headers);
+    req.body = std::move(body);
+    requests_.push_back(std::move(req));
+  } else {
+    const auto sp1 = start_line.find(' ');
+    if (sp1 == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    HttpResponse resp;
+    resp.status = std::atoi(start_line.c_str() + sp1 + 1);
+    resp.headers = std::move(headers);
+    resp.body = std::move(body);
+    responses_.push_back(std::move(resp));
+  }
+  return true;
+}
+
+std::optional<HttpRequest> HttpParser::next_request() {
+  if (requests_.empty()) return std::nullopt;
+  HttpRequest req = std::move(requests_.front());
+  requests_.erase(requests_.begin());
+  return req;
+}
+
+std::optional<HttpResponse> HttpParser::next_response() {
+  if (responses_.empty()) return std::nullopt;
+  HttpResponse resp = std::move(responses_.front());
+  responses_.erase(responses_.begin());
+  return resp;
+}
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::apps {
+
+/// HTTP/1.1 request. Header names are stored lowercase.
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;
+  crypto::Bytes body;
+
+  crypto::Bytes serialize() const;
+
+  /// Value of a query parameter in the path ("/item?id=7" -> "7").
+  std::optional<std::string> query_param(const std::string& name) const;
+  /// Path portion before '?'.
+  std::string path_only() const;
+};
+
+/// HTTP/1.1 response.
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  crypto::Bytes body;
+
+  crypto::Bytes serialize() const;
+  static HttpResponse make(int status, crypto::Bytes body);
+};
+
+/// Incremental parser for a stream of HTTP messages (requests or
+/// responses, chosen by `kind`). Feed arbitrary chunks; complete messages
+/// pop out. Framing is Content-Length based (no chunked encoding — the
+/// simulated services always set it).
+class HttpParser {
+ public:
+  enum class Kind { kRequest, kResponse };
+
+  explicit HttpParser(Kind kind) : kind_(kind) {}
+
+  void feed(crypto::BytesView chunk);
+
+  /// Pop the next complete request (kRequest parsers only).
+  std::optional<HttpRequest> next_request();
+  /// Pop the next complete response (kResponse parsers only).
+  std::optional<HttpResponse> next_response();
+
+  /// True when malformed input was encountered; the stream should be
+  /// closed.
+  bool error() const { return error_; }
+
+ private:
+  bool try_parse();
+
+  Kind kind_;
+  crypto::Bytes buf_;
+  std::vector<HttpRequest> requests_;
+  std::vector<HttpResponse> responses_;
+  bool error_ = false;
+};
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "apps/http.hpp"
+#include "apps/stream.hpp"
+
+namespace hipcloud::apps {
+
+/// Lightweight HTTP/1.1 server with keep-alive, serving one request at a
+/// time per connection (matching the thttpd-class servers the paper's
+/// web tier used). Handlers respond asynchronously, which lets them
+/// query the database tier first.
+class HttpServer {
+ public:
+  using RespondFn = std::function<void(HttpResponse)>;
+  using Handler = std::function<void(const HttpRequest&, RespondFn)>;
+
+  HttpServer(net::Node* node, net::TcpStack* tcp, std::uint16_t port,
+             TransportConfig transport = {});
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// CPU cycles charged per request before the handler runs (parsing,
+  /// dispatch, templating). Default approximates a small PHP-less
+  /// dynamic endpoint.
+  void set_request_cycles(double cycles) { request_cycles_ = cycles; }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t active_connections() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::unique_ptr<Stream> stream;
+    HttpParser parser{HttpParser::Kind::kRequest};
+    bool busy = false;   // a request is being handled
+    bool closed = false;
+  };
+
+  void on_accept(std::shared_ptr<net::TcpConnection> conn);
+  void pump(std::uint64_t id);
+
+  net::Node* node_;
+  TransportConfig transport_;
+  Handler handler_;
+  double request_cycles_ = 60e3;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,58 @@
+#include "apps/reverse_proxy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hipcloud::apps {
+
+ReverseProxy::ReverseProxy(net::Node* node, net::TcpStack* tcp,
+                           std::uint16_t port, TransportConfig front,
+                           TransportConfig back,
+                           std::vector<net::Endpoint> backends,
+                           Balance balance)
+    : server_(node, tcp, port, std::move(front)),
+      client_(node, tcp, std::move(back)), backends_(std::move(backends)),
+      balance_(balance), outstanding_(backends_.size(), 0),
+      dispatched_(backends_.size(), 0) {
+  if (backends_.empty()) {
+    throw std::invalid_argument("ReverseProxy: no backends");
+  }
+  // Proxying is cheap per request compared to a dynamic endpoint.
+  server_.set_request_cycles(25e3);
+  // Fail towards the client well before the client's own timeout
+  // (HAProxy-style server timeout).
+  client_.set_timeout(10 * sim::kSecond);
+  server_.set_handler(
+      [this](const HttpRequest& req, HttpServer::RespondFn respond) {
+        const std::size_t idx = pick_backend();
+        ++outstanding_[idx];
+        ++dispatched_[idx];
+        client_.request(
+            backends_[idx], req,
+            [this, idx, respond = std::move(respond)](
+                std::optional<HttpResponse> resp, sim::Duration) {
+              --outstanding_[idx];
+              if (resp) {
+                ++relayed_;
+                respond(std::move(*resp));
+              } else {
+                ++errors_;
+                respond(HttpResponse::make(
+                    502, crypto::to_bytes("upstream failure")));
+              }
+            });
+      });
+}
+
+std::size_t ReverseProxy::pick_backend() {
+  if (balance_ == Balance::kRoundRobin) {
+    const std::size_t idx = rr_next_ % backends_.size();
+    ++rr_next_;
+    return idx;
+  }
+  return static_cast<std::size_t>(
+      std::min_element(outstanding_.begin(), outstanding_.end()) -
+      outstanding_.begin());
+}
+
+}  // namespace hipcloud::apps

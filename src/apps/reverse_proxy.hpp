@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/http_client.hpp"
+#include "apps/http_server.hpp"
+
+namespace hipcloud::apps {
+
+/// HAProxy-style reverse HTTP proxy / load balancer.
+///
+/// This is the keystone of the paper's end-to-middle deployment: the
+/// front side faces consumers with plain HTTP or HTTPS (no HIP required
+/// on clients), while the back side addresses the web-server VMs by HIT
+/// or LSI so the proxy's HIP daemon protects everything entering the
+/// cloud. Round-robin balancing matches the paper's HAProxy
+/// configuration.
+class ReverseProxy {
+ public:
+  enum class Balance { kRoundRobin, kLeastOutstanding };
+
+  ReverseProxy(net::Node* node, net::TcpStack* tcp, std::uint16_t port,
+               TransportConfig front, TransportConfig back,
+               std::vector<net::Endpoint> backends,
+               Balance balance = Balance::kRoundRobin);
+
+  std::uint64_t relayed() const { return relayed_; }
+  std::uint64_t errors() const { return errors_; }
+  const std::vector<net::Endpoint>& backends() const { return backends_; }
+  /// Requests currently in flight towards each backend (index-aligned).
+  const std::vector<int>& outstanding() const { return outstanding_; }
+  /// Total requests dispatched to each backend (index-aligned).
+  const std::vector<std::uint64_t>& dispatched() const { return dispatched_; }
+
+ private:
+  std::size_t pick_backend();
+
+  HttpServer server_;
+  HttpClient client_;
+  std::vector<net::Endpoint> backends_;
+  Balance balance_;
+  std::size_t rr_next_ = 0;
+  std::vector<int> outstanding_;
+  std::vector<std::uint64_t> dispatched_;
+  std::uint64_t relayed_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,176 @@
+#include "apps/rubis.hpp"
+
+namespace hipcloud::apps {
+
+using crypto::Bytes;
+
+void load_rubis_dataset(DatabaseServer& db, const RubisConfig& config) {
+  for (std::size_t i = 0; i < config.items; ++i) {
+    db.load_row("items", i, config.item_bytes);
+  }
+  for (std::size_t u = 0; u < config.users; ++u) {
+    db.load_row("users", u, config.user_bytes);
+  }
+  for (std::size_t b = 0; b < config.bids; ++b) {
+    db.load_row("bids", b, config.bid_bytes);
+  }
+}
+
+RubisWebServer::RubisWebServer(net::Node* node, net::TcpStack* tcp,
+                               std::uint16_t port, TransportConfig front,
+                               net::Endpoint db, TransportConfig db_transport,
+                               RubisConfig config)
+    : server_(node, tcp, port, std::move(front)),
+      db_(node, tcp, std::move(db), std::move(db_transport)),
+      config_(config) {
+  server_.set_handler([this](const HttpRequest& req,
+                             HttpServer::RespondFn respond) {
+    handle(req, std::move(respond));
+  });
+}
+
+Bytes RubisWebServer::render(const std::string& title, const DbResult& rows,
+                             std::size_t min_size) {
+  // "Template rendering": page header, one fragment per row, padding to a
+  // realistic page size.
+  Bytes page = crypto::to_bytes("<html><head><title>" + title +
+                                "</title></head><body>");
+  for (const auto& [id, payload] : rows.rows) {
+    const Bytes fragment = crypto::to_bytes(
+        "<div class=\"row\" id=\"" + std::to_string(id) + "\">");
+    page.insert(page.end(), fragment.begin(), fragment.end());
+    // Embed a slice of the row payload as page content.
+    const std::size_t take = std::min<std::size_t>(payload.size(), 512);
+    page.insert(page.end(), payload.begin(),
+                payload.begin() + static_cast<long>(take));
+    const Bytes closing = crypto::to_bytes("</div>");
+    page.insert(page.end(), closing.begin(), closing.end());
+  }
+  const Bytes footer = crypto::to_bytes("</body></html>");
+  page.insert(page.end(), footer.begin(), footer.end());
+  if (page.size() < min_size) page.resize(min_size, ' ');
+  return page;
+}
+
+void RubisWebServer::handle(const HttpRequest& req,
+                            HttpServer::RespondFn respond) {
+  const std::string path = req.path_only();
+  auto respond_with = [respond, path](const char* title,
+                                      std::optional<DbResult> rows,
+                                      std::size_t min_size) {
+    if (!rows || !rows->ok) {
+      respond(HttpResponse::make(500, crypto::to_bytes("db error")));
+      return;
+    }
+    respond(HttpResponse::make(200, render(title, *rows, min_size)));
+  };
+
+  if (path == "/home") {
+    respond(HttpResponse::make(
+        200, render("RUBiS - auction site", DbResult{}, 1500)));
+    return;
+  }
+  if (path == "/browse") {
+    const auto page = req.query_param("page");
+    const std::uint64_t p = page ? std::stoull(*page) : 0;
+    const std::uint64_t lo = (p * 20) % std::max<std::size_t>(config_.items, 1);
+    db_.query("RANGE items " + std::to_string(lo) + " " +
+                  std::to_string(lo + 20),
+              [respond_with](std::optional<DbResult> rows, sim::Duration) {
+                respond_with("Browse items", std::move(rows), 4000);
+              });
+    return;
+  }
+  if (path == "/item") {
+    const auto id = req.query_param("id");
+    if (!id) {
+      respond(HttpResponse::make(400, crypto::to_bytes("missing id")));
+      return;
+    }
+    // Item lookup, then seller lookup — the classic two-query page.
+    db_.query(
+        "GET items " + *id,
+        [this, respond, respond_with](std::optional<DbResult> item,
+                                      sim::Duration) {
+          if (!item || !item->ok || item->rows.empty()) {
+            respond(HttpResponse::make(404, crypto::to_bytes("no such item")));
+            return;
+          }
+          const std::uint64_t seller =
+              item->rows[0].first % std::max<std::size_t>(config_.users, 1);
+          auto combined = std::make_shared<DbResult>(std::move(*item));
+          db_.query("GET users " + std::to_string(seller),
+                    [respond_with, combined](std::optional<DbResult> user,
+                                             sim::Duration) {
+                      if (user && user->ok) {
+                        for (auto& row : user->rows) {
+                          combined->rows.push_back(std::move(row));
+                        }
+                      }
+                      respond_with("Item details", *combined, 2500);
+                    });
+        });
+    return;
+  }
+  if (path == "/bids") {
+    const auto item = req.query_param("item");
+    const std::uint64_t base =
+        item ? std::stoull(*item) * 2 % std::max<std::size_t>(config_.bids, 1)
+             : 0;
+    db_.query("RANGE bids " + std::to_string(base) + " " +
+                  std::to_string(base + 10),
+              [respond_with](std::optional<DbResult> rows, sim::Duration) {
+                respond_with("Bid history", std::move(rows), 2000);
+              });
+    return;
+  }
+  if (path == "/user") {
+    const auto id = req.query_param("id");
+    db_.query("GET users " + (id ? *id : "0"),
+              [respond_with](std::optional<DbResult> rows, sim::Duration) {
+                respond_with("User profile", std::move(rows), 1200);
+              });
+    return;
+  }
+  if (path == "/bid" && req.method == "POST") {
+    const std::uint64_t bid_id = next_bid_id_++;
+    db_.query("PUT bids " + std::to_string(bid_id) + " " +
+                  std::to_string(config_.bid_bytes),
+              [respond](std::optional<DbResult> result, sim::Duration) {
+                if (!result || !result->ok) {
+                  respond(HttpResponse::make(500,
+                                             crypto::to_bytes("bid failed")));
+                  return;
+                }
+                respond(HttpResponse::make(
+                    200, crypto::to_bytes("<html>bid accepted</html>")));
+              });
+    return;
+  }
+  respond(HttpResponse::make(404, crypto::to_bytes("not found")));
+}
+
+HttpRequest RubisRequestMix::next() {
+  HttpRequest req;
+  const double roll = rng_.uniform();
+  if (roll < 0.10) {
+    req.path = "/home";
+  } else if (roll < 0.40) {
+    req.path = "/browse?page=" +
+               std::to_string(rng_.below(std::max<std::size_t>(
+                   config_.items / 20, 1)));
+  } else if (roll < 0.65) {
+    req.path = "/item?id=" + std::to_string(rng_.below(config_.items));
+  } else if (roll < 0.80) {
+    req.path = "/bids?item=" + std::to_string(rng_.below(config_.items));
+  } else if (roll < 0.90) {
+    req.path = "/user?id=" + std::to_string(rng_.below(config_.users));
+  } else {
+    req.method = "POST";
+    req.path = "/bid";
+    req.body = crypto::to_bytes("item=1&amount=42");
+  }
+  return req;
+}
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,201 @@
+#include "apps/workload.hpp"
+
+namespace hipcloud::apps {
+
+// ---------------------------------------------------------------------------
+// ClosedLoopClients
+
+ClosedLoopClients::ClosedLoopClients(net::Node* node, net::TcpStack* tcp,
+                                     Config config)
+    : node_(node), config_(config), client_(node, tcp, config.transport),
+      mix_(config.mix, config.seed), rng_(config.seed ^ 0x9e37) {
+  client_.set_max_connections_per_endpoint(
+      static_cast<std::size_t>(config_.concurrency) + 4);
+}
+
+HttpRequest ClosedLoopClients::next_request() {
+  if (!config_.fixed_path.empty()) {
+    HttpRequest req;
+    req.path = config_.fixed_path;
+    return req;
+  }
+  return mix_.next();
+}
+
+void ClosedLoopClients::start(DoneFn done) {
+  done_ = std::move(done);
+  auto& loop = node_->network().loop();
+  started_at_ = loop.now();
+  deadline_ = started_at_ + config_.duration;
+  active_users_ = config_.concurrency;
+  for (int user = 0; user < config_.concurrency; ++user) {
+    // Stagger user start slightly to avoid a synchronized burst.
+    loop.schedule(static_cast<sim::Duration>(user) * sim::kMillisecond,
+                  [this, user] { user_loop(user); });
+  }
+}
+
+void ClosedLoopClients::user_loop(int user) {
+  auto& loop = node_->network().loop();
+  if (loop.now() >= deadline_) {
+    if (--active_users_ == 0 && done_) {
+      report_.duration_seconds =
+          sim::to_seconds(deadline_ - started_at_ - config_.warmup);
+      done_(report_);
+    }
+    return;
+  }
+  client_.request(
+      config_.target, next_request(),
+      [this, user](std::optional<HttpResponse> resp, sim::Duration latency) {
+        auto& loop = node_->network().loop();
+        const bool counted = loop.now() >= started_at_ + config_.warmup;
+        if (counted) {
+          if (resp && resp->status == 200) {
+            ++report_.completed;
+            report_.latency_ms.add(sim::to_millis(latency));
+          } else {
+            ++report_.errors;
+          }
+        }
+        if (config_.think_time > 0) {
+          loop.schedule(config_.think_time, [this, user] { user_loop(user); });
+        } else {
+          user_loop(user);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// OpenLoopGenerator
+
+OpenLoopGenerator::OpenLoopGenerator(net::Node* node, net::TcpStack* tcp,
+                                     Config config)
+    : node_(node), config_(config), client_(node, tcp, config.transport),
+      mix_(config.mix, config.seed), rng_(config.seed ^ 0x517c) {
+  client_.set_max_connections_per_endpoint(512);
+}
+
+HttpRequest OpenLoopGenerator::next_request() {
+  if (!config_.fixed_path.empty()) {
+    HttpRequest req;
+    req.path = config_.fixed_path;
+    return req;
+  }
+  return mix_.next();
+}
+
+void OpenLoopGenerator::start(DoneFn done) {
+  done_ = std::move(done);
+  auto& loop = node_->network().loop();
+  started_at_ = loop.now();
+  deadline_ = started_at_ + config_.duration;
+  generating_ = true;
+  schedule_next(started_at_);
+}
+
+void OpenLoopGenerator::schedule_next(sim::Time when) {
+  auto& loop = node_->network().loop();
+  if (when >= deadline_) {
+    generating_ = false;
+    if (outstanding_ == 0 && done_) {
+      report_.duration_seconds =
+          sim::to_seconds(deadline_ - started_at_ - config_.warmup);
+      done_(report_);
+    }
+    return;
+  }
+  loop.schedule_at(when, [this, when] {
+    ++outstanding_;
+    client_.request(
+        config_.target, next_request(),
+        [this](std::optional<HttpResponse> resp, sim::Duration latency) {
+          --outstanding_;
+          const bool counted =
+              node_->network().loop().now() >= started_at_ + config_.warmup;
+          if (counted) {
+            if (resp && resp->status == 200) {
+              ++report_.completed;
+              report_.latency_ms.add(sim::to_millis(latency));
+            } else {
+              ++report_.errors;
+            }
+          }
+          if (!generating_ && outstanding_ == 0 && done_) {
+            report_.duration_seconds =
+                sim::to_seconds(deadline_ - started_at_ - config_.warmup);
+            auto done = std::move(done_);
+            done_ = nullptr;
+            done(report_);
+          }
+        });
+    sim::Duration gap;
+    if (config_.poisson) {
+      gap = static_cast<sim::Duration>(
+          rng_.exponential(1.0 / config_.rate_rps) *
+          static_cast<double>(sim::kSecond));
+    } else {
+      gap = static_cast<sim::Duration>(static_cast<double>(sim::kSecond) /
+                                       config_.rate_rps);
+    }
+    schedule_next(when + std::max<sim::Duration>(gap, 1));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Iperf
+
+IperfServer::IperfServer(net::Node* node, net::TcpStack* tcp,
+                         std::uint16_t port) {
+  (void)node;
+  tcp->listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
+    conn->on_data(
+        [this](crypto::Bytes data) { bytes_received_ += data.size(); });
+    conns_.push_back(std::move(conn));
+  });
+}
+
+void IperfClient::run(net::Node* node, net::TcpStack* tcp,
+                      const net::Endpoint& dst, sim::Duration duration,
+                      DoneFn done) {
+  auto conn = tcp->connect(dst);
+  auto& loop = node->network().loop();
+  const sim::Time deadline = loop.now() + duration;
+  const sim::Time start = loop.now();
+
+  // Feed the connection in chunks, keeping a bounded send queue — the
+  // way iperf keeps the socket buffer full without unbounded memory.
+  constexpr std::size_t kChunk = 128 * 1024;
+  constexpr std::size_t kQueueCap = 512 * 1024;
+  auto feeder = std::make_shared<std::function<void()>>();
+  *feeder = [conn, &loop, deadline, feeder, start, done]() {
+    if (loop.now() >= deadline) {
+      const std::uint64_t acked = conn->bytes_acked();
+      Report report;
+      report.bytes_sent = acked;
+      report.mbits_per_second = static_cast<double>(acked) * 8.0 /
+                                sim::to_seconds(loop.now() - start) / 1e6;
+      conn->close();
+      if (done) done(report);
+      return;
+    }
+    if (conn->established() && conn->send_queue_bytes() < kQueueCap) {
+      conn->send(crypto::Bytes(kChunk, 0x49));  // 'I'
+    }
+    loop.schedule(sim::kMillisecond, *feeder);
+  };
+  if (conn->established()) {
+    (*feeder)();
+  } else {
+    conn->on_connect([feeder] { (*feeder)(); });
+    // Also arm a watchdog in case the connection never comes up.
+    loop.schedule(duration, [feeder, conn, done, start, &loop, deadline] {
+      if (!conn->established() && loop.now() >= deadline) {
+        Report report;
+        if (done) done(report);
+      }
+    });
+  }
+}
+
+}  // namespace hipcloud::apps

@@ -1,0 +1,194 @@
+#include "cloud/cloud.hpp"
+
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::cloud {
+
+using net::IpAddr;
+using net::Ipv4Addr;
+using net::LinkConfig;
+
+ProviderProfile ProviderProfile::ec2() {
+  ProviderProfile p;
+  p.name = "ec2";
+  // EC2 guest networking of the era: a shared-GbE slice (~300 Mbit/s per
+  // small guest) with noticeable virtualization latency.
+  p.guest_link = LinkConfig{300e6, sim::from_micros(120),
+                            sim::from_millis(50), 0.0, 1500};
+  p.fabric_link = LinkConfig{10e9, sim::from_micros(80), sim::from_millis(50),
+                             0.0, 1500};
+  p.gateway_link = LinkConfig{10e9, sim::from_micros(100),
+                              sim::from_millis(50), 0.0, 1500};
+  return p;
+}
+
+ProviderProfile ProviderProfile::opennebula() {
+  ProviderProfile p;
+  p.name = "opennebula";
+  // Private lab cloud: flatter, slightly quicker LAN, 1 Gbit/s switches.
+  p.guest_link = LinkConfig{1e9, sim::from_micros(80), sim::from_millis(50),
+                            0.0, 1500};
+  p.fabric_link = LinkConfig{1e9, sim::from_micros(50), sim::from_millis(50),
+                             0.0, 1500};
+  p.gateway_link = LinkConfig{1e9, sim::from_micros(50), sim::from_millis(50),
+                              0.0, 1500};
+  return p;
+}
+
+Cloud::Cloud(net::Network& net, ProviderProfile profile, int index)
+    : net_(net), profile_(std::move(profile)), index_(index) {
+  gateway_ = net_.add_node(profile_.name + std::to_string(index) + "-gw");
+  fabric_ = net_.add_node(profile_.name + std::to_string(index) + "-fabric");
+  gateway_->set_forwarding(true);
+  fabric_->set_forwarding(true);
+  const auto att = net_.connect(gateway_, fabric_, profile_.gateway_link);
+  gateway_->add_address(att.iface_a,
+                        Ipv4Addr(10, std::uint8_t(index_), 255, 1));
+  fabric_->add_address(att.iface_b,
+                       Ipv4Addr(10, std::uint8_t(index_), 255, 2));
+  // Gateway reaches the whole cloud via the fabric; fabric defaults out
+  // through the gateway.
+  gateway_->add_route(IpAddr(Ipv4Addr(10, std::uint8_t(index_), 0, 0)), 16,
+                      att.iface_a);
+  fabric_->set_default_route(att.iface_b);
+}
+
+net::Ipv4Addr Cloud::host_subnet(int host_index) const {
+  return Ipv4Addr(10, std::uint8_t(index_), std::uint8_t(host_index), 0);
+}
+
+Hypervisor* Cloud::add_host() {
+  const int h = static_cast<int>(hosts_.size());
+  if (h >= 255) throw std::runtime_error("Cloud: host space exhausted");
+  net::Node* node = net_.add_node(profile_.name + std::to_string(index_) +
+                                  "-host" + std::to_string(h));
+  node->set_forwarding(true);
+  const auto att = net_.connect(fabric_, node, profile_.fabric_link);
+  node->add_address(att.iface_b,
+                    Ipv4Addr(10, std::uint8_t(index_), std::uint8_t(h), 1));
+  // Fabric learns this host's /24; host defaults into the fabric.
+  fabric_->add_route(IpAddr(host_subnet(h)), 24, att.iface_a);
+  node->set_default_route(att.iface_b);
+  hosts_.push_back(std::make_unique<Hypervisor>(this, node, h));
+  return hosts_.back().get();
+}
+
+Vm* Cloud::launch(const std::string& name, const InstanceType& type,
+                  const std::string& tenant, Hypervisor* host) {
+  if (hosts_.empty()) throw std::runtime_error("Cloud: no hosts");
+  if (host == nullptr) {
+    host = hosts_[next_placement_ % hosts_.size()].get();
+    ++next_placement_;
+  }
+  if (host->next_vm_octet_ >= 250) {
+    throw std::runtime_error("Cloud: VM space exhausted on host");
+  }
+  auto vm = std::make_unique<Vm>();
+  vm->name_ = name;
+  vm->type_ = type;
+  vm->host_ = host;
+  vm->tenant_ = tenant;
+  vm->node_ = net_.add_node(name, type.cycles_per_second());
+  if (type.burst_compute_units > 0) {
+    const double burst_cps =
+        type.burst_compute_units * InstanceType::kCyclesPerEcu;
+    vm->node_->cpu().enable_burst(burst_cps,
+                                  burst_cps * type.burst_credit_seconds);
+  }
+  const auto att =
+      net_.connect(host->node(), vm->node_, profile_.guest_link);
+  vm->private_ip_ = Ipv4Addr(10, std::uint8_t(index_),
+                             std::uint8_t(host->index()),
+                             std::uint8_t(host->next_vm_octet_++));
+  vm->node_->add_address(att.iface_b, vm->private_ip_);
+  vm->guest_iface_ = att.iface_b;
+  vm->guest_link_ = att.link;
+  vm->node_->set_default_route(att.iface_b);
+  host->node()->add_route(IpAddr(vm->private_ip_), 32, att.iface_a);
+  ++host->vm_count_;
+  vms_.push_back(std::move(vm));
+  return vms_.back().get();
+}
+
+net::Link* Cloud::attach_external(net::Node* external,
+                                  const net::LinkConfig& link_config) {
+  const auto att = net_.connect(gateway_, external, link_config);
+  gateway_->set_default_route(att.iface_a);
+  external->add_route(IpAddr(Ipv4Addr(10, std::uint8_t(index_), 0, 0)), 16,
+                      att.iface_b);
+  return att.link;
+}
+
+void Cloud::migrate(Vm* vm, Hypervisor* dst, MigrationDoneFn done,
+                    double dirty_page_rate) {
+  if (vm->host_ == dst) {
+    throw std::invalid_argument("Cloud::migrate: already on destination");
+  }
+  // Pre-copy model: transfer all memory, then iteratively re-copy pages
+  // dirtied during the previous round; stop-and-copy the remainder.
+  const double bw_Bps = profile_.fabric_link.bandwidth_bps / 8.0;
+  const double memory_bytes = static_cast<double>(vm->type_.memory_mb) * 1e6;
+  double round_bytes = memory_bytes;
+  double total_bytes = 0;
+  double total_seconds = 0;
+  constexpr double kStopThresholdBytes = 16e6;
+  constexpr int kMaxRounds = 10;
+  for (int round = 0; round < kMaxRounds && round_bytes > kStopThresholdBytes;
+       ++round) {
+    const double secs = round_bytes / bw_Bps;
+    total_bytes += round_bytes;
+    total_seconds += secs;
+    round_bytes = std::min(round_bytes,
+                           dirty_page_rate * memory_bytes *
+                               std::min(1.0, secs));
+  }
+  // Stop-and-copy: the VM is paused for the final round + switch-over.
+  const double downtime_seconds = round_bytes / bw_Bps + 0.030;
+  total_bytes += round_bytes;
+  total_seconds += downtime_seconds;
+
+  const auto total = sim::from_seconds(total_seconds);
+  const auto downtime = sim::from_seconds(downtime_seconds);
+  const auto copied = static_cast<std::size_t>(total_bytes);
+
+  // Stop-and-copy: the guest is paused (its link goes dark) for the
+  // final round, then resumes on the destination host.
+  net_.loop().schedule(total - downtime, [vm] {
+    vm->guest_link_->set_down(true);
+  });
+  net_.loop().schedule(total, [this, vm, dst, downtime, total, copied,
+                               done = std::move(done)] {
+    // Detach from the source host.
+    vm->guest_link_->set_down(true);
+    Hypervisor* src = vm->host_;
+    src->node()->remove_route(IpAddr(vm->private_ip_), 32);
+    --src->vm_count_;
+
+    // Attach on the destination host with a fresh IP.
+    const auto att =
+        net_.connect(dst->node(), vm->node_, profile_.guest_link);
+    const Ipv4Addr new_ip(10, std::uint8_t(index_),
+                          std::uint8_t(dst->index()),
+                          std::uint8_t(dst->next_vm_octet_++));
+    vm->node_->remove_address(vm->guest_iface_, IpAddr(vm->private_ip_));
+    vm->node_->remove_routes_via(vm->guest_iface_);
+    vm->node_->add_address(att.iface_b, new_ip);
+    vm->node_->set_default_route(att.iface_b);
+    dst->node()->add_route(IpAddr(new_ip), 32, att.iface_a);
+    vm->private_ip_ = new_ip;
+    vm->guest_iface_ = att.iface_b;
+    vm->guest_link_ = att.link;
+    vm->host_ = dst;
+    ++dst->vm_count_;
+
+    sim::Log::write(sim::LogLevel::kInfo, net_.loop().now(), "cloud",
+                    vm->name_ + " migrated to host" +
+                        std::to_string(dst->index()) + " as " +
+                        new_ip.to_string());
+    if (done) done(MigrationReport{total, downtime, new_ip, copied});
+  });
+}
+
+}  // namespace hipcloud::cloud

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "net/node.hpp"
+
+namespace hipcloud::cloud {
+
+/// Link/latency parameters distinguishing provider deployments. Values
+/// model the two testbeds of the paper: Amazon EC2 (eu-west-1a) and a
+/// private OpenNebula cloud on a lab LAN.
+struct ProviderProfile {
+  std::string name;
+  /// Virtual NIC between a VM and its hypervisor's bridge.
+  net::LinkConfig guest_link;
+  /// Hypervisor <-> datacenter fabric.
+  net::LinkConfig fabric_link;
+  /// Fabric <-> internet gateway.
+  net::LinkConfig gateway_link;
+
+  static ProviderProfile ec2();
+  static ProviderProfile opennebula();
+};
+
+class Cloud;
+
+/// A physical machine running a hypervisor: its node forwards traffic
+/// between guest links and the datacenter fabric.
+class Hypervisor {
+ public:
+  Hypervisor(Cloud* cloud, net::Node* node, int index)
+      : cloud_(cloud), node_(node), index_(index) {}
+
+  net::Node* node() { return node_; }
+  int index() const { return index_; }
+  Cloud* cloud() { return cloud_; }
+  int vm_count() const { return vm_count_; }
+
+ private:
+  friend class Cloud;
+  Cloud* cloud_;
+  net::Node* node_;
+  int index_;
+  int next_vm_octet_ = 10;
+  int vm_count_ = 0;
+};
+
+/// One virtual machine: a guest node attached to a hypervisor.
+class Vm {
+ public:
+  net::Node* node() { return node_; }
+  const std::string& name() const { return name_; }
+  const InstanceType& type() const { return type_; }
+  Hypervisor* host() { return host_; }
+  net::Ipv4Addr private_ip() const { return private_ip_; }
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  friend class Cloud;
+  std::string name_;
+  InstanceType type_;
+  Hypervisor* host_ = nullptr;
+  net::Node* node_ = nullptr;
+  net::Ipv4Addr private_ip_;
+  std::string tenant_;
+  std::size_t guest_iface_ = 0;  // iface index on the VM side
+  net::Link* guest_link_ = nullptr;
+};
+
+/// An IaaS cloud: gateway router, datacenter fabric, hypervisors and VMs,
+/// with EC2-like 10.c.h.v private addressing. External networks attach to
+/// the gateway. Multiple Cloud instances in one Network model hybrid
+/// deployments.
+class Cloud {
+ public:
+  /// `index` selects the 10.<index>.0.0/16 private space.
+  Cloud(net::Network& net, ProviderProfile profile, int index);
+
+  net::Network& network() { return net_; }
+  const ProviderProfile& profile() const { return profile_; }
+  net::Node* gateway() { return gateway_; }
+  net::Node* fabric() { return fabric_; }
+  int index() const { return index_; }
+
+  Hypervisor* add_host();
+
+  /// Launch a VM on `host` (round-robin placement when nullptr).
+  Vm* launch(const std::string& name, const InstanceType& type,
+             const std::string& tenant = "default",
+             Hypervisor* host = nullptr);
+
+  /// Connect this cloud's gateway to an external node (an internet core,
+  /// another cloud's gateway for a hybrid deployment, a lab LAN...).
+  /// Adds a default route from the gateway out through this link and a
+  /// route towards our 10.<index>/8-ish space on the far side.
+  net::Link* attach_external(net::Node* external,
+                             const net::LinkConfig& link_config);
+
+  /// Live-migrate `vm` to `dst`: models pre-copy memory transfer over the
+  /// fabric, then detaches the old guest link and re-attaches the VM on
+  /// the destination host with a fresh private IP. `done` receives the
+  /// total migration time and the stop-and-copy downtime.
+  struct MigrationReport {
+    sim::Duration total;
+    sim::Duration downtime;
+    net::Ipv4Addr new_ip;
+    std::size_t bytes_copied;
+  };
+  using MigrationDoneFn = std::function<void(const MigrationReport&)>;
+  void migrate(Vm* vm, Hypervisor* dst, MigrationDoneFn done,
+               double dirty_page_rate = 0.1);
+
+  const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+
+ private:
+  net::Ipv4Addr host_subnet(int host_index) const;
+
+  net::Network& net_;
+  ProviderProfile profile_;
+  int index_;
+  net::Node* gateway_;
+  net::Node* fabric_;
+  std::vector<std::unique_ptr<Hypervisor>> hosts_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::size_t next_placement_ = 0;
+};
+
+}  // namespace hipcloud::cloud

@@ -1,0 +1,36 @@
+#include "cloud/vlan.hpp"
+
+namespace hipcloud::cloud {
+
+void VlanFabric::assign(const net::IpAddr& addr, int vlan_id) {
+  vlan_of_[addr] = vlan_id;
+}
+
+void VlanFabric::enforce_on(net::Node* node) {
+  node->set_forward_hook(
+      [this](net::Packet& pkt, std::size_t) { return permits(pkt); });
+}
+
+bool VlanFabric::permits(const net::Packet& pkt) {
+  const auto src = vlan_of_.find(pkt.src);
+  const auto dst = vlan_of_.find(pkt.dst);
+  bool pass;
+  if (src == vlan_of_.end() && dst == vlan_of_.end()) {
+    // Infrastructure traffic (untagged on both ends).
+    pass = !drop_unassigned_;
+  } else if (src == vlan_of_.end() || dst == vlan_of_.end()) {
+    // Tagged <-> untagged (e.g. VM to gateway): allowed — VLANs segment
+    // tenant-to-tenant traffic, not tenant-to-infrastructure.
+    pass = true;
+  } else {
+    pass = src->second == dst->second;
+  }
+  if (pass) {
+    ++passed_;
+  } else {
+    ++dropped_;
+  }
+  return pass;
+}
+
+}  // namespace hipcloud::cloud

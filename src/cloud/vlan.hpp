@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+
+#include "net/node.hpp"
+
+namespace hipcloud::cloud {
+
+/// 802.1Q-style VLAN segmentation baseline (the paper's related-work
+/// comparison point): addresses are assigned to VLAN ids, and every
+/// enrolled forwarding node drops traffic crossing VLAN boundaries. The
+/// Eucalyptus-style default policy — block all traffic among VMs in
+/// different VLANs — corresponds to `drop_unassigned = true`.
+class VlanFabric {
+ public:
+  explicit VlanFabric(bool drop_unassigned = false)
+      : drop_unassigned_(drop_unassigned) {}
+
+  /// Tag an address (a VM's private IP) with a VLAN id.
+  void assign(const net::IpAddr& addr, int vlan_id);
+
+  /// Enforce on a forwarding node (hypervisor, fabric switch). Replaces
+  /// the node's forward hook.
+  void enforce_on(net::Node* node);
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t passed() const { return passed_; }
+
+ private:
+  bool permits(const net::Packet& pkt);
+
+  std::map<net::IpAddr, int> vlan_of_;
+  bool drop_unassigned_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace hipcloud::cloud

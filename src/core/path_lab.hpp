@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+
+#include "apps/workload.hpp"
+#include "cloud/cloud.hpp"
+#include "hip/daemon.hpp"
+#include "net/icmp.hpp"
+#include "net/teredo.hpp"
+
+namespace hipcloud::core {
+
+/// The paper's Figure 3 measurement rig: two VMs inside an EC2-like cloud
+/// plus Teredo infrastructure on the public internet, measuring raw path
+/// performance (iperf TCP bandwidth, ICMP RTT) across every connectivity
+/// mode the paper compares:
+///
+///   kIpv4       plain private IPv4 between the VMs
+///   kLsi        HIP with IPv4 locators, application uses LSIs
+///   kHit        HIP with IPv4 locators, application uses HITs
+///   kTeredo     plain IPv6-over-Teredo (no HIP)
+///   kHitTeredo  HIP whose locators are Teredo addresses, app uses HITs
+///   kLsiTeredo  same with LSIs
+class PathLab {
+ public:
+  enum class Path { kIpv4, kLsi, kHit, kTeredo, kHitTeredo, kLsiTeredo };
+  static const char* path_name(Path path);
+
+  struct Config {
+    cloud::ProviderProfile provider = cloud::ProviderProfile::ec2();
+    cloud::InstanceType vm_type = cloud::InstanceType::small();
+    /// The public Teredo relay is free shared infrastructure — modelled
+    /// as a 100 Mbit/s attachment with noticeable latency.
+    net::LinkConfig teredo_link{100e6, sim::from_millis(0.5),
+                                sim::from_millis(100), 0.0, 1500};
+    /// TCP receive window: the paper's iperf server advertised 85.3 KB.
+    std::uint32_t receive_window = 87380;
+    hip::HipConfig hip;
+    std::uint64_t seed = 3;
+  };
+
+  PathLab() : PathLab(Config()) {}
+  explicit PathLab(Config config);
+
+  /// Prepare a path: qualifies Teredo and establishes the HIP
+  /// association as needed (runs the event loop internally). Returns the
+  /// address VM1 should use to reach VM2 on this path.
+  net::IpAddr establish(Path path);
+
+  /// Mean ICMP RTT in ms over `count` echo requests (the paper uses 20).
+  double ping_rtt_ms(const net::IpAddr& dst, int count = 20);
+
+  /// iperf-style TCP goodput in Mbit/s over `duration`.
+  double iperf_mbps(const net::IpAddr& dst, sim::Duration duration);
+
+  net::Network& network() { return *net_; }
+  cloud::Vm* vm1() { return vm1_; }
+  cloud::Vm* vm2() { return vm2_; }
+  hip::HipDaemon* hip1() { return hip1_.get(); }
+  hip::HipDaemon* hip2() { return hip2_.get(); }
+
+ private:
+  Config config_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<cloud::Cloud> cloud_;
+  net::Node* inet_ = nullptr;
+  net::Node* teredo_node_ = nullptr;
+  cloud::Vm* vm1_ = nullptr;
+  cloud::Vm* vm2_ = nullptr;
+
+  std::unique_ptr<hip::HipDaemon> hip1_, hip2_;
+  std::unique_ptr<net::UdpStack> udp1_, udp2_, udp_srv_;
+  std::unique_ptr<net::TeredoServer> teredo_server_;
+  std::unique_ptr<net::TeredoClient> teredo1_, teredo2_;
+  std::unique_ptr<net::IcmpStack> icmp1_, icmp2_;
+  std::unique_ptr<net::TcpStack> tcp1_, tcp2_;
+  std::unique_ptr<apps::IperfServer> iperf_server_;
+  std::uint16_t next_iperf_port_ = 5001;
+
+  bool teredo_ready_ = false;
+  bool hip_peered_ipv4_ = false;
+  bool hip_peered_teredo_ = false;
+
+  void ensure_teredo();
+  void ensure_hip_over(bool teredo_locators);
+};
+
+}  // namespace hipcloud::core

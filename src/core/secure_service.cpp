@@ -1,0 +1,190 @@
+#include "core/secure_service.hpp"
+
+#include "crypto/drbg.hpp"
+
+namespace hipcloud::core {
+
+using apps::TransportConfig;
+using net::Endpoint;
+using net::IpAddr;
+
+const char* mode_name(SecurityMode mode) {
+  switch (mode) {
+    case SecurityMode::kBasic:
+      return "basic";
+    case SecurityMode::kHip:
+      return "hip";
+    case SecurityMode::kSsl:
+      return "ssl";
+  }
+  return "?";
+}
+
+namespace {
+
+hip::HostIdentity make_identity(std::uint64_t seed, const std::string& name) {
+  crypto::HmacDrbg drbg(seed, "hi:" + name);
+  return hip::HostIdentity::generate(drbg, hip::HiAlgorithm::kRsa, 1024);
+}
+
+}  // namespace
+
+SecureService::SecureService(net::Network& net, cloud::Cloud& cloud,
+                             net::Node* lb_node, DeploymentConfig config)
+    : net_(net), cloud_(cloud), lb_node_(lb_node), config_(config) {
+  // --- launch the VM fleet -------------------------------------------------
+  for (int i = 0; i < config_.web_servers; ++i) {
+    web_vms_.push_back(
+        cloud_.launch("web" + std::to_string(i), config_.web_type, "acme"));
+  }
+  db_vm_ = cloud_.launch("db", config_.db_type, "acme");
+
+  // --- HIP daemons (before anything opens sockets) --------------------------
+  if (config_.mode == SecurityMode::kHip) {
+    lb_hip_ = std::make_unique<hip::HipDaemon>(
+        lb_node_, make_identity(config_.seed, "lb"), config_.hip);
+    for (int i = 0; i < config_.web_servers; ++i) {
+      web_hips_.push_back(std::make_unique<hip::HipDaemon>(
+          web_vms_[static_cast<std::size_t>(i)]->node(),
+          make_identity(config_.seed, "web" + std::to_string(i)),
+          config_.hip));
+    }
+    db_hip_ = std::make_unique<hip::HipDaemon>(
+        db_vm_->node(), make_identity(config_.seed, "db"), config_.hip);
+
+    // Populate the "hip hosts files": LB <-> web, web <-> db.
+    for (int i = 0; i < config_.web_servers; ++i) {
+      auto& wh = *web_hips_[static_cast<std::size_t>(i)];
+      lb_hip_->add_peer(wh.hit(),
+                        IpAddr(web_vms_[static_cast<std::size_t>(i)]
+                                   ->private_ip()));
+      wh.add_peer(lb_hip_->hit(), *lb_node_->first_address(false));
+      wh.add_peer(db_hip_->hit(), IpAddr(db_vm_->private_ip()));
+      db_hip_->add_peer(wh.hit(),
+                        IpAddr(web_vms_[static_cast<std::size_t>(i)]
+                                   ->private_ip()));
+    }
+  }
+
+  // --- TCP stacks -------------------------------------------------------------
+  lb_tcp_ = std::make_unique<net::TcpStack>(lb_node_);
+  for (int i = 0; i < config_.web_servers; ++i) {
+    web_tcp_.push_back(std::make_unique<net::TcpStack>(
+        web_vms_[static_cast<std::size_t>(i)]->node()));
+  }
+  db_tcp_ = std::make_unique<net::TcpStack>(db_vm_->node());
+
+  // --- TLS PKI (SSL scenario) --------------------------------------------------
+  TransportConfig web_front;   // LB -> web
+  TransportConfig db_transport;  // web -> db
+  if (config_.mode == SecurityMode::kSsl) {
+    crypto::HmacDrbg ca_drbg(config_.seed, "ca");
+    ca_ = std::make_unique<tls::CertificateAuthority>("cloud-ca", ca_drbg);
+    web_front.kind = TransportConfig::Kind::kTls;
+    db_transport.kind = TransportConfig::Kind::kTls;
+    web_front.tls.ca_public_key = ca_->public_key();
+    db_transport.tls.ca_public_key = ca_->public_key();
+  }
+
+  // --- database tier ---------------------------------------------------------
+  apps::DbConfig db_config;
+  db_config.query_cache = config_.db_query_cache;
+  db_config.base_cycles = config_.db_base_cycles;
+  db_config.per_row_cycles = config_.db_per_row_cycles;
+  db_config.per_byte_cycles = config_.db_per_byte_cycles;
+  db_config.cache_hit_cycles = config_.db_cache_hit_cycles;
+  db_config.transport = db_transport;
+  if (config_.mode == SecurityMode::kSsl) {
+    crypto::HmacDrbg key_drbg(config_.seed, "db-key");
+    const auto key = crypto::rsa_generate(key_drbg, 1024);
+    db_config.transport.tls.certificate = ca_->issue("db", key.pub);
+    db_config.transport.tls.private_key = key.priv;
+    db_config.transport.tls_seed = config_.seed ^ 0xdb;
+  }
+  db_server_ = std::make_unique<apps::DatabaseServer>(
+      db_vm_->node(), db_tcp_.get(), 3306, db_config);
+  apps::load_rubis_dataset(*db_server_, config_.dataset);
+
+  // --- web tier ------------------------------------------------------------------
+  for (int i = 0; i < config_.web_servers; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    TransportConfig serve_cfg;  // how this web server accepts LB traffic
+    TransportConfig db_cfg = db_transport;
+    if (config_.mode == SecurityMode::kSsl) {
+      serve_cfg.kind = TransportConfig::Kind::kTls;
+      crypto::HmacDrbg key_drbg(config_.seed, "web-key" + std::to_string(i));
+      const auto key = crypto::rsa_generate(key_drbg, 1024);
+      serve_cfg.tls.certificate =
+          ca_->issue("web" + std::to_string(i), key.pub);
+      serve_cfg.tls.private_key = key.priv;
+      serve_cfg.tls_seed = config_.seed ^ (0x3e0 + idx);
+      db_cfg.tls.certificate.reset();  // client side needs only the CA
+      db_cfg.tls.private_key.reset();
+      db_cfg.tls_seed = config_.seed ^ (0x7d0 + idx);
+    }
+    web_servers_.push_back(std::make_unique<apps::RubisWebServer>(
+        web_vms_[idx]->node(), web_tcp_[idx].get(), 8080, serve_cfg,
+        db_endpoint_for_web(idx), db_cfg, config_.dataset));
+    web_servers_.back()->set_request_cycles(config_.web_request_cycles);
+  }
+
+  // --- load balancer ------------------------------------------------------------
+  std::vector<Endpoint> backends;
+  for (int i = 0; i < config_.web_servers; ++i) {
+    backends.push_back(web_backend_endpoint(static_cast<std::size_t>(i)));
+  }
+  TransportConfig lb_front;  // consumers: plain HTTP (paper's setup)
+  TransportConfig lb_back = web_front;
+  if (config_.mode == SecurityMode::kSsl) {
+    lb_back.tls_seed = config_.seed ^ 0x1b;
+  }
+  proxy_ = std::make_unique<apps::ReverseProxy>(
+      lb_node_, lb_tcp_.get(), config_.frontend_port, lb_front, lb_back,
+      std::move(backends), apps::ReverseProxy::Balance::kRoundRobin);
+}
+
+Endpoint SecureService::web_backend_endpoint(std::size_t i) const {
+  if (config_.mode == SecurityMode::kHip) {
+    const auto& web_hit = web_hips_[i]->hit();
+    if (config_.hip_addressing == HipAddressing::kLsi) {
+      return Endpoint{IpAddr(*lb_hip_->lsi_for_peer(web_hit)), 8080};
+    }
+    return Endpoint{IpAddr(web_hit), 8080};
+  }
+  return Endpoint{IpAddr(web_vms_[i]->private_ip()), 8080};
+}
+
+Endpoint SecureService::db_endpoint_for_web(std::size_t i) const {
+  if (config_.mode == SecurityMode::kHip) {
+    const auto& db_hit = db_hip_->hit();
+    if (config_.hip_addressing == HipAddressing::kLsi) {
+      return Endpoint{IpAddr(*web_hips_[i]->lsi_for_peer(db_hit)), 3306};
+    }
+    return Endpoint{IpAddr(db_hit), 3306};
+  }
+  return Endpoint{IpAddr(db_vm_->private_ip()), 3306};
+}
+
+void SecureService::prepare() {
+  if (config_.mode != SecurityMode::kHip) return;
+  // Pre-establish all associations so measurement windows see only the
+  // data plane (the paper measures steady-state throughput).
+  for (auto& wh : web_hips_) {
+    lb_hip_->initiate(wh->hit());
+    wh->initiate(db_hip_->hit());
+  }
+}
+
+Endpoint SecureService::frontend() const {
+  return Endpoint{*lb_node_->first_address(false), config_.frontend_port};
+}
+
+std::uint64_t SecureService::total_esp_packets() const {
+  std::uint64_t total = 0;
+  if (lb_hip_) total += lb_hip_->stats().esp_packets_out;
+  for (const auto& wh : web_hips_) total += wh->stats().esp_packets_out;
+  if (db_hip_) total += db_hip_->stats().esp_packets_out;
+  return total;
+}
+
+}  // namespace hipcloud::core

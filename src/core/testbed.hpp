@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+
+#include "apps/workload.hpp"
+#include "core/secure_service.hpp"
+
+namespace hipcloud::core {
+
+/// Full experimental testbed mirroring the paper's setup: a client farm
+/// and the HAProxy-style load balancer live *outside* the cloud, reaching
+/// the VMs through the cloud gateway.
+///
+///   clients --wan-- internet --"-- LB --"-- [gateway fabric hosts VMs]
+struct TestbedConfig {
+  cloud::ProviderProfile provider = cloud::ProviderProfile::ec2();
+  DeploymentConfig deployment;
+  /// Client farm <-> internet core (consumer WAN). 25 ms one way ≈ the
+  /// paper's measurement clients reaching EC2 eu-west-1a.
+  net::LinkConfig client_wan{1e9, sim::from_millis(25), sim::from_millis(100),
+                             0.0, 1500};
+  /// LB <-> internet core (the LB sits close to the cloud).
+  net::LinkConfig lb_link{1e9, sim::from_millis(1), sim::from_millis(100),
+                          0.0, 1500};
+  int cloud_hosts = 4;
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  net::Network& network() { return *net_; }
+  cloud::Cloud& cloud() { return *cloud_; }
+  SecureService& service() { return *service_; }
+  net::Node* client_node() { return client_node_; }
+  net::Node* lb_node() { return lb_node_; }
+  net::TcpStack& client_tcp() { return *client_tcp_; }
+
+  /// jmeter-style closed-loop run against the frontend (Figure 2 rows).
+  /// Runs the event loop to completion and returns the report.
+  apps::LoadReport run_closed_loop(int concurrency, sim::Duration duration,
+                                   sim::Duration think_time = 0);
+
+  /// httperf-style fixed-rate run (the §V-B response-time experiment).
+  /// When `fixed_path` is non-empty every request GETs that path instead
+  /// of the RUBiS mix (httperf drives one URL).
+  apps::LoadReport run_open_loop(double rate_rps, sim::Duration duration,
+                                 const std::string& fixed_path = "");
+
+ private:
+  TestbedConfig config_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<cloud::Cloud> cloud_;
+  net::Node* inet_ = nullptr;
+  net::Node* client_node_ = nullptr;
+  net::Node* lb_node_ = nullptr;
+  std::unique_ptr<net::TcpStack> client_tcp_;
+  std::unique_ptr<SecureService> service_;
+};
+
+}  // namespace hipcloud::core

@@ -1,0 +1,281 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hipcloud::crypto {
+
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+std::uint8_t inv_sbox_table[256];
+bool inv_sbox_ready = false;
+
+const std::uint8_t* inv_sbox() {
+  if (!inv_sbox_ready) {
+    for (int i = 0; i < 256; ++i) inv_sbox_table[kSbox[i]] = static_cast<std::uint8_t>(i);
+    inv_sbox_ready = true;
+  }
+  return inv_sbox_table;
+}
+
+inline std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+// Encryption T-tables (te0..te3): each combines SubBytes + MixColumns for
+// one byte position, turning a round into 16 table lookups + XORs. Built
+// lazily from the S-box so the tables are self-consistent by construction.
+std::uint32_t te_table[4][256];
+bool te_ready = false;
+
+void build_te() {
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    // Column (2s, s, s, 3s) in big-endian word order.
+    const std::uint32_t t = (std::uint32_t(s2) << 24) |
+                            (std::uint32_t(s) << 16) |
+                            (std::uint32_t(s) << 8) | std::uint32_t(s3);
+    te_table[0][i] = t;
+    te_table[1][i] = (t >> 8) | (t << 24);
+    te_table[2][i] = (t >> 16) | (t << 16);
+    te_table[3][i] = (t >> 24) | (t << 8);
+  }
+  te_ready = true;
+}
+
+inline std::uint32_t sub_word(std::uint32_t w) {
+  return (std::uint32_t(kSbox[(w >> 24) & 0xff]) << 24) |
+         (std::uint32_t(kSbox[(w >> 16) & 0xff]) << 16) |
+         (std::uint32_t(kSbox[(w >> 8) & 0xff]) << 8) |
+         std::uint32_t(kSbox[w & 0xff]);
+}
+
+inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes::Aes(BytesView key) {
+  int nk;
+  if (key.size() == 16) {
+    nk = 4;
+    rounds_ = 10;
+  } else if (key.size() == 32) {
+    nk = 8;
+    rounds_ = 14;
+  } else {
+    throw std::invalid_argument("Aes: key must be 16 or 32 bytes");
+  }
+  const int total = 4 * (rounds_ + 1);
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[i] = (std::uint32_t(key[4 * i]) << 24) |
+                     (std::uint32_t(key[4 * i + 1]) << 16) |
+                     (std::uint32_t(key[4 * i + 2]) << 8) |
+                     std::uint32_t(key[4 * i + 3]);
+  }
+  std::uint32_t rcon = 0x01000000;
+  for (int i = nk; i < total; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ rcon;
+      rcon = std::uint32_t(xtime(static_cast<std::uint8_t>(rcon >> 24))) << 24;
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  if (!te_ready) build_te();
+  // Load state as big-endian column words and XOR the first round key.
+  std::uint32_t c0 = ((std::uint32_t(in[0]) << 24) | (std::uint32_t(in[1]) << 16) |
+                      (std::uint32_t(in[2]) << 8) | in[3]) ^ round_keys_[0];
+  std::uint32_t c1 = ((std::uint32_t(in[4]) << 24) | (std::uint32_t(in[5]) << 16) |
+                      (std::uint32_t(in[6]) << 8) | in[7]) ^ round_keys_[1];
+  std::uint32_t c2 = ((std::uint32_t(in[8]) << 24) | (std::uint32_t(in[9]) << 16) |
+                      (std::uint32_t(in[10]) << 8) | in[11]) ^ round_keys_[2];
+  std::uint32_t c3 = ((std::uint32_t(in[12]) << 24) | (std::uint32_t(in[13]) << 16) |
+                      (std::uint32_t(in[14]) << 8) | in[15]) ^ round_keys_[3];
+  for (int r = 1; r < rounds_; ++r) {
+    const std::uint32_t* rk = &round_keys_[4 * r];
+    const std::uint32_t t0 = te_table[0][c0 >> 24] ^ te_table[1][(c1 >> 16) & 0xff] ^
+                             te_table[2][(c2 >> 8) & 0xff] ^ te_table[3][c3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = te_table[0][c1 >> 24] ^ te_table[1][(c2 >> 16) & 0xff] ^
+                             te_table[2][(c3 >> 8) & 0xff] ^ te_table[3][c0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = te_table[0][c2 >> 24] ^ te_table[1][(c3 >> 16) & 0xff] ^
+                             te_table[2][(c0 >> 8) & 0xff] ^ te_table[3][c1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = te_table[0][c3 >> 24] ^ te_table[1][(c0 >> 16) & 0xff] ^
+                             te_table[2][(c1 >> 8) & 0xff] ^ te_table[3][c2 & 0xff] ^ rk[3];
+    c0 = t0; c1 = t1; c2 = t2; c3 = t3;
+  }
+  // Final round: SubBytes + ShiftRows (no MixColumns) + AddRoundKey.
+  const std::uint32_t* rk = &round_keys_[4 * rounds_];
+  const std::uint32_t f0 =
+      ((std::uint32_t(kSbox[c0 >> 24]) << 24) | (std::uint32_t(kSbox[(c1 >> 16) & 0xff]) << 16) |
+       (std::uint32_t(kSbox[(c2 >> 8) & 0xff]) << 8) | kSbox[c3 & 0xff]) ^ rk[0];
+  const std::uint32_t f1 =
+      ((std::uint32_t(kSbox[c1 >> 24]) << 24) | (std::uint32_t(kSbox[(c2 >> 16) & 0xff]) << 16) |
+       (std::uint32_t(kSbox[(c3 >> 8) & 0xff]) << 8) | kSbox[c0 & 0xff]) ^ rk[1];
+  const std::uint32_t f2 =
+      ((std::uint32_t(kSbox[c2 >> 24]) << 24) | (std::uint32_t(kSbox[(c3 >> 16) & 0xff]) << 16) |
+       (std::uint32_t(kSbox[(c0 >> 8) & 0xff]) << 8) | kSbox[c1 & 0xff]) ^ rk[2];
+  const std::uint32_t f3 =
+      ((std::uint32_t(kSbox[c3 >> 24]) << 24) | (std::uint32_t(kSbox[(c0 >> 16) & 0xff]) << 16) |
+       (std::uint32_t(kSbox[(c1 >> 8) & 0xff]) << 8) | kSbox[c2 & 0xff]) ^ rk[3];
+  const std::uint32_t words[4] = {f0, f1, f2, f3};
+  for (int i = 0; i < 4; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(words[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(words[i]);
+  }
+}
+
+void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  const std::uint8_t* isb = inv_sbox();
+  // Straight inverse cipher (FIPS 197 §5.3) using the encryption schedule.
+  auto add_round_key = [&](int r) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t w = round_keys_[4 * r + c];
+      s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+  add_round_key(rounds_);
+  for (int r = rounds_ - 1; r >= 0; --r) {
+    // InvShiftRows
+    std::uint8_t t[16];
+    for (int c = 0; c < 4; ++c) {
+      for (int row = 0; row < 4; ++row) {
+        t[4 * ((c + row) % 4) + row] = s[4 * c + row];
+      }
+    }
+    std::memcpy(s, t, 16);
+    // InvSubBytes
+    for (auto& b : s) b = isb[b];
+    add_round_key(r);
+    if (r != 0) {
+      // InvMixColumns
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = s + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+      }
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+Bytes aes_ctr(const Aes& cipher, BytesView nonce12, std::uint32_t initial_counter,
+              BytesView data) {
+  if (nonce12.size() != 12) {
+    throw std::invalid_argument("aes_ctr: nonce must be 12 bytes");
+  }
+  Bytes out(data.begin(), data.end());
+  std::uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce12.data(), 12);
+  std::uint32_t ctr = initial_counter;
+  std::uint8_t keystream[16];
+  for (std::size_t off = 0; off < out.size(); off += 16) {
+    counter_block[12] = static_cast<std::uint8_t>(ctr >> 24);
+    counter_block[13] = static_cast<std::uint8_t>(ctr >> 16);
+    counter_block[14] = static_cast<std::uint8_t>(ctr >> 8);
+    counter_block[15] = static_cast<std::uint8_t>(ctr);
+    ++ctr;
+    cipher.encrypt_block(counter_block, keystream);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+  }
+  return out;
+}
+
+Bytes aes_cbc_encrypt(const Aes& cipher, BytesView iv16, BytesView plaintext) {
+  if (iv16.size() != 16) {
+    throw std::invalid_argument("aes_cbc_encrypt: IV must be 16 bytes");
+  }
+  const std::size_t pad = 16 - plaintext.size() % 16;
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+  Bytes out(padded.size());
+  std::uint8_t prev[16];
+  std::memcpy(prev, iv16.data(), 16);
+  for (std::size_t off = 0; off < padded.size(); off += 16) {
+    std::uint8_t block[16];
+    for (int i = 0; i < 16; ++i) block[i] = padded[off + i] ^ prev[i];
+    cipher.encrypt_block(block, out.data() + off);
+    std::memcpy(prev, out.data() + off, 16);
+  }
+  return out;
+}
+
+Bytes aes_cbc_decrypt(const Aes& cipher, BytesView iv16, BytesView ciphertext) {
+  if (iv16.size() != 16) {
+    throw std::invalid_argument("aes_cbc_decrypt: IV must be 16 bytes");
+  }
+  if (ciphertext.empty() || ciphertext.size() % 16 != 0) {
+    throw std::runtime_error("aes_cbc_decrypt: bad ciphertext length");
+  }
+  Bytes out(ciphertext.size());
+  std::uint8_t prev[16];
+  std::memcpy(prev, iv16.data(), 16);
+  for (std::size_t off = 0; off < ciphertext.size(); off += 16) {
+    std::uint8_t block[16];
+    cipher.decrypt_block(ciphertext.data() + off, block);
+    for (int i = 0; i < 16; ++i) out[off + i] = block[i] ^ prev[i];
+    std::memcpy(prev, ciphertext.data() + off, 16);
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > 16 || pad > out.size()) {
+    throw std::runtime_error("aes_cbc_decrypt: bad padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) throw std::runtime_error("aes_cbc_decrypt: bad padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace hipcloud::crypto

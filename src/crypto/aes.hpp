@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::crypto {
+
+/// AES block cipher (FIPS 197), 128- or 256-bit keys. Table-free S-box
+/// implementation, verified against FIPS/NIST vectors in
+/// tests/crypto/aes_test.cpp.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16 or 32 bytes; throws std::invalid_argument otherwise.
+  explicit Aes(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  std::size_t key_bits() const { return rounds_ == 10 ? 128 : 256; }
+
+ private:
+  int rounds_;
+  std::array<std::uint32_t, 60> round_keys_;  // shared by both directions
+};
+
+/// AES-CTR keystream encryption/decryption (symmetric). The 16-byte
+/// counter block is `nonce(12) | counter(4)` starting at `initial_counter`.
+Bytes aes_ctr(const Aes& cipher, BytesView nonce12, std::uint32_t initial_counter,
+              BytesView data);
+
+/// AES-CBC with PKCS#7 padding.
+Bytes aes_cbc_encrypt(const Aes& cipher, BytesView iv16, BytesView plaintext);
+
+/// Throws std::runtime_error on bad padding.
+Bytes aes_cbc_decrypt(const Aes& cipher, BytesView iv16, BytesView ciphertext);
+
+}  // namespace hipcloud::crypto

@@ -1,0 +1,85 @@
+#include "crypto/bytes.hpp"
+
+#include <stdexcept>
+
+namespace hipcloud::crypto {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_hex(BytesView data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: bad hex digit");
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd length");
+  }
+  Bytes out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((hex_nibble(hex[2 * i]) << 4) |
+                                       hex_nibble(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void xor_inplace(std::span<std::uint8_t> a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_inplace: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+void append_be(Bytes& out, std::uint64_t value, std::size_t width) {
+  if (width > 8) throw std::invalid_argument("append_be: width > 8");
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(
+        static_cast<std::uint8_t>(value >> (8 * (width - 1 - i))));
+  }
+}
+
+std::uint64_t read_be(BytesView data, std::size_t offset, std::size_t width) {
+  if (width > 8 || offset + width > data.size()) {
+    throw std::out_of_range("read_be: out of range");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v = (v << 8) | data[offset + i];
+  }
+  return v;
+}
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace hipcloud::crypto

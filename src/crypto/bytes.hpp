@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hipcloud::crypto {
+
+/// Owning byte buffer used throughout the crypto and protocol layers.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Build a Bytes from a string's raw characters.
+Bytes to_bytes(std::string_view s);
+
+/// Render as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Parse lowercase/uppercase hex; throws std::invalid_argument on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality — the comparison time depends only on the
+/// lengths, never on content, so MAC checks don't leak prefixes.
+bool ct_equal(BytesView a, BytesView b);
+
+/// XOR b into a (a ^= b); sizes must match.
+void xor_inplace(std::span<std::uint8_t> a, BytesView b);
+
+/// Append a big-endian integer of `width` bytes.
+void append_be(Bytes& out, std::uint64_t value, std::size_t width);
+
+/// Read a big-endian integer of `width` (<= 8) bytes at `offset`.
+std::uint64_t read_be(BytesView data, std::size_t offset, std::size_t width);
+
+/// Concatenate arbitrary many byte views.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+}  // namespace hipcloud::crypto

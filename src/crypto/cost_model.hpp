@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+
+namespace hipcloud::crypto {
+
+/// Virtual-time cost model for cryptographic operations, in CPU cycles.
+///
+/// The simulator executes every operation for real (ciphertext on the
+/// simulated wire is genuine), but the *time charged* to a VM's
+/// CpuScheduler comes from this table so performance curves are
+/// deterministic and instance-type dependent. Defaults approximate a
+/// ~2.6 GHz 2010-era Xeon as deployed in EC2 at the time of the paper
+/// (openssl-speed-style numbers).
+struct CostModel {
+  // Asymmetric operations (per op).
+  double rsa1024_sign_cycles = 1.3e6;
+  double rsa1024_verify_cycles = 70e3;
+  double rsa2048_sign_cycles = 8.0e6;
+  double rsa2048_verify_cycles = 250e3;
+  double ecdsa_p256_sign_cycles = 350e3;
+  double ecdsa_p256_verify_cycles = 1.0e6;
+  double dh_modp1536_cycles = 2.0e6;  // one modexp
+  double ecdh_p256_cycles = 900e3;    // one point multiply
+
+  // Symmetric/data-plane (per byte). Pre-AES-NI software crypto inside a
+  // paravirtualized guest: noticeably slower than bare metal.
+  double aes_cycles_per_byte = 30.0;
+  double sha256_cycles_per_byte = 20.0;
+  /// SHA-1 per puzzle attempt over one small input.
+  double puzzle_hash_cycles = 700.0;
+
+  // Fixed software overheads. An ESP packet costs kernel IPsec processing
+  // plus a VM exit; a TLS record costs user-space record assembly plus
+  // the extra copies through the socket layer. Records carry more bytes
+  // than packets, so the per-unit costs differ (calibrated so the
+  // aggregate per-request costs match the paper's HIP ≈ SSL finding).
+  double packet_overhead_cycles = 9000.0;     // per ESP packet
+  double tls_record_overhead_cycles = 70000.0;  // per TLS record
+  double lsi_translation_cycles = 25000.0;     // HIT<->LSI rewrite per packet
+  double hit_processing_cycles = 2000.0;      // HIT source/dest handling
+
+  double rsa_sign_cycles(std::size_t bits) const {
+    return bits > 1536 ? rsa2048_sign_cycles : rsa1024_sign_cycles;
+  }
+  double rsa_verify_cycles(std::size_t bits) const {
+    return bits > 1536 ? rsa2048_verify_cycles : rsa1024_verify_cycles;
+  }
+
+  /// Symmetric cost of protecting/unprotecting `bytes` in one ESP packet.
+  double record_cycles(std::size_t bytes) const {
+    return packet_overhead_cycles +
+           static_cast<double>(bytes) *
+               (aes_cycles_per_byte + sha256_cycles_per_byte);
+  }
+
+  /// Symmetric cost of protecting/unprotecting `bytes` in one TLS record.
+  double tls_record_cycles(std::size_t bytes) const {
+    return tls_record_overhead_cycles +
+           static_cast<double>(bytes) *
+               (aes_cycles_per_byte + sha256_cycles_per_byte);
+  }
+};
+
+}  // namespace hipcloud::crypto

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "crypto/bigint.hpp"
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::crypto {
+
+class HmacDrbg;
+
+/// Finite-field Diffie-Hellman over the RFC 3526 MODP groups used by HIP
+/// BEX (HIP's DIFFIE_HELLMAN parameter advertises these group ids).
+enum class DhGroup : std::uint8_t {
+  kModp1536 = 5,   // RFC 3526 group 5
+  kModp2048 = 14,  // RFC 3526 group 14
+  kModp3072 = 15,  // RFC 3526 group 15
+};
+
+/// The (prime, generator) pair for a group. Primes are the published
+/// RFC 3526 constants.
+struct DhParams {
+  BigInt p;
+  BigInt g;
+  std::size_t prime_bytes;
+};
+
+const DhParams& dh_params(DhGroup group);
+
+class DhKeyPair {
+ public:
+  /// Generate a fresh keypair in the group (private exponent of 256 bits —
+  /// ample for the group sizes used here).
+  DhKeyPair(DhGroup group, HmacDrbg& drbg);
+
+  DhGroup group() const { return group_; }
+  /// Public value g^x mod p, fixed-width big-endian.
+  const Bytes& public_value() const { return public_value_; }
+
+  /// Shared secret (peer_public ^ x mod p), fixed-width big-endian.
+  /// Throws std::runtime_error on degenerate peer values (0, 1, p-1, >= p).
+  Bytes compute_shared(BytesView peer_public) const;
+
+ private:
+  DhGroup group_;
+  BigInt private_exp_;
+  Bytes public_value_;
+};
+
+}  // namespace hipcloud::crypto

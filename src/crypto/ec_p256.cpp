@@ -1,0 +1,245 @@
+#include "crypto/ec_p256.hpp"
+
+#include <stdexcept>
+
+#include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace hipcloud::crypto::p256 {
+
+namespace {
+
+const BigInt& P() {
+  static const BigInt p = BigInt::from_hex(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  return p;
+}
+
+const BigInt& N() {
+  static const BigInt n = BigInt::from_hex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  return n;
+}
+
+const BigInt& A() {
+  // a = p - 3
+  static const BigInt a = P() - BigInt(3);
+  return a;
+}
+
+const BigInt& B() {
+  static const BigInt b = BigInt::from_hex(
+      "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+  return b;
+}
+
+BigInt sub_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  if (a >= b) return (a - b) % m;
+  return m - ((b - a) % m);
+}
+
+// Jacobian projective point: (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+struct Jac {
+  BigInt x, y, z;  // z == 0 -> infinity
+  bool inf() const { return z.is_zero(); }
+};
+
+Jac to_jac(const Point& p) {
+  if (p.infinity) return {BigInt(1), BigInt(1), BigInt()};
+  return {p.x, p.y, BigInt(1)};
+}
+
+Point from_jac(const Jac& j) {
+  if (j.inf()) return Point{};
+  const BigInt zinv = j.z.mod_inverse(P());
+  const BigInt zinv2 = (zinv * zinv) % P();
+  Point out;
+  out.infinity = false;
+  out.x = (j.x * zinv2) % P();
+  out.y = (j.y * zinv2 % P()) * zinv % P();
+  return out;
+}
+
+Jac jac_double(const Jac& p) {
+  if (p.inf() || p.y.is_zero()) return {BigInt(1), BigInt(1), BigInt()};
+  // Standard dbl-2007-bl-like formulas with a = -3 folded in via
+  // M = 3(X-Z^2)(X+Z^2).
+  const BigInt z2 = (p.z * p.z) % P();
+  const BigInt m =
+      (BigInt(3) * (sub_mod(p.x, z2, P()) * ((p.x + z2) % P()) % P())) % P();
+  const BigInt y2 = (p.y * p.y) % P();
+  const BigInt s = (BigInt(4) * p.x % P()) * y2 % P();
+  Jac out;
+  out.x = sub_mod((m * m) % P(), (BigInt(2) * s) % P(), P());
+  const BigInt y4 = (y2 * y2) % P();
+  out.y = sub_mod((m * sub_mod(s, out.x, P())) % P(),
+                  (BigInt(8) * y4) % P(), P());
+  out.z = (BigInt(2) * p.y % P()) * p.z % P();
+  return out;
+}
+
+Jac jac_add(const Jac& p, const Jac& q) {
+  if (p.inf()) return q;
+  if (q.inf()) return p;
+  const BigInt z1_2 = (p.z * p.z) % P();
+  const BigInt z2_2 = (q.z * q.z) % P();
+  const BigInt u1 = (p.x * z2_2) % P();
+  const BigInt u2 = (q.x * z1_2) % P();
+  const BigInt s1 = (p.y * z2_2 % P()) * q.z % P();
+  const BigInt s2 = (q.y * z1_2 % P()) * p.z % P();
+  if (u1 == u2) {
+    if (s1 == s2) return jac_double(p);
+    return {BigInt(1), BigInt(1), BigInt()};  // P + (-P) = O
+  }
+  const BigInt h = sub_mod(u2, u1, P());
+  const BigInt r = sub_mod(s2, s1, P());
+  const BigInt h2 = (h * h) % P();
+  const BigInt h3 = (h2 * h) % P();
+  const BigInt u1h2 = (u1 * h2) % P();
+  Jac out;
+  out.x = sub_mod(sub_mod((r * r) % P(), h3, P()),
+                  (BigInt(2) * u1h2) % P(), P());
+  out.y = sub_mod((r * sub_mod(u1h2, out.x, P())) % P(),
+                  (s1 * h3) % P(), P());
+  out.z = (p.z * q.z % P()) * h % P();
+  return out;
+}
+
+}  // namespace
+
+bool Point::operator==(const Point& other) const {
+  if (infinity || other.infinity) return infinity == other.infinity;
+  return x == other.x && y == other.y;
+}
+
+const BigInt& order() { return N(); }
+const BigInt& field_prime() { return P(); }
+
+const Point& generator() {
+  static const Point g = [] {
+    Point p;
+    p.infinity = false;
+    p.x = BigInt::from_hex(
+        "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+    p.y = BigInt::from_hex(
+        "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+    return p;
+  }();
+  return g;
+}
+
+bool on_curve(const Point& pt) {
+  if (pt.infinity) return true;
+  if (pt.x >= P() || pt.y >= P()) return false;
+  const BigInt lhs = (pt.y * pt.y) % P();
+  const BigInt x3 = ((pt.x * pt.x) % P()) * pt.x % P();
+  const BigInt rhs = (x3 + (A() * pt.x) % P() + B()) % P();
+  return lhs == rhs;
+}
+
+Point add(const Point& a, const Point& b) {
+  return from_jac(jac_add(to_jac(a), to_jac(b)));
+}
+
+Point multiply(const Point& p, const BigInt& k) {
+  const BigInt scalar = k % N();
+  if (scalar.is_zero() || p.infinity) return Point{};
+  Jac acc{BigInt(1), BigInt(1), BigInt()};
+  const Jac base = to_jac(p);
+  for (std::size_t i = scalar.bit_length(); i-- > 0;) {
+    acc = jac_double(acc);
+    if (scalar.bit(i)) acc = jac_add(acc, base);
+  }
+  return from_jac(acc);
+}
+
+Bytes encode_point(const Point& pt) {
+  if (pt.infinity) return Bytes{0x00};
+  Bytes out{0x04};
+  const Bytes xb = pt.x.to_bytes_be(32);
+  const Bytes yb = pt.y.to_bytes_be(32);
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+Point decode_point(BytesView data) {
+  if (data.size() == 1 && data[0] == 0x00) return Point{};
+  if (data.size() != 65 || data[0] != 0x04) {
+    throw std::runtime_error("p256: malformed point encoding");
+  }
+  Point pt;
+  pt.infinity = false;
+  pt.x = BigInt::from_bytes_be(data.subspan(1, 32));
+  pt.y = BigInt::from_bytes_be(data.subspan(33, 32));
+  if (!on_curve(pt)) throw std::runtime_error("p256: point not on curve");
+  return pt;
+}
+
+KeyPair generate(HmacDrbg& drbg) {
+  const BigInt d = BigInt(1) + BigInt::random_below(drbg, N() - BigInt(1));
+  return {d, multiply(generator(), d)};
+}
+
+Bytes ecdh(const BigInt& private_scalar, const Point& peer_public) {
+  if (!on_curve(peer_public) || peer_public.infinity) {
+    throw std::runtime_error("p256::ecdh: invalid peer point");
+  }
+  const Point shared = multiply(peer_public, private_scalar);
+  if (shared.infinity) throw std::runtime_error("p256::ecdh: identity result");
+  return shared.x.to_bytes_be(32);
+}
+
+Bytes Signature::encode() const {
+  Bytes out = r.to_bytes_be(32);
+  const Bytes sb = s.to_bytes_be(32);
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+Signature Signature::decode(BytesView data) {
+  if (data.size() != 64) throw std::runtime_error("p256: bad signature size");
+  Signature sig;
+  sig.r = BigInt::from_bytes_be(data.subspan(0, 32));
+  sig.s = BigInt::from_bytes_be(data.subspan(32, 32));
+  return sig;
+}
+
+namespace {
+BigInt hash_to_scalar(BytesView message) {
+  // SHA-256 output is 256 bits = curve size; no truncation needed.
+  return BigInt::from_bytes_be(Sha256::digest(message)) % N();
+}
+}  // namespace
+
+Signature ecdsa_sign(const BigInt& private_scalar, HmacDrbg& drbg,
+                     BytesView message) {
+  const BigInt e = hash_to_scalar(message);
+  for (;;) {
+    const BigInt k = BigInt(1) + BigInt::random_below(drbg, N() - BigInt(1));
+    const Point kg = multiply(generator(), k);
+    const BigInt r = kg.x % N();
+    if (r.is_zero()) continue;
+    const BigInt kinv = k.mod_inverse(N());
+    const BigInt s = (kinv * ((e + (r * private_scalar) % N()) % N())) % N();
+    if (s.is_zero()) continue;
+    return {r, s};
+  }
+}
+
+bool ecdsa_verify(const Point& public_point, BytesView message,
+                  const Signature& sig) {
+  if (sig.r.is_zero() || sig.s.is_zero() || sig.r >= N() || sig.s >= N()) {
+    return false;
+  }
+  if (public_point.infinity || !on_curve(public_point)) return false;
+  const BigInt e = hash_to_scalar(message);
+  const BigInt w = sig.s.mod_inverse(N());
+  const BigInt u1 = (e * w) % N();
+  const BigInt u2 = (sig.r * w) % N();
+  const Point pt = add(multiply(generator(), u1), multiply(public_point, u2));
+  if (pt.infinity) return false;
+  return (pt.x % N()) == sig.r;
+}
+
+}  // namespace hipcloud::crypto::p256

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+
+#include "crypto/bigint.hpp"
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::crypto {
+
+class HmacDrbg;
+
+/// NIST P-256 (secp256r1) elliptic-curve operations: ECDH and ECDSA with
+/// SHA-256. This backs the elliptic-curve Host Identities the paper cites
+/// (Ponomarev et al., "ECC for HIP") and the A2 ablation bench.
+namespace p256 {
+
+/// Affine point; `infinity` marks the identity element.
+struct Point {
+  BigInt x;
+  BigInt y;
+  bool infinity = true;
+
+  bool operator==(const Point& other) const;
+};
+
+/// Curve order n and base point G accessors (published NIST constants).
+const BigInt& order();
+const Point& generator();
+const BigInt& field_prime();
+
+/// True when `pt` is the identity or satisfies the curve equation.
+bool on_curve(const Point& pt);
+
+/// Scalar multiplication k*P (Jacobian double-and-add internally).
+Point multiply(const Point& p, const BigInt& k);
+
+Point add(const Point& a, const Point& b);
+
+/// Uncompressed SEC1 encoding: 0x04 | x(32) | y(32); identity -> {0x00}.
+Bytes encode_point(const Point& pt);
+/// Throws std::runtime_error on malformed or off-curve input.
+Point decode_point(BytesView data);
+
+struct KeyPair {
+  BigInt private_scalar;
+  Point public_point;
+};
+
+/// Random keypair with private scalar in [1, n).
+KeyPair generate(HmacDrbg& drbg);
+
+/// ECDH: x-coordinate of d * peer, 32 bytes. Rejects identity results.
+Bytes ecdh(const BigInt& private_scalar, const Point& peer_public);
+
+struct Signature {
+  BigInt r;
+  BigInt s;
+
+  Bytes encode() const;  // r(32) | s(32)
+  static Signature decode(BytesView data);
+};
+
+/// ECDSA sign over SHA-256(message); nonce from the DRBG.
+Signature ecdsa_sign(const BigInt& private_scalar, HmacDrbg& drbg,
+                     BytesView message);
+
+bool ecdsa_verify(const Point& public_point, BytesView message,
+                  const Signature& sig);
+
+}  // namespace p256
+}  // namespace hipcloud::crypto

@@ -1,0 +1,51 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace hipcloud::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = Sha256::digest(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock, 0x36);
+  Bytes opad(kBlock, 0x5c);
+  xor_inplace(ipad, k);
+  xor_inplace(opad, k);
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto d = outer.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    t = hmac_sha256(prk, input);
+    const std::size_t take =
+        std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return out;
+}
+
+}  // namespace hipcloud::crypto

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::crypto {
+
+/// HMAC-SHA256 (RFC 2104). Keys of any length; long keys are hashed first.
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-style expand used for HIP KEYMAT (RFC 5201 §6.5 uses a similar
+/// iterated-hash construction) and TLS key blocks: repeated
+/// HMAC(key, T(n-1) | info | n) until `length` bytes are produced.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// HKDF extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+}  // namespace hipcloud::crypto

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::crypto {
+
+/// Incremental SHA-256 (FIPS 180-4). Implemented from scratch; verified
+/// against the NIST test vectors in tests/crypto/sha256_test.cpp.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  /// Finalize and return the 32-byte digest. The object must be reset()
+  /// before reuse.
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience.
+  static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, kBlockSize> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// SHA-1 (FIPS 180-1) — needed because HIPv1 (RFC 5201) derives HITs and
+/// puzzle digests with SHA-1. One-shot only; not for new designs.
+Bytes sha1(BytesView data);
+
+}  // namespace hipcloud::crypto

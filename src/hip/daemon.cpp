@@ -1,0 +1,924 @@
+#include "hip/daemon.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::hip {
+
+using crypto::Bytes;
+using crypto::BytesView;
+using net::IpAddr;
+using net::IpProto;
+using net::Packet;
+
+namespace {
+
+constexpr std::size_t kMaxPendingPackets = 64;
+
+Bytes encode_locator(const IpAddr& addr) {
+  Bytes out;
+  if (addr.is_v4()) {
+    out.push_back(4);
+    crypto::append_be(out, addr.v4().value(), 4);
+  } else {
+    out.push_back(6);
+    out.insert(out.end(), addr.v6().bytes().begin(), addr.v6().bytes().end());
+  }
+  return out;
+}
+
+std::optional<IpAddr> decode_locator(BytesView data) {
+  if (data.empty()) return std::nullopt;
+  if (data[0] == 4 && data.size() == 5) {
+    return IpAddr(net::Ipv4Addr(
+        static_cast<std::uint32_t>(crypto::read_be(data, 1, 4))));
+  }
+  if (data[0] == 6 && data.size() == 17) {
+    return IpAddr(net::Ipv6Addr::from_bytes(data.subspan(1)));
+  }
+  return std::nullopt;
+}
+
+Bytes encode_puzzle(const Puzzle& puzzle) {
+  Bytes out{puzzle.difficulty_k};
+  crypto::append_be(out, puzzle.random_i, 8);
+  return out;
+}
+
+std::optional<Puzzle> decode_puzzle(BytesView data) {
+  if (data.size() != 9) return std::nullopt;
+  Puzzle puzzle;
+  puzzle.difficulty_k = data[0];
+  puzzle.random_i = crypto::read_be(data, 1, 8);
+  return puzzle;
+}
+
+}  // namespace
+
+/// The L3 shim registered on the node: intercepts HIT/LSI destinations.
+class HipDaemon::Shim : public net::L3Shim {
+ public:
+  explicit Shim(HipDaemon* daemon) : daemon_(daemon) {}
+
+  bool outbound(Packet& pkt) override { return daemon_->shim_outbound(pkt); }
+  bool inbound(Packet&) override { return false; }
+
+  std::size_t path_overhead(const IpAddr& dst) const override {
+    if (!dst.is_hit() && !dst.is_lsi()) return 0;
+    std::size_t overhead = esp_overhead(daemon_->config_.esp_suite);
+    // Resolve the peer to inspect the locator the tunnel actually uses.
+    std::optional<net::Ipv6Addr> peer;
+    if (dst.is_hit()) {
+      peer = dst.v6();
+    } else {
+      peer = daemon_->peer_for_lsi(dst.v4());
+    }
+    if (peer) {
+      if (const auto* assoc =
+              const_cast<HipDaemon*>(daemon_)->find_assoc(*peer)) {
+        // LSI destinations make TCP assume a 20-byte IPv4 header, but the
+        // ESP packet travels under the locator's family.
+        if (dst.is_lsi() && assoc->peer_locator.is_v6()) overhead += 20;
+        // Teredo locators add the outer IPv4+UDP+tag encapsulation.
+        if (assoc->peer_locator.is_teredo()) overhead += 29;
+      }
+    }
+    return overhead;
+  }
+
+ private:
+  HipDaemon* daemon_;
+};
+
+HipDaemon::HipDaemon(net::Node* node, HostIdentity identity, HipConfig config)
+    : node_(node), identity_(std::move(identity)), config_(config),
+      drbg_(crypto::HmacDrbg(
+          crypto::concat({crypto::to_bytes(node->name()),
+                          crypto::BytesView(identity_.hit().bytes().data(),
+                                            16)}))),
+      dh_(config.dh_group, drbg_) {
+  puzzle_i_ = crypto::read_be(drbg_.generate(8), 0, 8);
+
+  // Own the HIT and local LSI as virtual addresses.
+  const std::size_t iface = node_->add_virtual_interface();
+  node_->add_address(iface, identity_.hit());
+  node_->add_address(iface, config_.local_lsi);
+
+  node_->add_shim(std::make_shared<Shim>(this));
+  node_->register_protocol(IpProto::kEsp, [this](Packet&& pkt) {
+    on_esp_packet(std::move(pkt));
+  });
+  node_->register_protocol(IpProto::kHip, [this](Packet&& pkt) {
+    on_hip_packet(std::move(pkt));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Peer book-keeping
+
+net::Ipv4Addr HipDaemon::add_peer(const net::Ipv6Addr& peer_hit,
+                                  const IpAddr& locator) {
+  Association& assoc = assoc_for(peer_hit);
+  assoc.peer_locator = locator;
+  return *lsi_for_peer(peer_hit);
+}
+
+HipDaemon::Association& HipDaemon::assoc_for(const net::Ipv6Addr& peer_hit) {
+  auto it = assocs_.find(peer_hit);
+  if (it == assocs_.end()) {
+    it = assocs_.emplace(peer_hit, Association{}).first;
+    it->second.peer_hit = peer_hit;
+    // Assign an LSI for IPv4 applications.
+    if (!hit_to_lsi_.count(peer_hit)) {
+      const net::Ipv4Addr lsi(1, 0, 0, next_lsi_octet_++);
+      hit_to_lsi_[peer_hit] = lsi;
+      lsi_to_hit_[lsi] = peer_hit;
+    }
+  }
+  return it->second;
+}
+
+HipDaemon::Association* HipDaemon::find_assoc(const net::Ipv6Addr& peer_hit) {
+  const auto it = assocs_.find(peer_hit);
+  return it == assocs_.end() ? nullptr : &it->second;
+}
+
+std::optional<net::Ipv6Addr> HipDaemon::peer_for_lsi(net::Ipv4Addr lsi) const {
+  const auto it = lsi_to_hit_.find(lsi);
+  if (it == lsi_to_hit_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<net::Ipv4Addr> HipDaemon::lsi_for_peer(
+    const net::Ipv6Addr& hit) const {
+  const auto it = hit_to_lsi_.find(hit);
+  if (it == hit_to_lsi_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool HipDaemon::is_authorized(const net::Ipv6Addr& hit) const {
+  if (denied_.count(hit)) return false;
+  if (allowed_.count(hit)) return true;
+  return default_accept_;
+}
+
+AssocState HipDaemon::state(const net::Ipv6Addr& peer_hit) const {
+  const auto it = assocs_.find(peer_hit);
+  return it == assocs_.end() ? AssocState::kUnassociated : it->second.state;
+}
+
+// ---------------------------------------------------------------------------
+// Cost helpers
+
+void HipDaemon::charge(double cycles, std::function<void()> then) {
+  node_->cpu().run(cycles, std::move(then));
+}
+
+double HipDaemon::sign_cycles() const {
+  if (identity_.algorithm() == HiAlgorithm::kEcdsa) {
+    return config_.costs.ecdsa_p256_sign_cycles;
+  }
+  return config_.costs.rsa_sign_cycles(identity_.rsa_bits());
+}
+
+double HipDaemon::verify_cycles(BytesView peer_hi) const {
+  if (!peer_hi.empty() &&
+      static_cast<HiAlgorithm>(peer_hi[0]) == HiAlgorithm::kEcdsa) {
+    return config_.costs.ecdsa_p256_verify_cycles;
+  }
+  // Approximate modulus size from the encoding length.
+  return config_.costs.rsa_verify_cycles(peer_hi.size() > 160 ? 2048 : 1024);
+}
+
+double HipDaemon::dh_cycles() const { return config_.costs.dh_modp1536_cycles; }
+
+double HipDaemon::esp_cycles(std::size_t bytes) const {
+  // NULL suite authenticates only — no AES pass.
+  double per_byte = config_.costs.sha256_cycles_per_byte;
+  if (config_.esp_suite != EspSuite::kNullSha256) {
+    per_byte += config_.costs.aes_cycles_per_byte;
+  }
+  return config_.costs.packet_overhead_cycles +
+         static_cast<double>(bytes) * per_byte;
+}
+
+std::uint32_t HipDaemon::fresh_spi() {
+  for (;;) {
+    const auto spi =
+        static_cast<std::uint32_t>(crypto::read_be(drbg_.generate(4), 0, 4));
+    if (spi != 0 && !spi_to_peer_.count(spi)) return spi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Datapath
+
+bool HipDaemon::shim_outbound(Packet& pkt) {
+  if (!pkt.dst.is_hit() && !pkt.dst.is_lsi()) return false;
+  if (node_->owns_address(pkt.dst)) return false;  // loopback to self
+
+  net::Ipv6Addr peer_hit;
+  if (pkt.dst.is_hit()) {
+    peer_hit = pkt.dst.v6();
+  } else {
+    const auto mapped = peer_for_lsi(pkt.dst.v4());
+    if (!mapped) {
+      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
+                      "hip", node_->name() + ": no peer for LSI " +
+                                 pkt.dst.to_string());
+      return true;  // consumed: unroutable LSI
+    }
+    peer_hit = *mapped;
+  }
+
+  Association& assoc = assoc_for(peer_hit);
+  if (assoc.state == AssocState::kEstablished) {
+    esp_send(assoc, std::move(pkt));
+    return true;
+  }
+  if (assoc.pending.size() < kMaxPendingPackets) {
+    assoc.pending.push_back(std::move(pkt));
+  }
+  if (assoc.state == AssocState::kUnassociated ||
+      assoc.state == AssocState::kFailed) {
+    initiate(peer_hit);
+  }
+  return true;
+}
+
+void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
+  const std::uint8_t addr_mode =
+      pkt.dst.is_lsi() ? EspSa::kModeLsi : EspSa::kModeHit;
+  const double cycles =
+      esp_cycles(pkt.payload.size()) +
+      (addr_mode == EspSa::kModeLsi ? config_.costs.lsi_translation_cycles
+                                    : config_.costs.hit_processing_cycles);
+  // Capture what we need; the association object may move (std::map is
+  // stable, but the assoc may be erased) — re-find by HIT after the
+  // CPU delay.
+  const net::Ipv6Addr peer_hit = assoc.peer_hit;
+  charge(cycles, [this, peer_hit, addr_mode, p = std::move(pkt)]() mutable {
+    Association* assoc = find_assoc(peer_hit);
+    if (assoc == nullptr || assoc->state != AssocState::kEstablished) return;
+    Packet out;
+    out.dst = assoc->peer_locator;
+    const auto src = node_->select_source(out.dst);
+    if (!src) return;
+    out.src = *src;
+    out.proto = IpProto::kEsp;
+    out.payload = assoc->sa_out->protect(static_cast<std::uint8_t>(p.proto),
+                                         addr_mode, p.payload);
+    out.stamp_l3_overhead();
+    ++stats_.esp_packets_out;
+    stats_.esp_bytes_out += out.payload.size();
+    node_->send(std::move(out));
+  });
+}
+
+void HipDaemon::on_esp_packet(Packet&& pkt) {
+  if (pkt.payload.size() < 4) return;
+  const auto spi =
+      static_cast<std::uint32_t>(crypto::read_be(pkt.payload, 0, 4));
+  const auto it = spi_to_peer_.find(spi);
+  if (it == spi_to_peer_.end()) return;
+  const net::Ipv6Addr peer_hit = it->second;
+  const double cycles = esp_cycles(pkt.payload.size());
+  charge(cycles, [this, peer_hit, p = std::move(pkt)]() mutable {
+    Association* assoc = find_assoc(peer_hit);
+    if (assoc == nullptr || assoc->sa_in == nullptr) return;
+    auto inner = assoc->sa_in->unprotect(p.payload);
+    if (!inner) {
+      ++stats_.auth_failures;
+      return;
+    }
+    ++stats_.esp_packets_in;
+    stats_.esp_bytes_in += p.payload.size();
+
+    Packet out;
+    out.proto = static_cast<IpProto>(inner->inner_proto);
+    if (inner->addr_mode == EspSa::kModeLsi) {
+      // Charge the extra HIT<->LSI rewrite the paper blames for HIP's
+      // deficit vs SSL.
+      node_->cpu().charge(config_.costs.lsi_translation_cycles);
+      out.src = *lsi_for_peer(peer_hit);
+      out.dst = config_.local_lsi;
+    } else {
+      out.src = peer_hit;
+      out.dst = identity_.hit();
+    }
+    out.payload = std::move(inner->payload);
+    out.stamp_l3_overhead();
+    node_->deliver(std::move(out), 0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+
+void HipDaemon::send_control(const HipMessage& msg, const IpAddr& dst,
+                             std::optional<IpAddr> src) {
+  Packet pkt;
+  pkt.dst = dst;
+  if (src) {
+    pkt.src = *src;
+  } else {
+    const auto selected = node_->select_source(dst);
+    if (!selected) {
+      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
+                      "hip", node_->name() + ": no source for control to " +
+                                 dst.to_string());
+      return;
+    }
+    pkt.src = *selected;
+  }
+  pkt.proto = IpProto::kHip;
+  pkt.payload = msg.serialize();
+  pkt.stamp_l3_overhead();
+  sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(), "hip",
+                  node_->name() + " tx " + msg.describe());
+  node_->send(std::move(pkt));
+}
+
+void HipDaemon::initiate(const net::Ipv6Addr& peer_hit) {
+  Association& assoc = assoc_for(peer_hit);
+  if (assoc.state == AssocState::kI1Sent ||
+      assoc.state == AssocState::kI2Sent ||
+      assoc.state == AssocState::kEstablished) {
+    return;
+  }
+  if (assoc.peer_locator == IpAddr{}) {
+    sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
+                    "hip", node_->name() + ": no locator for " +
+                               peer_hit.to_string());
+    return;
+  }
+  assoc.state = AssocState::kI1Sent;
+  assoc.retries = 0;
+  assoc.bex_start = node_->network().loop().now();
+  ++stats_.bex_initiated;
+  send_i1(assoc);
+}
+
+void HipDaemon::send_i1(Association& assoc) {
+  HipMessage i1;
+  i1.type = MsgType::kI1;
+  i1.sender_hit = identity_.hit();
+  i1.receiver_hit = assoc.peer_hit;
+  send_control(i1, assoc.peer_locator);
+  arm_retry(assoc);
+}
+
+void HipDaemon::arm_retry(Association& assoc) {
+  cancel_retry(assoc);
+  const net::Ipv6Addr peer = assoc.peer_hit;
+  assoc.retry_timer = node_->network().loop().schedule(
+      config_.bex_retry, [this, peer] {
+        Association* a = find_assoc(peer);
+        if (a == nullptr) return;
+        a->retry_armed = false;
+        if (a->state != AssocState::kI1Sent &&
+            a->state != AssocState::kI2Sent) {
+          return;
+        }
+        if (++a->retries > config_.bex_max_retries) {
+          fail_association(*a);
+          return;
+        }
+        // Restart from I1; the responder is stateless until I2.
+        a->state = AssocState::kI1Sent;
+        send_i1(*a);
+      });
+  assoc.retry_armed = true;
+}
+
+void HipDaemon::cancel_retry(Association& assoc) {
+  if (assoc.retry_armed) {
+    node_->network().loop().cancel(assoc.retry_timer);
+    assoc.retry_armed = false;
+  }
+}
+
+void HipDaemon::fail_association(Association& assoc) {
+  assoc.state = AssocState::kFailed;
+  assoc.pending.clear();
+  cancel_retry(assoc);
+  ++stats_.bex_failed;
+  sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(), "hip",
+                  node_->name() + ": BEX with " + assoc.peer_hit.to_string() +
+                      " failed");
+}
+
+std::uint8_t HipDaemon::current_puzzle_difficulty() const {
+  std::uint8_t k = config_.puzzle_difficulty;
+  if (config_.adaptive_puzzle && !recent_r1_times_.empty()) {
+    const double rate = static_cast<double>(recent_r1_times_.size());
+    double extra = 0;
+    double threshold = config_.adaptive_threshold_rps;
+    while (rate > threshold && extra < 10) {
+      threshold *= 2;
+      ++extra;
+    }
+    k = static_cast<std::uint8_t>(std::min(30.0, k + extra));
+  }
+  return k;
+}
+
+void HipDaemon::note_r1_sent() {
+  const sim::Time now = node_->network().loop().now();
+  recent_r1_times_.push_back(now);
+  while (!recent_r1_times_.empty() &&
+         recent_r1_times_.front() < now - sim::kSecond) {
+    recent_r1_times_.pop_front();
+  }
+  ++stats_.r1_sent;
+}
+
+HipMessage HipDaemon::build_r1(const net::Ipv6Addr& initiator_hit) {
+  HipMessage r1;
+  r1.type = MsgType::kR1;
+  r1.sender_hit = identity_.hit();
+  r1.receiver_hit = initiator_hit;
+  Puzzle puzzle;
+  puzzle.difficulty_k = current_puzzle_difficulty();
+  puzzle.random_i = puzzle_i_;
+  r1.set_param(ParamType::kPuzzle, encode_puzzle(puzzle));
+  Bytes dh_param{static_cast<std::uint8_t>(config_.dh_group)};
+  dh_param.insert(dh_param.end(), dh_.public_value().begin(),
+                  dh_.public_value().end());
+  r1.set_param(ParamType::kDiffieHellman, std::move(dh_param));
+  r1.set_param(ParamType::kHipCipher,
+               Bytes{static_cast<std::uint8_t>(config_.esp_suite)});
+  r1.set_param(ParamType::kHostId, identity_.public_encoding());
+  r1.set_param(ParamType::kSignature, identity_.sign(r1.signed_view()));
+  return r1;
+}
+
+void HipDaemon::on_hip_packet(Packet&& pkt) {
+  HipMessage msg;
+  try {
+    msg = HipMessage::parse(pkt.payload);
+  } catch (const std::runtime_error&) {
+    return;
+  }
+  sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(), "hip",
+                  node_->name() + " rx " + msg.describe());
+
+  // Rendezvous relay: control message for someone we front.
+  if (msg.receiver_hit != identity_.hit()) {
+    if (rvs_server_ && msg.type == MsgType::kI1) {
+      const auto it = rvs_registrations_.find(msg.receiver_hit);
+      if (it != rvs_registrations_.end()) {
+        Packet relayed = pkt;
+        relayed.dst = it->second;
+        relayed.ttl = 64;
+        // The initiator's locator stays in pkt.src so the responder can
+        // answer directly (RFC 5204 relay semantics).
+        node_->send_raw(std::move(relayed));
+        return;
+      }
+    }
+    return;  // not for us, not relayable
+  }
+
+  switch (msg.type) {
+    case MsgType::kI1:
+      handle_i1(msg, pkt);
+      break;
+    case MsgType::kR1:
+      handle_r1(msg, pkt);
+      break;
+    case MsgType::kI2:
+      handle_i2(msg, pkt);
+      break;
+    case MsgType::kR2:
+      handle_r2(msg, pkt);
+      break;
+    case MsgType::kUpdate:
+      handle_update(msg, pkt);
+      break;
+    case MsgType::kClose:
+      handle_close(msg);
+      break;
+    case MsgType::kCloseAck:
+      handle_close_ack(msg);
+      break;
+    case MsgType::kRvsRegister:
+      handle_rvs_register(msg, pkt);
+      break;
+    default:
+      break;
+  }
+}
+
+void HipDaemon::handle_i1(const HipMessage& msg, const Packet& pkt) {
+  if (!is_authorized(msg.sender_hit)) {
+    ++stats_.acl_rejects;
+    return;
+  }
+  // Simultaneous BEX tie-break (RFC 5201 §4.4.2): the larger HIT stays
+  // initiator; the smaller aborts its own exchange and responds.
+  Association* existing = find_assoc(msg.sender_hit);
+  if (existing != nullptr && existing->state == AssocState::kI1Sent &&
+      identity_.hit() > msg.sender_hit) {
+    return;  // we out-rank them; our exchange proceeds
+  }
+  // Stateless response: R1 is precomputed in real HIP deployments, so we
+  // charge only light processing, not a signature (DoS resistance).
+  note_r1_sent();
+  const HipMessage r1 = build_r1(msg.sender_hit);
+  charge(config_.costs.packet_overhead_cycles,
+         [this, r1, src = pkt.src] { send_control(r1, src); });
+}
+
+void HipDaemon::handle_r1(const HipMessage& msg, const Packet& pkt) {
+  Association* assoc = find_assoc(msg.sender_hit);
+  if (assoc == nullptr || assoc->state != AssocState::kI1Sent) return;
+
+  const Bytes* peer_hi = msg.param(ParamType::kHostId);
+  const Bytes* dh_param = msg.param(ParamType::kDiffieHellman);
+  const Bytes* puzzle_param = msg.param(ParamType::kPuzzle);
+  const Bytes* signature = msg.param(ParamType::kSignature);
+  if (peer_hi == nullptr || dh_param == nullptr || puzzle_param == nullptr ||
+      signature == nullptr || dh_param->size() < 2) {
+    return;
+  }
+  // HIT must be the hash of the offered HI — the identity check that
+  // rules out impersonation.
+  if (HostIdentity::derive_hit(*peer_hi) != msg.sender_hit) {
+    ++stats_.auth_failures;
+    return;
+  }
+  if (!is_authorized(msg.sender_hit)) {
+    ++stats_.acl_rejects;
+    return;
+  }
+  const auto puzzle = decode_puzzle(*puzzle_param);
+  if (!puzzle) return;
+
+  // Update locator to wherever R1 actually came from (rendezvous case).
+  assoc->peer_locator = pkt.src;
+  assoc->peer_hi = *peer_hi;
+  cancel_retry(*assoc);
+
+  // Verify R1 signature, solve the puzzle, run DH — all charged.
+  const bool sig_ok =
+      HostIdentity::verify(*peer_hi, msg.signed_view(), *signature);
+  if (!sig_ok) {
+    ++stats_.auth_failures;
+    fail_association(*assoc);
+    return;
+  }
+  const Puzzle::Solution solution =
+      puzzle->solve(identity_.hit(), msg.sender_hit);
+  Bytes dh_secret;
+  try {
+    dh_secret = dh_.compute_shared(BytesView(*dh_param).subspan(1));
+  } catch (const std::runtime_error&) {
+    fail_association(*assoc);
+    return;
+  }
+  const double cycles =
+      verify_cycles(*peer_hi) +
+      static_cast<double>(solution.attempts) * config_.costs.puzzle_hash_cycles +
+      dh_cycles() + sign_cycles();
+
+  const net::Ipv6Addr peer_hit = msg.sender_hit;
+  const Bytes puzzle_bytes = *puzzle_param;
+  charge(cycles, [this, peer_hit, solution, dh_secret, puzzle_bytes] {
+    Association* assoc = find_assoc(peer_hit);
+    if (assoc == nullptr || assoc->state != AssocState::kI1Sent) return;
+    assoc->keymat = Keymat::derive(dh_secret, identity_.hit(), peer_hit);
+    assoc->spi_in = fresh_spi();
+    spi_to_peer_[assoc->spi_in] = peer_hit;
+
+    HipMessage i2;
+    i2.type = MsgType::kI2;
+    i2.sender_hit = identity_.hit();
+    i2.receiver_hit = peer_hit;
+    Bytes sol = puzzle_bytes;
+    crypto::append_be(sol, solution.j, 8);
+    i2.set_param(ParamType::kSolution, std::move(sol));
+    Bytes dh_param{static_cast<std::uint8_t>(config_.dh_group)};
+    dh_param.insert(dh_param.end(), dh_.public_value().begin(),
+                    dh_.public_value().end());
+    i2.set_param(ParamType::kDiffieHellman, std::move(dh_param));
+    i2.set_param(ParamType::kHostId, identity_.public_encoding());
+    Bytes esp_info;
+    crypto::append_be(esp_info, assoc->spi_in, 4);
+    esp_info.push_back(static_cast<std::uint8_t>(config_.esp_suite));
+    i2.set_param(ParamType::kEspInfo, std::move(esp_info));
+    i2.set_param(ParamType::kSignature, identity_.sign(i2.signed_view()));
+    i2.attach_hmac(assoc->keymat.hip_hmac_out);
+
+    assoc->state = AssocState::kI2Sent;
+    send_control(i2, assoc->peer_locator);
+    arm_retry(*assoc);
+  });
+}
+
+void HipDaemon::handle_i2(const HipMessage& msg, const Packet& pkt) {
+  if (!is_authorized(msg.sender_hit)) {
+    ++stats_.acl_rejects;
+    return;
+  }
+  const Bytes* peer_hi = msg.param(ParamType::kHostId);
+  const Bytes* dh_param = msg.param(ParamType::kDiffieHellman);
+  const Bytes* solution = msg.param(ParamType::kSolution);
+  const Bytes* signature = msg.param(ParamType::kSignature);
+  const Bytes* esp_info = msg.param(ParamType::kEspInfo);
+  if (peer_hi == nullptr || dh_param == nullptr || solution == nullptr ||
+      signature == nullptr || esp_info == nullptr || dh_param->size() < 2 ||
+      solution->size() != 17 || esp_info->size() != 5) {
+    return;
+  }
+  if (HostIdentity::derive_hit(*peer_hi) != msg.sender_hit) {
+    ++stats_.auth_failures;
+    return;
+  }
+  // Puzzle check: one hash, cheap — done before the expensive work.
+  const auto puzzle = decode_puzzle(BytesView(*solution).subspan(0, 9));
+  const std::uint64_t j = crypto::read_be(*solution, 9, 8);
+  if (!puzzle || puzzle->random_i != puzzle_i_ ||
+      !puzzle->verify(msg.sender_hit, identity_.hit(), j)) {
+    return;  // bogus solution: drop silently, costing us almost nothing
+  }
+
+  Bytes dh_secret;
+  try {
+    dh_secret = dh_.compute_shared(BytesView(*dh_param).subspan(1));
+  } catch (const std::runtime_error&) {
+    return;
+  }
+  const Keymat keymat =
+      Keymat::derive(dh_secret, identity_.hit(), msg.sender_hit);
+  if (!msg.check_hmac(keymat.hip_hmac_in)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  if (!HostIdentity::verify(*peer_hi, msg.signed_view(), *signature)) {
+    ++stats_.auth_failures;
+    return;
+  }
+
+  const double cycles = dh_cycles() + verify_cycles(*peer_hi) + sign_cycles();
+  const net::Ipv6Addr peer_hit = msg.sender_hit;
+  const auto peer_spi =
+      static_cast<std::uint32_t>(crypto::read_be(*esp_info, 0, 4));
+  const auto suite = static_cast<EspSuite>((*esp_info)[4]);
+  const Bytes hi_copy = *peer_hi;
+  const IpAddr initiator_locator = pkt.src;
+  charge(cycles, [this, peer_hit, peer_spi, suite, keymat, hi_copy,
+                  initiator_locator] {
+    Association& assoc = assoc_for(peer_hit);
+    if (assoc.state == AssocState::kEstablished) {
+      // Duplicate I2 (e.g. our R2 was lost): re-send R2 idempotently.
+    } else {
+      assoc.peer_hi = hi_copy;
+      assoc.peer_locator = initiator_locator;
+      assoc.keymat = keymat;
+      assoc.spi_out = peer_spi;
+      assoc.spi_in = fresh_spi();
+      spi_to_peer_[assoc.spi_in] = peer_hit;
+      assoc.sa_out = std::make_unique<EspSa>(peer_spi, suite,
+                                             keymat.esp_enc_out,
+                                             keymat.esp_auth_out);
+      assoc.sa_in = std::make_unique<EspSa>(assoc.spi_in, suite,
+                                            keymat.esp_enc_in,
+                                            keymat.esp_auth_in);
+    }
+    HipMessage r2;
+    r2.type = MsgType::kR2;
+    r2.sender_hit = identity_.hit();
+    r2.receiver_hit = peer_hit;
+    Bytes esp_info_out;
+    crypto::append_be(esp_info_out, assoc.spi_in, 4);
+    esp_info_out.push_back(static_cast<std::uint8_t>(assoc.sa_in->suite()));
+    r2.set_param(ParamType::kEspInfo, std::move(esp_info_out));
+    r2.set_param(ParamType::kSignature, identity_.sign(r2.signed_view()));
+    r2.attach_hmac(assoc.keymat.hip_hmac_out);
+    send_control(r2, assoc.peer_locator);
+
+    if (assoc.state != AssocState::kEstablished) {
+      establish(assoc, 0);  // responder-side latency tracked by initiator
+    }
+  });
+}
+
+void HipDaemon::handle_r2(const HipMessage& msg, const Packet& pkt) {
+  Association* assoc = find_assoc(msg.sender_hit);
+  if (assoc == nullptr || assoc->state != AssocState::kI2Sent) return;
+  const Bytes* esp_info = msg.param(ParamType::kEspInfo);
+  const Bytes* signature = msg.param(ParamType::kSignature);
+  if (esp_info == nullptr || signature == nullptr || esp_info->size() != 5) {
+    return;
+  }
+  if (!msg.check_hmac(assoc->keymat.hip_hmac_in)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  if (!HostIdentity::verify(assoc->peer_hi, msg.signed_view(), *signature)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  cancel_retry(*assoc);
+  assoc->peer_locator = pkt.src;
+
+  const net::Ipv6Addr peer_hit = msg.sender_hit;
+  const auto peer_spi =
+      static_cast<std::uint32_t>(crypto::read_be(*esp_info, 0, 4));
+  const auto suite = static_cast<EspSuite>((*esp_info)[4]);
+  charge(verify_cycles(assoc->peer_hi), [this, peer_hit, peer_spi, suite] {
+    Association* assoc = find_assoc(peer_hit);
+    if (assoc == nullptr || assoc->state != AssocState::kI2Sent) return;
+    assoc->spi_out = peer_spi;
+    assoc->sa_out = std::make_unique<EspSa>(
+        peer_spi, suite, assoc->keymat.esp_enc_out, assoc->keymat.esp_auth_out);
+    assoc->sa_in = std::make_unique<EspSa>(
+        assoc->spi_in, suite, assoc->keymat.esp_enc_in,
+        assoc->keymat.esp_auth_in);
+    establish(*assoc,
+              node_->network().loop().now() - assoc->bex_start);
+  });
+}
+
+void HipDaemon::establish(Association& assoc, sim::Duration latency) {
+  assoc.state = AssocState::kEstablished;
+  assoc.retries = 0;
+  ++stats_.bex_completed;
+  sim::Log::write(sim::LogLevel::kInfo, node_->network().loop().now(), "hip",
+                  node_->name() + ": association with " +
+                      assoc.peer_hit.to_string() + " established");
+  if (on_established_) on_established_(assoc.peer_hit, latency);
+  if (pending_rvs_targets_.erase(assoc.peer_hit) > 0) {
+    register_with_rvs(assoc.peer_hit);
+  }
+  // Flush traffic that was waiting on the BEX.
+  std::deque<Packet> pending;
+  pending.swap(assoc.pending);
+  for (auto& pkt : pending) esp_send(assoc, std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+// Mobility
+
+void HipDaemon::move_to(const IpAddr& new_locator) {
+  if (on_locator_change_) on_locator_change_(new_locator);
+  for (auto& [peer_hit, assoc] : assocs_) {
+    if (assoc.state != AssocState::kEstablished) continue;
+    assoc.update_seq_out++;
+    assoc.echo_nonce = crypto::read_be(drbg_.generate(8), 0, 8);
+    assoc.locator_in_flight = new_locator;
+
+    HipMessage update;
+    update.type = MsgType::kUpdate;
+    update.sender_hit = identity_.hit();
+    update.receiver_hit = peer_hit;
+    update.set_param(ParamType::kLocator, encode_locator(new_locator));
+    update.set_u64(ParamType::kSeq, assoc.update_seq_out);
+    update.set_u64(ParamType::kEchoRequestSigned, assoc.echo_nonce);
+    update.set_param(ParamType::kSignature,
+                     identity_.sign(update.signed_view()));
+    update.attach_hmac(assoc.keymat.hip_hmac_out);
+    // Sent from the new locator: the peer learns it from both the
+    // LOCATOR parameter and the packet source.
+    send_control(update, assoc.peer_locator, new_locator);
+  }
+}
+
+void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
+  Association* assoc = find_assoc(msg.sender_hit);
+  if (assoc == nullptr || assoc->state != AssocState::kEstablished) return;
+  if (!msg.check_hmac(assoc->keymat.hip_hmac_in)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  const Bytes* signature = msg.param(ParamType::kSignature);
+  if (signature == nullptr ||
+      !HostIdentity::verify(assoc->peer_hi, msg.signed_view(), *signature)) {
+    ++stats_.auth_failures;
+    return;
+  }
+
+  const net::Ipv6Addr peer_hit = msg.sender_hit;
+
+  // Echo response to our own earlier UPDATE?
+  if (const auto echoed = msg.u64(ParamType::kEchoResponseSigned)) {
+    if (*echoed == assoc->echo_nonce && assoc->locator_in_flight) {
+      assoc->locator_in_flight.reset();
+      ++stats_.updates_processed;
+    }
+    return;
+  }
+
+  // Peer announces a new locator: verify, adopt, echo the nonce back
+  // (the replay protection the paper describes for HIP mobility).
+  const Bytes* locator_param = msg.param(ParamType::kLocator);
+  const auto seq = msg.u64(ParamType::kSeq);
+  const auto nonce = msg.u64(ParamType::kEchoRequestSigned);
+  if (locator_param == nullptr || !seq || !nonce) return;
+  if (*seq <= assoc->update_seq_in_seen) return;  // stale or replayed
+  const auto new_locator = decode_locator(*locator_param);
+  if (!new_locator) return;
+
+  assoc->update_seq_in_seen = *seq;
+  assoc->peer_locator = *new_locator;
+  ++stats_.updates_processed;
+
+  charge(sign_cycles(), [this, peer_hit, nonce = *nonce, seq = *seq] {
+    Association* assoc = find_assoc(peer_hit);
+    if (assoc == nullptr) return;
+    HipMessage ack;
+    ack.type = MsgType::kUpdate;
+    ack.sender_hit = identity_.hit();
+    ack.receiver_hit = peer_hit;
+    ack.set_u64(ParamType::kAck, seq);
+    ack.set_u64(ParamType::kEchoResponseSigned, nonce);
+    ack.set_param(ParamType::kSignature, identity_.sign(ack.signed_view()));
+    ack.attach_hmac(assoc->keymat.hip_hmac_out);
+    send_control(ack, assoc->peer_locator);
+  });
+  (void)pkt;
+}
+
+// ---------------------------------------------------------------------------
+// Teardown
+
+void HipDaemon::close_association(const net::Ipv6Addr& peer_hit) {
+  Association* assoc = find_assoc(peer_hit);
+  if (assoc == nullptr || assoc->state != AssocState::kEstablished) return;
+  assoc->state = AssocState::kClosing;
+  HipMessage close;
+  close.type = MsgType::kClose;
+  close.sender_hit = identity_.hit();
+  close.receiver_hit = peer_hit;
+  close.set_param(ParamType::kSignature, identity_.sign(close.signed_view()));
+  close.attach_hmac(assoc->keymat.hip_hmac_out);
+  send_control(close, assoc->peer_locator);
+}
+
+void HipDaemon::handle_close(const HipMessage& msg) {
+  Association* assoc = find_assoc(msg.sender_hit);
+  if (assoc == nullptr || assoc->sa_in == nullptr) return;
+  if (!msg.check_hmac(assoc->keymat.hip_hmac_in)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  HipMessage ack;
+  ack.type = MsgType::kCloseAck;
+  ack.sender_hit = identity_.hit();
+  ack.receiver_hit = msg.sender_hit;
+  ack.set_param(ParamType::kSignature, identity_.sign(ack.signed_view()));
+  ack.attach_hmac(assoc->keymat.hip_hmac_out);
+  send_control(ack, assoc->peer_locator);
+
+  spi_to_peer_.erase(assoc->spi_in);
+  assocs_.erase(msg.sender_hit);
+}
+
+void HipDaemon::handle_close_ack(const HipMessage& msg) {
+  Association* assoc = find_assoc(msg.sender_hit);
+  if (assoc == nullptr || assoc->state != AssocState::kClosing) return;
+  if (!msg.check_hmac(assoc->keymat.hip_hmac_in)) return;
+  spi_to_peer_.erase(assoc->spi_in);
+  assocs_.erase(msg.sender_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous
+
+void HipDaemon::register_with_rvs(const net::Ipv6Addr& rvs_hit) {
+  Association* assoc = find_assoc(rvs_hit);
+  if (assoc == nullptr || assoc->state != AssocState::kEstablished) {
+    // Establish first; establish() completes the registration.
+    pending_rvs_targets_.insert(rvs_hit);
+    initiate(rvs_hit);
+    return;
+  }
+  HipMessage reg;
+  reg.type = MsgType::kRvsRegister;
+  reg.sender_hit = identity_.hit();
+  reg.receiver_hit = rvs_hit;
+  reg.set_param(ParamType::kSignature, identity_.sign(reg.signed_view()));
+  reg.attach_hmac(assoc->keymat.hip_hmac_out);
+  send_control(reg, assoc->peer_locator);
+}
+
+void HipDaemon::handle_rvs_register(const HipMessage& msg, const Packet& pkt) {
+  if (!rvs_server_) return;
+  Association* assoc = find_assoc(msg.sender_hit);
+  if (assoc == nullptr || assoc->state != AssocState::kEstablished) return;
+  if (!msg.check_hmac(assoc->keymat.hip_hmac_in)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  rvs_registrations_[msg.sender_hit] = pkt.src;
+  HipMessage ack;
+  ack.type = MsgType::kRvsRegisterAck;
+  ack.sender_hit = identity_.hit();
+  ack.receiver_hit = msg.sender_hit;
+  ack.attach_hmac(assoc->keymat.hip_hmac_out);
+  send_control(ack, assoc->peer_locator);
+}
+
+}  // namespace hipcloud::hip

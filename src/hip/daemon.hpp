@@ -1,0 +1,222 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "crypto/cost_model.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/drbg.hpp"
+#include "hip/esp.hpp"
+#include "hip/identity.hpp"
+#include "hip/keymat.hpp"
+#include "hip/puzzle.hpp"
+#include "hip/wire.hpp"
+#include "net/node.hpp"
+
+namespace hipcloud::hip {
+
+struct HipConfig {
+  EspSuite esp_suite = EspSuite::kAes128CtrSha256;
+  crypto::DhGroup dh_group = crypto::DhGroup::kModp1536;
+  /// Responder puzzle difficulty K (bits); 0 disables the puzzle.
+  std::uint8_t puzzle_difficulty = 10;
+  /// Raise K under I1 load (HIP's DoS defence, paper §IV-B): adds
+  /// log2(r1_rate / adaptive_threshold_rps) bits, capped at +10.
+  bool adaptive_puzzle = false;
+  double adaptive_threshold_rps = 50.0;
+  /// BEX retransmission (I1/I2 timer).
+  sim::Duration bex_retry = sim::from_millis(500);
+  int bex_max_retries = 5;
+  /// Virtual-time costs charged to the node's CPU for crypto work.
+  crypto::CostModel costs;
+  /// Our own LSI (HIPL convention assigns 1.0.0.1 to self).
+  net::Ipv4Addr local_lsi = net::Ipv4Addr(1, 0, 0, 1);
+};
+
+/// Association state (RFC 5201 §4.4, abbreviated).
+enum class AssocState {
+  kUnassociated,
+  kI1Sent,
+  kI2Sent,
+  kEstablished,
+  kClosing,
+  kFailed,
+};
+
+/// The HIP daemon: one per host. Implements the layer-3.5 shim that the
+/// paper deploys inside VMs — intercepting traffic addressed to HITs and
+/// LSIs, authenticating peers with the Base Exchange and protecting data
+/// in BEET-mode ESP tunnels. Also provides UPDATE-based mobility,
+/// rendezvous relaying, and HIT-based access control (hosts.allow/deny).
+class HipDaemon {
+ public:
+  HipDaemon(net::Node* node, HostIdentity identity, HipConfig config = {});
+
+  // --- identity & addressing ---------------------------------------------
+  const HostIdentity& identity() const { return identity_; }
+  const net::Ipv6Addr& hit() const { return identity_.hit(); }
+  net::Ipv4Addr local_lsi() const { return config_.local_lsi; }
+  net::Node* node() { return node_; }
+
+  /// Teach the daemon a peer's current locator (the "hip hosts file"; in
+  /// deployment this comes from DNS HIP records). Also assigns an LSI.
+  net::Ipv4Addr add_peer(const net::Ipv6Addr& peer_hit,
+                         const net::IpAddr& locator);
+  std::optional<net::Ipv6Addr> peer_for_lsi(net::Ipv4Addr lsi) const;
+  std::optional<net::Ipv4Addr> lsi_for_peer(const net::Ipv6Addr& hit) const;
+
+  // --- access control ------------------------------------------------------
+  /// hosts.allow analogue: explicitly permit a HIT.
+  void allow(const net::Ipv6Addr& hit) { allowed_.insert(hit); }
+  /// hosts.deny analogue: explicitly refuse a HIT.
+  void deny(const net::Ipv6Addr& hit) { denied_.insert(hit); }
+  /// Policy for HITs in neither list (default: accept).
+  void set_default_accept(bool accept) { default_accept_ = accept; }
+  bool is_authorized(const net::Ipv6Addr& hit) const;
+
+  // --- association management ---------------------------------------------
+  /// Force a Base Exchange now (normally triggered lazily by traffic).
+  void initiate(const net::Ipv6Addr& peer_hit);
+  AssocState state(const net::Ipv6Addr& peer_hit) const;
+  /// Tear down an association with CLOSE / CLOSE_ACK.
+  void close_association(const net::Ipv6Addr& peer_hit);
+
+  /// Fires when an association reaches ESTABLISHED (test/metric hook).
+  using EstablishedFn =
+      std::function<void(const net::Ipv6Addr& peer_hit, sim::Duration bex_latency)>;
+  void on_established(EstablishedFn fn) { on_established_ = std::move(fn); }
+
+  /// Fires when move_to() announces a new locator — the hook the paper's
+  /// future-work dynamic-DNS support needs (update the host's A/HIP
+  /// records so re-contact after simultaneous movement works, §VII).
+  using LocatorChangeFn = std::function<void(const net::IpAddr& new_locator)>;
+  void on_locator_change(LocatorChangeFn fn) {
+    on_locator_change_ = std::move(fn);
+  }
+
+  // --- mobility (RFC 5206) --------------------------------------------------
+  /// Announce a new locator to every established peer and switch our
+  /// outbound SAs over once the peer echoes the nonce back.
+  void move_to(const net::IpAddr& new_locator);
+
+  // --- rendezvous (RFC 5204) -----------------------------------------------
+  void enable_rvs_server() { rvs_server_ = true; }
+  /// Register with a rendezvous server (association must be established
+  /// or establishable; registration rides on a signed RVS_REGISTER).
+  void register_with_rvs(const net::Ipv6Addr& rvs_hit);
+
+  // --- observability ---------------------------------------------------------
+  struct Stats {
+    std::uint64_t bex_initiated = 0;
+    std::uint64_t bex_completed = 0;
+    std::uint64_t bex_failed = 0;
+    std::uint64_t esp_packets_out = 0;
+    std::uint64_t esp_packets_in = 0;
+    std::uint64_t esp_bytes_out = 0;
+    std::uint64_t esp_bytes_in = 0;
+    std::uint64_t acl_rejects = 0;
+    std::uint64_t auth_failures = 0;
+    std::uint64_t updates_processed = 0;
+    std::uint64_t r1_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint8_t current_puzzle_difficulty() const;
+  const HipConfig& config() const { return config_; }
+
+ private:
+  class Shim;
+  friend class Shim;
+
+  struct Association {
+    net::Ipv6Addr peer_hit;
+    net::IpAddr peer_locator;
+    crypto::Bytes peer_hi;
+    AssocState state = AssocState::kUnassociated;
+    Keymat keymat;
+    std::unique_ptr<EspSa> sa_out;
+    std::unique_ptr<EspSa> sa_in;
+    std::uint32_t spi_out = 0;  // peer's inbound SPI — we send with it
+    std::uint32_t spi_in = 0;   // our inbound SPI
+    std::deque<net::Packet> pending;
+    int retries = 0;
+    sim::EventHandle retry_timer;
+    bool retry_armed = false;
+    sim::Time bex_start = 0;
+    // Mobility handshake state (separate counters per direction so both
+    // ends can move independently).
+    std::uint64_t update_seq_out = 0;
+    std::uint64_t update_seq_in_seen = 0;
+    std::uint64_t echo_nonce = 0;
+    std::optional<net::IpAddr> locator_in_flight;
+  };
+
+  // Shim/datapath.
+  bool shim_outbound(net::Packet& pkt);
+  void esp_send(Association& assoc, net::Packet&& pkt);
+  void on_esp_packet(net::Packet&& pkt);
+  void on_hip_packet(net::Packet&& pkt);
+
+  // BEX.
+  void send_i1(Association& assoc);
+  void handle_i1(const HipMessage& msg, const net::Packet& pkt);
+  void handle_r1(const HipMessage& msg, const net::Packet& pkt);
+  void handle_i2(const HipMessage& msg, const net::Packet& pkt);
+  void handle_r2(const HipMessage& msg, const net::Packet& pkt);
+  void establish(Association& assoc, sim::Duration latency);
+  void fail_association(Association& assoc);
+  void arm_retry(Association& assoc);
+  void cancel_retry(Association& assoc);
+
+  // Mobility / teardown / rendezvous.
+  void handle_update(const HipMessage& msg, const net::Packet& pkt);
+  void handle_close(const HipMessage& msg);
+  void handle_close_ack(const HipMessage& msg);
+  void handle_rvs_register(const HipMessage& msg, const net::Packet& pkt);
+
+  // Helpers.
+  Association& assoc_for(const net::Ipv6Addr& peer_hit);
+  Association* find_assoc(const net::Ipv6Addr& peer_hit);
+  void send_control(const HipMessage& msg, const net::IpAddr& dst,
+                    std::optional<net::IpAddr> src = std::nullopt);
+  void charge(double cycles, std::function<void()> then);
+  std::uint32_t fresh_spi();
+  double sign_cycles() const;
+  double verify_cycles(crypto::BytesView peer_hi) const;
+  double dh_cycles() const;
+  double esp_cycles(std::size_t bytes) const;
+  void note_r1_sent();
+  HipMessage build_r1(const net::Ipv6Addr& initiator_hit);
+
+  net::Node* node_;
+  HostIdentity identity_;
+  HipConfig config_;
+  crypto::HmacDrbg drbg_;
+  crypto::DhKeyPair dh_;
+
+  std::map<net::Ipv6Addr, Association> assocs_;
+  std::map<std::uint32_t, net::Ipv6Addr> spi_to_peer_;
+  std::map<net::Ipv4Addr, net::Ipv6Addr> lsi_to_hit_;
+  std::map<net::Ipv6Addr, net::Ipv4Addr> hit_to_lsi_;
+  std::uint8_t next_lsi_octet_ = 2;
+
+  std::set<net::Ipv6Addr> allowed_;
+  std::set<net::Ipv6Addr> denied_;
+  bool default_accept_ = true;
+
+  bool rvs_server_ = false;
+  std::map<net::Ipv6Addr, net::IpAddr> rvs_registrations_;
+  std::set<net::Ipv6Addr> pending_rvs_targets_;  // register once established
+
+  std::uint64_t puzzle_i_;
+  std::deque<sim::Time> recent_r1_times_;  // adaptive puzzle load window
+
+  Stats stats_;
+  EstablishedFn on_established_;
+  LocatorChangeFn on_locator_change_;
+};
+
+}  // namespace hipcloud::hip

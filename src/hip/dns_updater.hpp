@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "hip/daemon.hpp"
+#include "net/dns.hpp"
+
+namespace hipcloud::hip {
+
+/// Automated DNS maintenance for a HIP host (the paper's §VII future
+/// work): publishes the host's HIP record (HIT + HI) and A/AAAA locator
+/// record under `name`, and keeps the locator records current whenever
+/// the daemon announces a new locator (mobility / migration). Peers that
+/// lost contact during simultaneous movement can then re-resolve the
+/// name — the DNS-based re-contact alternative to a rendezvous server.
+class DnsUpdater {
+ public:
+  DnsUpdater(HipDaemon* daemon, net::DnsServer* dns, std::string name)
+      : daemon_(daemon), dns_(dns), name_(std::move(name)) {
+    dns_->add_record(name_,
+                     net::DnsRecord::hip(daemon_->hit(),
+                                         daemon_->identity()
+                                             .public_encoding()));
+    publish_locator(*daemon_->node()->first_address(false));
+    daemon_->on_locator_change(
+        [this](const net::IpAddr& locator) { publish_locator(locator); });
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void publish_locator(const net::IpAddr& locator) {
+    if (locator.is_v4()) {
+      dns_->remove_records(name_, net::DnsType::kA);
+      dns_->add_record(name_, net::DnsRecord::a(locator.v4()));
+    } else {
+      dns_->remove_records(name_, net::DnsType::kAaaa);
+      dns_->add_record(name_, net::DnsRecord::aaaa(locator.v6()));
+    }
+  }
+
+  HipDaemon* daemon_;
+  net::DnsServer* dns_;
+  std::string name_;
+};
+
+}  // namespace hipcloud::hip

@@ -1,0 +1,165 @@
+#include "hip/esp.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace hipcloud::hip {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+namespace {
+constexpr std::size_t kIvSize = 16;
+constexpr std::size_t kIcvSize = 12;
+constexpr std::size_t kFixedHeader = 4 + 4 + kIvSize;  // SPI | SEQ | IV
+}  // namespace
+
+std::size_t esp_overhead(EspSuite suite) {
+  // Fixed header + ICV + the 2-byte protected inner header, plus average
+  // CBC padding where applicable.
+  const std::size_t base = kFixedHeader + kIcvSize + 2;
+  return suite == EspSuite::kAes128CbcSha256 ? base + 8 : base;
+}
+
+const char* esp_suite_name(EspSuite suite) {
+  switch (suite) {
+    case EspSuite::kNullSha256:
+      return "NULL-SHA256";
+    case EspSuite::kAes128CtrSha256:
+      return "AES128-CTR-SHA256";
+    case EspSuite::kAes128CbcSha256:
+      return "AES128-CBC-SHA256";
+  }
+  return "?";
+}
+
+EspSa::EspSa(std::uint32_t spi, EspSuite suite, BytesView enc_key,
+             BytesView auth_key)
+    : spi_(spi), suite_(suite),
+      auth_key_(auth_key.begin(), auth_key.end()) {
+  if (suite != EspSuite::kNullSha256) {
+    if (enc_key.size() < 16) {
+      throw std::invalid_argument("EspSa: encryption key too short");
+    }
+    cipher_.emplace(enc_key.subspan(0, 16));
+  }
+}
+
+Bytes EspSa::compute_icv(BytesView spi_seq_iv_ct) const {
+  Bytes mac = crypto::hmac_sha256(auth_key_, spi_seq_iv_ct);
+  mac.resize(kIcvSize);
+  return mac;
+}
+
+Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
+                     BytesView payload) {
+  Bytes plaintext;
+  plaintext.reserve(2 + payload.size());
+  plaintext.push_back(inner_proto);
+  plaintext.push_back(addr_mode);
+  plaintext.insert(plaintext.end(), payload.begin(), payload.end());
+
+  // Deterministic per-SA IV counter (safe for CTR as it never repeats
+  // under one key; fine for CBC in the simulator's threat model).
+  Bytes iv(kIvSize, 0);
+  crypto::append_be(iv, spi_, 4);
+  crypto::append_be(iv, iv_counter_++, 8);
+  iv.erase(iv.begin(), iv.begin() + 12);  // keep trailing 16 bytes
+  iv.resize(kIvSize, 0);
+
+  Bytes ciphertext;
+  switch (suite_) {
+    case EspSuite::kNullSha256:
+      ciphertext = std::move(plaintext);
+      break;
+    case EspSuite::kAes128CtrSha256:
+      ciphertext = crypto::aes_ctr(*cipher_, BytesView(iv).subspan(0, 12),
+                                   static_cast<std::uint32_t>(
+                                       crypto::read_be(iv, 12, 4)),
+                                   plaintext);
+      break;
+    case EspSuite::kAes128CbcSha256:
+      ciphertext = crypto::aes_cbc_encrypt(*cipher_, iv, plaintext);
+      break;
+  }
+
+  Bytes wire;
+  wire.reserve(kFixedHeader + ciphertext.size() + kIcvSize);
+  crypto::append_be(wire, spi_, 4);
+  crypto::append_be(wire, next_seq_++, 4);
+  wire.insert(wire.end(), iv.begin(), iv.end());
+  wire.insert(wire.end(), ciphertext.begin(), ciphertext.end());
+  const Bytes icv = compute_icv(wire);
+  wire.insert(wire.end(), icv.begin(), icv.end());
+  return wire;
+}
+
+bool EspSa::replay_check_and_update(std::uint32_t seq) {
+  if (seq == 0) return false;
+  if (seq > highest_seq_) {
+    const std::uint32_t shift = seq - highest_seq_;
+    replay_window_ = shift >= 64 ? 0 : replay_window_ << shift;
+    replay_window_ |= 1;  // bit 0 = highest seq seen
+    highest_seq_ = seq;
+    return true;
+  }
+  const std::uint32_t offset = highest_seq_ - seq;
+  if (offset >= 64) return false;  // too old
+  const std::uint64_t bit = 1ULL << offset;
+  if (replay_window_ & bit) return false;  // duplicate
+  replay_window_ |= bit;
+  return true;
+}
+
+std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
+  if (wire.size() < kFixedHeader + kIcvSize) return std::nullopt;
+  const auto spi = static_cast<std::uint32_t>(crypto::read_be(wire, 0, 4));
+  if (spi != spi_) return std::nullopt;
+  const auto seq = static_cast<std::uint32_t>(crypto::read_be(wire, 4, 4));
+
+  const BytesView authed = wire.subspan(0, wire.size() - kIcvSize);
+  const BytesView icv = wire.subspan(wire.size() - kIcvSize);
+  if (!crypto::ct_equal(icv, compute_icv(authed))) {
+    ++auth_failures_;
+    return std::nullopt;
+  }
+  if (!replay_check_and_update(seq)) {
+    ++replay_drops_;
+    return std::nullopt;
+  }
+
+  const BytesView iv = wire.subspan(8, kIvSize);
+  const BytesView ciphertext =
+      wire.subspan(kFixedHeader, wire.size() - kFixedHeader - kIcvSize);
+  Bytes plaintext;
+  try {
+    switch (suite_) {
+      case EspSuite::kNullSha256:
+        plaintext.assign(ciphertext.begin(), ciphertext.end());
+        break;
+      case EspSuite::kAes128CtrSha256:
+        plaintext = crypto::aes_ctr(
+            *cipher_, iv.subspan(0, 12),
+            static_cast<std::uint32_t>(crypto::read_be(iv, 12, 4)),
+            ciphertext);
+        break;
+      case EspSuite::kAes128CbcSha256:
+        plaintext = crypto::aes_cbc_decrypt(*cipher_, iv, ciphertext);
+        break;
+    }
+  } catch (const std::runtime_error&) {
+    ++auth_failures_;
+    return std::nullopt;
+  }
+  if (plaintext.size() < 2) return std::nullopt;
+
+  Unprotected out;
+  out.inner_proto = plaintext[0];
+  out.addr_mode = plaintext[1];
+  out.payload.assign(plaintext.begin() + 2, plaintext.end());
+  out.seq = seq;
+  return out;
+}
+
+}  // namespace hipcloud::hip

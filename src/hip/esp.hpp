@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "crypto/aes.hpp"
+#include "crypto/bytes.hpp"
+#include "net/packet.hpp"
+
+namespace hipcloud::hip {
+
+/// ESP transform suites negotiated in BEX (HIP_CIPHER). NULL keeps
+/// integrity protection only — the paper notes HIP minimally
+/// authenticates and typically also encrypts; the A3 ablation compares
+/// these.
+enum class EspSuite : std::uint8_t {
+  kNullSha256 = 1,
+  kAes128CtrSha256 = 2,  // default
+  kAes128CbcSha256 = 3,
+};
+
+std::size_t esp_overhead(EspSuite suite);
+const char* esp_suite_name(EspSuite suite);
+
+/// One direction of a BEET-mode ESP security association.
+///
+/// BEET ("bound end-to-end tunnel", RFC 5202) carries only the transport
+/// payload plus a tiny trailer on the wire — the inner HIT/LSI addresses
+/// are fixed per-SA and restored at the receiver, which is what makes it
+/// cheaper than full tunnel mode. Wire format:
+///   SPI(4) | SEQ(4) | IV(16) | ciphertext | ICV(12)
+/// with ciphertext = ENC(proto(1) | addr_mode(1) | payload).
+class EspSa {
+ public:
+  /// addr_mode values inside the protected header.
+  static constexpr std::uint8_t kModeHit = 0;
+  static constexpr std::uint8_t kModeLsi = 1;
+
+  EspSa(std::uint32_t spi, EspSuite suite, crypto::BytesView enc_key,
+        crypto::BytesView auth_key);
+
+  std::uint32_t spi() const { return spi_; }
+  EspSuite suite() const { return suite_; }
+
+  /// Protect a transport payload for transmission. Sequence numbers
+  /// increment per call.
+  crypto::Bytes protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
+                        crypto::BytesView payload);
+
+  struct Unprotected {
+    std::uint8_t inner_proto;
+    std::uint8_t addr_mode;
+    crypto::Bytes payload;
+    std::uint32_t seq;
+  };
+
+  /// Verify + decrypt + anti-replay-check an inbound ESP payload.
+  /// Returns nullopt on authentication failure, replay, or malformed
+  /// input. (Inbound SAs only; using one SA for both directions would
+  /// desynchronize the replay window.)
+  std::optional<Unprotected> unprotect(crypto::BytesView wire);
+
+  std::uint64_t replay_drops() const { return replay_drops_; }
+  std::uint64_t auth_failures() const { return auth_failures_; }
+  std::uint32_t next_seq() const { return next_seq_; }
+
+ private:
+  crypto::Bytes compute_icv(crypto::BytesView spi_seq_iv_ct) const;
+  bool replay_check_and_update(std::uint32_t seq);
+
+  std::uint32_t spi_;
+  EspSuite suite_;
+  std::optional<crypto::Aes> cipher_;  // absent for NULL suite
+  crypto::Bytes auth_key_;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t iv_counter_ = 1;
+
+  // 64-entry sliding anti-replay window (RFC 4303 §3.4.3).
+  std::uint32_t highest_seq_ = 0;
+  std::uint64_t replay_window_ = 0;
+  std::uint64_t replay_drops_ = 0;
+  std::uint64_t auth_failures_ = 0;
+};
+
+}  // namespace hipcloud::hip

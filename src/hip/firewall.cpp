@@ -1,0 +1,85 @@
+#include "hip/firewall.hpp"
+
+#include "crypto/bytes.hpp"
+#include "hip/wire.hpp"
+#include "sim/log.hpp"
+
+namespace hipcloud::hip {
+
+using net::IpProto;
+using net::Packet;
+
+HipFirewall::HipFirewall(net::Node* node, bool default_accept)
+    : node_(node), default_accept_(default_accept) {
+  node_->set_forwarding(true);
+  node_->set_forward_hook(
+      [this](Packet& pkt, std::size_t) { return on_forward(pkt); });
+}
+
+HipFirewall::HitPair HipFirewall::canonical(const net::Ipv6Addr& a,
+                                            const net::Ipv6Addr& b) {
+  return a < b ? HitPair{a, b} : HitPair{b, a};
+}
+
+void HipFirewall::allow_pair(const net::Ipv6Addr& a, const net::Ipv6Addr& b) {
+  allowed_pairs_.insert(canonical(a, b));
+}
+
+void HipFirewall::deny_pair(const net::Ipv6Addr& a, const net::Ipv6Addr& b) {
+  denied_pairs_.insert(canonical(a, b));
+}
+
+bool HipFirewall::on_forward(Packet& pkt) {
+  bool pass;
+  switch (pkt.proto) {
+    case IpProto::kHip:
+      pass = handle_hip(pkt);
+      break;
+    case IpProto::kEsp: {
+      if (pkt.payload.size() < 4) {
+        pass = false;
+        break;
+      }
+      const auto spi =
+          static_cast<std::uint32_t>(crypto::read_be(pkt.payload, 0, 4));
+      pass = allowed_spis_.count(spi) > 0 || default_accept_;
+      break;
+    }
+    default:
+      pass = default_accept_;
+      break;
+  }
+  if (pass) {
+    ++passed_;
+  } else {
+    ++dropped_;
+    sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(),
+                    "hipfw", node_->name() + " dropped " + pkt.describe());
+  }
+  return pass;
+}
+
+bool HipFirewall::handle_hip(const Packet& pkt) {
+  HipMessage msg;
+  try {
+    msg = HipMessage::parse(pkt.payload);
+  } catch (const std::runtime_error&) {
+    return false;  // malformed control traffic never passes
+  }
+  const HitPair pair = canonical(msg.sender_hit, msg.receiver_hit);
+  if (denied_pairs_.count(pair)) return false;
+  if (!allowed_pairs_.count(pair) && !default_accept_) return false;
+
+  // Learn the data-plane SPIs as they are negotiated: ESP_INFO carries
+  // the SPI the *sender* of I2/R2 expects inbound traffic on.
+  if (msg.type == MsgType::kI2 || msg.type == MsgType::kR2) {
+    if (const auto* esp_info = msg.param(ParamType::kEspInfo);
+        esp_info != nullptr && esp_info->size() == 5) {
+      allowed_spis_.insert(
+          static_cast<std::uint32_t>(crypto::read_be(*esp_info, 0, 4)));
+    }
+  }
+  return true;
+}
+
+}  // namespace hipcloud::hip

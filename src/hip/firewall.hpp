@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "net/node.hpp"
+
+namespace hipcloud::hip {
+
+/// HIP-aware middlebox firewall (Lindqvist et al., the paper's ref [30]).
+///
+/// Installed on a forwarding node (e.g. a hypervisor bridge, scenario II
+/// of the paper's design analysis), it enforces cryptographic-identity
+/// based packet filtering without terminating the tunnels:
+///  * HIP control packets (proto 139) pass only when the (initiator HIT,
+///    responder HIT) pair is authorized;
+///  * the firewall learns ESP SPIs by watching ESP_INFO parameters in I2
+///    and R2, then admits exactly those ESP flows;
+///  * everything else follows `default_accept` (false = whitelist mode,
+///    blocking all non-HIP traffic between tenants).
+class HipFirewall {
+ public:
+  explicit HipFirewall(net::Node* node, bool default_accept = false);
+
+  /// Allow associations between two HITs (order-insensitive).
+  void allow_pair(const net::Ipv6Addr& a, const net::Ipv6Addr& b);
+  void deny_pair(const net::Ipv6Addr& a, const net::Ipv6Addr& b);
+
+  std::uint64_t passed() const { return passed_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t learned_spis() const { return allowed_spis_.size(); }
+
+ private:
+  using HitPair = std::pair<net::Ipv6Addr, net::Ipv6Addr>;
+  static HitPair canonical(const net::Ipv6Addr& a, const net::Ipv6Addr& b);
+
+  bool on_forward(net::Packet& pkt);
+  bool handle_hip(const net::Packet& pkt);
+
+  net::Node* node_;
+  bool default_accept_;
+  std::set<HitPair> allowed_pairs_;
+  std::set<HitPair> denied_pairs_;
+  std::set<std::uint32_t> allowed_spis_;
+  std::uint64_t passed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hipcloud::hip

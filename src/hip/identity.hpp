@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec_p256.hpp"
+#include "crypto/rsa.hpp"
+#include "net/address.hpp"
+
+namespace hipcloud::hip {
+
+/// Signature algorithm carried in a Host Identity. RSA is HIP's baseline;
+/// ECDSA reflects RFC 6253 / the ECC-for-HIP work the paper cites as the
+/// cheaper alternative.
+enum class HiAlgorithm : std::uint8_t {
+  kRsa = 5,    // IANA: RSA
+  kEcdsa = 7,  // IANA: ECDSA
+};
+
+/// A Host Identity: the public/private keypair naming a host, plus the
+/// derived Host Identity Tag (ORCHID IPv6, RFC 4843) and wire encoding.
+class HostIdentity {
+ public:
+  /// Generate a fresh identity. For RSA, `rsa_bits` sizes the modulus
+  /// (1024 matches the paper-era HIPL default).
+  static HostIdentity generate(crypto::HmacDrbg& drbg, HiAlgorithm algo,
+                               std::size_t rsa_bits = 1024);
+
+  HiAlgorithm algorithm() const { return algo_; }
+
+  /// Wire encoding of the public part: algo(1) | algo-specific key bytes.
+  const crypto::Bytes& public_encoding() const { return public_encoding_; }
+
+  /// The 128-bit Host Identity Tag with the ORCHID prefix (2001:10::/28).
+  const net::Ipv6Addr& hit() const { return hit_; }
+
+  /// Sign with the private key (PKCS#1-v1.5/SHA-256 or ECDSA/SHA-256).
+  crypto::Bytes sign(crypto::BytesView message) const;
+
+  /// Verify a signature against an encoded public HI.
+  static bool verify(crypto::BytesView public_encoding,
+                     crypto::BytesView message, crypto::BytesView signature);
+
+  /// Derive the HIT for any encoded public HI (what a peer computes to
+  /// check that a received HI matches the claimed HIT).
+  static net::Ipv6Addr derive_hit(crypto::BytesView public_encoding);
+
+  std::size_t rsa_bits() const;
+
+ private:
+  HostIdentity() = default;
+
+  HiAlgorithm algo_ = HiAlgorithm::kRsa;
+  crypto::RsaKeyPair rsa_;
+  crypto::p256::KeyPair ec_;
+  crypto::Bytes public_encoding_;
+  net::Ipv6Addr hit_;
+  // DRBG for ECDSA nonces, seeded at generation (deterministic per host).
+  mutable crypto::HmacDrbg nonce_drbg_{crypto::Bytes{}};
+};
+
+}  // namespace hipcloud::hip

@@ -1,0 +1,49 @@
+#include "hip/keymat.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace hipcloud::hip {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+Keymat Keymat::derive(BytesView dh_secret, const net::Ipv6Addr& local_hit,
+                      const net::Ipv6Addr& peer_hit) {
+  // Salt the extraction with the sorted HIT pair so the key block is
+  // bound to this association.
+  const bool local_is_smaller = local_hit < peer_hit;
+  const net::Ipv6Addr& lo = local_is_smaller ? local_hit : peer_hit;
+  const net::Ipv6Addr& hi = local_is_smaller ? peer_hit : local_hit;
+  Bytes salt(lo.bytes().begin(), lo.bytes().end());
+  salt.insert(salt.end(), hi.bytes().begin(), hi.bytes().end());
+
+  const Bytes prk = crypto::hkdf_extract(salt, dh_secret);
+  // Layout: [hmac_lo | hmac_hi | enc_lo | auth_lo | enc_hi | auth_hi]
+  // where "lo" keys protect traffic sent by the numerically smaller HIT.
+  const Bytes block =
+      crypto::hkdf_expand(prk, crypto::to_bytes("hip keymat"), 6 * 32);
+  auto slice = [&block](std::size_t idx) {
+    return Bytes(block.begin() + static_cast<long>(idx * 32),
+                 block.begin() + static_cast<long>((idx + 1) * 32));
+  };
+
+  Keymat keymat;
+  if (local_is_smaller) {
+    keymat.hip_hmac_out = slice(0);
+    keymat.hip_hmac_in = slice(1);
+    keymat.esp_enc_out = slice(2);
+    keymat.esp_auth_out = slice(3);
+    keymat.esp_enc_in = slice(4);
+    keymat.esp_auth_in = slice(5);
+  } else {
+    keymat.hip_hmac_out = slice(1);
+    keymat.hip_hmac_in = slice(0);
+    keymat.esp_enc_out = slice(4);
+    keymat.esp_auth_out = slice(5);
+    keymat.esp_enc_in = slice(2);
+    keymat.esp_auth_in = slice(3);
+  }
+  return keymat;
+}
+
+}  // namespace hipcloud::hip

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "crypto/bytes.hpp"
+#include "net/address.hpp"
+
+namespace hipcloud::hip {
+
+/// Keying material derived from the BEX Diffie-Hellman secret
+/// (RFC 5201 §6.5): both ends expand Kij into directional ESP keys and
+/// HIP HMAC keys, ordered by the numeric comparison of the two HITs so
+/// initiator and responder agree on which key is whose.
+struct Keymat {
+  crypto::Bytes hip_hmac_out;  // keys our outbound control messages
+  crypto::Bytes hip_hmac_in;   // verifies the peer's control messages
+  crypto::Bytes esp_enc_out;
+  crypto::Bytes esp_auth_out;
+  crypto::Bytes esp_enc_in;
+  crypto::Bytes esp_auth_in;
+
+  /// Derive from the DH shared secret. `local_hit`/`peer_hit` orient the
+  /// directional keys; both sides derive identical material with the
+  /// roles swapped.
+  static Keymat derive(crypto::BytesView dh_secret,
+                       const net::Ipv6Addr& local_hit,
+                       const net::Ipv6Addr& peer_hit);
+};
+
+}  // namespace hipcloud::hip

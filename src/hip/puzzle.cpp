@@ -1,0 +1,64 @@
+#include "hip/puzzle.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace hipcloud::hip {
+
+namespace {
+
+bool low_bits_zero(const crypto::Bytes& digest, int k) {
+  // Check the lowest k bits of the digest (big-endian byte order: the
+  // tail of the digest).
+  int idx = static_cast<int>(digest.size()) - 1;
+  while (k >= 8) {
+    if (digest[idx--] != 0) return false;
+    k -= 8;
+  }
+  if (k > 0) {
+    const std::uint8_t mask = static_cast<std::uint8_t>((1u << k) - 1);
+    if (digest[idx] & mask) return false;
+  }
+  return true;
+}
+
+crypto::Bytes puzzle_input(std::uint64_t i, const net::Ipv6Addr& hit_i,
+                           const net::Ipv6Addr& hit_r, std::uint64_t j) {
+  crypto::Bytes input;
+  input.reserve(8 + 16 + 16 + 8);
+  crypto::append_be(input, i, 8);
+  input.insert(input.end(), hit_i.bytes().begin(), hit_i.bytes().end());
+  input.insert(input.end(), hit_r.bytes().begin(), hit_r.bytes().end());
+  crypto::append_be(input, j, 8);
+  return input;
+}
+
+}  // namespace
+
+Puzzle::Solution Puzzle::solve(const net::Ipv6Addr& initiator_hit,
+                               const net::Ipv6Addr& responder_hit) const {
+  Solution solution;
+  if (difficulty_k == 0) {
+    solution.attempts = 1;
+    return solution;
+  }
+  for (std::uint64_t j = 0;; ++j) {
+    ++solution.attempts;
+    const auto digest = crypto::sha1(
+        puzzle_input(random_i, initiator_hit, responder_hit, j));
+    if (low_bits_zero(digest, difficulty_k)) {
+      solution.j = j;
+      return solution;
+    }
+  }
+}
+
+bool Puzzle::verify(const net::Ipv6Addr& initiator_hit,
+                    const net::Ipv6Addr& responder_hit,
+                    std::uint64_t j) const {
+  if (difficulty_k == 0) return true;
+  const auto digest =
+      crypto::sha1(puzzle_input(random_i, initiator_hit, responder_hit, j));
+  return low_bits_zero(digest, difficulty_k);
+}
+
+}  // namespace hipcloud::hip

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+#include "net/address.hpp"
+
+namespace hipcloud::hip {
+
+/// The HIP computational puzzle (RFC 5201 §4.1.2): the responder sends a
+/// random value I and difficulty K; the initiator must find J such that
+/// the lowest K bits of SHA-1(I | HIT-I | HIT-R | J) are zero. Solving
+/// costs ~2^K hashes; verification costs one. This is HIP's DoS defence —
+/// a loaded responder raises K to slow initiators down.
+struct Puzzle {
+  std::uint8_t difficulty_k = 0;  // 0 disables the puzzle
+  std::uint64_t random_i = 0;
+
+  /// Brute-force a solution. Returns J and the number of attempts
+  /// (callers charge attempts * puzzle_hash_cycles to the CPU model).
+  struct Solution {
+    std::uint64_t j = 0;
+    std::uint64_t attempts = 0;
+  };
+  Solution solve(const net::Ipv6Addr& initiator_hit,
+                 const net::Ipv6Addr& responder_hit) const;
+
+  /// Single-hash check of a claimed solution.
+  bool verify(const net::Ipv6Addr& initiator_hit,
+              const net::Ipv6Addr& responder_hit, std::uint64_t j) const;
+
+  /// Expected solving attempts at this difficulty.
+  double expected_attempts() const {
+    return static_cast<double>(1ULL << difficulty_k);
+  }
+};
+
+}  // namespace hipcloud::hip

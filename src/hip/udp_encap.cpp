@@ -1,0 +1,103 @@
+#include "hip/udp_encap.hpp"
+
+#include "sim/log.hpp"
+
+namespace hipcloud::hip {
+
+using crypto::Bytes;
+using net::IpProto;
+using net::Packet;
+
+namespace {
+// One-byte message tags.
+constexpr std::uint8_t kTagHip = 0x01;
+constexpr std::uint8_t kTagEsp = 0x02;
+constexpr std::uint8_t kTagKeepalive = 0xff;
+}  // namespace
+
+/// Captures outbound HIP/ESP packets towards encapsulated locators.
+class UdpEncap::Shim : public net::L3Shim {
+ public:
+  explicit Shim(UdpEncap* encap) : encap_(encap) {}
+
+  bool outbound(Packet& pkt) override {
+    if (pkt.proto != IpProto::kHip && pkt.proto != IpProto::kEsp) {
+      return false;
+    }
+    if (!encap_->endpoints_.count(pkt.dst)) return false;
+    encap_->send_encapsulated(std::move(pkt));
+    return true;
+  }
+
+  bool inbound(Packet&) override { return false; }  // arrives via UDP
+
+  std::size_t path_overhead(const net::IpAddr& dst) const override {
+    // Conservative: when any tunnel is active, HIT/LSI flows may ride it.
+    // (Resolving HIT -> locator would need the daemon; overestimating by
+    // 29 bytes only shrinks the MSS slightly when no tunnel applies.)
+    if (encap_->endpoints_.empty()) return 0;
+    return dst.is_hit() || dst.is_lsi() ? kOverhead : 0;
+  }
+
+ private:
+  UdpEncap* encap_;
+};
+
+UdpEncap::UdpEncap(net::Node* node, net::UdpStack* udp,
+                   std::uint16_t local_port)
+    : node_(node), udp_(udp), local_port_(local_port) {
+  local_port_ = udp_->bind(
+      local_port, [this](const net::Endpoint& from, const net::IpAddr& local,
+                         Bytes data) { on_datagram(from, local, std::move(data)); });
+  node_->add_shim(std::make_shared<Shim>(this));
+}
+
+void UdpEncap::add_encap_peer(const net::IpAddr& locator,
+                              std::uint16_t remote_port) {
+  endpoints_.emplace(locator, net::Endpoint{locator, remote_port});
+}
+
+void UdpEncap::send_encapsulated(Packet&& pkt) {
+  const auto it = endpoints_.find(pkt.dst);
+  if (it == endpoints_.end()) return;
+  Bytes wire{pkt.proto == IpProto::kHip ? kTagHip : kTagEsp};
+  wire.insert(wire.end(), pkt.payload.begin(), pkt.payload.end());
+  ++encapsulated_;
+  udp_->send(local_port_, it->second, std::move(wire));
+}
+
+void UdpEncap::on_datagram(const net::Endpoint& from,
+                           const net::IpAddr& local, Bytes data) {
+  if (data.empty()) return;
+  // Learn/refresh the peer's observed endpoint: replies to this locator
+  // must go to the NAT mapping we actually saw, not to port 10500 of an
+  // unroutable private address.
+  endpoints_[from.addr] = from;
+  if (data[0] == kTagKeepalive) return;
+  if (data[0] != kTagHip && data[0] != kTagEsp) return;
+  ++decapsulated_;
+  Packet inner;
+  inner.src = from.addr;  // outer source: where replies must be aimed
+  inner.dst = local;
+  inner.proto = data[0] == kTagHip ? IpProto::kHip : IpProto::kEsp;
+  inner.payload.assign(data.begin() + 1, data.end());
+  inner.stamp_l3_overhead();
+  node_->deliver(std::move(inner), 0);
+}
+
+void UdpEncap::enable_keepalives(sim::Duration interval) {
+  keepalive_interval_ = interval;
+  send_keepalives();
+}
+
+void UdpEncap::send_keepalives() {
+  if (keepalive_interval_ <= 0) return;
+  for (const auto& [locator, endpoint] : endpoints_) {
+    ++keepalives_sent_;
+    udp_->send(local_port_, endpoint, Bytes{kTagKeepalive});
+  }
+  node_->network().loop().schedule(keepalive_interval_,
+                                   [this] { send_keepalives(); });
+}
+
+}  // namespace hipcloud::hip

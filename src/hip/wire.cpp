@@ -1,0 +1,120 @@
+#include "hip/wire.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace hipcloud::hip {
+
+using crypto::append_be;
+using crypto::Bytes;
+using crypto::BytesView;
+using crypto::read_be;
+
+void HipMessage::set_param(ParamType param, Bytes value) {
+  params_[param] = std::move(value);
+}
+
+bool HipMessage::has_param(ParamType param) const {
+  return params_.count(param) > 0;
+}
+
+const Bytes* HipMessage::param(ParamType param) const {
+  const auto it = params_.find(param);
+  return it == params_.end() ? nullptr : &it->second;
+}
+
+void HipMessage::set_u64(ParamType param, std::uint64_t value) {
+  Bytes v;
+  append_be(v, value, 8);
+  set_param(param, std::move(v));
+}
+
+std::optional<std::uint64_t> HipMessage::u64(ParamType param) const {
+  const Bytes* v = this->param(param);
+  if (v == nullptr || v->size() != 8) return std::nullopt;
+  return read_be(*v, 0, 8);
+}
+
+namespace {
+Bytes serialize_with_filter(const HipMessage& msg, MsgType type,
+                            const net::Ipv6Addr& sender,
+                            const net::Ipv6Addr& receiver,
+                            const std::map<ParamType, Bytes>& params,
+                            bool include_auth) {
+  (void)msg;
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), sender.bytes().begin(), sender.bytes().end());
+  out.insert(out.end(), receiver.bytes().begin(), receiver.bytes().end());
+  for (const auto& [ptype, value] : params) {
+    if (!include_auth &&
+        (ptype == ParamType::kHmac || ptype == ParamType::kSignature)) {
+      continue;
+    }
+    append_be(out, static_cast<std::uint16_t>(ptype), 2);
+    append_be(out, value.size(), 2);
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  return out;
+}
+}  // namespace
+
+Bytes HipMessage::serialize() const {
+  return serialize_with_filter(*this, type, sender_hit, receiver_hit, params_,
+                               /*include_auth=*/true);
+}
+
+Bytes HipMessage::signed_view() const {
+  return serialize_with_filter(*this, type, sender_hit, receiver_hit, params_,
+                               /*include_auth=*/false);
+}
+
+HipMessage HipMessage::parse(BytesView wire) {
+  if (wire.size() < 33) throw std::runtime_error("HipMessage: truncated");
+  HipMessage msg;
+  msg.type = static_cast<MsgType>(wire[0]);
+  msg.sender_hit = net::Ipv6Addr::from_bytes(wire.subspan(1, 16));
+  msg.receiver_hit = net::Ipv6Addr::from_bytes(wire.subspan(17, 16));
+  std::size_t off = 33;
+  while (off < wire.size()) {
+    if (off + 4 > wire.size()) {
+      throw std::runtime_error("HipMessage: truncated parameter header");
+    }
+    const auto ptype = static_cast<ParamType>(read_be(wire, off, 2));
+    const auto len = static_cast<std::size_t>(read_be(wire, off + 2, 2));
+    off += 4;
+    if (off + len > wire.size()) {
+      throw std::runtime_error("HipMessage: truncated parameter value");
+    }
+    msg.params_[ptype].assign(wire.begin() + static_cast<long>(off),
+                              wire.begin() + static_cast<long>(off + len));
+    off += len;
+  }
+  return msg;
+}
+
+void HipMessage::attach_hmac(BytesView key) {
+  set_param(ParamType::kHmac, crypto::hmac_sha256(key, signed_view()));
+}
+
+bool HipMessage::check_hmac(BytesView key) const {
+  const Bytes* mac = param(ParamType::kHmac);
+  if (mac == nullptr) return false;
+  return crypto::ct_equal(*mac, crypto::hmac_sha256(key, signed_view()));
+}
+
+std::string HipMessage::describe() const {
+  static const std::map<MsgType, const char*> names = {
+      {MsgType::kI1, "I1"},         {MsgType::kR1, "R1"},
+      {MsgType::kI2, "I2"},         {MsgType::kR2, "R2"},
+      {MsgType::kUpdate, "UPDATE"}, {MsgType::kNotify, "NOTIFY"},
+      {MsgType::kClose, "CLOSE"},   {MsgType::kCloseAck, "CLOSE_ACK"},
+      {MsgType::kRvsRegister, "RVS_REG"},
+      {MsgType::kRvsRegisterAck, "RVS_REG_ACK"}};
+  const auto it = names.find(type);
+  return std::string(it != names.end() ? it->second : "?") + " " +
+         sender_hit.to_string() + " -> " + receiver_hit.to_string();
+}
+
+}  // namespace hipcloud::hip

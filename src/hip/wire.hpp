@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "net/address.hpp"
+
+namespace hipcloud::hip {
+
+/// HIP control message types (RFC 5201 §5.3 plus the registration
+/// extension used by the rendezvous service).
+enum class MsgType : std::uint8_t {
+  kI1 = 1,
+  kR1 = 2,
+  kI2 = 3,
+  kR2 = 4,
+  kUpdate = 16,
+  kNotify = 17,
+  kClose = 18,
+  kCloseAck = 19,
+  kRvsRegister = 32,  // registration extension (RFC 5203, simplified)
+  kRvsRegisterAck = 33,
+};
+
+/// TLV parameter types carried in HIP control messages. Numbering follows
+/// RFC 5201 where a direct counterpart exists.
+enum class ParamType : std::uint16_t {
+  kEspInfo = 65,       // SPI the sender expects inbound ESP on
+  kPuzzle = 257,       // K | I
+  kSolution = 321,     // K | I | J
+  kSeq = 385,          // update sequence number
+  kAck = 449,          // acked update sequence number
+  kDiffieHellman = 513,  // group id | public value
+  kHipCipher = 579,    // chosen ESP suite id
+  kEncrypted = 641,    // reserved for future use
+  kHostId = 705,       // encoded public HI
+  kEchoRequestSigned = 897,
+  kEchoResponseSigned = 961,
+  kLocator = 193,      // new locator for mobility updates
+  kHmac = 61505,       // HMAC over the message (keyed with KEYMAT)
+  kSignature = 61697,  // signature over the message
+  kViaRvs = 65500,     // original locator, added by a rendezvous server
+};
+
+/// A HIP control message: fixed header (type, sender/receiver HIT) plus
+/// an ordered list of TLV parameters. HMAC and SIGNATURE are computed
+/// over the serialization with those two parameters excluded, matching
+/// the spirit of RFC 5201's packet checksums.
+class HipMessage {
+ public:
+  MsgType type = MsgType::kI1;
+  net::Ipv6Addr sender_hit;
+  net::Ipv6Addr receiver_hit;
+
+  void set_param(ParamType param, crypto::Bytes value);
+  bool has_param(ParamType param) const;
+  /// Returns nullptr when absent.
+  const crypto::Bytes* param(ParamType param) const;
+
+  // Typed helpers for common parameters.
+  void set_u64(ParamType param, std::uint64_t value);
+  std::optional<std::uint64_t> u64(ParamType param) const;
+
+  crypto::Bytes serialize() const;
+  static HipMessage parse(crypto::BytesView wire);
+
+  /// Serialization with HMAC and SIGNATURE parameters removed — the
+  /// canonical bytes both of those protect.
+  crypto::Bytes signed_view() const;
+
+  /// Sign/MAC helpers.
+  void attach_hmac(crypto::BytesView key);
+  bool check_hmac(crypto::BytesView key) const;
+
+  std::string describe() const;
+
+ private:
+  std::map<ParamType, crypto::Bytes> params_;
+};
+
+}  // namespace hipcloud::hip

@@ -1,0 +1,131 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hipcloud::net {
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+  unsigned a, b, c, d;
+  char extra;
+  const std::string s(text);
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("Ipv4Addr: bad address '" + s + "'");
+  }
+  return Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                  static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv6Addr Ipv6Addr::from_bytes(crypto::BytesView data) {
+  if (data.size() != 16) {
+    throw std::invalid_argument("Ipv6Addr: need 16 bytes");
+  }
+  std::array<std::uint8_t, 16> bytes;
+  std::copy(data.begin(), data.end(), bytes.begin());
+  return Ipv6Addr(bytes);
+}
+
+Ipv6Addr Ipv6Addr::parse(std::string_view text) {
+  // Supports the canonical "h:h:...:h" form with at most one "::".
+  std::array<std::uint16_t, 8> groups{};
+  const std::string s(text);
+  const auto dc = s.find("::");
+  auto parse_groups = [](const std::string& part,
+                         std::vector<std::uint16_t>& out) {
+    if (part.empty()) return;
+    std::size_t pos = 0;
+    while (pos <= part.size()) {
+      const auto colon = part.find(':', pos);
+      const std::string tok =
+          part.substr(pos, colon == std::string::npos ? colon : colon - pos);
+      if (tok.empty() || tok.size() > 4) {
+        throw std::invalid_argument("Ipv6Addr: bad group '" + tok + "'");
+      }
+      out.push_back(
+          static_cast<std::uint16_t>(std::stoul(tok, nullptr, 16)));
+      if (colon == std::string::npos) break;
+      pos = colon + 1;
+    }
+  };
+  std::vector<std::uint16_t> head, tail;
+  if (dc == std::string::npos) {
+    parse_groups(s, head);
+    if (head.size() != 8) {
+      throw std::invalid_argument("Ipv6Addr: need 8 groups");
+    }
+  } else {
+    parse_groups(s.substr(0, dc), head);
+    parse_groups(s.substr(dc + 2), tail);
+    if (head.size() + tail.size() > 7) {
+      throw std::invalid_argument("Ipv6Addr: too many groups with ::");
+    }
+  }
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+  std::array<std::uint8_t, 16> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(groups[i]);
+  }
+  return Ipv6Addr(bytes);
+}
+
+std::string Ipv6Addr::to_string() const {
+  // Canonical-ish: compress the longest zero run (RFC 5952 without
+  // lower-casing subtleties — groups are already lowercase hex).
+  std::array<std::uint16_t, 8> groups;
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>((bytes_[2 * i] << 8) |
+                                           bytes_[2 * i + 1]);
+  }
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] == 0) {
+      int j = i;
+      while (j < 8 && groups[j] == 0) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start && best_len >= 2) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::string IpAddr::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+std::string Endpoint::to_string() const {
+  if (addr.is_v6()) return "[" + addr.to_string() + "]:" + std::to_string(port);
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace hipcloud::net

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::net {
+
+/// IPv4 address (host byte order internally).
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+               (std::uint32_t(c) << 8) | std::uint32_t(d)) {}
+
+  static Ipv4Addr parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  /// True for 1.0.0.0/8 — the Local Scope Identifier range HIP hands to
+  /// IPv4 applications (RFC 5338 uses 1/8 by HIPL convention).
+  constexpr bool is_lsi() const { return (value_ >> 24) == 1; }
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address, 16 bytes network order.
+class Ipv6Addr {
+ public:
+  Ipv6Addr() { bytes_.fill(0); }
+  explicit Ipv6Addr(const std::array<std::uint8_t, 16>& bytes)
+      : bytes_(bytes) {}
+
+  static Ipv6Addr parse(std::string_view text);
+  static Ipv6Addr from_bytes(crypto::BytesView data);
+
+  const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+  std::string to_string() const;
+
+  /// ORCHID prefix 2001:10::/28 marks Host Identity Tags (RFC 4843):
+  /// bytes 20 01 00 1x.
+  bool is_hit() const {
+    return bytes_[0] == 0x20 && bytes_[1] == 0x01 && bytes_[2] == 0x00 &&
+           (bytes_[3] & 0xf0) == 0x10;
+  }
+
+  /// Teredo prefix 2001:0::/32 (RFC 4380).
+  bool is_teredo() const {
+    return bytes_[0] == 0x20 && bytes_[1] == 0x01 && bytes_[2] == 0 &&
+           bytes_[3] == 0;
+  }
+
+  bool is_zero() const {
+    for (auto b : bytes_) {
+      if (b) return false;
+    }
+    return true;
+  }
+
+  auto operator<=>(const Ipv6Addr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_;
+};
+
+/// Either family. The protocol stack is address-family agnostic, exactly
+/// the property the paper leans on for HIP's IPv4/IPv6 interoperability.
+class IpAddr {
+ public:
+  IpAddr() : addr_(Ipv4Addr()) {}
+  IpAddr(Ipv4Addr v4) : addr_(v4) {}  // NOLINT(google-explicit-constructor)
+  IpAddr(Ipv6Addr v6) : addr_(v6) {}  // NOLINT(google-explicit-constructor)
+
+  bool is_v4() const { return std::holds_alternative<Ipv4Addr>(addr_); }
+  bool is_v6() const { return !is_v4(); }
+  Ipv4Addr v4() const { return std::get<Ipv4Addr>(addr_); }
+  /// Returned by reference: callers commonly bind `.v6().bytes()`.
+  const Ipv6Addr& v6() const { return std::get<Ipv6Addr>(addr_); }
+
+  bool is_hit() const { return is_v6() && v6().is_hit(); }
+  bool is_lsi() const { return is_v4() && v4().is_lsi(); }
+  bool is_teredo() const { return is_v6() && v6().is_teredo(); }
+
+  std::string to_string() const;
+
+  auto operator<=>(const IpAddr&) const = default;
+
+ private:
+  std::variant<Ipv4Addr, Ipv6Addr> addr_;
+};
+
+/// Transport endpoint: address + port.
+struct Endpoint {
+  IpAddr addr;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+}  // namespace hipcloud::net

@@ -1,0 +1,173 @@
+#include "net/dns.hpp"
+
+#include <stdexcept>
+
+namespace hipcloud::net {
+
+using crypto::append_be;
+using crypto::Bytes;
+using crypto::BytesView;
+using crypto::read_be;
+
+DnsRecord DnsRecord::a(Ipv4Addr addr) {
+  Bytes data;
+  append_be(data, addr.value(), 4);
+  return DnsRecord{DnsType::kA, std::move(data)};
+}
+
+DnsRecord DnsRecord::aaaa(const Ipv6Addr& addr) {
+  return DnsRecord{DnsType::kAaaa,
+                   Bytes(addr.bytes().begin(), addr.bytes().end())};
+}
+
+DnsRecord DnsRecord::hip(const Ipv6Addr& hit, BytesView host_identity) {
+  Bytes data(hit.bytes().begin(), hit.bytes().end());
+  data.insert(data.end(), host_identity.begin(), host_identity.end());
+  return DnsRecord{DnsType::kHip, std::move(data)};
+}
+
+Ipv4Addr DnsRecord::as_a() const {
+  if (type != DnsType::kA || data.size() != 4) {
+    throw std::runtime_error("DnsRecord: not an A record");
+  }
+  return Ipv4Addr(static_cast<std::uint32_t>(read_be(data, 0, 4)));
+}
+
+Ipv6Addr DnsRecord::as_aaaa() const {
+  if (type != DnsType::kAaaa || data.size() != 16) {
+    throw std::runtime_error("DnsRecord: not an AAAA record");
+  }
+  return Ipv6Addr::from_bytes(data);
+}
+
+Ipv6Addr DnsRecord::hip_hit() const {
+  if (type != DnsType::kHip || data.size() < 16) {
+    throw std::runtime_error("DnsRecord: not a HIP record");
+  }
+  return Ipv6Addr::from_bytes(BytesView(data).subspan(0, 16));
+}
+
+Bytes DnsRecord::hip_host_identity() const {
+  if (type != DnsType::kHip || data.size() < 16) {
+    throw std::runtime_error("DnsRecord: not a HIP record");
+  }
+  return Bytes(data.begin() + 16, data.end());
+}
+
+// Wire format (simulator-simple, not RFC 1035):
+//   query:    id(2) | type(1) | name_len(2) | name
+//   response: id(2) | count(1) | { type(1) | len(2) | data }*
+namespace {
+Bytes encode_query(std::uint16_t id, DnsType type, const std::string& name) {
+  Bytes out;
+  append_be(out, id, 2);
+  out.push_back(static_cast<std::uint8_t>(type));
+  append_be(out, name.size(), 2);
+  out.insert(out.end(), name.begin(), name.end());
+  return out;
+}
+}  // namespace
+
+DnsServer::DnsServer(Node* node, UdpStack* udp) : node_(node), udp_(udp) {
+  udp_->bind(kDnsPort,
+             [this](const Endpoint& from, const IpAddr&, Bytes data) {
+               on_query(from, std::move(data));
+             });
+}
+
+void DnsServer::add_record(const std::string& name, DnsRecord record) {
+  zone_[name].push_back(std::move(record));
+}
+
+void DnsServer::remove_records(const std::string& name, DnsType type) {
+  const auto it = zone_.find(name);
+  if (it == zone_.end()) return;
+  std::erase_if(it->second,
+                [type](const DnsRecord& r) { return r.type == type; });
+}
+
+std::size_t DnsServer::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, records] : zone_) n += records.size();
+  return n;
+}
+
+void DnsServer::on_query(const Endpoint& from, Bytes data) {
+  if (data.size() < 5) return;
+  const auto id = static_cast<std::uint16_t>(read_be(data, 0, 2));
+  const auto type = static_cast<DnsType>(data[2]);
+  const auto name_len = static_cast<std::size_t>(read_be(data, 3, 2));
+  if (5 + name_len > data.size()) return;
+  const std::string name(data.begin() + 5,
+                         data.begin() + 5 + static_cast<long>(name_len));
+
+  Bytes reply;
+  append_be(reply, id, 2);
+  std::uint8_t count = 0;
+  Bytes records;
+  const auto it = zone_.find(name);
+  if (it != zone_.end()) {
+    for (const auto& record : it->second) {
+      if (record.type != type) continue;
+      records.push_back(static_cast<std::uint8_t>(record.type));
+      append_be(records, record.data.size(), 2);
+      records.insert(records.end(), record.data.begin(), record.data.end());
+      ++count;
+    }
+  }
+  reply.push_back(count);
+  reply.insert(reply.end(), records.begin(), records.end());
+  udp_->send(kDnsPort, from, std::move(reply));
+}
+
+DnsResolver::DnsResolver(Node* node, UdpStack* udp, Endpoint server)
+    : node_(node), udp_(udp), server_(std::move(server)) {
+  port_ = udp_->bind(0, [this](const Endpoint&, const IpAddr&, Bytes data) {
+    on_response(std::move(data));
+  });
+}
+
+void DnsResolver::query(const std::string& name, DnsType type, ResultFn done) {
+  const std::uint16_t id = next_id_++;
+  auto& loop = node_->network().loop();
+  Pending pending;
+  pending.done = std::move(done);
+  pending.timeout = loop.schedule(2 * sim::kSecond, [this, id] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    auto done_fn = std::move(it->second.done);
+    pending_.erase(it);
+    done_fn({});
+  });
+  pending_.emplace(id, std::move(pending));
+  udp_->send(port_, server_, encode_query(id, type, name));
+}
+
+void DnsResolver::on_response(Bytes data) {
+  if (data.size() < 3) return;
+  const auto id = static_cast<std::uint16_t>(read_be(data, 0, 2));
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  node_->network().loop().cancel(it->second.timeout);
+  auto done = std::move(it->second.done);
+  pending_.erase(it);
+
+  std::vector<DnsRecord> records;
+  const std::uint8_t count = data[2];
+  std::size_t off = 3;
+  for (int i = 0; i < count; ++i) {
+    if (off + 3 > data.size()) break;
+    DnsRecord record;
+    record.type = static_cast<DnsType>(data[off]);
+    const auto len = static_cast<std::size_t>(read_be(data, off + 1, 2));
+    off += 3;
+    if (off + len > data.size()) break;
+    record.data.assign(data.begin() + static_cast<long>(off),
+                       data.begin() + static_cast<long>(off + len));
+    off += len;
+    records.push_back(std::move(record));
+  }
+  done(std::move(records));
+}
+
+}  // namespace hipcloud::net

@@ -1,0 +1,121 @@
+#include "net/icmp.hpp"
+
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::net {
+
+namespace {
+constexpr sim::Duration kProbeTimeout = 2 * sim::kSecond;
+}
+
+IcmpStack::IcmpStack(Node* node) : node_(node) {
+  const auto handler = [this](Packet&& pkt) { on_packet(std::move(pkt)); };
+  node_->register_protocol(IpProto::kIcmp, handler);
+  node_->register_protocol(IpProto::kIcmpV6, handler);
+}
+
+void IcmpStack::ping(const IpAddr& dst, int count, sim::Duration interval,
+                     std::size_t payload_size, DoneFn done) {
+  const std::uint16_t ident = next_ident_++;
+  Session& session = sessions_[ident];
+  session.dst = dst;
+  session.total = count;
+  session.outstanding = count;
+  session.done = std::move(done);
+
+  auto& loop = node_->network().loop();
+  for (int i = 0; i < count; ++i) {
+    const auto seq = static_cast<std::uint16_t>(i + 1);
+    loop.schedule(interval * i, [this, ident, seq, dst, payload_size] {
+      auto it = sessions_.find(ident);
+      if (it == sessions_.end()) return;
+      Session& s = it->second;
+      s.probes[seq] = Probe{node_->network().loop().now(), false};
+
+      IcmpEcho echo;
+      echo.is_reply = false;
+      echo.ident = ident;
+      echo.seq = seq;
+      echo.data.assign(payload_size, 0xa5);
+
+      Packet pkt;
+      pkt.dst = dst;
+      const auto src = node_->select_source(dst);
+      if (!src) {
+        sim::Log::write(sim::LogLevel::kWarn,
+                        node_->network().loop().now(), "icmp",
+                        node_->name() + ": no source for ping");
+        s.probes[seq].answered = true;  // consumed as lost
+        ++s.lost;
+        --s.outstanding;
+        finish_if_complete(ident);
+        return;
+      }
+      pkt.src = *src;
+      pkt.proto = proto_for(dst);
+      pkt.payload = echo.serialize();
+      pkt.stamp_l3_overhead();
+      node_->send(std::move(pkt));
+
+      // Per-probe timeout.
+      node_->network().loop().schedule(kProbeTimeout, [this, ident, seq] {
+        auto sit = sessions_.find(ident);
+        if (sit == sessions_.end()) return;
+        Session& sess = sit->second;
+        const auto pit = sess.probes.find(seq);
+        if (pit != sess.probes.end() && !pit->second.answered) {
+          pit->second.answered = true;  // consumed as lost
+          ++sess.lost;
+          --sess.outstanding;
+          finish_if_complete(ident);
+        }
+      });
+    });
+  }
+}
+
+void IcmpStack::on_packet(Packet&& pkt) {
+  IcmpEcho echo;
+  try {
+    echo = IcmpEcho::parse(pkt.payload);
+  } catch (const std::runtime_error&) {
+    return;
+  }
+  if (!echo.is_reply) {
+    // Responder side: bounce the payload back.
+    IcmpEcho reply = echo;
+    reply.is_reply = true;
+    Packet out;
+    out.dst = pkt.src;
+    out.src = pkt.dst;  // reply from the address that was pinged
+    out.proto = proto_for(pkt.src);
+    out.payload = reply.serialize();
+    out.stamp_l3_overhead();
+    node_->send(std::move(out));
+    return;
+  }
+  // Client side: match to a session probe.
+  const auto it = sessions_.find(echo.ident);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  const auto pit = session.probes.find(echo.seq);
+  if (pit == session.probes.end() || pit->second.answered) return;
+  pit->second.answered = true;
+  const sim::Duration rtt =
+      node_->network().loop().now() - pit->second.sent_at;
+  session.rtts.add(sim::to_millis(rtt));
+  --session.outstanding;
+  finish_if_complete(echo.ident);
+}
+
+void IcmpStack::finish_if_complete(std::uint16_t ident) {
+  const auto it = sessions_.find(ident);
+  if (it == sessions_.end() || it->second.outstanding > 0) return;
+  Session session = std::move(it->second);
+  sessions_.erase(it);
+  if (session.done) session.done(session.rtts, session.lost);
+}
+
+}  // namespace hipcloud::net

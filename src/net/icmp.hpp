@@ -1,0 +1,56 @@
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace hipcloud::net {
+
+/// ICMP echo responder + client ("ping"). Installing an IcmpStack makes
+/// the node answer echo requests; `ping()` measures RTTs the way the
+/// paper's Figure 3 does (20 requests, average RTT).
+class IcmpStack {
+ public:
+  using RttFn = std::function<void(sim::Duration rtt)>;
+  using DoneFn = std::function<void(const sim::Summary& rtts, int lost)>;
+
+  explicit IcmpStack(Node* node);
+
+  /// Send `count` echo requests to `dst`, spaced `interval` apart, with
+  /// `payload_size` data bytes. `done` fires after the last reply arrives
+  /// or times out (2 s per probe).
+  void ping(const IpAddr& dst, int count, sim::Duration interval,
+            std::size_t payload_size, DoneFn done);
+
+  Node* node() { return node_; }
+
+ private:
+  struct Probe {
+    sim::Time sent_at;
+    bool answered = false;
+  };
+  struct Session {
+    IpAddr dst;
+    int total = 0;
+    int outstanding = 0;
+    std::map<std::uint16_t, Probe> probes;  // keyed by sequence number
+    sim::Summary rtts;
+    int lost = 0;
+    DoneFn done;
+  };
+
+  void on_packet(Packet&& pkt);
+  void finish_if_complete(std::uint16_t ident);
+  IpProto proto_for(const IpAddr& dst) const {
+    return dst.is_v4() ? IpProto::kIcmp : IpProto::kIcmpV6;
+  }
+
+  Node* node_;
+  std::uint16_t next_ident_ = 1;
+  std::map<std::uint16_t, Session> sessions_;  // keyed by identifier
+};
+
+}  // namespace hipcloud::net

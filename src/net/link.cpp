@@ -1,0 +1,81 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/node.hpp"
+#include "sim/log.hpp"
+
+namespace hipcloud::net {
+
+Link::Link(Network& net, Node* a, Node* b, const LinkConfig& config)
+    : net_(net), config_(config), a_(a), b_(b) {
+  forward_.to = b;
+  backward_.to = a;
+}
+
+Node* Link::peer_of(const Node* node) const {
+  if (node == a_) return b_;
+  if (node == b_) return a_;
+  throw std::logic_error("Link::peer_of: node not attached");
+}
+
+Link::Direction& Link::direction_from(const Node* from) {
+  if (from == a_) return forward_;
+  if (from == b_) return backward_;
+  throw std::logic_error("Link::transmit: node not attached");
+}
+
+bool Link::transmit(Packet pkt, const Node* from) {
+  auto& loop = net_.loop();
+  if (down_) {
+    ++dropped_;
+    return false;
+  }
+  if (pkt.wire_size() > config_.mtu + 20) {
+    // +20: grace for the structured L3 header bookkeeping; anything
+    // beyond is a genuine MTU violation by a mis-sized sender.
+    ++dropped_;
+    sim::Log::write(sim::LogLevel::kDebug, loop.now(), "link",
+                    "MTU drop " + pkt.describe());
+    return false;
+  }
+  if (config_.loss_rate > 0.0 &&
+      net_.rng().uniform() < config_.loss_rate) {
+    ++dropped_;
+    return false;
+  }
+  Direction& dir = direction_from(from);
+  const sim::Time now = loop.now();
+  const sim::Time start = std::max(now, dir.busy_until);
+  if (start - now > config_.max_queue_delay) {
+    ++dropped_;
+    sim::Log::write(sim::LogLevel::kDebug, now, "link",
+                    "queue drop " + pkt.describe());
+    return false;
+  }
+  const auto serialization = static_cast<sim::Duration>(
+      static_cast<double>(pkt.wire_size()) * 8.0 / config_.bandwidth_bps *
+      static_cast<double>(sim::kSecond));
+  dir.busy_until = start + serialization;
+  ++delivered_;
+  delivered_bytes_ += pkt.wire_size();
+
+  Node* to = dir.to;
+  // Destination interface index: found at delivery time to keep Link
+  // independent of attachment order.
+  const sim::Time arrival = dir.busy_until + config_.latency;
+  loop.schedule_at(arrival, [to, this, p = std::move(pkt)]() mutable {
+    std::size_t iface = 0;
+    for (std::size_t i = 0; i < to->interface_count(); ++i) {
+      if (to->link_at(i) == this) {
+        iface = i;
+        break;
+      }
+    }
+    to->deliver(std::move(p), iface);
+  });
+  return true;
+}
+
+}  // namespace hipcloud::net

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace hipcloud::net {
+
+class Node;
+class Network;
+
+/// Full-duplex point-to-point link parameters.
+struct LinkConfig {
+  /// Bits per second each direction can carry.
+  double bandwidth_bps = 1e9;
+  /// One-way propagation delay.
+  sim::Duration latency = sim::from_micros(50);
+  /// Tail-drop threshold expressed as maximum queueing delay: a packet
+  /// whose transmission could not start within this bound is dropped.
+  sim::Duration max_queue_delay = sim::from_millis(50);
+  /// Independent random loss probability per packet (0 disables).
+  double loss_rate = 0.0;
+  /// Maximum transmission unit in bytes; oversized packets are dropped
+  /// (the stack sizes TCP MSS / UDP payloads to respect this).
+  std::size_t mtu = 1500;
+};
+
+/// A link between two nodes. Each direction models serialization delay
+/// (wire_size/bandwidth), propagation latency, and a bounded queue.
+class Link {
+ public:
+  Link(Network& net, Node* a, Node* b, const LinkConfig& config);
+
+  /// Transmit a packet from `from` towards the opposite endpoint.
+  /// Returns false when the packet was dropped (queue overflow, loss or
+  /// MTU violation).
+  bool transmit(Packet pkt, const Node* from);
+
+  Node* peer_of(const Node* node) const;
+  const LinkConfig& config() const { return config_; }
+
+  /// An administratively-down link drops everything (migration source,
+  /// failure injection).
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  std::uint64_t delivered_packets() const { return delivered_; }
+  std::uint64_t dropped_packets() const { return dropped_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+ private:
+  struct Direction {
+    Node* to = nullptr;
+    sim::Time busy_until = 0;
+  };
+
+  Direction& direction_from(const Node* from);
+
+  Network& net_;
+  LinkConfig config_;
+  Direction forward_;   // a -> b
+  Direction backward_;  // b -> a
+  Node* a_;
+  Node* b_;
+  bool down_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+};
+
+}  // namespace hipcloud::net

@@ -1,0 +1,138 @@
+#include "net/nat.hpp"
+
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::net {
+
+using crypto::Bytes;
+
+namespace {
+
+/// Extract (src_port, dst_port) style fields from a transport payload.
+/// For ICMP echo, the identifier plays the port role on both sides.
+struct PortFields {
+  std::uint16_t src;
+  std::uint16_t dst;
+};
+
+bool read_ports(const Packet& pkt, PortFields& out) {
+  try {
+    switch (pkt.proto) {
+      case IpProto::kUdp: {
+        const auto seg = UdpSegment::parse(pkt.payload);
+        out = {seg.src_port, seg.dst_port};
+        return true;
+      }
+      case IpProto::kTcp: {
+        if (pkt.payload.size() < 4) return false;
+        out.src = static_cast<std::uint16_t>(crypto::read_be(pkt.payload, 0, 2));
+        out.dst = static_cast<std::uint16_t>(crypto::read_be(pkt.payload, 2, 2));
+        return true;
+      }
+      case IpProto::kIcmp: {
+        const auto echo = IcmpEcho::parse(pkt.payload);
+        out = {echo.ident, echo.ident};
+        return true;
+      }
+      default:
+        return false;
+    }
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+void write_src_port(Packet& pkt, std::uint16_t port) {
+  switch (pkt.proto) {
+    case IpProto::kUdp:
+    case IpProto::kTcp:
+      pkt.payload[0] = static_cast<std::uint8_t>(port >> 8);
+      pkt.payload[1] = static_cast<std::uint8_t>(port);
+      break;
+    case IpProto::kIcmp:
+      pkt.payload[4] = static_cast<std::uint8_t>(port >> 8);
+      pkt.payload[5] = static_cast<std::uint8_t>(port);
+      break;
+    default:
+      break;
+  }
+}
+
+void write_dst_port(Packet& pkt, std::uint16_t port) {
+  switch (pkt.proto) {
+    case IpProto::kUdp:
+    case IpProto::kTcp:
+      pkt.payload[2] = static_cast<std::uint8_t>(port >> 8);
+      pkt.payload[3] = static_cast<std::uint8_t>(port);
+      break;
+    case IpProto::kIcmp:
+      pkt.payload[4] = static_cast<std::uint8_t>(port >> 8);
+      pkt.payload[5] = static_cast<std::uint8_t>(port);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Nat::Nat(Node* node, std::size_t inside_iface, std::size_t outside_iface,
+         Ipv4Addr public_ip)
+    : node_(node), inside_iface_(inside_iface), outside_iface_(outside_iface),
+      public_ip_(public_ip) {
+  node_->set_forwarding(true);
+  node_->set_forward_hook([this](Packet& pkt, std::size_t in_iface) {
+    return on_forward(pkt, in_iface);
+  });
+}
+
+std::uint16_t Nat::allocate_port(IpProto proto) {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const std::uint16_t port = next_port_++;
+    if (next_port_ < 1024) next_port_ = 1024;
+    if (!by_outside_.count(Key{proto, public_ip_.value(), port})) return port;
+  }
+  throw std::runtime_error("Nat: port space exhausted");
+}
+
+bool Nat::on_forward(Packet& pkt, std::size_t in_iface) {
+  if (!pkt.src.is_v4() || !pkt.dst.is_v4()) return true;  // v6 passes through
+  if (in_iface == inside_iface_) return translate_outbound(pkt);
+  if (in_iface == outside_iface_) return translate_inbound(pkt);
+  return true;
+}
+
+bool Nat::translate_outbound(Packet& pkt) {
+  PortFields ports{};
+  if (!read_ports(pkt, ports)) return false;
+  const Key inside_key{pkt.proto, pkt.src.v4().value(), ports.src};
+  auto it = by_inside_.find(inside_key);
+  if (it == by_inside_.end()) {
+    const std::uint16_t pub_port = allocate_port(pkt.proto);
+    it = by_inside_.emplace(inside_key, pub_port).first;
+    by_outside_[Key{pkt.proto, public_ip_.value(), pub_port}] =
+        InsideEndpoint{pkt.src.v4(), ports.src};
+  }
+  pkt.src = public_ip_;
+  write_src_port(pkt, it->second);
+  return true;
+}
+
+bool Nat::translate_inbound(Packet& pkt) {
+  if (pkt.dst.v4() != public_ip_) return true;  // not addressed to our mapping
+  PortFields ports{};
+  if (!read_ports(pkt, ports)) return false;
+  const auto it = by_outside_.find(Key{pkt.proto, public_ip_.value(), ports.dst});
+  if (it == by_outside_.end()) {
+    // Unsolicited inbound: full-cone NAT still requires an existing
+    // mapping; drop.
+    return false;
+  }
+  pkt.dst = it->second.addr;
+  write_dst_port(pkt, it->second.port);
+  return true;
+}
+
+}  // namespace hipcloud::net

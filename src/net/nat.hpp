@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace hipcloud::net {
+
+/// Classic NAPT middlebox with endpoint-independent ("full cone")
+/// mappings — the NAT behaviour Teredo requires for direct client-to-
+/// client paths. Installs a forward hook on the node; the node must have
+/// forwarding enabled and exactly identified inside/outside interfaces.
+///
+/// Translates TCP and UDP by port and ICMP echo by identifier. Mappings
+/// never expire within a scenario (scenarios run for seconds, real NAT
+/// bindings live minutes).
+///
+/// IMPORTANT: `public_ip` must NOT be added as one of the node's own
+/// interface addresses — inbound translation happens on the forwarding
+/// path, and a packet addressed to an owned address would be delivered
+/// locally instead. Upstream routers simply route `public_ip/32` at the
+/// NAT node.
+class Nat {
+ public:
+  Nat(Node* node, std::size_t inside_iface, std::size_t outside_iface,
+      Ipv4Addr public_ip);
+
+  Ipv4Addr public_ip() const { return public_ip_; }
+  std::size_t active_mappings() const { return by_inside_.size(); }
+
+ private:
+  struct Key {
+    IpProto proto;
+    std::uint32_t addr;  // inside host (outbound) — keyed on v4 value
+    std::uint16_t port;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  bool on_forward(Packet& pkt, std::size_t in_iface);
+  bool translate_outbound(Packet& pkt);
+  bool translate_inbound(Packet& pkt);
+  std::uint16_t allocate_port(IpProto proto);
+
+  Node* node_;
+  std::size_t inside_iface_;
+  std::size_t outside_iface_;
+  Ipv4Addr public_ip_;
+  std::uint16_t next_port_ = 1024;
+  std::map<Key, std::uint16_t> by_inside_;  // inside (proto,ip,port) -> public port
+  struct InsideEndpoint {
+    Ipv4Addr addr;
+    std::uint16_t port;
+  };
+  std::map<Key, InsideEndpoint> by_outside_;  // (proto,pub ip,pub port) -> inside
+};
+
+}  // namespace hipcloud::net

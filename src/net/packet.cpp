@@ -1,0 +1,110 @@
+#include "net/packet.hpp"
+
+#include <stdexcept>
+
+namespace hipcloud::net {
+
+using crypto::append_be;
+using crypto::Bytes;
+using crypto::BytesView;
+using crypto::read_be;
+
+std::string Packet::describe() const {
+  return src.to_string() + " -> " + dst.to_string() + " proto=" +
+         std::to_string(static_cast<int>(proto)) + " len=" +
+         std::to_string(wire_size());
+}
+
+Bytes serialize_ipv6(const Packet& pkt) {
+  if (!pkt.src.is_v6() || !pkt.dst.is_v6()) {
+    throw std::runtime_error("serialize_ipv6: not an IPv6 packet");
+  }
+  Bytes out;
+  out.reserve(40 + pkt.payload.size());
+  out.push_back(0x60);  // version 6, traffic class 0
+  out.push_back(0);
+  append_be(out, 0, 2);  // flow label
+  append_be(out, pkt.payload.size(), 2);
+  out.push_back(static_cast<std::uint8_t>(pkt.proto));
+  out.push_back(pkt.ttl);
+  const auto& src = pkt.src.v6().bytes();
+  const auto& dst = pkt.dst.v6().bytes();
+  out.insert(out.end(), src.begin(), src.end());
+  out.insert(out.end(), dst.begin(), dst.end());
+  out.insert(out.end(), pkt.payload.begin(), pkt.payload.end());
+  return out;
+}
+
+Packet parse_ipv6(BytesView wire) {
+  if (wire.size() < 40 || (wire[0] >> 4) != 6) {
+    throw std::runtime_error("parse_ipv6: malformed header");
+  }
+  const auto payload_len = static_cast<std::size_t>(read_be(wire, 4, 2));
+  if (40 + payload_len > wire.size()) {
+    throw std::runtime_error("parse_ipv6: bad payload length");
+  }
+  Packet pkt;
+  pkt.proto = static_cast<IpProto>(wire[6]);
+  pkt.ttl = wire[7];
+  pkt.src = Ipv6Addr::from_bytes(wire.subspan(8, 16));
+  pkt.dst = Ipv6Addr::from_bytes(wire.subspan(24, 16));
+  pkt.payload.assign(wire.begin() + 40, wire.begin() + 40 + payload_len);
+  pkt.header_overhead = 40;
+  return pkt;
+}
+
+Bytes UdpSegment::serialize() const {
+  Bytes out;
+  out.reserve(kHeaderSize + data.size());
+  append_be(out, src_port, 2);
+  append_be(out, dst_port, 2);
+  append_be(out, kHeaderSize + data.size(), 2);
+  append_be(out, 0, 2);  // checksum: links are loss-modelled, not bit-flipped
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+UdpSegment UdpSegment::parse(BytesView wire) {
+  if (wire.size() < kHeaderSize) {
+    throw std::runtime_error("UdpSegment: truncated header");
+  }
+  UdpSegment seg;
+  seg.src_port = static_cast<std::uint16_t>(read_be(wire, 0, 2));
+  seg.dst_port = static_cast<std::uint16_t>(read_be(wire, 2, 2));
+  const auto length = static_cast<std::size_t>(read_be(wire, 4, 2));
+  if (length < kHeaderSize || length > wire.size()) {
+    throw std::runtime_error("UdpSegment: bad length field");
+  }
+  seg.data.assign(wire.begin() + kHeaderSize, wire.begin() + length);
+  return seg;
+}
+
+Bytes IcmpEcho::serialize() const {
+  Bytes out;
+  out.reserve(kHeaderSize + data.size());
+  out.push_back(is_reply ? 0 : 8);  // type: echo reply / echo request
+  out.push_back(0);                 // code
+  append_be(out, 0, 2);             // checksum (see UDP note)
+  append_be(out, ident, 2);
+  append_be(out, seq, 2);
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+IcmpEcho IcmpEcho::parse(BytesView wire) {
+  if (wire.size() < kHeaderSize) {
+    throw std::runtime_error("IcmpEcho: truncated header");
+  }
+  IcmpEcho echo;
+  const std::uint8_t type = wire[0];
+  if (type != 0 && type != 8) {
+    throw std::runtime_error("IcmpEcho: unsupported type");
+  }
+  echo.is_reply = (type == 0);
+  echo.ident = static_cast<std::uint16_t>(read_be(wire, 4, 2));
+  echo.seq = static_cast<std::uint16_t>(read_be(wire, 6, 2));
+  echo.data.assign(wire.begin() + kHeaderSize, wire.end());
+  return echo;
+}
+
+}  // namespace hipcloud::net

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "net/address.hpp"
+
+namespace hipcloud::net {
+
+/// IP protocol numbers used by the stack.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kEsp = 50,
+  kIcmpV6 = 58,
+  kHip = 139,
+};
+
+/// One IP datagram in flight. Headers are kept structured (src/dst/proto/
+/// ttl) while everything above L3 is real serialized bytes in `payload` —
+/// ESP ciphertext, TCP segments, UDP datagrams. `header_overhead` carries
+/// the L3(+encapsulation) byte count so links charge realistic
+/// serialization delay without us re-serializing IP headers at every hop.
+struct Packet {
+  IpAddr src;
+  IpAddr dst;
+  IpProto proto = IpProto::kUdp;
+  std::uint8_t ttl = 64;
+  crypto::Bytes payload;
+  /// L3 header bytes: 20 for IPv4, 40 for IPv6, plus any outer
+  /// encapsulation already applied (e.g. Teredo's outer IPv4+UDP).
+  std::size_t header_overhead = 0;
+
+  /// Total bytes this packet occupies on a wire.
+  std::size_t wire_size() const { return header_overhead + payload.size(); }
+
+  /// Set header_overhead from the destination's address family.
+  void stamp_l3_overhead() { header_overhead = dst.is_v4() ? 20 : 40; }
+
+  std::string describe() const;
+};
+
+/// Serialize a v6 packet into a full 40-byte IPv6 header + payload —
+/// used when a packet must travel as bytes inside another packet
+/// (Teredo encapsulation). Throws if src/dst are not both IPv6.
+crypto::Bytes serialize_ipv6(const Packet& pkt);
+
+/// Inverse of serialize_ipv6. Throws std::runtime_error on malformed input.
+Packet parse_ipv6(crypto::BytesView wire);
+
+/// UDP datagram view: ports + payload serialized as
+/// src_port(2) | dst_port(2) | length(2) | checksum(2, zero) | data.
+struct UdpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  crypto::Bytes data;
+
+  static constexpr std::size_t kHeaderSize = 8;
+
+  crypto::Bytes serialize() const;
+  static UdpSegment parse(crypto::BytesView wire);
+};
+
+/// ICMP echo (request/reply) used by the ping tool; same shape reused for
+/// ICMPv6 echo.
+struct IcmpEcho {
+  bool is_reply = false;
+  std::uint16_t ident = 0;
+  std::uint16_t seq = 0;
+  crypto::Bytes data;
+
+  static constexpr std::size_t kHeaderSize = 8;
+
+  crypto::Bytes serialize() const;
+  static IcmpEcho parse(crypto::BytesView wire);
+};
+
+}  // namespace hipcloud::net

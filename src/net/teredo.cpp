@@ -1,0 +1,190 @@
+#include "net/teredo.hpp"
+
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::net {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+namespace {
+// One-byte message tags on UDP 3544.
+constexpr std::uint8_t kMsgSolicit = 0x01;
+constexpr std::uint8_t kMsgAdvert = 0x02;
+constexpr std::uint8_t kMsgData = 0x03;
+}  // namespace
+
+Ipv6Addr make_teredo_address(Ipv4Addr server, Ipv4Addr mapped_addr,
+                             std::uint16_t mapped_port) {
+  std::array<std::uint8_t, 16> b{};
+  b[0] = 0x20;
+  b[1] = 0x01;
+  b[2] = 0x00;
+  b[3] = 0x00;
+  const std::uint32_t sv = server.value();
+  b[4] = static_cast<std::uint8_t>(sv >> 24);
+  b[5] = static_cast<std::uint8_t>(sv >> 16);
+  b[6] = static_cast<std::uint8_t>(sv >> 8);
+  b[7] = static_cast<std::uint8_t>(sv);
+  b[8] = 0x80;  // flags: cone NAT
+  b[9] = 0x00;
+  // Obfuscated (inverted) mapped port and address.
+  const std::uint16_t oport = static_cast<std::uint16_t>(~mapped_port);
+  b[10] = static_cast<std::uint8_t>(oport >> 8);
+  b[11] = static_cast<std::uint8_t>(oport);
+  const std::uint32_t oaddr = ~mapped_addr.value();
+  b[12] = static_cast<std::uint8_t>(oaddr >> 24);
+  b[13] = static_cast<std::uint8_t>(oaddr >> 16);
+  b[14] = static_cast<std::uint8_t>(oaddr >> 8);
+  b[15] = static_cast<std::uint8_t>(oaddr);
+  return Ipv6Addr(b);
+}
+
+Endpoint teredo_mapped_endpoint(const Ipv6Addr& addr) {
+  if (!addr.is_teredo()) {
+    throw std::invalid_argument("teredo_mapped_endpoint: not a Teredo address");
+  }
+  const auto& b = addr.bytes();
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      ~((std::uint16_t(b[10]) << 8) | b[11]));
+  const std::uint32_t ip = ~((std::uint32_t(b[12]) << 24) |
+                             (std::uint32_t(b[13]) << 16) |
+                             (std::uint32_t(b[14]) << 8) | b[15]);
+  return Endpoint{IpAddr(Ipv4Addr(ip)), port};
+}
+
+// ---------------------------------------------------------------------------
+// TeredoServer
+
+TeredoServer::TeredoServer(Node* node, UdpStack* udp)
+    : node_(node), udp_(udp) {
+  udp_->bind(kTeredoPort,
+             [this](const Endpoint& from, const IpAddr& local, Bytes data) {
+               on_datagram(from, local, std::move(data));
+             });
+}
+
+void TeredoServer::on_datagram(const Endpoint& from, const IpAddr& /*local*/,
+                               Bytes data) {
+  if (data.empty()) return;
+  if (data[0] == kMsgSolicit) {
+    // Router advertisement: tell the client its observed endpoint.
+    Bytes reply{kMsgAdvert};
+    crypto::append_be(reply, from.addr.v4().value(), 4);
+    crypto::append_be(reply, from.port, 2);
+    udp_->send(kTeredoPort, from, std::move(reply));
+    return;
+  }
+  if (data[0] == kMsgData) {
+    // Relay: deliver to the Teredo destination extracted from the inner
+    // IPv6 header.
+    Packet inner;
+    try {
+      inner = parse_ipv6(BytesView(data).subspan(1));
+    } catch (const std::runtime_error&) {
+      return;
+    }
+    if (!inner.dst.is_teredo()) {
+      sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(),
+                      "teredo", "relay: non-Teredo destination " +
+                                    inner.dst.to_string() + ", dropping");
+      return;
+    }
+    const Endpoint mapped = teredo_mapped_endpoint(inner.dst.v6());
+    udp_->send(kTeredoPort, mapped, std::move(data));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TeredoClient
+
+/// L3 shim that captures IPv6 traffic towards Teredo space.
+class TeredoClient::Shim : public L3Shim {
+ public:
+  explicit Shim(TeredoClient* client) : client_(client) {}
+
+  bool outbound(Packet& pkt) override {
+    if (!pkt.dst.is_teredo()) return false;
+    if (!client_->qualified_) {
+      sim::Log::write(sim::LogLevel::kWarn,
+                      client_->node_->network().loop().now(), "teredo",
+                      client_->node_->name() +
+                          ": Teredo destination but not qualified; dropping");
+      return true;
+    }
+    client_->send_tunnelled(std::move(pkt));
+    return true;
+  }
+
+  bool inbound(Packet&) override { return false; }  // arrives via UDP instead
+
+  std::size_t path_overhead(const IpAddr& dst) const override {
+    return dst.is_teredo() ? TeredoClient::kTunnelOverhead : 0;
+  }
+
+ private:
+  TeredoClient* client_;
+};
+
+TeredoClient::TeredoClient(Node* node, UdpStack* udp, Endpoint server)
+    : node_(node), udp_(udp), server_(std::move(server)) {
+  local_port_ = udp_->bind(
+      0, [this](const Endpoint& from, const IpAddr& local, Bytes data) {
+        on_datagram(from, local, std::move(data));
+      });
+  node_->add_shim(std::make_shared<Shim>(this));
+}
+
+void TeredoClient::qualify(QualifiedFn done) {
+  pending_done_ = std::move(done);
+  udp_->send(local_port_, server_, Bytes{kMsgSolicit});
+}
+
+void TeredoClient::on_datagram(const Endpoint& /*from*/,
+                               const IpAddr& /*local*/, Bytes data) {
+  if (data.empty()) return;
+  if (data[0] == kMsgAdvert && data.size() >= 7) {
+    const auto mapped_ip =
+        Ipv4Addr(static_cast<std::uint32_t>(crypto::read_be(data, 1, 4)));
+    const auto mapped_port =
+        static_cast<std::uint16_t>(crypto::read_be(data, 5, 2));
+    address_ = make_teredo_address(server_.addr.v4(), mapped_ip, mapped_port);
+    if (!qualified_) {
+      const std::size_t iface = node_->add_virtual_interface();
+      node_->add_address(iface, address_);
+      qualified_ = true;
+    }
+    if (pending_done_) {
+      auto done = std::move(pending_done_);
+      pending_done_ = nullptr;
+      done(address_);
+    }
+    return;
+  }
+  if (data[0] == kMsgData) {
+    Packet inner;
+    try {
+      inner = parse_ipv6(BytesView(data).subspan(1));
+    } catch (const std::runtime_error&) {
+      return;
+    }
+    // Outer encapsulation already charged on the wire; re-inject the
+    // inner packet into our own stack.
+    node_->deliver(std::move(inner), 0);
+  }
+}
+
+void TeredoClient::send_tunnelled(Packet&& pkt) {
+  // Ensure the inner packet carries our Teredo source.
+  if (!pkt.src.is_teredo()) pkt.src = address_;
+  Bytes wire{kMsgData};
+  const Bytes inner = serialize_ipv6(pkt);
+  wire.insert(wire.end(), inner.begin(), inner.end());
+  // All traffic goes via the server/relay — the conservative Teredo path,
+  // and the one that reproduces the latency penalty the paper measured.
+  udp_->send(local_port_, server_, std::move(wire));
+}
+
+}  // namespace hipcloud::net

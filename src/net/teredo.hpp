@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/udp.hpp"
+
+namespace hipcloud::net {
+
+constexpr std::uint16_t kTeredoPort = 3544;
+
+/// Build a Teredo address (RFC 4380 §4) from the server IPv4 and the
+/// client's NAT-observed public endpoint. Port and address are stored
+/// obfuscated (bit-inverted) exactly as the RFC specifies.
+Ipv6Addr make_teredo_address(Ipv4Addr server, Ipv4Addr mapped_addr,
+                             std::uint16_t mapped_port);
+
+/// Extract the obfuscated mapped endpoint back out of a Teredo address.
+Endpoint teredo_mapped_endpoint(const Ipv6Addr& addr);
+
+/// Combined Teredo server + relay. Clients qualify against it to learn
+/// their mapped endpoint; IPv6 packets between Teredo clients are relayed
+/// through it (modelling the detour that gives Teredo the worst RTT in
+/// the paper's Figure 3).
+class TeredoServer {
+ public:
+  TeredoServer(Node* node, UdpStack* udp);
+
+  Node* node() { return node_; }
+
+ private:
+  void on_datagram(const Endpoint& from, const IpAddr& local,
+                   crypto::Bytes data);
+
+  Node* node_;
+  UdpStack* udp_;
+};
+
+/// Teredo client: qualifies against the server, installs the resulting
+/// 2001:0::/32 address on the node and registers an L3 shim that tunnels
+/// IPv6-to-Teredo traffic in UDP/IPv4 via the relay.
+class TeredoClient {
+ public:
+  using QualifiedFn = std::function<void(const Ipv6Addr& teredo_addr)>;
+
+  TeredoClient(Node* node, UdpStack* udp, Endpoint server);
+
+  /// Start qualification; `done` fires with the assigned address.
+  void qualify(QualifiedFn done);
+
+  bool qualified() const { return qualified_; }
+  const Ipv6Addr& address() const { return address_; }
+
+  /// Per-packet overhead the tunnel adds: outer IPv4(20) + UDP(8) and the
+  /// inner full IPv6 header(40) replacing the structured-L3 accounting.
+  static constexpr std::size_t kTunnelOverhead = 28;
+
+ private:
+  class Shim;
+
+  void on_datagram(const Endpoint& from, const IpAddr& local,
+                   crypto::Bytes data);
+  void send_tunnelled(Packet&& pkt);
+
+  Node* node_;
+  UdpStack* udp_;
+  Endpoint server_;
+  std::uint16_t local_port_ = 0;
+  bool qualified_ = false;
+  Ipv6Addr address_;
+  QualifiedFn pending_done_;
+};
+
+}  // namespace hipcloud::net

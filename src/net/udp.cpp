@@ -1,0 +1,69 @@
+#include "net/udp.hpp"
+
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::net {
+
+UdpStack::UdpStack(Node* node) : node_(node) {
+  node_->register_protocol(IpProto::kUdp,
+                           [this](Packet&& pkt) { on_packet(std::move(pkt)); });
+}
+
+std::uint16_t UdpStack::bind(std::uint16_t port, ReceiveFn handler) {
+  if (port == 0) {
+    while (bindings_.count(next_ephemeral_)) {
+      ++next_ephemeral_;
+      if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+    }
+    port = next_ephemeral_++;
+  } else if (bindings_.count(port)) {
+    throw std::runtime_error("UdpStack: port " + std::to_string(port) +
+                             " already bound on " + node_->name());
+  }
+  bindings_[port] = std::move(handler);
+  return port;
+}
+
+void UdpStack::unbind(std::uint16_t port) { bindings_.erase(port); }
+
+void UdpStack::send(std::uint16_t src_port, const Endpoint& dst,
+                    crypto::Bytes data, std::optional<IpAddr> src_addr) {
+  Packet pkt;
+  pkt.dst = dst.addr;
+  if (src_addr) {
+    pkt.src = *src_addr;
+  } else {
+    const auto src = node_->select_source(dst.addr);
+    if (!src) {
+      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
+                      "udp", node_->name() + ": no source address for " +
+                                 dst.addr.to_string());
+      return;
+    }
+    pkt.src = *src;
+  }
+  pkt.proto = IpProto::kUdp;
+  UdpSegment seg;
+  seg.src_port = src_port;
+  seg.dst_port = dst.port;
+  seg.data = std::move(data);
+  pkt.payload = seg.serialize();
+  pkt.stamp_l3_overhead();
+  node_->send(std::move(pkt));
+}
+
+void UdpStack::on_packet(Packet&& pkt) {
+  UdpSegment seg;
+  try {
+    seg = UdpSegment::parse(pkt.payload);
+  } catch (const std::runtime_error&) {
+    return;  // malformed datagrams are silently dropped, as real stacks do
+  }
+  const auto it = bindings_.find(seg.dst_port);
+  if (it == bindings_.end()) return;  // no listener: drop (no ICMP unreachable)
+  it->second(Endpoint{pkt.src, seg.src_port}, pkt.dst, std::move(seg.data));
+}
+
+}  // namespace hipcloud::net

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace hipcloud::net {
+
+/// Per-node UDP layer: port demultiplexing over the node's IP layer.
+/// Create one per node that speaks UDP; it registers itself for
+/// IpProto::kUdp on construction.
+class UdpStack {
+ public:
+  /// (source endpoint, local destination address, payload)
+  using ReceiveFn =
+      std::function<void(const Endpoint& from, const IpAddr& local,
+                         crypto::Bytes data)>;
+
+  explicit UdpStack(Node* node);
+
+  /// Bind a receive callback to a port; port 0 picks an ephemeral port.
+  /// Returns the bound port. Throws std::runtime_error if taken.
+  std::uint16_t bind(std::uint16_t port, ReceiveFn handler);
+
+  void unbind(std::uint16_t port);
+
+  /// Send a datagram from `src_port` to `dst`. Source address is selected
+  /// from the node unless `src_addr` pins it.
+  void send(std::uint16_t src_port, const Endpoint& dst, crypto::Bytes data,
+            std::optional<IpAddr> src_addr = std::nullopt);
+
+  Node* node() { return node_; }
+
+ private:
+  void on_packet(Packet&& pkt);
+
+  Node* node_;
+  std::map<std::uint16_t, ReceiveFn> bindings_;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace hipcloud::net

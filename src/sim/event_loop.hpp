@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hipcloud::sim {
+
+/// Handle returned by EventLoop::schedule(); can be used to cancel the
+/// event before it fires. Value-semantic and cheap to copy.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events scheduled for the same instant fire in schedule order (FIFO),
+/// which together with the seeded PRNGs makes every scenario bit-for-bit
+/// reproducible. Single-threaded by design: one EventLoop = one simulated
+/// world. Parallelism belongs one level up (independent worlds on
+/// independent threads, e.g. the bench harness sweeping client counts).
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` from now. Negative delays clamp to 0.
+  EventHandle schedule(Duration delay, Callback cb);
+
+  /// Schedule `cb` at an absolute virtual time (>= now).
+  EventHandle schedule_at(Time when, Callback cb);
+
+  /// Cancel a pending event. Returns true if the event existed and had
+  /// not yet fired. Cancelling twice (or after firing) is a harmless no-op.
+  bool cancel(EventHandle h);
+
+  /// Run until the event queue drains or `until` (if >= 0) is reached.
+  /// Returns the number of events executed.
+  std::size_t run(Time until = -1);
+
+  /// Execute at most one pending event. Returns false when queue is empty
+  /// or the next event lies beyond `until` (when `until` >= 0).
+  bool step(Time until = -1);
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// True when no live events remain.
+  bool idle() const { return pending() == 0; }
+
+  /// Request run() to stop after the current event completes.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;  // tiebreaker: FIFO within the same instant
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Cancelled ids are tombstoned; entries are skipped lazily when popped.
+  // Hash set: cancellation churn is heavy (every TCP ack re-arms the RTO
+  // timer) and this is consulted on every pop.
+  std::unordered_set<std::uint64_t> cancelled_;
+
+  bool is_cancelled(std::uint64_t id) const {
+    return cancelled_.count(id) > 0;
+  }
+};
+
+}  // namespace hipcloud::sim

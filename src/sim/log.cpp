@@ -1,0 +1,17 @@
+#include "sim/log.hpp"
+
+namespace hipcloud::sim {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::write(LogLevel lvl, Time now, const char* tag,
+                const std::string& msg) {
+  if (lvl < level_) return;
+  static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  const auto idx = static_cast<int>(lvl);
+  if (idx < 0 || idx > 4) return;
+  std::fprintf(stderr, "[%12s] %-5s %s: %s\n", format_time(now).c_str(),
+               names[idx], tag, msg.c_str());
+}
+
+}  // namespace hipcloud::sim

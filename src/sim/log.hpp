@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace hipcloud::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log sink for the simulator. Defaults to kWarn so tests and
+/// benches stay quiet; examples raise it to kInfo to narrate scenarios.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+
+  /// Emit one line: "[ 12.345ms] tag: message". Cheap no-op below level.
+  static void write(LogLevel lvl, Time now, const char* tag,
+                    const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace hipcloud::sim

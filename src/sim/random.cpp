@@ -1,0 +1,14 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+namespace hipcloud::sim {
+
+double Xoshiro256::exponential(double mean) {
+  // Inverse-transform sampling; clamp away from 0 to avoid log(0).
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace hipcloud::sim

@@ -1,0 +1,81 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hipcloud::sim {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  // Welford's online update keeps mean/variance numerically stable even
+  // for millions of samples with large offsets.
+  const double n = static_cast<double>(samples_.size());
+  const double delta = x - mean_;
+  mean_ += delta / n;
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 100.0) q = 100.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = samples_.size();
+  // Nearest-rank: ceil(q/100 * n), 1-indexed.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+void Summary::clear() {
+  samples_.clear();
+  sorted_ = true;
+  mean_ = m2_ = sum_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (buckets == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+}  // namespace hipcloud::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hipcloud::sim {
+
+/// Streaming summary statistics (Welford's algorithm) with full-sample
+/// retention for exact percentiles. Samples are doubles in caller-chosen
+/// units.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return count() ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile by nearest-rank on the sorted sample, q in [0,100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+  double sum() const { return sum_; }
+
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram for latency distributions; buckets are
+/// half-open [lo, hi) spans of equal width plus an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t bucket) const { return lo_ + width_ * static_cast<double>(bucket); }
+  double bucket_high(std::size_t bucket) const { return bucket_low(bucket) + width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t overflow_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hipcloud::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace hipcloud::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_micros(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(t));
+  }
+  return buf;
+}
+
+}  // namespace hipcloud::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hipcloud::sim {
+
+/// Virtual simulation time in nanoseconds since scenario start.
+///
+/// All latency, bandwidth and CPU-cost arithmetic in the simulator is done
+/// in this unit. A plain signed 64-bit count covers ~292 years, far beyond
+/// any scenario.
+using Time = std::int64_t;
+
+/// Duration alias — same representation as Time, kept separate in
+/// signatures for readability.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Convert a duration expressed in (possibly fractional) seconds.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Convert a duration expressed in (possibly fractional) milliseconds.
+constexpr Duration from_millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Convert a duration expressed in (possibly fractional) microseconds.
+constexpr Duration from_micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_micros(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Render a time as a human-readable string (e.g. "12.345ms") for logs.
+std::string format_time(Time t);
+
+}  // namespace hipcloud::sim

@@ -1,0 +1,76 @@
+#include "tls/cert.hpp"
+
+#include <stdexcept>
+
+namespace hipcloud::tls {
+
+using crypto::append_be;
+using crypto::Bytes;
+using crypto::BytesView;
+using crypto::read_be;
+
+namespace {
+void append_blob(Bytes& out, BytesView blob) {
+  append_be(out, blob.size(), 2);
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+Bytes read_blob(BytesView wire, std::size_t& off) {
+  if (off + 2 > wire.size()) throw std::runtime_error("cert: truncated");
+  const auto len = static_cast<std::size_t>(read_be(wire, off, 2));
+  off += 2;
+  if (off + len > wire.size()) throw std::runtime_error("cert: truncated");
+  Bytes out(wire.begin() + static_cast<long>(off),
+            wire.begin() + static_cast<long>(off + len));
+  off += len;
+  return out;
+}
+}  // namespace
+
+Bytes Certificate::tbs() const {
+  Bytes out;
+  append_blob(out, crypto::to_bytes(subject));
+  append_blob(out, crypto::to_bytes(issuer));
+  append_blob(out, public_key);
+  return out;
+}
+
+Bytes Certificate::encode() const {
+  Bytes out = tbs();
+  append_blob(out, signature);
+  return out;
+}
+
+Certificate Certificate::decode(BytesView wire) {
+  Certificate cert;
+  std::size_t off = 0;
+  const Bytes subject = read_blob(wire, off);
+  const Bytes issuer = read_blob(wire, off);
+  cert.subject.assign(subject.begin(), subject.end());
+  cert.issuer.assign(issuer.begin(), issuer.end());
+  cert.public_key = read_blob(wire, off);
+  cert.signature = read_blob(wire, off);
+  return cert;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           crypto::HmacDrbg& drbg,
+                                           std::size_t bits)
+    : name_(std::move(name)), key_(crypto::rsa_generate(drbg, bits)) {}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const crypto::RsaPublicKey& key) const {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.public_key = key.encode();
+  cert.signature = crypto::rsa_sign_pkcs1(key_.priv, cert.tbs());
+  return cert;
+}
+
+bool CertificateAuthority::verify(const crypto::RsaPublicKey& ca_key,
+                                  const Certificate& cert) {
+  return crypto::rsa_verify_pkcs1(ca_key, cert.tbs(), cert.signature);
+}
+
+}  // namespace hipcloud::tls

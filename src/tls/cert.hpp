@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/rsa.hpp"
+
+namespace hipcloud::tls {
+
+/// Minimal X.509-like certificate: a subject name bound to an RSA public
+/// key by a CA signature. Enough structure for the SSL baseline the paper
+/// compares HIP against (stunnel/OpenVPN-style deployments).
+struct Certificate {
+  std::string subject;
+  crypto::Bytes public_key;  // RsaPublicKey::encode()
+  std::string issuer;
+  crypto::Bytes signature;   // CA signature over subject|issuer|public_key
+
+  crypto::Bytes tbs() const;  // "to be signed" bytes
+  crypto::Bytes encode() const;
+  static Certificate decode(crypto::BytesView wire);
+
+  crypto::RsaPublicKey rsa() const {
+    return crypto::RsaPublicKey::decode(public_key);
+  }
+};
+
+/// Certificate authority: issues and verifies certificates.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, crypto::HmacDrbg& drbg,
+                       std::size_t bits = 1024);
+
+  const std::string& name() const { return name_; }
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+
+  Certificate issue(const std::string& subject,
+                    const crypto::RsaPublicKey& key) const;
+
+  static bool verify(const crypto::RsaPublicKey& ca_key,
+                     const Certificate& cert);
+
+ private:
+  std::string name_;
+  crypto::RsaKeyPair key_;
+};
+
+}  // namespace hipcloud::tls

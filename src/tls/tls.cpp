@@ -1,0 +1,391 @@
+#include "tls/tls.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/log.hpp"
+
+namespace hipcloud::tls {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+namespace {
+constexpr std::uint8_t kRecordHandshake = 22;
+constexpr std::uint8_t kRecordApplication = 23;
+constexpr std::uint8_t kRecordAlert = 21;
+
+constexpr std::uint8_t kHsClientHello = 1;
+constexpr std::uint8_t kHsServerHello = 2;
+constexpr std::uint8_t kHsClientKeyExchange = 16;
+constexpr std::uint8_t kHsFinished = 20;
+
+constexpr std::size_t kMacLen = 16;
+}  // namespace
+
+std::shared_ptr<TlsSession> TlsSession::client(
+    std::shared_ptr<net::TcpConnection> conn, net::Node* node,
+    TlsConfig config, std::uint64_t seed) {
+  auto session = std::shared_ptr<TlsSession>(new TlsSession(
+      std::move(conn), node, std::move(config), /*is_client=*/true, seed));
+  session->start();
+  return session;
+}
+
+std::shared_ptr<TlsSession> TlsSession::server(
+    std::shared_ptr<net::TcpConnection> conn, net::Node* node,
+    TlsConfig config, std::uint64_t seed) {
+  auto session = std::shared_ptr<TlsSession>(new TlsSession(
+      std::move(conn), node, std::move(config), /*is_client=*/false, seed));
+  session->start();
+  return session;
+}
+
+TlsSession::TlsSession(std::shared_ptr<net::TcpConnection> conn,
+                       net::Node* node, TlsConfig config, bool is_client,
+                       std::uint64_t seed)
+    : conn_(std::move(conn)), node_(node), config_(std::move(config)),
+      is_client_(is_client), drbg_(seed, "tls:" + node->name()) {}
+
+void TlsSession::charge(double cycles, std::function<void()> then) {
+  node_->cpu().run(cycles, std::move(then));
+}
+
+void TlsSession::start() {
+  auto self = shared_from_this();
+  conn_->on_data([self](Bytes chunk) { self->on_tcp_data(std::move(chunk)); });
+  conn_->on_close([self] {
+    if (self->state_ != State::kClosed) {
+      self->state_ = State::kClosed;
+      if (self->on_close_) self->on_close_();
+    }
+  });
+
+  const auto begin = [self] {
+    self->handshake_start_ = self->node_->network().loop().now();
+    if (self->is_client_) {
+      self->client_random_ = self->drbg_.generate(32);
+      Bytes hello{kHsClientHello};
+      hello.insert(hello.end(), self->client_random_.begin(),
+                   self->client_random_.end());
+      self->transcript_.insert(self->transcript_.end(), hello.begin(),
+                               hello.end());
+      self->send_record(kRecordHandshake, hello, /*encrypted=*/false);
+      self->state_ = State::kHelloSent;
+    } else {
+      self->state_ = State::kWaitHello;
+    }
+  };
+  if (conn_->established()) {
+    begin();
+  } else {
+    conn_->on_connect(begin);
+  }
+}
+
+void TlsSession::send(Bytes data) {
+  if (state_ == State::kEstablished) {
+    charge(config_.costs.tls_record_cycles(data.size()),
+           [self = shared_from_this(), d = std::move(data)] {
+             if (self->state_ != State::kEstablished) return;
+             self->send_record(kRecordApplication, d, /*encrypted=*/true);
+           });
+    return;
+  }
+  if (state_ == State::kClosed || state_ == State::kError) return;
+  pending_sends_.push_back(std::move(data));
+}
+
+void TlsSession::close() {
+  if (state_ == State::kEstablished) {
+    send_record(kRecordAlert, Bytes{0}, /*encrypted=*/true);
+  }
+  state_ = State::kClosed;
+  conn_->close();
+}
+
+void TlsSession::fail(const char* reason) {
+  sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(), "tls",
+                  node_->name() + ": handshake failed: " + reason);
+  state_ = State::kError;
+  conn_->reset();
+  if (on_close_) on_close_();
+}
+
+void TlsSession::send_record(std::uint8_t type, BytesView body,
+                             bool encrypted) {
+  Bytes payload;
+  if (encrypted) {
+    // Nonce from the record sequence number; MAC over seq|type|ciphertext.
+    Bytes nonce(12, 0);
+    crypto::Bytes seq_bytes;
+    crypto::append_be(seq_bytes, seq_out_, 8);
+    std::copy(seq_bytes.begin(), seq_bytes.end(), nonce.begin() + 4);
+    payload = crypto::aes_ctr(*enc_out_, nonce, 1, body);
+    Bytes mac_input{type};
+    mac_input.insert(mac_input.end(), seq_bytes.begin(), seq_bytes.end());
+    mac_input.insert(mac_input.end(), payload.begin(), payload.end());
+    Bytes mac = crypto::hmac_sha256(mac_out_key_, mac_input);
+    mac.resize(kMacLen);
+    payload.insert(payload.end(), mac.begin(), mac.end());
+    ++seq_out_;
+  } else {
+    payload.assign(body.begin(), body.end());
+  }
+  Bytes record;
+  record.push_back(type);
+  crypto::append_be(record, payload.size(), 3);
+  record.insert(record.end(), payload.begin(), payload.end());
+  conn_->send(std::move(record));
+}
+
+void TlsSession::on_tcp_data(Bytes chunk) {
+  recv_buf_.insert(recv_buf_.end(), chunk.begin(), chunk.end());
+  pump();
+}
+
+void TlsSession::pump() {
+  while (!paused_ && recv_buf_.size() >= 4) {
+    const std::uint8_t type = recv_buf_[0];
+    const auto len = static_cast<std::size_t>(crypto::read_be(recv_buf_, 1, 3));
+    if (recv_buf_.size() < 4 + len) return;
+    Bytes body(recv_buf_.begin() + 4,
+               recv_buf_.begin() + 4 + static_cast<long>(len));
+    recv_buf_.erase(recv_buf_.begin(),
+                    recv_buf_.begin() + 4 + static_cast<long>(len));
+    process_record(type, std::move(body));
+    if (state_ == State::kError || state_ == State::kClosed) return;
+  }
+}
+
+void TlsSession::process_record(std::uint8_t type, Bytes body) {
+  const bool encrypted_phase =
+      enc_in_.has_value() &&
+      (type == kRecordApplication || type == kRecordAlert ||
+       (type == kRecordHandshake && state_ == State::kWaitFinished));
+  if (encrypted_phase) {
+    if (body.size() < kMacLen) return fail("short record");
+    Bytes mac(body.end() - kMacLen, body.end());
+    body.resize(body.size() - kMacLen);
+    Bytes seq_bytes;
+    crypto::append_be(seq_bytes, seq_in_, 8);
+    Bytes mac_input{type};
+    mac_input.insert(mac_input.end(), seq_bytes.begin(), seq_bytes.end());
+    mac_input.insert(mac_input.end(), body.begin(), body.end());
+    Bytes expected = crypto::hmac_sha256(mac_in_key_, mac_input);
+    expected.resize(kMacLen);
+    if (!crypto::ct_equal(mac, expected)) return fail("bad record MAC");
+    Bytes nonce(12, 0);
+    std::copy(seq_bytes.begin(), seq_bytes.end(), nonce.begin() + 4);
+    body = crypto::aes_ctr(*enc_in_, nonce, 1, body);
+    ++seq_in_;
+  }
+
+  switch (type) {
+    case kRecordHandshake:
+      handle_handshake(std::move(body));
+      break;
+    case kRecordApplication: {
+      if (state_ != State::kEstablished) return fail("early app data");
+      charge(config_.costs.tls_record_cycles(body.size()),
+             [self = shared_from_this(), b = std::move(body)]() mutable {
+               if (self->on_data_) self->on_data_(std::move(b));
+             });
+      break;
+    }
+    case kRecordAlert:
+      state_ = State::kClosed;
+      conn_->close();
+      if (on_close_) on_close_();
+      break;
+    default:
+      fail("unknown record type");
+  }
+}
+
+void TlsSession::derive_keys() {
+  Bytes salt = client_random_;
+  salt.insert(salt.end(), server_random_.begin(), server_random_.end());
+  master_ = crypto::hkdf_extract(salt, premaster_);
+  const Bytes block =
+      crypto::hkdf_expand(master_, crypto::to_bytes("key expansion"), 4 * 32);
+  auto slice = [&block](int i) {
+    return Bytes(block.begin() + i * 32, block.begin() + (i + 1) * 32);
+  };
+  const Bytes client_enc = slice(0), client_mac = slice(1);
+  const Bytes server_enc = slice(2), server_mac = slice(3);
+  if (is_client_) {
+    enc_out_.emplace(BytesView(client_enc).subspan(0, 16));
+    mac_out_key_ = client_mac;
+    enc_in_.emplace(BytesView(server_enc).subspan(0, 16));
+    mac_in_key_ = server_mac;
+  } else {
+    enc_out_.emplace(BytesView(server_enc).subspan(0, 16));
+    mac_out_key_ = server_mac;
+    enc_in_.emplace(BytesView(client_enc).subspan(0, 16));
+    mac_in_key_ = client_mac;
+  }
+}
+
+crypto::Bytes TlsSession::finished_mac(bool client_side) const {
+  const Bytes label = crypto::to_bytes(client_side ? "client finished"
+                                                   : "server finished");
+  Bytes input = label;
+  const Bytes digest = crypto::Sha256::digest(transcript_);
+  input.insert(input.end(), digest.begin(), digest.end());
+  return crypto::hmac_sha256(master_, input);
+}
+
+void TlsSession::finish_handshake() {
+  state_ = State::kEstablished;
+  handshake_latency_ = node_->network().loop().now() - handshake_start_;
+  if (on_established_) on_established_();
+  while (!pending_sends_.empty()) {
+    Bytes data = std::move(pending_sends_.front());
+    pending_sends_.pop_front();
+    send(std::move(data));
+  }
+}
+
+void TlsSession::handle_handshake(Bytes body) {
+  if (body.empty()) return fail("empty handshake");
+  const std::uint8_t msg_type = body[0];
+
+  switch (msg_type) {
+    case kHsClientHello: {
+      if (is_client_ || state_ != State::kWaitHello) return fail("bad hello");
+      if (body.size() != 33) return fail("malformed ClientHello");
+      client_random_.assign(body.begin() + 1, body.end());
+      transcript_.insert(transcript_.end(), body.begin(), body.end());
+      if (!config_.certificate || !config_.private_key) {
+        return fail("server has no certificate");
+      }
+      server_random_ = drbg_.generate(32);
+      Bytes hello{kHsServerHello};
+      hello.insert(hello.end(), server_random_.begin(), server_random_.end());
+      const Bytes cert = config_.certificate->encode();
+      crypto::append_be(hello, cert.size(), 2);
+      hello.insert(hello.end(), cert.begin(), cert.end());
+      transcript_.insert(transcript_.end(), hello.begin(), hello.end());
+      send_record(kRecordHandshake, hello, false);
+      state_ = State::kWaitKeyEx;
+      break;
+    }
+    case kHsServerHello: {
+      if (!is_client_ || state_ != State::kHelloSent) return fail("bad hello");
+      if (body.size() < 35) return fail("malformed ServerHello");
+      server_random_.assign(body.begin() + 1, body.begin() + 33);
+      const auto cert_len =
+          static_cast<std::size_t>(crypto::read_be(body, 33, 2));
+      if (35 + cert_len > body.size()) return fail("malformed certificate");
+      Certificate cert;
+      try {
+        cert = Certificate::decode(BytesView(body).subspan(35, cert_len));
+      } catch (const std::runtime_error&) {
+        return fail("unparseable certificate");
+      }
+      transcript_.insert(transcript_.end(), body.begin(), body.end());
+
+      // Verify the certificate chain, then do the RSA key transport —
+      // the client's expensive steps, charged to its CPU.
+      if (config_.ca_public_key &&
+          !CertificateAuthority::verify(*config_.ca_public_key, cert)) {
+        return fail("certificate verification failed");
+      }
+      premaster_ = drbg_.generate(48);
+      crypto::RsaPublicKey server_key;
+      try {
+        server_key = cert.rsa();
+      } catch (const std::runtime_error&) {
+        return fail("bad server key");
+      }
+      const std::size_t server_bits = server_key.n.bit_length();
+      const double cycles =
+          config_.costs.rsa_verify_cycles(1024) +  // cert signature check
+          config_.costs.rsa_verify_cycles(server_bits);  // RSA encrypt
+      paused_ = true;
+      charge(cycles, [self = shared_from_this(), server_key] {
+        self->paused_ = false;
+        if (self->state_ != State::kHelloSent) return;
+        Bytes keyex{kHsClientKeyExchange};
+        const Bytes encrypted = crypto::rsa_encrypt_pkcs1(
+            server_key, self->drbg_, self->premaster_);
+        crypto::append_be(keyex, encrypted.size(), 2);
+        keyex.insert(keyex.end(), encrypted.begin(), encrypted.end());
+        self->transcript_.insert(self->transcript_.end(), keyex.begin(),
+                                 keyex.end());
+        self->send_record(kRecordHandshake, keyex, false);
+        self->derive_keys();
+        const Bytes finished_body = [&] {
+          Bytes fin{kHsFinished};
+          const Bytes mac = self->finished_mac(/*client_side=*/true);
+          fin.insert(fin.end(), mac.begin(), mac.end());
+          return fin;
+        }();
+        self->send_record(kRecordHandshake, finished_body,
+                          /*encrypted=*/true);
+        // Both sides include the client Finished in the transcript that
+        // the server Finished covers.
+        self->transcript_.insert(self->transcript_.end(),
+                                 finished_body.begin(), finished_body.end());
+        self->state_ = State::kWaitFinished;
+        self->pump();
+      });
+      break;
+    }
+    case kHsClientKeyExchange: {
+      if (is_client_ || state_ != State::kWaitKeyEx) return fail("bad keyex");
+      if (body.size() < 3) return fail("malformed keyex");
+      const auto enc_len =
+          static_cast<std::size_t>(crypto::read_be(body, 1, 2));
+      if (3 + enc_len > body.size()) return fail("malformed keyex");
+      const Bytes encrypted(body.begin() + 3,
+                            body.begin() + 3 + static_cast<long>(enc_len));
+      transcript_.insert(transcript_.end(), body.begin(), body.end());
+
+      // RSA private decryption: the server's expensive step.
+      const double cycles = config_.costs.rsa_sign_cycles(
+          config_.private_key->n.bit_length());
+      paused_ = true;
+      charge(cycles, [self = shared_from_this(), encrypted] {
+        self->paused_ = false;
+        if (self->state_ != State::kWaitKeyEx) return;
+        try {
+          self->premaster_ =
+              crypto::rsa_decrypt_pkcs1(*self->config_.private_key, encrypted);
+        } catch (const std::runtime_error&) {
+          self->fail("premaster decryption failed");
+          return;
+        }
+        self->derive_keys();
+        self->state_ = State::kWaitFinished;
+        self->pump();
+      });
+      break;
+    }
+    case kHsFinished: {
+      if (state_ != State::kWaitFinished) return fail("unexpected finished");
+      const Bytes expected = finished_mac(/*client_side=*/!is_client_);
+      if (body.size() != 1 + expected.size() ||
+          !crypto::ct_equal(BytesView(body).subspan(1), expected)) {
+        return fail("finished MAC mismatch");
+      }
+      if (is_client_) {
+        finish_handshake();
+      } else {
+        transcript_.insert(transcript_.end(), body.begin(), body.end());
+        Bytes fin{kHsFinished};
+        const Bytes mac = finished_mac(/*client_side=*/false);
+        fin.insert(fin.end(), mac.begin(), mac.end());
+        send_record(kRecordHandshake, fin, /*encrypted=*/true);
+        finish_handshake();
+      }
+      break;
+    }
+    default:
+      fail("unknown handshake message");
+  }
+}
+
+}  // namespace hipcloud::tls

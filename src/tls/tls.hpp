@@ -1,0 +1,125 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "crypto/aes.hpp"
+#include "crypto/cost_model.hpp"
+#include "crypto/drbg.hpp"
+#include "net/tcp.hpp"
+#include "tls/cert.hpp"
+
+namespace hipcloud::tls {
+
+/// Per-endpoint TLS configuration.
+struct TlsConfig {
+  /// Server certificate + key (servers only).
+  std::optional<Certificate> certificate;
+  std::optional<crypto::RsaPrivateKey> private_key;
+  /// CA key used by clients to validate the server certificate.
+  std::optional<crypto::RsaPublicKey> ca_public_key;
+  /// Virtual-time crypto costs charged to the node CPU.
+  crypto::CostModel costs;
+};
+
+/// TLS-1.2-style session over a simulated TCP connection: RSA key
+/// transport handshake, then an AES-CTR + HMAC-SHA256 record layer. This
+/// is the "SSL scenario" baseline of the paper's evaluation — the same
+/// asymmetric-handshake + symmetric-records cost structure as HIP+ESP.
+///
+/// Handshake: ClientHello(random) -> ServerHello(random, certificate) ->
+/// ClientKeyExchange(RSA-encrypted premaster) + Finished -> Finished.
+class TlsSession : public std::enable_shared_from_this<TlsSession> {
+ public:
+  using EstablishedFn = std::function<void()>;
+  using DataFn = std::function<void(crypto::Bytes)>;
+  using CloseFn = std::function<void()>;
+
+  /// Wrap the client side of a connection. Starts the handshake as soon
+  /// as the TCP connection is (or becomes) established.
+  static std::shared_ptr<TlsSession> client(
+      std::shared_ptr<net::TcpConnection> conn, net::Node* node,
+      TlsConfig config, std::uint64_t seed);
+
+  /// Wrap the server side of an accepted connection.
+  static std::shared_ptr<TlsSession> server(
+      std::shared_ptr<net::TcpConnection> conn, net::Node* node,
+      TlsConfig config, std::uint64_t seed);
+
+  /// Send application data (queued until the handshake completes).
+  void send(crypto::Bytes data);
+  void close();
+
+  void on_established(EstablishedFn fn) { on_established_ = std::move(fn); }
+  void on_data(DataFn fn) { on_data_ = std::move(fn); }
+  void on_close(CloseFn fn) { on_close_ = std::move(fn); }
+
+  bool established() const { return state_ == State::kEstablished; }
+  sim::Duration handshake_latency() const { return handshake_latency_; }
+  net::TcpConnection* connection() { return conn_.get(); }
+
+  /// Extra bytes the record layer adds per application write.
+  static constexpr std::size_t kRecordOverhead = 4 + 8 + 16;  // hdr+seq+mac
+
+ private:
+  enum class State {
+    kWaitTcp,
+    kHelloSent,      // client
+    kWaitHello,      // server
+    kWaitKeyEx,      // server
+    kWaitFinished,   // both
+    kEstablished,
+    kClosed,
+    kError,
+  };
+
+  TlsSession(std::shared_ptr<net::TcpConnection> conn, net::Node* node,
+             TlsConfig config, bool is_client, std::uint64_t seed);
+  void start();
+  void on_tcp_data(crypto::Bytes chunk);
+  void pump();
+  void process_record(std::uint8_t type, crypto::Bytes body);
+  void handle_handshake(crypto::Bytes body);
+  void send_record(std::uint8_t type, crypto::BytesView body, bool encrypted);
+  void derive_keys();
+  void finish_handshake();
+  void fail(const char* reason);
+  crypto::Bytes finished_mac(bool client_side) const;
+  void charge(double cycles, std::function<void()> then);
+
+  std::shared_ptr<net::TcpConnection> conn_;
+  net::Node* node_;
+  TlsConfig config_;
+  bool is_client_;
+  crypto::HmacDrbg drbg_;
+  State state_ = State::kWaitTcp;
+
+  crypto::Bytes recv_buf_;
+  /// Record processing pauses while an async CPU charge is rewriting the
+  /// handshake state, so records arriving meanwhile are not misparsed.
+  bool paused_ = false;
+  crypto::Bytes client_random_;
+  crypto::Bytes server_random_;
+  crypto::Bytes premaster_;
+  crypto::Bytes master_;
+  crypto::Bytes transcript_;  // running hash input of handshake messages
+
+  // Record protection (absent until keys derived).
+  std::optional<crypto::Aes> enc_out_;
+  std::optional<crypto::Aes> enc_in_;
+  crypto::Bytes mac_out_key_;
+  crypto::Bytes mac_in_key_;
+  std::uint64_t seq_out_ = 0;
+  std::uint64_t seq_in_ = 0;
+
+  std::deque<crypto::Bytes> pending_sends_;
+  sim::Time handshake_start_ = 0;
+  sim::Duration handshake_latency_ = 0;
+
+  EstablishedFn on_established_;
+  DataFn on_data_;
+  CloseFn on_close_;
+};
+
+}  // namespace hipcloud::tls

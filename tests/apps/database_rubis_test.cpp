@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "apps/database.hpp"
+#include "apps/rubis.hpp"
+#include "apps/http_client.hpp"
+
+namespace hipcloud::apps {
+namespace {
+
+using crypto::Bytes;
+using net::Endpoint;
+using net::IpAddr;
+using net::Ipv4Addr;
+
+struct DbTopo {
+  net::Network net{9};
+  net::Node* app;
+  net::Node* db_node;
+  std::unique_ptr<net::TcpStack> ta, td;
+
+  DbTopo() {
+    app = net.add_node("app", 8e9);
+    db_node = net.add_node("db", 8e9);
+    const auto link = net.connect(app, db_node, {});
+    app->add_address(link.iface_a, Ipv4Addr(10, 0, 0, 1));
+    db_node->add_address(link.iface_b, Ipv4Addr(10, 0, 0, 2));
+    app->set_default_route(link.iface_a);
+    db_node->set_default_route(link.iface_b);
+    ta = std::make_unique<net::TcpStack>(app);
+    td = std::make_unique<net::TcpStack>(db_node);
+  }
+
+  Endpoint db_ep() const { return Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), 3306}; }
+};
+
+TEST(DbResult, SerializeParseRoundTrip) {
+  DbResult result;
+  result.rows.emplace_back(7, crypto::to_bytes("row-seven"));
+  result.rows.emplace_back(8, Bytes{});
+  const auto back = DbResult::parse(result.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  ASSERT_EQ(back->rows.size(), 2u);
+  EXPECT_EQ(back->rows[0].first, 7u);
+  EXPECT_EQ(back->rows[0].second, crypto::to_bytes("row-seven"));
+  EXPECT_TRUE(back->rows[1].second.empty());
+}
+
+TEST(DbResult, ParseRejectsTruncated) {
+  DbResult result;
+  result.rows.emplace_back(7, Bytes(20, 1));
+  Bytes wire = result.serialize();
+  wire.resize(wire.size() - 5);
+  EXPECT_FALSE(DbResult::parse(wire).has_value());
+  EXPECT_FALSE(DbResult::parse(Bytes(3, 0)).has_value());
+}
+
+TEST(Database, GetQuery) {
+  DbTopo topo;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306);
+  server.load_row("items", 42, 128);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  std::optional<DbResult> got;
+  client.query("GET items 42",
+               [&](std::optional<DbResult> r, sim::Duration) { got = r; });
+  topo.net.loop().run();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->rows.size(), 1u);
+  EXPECT_EQ(got->rows[0].first, 42u);
+  EXPECT_EQ(got->rows[0].second.size(), 128u);
+}
+
+TEST(Database, GetMissingRowReturnsEmpty) {
+  DbTopo topo;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  std::optional<DbResult> got;
+  client.query("GET items 1",
+               [&](std::optional<DbResult> r, sim::Duration) { got = r; });
+  topo.net.loop().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->ok);
+  EXPECT_TRUE(got->rows.empty());
+}
+
+TEST(Database, RangeQuery) {
+  DbTopo topo;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306);
+  for (int i = 0; i < 50; ++i) server.load_row("items", i, 64);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  std::optional<DbResult> got;
+  client.query("RANGE items 10 20",
+               [&](std::optional<DbResult> r, sim::Duration) { got = r; });
+  topo.net.loop().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->rows.size(), 10u);
+  EXPECT_EQ(got->rows.front().first, 10u);
+  EXPECT_EQ(got->rows.back().first, 19u);
+}
+
+TEST(Database, PutCreatesRow) {
+  DbTopo topo;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  bool put_done = false;
+  client.query("PUT bids 99 64",
+               [&](std::optional<DbResult> r, sim::Duration) {
+                 put_done = r.has_value() && r->ok;
+               });
+  topo.net.loop().run();
+  EXPECT_TRUE(put_done);
+  EXPECT_EQ(server.table_size("bids"), 1u);
+}
+
+TEST(Database, CountQuery) {
+  DbTopo topo;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306);
+  for (int i = 0; i < 7; ++i) server.load_row("users", i, 8);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  std::uint64_t count = 0;
+  client.query("COUNT users",
+               [&](std::optional<DbResult> r, sim::Duration) {
+                 if (r && !r->rows.empty()) count = r->rows[0].first;
+               });
+  topo.net.loop().run();
+  EXPECT_EQ(count, 7u);
+}
+
+TEST(Database, UnknownOpReturnsError) {
+  DbTopo topo;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  std::optional<DbResult> got;
+  client.query("DROP TABLE items",
+               [&](std::optional<DbResult> r, sim::Duration) { got = r; });
+  topo.net.loop().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->ok);
+}
+
+TEST(Database, QueryCacheHitsAndInvalidation) {
+  DbTopo topo;
+  DbConfig cfg;
+  cfg.query_cache = true;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306, cfg);
+  for (int i = 0; i < 10; ++i) server.load_row("items", i, 64);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  int done = 0;
+  const auto cb = [&](std::optional<DbResult>, sim::Duration) { ++done; };
+  client.query("GET items 3", cb);
+  topo.net.loop().run();
+  client.query("GET items 3", cb);  // cache hit
+  topo.net.loop().run();
+  EXPECT_EQ(server.cache_hits(), 1u);
+  // A write to the table invalidates the cached entry.
+  client.query("PUT items 3 64", cb);
+  topo.net.loop().run();
+  client.query("GET items 3", cb);
+  topo.net.loop().run();
+  EXPECT_EQ(server.cache_hits(), 1u);  // still 1: entry was invalidated
+  EXPECT_EQ(done, 4);
+}
+
+TEST(Database, CacheHitIsFaster) {
+  DbTopo topo;
+  DbConfig cfg;
+  cfg.query_cache = true;
+  // Slow the DB node down so cost differences are visible.
+  topo.db_node->cpu().set_cycles_per_second(1e8);
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306, cfg);
+  for (int i = 0; i < 200; ++i) server.load_row("items", i, 2048);
+  DbClient client(topo.app, topo.ta.get(), topo.db_ep());
+  sim::Duration first = 0, second = 0;
+  client.query("RANGE items 0 50",
+               [&](std::optional<DbResult>, sim::Duration d) { first = d; });
+  topo.net.loop().run();
+  client.query("RANGE items 0 50",
+               [&](std::optional<DbResult>, sim::Duration d) { second = d; });
+  topo.net.loop().run();
+  EXPECT_LT(second, first / 2);
+}
+
+TEST(Rubis, DatasetLoads) {
+  DbTopo topo;
+  DatabaseServer server(topo.db_node, topo.td.get(), 3306);
+  RubisConfig cfg;
+  cfg.items = 100;
+  cfg.users = 20;
+  cfg.bids = 50;
+  load_rubis_dataset(server, cfg);
+  EXPECT_EQ(server.table_size("items"), 100u);
+  EXPECT_EQ(server.table_size("users"), 20u);
+  EXPECT_EQ(server.table_size("bids"), 50u);
+}
+
+TEST(Rubis, EndpointsServePages) {
+  DbTopo topo;
+  DatabaseServer db(topo.db_node, topo.td.get(), 3306);
+  RubisConfig cfg;
+  cfg.items = 100;
+  cfg.users = 20;
+  cfg.bids = 50;
+  load_rubis_dataset(db, cfg);
+  RubisWebServer web(topo.app, topo.ta.get(), 8080, {}, topo.db_ep(), {},
+                     cfg);
+  // Query the web server from the DB node (it has a TCP stack too).
+  HttpClient client(topo.db_node, topo.td.get());
+  const Endpoint web_ep{IpAddr(Ipv4Addr(10, 0, 0, 1)), 8080};
+  const char* paths[] = {"/home", "/browse?page=1", "/item?id=5",
+                         "/bids?item=3", "/user?id=2"};
+  for (const char* path : paths) {
+    std::optional<HttpResponse> got;
+    HttpRequest req;
+    req.path = path;
+    client.request(web_ep, req,
+                   [&](std::optional<HttpResponse> resp, sim::Duration) {
+                     got = std::move(resp);
+                   });
+    topo.net.loop().run();
+    ASSERT_TRUE(got.has_value()) << path;
+    EXPECT_EQ(got->status, 200) << path;
+    EXPECT_GT(got->body.size(), 500u) << path;
+  }
+}
+
+TEST(Rubis, BidPostWritesToDatabase) {
+  DbTopo topo;
+  DatabaseServer db(topo.db_node, topo.td.get(), 3306);
+  RubisConfig cfg;
+  load_rubis_dataset(db, cfg);
+  const auto bids_before = db.table_size("bids");
+  RubisWebServer web(topo.app, topo.ta.get(), 8080, {}, topo.db_ep(), {},
+                     cfg);
+  HttpClient client(topo.db_node, topo.td.get());
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/bid";
+  req.body = crypto::to_bytes("item=1&amount=9");
+  std::optional<HttpResponse> got;
+  client.request(Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 1)), 8080}, req,
+                 [&](std::optional<HttpResponse> resp, sim::Duration) {
+                   got = std::move(resp);
+                 });
+  topo.net.loop().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 200);
+  EXPECT_EQ(db.table_size("bids"), bids_before + 1);
+}
+
+TEST(Rubis, UnknownPathGives404) {
+  DbTopo topo;
+  DatabaseServer db(topo.db_node, topo.td.get(), 3306);
+  RubisWebServer web(topo.app, topo.ta.get(), 8080, {}, topo.db_ep(), {},
+                     {});
+  HttpClient client(topo.db_node, topo.td.get());
+  HttpRequest req;
+  req.path = "/nonexistent";
+  std::optional<HttpResponse> got;
+  client.request(Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 1)), 8080}, req,
+                 [&](std::optional<HttpResponse> resp, sim::Duration) {
+                   got = std::move(resp);
+                 });
+  topo.net.loop().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 404);
+}
+
+TEST(RubisRequestMix, CoversAllEndpointsAndIsDeterministic) {
+  RubisConfig cfg;
+  RubisRequestMix mix_a(cfg, 5);
+  RubisRequestMix mix_b(cfg, 5);
+  std::map<std::string, int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const HttpRequest a = mix_a.next();
+    const HttpRequest b = mix_b.next();
+    EXPECT_EQ(a.path, b.path);  // deterministic from seed
+    const auto q = a.path.find('?');
+    seen[a.path.substr(0, q)]++;
+  }
+  EXPECT_GT(seen["/browse"], 50);
+  EXPECT_GT(seen["/item"], 50);
+  EXPECT_GT(seen["/bids"], 20);
+  EXPECT_GT(seen["/user"], 10);
+  EXPECT_GT(seen["/home"], 10);
+  EXPECT_GT(seen["/bid"], 10);
+}
+
+}  // namespace
+}  // namespace hipcloud::apps

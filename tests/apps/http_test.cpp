@@ -1,0 +1,140 @@
+#include "apps/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::apps {
+namespace {
+
+using crypto::Bytes;
+
+TEST(HttpRequest, SerializeHasRequestLineAndLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/bid";
+  req.body = crypto::to_bytes("item=1");
+  const Bytes wire = req.serialize();
+  const std::string s(wire.begin(), wire.end());
+  EXPECT_NE(s.find("POST /bid HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(s.find("content-length: 6"), std::string::npos);
+  EXPECT_NE(s.find("\r\n\r\nitem=1"), std::string::npos);
+}
+
+TEST(HttpRequest, QueryParams) {
+  HttpRequest req;
+  req.path = "/item?id=42&sort=asc";
+  EXPECT_EQ(req.path_only(), "/item");
+  EXPECT_EQ(req.query_param("id"), std::optional<std::string>("42"));
+  EXPECT_EQ(req.query_param("sort"), std::optional<std::string>("asc"));
+  EXPECT_EQ(req.query_param("missing"), std::nullopt);
+  HttpRequest plain;
+  plain.path = "/home";
+  EXPECT_EQ(plain.path_only(), "/home");
+  EXPECT_EQ(plain.query_param("id"), std::nullopt);
+}
+
+TEST(HttpParser, ParsesSingleRequest) {
+  HttpRequest req;
+  req.path = "/browse?page=2";
+  req.headers["host"] = "lb.cloud";
+  HttpParser parser(HttpParser::Kind::kRequest);
+  parser.feed(req.serialize());
+  const auto out = parser.next_request();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->method, "GET");
+  EXPECT_EQ(out->path, "/browse?page=2");
+  EXPECT_EQ(out->headers.at("host"), "lb.cloud");
+  EXPECT_FALSE(parser.next_request().has_value());
+}
+
+TEST(HttpParser, HandlesArbitraryChunking) {
+  HttpRequest req;
+  req.path = "/item?id=1";
+  req.body = Bytes(100, 'x');
+  const Bytes wire = req.serialize();
+  for (std::size_t chunk = 1; chunk <= 7; ++chunk) {
+    HttpParser parser(HttpParser::Kind::kRequest);
+    for (std::size_t off = 0; off < wire.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, wire.size() - off);
+      parser.feed(crypto::BytesView(wire).subspan(off, n));
+    }
+    const auto out = parser.next_request();
+    ASSERT_TRUE(out.has_value()) << "chunk=" << chunk;
+    EXPECT_EQ(out->body.size(), 100u);
+  }
+}
+
+TEST(HttpParser, ParsesPipelinedRequests) {
+  HttpRequest a, b;
+  a.path = "/a";
+  b.path = "/b";
+  Bytes wire = a.serialize();
+  const Bytes second = b.serialize();
+  wire.insert(wire.end(), second.begin(), second.end());
+  HttpParser parser(HttpParser::Kind::kRequest);
+  parser.feed(wire);
+  EXPECT_EQ(parser.next_request()->path, "/a");
+  EXPECT_EQ(parser.next_request()->path, "/b");
+}
+
+TEST(HttpParser, ParsesResponse) {
+  HttpResponse resp = HttpResponse::make(200, crypto::to_bytes("<html>"));
+  resp.headers["server"] = "hipcloud";
+  HttpParser parser(HttpParser::Kind::kResponse);
+  parser.feed(resp.serialize());
+  const auto out = parser.next_response();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, 200);
+  EXPECT_EQ(out->headers.at("server"), "hipcloud");
+  EXPECT_EQ(out->body, crypto::to_bytes("<html>"));
+}
+
+TEST(HttpParser, StatusCodesSurvive) {
+  for (const int status : {200, 302, 400, 404, 500, 502}) {
+    HttpParser parser(HttpParser::Kind::kResponse);
+    parser.feed(HttpResponse::make(status, {}).serialize());
+    ASSERT_EQ(parser.next_response()->status, status);
+  }
+}
+
+TEST(HttpParser, MalformedHeaderSetsError) {
+  HttpParser parser(HttpParser::Kind::kRequest);
+  parser.feed(crypto::to_bytes("GET / HTTP/1.1\r\nbadheader\r\n\r\n"));
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(HttpParser, BadContentLengthSetsError) {
+  HttpParser parser(HttpParser::Kind::kRequest);
+  parser.feed(
+      crypto::to_bytes("GET / HTTP/1.1\r\ncontent-length: abc\r\n\r\n"));
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(HttpParser, HeaderFloodGuard) {
+  HttpParser parser(HttpParser::Kind::kRequest);
+  parser.feed(Bytes(70 * 1024, 'a'));  // no header terminator
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(HttpParser, IncompleteBodyWaits) {
+  HttpRequest req;
+  req.body = Bytes(50, 'x');
+  Bytes wire = req.serialize();
+  HttpParser parser(HttpParser::Kind::kRequest);
+  parser.feed(crypto::BytesView(wire).subspan(0, wire.size() - 10));
+  EXPECT_FALSE(parser.next_request().has_value());
+  parser.feed(crypto::BytesView(wire).subspan(wire.size() - 10));
+  EXPECT_TRUE(parser.next_request().has_value());
+}
+
+TEST(HttpParser, HeaderNamesAreCaseInsensitive) {
+  HttpParser parser(HttpParser::Kind::kRequest);
+  parser.feed(crypto::to_bytes(
+      "GET / HTTP/1.1\r\nContent-Length: 2\r\nX-Custom: Y\r\n\r\nok"));
+  const auto out = parser.next_request();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->headers.at("x-custom"), "Y");
+  EXPECT_EQ(out->body, crypto::to_bytes("ok"));
+}
+
+}  // namespace
+}  // namespace hipcloud::apps

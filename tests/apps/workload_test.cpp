@@ -1,0 +1,194 @@
+#include "apps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/http_server.hpp"
+
+namespace hipcloud::apps {
+namespace {
+
+using crypto::Bytes;
+using net::Endpoint;
+using net::IpAddr;
+using net::Ipv4Addr;
+
+struct LoadTopo {
+  net::Network net{13};
+  net::Node* clients;
+  net::Node* server_node;
+  std::unique_ptr<net::TcpStack> tc, ts;
+  std::unique_ptr<HttpServer> server;
+
+  LoadTopo() {
+    clients = net.add_node("clients", 20e9);
+    server_node = net.add_node("server", 20e9);
+    const auto link = net.connect(clients, server_node, {});
+    clients->add_address(link.iface_a, Ipv4Addr(10, 0, 0, 1));
+    server_node->add_address(link.iface_b, Ipv4Addr(10, 0, 0, 2));
+    clients->set_default_route(link.iface_a);
+    server_node->set_default_route(link.iface_b);
+    tc = std::make_unique<net::TcpStack>(clients);
+    ts = std::make_unique<net::TcpStack>(server_node);
+    server = std::make_unique<HttpServer>(server_node, ts.get(), 80);
+    server->set_handler([](const HttpRequest&, HttpServer::RespondFn done) {
+      done(HttpResponse::make(200, Bytes(256, 'x')));
+    });
+  }
+
+  Endpoint target() const {
+    return Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), 80};
+  }
+};
+
+TEST(ClosedLoop, CompletesAndMeasures) {
+  LoadTopo topo;
+  ClosedLoopClients::Config cfg;
+  cfg.concurrency = 5;
+  cfg.duration = 10 * sim::kSecond;
+  cfg.target = topo.target();
+  cfg.fixed_path = "/x";
+  ClosedLoopClients load(topo.clients, topo.tc.get(), cfg);
+  LoadReport report;
+  bool done = false;
+  load.start([&](const LoadReport& r) {
+    report = r;
+    done = true;
+  });
+  topo.net.loop().run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(report.completed, 100u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_GT(report.throughput_rps(), 0.0);
+  EXPECT_GT(report.latency_ms.mean(), 0.0);
+}
+
+TEST(ClosedLoop, ThroughputScalesWithConcurrency) {
+  auto run = [](int concurrency) {
+    LoadTopo topo;
+    ClosedLoopClients::Config cfg;
+    cfg.concurrency = concurrency;
+    cfg.duration = 10 * sim::kSecond;
+    cfg.target = topo.target();
+    cfg.fixed_path = "/x";
+    ClosedLoopClients load(topo.clients, topo.tc.get(), cfg);
+    LoadReport report;
+    load.start([&](const LoadReport& r) { report = r; });
+    topo.net.loop().run();
+    return report.throughput_rps();
+  };
+  const double one = run(1);
+  const double four = run(4);
+  EXPECT_GT(four, one * 3.0);  // latency-bound regime scales ~linearly
+}
+
+TEST(ClosedLoop, ThinkTimeReducesThroughput) {
+  auto run = [](sim::Duration think) {
+    LoadTopo topo;
+    ClosedLoopClients::Config cfg;
+    cfg.concurrency = 4;
+    cfg.duration = 10 * sim::kSecond;
+    cfg.think_time = think;
+    cfg.target = topo.target();
+    cfg.fixed_path = "/x";
+    ClosedLoopClients load(topo.clients, topo.tc.get(), cfg);
+    LoadReport report;
+    load.start([&](const LoadReport& r) { report = r; });
+    topo.net.loop().run();
+    return report.throughput_rps();
+  };
+  EXPECT_GT(run(0), run(100 * sim::kMillisecond) * 2);
+}
+
+TEST(OpenLoop, HitsConfiguredRate) {
+  LoadTopo topo;
+  OpenLoopGenerator::Config cfg;
+  cfg.rate_rps = 200;
+  cfg.duration = 10 * sim::kSecond;
+  cfg.target = topo.target();
+  cfg.fixed_path = "/x";
+  OpenLoopGenerator gen(topo.clients, topo.tc.get(), cfg);
+  LoadReport report;
+  bool done = false;
+  gen.start([&](const LoadReport& r) {
+    report = r;
+    done = true;
+  });
+  topo.net.loop().run();
+  ASSERT_TRUE(done);
+  EXPECT_NEAR(report.throughput_rps(), 200.0, 10.0);
+  EXPECT_EQ(report.errors, 0u);
+}
+
+TEST(OpenLoop, PoissonAndDeterministicBothWork) {
+  for (const bool poisson : {false, true}) {
+    LoadTopo topo;
+    OpenLoopGenerator::Config cfg;
+    cfg.rate_rps = 100;
+    cfg.duration = 5 * sim::kSecond;
+    cfg.warmup = sim::kSecond;
+    cfg.poisson = poisson;
+    cfg.target = topo.target();
+    cfg.fixed_path = "/x";
+    OpenLoopGenerator gen(topo.clients, topo.tc.get(), cfg);
+    LoadReport report;
+    gen.start([&](const LoadReport& r) { report = r; });
+    topo.net.loop().run();
+    EXPECT_NEAR(report.throughput_rps(), 100.0, 15.0) << poisson;
+  }
+}
+
+TEST(Iperf, MeasuresBandwidthNearLineRate) {
+  net::Network net{17};
+  auto* a = net.add_node("a", 100e9);
+  auto* b = net.add_node("b", 100e9);
+  net::LinkConfig link;
+  link.bandwidth_bps = 100e6;
+  link.latency = sim::from_micros(200);
+  const auto att = net.connect(a, b, link);
+  a->add_address(att.iface_a, Ipv4Addr(10, 0, 0, 1));
+  b->add_address(att.iface_b, Ipv4Addr(10, 0, 0, 2));
+  a->set_default_route(att.iface_a);
+  b->set_default_route(att.iface_b);
+  net::TcpStack ta(a), tb(b);
+  IperfServer server(b, &tb, 5001);
+  double mbps = 0;
+  IperfClient::run(a, &ta, Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), 5001},
+                   10 * sim::kSecond,
+                   [&](const IperfClient::Report& r) {
+                     mbps = r.mbits_per_second;
+                   });
+  net.loop().run();
+  EXPECT_GT(mbps, 70.0);   // within ~30% of the 100 Mbit/s line
+  EXPECT_LT(mbps, 101.0);  // and never above it
+  EXPECT_GT(server.bytes_received(), 10u * 1000 * 1000);
+}
+
+TEST(Iperf, WindowLimitsThroughputOnLongFatPath) {
+  net::Network net{19};
+  auto* a = net.add_node("a", 100e9);
+  auto* b = net.add_node("b", 100e9);
+  net::LinkConfig link;
+  link.bandwidth_bps = 1e9;
+  link.latency = sim::from_millis(10);  // 20 ms RTT
+  const auto att = net.connect(a, b, link);
+  a->add_address(att.iface_a, Ipv4Addr(10, 0, 0, 1));
+  b->add_address(att.iface_b, Ipv4Addr(10, 0, 0, 2));
+  a->set_default_route(att.iface_a);
+  b->set_default_route(att.iface_b);
+  net::TcpConfig tcp_cfg;
+  tcp_cfg.receive_window = 64 * 1024;  // 64 KB / 20 ms = 25.6 Mbit/s cap
+  net::TcpStack ta(a, tcp_cfg), tb(b, tcp_cfg);
+  IperfServer server(b, &tb, 5001);
+  double mbps = 0;
+  IperfClient::run(a, &ta, Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), 5001},
+                   20 * sim::kSecond,
+                   [&](const IperfClient::Report& r) {
+                     mbps = r.mbits_per_second;
+                   });
+  net.loop().run();
+  EXPECT_GT(mbps, 18.0);
+  EXPECT_LT(mbps, 27.0);
+}
+
+}  // namespace
+}  // namespace hipcloud::apps

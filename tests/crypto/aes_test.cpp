@@ -1,0 +1,109 @@
+#include "crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::crypto {
+namespace {
+
+// FIPS 197 Appendix C.1: AES-128.
+TEST(Aes, Fips197Aes128KnownAnswer) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(BytesView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(BytesView(back, 16)), to_hex(pt));
+}
+
+// FIPS 197 Appendix C.3: AES-256.
+TEST(Aes, Fips197Aes256KnownAnswer) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(BytesView(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+  std::uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(BytesView(back, 16)), to_hex(pt));
+}
+
+// NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, first block.
+TEST(Aes, Sp80038aCtrVector) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  // SP 800-38A uses counter block f0f1...ff; our API takes nonce(12)+ctr(4).
+  const Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafb");
+  const std::uint32_t ctr0 = 0xfcfdfeff;
+  const Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  Aes aes(key);
+  const Bytes ct = aes_ctr(aes, nonce, ctr0, pt);
+  EXPECT_EQ(to_hex(ct), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(Aes, CtrRoundTripArbitraryLengths) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes nonce(12, 0xab);
+  Aes aes(key);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1500u}) {
+    Bytes pt(len);
+    for (std::size_t i = 0; i < len; ++i) pt[i] = static_cast<std::uint8_t>(i);
+    const Bytes ct = aes_ctr(aes, nonce, 1, pt);
+    EXPECT_EQ(aes_ctr(aes, nonce, 1, ct), pt) << "len=" << len;
+    if (len > 0) {
+      EXPECT_NE(ct, pt);
+    }
+  }
+}
+
+TEST(Aes, CbcRoundTrip) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes iv(16, 0x42);
+  Aes aes(key);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 255u}) {
+    Bytes pt(len, 0x5a);
+    const Bytes ct = aes_cbc_encrypt(aes, iv, pt);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), pt.size());  // always at least one pad byte
+    EXPECT_EQ(aes_cbc_decrypt(aes, iv, ct), pt) << "len=" << len;
+  }
+}
+
+TEST(Aes, CbcDetectsTampering) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes iv(16, 0);
+  Aes aes(key);
+  Bytes ct = aes_cbc_encrypt(aes, iv, Bytes(10, 0x77));
+  ct.back() ^= 0xff;  // corrupt padding region
+  // Either throws (bad padding) or yields different plaintext; padding
+  // oracle behaviour is acceptable in the simulator since the HIP/TLS
+  // layers authenticate before decrypting.
+  try {
+    const Bytes pt = aes_cbc_decrypt(aes, iv, ct);
+    EXPECT_NE(pt, Bytes(10, 0x77));
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(24, 0)), std::invalid_argument);  // no AES-192 here
+  EXPECT_THROW(Aes(Bytes(0, 0)), std::invalid_argument);
+}
+
+TEST(Aes, RejectsBadIvAndNonce) {
+  Aes aes(Bytes(16, 1));
+  EXPECT_THROW(aes_ctr(aes, Bytes(11, 0), 0, Bytes(4, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(aes_cbc_encrypt(aes, Bytes(15, 0), Bytes(4, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(aes_cbc_decrypt(aes, Bytes(16, 0), Bytes(15, 0)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hipcloud::crypto

@@ -1,0 +1,68 @@
+#include "crypto/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::crypto {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes b = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(to_hex(b), "deadbeef");
+  EXPECT_EQ(from_hex("deadbeef"), b);
+  EXPECT_EQ(from_hex("DEADBEEF"), b);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, CtEqualBasic) {
+  EXPECT_TRUE(ct_equal(from_hex("0102"), from_hex("0102")));
+  EXPECT_FALSE(ct_equal(from_hex("0102"), from_hex("0103")));
+  EXPECT_FALSE(ct_equal(from_hex("0102"), from_hex("010203")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = from_hex("ff00ff00");
+  xor_inplace(a, from_hex("0f0f0f0f"));
+  EXPECT_EQ(to_hex(a), "f00ff00f");
+  Bytes b = from_hex("01");
+  EXPECT_THROW(xor_inplace(b, from_hex("0102")), std::invalid_argument);
+}
+
+TEST(Bytes, AppendReadBeRoundTrip) {
+  Bytes out;
+  append_be(out, 0x123456789abcdef0ULL, 8);
+  append_be(out, 0xbeef, 2);
+  EXPECT_EQ(read_be(out, 0, 8), 0x123456789abcdef0ULL);
+  EXPECT_EQ(read_be(out, 8, 2), 0xbeefu);
+}
+
+TEST(Bytes, ReadBeRangeChecks) {
+  const Bytes b = {1, 2, 3};
+  EXPECT_THROW(read_be(b, 2, 2), std::out_of_range);
+  EXPECT_THROW(read_be(b, 0, 9), std::out_of_range);
+  EXPECT_EQ(read_be(b, 0, 3), 0x010203u);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = concat({a, b, a});
+  EXPECT_EQ(c, (Bytes{1, 2, 3, 1, 2}));
+}
+
+TEST(Bytes, ToBytesFromString) {
+  EXPECT_EQ(to_bytes("AB"), (Bytes{0x41, 0x42}));
+  EXPECT_TRUE(to_bytes("").empty());
+}
+
+}  // namespace
+}  // namespace hipcloud::crypto

@@ -1,0 +1,77 @@
+#include "crypto/dh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace hipcloud::crypto {
+namespace {
+
+class DhGroupTest : public ::testing::TestWithParam<DhGroup> {};
+
+TEST_P(DhGroupTest, AgreementMatches) {
+  HmacDrbg da(1, "alice"), db(2, "bob");
+  DhKeyPair alice(GetParam(), da);
+  DhKeyPair bob(GetParam(), db);
+  const Bytes sa = alice.compute_shared(bob.public_value());
+  const Bytes sb = bob.compute_shared(alice.public_value());
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa.size(), dh_params(GetParam()).prime_bytes);
+}
+
+TEST_P(DhGroupTest, PublicValueFixedWidth) {
+  HmacDrbg d(3, "w");
+  DhKeyPair kp(GetParam(), d);
+  EXPECT_EQ(kp.public_value().size(), dh_params(GetParam()).prime_bytes);
+}
+
+TEST_P(DhGroupTest, RejectsDegeneratePeerValues) {
+  HmacDrbg d(4, "degenerate");
+  DhKeyPair kp(GetParam(), d);
+  const auto& params = dh_params(GetParam());
+  EXPECT_THROW(kp.compute_shared(BigInt(0).to_bytes_be(params.prime_bytes)),
+               std::runtime_error);
+  EXPECT_THROW(kp.compute_shared(BigInt(1).to_bytes_be(params.prime_bytes)),
+               std::runtime_error);
+  EXPECT_THROW(
+      kp.compute_shared((params.p - BigInt(1)).to_bytes_be(params.prime_bytes)),
+      std::runtime_error);
+  EXPECT_THROW(kp.compute_shared(params.p.to_bytes_be(params.prime_bytes)),
+               std::runtime_error);
+}
+
+TEST_P(DhGroupTest, DifferentKeysGiveDifferentSecrets) {
+  HmacDrbg d1(5, "a"), d2(6, "b"), d3(7, "c");
+  DhKeyPair a(GetParam(), d1), b(GetParam(), d2), c(GetParam(), d3);
+  EXPECT_NE(a.compute_shared(b.public_value()),
+            a.compute_shared(c.public_value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, DhGroupTest,
+                         ::testing::Values(DhGroup::kModp1536,
+                                           DhGroup::kModp2048,
+                                           DhGroup::kModp3072));
+
+TEST(DhParams, PrimesArePrime) {
+  HmacDrbg drbg(1, "dh-prime-check");
+  // Full Miller-Rabin on 1536-bit primes is slow; 4 rounds is ample for a
+  // sanity check of transcription (the constants are published values).
+  EXPECT_TRUE(
+      BigInt::is_probable_prime(dh_params(DhGroup::kModp1536).p, drbg, 4));
+}
+
+TEST(DhParams, GroupSizes) {
+  EXPECT_EQ(dh_params(DhGroup::kModp1536).p.bit_length(), 1536u);
+  EXPECT_EQ(dh_params(DhGroup::kModp2048).p.bit_length(), 2048u);
+  EXPECT_EQ(dh_params(DhGroup::kModp3072).p.bit_length(), 3072u);
+  EXPECT_EQ(dh_params(DhGroup::kModp2048).g, BigInt(2));
+}
+
+TEST(DhKeyPair, DeterministicFromSeed) {
+  HmacDrbg a(9, "same"), b(9, "same");
+  EXPECT_EQ(DhKeyPair(DhGroup::kModp1536, a).public_value(),
+            DhKeyPair(DhGroup::kModp1536, b).public_value());
+}
+
+}  // namespace
+}  // namespace hipcloud::crypto

@@ -1,0 +1,143 @@
+#include "crypto/ec_p256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace hipcloud::crypto::p256 {
+namespace {
+
+TEST(P256, GeneratorOnCurve) {
+  EXPECT_TRUE(on_curve(generator()));
+  EXPECT_FALSE(generator().infinity);
+}
+
+TEST(P256, OrderTimesGeneratorIsIdentity) {
+  EXPECT_TRUE(multiply(generator(), order()).infinity);
+}
+
+TEST(P256, KnownScalarMultiple) {
+  // k = 2: published doubling of the P-256 base point.
+  const Point p2 = multiply(generator(), BigInt(2));
+  EXPECT_EQ(p2.x.to_hex(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_EQ(p2.y.to_hex(),
+            "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1");
+}
+
+TEST(P256, AdditionCommutesWithScalarMult) {
+  const Point p2 = multiply(generator(), BigInt(2));
+  const Point p3a = add(p2, generator());
+  const Point p3b = multiply(generator(), BigInt(3));
+  EXPECT_EQ(p3a, p3b);
+}
+
+TEST(P256, AddIdentityLaws) {
+  const Point inf;
+  EXPECT_EQ(add(generator(), inf), generator());
+  EXPECT_EQ(add(inf, generator()), generator());
+  EXPECT_TRUE(add(inf, inf).infinity);
+}
+
+TEST(P256, AddInverseGivesIdentity) {
+  Point neg = generator();
+  neg.y = field_prime() - neg.y;
+  EXPECT_TRUE(on_curve(neg));
+  EXPECT_TRUE(add(generator(), neg).infinity);
+}
+
+TEST(P256, PointEncodingRoundTrip) {
+  const Point p = multiply(generator(), BigInt(12345));
+  const Bytes enc = encode_point(p);
+  EXPECT_EQ(enc.size(), 65u);
+  EXPECT_EQ(enc[0], 0x04);
+  EXPECT_EQ(decode_point(enc), p);
+  EXPECT_TRUE(decode_point(encode_point(Point{})).infinity);
+}
+
+TEST(P256, DecodeRejectsInvalid) {
+  EXPECT_THROW(decode_point(Bytes(64, 0x01)), std::runtime_error);
+  Bytes off_curve(65, 0x01);
+  off_curve[0] = 0x04;
+  EXPECT_THROW(decode_point(off_curve), std::runtime_error);
+}
+
+TEST(P256, EcdhAgreement) {
+  HmacDrbg da(1, "alice"), db(2, "bob");
+  const KeyPair alice = generate(da);
+  const KeyPair bob = generate(db);
+  EXPECT_EQ(ecdh(alice.private_scalar, bob.public_point),
+            ecdh(bob.private_scalar, alice.public_point));
+}
+
+TEST(P256, EcdhRejectsIdentityPeer) {
+  HmacDrbg d(3, "x");
+  const KeyPair kp = generate(d);
+  EXPECT_THROW(ecdh(kp.private_scalar, Point{}), std::runtime_error);
+}
+
+TEST(P256, EcdsaSignVerifyRoundTrip) {
+  HmacDrbg d(4, "sig");
+  const KeyPair kp = generate(d);
+  const Bytes msg = to_bytes("elliptic curve host identity");
+  const Signature sig = ecdsa_sign(kp.private_scalar, d, msg);
+  EXPECT_TRUE(ecdsa_verify(kp.public_point, msg, sig));
+}
+
+TEST(P256, EcdsaRejectsWrongMessage) {
+  HmacDrbg d(5, "sig2");
+  const KeyPair kp = generate(d);
+  const Signature sig = ecdsa_sign(kp.private_scalar, d, to_bytes("A"));
+  EXPECT_FALSE(ecdsa_verify(kp.public_point, to_bytes("B"), sig));
+}
+
+TEST(P256, EcdsaRejectsTamperedSignature) {
+  HmacDrbg d(6, "sig3");
+  const KeyPair kp = generate(d);
+  const Bytes msg = to_bytes("m");
+  Signature sig = ecdsa_sign(kp.private_scalar, d, msg);
+  sig.s = (sig.s + BigInt(1)) % order();
+  EXPECT_FALSE(ecdsa_verify(kp.public_point, msg, sig));
+}
+
+TEST(P256, EcdsaRejectsZeroComponents) {
+  HmacDrbg d(7, "sig4");
+  const KeyPair kp = generate(d);
+  EXPECT_FALSE(ecdsa_verify(kp.public_point, to_bytes("m"),
+                            Signature{BigInt(), BigInt(1)}));
+  EXPECT_FALSE(ecdsa_verify(kp.public_point, to_bytes("m"),
+                            Signature{BigInt(1), BigInt()}));
+}
+
+TEST(P256, EcdsaRejectsWrongKey) {
+  HmacDrbg d1(8, "k1"), d2(9, "k2");
+  const KeyPair a = generate(d1);
+  const KeyPair b = generate(d2);
+  const Bytes msg = to_bytes("m");
+  const Signature sig = ecdsa_sign(a.private_scalar, d1, msg);
+  EXPECT_FALSE(ecdsa_verify(b.public_point, msg, sig));
+}
+
+TEST(P256, SignatureEncodeDecodeRoundTrip) {
+  HmacDrbg d(10, "enc");
+  const KeyPair kp = generate(d);
+  const Signature sig = ecdsa_sign(kp.private_scalar, d, to_bytes("m"));
+  const Signature back = Signature::decode(sig.encode());
+  EXPECT_EQ(back.r, sig.r);
+  EXPECT_EQ(back.s, sig.s);
+  EXPECT_THROW(Signature::decode(Bytes(63, 0)), std::runtime_error);
+}
+
+TEST(P256, ScalarMultDistributes) {
+  // (a+b)G == aG + bG — core group property exercised through the
+  // Jacobian path.
+  HmacDrbg d(11, "dist");
+  const BigInt a = BigInt::random_below(d, order());
+  const BigInt b = BigInt::random_below(d, order());
+  const Point lhs = multiply(generator(), (a + b) % order());
+  const Point rhs = add(multiply(generator(), a), multiply(generator(), b));
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace hipcloud::crypto::p256

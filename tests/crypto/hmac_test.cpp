@@ -1,0 +1,65 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::crypto {
+namespace {
+
+// RFC 4231 test cases for HMAC-SHA256.
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      to_hex(hmac_sha256(to_bytes("Jefe"),
+                         to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      to_hex(hmac_sha256(
+          key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const Bytes msg = to_bytes("message");
+  EXPECT_NE(hmac_sha256(to_bytes("key1"), msg),
+            hmac_sha256(to_bytes("key2"), msg));
+}
+
+TEST(Hkdf, ExpandProducesRequestedLength) {
+  const Bytes prk = hkdf_extract(to_bytes("salt"), to_bytes("ikm"));
+  for (std::size_t n : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(hkdf_expand(prk, to_bytes("info"), n).size(), n);
+  }
+}
+
+TEST(Hkdf, ExpandIsPrefixConsistent) {
+  // A longer expansion must begin with the shorter one (counter-mode PRF).
+  const Bytes prk = hkdf_extract(to_bytes("s"), to_bytes("k"));
+  const Bytes long_out = hkdf_expand(prk, to_bytes("x"), 96);
+  const Bytes short_out = hkdf_expand(prk, to_bytes("x"), 40);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+TEST(Hkdf, InfoSeparatesKeys) {
+  const Bytes prk = hkdf_extract(to_bytes("s"), to_bytes("k"));
+  EXPECT_NE(hkdf_expand(prk, to_bytes("client"), 32),
+            hkdf_expand(prk, to_bytes("server"), 32));
+}
+
+}  // namespace
+}  // namespace hipcloud::crypto

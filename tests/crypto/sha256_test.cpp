@@ -1,0 +1,87 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::digest(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(Sha256::digest(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    const auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::digest(msg));
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(to_bytes("garbage"));
+  h.reset();
+  h.update(to_bytes("abc"));
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Boundary lengths around the 64-byte block/55-56 byte padding edge.
+TEST(Sha256, PaddingBoundaries) {
+  // 55 bytes: fits length in first block; 56: forces a second block.
+  const Bytes m55(55, 'x');
+  const Bytes m56(56, 'x');
+  const Bytes m64(64, 'x');
+  EXPECT_NE(Sha256::digest(m55), Sha256::digest(m56));
+  EXPECT_NE(Sha256::digest(m56), Sha256::digest(m64));
+  // Determinism.
+  EXPECT_EQ(Sha256::digest(m64), Sha256::digest(m64));
+}
+
+// RFC 3174-style SHA-1 vectors (used for HIPv1 HIT derivation).
+TEST(Sha1, Abc) {
+  EXPECT_EQ(to_hex(sha1(to_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Empty) {
+  EXPECT_EQ(to_hex(sha1({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, LongerVector) {
+  EXPECT_EQ(to_hex(sha1(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+}  // namespace
+}  // namespace hipcloud::crypto

@@ -1,0 +1,100 @@
+#include "hip/identity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace hipcloud::hip {
+namespace {
+
+class IdentityTest : public ::testing::TestWithParam<HiAlgorithm> {
+ protected:
+  HostIdentity make(std::uint64_t seed = 1) {
+    crypto::HmacDrbg drbg(seed, "identity-test");
+    // 768-bit RSA keeps the test fast; protocol code uses 1024+.
+    return HostIdentity::generate(drbg, GetParam(), 768);
+  }
+};
+
+TEST_P(IdentityTest, HitHasOrchidPrefix) {
+  const HostIdentity hi = make();
+  EXPECT_TRUE(hi.hit().is_hit());
+  EXPECT_FALSE(hi.hit().is_teredo());
+}
+
+TEST_P(IdentityTest, HitMatchesDerivation) {
+  const HostIdentity hi = make();
+  EXPECT_EQ(HostIdentity::derive_hit(hi.public_encoding()), hi.hit());
+}
+
+TEST_P(IdentityTest, DistinctKeysGiveDistinctHits) {
+  EXPECT_NE(make(1).hit(), make(2).hit());
+}
+
+TEST_P(IdentityTest, DeterministicFromSeed) {
+  EXPECT_EQ(make(7).hit(), make(7).hit());
+}
+
+TEST_P(IdentityTest, SignVerifyRoundTrip) {
+  const HostIdentity hi = make();
+  const auto msg = crypto::to_bytes("base exchange payload");
+  const auto sig = hi.sign(msg);
+  EXPECT_TRUE(HostIdentity::verify(hi.public_encoding(), msg, sig));
+}
+
+TEST_P(IdentityTest, VerifyRejectsWrongMessage) {
+  const HostIdentity hi = make();
+  const auto sig = hi.sign(crypto::to_bytes("A"));
+  EXPECT_FALSE(
+      HostIdentity::verify(hi.public_encoding(), crypto::to_bytes("B"), sig));
+}
+
+TEST_P(IdentityTest, VerifyRejectsWrongKey) {
+  const HostIdentity a = make(1);
+  const HostIdentity b = make(2);
+  const auto msg = crypto::to_bytes("m");
+  EXPECT_FALSE(HostIdentity::verify(b.public_encoding(), msg, a.sign(msg)));
+}
+
+TEST_P(IdentityTest, VerifyRejectsGarbage) {
+  const HostIdentity hi = make();
+  EXPECT_FALSE(HostIdentity::verify({}, crypto::to_bytes("m"),
+                                    crypto::to_bytes("sig")));
+  EXPECT_FALSE(HostIdentity::verify(hi.public_encoding(),
+                                    crypto::to_bytes("m"),
+                                    crypto::Bytes(16, 0)));
+}
+
+TEST_P(IdentityTest, EncodingCarriesAlgorithm) {
+  const HostIdentity hi = make();
+  ASSERT_FALSE(hi.public_encoding().empty());
+  EXPECT_EQ(static_cast<HiAlgorithm>(hi.public_encoding()[0]),
+            hi.algorithm());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, IdentityTest,
+                         ::testing::Values(HiAlgorithm::kRsa,
+                                           HiAlgorithm::kEcdsa),
+                         [](const auto& info) {
+                           return info.param == HiAlgorithm::kRsa ? "Rsa"
+                                                                  : "Ecdsa";
+                         });
+
+TEST(IdentityMixed, RsaAndEcdsaHitsDiffer) {
+  crypto::HmacDrbg d1(1, "x"), d2(1, "x");
+  const auto rsa = HostIdentity::generate(d1, HiAlgorithm::kRsa, 768);
+  const auto ec = HostIdentity::generate(d2, HiAlgorithm::kEcdsa);
+  EXPECT_NE(rsa.hit(), ec.hit());
+}
+
+TEST(IdentityMixed, CrossAlgorithmVerifyFails) {
+  crypto::HmacDrbg d1(1, "x"), d2(2, "y");
+  const auto rsa = HostIdentity::generate(d1, HiAlgorithm::kRsa, 768);
+  const auto ec = HostIdentity::generate(d2, HiAlgorithm::kEcdsa);
+  const auto msg = crypto::to_bytes("m");
+  EXPECT_FALSE(HostIdentity::verify(ec.public_encoding(), msg, rsa.sign(msg)));
+  EXPECT_FALSE(HostIdentity::verify(rsa.public_encoding(), msg, ec.sign(msg)));
+}
+
+}  // namespace
+}  // namespace hipcloud::hip

@@ -1,0 +1,99 @@
+#include "hip/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::hip {
+namespace {
+
+HipMessage sample() {
+  HipMessage msg;
+  msg.type = MsgType::kI2;
+  msg.sender_hit = net::Ipv6Addr::parse("2001:10::aa");
+  msg.receiver_hit = net::Ipv6Addr::parse("2001:10::bb");
+  msg.set_param(ParamType::kHostId, crypto::to_bytes("host-identity"));
+  msg.set_u64(ParamType::kSeq, 42);
+  return msg;
+}
+
+TEST(HipWire, SerializeParseRoundTrip) {
+  const HipMessage msg = sample();
+  const HipMessage back = HipMessage::parse(msg.serialize());
+  EXPECT_EQ(back.type, MsgType::kI2);
+  EXPECT_EQ(back.sender_hit, msg.sender_hit);
+  EXPECT_EQ(back.receiver_hit, msg.receiver_hit);
+  ASSERT_NE(back.param(ParamType::kHostId), nullptr);
+  EXPECT_EQ(*back.param(ParamType::kHostId), crypto::to_bytes("host-identity"));
+  EXPECT_EQ(back.u64(ParamType::kSeq), std::optional<std::uint64_t>(42));
+}
+
+TEST(HipWire, MissingParamIsNull) {
+  const HipMessage msg = sample();
+  EXPECT_EQ(msg.param(ParamType::kPuzzle), nullptr);
+  EXPECT_FALSE(msg.has_param(ParamType::kPuzzle));
+  EXPECT_EQ(msg.u64(ParamType::kAck), std::nullopt);
+}
+
+TEST(HipWire, ParseRejectsTruncated) {
+  EXPECT_THROW(HipMessage::parse(crypto::Bytes(32, 0)), std::runtime_error);
+  HipMessage msg = sample();
+  crypto::Bytes wire = msg.serialize();
+  wire.pop_back();  // cut the last parameter byte
+  EXPECT_THROW(HipMessage::parse(wire), std::runtime_error);
+}
+
+TEST(HipWire, EmptyParamValue) {
+  HipMessage msg = sample();
+  msg.set_param(ParamType::kEchoRequestSigned, {});
+  const HipMessage back = HipMessage::parse(msg.serialize());
+  ASSERT_NE(back.param(ParamType::kEchoRequestSigned), nullptr);
+  EXPECT_TRUE(back.param(ParamType::kEchoRequestSigned)->empty());
+}
+
+TEST(HipWire, SignedViewExcludesAuthParams) {
+  HipMessage msg = sample();
+  const crypto::Bytes before = msg.signed_view();
+  msg.set_param(ParamType::kHmac, crypto::Bytes(32, 1));
+  msg.set_param(ParamType::kSignature, crypto::Bytes(64, 2));
+  EXPECT_EQ(msg.signed_view(), before);
+  EXPECT_NE(msg.serialize(), before);
+}
+
+TEST(HipWire, HmacRoundTrip) {
+  const crypto::Bytes key(32, 0x42);
+  HipMessage msg = sample();
+  msg.attach_hmac(key);
+  EXPECT_TRUE(msg.check_hmac(key));
+}
+
+TEST(HipWire, HmacRejectsWrongKey) {
+  HipMessage msg = sample();
+  msg.attach_hmac(crypto::Bytes(32, 0x42));
+  EXPECT_FALSE(msg.check_hmac(crypto::Bytes(32, 0x43)));
+}
+
+TEST(HipWire, HmacRejectsTamperedContent) {
+  const crypto::Bytes key(32, 0x42);
+  HipMessage msg = sample();
+  msg.attach_hmac(key);
+  msg.set_u64(ParamType::kSeq, 43);  // modify after MACing
+  EXPECT_FALSE(msg.check_hmac(key));
+}
+
+TEST(HipWire, HmacAbsentFailsCheck) {
+  EXPECT_FALSE(sample().check_hmac(crypto::Bytes(32, 0)));
+}
+
+TEST(HipWire, HmacSurvivesSerialization) {
+  const crypto::Bytes key(32, 0x11);
+  HipMessage msg = sample();
+  msg.attach_hmac(key);
+  const HipMessage back = HipMessage::parse(msg.serialize());
+  EXPECT_TRUE(back.check_hmac(key));
+}
+
+TEST(HipWire, DescribeNamesTypes) {
+  EXPECT_NE(sample().describe().find("I2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hipcloud::hip

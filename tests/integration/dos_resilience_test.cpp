@@ -1,0 +1,139 @@
+// DoS-resilience integration (paper §IV-B): under an I1 flood the
+// responder's adaptive puzzle slows attackers while legitimate clients
+// still get through — the asymmetric-work property end to end.
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "hip/daemon.hpp"
+#include "net/udp.hpp"
+
+namespace hipcloud {
+namespace {
+
+using net::Endpoint;
+using net::IpAddr;
+using net::Ipv4Addr;
+
+hip::HostIdentity make_identity(const std::string& name) {
+  crypto::HmacDrbg drbg(crypto::to_bytes("dos:" + name));
+  return hip::HostIdentity::generate(drbg, hip::HiAlgorithm::kRsa, 1024);
+}
+
+TEST(DosResilience, LegitClientConnectsDuringI1Flood) {
+  net::Network net(73);
+  auto* client = net.add_node("client", 3e9);
+  auto* server = net.add_node("server", 3e9);
+  auto* attacker = net.add_node("attacker", 3e9);
+  auto* sw = net.add_node("switch");
+  sw->set_forwarding(true);
+  const auto lc = net.connect(client, sw, {});
+  const auto ls = net.connect(server, sw, {});
+  const auto la = net.connect(attacker, sw, {});
+  client->add_address(lc.iface_a, Ipv4Addr(10, 0, 1, 1));
+  server->add_address(ls.iface_a, Ipv4Addr(10, 0, 2, 1));
+  attacker->add_address(la.iface_a, Ipv4Addr(10, 0, 3, 1));
+  sw->add_address(lc.iface_b, Ipv4Addr(10, 0, 1, 254));
+  sw->add_address(ls.iface_b, Ipv4Addr(10, 0, 2, 254));
+  sw->add_address(la.iface_b, Ipv4Addr(10, 0, 3, 254));
+  client->set_default_route(lc.iface_a);
+  server->set_default_route(ls.iface_a);
+  attacker->set_default_route(la.iface_a);
+  sw->add_route(IpAddr(Ipv4Addr(10, 0, 1, 0)), 24, lc.iface_b);
+  sw->add_route(IpAddr(Ipv4Addr(10, 0, 2, 0)), 24, ls.iface_b);
+  sw->add_route(IpAddr(Ipv4Addr(10, 0, 3, 0)), 24, la.iface_b);
+
+  hip::HipConfig server_cfg;
+  server_cfg.puzzle_difficulty = 6;
+  server_cfg.adaptive_puzzle = true;
+  server_cfg.adaptive_threshold_rps = 20;
+  hip::HipDaemon hs(server, make_identity("server"), server_cfg);
+  hip::HipDaemon hc(client, make_identity("client"));
+  hs.add_peer(hc.hit(), IpAddr(Ipv4Addr(10, 0, 1, 1)));
+  hc.add_peer(hs.hit(), IpAddr(Ipv4Addr(10, 0, 2, 1)));
+
+  // Attacker floods spoofed I1s (no intention to solve puzzles).
+  for (int i = 0; i < 2000; ++i) {
+    net.loop().schedule(i * sim::from_millis(1), [&] {
+      hip::HipMessage i1;
+      i1.type = hip::MsgType::kI1;
+      i1.sender_hit = net::Ipv6Addr::parse("2001:10::dead");
+      i1.receiver_hit = hs.hit();
+      net::Packet pkt;
+      pkt.src = Ipv4Addr(10, 0, 3, 1);
+      pkt.dst = Ipv4Addr(10, 0, 2, 1);
+      pkt.proto = net::IpProto::kHip;
+      pkt.payload = i1.serialize();
+      pkt.stamp_l3_overhead();
+      attacker->send_raw(std::move(pkt));
+    });
+  }
+
+  // Mid-flood, the legitimate client initiates.
+  sim::Duration bex_latency = 0;
+  hc.on_established(
+      [&](const net::Ipv6Addr&, sim::Duration l) { bex_latency = l; });
+  net.loop().schedule(sim::kSecond, [&] { hc.initiate(hs.hit()); });
+
+  net.loop().run(20 * sim::kSecond);
+
+  // The flood raised the puzzle difficulty...
+  EXPECT_GT(hs.current_puzzle_difficulty(), 6);
+  // ...the responder only did cheap work per flood packet (it answered
+  // with precomputed R1s, no signatures, no state)...
+  EXPECT_EQ(hs.stats().bex_completed, 1u);
+  EXPECT_GE(hs.stats().r1_sent, 1000u);
+  // ...and the legitimate client still established, paying the higher
+  // puzzle cost.
+  EXPECT_EQ(hc.state(hs.hit()), hip::AssocState::kEstablished);
+  EXPECT_GT(bex_latency, 0);
+}
+
+TEST(DosResilience, BogusSolutionsAreCheapToReject) {
+  net::Network net(79);
+  auto* a = net.add_node("a", 3e9);
+  auto* b = net.add_node("b", 3e9);
+  const auto link = net.connect(a, b, {});
+  a->add_address(link.iface_a, Ipv4Addr(10, 0, 0, 1));
+  b->add_address(link.iface_b, Ipv4Addr(10, 0, 0, 2));
+  a->set_default_route(link.iface_a);
+  b->set_default_route(link.iface_b);
+  hip::HipConfig cfg;
+  cfg.puzzle_difficulty = 12;
+  hip::HipDaemon hb(b, make_identity("victim"), cfg);
+  const auto attacker_id = make_identity("attacker");
+
+  // Forge I2s with junk puzzle solutions: the victim must reject them on
+  // the single-hash check without doing DH/signature work.
+  const double cycles_before = b->cpu().total_cycles();
+  for (int i = 0; i < 50; ++i) {
+    hip::HipMessage i2;
+    i2.type = hip::MsgType::kI2;
+    i2.sender_hit = attacker_id.hit();
+    i2.receiver_hit = hb.hit();
+    crypto::Bytes solution{12};
+    crypto::append_be(solution, 42, 8);  // responder's I is different
+    crypto::append_be(solution, static_cast<std::uint64_t>(i), 8);
+    i2.set_param(hip::ParamType::kSolution, std::move(solution));
+    i2.set_param(hip::ParamType::kDiffieHellman, crypto::Bytes(193, 1));
+    i2.set_param(hip::ParamType::kHostId, attacker_id.public_encoding());
+    i2.set_param(hip::ParamType::kEspInfo, crypto::Bytes(5, 1));
+    i2.set_param(hip::ParamType::kSignature, crypto::Bytes(128, 0));
+    net::Packet pkt;
+    pkt.src = Ipv4Addr(10, 0, 0, 1);
+    pkt.dst = Ipv4Addr(10, 0, 0, 2);
+    pkt.proto = net::IpProto::kHip;
+    pkt.payload = i2.serialize();
+    pkt.stamp_l3_overhead();
+    a->send_raw(std::move(pkt));
+  }
+  net.loop().run();
+  const double cycles_spent = b->cpu().total_cycles() - cycles_before;
+  // 50 bogus I2s must cost far less than one real DH+verify+sign
+  // (~4.4e6 cycles): the puzzle check gates the expensive work.
+  EXPECT_LT(cycles_spent, 1e6);
+  EXPECT_EQ(hb.stats().bex_completed, 0u);
+}
+
+}  // namespace
+}  // namespace hipcloud

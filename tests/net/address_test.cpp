@@ -1,0 +1,106 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  const auto addr = Ipv4Addr::parse("192.168.1.42");
+  EXPECT_EQ(addr.to_string(), "192.168.1.42");
+  EXPECT_EQ(addr, Ipv4Addr(192, 168, 1, 42));
+  EXPECT_EQ(Ipv4Addr(0u).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Addr(255, 255, 255, 255).to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4Addr, ParseRejectsGarbage) {
+  EXPECT_THROW(Ipv4Addr::parse("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("hello"), std::invalid_argument);
+}
+
+TEST(Ipv4Addr, LsiRange) {
+  EXPECT_TRUE(Ipv4Addr(1, 0, 0, 7).is_lsi());
+  EXPECT_FALSE(Ipv4Addr(10, 0, 0, 7).is_lsi());
+  EXPECT_FALSE(Ipv4Addr(2, 0, 0, 7).is_lsi());
+}
+
+TEST(Ipv6Addr, ParseFullForm) {
+  const auto addr = Ipv6Addr::parse("2001:db8:0:0:0:0:0:1");
+  EXPECT_EQ(addr.to_string(), "2001:db8::1");
+}
+
+TEST(Ipv6Addr, ParseCompressed) {
+  EXPECT_EQ(Ipv6Addr::parse("::1").to_string(), "::1");
+  EXPECT_EQ(Ipv6Addr::parse("2001:10::5").to_string(), "2001:10::5");
+  EXPECT_EQ(Ipv6Addr::parse("::").to_string(), "::");
+  EXPECT_EQ(Ipv6Addr::parse("fe80::").to_string(), "fe80::");
+}
+
+TEST(Ipv6Addr, ParseRejectsGarbage) {
+  EXPECT_THROW(Ipv6Addr::parse("1:2:3"), std::invalid_argument);
+  EXPECT_THROW(Ipv6Addr::parse("1:2:3:4:5:6:7:8:9"), std::invalid_argument);
+  EXPECT_THROW(Ipv6Addr::parse("12345::1"), std::invalid_argument);
+}
+
+TEST(Ipv6Addr, RoundTripBytes) {
+  const auto addr = Ipv6Addr::parse("2001:db8::dead:beef");
+  const auto again = Ipv6Addr::from_bytes(
+      crypto::BytesView(addr.bytes().data(), addr.bytes().size()));
+  EXPECT_EQ(addr, again);
+  EXPECT_THROW(Ipv6Addr::from_bytes(crypto::Bytes(15, 0)),
+               std::invalid_argument);
+}
+
+TEST(Ipv6Addr, OrchidPrefixIsHit) {
+  EXPECT_TRUE(Ipv6Addr::parse("2001:10::1").is_hit());
+  EXPECT_TRUE(Ipv6Addr::parse("2001:1f:ffff::1").is_hit());
+  EXPECT_FALSE(Ipv6Addr::parse("2001:20::1").is_hit());
+  EXPECT_FALSE(Ipv6Addr::parse("2001:db8::1").is_hit());
+}
+
+TEST(Ipv6Addr, TeredoPrefix) {
+  EXPECT_TRUE(Ipv6Addr::parse("2001:0:1234::1").is_teredo());
+  EXPECT_FALSE(Ipv6Addr::parse("2001:db8::1").is_teredo());
+  // HIT and Teredo prefixes are disjoint.
+  EXPECT_FALSE(Ipv6Addr::parse("2001:10::1").is_teredo());
+}
+
+TEST(Ipv6Addr, ZeroDetection) {
+  EXPECT_TRUE(Ipv6Addr().is_zero());
+  EXPECT_FALSE(Ipv6Addr::parse("::1").is_zero());
+}
+
+TEST(IpAddr, FamilyAndKindQueries) {
+  const IpAddr v4 = Ipv4Addr(10, 0, 0, 1);
+  const IpAddr lsi = Ipv4Addr(1, 0, 0, 1);
+  const IpAddr hit = Ipv6Addr::parse("2001:10::1");
+  EXPECT_TRUE(v4.is_v4());
+  EXPECT_FALSE(v4.is_v6());
+  EXPECT_FALSE(v4.is_lsi());
+  EXPECT_TRUE(lsi.is_lsi());
+  EXPECT_TRUE(hit.is_v6());
+  EXPECT_TRUE(hit.is_hit());
+  EXPECT_FALSE(hit.is_lsi());
+}
+
+TEST(IpAddr, OrderingIsTotal) {
+  const IpAddr a = Ipv4Addr(10, 0, 0, 1);
+  const IpAddr b = Ipv4Addr(10, 0, 0, 2);
+  const IpAddr c = Ipv6Addr::parse("::1");
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, c);
+  // v4 sorts before v6 (variant index order) — just needs to be stable.
+  EXPECT_TRUE((a < c) ^ (c < a));
+}
+
+TEST(Endpoint, Formatting) {
+  EXPECT_EQ((Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 1)), 80}).to_string(),
+            "10.0.0.1:80");
+  EXPECT_EQ((Endpoint{IpAddr(Ipv6Addr::parse("2001:10::1")), 443}).to_string(),
+            "[2001:10::1]:443");
+}
+
+}  // namespace
+}  // namespace hipcloud::net

@@ -1,0 +1,152 @@
+#include "net/dns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_topology.hpp"
+
+namespace hipcloud::net {
+namespace {
+
+using testing::TwoHosts;
+
+struct DnsTopo : TwoHosts {
+  UdpStack ua{a}, ub{b};
+  DnsServer server{b, &ub};
+  DnsResolver resolver{a, &ua,
+                       Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), kDnsPort}};
+};
+
+TEST(DnsRecord, Constructors) {
+  const auto a = DnsRecord::a(Ipv4Addr(10, 1, 2, 3));
+  EXPECT_EQ(a.as_a(), Ipv4Addr(10, 1, 2, 3));
+  const auto aaaa = DnsRecord::aaaa(Ipv6Addr::parse("2001:db8::7"));
+  EXPECT_EQ(aaaa.as_aaaa(), Ipv6Addr::parse("2001:db8::7"));
+  const auto hit = Ipv6Addr::parse("2001:10::42");
+  const auto hi = crypto::to_bytes("public-key-bytes");
+  const auto hip = DnsRecord::hip(hit, hi);
+  EXPECT_EQ(hip.hip_hit(), hit);
+  EXPECT_EQ(hip.hip_host_identity(), hi);
+}
+
+TEST(DnsRecord, AccessorsRejectWrongType) {
+  const auto a = DnsRecord::a(Ipv4Addr(10, 1, 2, 3));
+  EXPECT_THROW(a.as_aaaa(), std::runtime_error);
+  EXPECT_THROW(a.hip_hit(), std::runtime_error);
+}
+
+TEST(Dns, ResolvesARecord) {
+  DnsTopo topo;
+  topo.server.add_record("web1.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 2)));
+  std::vector<DnsRecord> result;
+  topo.resolver.query("web1.cloud", DnsType::kA,
+                      [&](std::vector<DnsRecord> r) { result = std::move(r); });
+  topo.net.loop().run();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].as_a(), Ipv4Addr(10, 0, 0, 2));
+}
+
+TEST(Dns, ResolvesHipRecordWithHostIdentity) {
+  DnsTopo topo;
+  const auto hit = Ipv6Addr::parse("2001:10::abcd");
+  topo.server.add_record("db.cloud",
+                         DnsRecord::hip(hit, crypto::to_bytes("rsa-key")));
+  std::vector<DnsRecord> result;
+  topo.resolver.query("db.cloud", DnsType::kHip,
+                      [&](std::vector<DnsRecord> r) { result = std::move(r); });
+  topo.net.loop().run();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].hip_hit(), hit);
+  EXPECT_EQ(result[0].hip_host_identity(), crypto::to_bytes("rsa-key"));
+}
+
+TEST(Dns, TypeFiltering) {
+  DnsTopo topo;
+  topo.server.add_record("multi.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 9)));
+  topo.server.add_record("multi.cloud",
+                         DnsRecord::aaaa(Ipv6Addr::parse("2001:db8::9")));
+  std::vector<DnsRecord> result;
+  topo.resolver.query("multi.cloud", DnsType::kAaaa,
+                      [&](std::vector<DnsRecord> r) { result = std::move(r); });
+  topo.net.loop().run();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].type, DnsType::kAaaa);
+}
+
+TEST(Dns, MultipleRecordsSameType) {
+  DnsTopo topo;
+  topo.server.add_record("lb.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 11)));
+  topo.server.add_record("lb.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 12)));
+  topo.server.add_record("lb.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 13)));
+  std::vector<DnsRecord> result;
+  topo.resolver.query("lb.cloud", DnsType::kA,
+                      [&](std::vector<DnsRecord> r) { result = std::move(r); });
+  topo.net.loop().run();
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(Dns, NxDomainGivesEmptyResult) {
+  DnsTopo topo;
+  bool called = false;
+  std::vector<DnsRecord> result{DnsRecord::a(Ipv4Addr(1, 2, 3, 4))};
+  topo.resolver.query("nope.cloud", DnsType::kA,
+                      [&](std::vector<DnsRecord> r) {
+                        called = true;
+                        result = std::move(r);
+                      });
+  topo.net.loop().run();
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(Dns, RemoveRecords) {
+  DnsTopo topo;
+  topo.server.add_record("x.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 9)));
+  topo.server.add_record("x.cloud",
+                         DnsRecord::aaaa(Ipv6Addr::parse("2001:db8::9")));
+  EXPECT_EQ(topo.server.record_count(), 2u);
+  topo.server.remove_records("x.cloud", DnsType::kA);
+  EXPECT_EQ(topo.server.record_count(), 1u);
+  std::vector<DnsRecord> result{DnsRecord::a(Ipv4Addr(1, 2, 3, 4))};
+  topo.resolver.query("x.cloud", DnsType::kA,
+                      [&](std::vector<DnsRecord> r) { result = std::move(r); });
+  topo.net.loop().run();
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(Dns, QueryToDeadServerTimesOut) {
+  TwoHosts topo;
+  UdpStack ua(topo.a);
+  DnsResolver resolver(topo.a, &ua,
+                       Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), kDnsPort});
+  bool called = false;
+  resolver.query("any.cloud", DnsType::kA, [&](std::vector<DnsRecord> r) {
+    called = true;
+    EXPECT_TRUE(r.empty());
+  });
+  topo.net.loop().run();
+  EXPECT_TRUE(called);
+  EXPECT_GE(topo.net.loop().now(), 2 * sim::kSecond);
+}
+
+TEST(Dns, ConcurrentQueriesAreDemultiplexed) {
+  DnsTopo topo;
+  topo.server.add_record("a.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 21)));
+  topo.server.add_record("b.cloud", DnsRecord::a(Ipv4Addr(10, 0, 0, 22)));
+  Ipv4Addr got_a, got_b;
+  topo.resolver.query("a.cloud", DnsType::kA,
+                      [&](std::vector<DnsRecord> r) {
+                        ASSERT_EQ(r.size(), 1u);
+                        got_a = r[0].as_a();
+                      });
+  topo.resolver.query("b.cloud", DnsType::kA,
+                      [&](std::vector<DnsRecord> r) {
+                        ASSERT_EQ(r.size(), 1u);
+                        got_b = r[0].as_a();
+                      });
+  topo.net.loop().run();
+  EXPECT_EQ(got_a, Ipv4Addr(10, 0, 0, 21));
+  EXPECT_EQ(got_b, Ipv4Addr(10, 0, 0, 22));
+}
+
+}  // namespace
+}  // namespace hipcloud::net

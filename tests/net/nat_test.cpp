@@ -1,0 +1,153 @@
+#include "net/nat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/icmp.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+
+namespace hipcloud::net {
+namespace {
+
+/// client (192.168.0.2) -- natbox -- server (8.0.0.10)
+/// NAT public pool address: 8.0.0.1 (not owned by the nat node).
+struct NattedTopo {
+  Network net;
+  Node* client;
+  Node* natbox;
+  Node* server;
+  std::unique_ptr<Nat> nat;
+
+  explicit NattedTopo(std::uint64_t seed = 1) : net(seed) {
+    client = net.add_node("client");
+    natbox = net.add_node("natbox");
+    server = net.add_node("server");
+    const auto inside = net.connect(client, natbox, {});
+    const auto outside = net.connect(natbox, server, {});
+    client->add_address(inside.iface_a, Ipv4Addr(192, 168, 0, 2));
+    natbox->add_address(inside.iface_b, Ipv4Addr(192, 168, 0, 1));
+    natbox->add_address(outside.iface_a, Ipv4Addr(8, 0, 0, 254));
+    server->add_address(outside.iface_b, Ipv4Addr(8, 0, 0, 10));
+    client->set_default_route(inside.iface_a);
+    server->set_default_route(outside.iface_b);  // via natbox for 8.0.0.1
+    natbox->add_route(IpAddr(Ipv4Addr(192, 168, 0, 0)), 24, inside.iface_b);
+    natbox->set_default_route(outside.iface_a);
+    nat = std::make_unique<Nat>(natbox, inside.iface_b, outside.iface_a,
+                                Ipv4Addr(8, 0, 0, 1));
+  }
+};
+
+TEST(Nat, UdpOutboundIsTranslated) {
+  NattedTopo topo;
+  UdpStack uc(topo.client), us(topo.server);
+  Endpoint seen_src{};
+  us.bind(5353, [&](const Endpoint& from, const IpAddr&, crypto::Bytes) {
+    seen_src = from;
+  });
+  uc.send(4000, Endpoint{IpAddr(Ipv4Addr(8, 0, 0, 10)), 5353},
+          crypto::to_bytes("x"));
+  topo.net.loop().run();
+  EXPECT_EQ(seen_src.addr, IpAddr(Ipv4Addr(8, 0, 0, 1)));
+  EXPECT_NE(seen_src.port, 4000);  // remapped
+  EXPECT_EQ(topo.nat->active_mappings(), 1u);
+}
+
+TEST(Nat, UdpReplyComesBackThroughMapping) {
+  NattedTopo topo;
+  UdpStack uc(topo.client), us(topo.server);
+  crypto::Bytes client_got;
+  uc.bind(4000, [&](const Endpoint&, const IpAddr&, crypto::Bytes data) {
+    client_got = std::move(data);
+  });
+  us.bind(5353, [&](const Endpoint& from, const IpAddr&, crypto::Bytes) {
+    us.send(5353, from, crypto::to_bytes("reply"));
+  });
+  uc.send(4000, Endpoint{IpAddr(Ipv4Addr(8, 0, 0, 10)), 5353},
+          crypto::to_bytes("ping"));
+  topo.net.loop().run();
+  EXPECT_EQ(client_got, crypto::to_bytes("reply"));
+}
+
+TEST(Nat, MappingIsStableAcrossDatagrams) {
+  NattedTopo topo;
+  UdpStack uc(topo.client), us(topo.server);
+  std::vector<std::uint16_t> seen_ports;
+  us.bind(5353, [&](const Endpoint& from, const IpAddr&, crypto::Bytes) {
+    seen_ports.push_back(from.port);
+  });
+  for (int i = 0; i < 3; ++i) {
+    uc.send(4000, Endpoint{IpAddr(Ipv4Addr(8, 0, 0, 10)), 5353},
+            crypto::Bytes(1, 0));
+  }
+  topo.net.loop().run();
+  ASSERT_EQ(seen_ports.size(), 3u);
+  EXPECT_EQ(seen_ports[0], seen_ports[1]);
+  EXPECT_EQ(seen_ports[1], seen_ports[2]);
+  EXPECT_EQ(topo.nat->active_mappings(), 1u);
+}
+
+TEST(Nat, DistinctInsidePortsGetDistinctMappings) {
+  NattedTopo topo;
+  UdpStack uc(topo.client), us(topo.server);
+  std::vector<std::uint16_t> seen_ports;
+  us.bind(5353, [&](const Endpoint& from, const IpAddr&, crypto::Bytes) {
+    seen_ports.push_back(from.port);
+  });
+  uc.send(4000, Endpoint{IpAddr(Ipv4Addr(8, 0, 0, 10)), 5353},
+          crypto::Bytes(1, 0));
+  uc.send(4001, Endpoint{IpAddr(Ipv4Addr(8, 0, 0, 10)), 5353},
+          crypto::Bytes(1, 0));
+  topo.net.loop().run();
+  ASSERT_EQ(seen_ports.size(), 2u);
+  EXPECT_NE(seen_ports[0], seen_ports[1]);
+  EXPECT_EQ(topo.nat->active_mappings(), 2u);
+}
+
+TEST(Nat, UnsolicitedInboundIsDropped) {
+  NattedTopo topo;
+  UdpStack uc(topo.client), us(topo.server);
+  int client_got = 0;
+  uc.bind(4000, [&](const Endpoint&, const IpAddr&, crypto::Bytes) {
+    ++client_got;
+  });
+  // Server fires at the NAT's public address with no mapping existing.
+  us.send(9999, Endpoint{IpAddr(Ipv4Addr(8, 0, 0, 1)), 4000},
+          crypto::to_bytes("unsolicited"));
+  topo.net.loop().run();
+  EXPECT_EQ(client_got, 0);
+}
+
+TEST(Nat, TcpThroughNat) {
+  NattedTopo topo;
+  TcpStack tc(topo.client), ts(topo.server);
+  crypto::Bytes at_server, at_client;
+  ts.listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    conn->on_data([&, c = conn.get()](crypto::Bytes data) {
+      at_server = std::move(data);
+      c->send(crypto::to_bytes("OK"));
+    });
+  });
+  auto conn = tc.connect(Endpoint{IpAddr(Ipv4Addr(8, 0, 0, 10)), 80});
+  conn->on_connect([&] { conn->send(crypto::to_bytes("GET /")); });
+  conn->on_data([&](crypto::Bytes data) { at_client = std::move(data); });
+  topo.net.loop().run();
+  EXPECT_EQ(at_server, crypto::to_bytes("GET /"));
+  EXPECT_EQ(at_client, crypto::to_bytes("OK"));
+}
+
+TEST(Nat, IcmpEchoThroughNat) {
+  NattedTopo topo;
+  IcmpStack ic(topo.client), is(topo.server);
+  bool done = false;
+  ic.ping(IpAddr(Ipv4Addr(8, 0, 0, 10)), 5, sim::from_millis(1), 32,
+          [&](const sim::Summary& rtts, int lost) {
+            done = true;
+            EXPECT_EQ(lost, 0);
+            EXPECT_EQ(rtts.count(), 5u);
+          });
+  topo.net.loop().run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace hipcloud::net

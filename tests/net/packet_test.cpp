@@ -1,0 +1,119 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::net {
+namespace {
+
+using crypto::Bytes;
+
+TEST(UdpSegment, SerializeParseRoundTrip) {
+  UdpSegment seg;
+  seg.src_port = 1234;
+  seg.dst_port = 53;
+  seg.data = crypto::to_bytes("query");
+  const Bytes wire = seg.serialize();
+  EXPECT_EQ(wire.size(), 8u + 5u);
+  const UdpSegment back = UdpSegment::parse(wire);
+  EXPECT_EQ(back.src_port, 1234);
+  EXPECT_EQ(back.dst_port, 53);
+  EXPECT_EQ(back.data, seg.data);
+}
+
+TEST(UdpSegment, ParseRejectsTruncated) {
+  EXPECT_THROW(UdpSegment::parse(Bytes(7, 0)), std::runtime_error);
+}
+
+TEST(UdpSegment, ParseRejectsBadLength) {
+  UdpSegment seg;
+  seg.data = crypto::to_bytes("abc");
+  Bytes wire = seg.serialize();
+  wire[4] = 0xff;  // length field > actual
+  wire[5] = 0xff;
+  EXPECT_THROW(UdpSegment::parse(wire), std::runtime_error);
+}
+
+TEST(UdpSegment, EmptyPayload) {
+  UdpSegment seg;
+  seg.src_port = 1;
+  seg.dst_port = 2;
+  const UdpSegment back = UdpSegment::parse(seg.serialize());
+  EXPECT_TRUE(back.data.empty());
+}
+
+TEST(IcmpEcho, RoundTrip) {
+  IcmpEcho echo;
+  echo.is_reply = false;
+  echo.ident = 77;
+  echo.seq = 3;
+  echo.data = Bytes(56, 0xa5);
+  const IcmpEcho back = IcmpEcho::parse(echo.serialize());
+  EXPECT_FALSE(back.is_reply);
+  EXPECT_EQ(back.ident, 77);
+  EXPECT_EQ(back.seq, 3);
+  EXPECT_EQ(back.data, echo.data);
+}
+
+TEST(IcmpEcho, ReplyFlag) {
+  IcmpEcho echo;
+  echo.is_reply = true;
+  EXPECT_TRUE(IcmpEcho::parse(echo.serialize()).is_reply);
+}
+
+TEST(IcmpEcho, ParseRejectsUnknownType) {
+  Bytes wire(8, 0);
+  wire[0] = 13;  // timestamp request — unsupported
+  EXPECT_THROW(IcmpEcho::parse(wire), std::runtime_error);
+}
+
+TEST(Packet, WireSizeAccounting) {
+  Packet pkt;
+  pkt.src = Ipv4Addr(10, 0, 0, 1);
+  pkt.dst = Ipv4Addr(10, 0, 0, 2);
+  pkt.payload = Bytes(100, 0);
+  pkt.stamp_l3_overhead();
+  EXPECT_EQ(pkt.header_overhead, 20u);
+  EXPECT_EQ(pkt.wire_size(), 120u);
+  pkt.dst = Ipv6Addr::parse("2001:db8::1");
+  pkt.stamp_l3_overhead();
+  EXPECT_EQ(pkt.wire_size(), 140u);
+}
+
+TEST(Ipv6Serialization, RoundTrip) {
+  Packet pkt;
+  pkt.src = Ipv6Addr::parse("2001:db8::1");
+  pkt.dst = Ipv6Addr::parse("2001:db8::2");
+  pkt.proto = IpProto::kTcp;
+  pkt.ttl = 37;
+  pkt.payload = crypto::to_bytes("segment bytes");
+  const Bytes wire = serialize_ipv6(pkt);
+  EXPECT_EQ(wire.size(), 40u + pkt.payload.size());
+  const Packet back = parse_ipv6(wire);
+  EXPECT_EQ(back.src, pkt.src);
+  EXPECT_EQ(back.dst, pkt.dst);
+  EXPECT_EQ(back.proto, IpProto::kTcp);
+  EXPECT_EQ(back.ttl, 37);
+  EXPECT_EQ(back.payload, pkt.payload);
+  EXPECT_EQ(back.header_overhead, 40u);
+}
+
+TEST(Ipv6Serialization, RejectsV4Packet) {
+  Packet pkt;
+  pkt.src = Ipv4Addr(10, 0, 0, 1);
+  pkt.dst = Ipv6Addr::parse("::1");
+  EXPECT_THROW(serialize_ipv6(pkt), std::runtime_error);
+}
+
+TEST(Ipv6Serialization, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_ipv6(Bytes(39, 0)), std::runtime_error);
+  Bytes bad(40, 0);
+  bad[0] = 0x40;  // version 4
+  EXPECT_THROW(parse_ipv6(bad), std::runtime_error);
+  Bytes short_payload(40, 0);
+  short_payload[0] = 0x60;
+  short_payload[5] = 10;  // claims 10 payload bytes, has none
+  EXPECT_THROW(parse_ipv6(short_payload), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hipcloud::net

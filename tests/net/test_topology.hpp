@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared mini-topologies for network-layer tests.
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace hipcloud::net::testing {
+
+/// Two hosts on a direct link:
+///   a (10.0.0.1) ----- b (10.0.0.2)
+struct TwoHosts {
+  Network net;
+  Node* a;
+  Node* b;
+
+  explicit TwoHosts(const LinkConfig& link = {}, std::uint64_t seed = 1)
+      : net(seed) {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    const auto att = net.connect(a, b, link);
+    a->add_address(att.iface_a, Ipv4Addr(10, 0, 0, 1));
+    b->add_address(att.iface_b, Ipv4Addr(10, 0, 0, 2));
+    a->set_default_route(att.iface_a);
+    b->set_default_route(att.iface_b);
+  }
+};
+
+/// Two hosts behind a router:
+///   a (10.0.1.1) -- r -- b (10.0.2.1)
+struct RoutedPair {
+  Network net;
+  Node* a;
+  Node* r;
+  Node* b;
+
+  explicit RoutedPair(const LinkConfig& left = {}, const LinkConfig& right = {},
+                      std::uint64_t seed = 1)
+      : net(seed) {
+    a = net.add_node("a");
+    r = net.add_node("r");
+    b = net.add_node("b");
+    const auto la = net.connect(a, r, left);
+    const auto lb = net.connect(r, b, right);
+    a->add_address(la.iface_a, Ipv4Addr(10, 0, 1, 1));
+    r->add_address(la.iface_b, Ipv4Addr(10, 0, 1, 254));
+    r->add_address(lb.iface_a, Ipv4Addr(10, 0, 2, 254));
+    b->add_address(lb.iface_b, Ipv4Addr(10, 0, 2, 1));
+    a->set_default_route(la.iface_a);
+    b->set_default_route(lb.iface_b);
+    r->add_route(IpAddr(Ipv4Addr(10, 0, 1, 0)), 24, la.iface_b);
+    r->add_route(IpAddr(Ipv4Addr(10, 0, 2, 0)), 24, lb.iface_a);
+    r->set_forwarding(true);
+  }
+};
+
+}  // namespace hipcloud::net::testing

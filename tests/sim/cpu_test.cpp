@@ -1,0 +1,105 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::sim {
+namespace {
+
+TEST(CpuScheduler, WorkTakesCyclesOverSpeed) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);  // 1 GHz
+  Time done_at = -1;
+  cpu.run(5e8, [&] { done_at = loop.now(); });  // 0.5 s of work
+  loop.run();
+  EXPECT_EQ(done_at, kSecond / 2);
+}
+
+TEST(CpuScheduler, WorkSerializesFifo) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);
+  std::vector<int> order;
+  Time second_done = -1;
+  cpu.run(1e8, [&] { order.push_back(1); });
+  cpu.run(1e8, [&] {
+    order.push_back(2);
+    second_done = loop.now();
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(second_done, kSecond / 5);  // 0.1 s + 0.1 s back-to-back
+}
+
+TEST(CpuScheduler, IdleGapsDontAccumulate) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);
+  Time done_at = -1;
+  cpu.run(1e8, [] {});  // finishes at 0.1 s
+  loop.schedule(kSecond, [&] {
+    cpu.run(1e8, [&] { done_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(done_at, kSecond + kSecond / 10);  // starts fresh at 1 s
+}
+
+TEST(CpuScheduler, ChargeAdvancesBusyWithoutCallback) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);
+  cpu.charge(1e9);
+  EXPECT_EQ(cpu.busy_until(), kSecond);
+  EXPECT_EQ(cpu.backlog(), kSecond);
+  EXPECT_DOUBLE_EQ(cpu.total_cycles(), 1e9);
+}
+
+TEST(CpuScheduler, SlowerCpuTakesProportionallyLonger) {
+  EventLoop loop;
+  CpuScheduler fast(loop, 4e9), slow(loop, 1e9);
+  Time fast_done = 0, slow_done = 0;
+  fast.run(4e8, [&] { fast_done = loop.now(); });
+  slow.run(4e8, [&] { slow_done = loop.now(); });
+  loop.run();
+  EXPECT_EQ(slow_done, 4 * fast_done);
+}
+
+TEST(CpuScheduler, BurstCreditsRunAtBurstRate) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);
+  cpu.enable_burst(4e9, 4e9);  // 1 second worth of burst credit
+  Time done_at = -1;
+  cpu.run(4e9, [&] { done_at = loop.now(); });  // exactly the bucket
+  loop.run();
+  EXPECT_EQ(done_at, kSecond);  // at burst: 4e9 / 4e9 = 1 s (vs 4 s base)
+  EXPECT_DOUBLE_EQ(cpu.remaining_credit_cycles(), 0.0);
+}
+
+TEST(CpuScheduler, ExhaustedCreditsFallBackToBase) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);
+  cpu.enable_burst(4e9, 4e9);
+  Time done_at = -1;
+  // 4e9 at burst (1 s) + 1e9 at base (1 s) = 2 s.
+  cpu.run(5e9, [&] { done_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(done_at, 2 * kSecond);
+}
+
+TEST(CpuScheduler, BacklogSeenByNewArrivals) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);
+  cpu.run(1e9, [] {});
+  EXPECT_EQ(cpu.backlog(), kSecond);
+  loop.run(kSecond / 2);
+  EXPECT_EQ(cpu.backlog(), kSecond / 2);
+}
+
+TEST(CpuScheduler, ZeroCostWorkStillRunsThroughLoop) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, 1e9);
+  bool ran = false;
+  cpu.run(0, [&] { ran = true; });
+  EXPECT_FALSE(ran);  // not synchronous
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace hipcloud::sim

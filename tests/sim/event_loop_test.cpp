@@ -1,0 +1,151 @@
+#include "sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hipcloud::sim {
+namespace {
+
+TEST(EventLoop, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.idle());
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30, [&] { order.push_back(3); });
+  loop.schedule(10, [&] { order.push_back(1); });
+  loop.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, SameInstantIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  Time fired_at = -1;
+  loop.schedule(50, [&] {
+    loop.schedule(-10, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(EventLoop, EventsScheduleMoreEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) loop.schedule(5, chain);
+  };
+  loop.schedule(5, chain);
+  loop.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(loop.now(), 50);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  const auto h = loop.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(h));
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelTwiceReturnsFalse) {
+  EventLoop loop;
+  const auto h = loop.schedule(10, [] {});
+  EXPECT_TRUE(loop.cancel(h));
+  EXPECT_FALSE(loop.cancel(h));
+  loop.run();
+}
+
+TEST(EventLoop, CancelInvalidHandleIsNoop) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.cancel(EventHandle{}));
+}
+
+TEST(EventLoop, RunUntilStopsAtBound) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(10, [&] { ++fired; });
+  loop.schedule(20, [&] { ++fired; });
+  loop.schedule(30, [&] { ++fired; });
+  EXPECT_EQ(loop.run(15), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 15);  // clock advances to the bound
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoop, StopHaltsRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(10, [&] {
+    ++fired;
+    loop.stop();
+  });
+  loop.schedule(20, [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, ScheduleAtAbsoluteTime) {
+  EventLoop loop;
+  Time fired_at = -1;
+  loop.schedule_at(123, [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired_at, 123);
+}
+
+TEST(EventLoop, PendingCountExcludesCancelled) {
+  EventLoop loop;
+  loop.schedule(10, [] {});
+  const auto h = loop.schedule(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(h);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, StepExecutesOneEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(10, [&] { ++fired; });
+  loop.schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(TimeFormat, HumanReadableUnits) {
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(1500), "1.500us");
+  EXPECT_EQ(format_time(2 * kMillisecond), "2.000ms");
+  EXPECT_EQ(format_time(3 * kSecond), "3.000000s");
+}
+
+TEST(TimeConversion, RoundTrips) {
+  EXPECT_EQ(from_seconds(1.5), 1500 * kMillisecond);
+  EXPECT_EQ(from_millis(2.5), 2500 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+}
+
+}  // namespace
+}  // namespace hipcloud::sim

@@ -1,0 +1,86 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipcloud::sim {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MeanAndSum) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Summary, SampleStddev) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Known dataset: population sigma = 2; sample stddev = sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(Summary, MinMax) {
+  Summary s;
+  for (double x : {5.0, -1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, PercentileNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Summary, PercentileAfterMoreAdds) {
+  Summary s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);  // re-sorts after mutation
+}
+
+TEST(Summary, ClearResets) {
+  Summary s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndBounds) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.99);  // bucket 4
+  h.add(5.0);   // bucket 2
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (half-open)
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(2), 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hipcloud::sim
