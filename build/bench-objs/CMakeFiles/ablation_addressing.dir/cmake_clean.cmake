@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_addressing"
+  "../bench/ablation_addressing.pdb"
+  "CMakeFiles/ablation_addressing.dir/ablation_addressing.cpp.o"
+  "CMakeFiles/ablation_addressing.dir/ablation_addressing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

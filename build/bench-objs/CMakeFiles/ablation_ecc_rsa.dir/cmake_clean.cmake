@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ecc_rsa"
+  "../bench/ablation_ecc_rsa.pdb"
+  "CMakeFiles/ablation_ecc_rsa.dir/ablation_ecc_rsa.cpp.o"
+  "CMakeFiles/ablation_ecc_rsa.dir/ablation_ecc_rsa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecc_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_esp_cipher"
+  "../bench/ablation_esp_cipher.pdb"
+  "CMakeFiles/ablation_esp_cipher.dir/ablation_esp_cipher.cpp.o"
+  "CMakeFiles/ablation_esp_cipher.dir/ablation_esp_cipher.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_esp_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hybrid_wan"
+  "../bench/ablation_hybrid_wan.pdb"
+  "CMakeFiles/ablation_hybrid_wan.dir/ablation_hybrid_wan.cpp.o"
+  "CMakeFiles/ablation_hybrid_wan.dir/ablation_hybrid_wan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

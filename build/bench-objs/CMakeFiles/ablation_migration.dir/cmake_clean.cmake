@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_migration"
+  "../bench/ablation_migration.pdb"
+  "CMakeFiles/ablation_migration.dir/ablation_migration.cpp.o"
+  "CMakeFiles/ablation_migration.dir/ablation_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_puzzle"
+  "../bench/ablation_puzzle.pdb"
+  "CMakeFiles/ablation_puzzle.dir/ablation_puzzle.cpp.o"
+  "CMakeFiles/ablation_puzzle.dir/ablation_puzzle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_puzzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

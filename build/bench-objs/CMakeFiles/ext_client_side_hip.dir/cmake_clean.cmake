@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_client_side_hip"
+  "../bench/ext_client_side_hip.pdb"
+  "CMakeFiles/ext_client_side_hip.dir/ext_client_side_hip.cpp.o"
+  "CMakeFiles/ext_client_side_hip.dir/ext_client_side_hip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_client_side_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

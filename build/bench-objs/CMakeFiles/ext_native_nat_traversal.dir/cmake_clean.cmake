@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_native_nat_traversal"
+  "../bench/ext_native_nat_traversal.pdb"
+  "CMakeFiles/ext_native_nat_traversal.dir/ext_native_nat_traversal.cpp.o"
+  "CMakeFiles/ext_native_nat_traversal.dir/ext_native_nat_traversal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_native_nat_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_private_cloud"
+  "../bench/fig2_private_cloud.pdb"
+  "CMakeFiles/fig2_private_cloud.dir/fig2_private_cloud.cpp.o"
+  "CMakeFiles/fig2_private_cloud.dir/fig2_private_cloud.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_private_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

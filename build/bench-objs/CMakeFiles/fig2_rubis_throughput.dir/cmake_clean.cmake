@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_rubis_throughput"
+  "../bench/fig2_rubis_throughput.pdb"
+  "CMakeFiles/fig2_rubis_throughput.dir/fig2_rubis_throughput.cpp.o"
+  "CMakeFiles/fig2_rubis_throughput.dir/fig2_rubis_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rubis_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

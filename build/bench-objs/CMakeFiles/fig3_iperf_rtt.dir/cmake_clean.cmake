@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_iperf_rtt"
+  "../bench/fig3_iperf_rtt.pdb"
+  "CMakeFiles/fig3_iperf_rtt.dir/fig3_iperf_rtt.cpp.o"
+  "CMakeFiles/fig3_iperf_rtt.dir/fig3_iperf_rtt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_iperf_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/httperf_response_time"
+  "../bench/httperf_response_time.pdb"
+  "CMakeFiles/httperf_response_time.dir/httperf_response_time.cpp.o"
+  "CMakeFiles/httperf_response_time.dir/httperf_response_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httperf_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bex"
+  "../bench/micro_bex.pdb"
+  "CMakeFiles/micro_bex.dir/micro_bex.cpp.o"
+  "CMakeFiles/micro_bex.dir/micro_bex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

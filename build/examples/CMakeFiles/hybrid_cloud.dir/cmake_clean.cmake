@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_cloud.dir/hybrid_cloud.cpp.o"
+  "CMakeFiles/hybrid_cloud.dir/hybrid_cloud.cpp.o.d"
+  "hybrid_cloud"
+  "hybrid_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tier_cloud.dir/multi_tier_cloud.cpp.o"
+  "CMakeFiles/multi_tier_cloud.dir/multi_tier_cloud.cpp.o.d"
+  "multi_tier_cloud"
+  "multi_tier_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tier_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_user_teredo.dir/power_user_teredo.cpp.o"
+  "CMakeFiles/power_user_teredo.dir/power_user_teredo.cpp.o.d"
+  "power_user_teredo"
+  "power_user_teredo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_user_teredo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

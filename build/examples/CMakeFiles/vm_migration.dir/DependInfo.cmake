@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/vm_migration.cpp" "examples/CMakeFiles/vm_migration.dir/vm_migration.cpp.o" "gcc" "examples/CMakeFiles/vm_migration.dir/vm_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hipcloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hipcloud_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hipcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/hipcloud_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/hipcloud_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hipcloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipcloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hipcloud_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

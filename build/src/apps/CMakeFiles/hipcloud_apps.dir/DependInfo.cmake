@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/database.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/database.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/database.cpp.o.d"
+  "/root/repo/src/apps/http.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/http.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/http.cpp.o.d"
+  "/root/repo/src/apps/http_client.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/http_client.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/http_client.cpp.o.d"
+  "/root/repo/src/apps/http_server.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/http_server.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/http_server.cpp.o.d"
+  "/root/repo/src/apps/reverse_proxy.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/reverse_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/reverse_proxy.cpp.o.d"
+  "/root/repo/src/apps/rubis.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/rubis.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/rubis.cpp.o.d"
+  "/root/repo/src/apps/stream.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/stream.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/stream.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/hipcloud_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/hipcloud_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hipcloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/hipcloud_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipcloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hipcloud_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_apps.dir/database.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/database.cpp.o.d"
+  "CMakeFiles/hipcloud_apps.dir/http.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/http.cpp.o.d"
+  "CMakeFiles/hipcloud_apps.dir/http_client.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/http_client.cpp.o.d"
+  "CMakeFiles/hipcloud_apps.dir/http_server.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/http_server.cpp.o.d"
+  "CMakeFiles/hipcloud_apps.dir/reverse_proxy.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/reverse_proxy.cpp.o.d"
+  "CMakeFiles/hipcloud_apps.dir/rubis.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/rubis.cpp.o.d"
+  "CMakeFiles/hipcloud_apps.dir/stream.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/stream.cpp.o.d"
+  "CMakeFiles/hipcloud_apps.dir/workload.cpp.o"
+  "CMakeFiles/hipcloud_apps.dir/workload.cpp.o.d"
+  "libhipcloud_apps.a"
+  "libhipcloud_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_cloud.dir/cloud.cpp.o"
+  "CMakeFiles/hipcloud_cloud.dir/cloud.cpp.o.d"
+  "CMakeFiles/hipcloud_cloud.dir/vlan.cpp.o"
+  "CMakeFiles/hipcloud_cloud.dir/vlan.cpp.o.d"
+  "libhipcloud_cloud.a"
+  "libhipcloud_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

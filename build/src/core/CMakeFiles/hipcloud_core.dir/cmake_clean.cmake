@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_core.dir/path_lab.cpp.o"
+  "CMakeFiles/hipcloud_core.dir/path_lab.cpp.o.d"
+  "CMakeFiles/hipcloud_core.dir/secure_service.cpp.o"
+  "CMakeFiles/hipcloud_core.dir/secure_service.cpp.o.d"
+  "CMakeFiles/hipcloud_core.dir/testbed.cpp.o"
+  "CMakeFiles/hipcloud_core.dir/testbed.cpp.o.d"
+  "libhipcloud_core.a"
+  "libhipcloud_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

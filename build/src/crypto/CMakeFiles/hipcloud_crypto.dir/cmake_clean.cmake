@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_crypto.dir/aes.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/dh.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/ec_p256.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/ec_p256.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/hipcloud_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/hipcloud_crypto.dir/sha256.cpp.o.d"
+  "libhipcloud_crypto.a"
+  "libhipcloud_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhipcloud_crypto.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hip/daemon.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/daemon.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/daemon.cpp.o.d"
+  "/root/repo/src/hip/esp.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/esp.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/esp.cpp.o.d"
+  "/root/repo/src/hip/firewall.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/firewall.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/firewall.cpp.o.d"
+  "/root/repo/src/hip/identity.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/identity.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/identity.cpp.o.d"
+  "/root/repo/src/hip/keymat.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/keymat.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/keymat.cpp.o.d"
+  "/root/repo/src/hip/puzzle.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/puzzle.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/puzzle.cpp.o.d"
+  "/root/repo/src/hip/udp_encap.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/udp_encap.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/udp_encap.cpp.o.d"
+  "/root/repo/src/hip/wire.cpp" "src/hip/CMakeFiles/hipcloud_hip.dir/wire.cpp.o" "gcc" "src/hip/CMakeFiles/hipcloud_hip.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hipcloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hipcloud_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

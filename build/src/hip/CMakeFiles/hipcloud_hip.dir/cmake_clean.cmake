@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_hip.dir/daemon.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/daemon.cpp.o.d"
+  "CMakeFiles/hipcloud_hip.dir/esp.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/esp.cpp.o.d"
+  "CMakeFiles/hipcloud_hip.dir/firewall.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/firewall.cpp.o.d"
+  "CMakeFiles/hipcloud_hip.dir/identity.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/identity.cpp.o.d"
+  "CMakeFiles/hipcloud_hip.dir/keymat.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/keymat.cpp.o.d"
+  "CMakeFiles/hipcloud_hip.dir/puzzle.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/puzzle.cpp.o.d"
+  "CMakeFiles/hipcloud_hip.dir/udp_encap.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/udp_encap.cpp.o.d"
+  "CMakeFiles/hipcloud_hip.dir/wire.cpp.o"
+  "CMakeFiles/hipcloud_hip.dir/wire.cpp.o.d"
+  "libhipcloud_hip.a"
+  "libhipcloud_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

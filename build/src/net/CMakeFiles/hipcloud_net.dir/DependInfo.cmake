@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/hipcloud_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/hipcloud_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/icmp.cpp" "src/net/CMakeFiles/hipcloud_net.dir/icmp.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/icmp.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/hipcloud_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/nat.cpp" "src/net/CMakeFiles/hipcloud_net.dir/nat.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/nat.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/hipcloud_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/hipcloud_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/hipcloud_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/teredo.cpp" "src/net/CMakeFiles/hipcloud_net.dir/teredo.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/teredo.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/hipcloud_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/hipcloud_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hipcloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hipcloud_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

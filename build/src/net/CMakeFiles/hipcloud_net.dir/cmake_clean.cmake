@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_net.dir/address.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/address.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/dns.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/dns.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/icmp.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/icmp.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/link.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/link.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/nat.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/nat.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/node.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/node.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/packet.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/packet.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/tcp.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/teredo.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/teredo.cpp.o.d"
+  "CMakeFiles/hipcloud_net.dir/udp.cpp.o"
+  "CMakeFiles/hipcloud_net.dir/udp.cpp.o.d"
+  "libhipcloud_net.a"
+  "libhipcloud_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/hipcloud_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/hipcloud_sim.dir/log.cpp.o"
+  "CMakeFiles/hipcloud_sim.dir/log.cpp.o.d"
+  "CMakeFiles/hipcloud_sim.dir/random.cpp.o"
+  "CMakeFiles/hipcloud_sim.dir/random.cpp.o.d"
+  "CMakeFiles/hipcloud_sim.dir/stats.cpp.o"
+  "CMakeFiles/hipcloud_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/hipcloud_sim.dir/time.cpp.o"
+  "CMakeFiles/hipcloud_sim.dir/time.cpp.o.d"
+  "libhipcloud_sim.a"
+  "libhipcloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipcloud_tls.dir/cert.cpp.o"
+  "CMakeFiles/hipcloud_tls.dir/cert.cpp.o.d"
+  "CMakeFiles/hipcloud_tls.dir/tls.cpp.o"
+  "CMakeFiles/hipcloud_tls.dir/tls.cpp.o.d"
+  "libhipcloud_tls.a"
+  "libhipcloud_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipcloud_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_database_rubis_test.dir/database_rubis_test.cpp.o"
+  "CMakeFiles/apps_database_rubis_test.dir/database_rubis_test.cpp.o.d"
+  "apps_database_rubis_test"
+  "apps_database_rubis_test.pdb"
+  "apps_database_rubis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_database_rubis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_http_test.dir/http_test.cpp.o"
+  "CMakeFiles/apps_http_test.dir/http_test.cpp.o.d"
+  "apps_http_test"
+  "apps_http_test.pdb"
+  "apps_http_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_workload_test.dir/workload_test.cpp.o"
+  "CMakeFiles/apps_workload_test.dir/workload_test.cpp.o.d"
+  "apps_workload_test"
+  "apps_workload_test.pdb"
+  "apps_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/apps
+# Build directory: /root/repo/build/tests/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/apps/apps_http_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_http_server_client_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_database_rubis_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_workload_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_secure_service_test.dir/secure_service_test.cpp.o"
+  "CMakeFiles/core_secure_service_test.dir/secure_service_test.cpp.o.d"
+  "core_secure_service_test"
+  "core_secure_service_test.pdb"
+  "core_secure_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_secure_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

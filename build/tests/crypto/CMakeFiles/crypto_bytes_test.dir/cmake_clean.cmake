@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_bytes_test.dir/bytes_test.cpp.o"
+  "CMakeFiles/crypto_bytes_test.dir/bytes_test.cpp.o.d"
+  "crypto_bytes_test"
+  "crypto_bytes_test.pdb"
+  "crypto_bytes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_bytes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

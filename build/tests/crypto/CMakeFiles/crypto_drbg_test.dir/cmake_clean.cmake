@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_drbg_test.dir/drbg_test.cpp.o"
+  "CMakeFiles/crypto_drbg_test.dir/drbg_test.cpp.o.d"
+  "crypto_drbg_test"
+  "crypto_drbg_test.pdb"
+  "crypto_drbg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_drbg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

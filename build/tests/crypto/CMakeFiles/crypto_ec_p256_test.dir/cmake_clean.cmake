@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_ec_p256_test.dir/ec_p256_test.cpp.o"
+  "CMakeFiles/crypto_ec_p256_test.dir/ec_p256_test.cpp.o.d"
+  "crypto_ec_p256_test"
+  "crypto_ec_p256_test.pdb"
+  "crypto_ec_p256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_ec_p256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

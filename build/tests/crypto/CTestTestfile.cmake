@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crypto
+# Build directory: /root/repo/build/tests/crypto
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto/crypto_sha256_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_hmac_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_aes_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_drbg_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_dh_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_ec_p256_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crypto_bytes_test[1]_include.cmake")

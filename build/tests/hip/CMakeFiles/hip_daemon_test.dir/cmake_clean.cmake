@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_daemon_test.dir/daemon_test.cpp.o"
+  "CMakeFiles/hip_daemon_test.dir/daemon_test.cpp.o.d"
+  "hip_daemon_test"
+  "hip_daemon_test.pdb"
+  "hip_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_extensions_test.dir/extensions_test.cpp.o"
+  "CMakeFiles/hip_extensions_test.dir/extensions_test.cpp.o.d"
+  "hip_extensions_test"
+  "hip_extensions_test.pdb"
+  "hip_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_firewall_rvs_test.dir/firewall_rvs_test.cpp.o"
+  "CMakeFiles/hip_firewall_rvs_test.dir/firewall_rvs_test.cpp.o.d"
+  "hip_firewall_rvs_test"
+  "hip_firewall_rvs_test.pdb"
+  "hip_firewall_rvs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_firewall_rvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_identity_test.dir/identity_test.cpp.o"
+  "CMakeFiles/hip_identity_test.dir/identity_test.cpp.o.d"
+  "hip_identity_test"
+  "hip_identity_test.pdb"
+  "hip_identity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

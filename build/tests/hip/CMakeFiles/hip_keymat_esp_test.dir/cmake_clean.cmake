@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_keymat_esp_test.dir/keymat_esp_test.cpp.o"
+  "CMakeFiles/hip_keymat_esp_test.dir/keymat_esp_test.cpp.o.d"
+  "hip_keymat_esp_test"
+  "hip_keymat_esp_test.pdb"
+  "hip_keymat_esp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_keymat_esp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

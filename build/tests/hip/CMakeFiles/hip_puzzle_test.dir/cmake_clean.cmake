@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_puzzle_test.dir/puzzle_test.cpp.o"
+  "CMakeFiles/hip_puzzle_test.dir/puzzle_test.cpp.o.d"
+  "hip_puzzle_test"
+  "hip_puzzle_test.pdb"
+  "hip_puzzle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_puzzle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_udp_encap_test.dir/udp_encap_test.cpp.o"
+  "CMakeFiles/hip_udp_encap_test.dir/udp_encap_test.cpp.o.d"
+  "hip_udp_encap_test"
+  "hip_udp_encap_test.pdb"
+  "hip_udp_encap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_udp_encap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_wire_test.dir/wire_test.cpp.o"
+  "CMakeFiles/hip_wire_test.dir/wire_test.cpp.o.d"
+  "hip_wire_test"
+  "hip_wire_test.pdb"
+  "hip_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hip
+# Build directory: /root/repo/build/tests/hip
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hip/hip_identity_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/hip_puzzle_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/hip_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/hip_keymat_esp_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/hip_daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/hip_firewall_rvs_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/hip_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/hip_udp_encap_test[1]_include.cmake")

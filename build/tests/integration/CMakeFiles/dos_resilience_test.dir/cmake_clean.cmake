@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_resilience_test.dir/dos_resilience_test.cpp.o"
+  "CMakeFiles/dos_resilience_test.dir/dos_resilience_test.cpp.o.d"
+  "dos_resilience_test"
+  "dos_resilience_test.pdb"
+  "dos_resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_dns_test.dir/dns_test.cpp.o"
+  "CMakeFiles/net_dns_test.dir/dns_test.cpp.o.d"
+  "net_dns_test"
+  "net_dns_test.pdb"
+  "net_dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

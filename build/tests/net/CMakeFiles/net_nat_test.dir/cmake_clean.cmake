@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_nat_test.dir/nat_test.cpp.o"
+  "CMakeFiles/net_nat_test.dir/nat_test.cpp.o.d"
+  "net_nat_test"
+  "net_nat_test.pdb"
+  "net_nat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_nat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_teredo_test.dir/teredo_test.cpp.o"
+  "CMakeFiles/net_teredo_test.dir/teredo_test.cpp.o.d"
+  "net_teredo_test"
+  "net_teredo_test.pdb"
+  "net_teredo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_teredo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

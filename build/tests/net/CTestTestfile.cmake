@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/net
+# Build directory: /root/repo/build/tests/net
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net/net_address_test[1]_include.cmake")
+include("/root/repo/build/tests/net/net_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/net/net_node_link_test[1]_include.cmake")
+include("/root/repo/build/tests/net/net_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/net/net_nat_test[1]_include.cmake")
+include("/root/repo/build/tests/net/net_teredo_test[1]_include.cmake")
+include("/root/repo/build/tests/net/net_dns_test[1]_include.cmake")
+include("/root/repo/build/tests/net/net_tcp_sweep_test[1]_include.cmake")
