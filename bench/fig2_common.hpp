@@ -1,12 +1,19 @@
 #pragma once
 
 // Shared driver for the Figure 2 reproduction (public EC2 and private
-// OpenNebula variants).
+// OpenNebula variants). The (clients, mode) grid runs through the
+// parallel sweep runner — every point is its own simulated world with its
+// own seed, so the numbers are identical to a serial run — and the
+// results land in a machine-readable BENCH_fig2*.json next to the table.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "crypto_micro.hpp"
+#include "sweep.hpp"
 
 namespace hipcloud::bench {
 
@@ -16,40 +23,116 @@ inline constexpr int kFig2Clients[] = {2, 3, 4, 6, 10, 20, 30, 50};
 struct Fig2Row {
   int clients;
   double basic, hip, ssl;
+  double lat_basic, lat_hip, lat_ssl;  // mean latency, ms
 };
 
-inline std::vector<Fig2Row> run_fig2(const cloud::ProviderProfile& provider,
-                                     const char* title) {
+struct Fig2Report {
+  std::vector<Fig2Row> rows;
+  double wall_seconds;
+  unsigned threads;
+  CryptoMicro crypto;
+};
+
+inline void write_fig2_json(const Fig2Report& r, const char* path,
+                            const char* title) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: could not write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"title\": \"%s\",\n", title);
+  std::fprintf(f, "  \"wall_clock_seconds\": %.3f,\n", r.wall_seconds);
+  std::fprintf(f, "  \"sweep_threads\": %u,\n", r.threads);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    const auto& row = r.rows[i];
+    std::fprintf(f,
+                 "    {\"clients\": %d, "
+                 "\"throughput_rps\": {\"basic\": %.4f, \"hip\": %.4f, "
+                 "\"ssl\": %.4f}, "
+                 "\"latency_ms\": {\"basic\": %.4f, \"hip\": %.4f, "
+                 "\"ssl\": %.4f}}%s\n",
+                 row.clients, row.basic, row.hip, row.ssl, row.lat_basic,
+                 row.lat_hip, row.lat_ssl,
+                 i + 1 < r.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"crypto_micro\": {\n");
+  std::fprintf(f, "    \"aes_hardware\": %s,\n",
+               r.crypto.aes_hw ? "true" : "false");
+  std::fprintf(f, "    \"aes128_ctr_mbps\": {\"before\": %.1f, \"after\": %.1f},\n",
+               r.crypto.aes_ctr_mbps_before, r.crypto.aes_ctr_mbps_after);
+  std::fprintf(f, "    \"hmac_sha256_mbps\": %.1f,\n", r.crypto.hmac_mbps);
+  std::fprintf(f,
+               "    \"esp_protect_ops_per_sec\": {\"before\": %.0f, "
+               "\"after\": %.0f}\n",
+               r.crypto.esp_protect_ops_before, r.crypto.esp_protect_ops_after);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("Wrote %s\n", path);
+}
+
+inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
+                           const char* title,
+                           const char* json_path = nullptr) {
   std::printf("%s\n", title);
   std::printf(
       "Throughput (successful requests/second) of the RUBiS-like auction "
       "service,\n3 web VMs (t1.micro) + 1 DB VM (m1.large), HAProxy-style "
       "round-robin LB,\nclosed-loop clients, 30 s per point.\n\n");
+
+  constexpr std::size_t kNumClients = std::size(kFig2Clients);
+  constexpr std::size_t kJobs = kNumClients * 3;
+  constexpr core::SecurityMode kModes[] = {core::SecurityMode::kBasic,
+                                           core::SecurityMode::kHip,
+                                           core::SecurityMode::kSsl};
+
+  struct PointResult {
+    double throughput;
+    double latency_ms;
+  };
+
+  const unsigned threads = sweep_thread_count(kJobs);
+  std::printf("Sweeping %zu (clients, mode) worlds on %u thread%s...\n\n",
+              kJobs, threads, threads == 1 ? "" : "s");
+
+  const auto start = std::chrono::steady_clock::now();
+  // Job i = (clients index, mode index); each job builds its own Testbed
+  // world, so the numbers match the serial run point for point.
+  const auto results = sweep<PointResult>(
+      kJobs,
+      [&](std::size_t i) {
+        core::TestbedConfig cfg;
+        cfg.provider = provider;
+        cfg.deployment.mode = kModes[i % 3];
+        core::Testbed bed(cfg);
+        const auto report =
+            bed.run_closed_loop(kFig2Clients[i / 3], 30 * sim::kSecond);
+        return PointResult{report.throughput_rps(), report.latency_ms.mean()};
+      },
+      threads);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
   std::printf("%8s %10s %10s %10s   %s\n", "clients", "basic", "hip", "ssl",
               "(mean latency ms: basic/hip/ssl)");
   std::vector<Fig2Row> rows;
-  for (const int clients : kFig2Clients) {
-    Fig2Row row{clients, 0, 0, 0};
-    double lat[3];
-    int i = 0;
-    for (const auto mode :
-         {core::SecurityMode::kBasic, core::SecurityMode::kHip,
-          core::SecurityMode::kSsl}) {
-      core::TestbedConfig cfg;
-      cfg.provider = provider;
-      cfg.deployment.mode = mode;
-      core::Testbed bed(cfg);
-      const auto report = bed.run_closed_loop(clients, 30 * sim::kSecond);
-      (i == 0 ? row.basic : i == 1 ? row.hip : row.ssl) =
-          report.throughput_rps();
-      lat[i] = report.latency_ms.mean();
-      ++i;
-    }
-    std::printf("%8d %10.1f %10.1f %10.1f   (%.0f / %.0f / %.0f)\n", clients,
-                row.basic, row.hip, row.ssl, lat[0], lat[1], lat[2]);
-    std::fflush(stdout);
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    const auto& b = results[3 * c];
+    const auto& h = results[3 * c + 1];
+    const auto& s = results[3 * c + 2];
+    Fig2Row row{kFig2Clients[c], b.throughput,  h.throughput, s.throughput,
+                b.latency_ms,    h.latency_ms, s.latency_ms};
+    std::printf("%8d %10.1f %10.1f %10.1f   (%.0f / %.0f / %.0f)\n",
+                row.clients, row.basic, row.hip, row.ssl, row.lat_basic,
+                row.lat_hip, row.lat_ssl);
     rows.push_back(row);
   }
+  std::printf("\nSweep wall-clock: %.1f s (%u thread%s)\n", wall, threads,
+              threads == 1 ? "" : "s");
 
   // Shape checks against the paper's qualitative findings.
   bool basic_highest = true, comparable = true;
@@ -73,7 +156,23 @@ inline std::vector<Fig2Row> run_fig2(const cloud::ProviderProfile& provider,
       "  [%s] basic surges ahead of both at 50 clients\n\n",
       mark(basic_highest), mark(comparable), mark(hip_slightly_below),
       mark(basic_surges));
-  return rows;
+
+  Fig2Report report{std::move(rows), wall, threads, {}};
+  if (json_path) {
+    std::printf("Crypto micro-bench (for the JSON perf trajectory)...\n");
+    report.crypto = run_crypto_micro();
+    std::printf(
+        "  AES-128-CTR: %.0f MB/s before (S-box ref) -> %.0f MB/s after "
+        "(%s)\n"
+        "  HMAC-SHA256 (1500 B): %.0f MB/s\n"
+        "  ESP protect (1 KiB): %.0f ops/s before -> %.0f ops/s after\n\n",
+        report.crypto.aes_ctr_mbps_before, report.crypto.aes_ctr_mbps_after,
+        report.crypto.aes_hw ? "AES-NI" : "T-tables",
+        report.crypto.hmac_mbps, report.crypto.esp_protect_ops_before,
+        report.crypto.esp_protect_ops_after);
+    write_fig2_json(report, json_path, title);
+  }
+  return report;
 }
 
 }  // namespace hipcloud::bench

@@ -10,6 +10,7 @@ int main() {
   hipcloud::bench::run_fig2(
       hipcloud::cloud::ProviderProfile::opennebula(),
       "=== Figure 2 cross-check: Basic, HIP and SSL throughput in a "
-      "private OpenNebula cloud ===");
+      "private OpenNebula cloud ===",
+      "BENCH_fig2_private.json");
   return 0;
 }

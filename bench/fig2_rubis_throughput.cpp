@@ -8,6 +8,7 @@ int main() {
   hipcloud::bench::run_fig2(
       hipcloud::cloud::ProviderProfile::ec2(),
       "=== Figure 2: Basic, HIP and SSL throughput comparison in Amazon "
-      "(public IaaS) ===");
+      "(public IaaS) ===",
+      "BENCH_fig2.json");
   return 0;
 }

@@ -11,6 +11,8 @@
 #include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto_micro.hpp"
+#include "hip/esp.hpp"
 #include "hip/puzzle.hpp"
 
 namespace {
@@ -37,6 +39,35 @@ void BM_HmacSha256(benchmark::State& state) {
 }
 BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1500);
 
+void BM_HmacSha256Streaming(benchmark::State& state) {
+  // Keyed once, reset per message — the per-packet path EspSa and the TLS
+  // record layer use (no key rehash, no concat temporaries).
+  crypto::HmacSha256 hmac{crypto::BytesView(Bytes(32, 0x11))};
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  std::uint8_t mac[crypto::HmacSha256::kDigestSize];
+  for (auto _ : state) {
+    hmac.reset();
+    hmac.update(data);
+    hmac.finish(mac);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256Streaming)->Arg(64)->Arg(1500);
+
+void BM_AesCtrSboxRef(benchmark::State& state) {
+  // Byte-oriented S-box baseline ("before") — the acceptance yardstick
+  // for the T-table/AES-NI datapath.
+  const bench::AesRef ref(Bytes(16, 0x22));
+  const Bytes nonce(12, 0x33);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.ctr(nonce, 1, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtrSboxRef)->Arg(1500)->Arg(16384);
+
 void BM_AesCtr(benchmark::State& state) {
   const crypto::Aes aes(Bytes(16, 0x22));
   const Bytes nonce(12, 0x33);
@@ -48,6 +79,18 @@ void BM_AesCtr(benchmark::State& state) {
 }
 BENCHMARK(BM_AesCtr)->Arg(64)->Arg(1500)->Arg(16384);
 
+void BM_AesCtrInPlace(benchmark::State& state) {
+  const crypto::Aes aes(Bytes(16, 0x22));
+  const std::uint8_t nonce[12] = {0x33};
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    aes.ctr_xor(nonce, 1, data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtrInPlace)->Arg(1500)->Arg(16384);
+
 void BM_AesCbcEncrypt(benchmark::State& state) {
   const crypto::Aes aes(Bytes(16, 0x22));
   const Bytes iv(16, 0x44);
@@ -58,6 +101,53 @@ void BM_AesCbcEncrypt(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 1500);
 }
 BENCHMARK(BM_AesCbcEncrypt);
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  const crypto::Aes aes(Bytes(16, 0x22));
+  const Bytes iv(16, 0x44);
+  const Bytes ct = crypto::aes_cbc_encrypt(aes, iv, Bytes(1500, 0xab));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_cbc_decrypt(aes, iv, ct));
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_AesCbcDecrypt);
+
+void BM_EspProtectLegacy(benchmark::State& state) {
+  // The seed's allocating datapath, replicated in bench/crypto_micro.hpp.
+  bench::LegacyEspProtect sa(0xabcd1234, Bytes(16, 0x11), Bytes(32, 0x22));
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.protect(6, hip::EspSa::kModeHit, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EspProtectLegacy)->Arg(64)->Arg(1024);
+
+void BM_EspProtect(benchmark::State& state) {
+  hip::EspSa sa(0xabcd1234, hip::EspSuite::kAes128CtrSha256, Bytes(16, 0x11),
+                Bytes(32, 0x22));
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.protect(6, hip::EspSa::kModeHit, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EspProtect)->Arg(64)->Arg(1024);
+
+void BM_EspRoundTrip(benchmark::State& state) {
+  hip::EspSa out_sa(0xabcd1234, hip::EspSuite::kAes128CtrSha256,
+                    Bytes(16, 0x11), Bytes(32, 0x22));
+  hip::EspSa in_sa(0xabcd1234, hip::EspSuite::kAes128CtrSha256,
+                   Bytes(16, 0x11), Bytes(32, 0x22));
+  const Bytes payload(1024, 0x5a);
+  for (auto _ : state) {
+    const Bytes wire = out_sa.protect(6, hip::EspSa::kModeHit, payload);
+    benchmark::DoNotOptimize(in_sa.unprotect(wire));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EspRoundTrip);
 
 void BM_RsaSign(benchmark::State& state) {
   crypto::HmacDrbg drbg(1, "bench");

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/aes_ni.hpp"
+
 namespace hipcloud::crypto {
 
 namespace {
@@ -31,22 +33,11 @@ constexpr std::uint8_t kSbox[256] = {
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
     0xb0, 0x54, 0xbb, 0x16};
 
-std::uint8_t inv_sbox_table[256];
-bool inv_sbox_ready = false;
-
-const std::uint8_t* inv_sbox() {
-  if (!inv_sbox_ready) {
-    for (int i = 0; i < 256; ++i) inv_sbox_table[kSbox[i]] = static_cast<std::uint8_t>(i);
-    inv_sbox_ready = true;
-  }
-  return inv_sbox_table;
-}
-
-inline std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
-inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t p = 0;
   for (int i = 0; i < 8; ++i) {
     if (b & 1) p ^= a;
@@ -56,28 +47,48 @@ inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   return p;
 }
 
-// Encryption T-tables (te0..te3): each combines SubBytes + MixColumns for
-// one byte position, turning a round into 16 table lookups + XORs. Built
-// lazily from the S-box so the tables are self-consistent by construction.
-std::uint32_t te_table[4][256];
-bool te_ready = false;
+/// All derived lookup tables, built at compile time so there is no runtime
+/// initialisation to race on (bench worlds run on threads).
+///
+/// Te[n][x]: SubBytes + MixColumns contribution of byte x at row n, words in
+/// big-endian row order (row 0 in the MSB). Td[n][x]: the same for
+/// InvSubBytes + InvMixColumns. One AES round collapses to 16 lookups + XORs.
+struct AesTables {
+  std::uint8_t inv_sbox[256] = {};
+  std::uint32_t te[4][256] = {};
+  std::uint32_t td[4][256] = {};
+};
 
-void build_te() {
+constexpr AesTables make_tables() {
+  AesTables t;
+  for (int i = 0; i < 256; ++i) {
+    t.inv_sbox[kSbox[i]] = static_cast<std::uint8_t>(i);
+  }
   for (int i = 0; i < 256; ++i) {
     const std::uint8_t s = kSbox[i];
-    const std::uint8_t s2 = xtime(s);
-    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
-    // Column (2s, s, s, 3s) in big-endian word order.
-    const std::uint32_t t = (std::uint32_t(s2) << 24) |
-                            (std::uint32_t(s) << 16) |
-                            (std::uint32_t(s) << 8) | std::uint32_t(s3);
-    te_table[0][i] = t;
-    te_table[1][i] = (t >> 8) | (t << 24);
-    te_table[2][i] = (t >> 16) | (t << 16);
-    te_table[3][i] = (t >> 24) | (t << 8);
+    // MixColumns column (2s, s, s, 3s).
+    const std::uint32_t e = (std::uint32_t(gmul(s, 2)) << 24) |
+                            (std::uint32_t(s) << 16) | (std::uint32_t(s) << 8) |
+                            std::uint32_t(gmul(s, 3));
+    t.te[0][i] = e;
+    t.te[1][i] = (e >> 8) | (e << 24);
+    t.te[2][i] = (e >> 16) | (e << 16);
+    t.te[3][i] = (e >> 24) | (e << 8);
+    const std::uint8_t is = t.inv_sbox[i];
+    // InvMixColumns column (14is, 9is, 13is, 11is).
+    const std::uint32_t d = (std::uint32_t(gmul(is, 14)) << 24) |
+                            (std::uint32_t(gmul(is, 9)) << 16) |
+                            (std::uint32_t(gmul(is, 13)) << 8) |
+                            std::uint32_t(gmul(is, 11));
+    t.td[0][i] = d;
+    t.td[1][i] = (d >> 8) | (d << 24);
+    t.td[2][i] = (d >> 16) | (d << 16);
+    t.td[3][i] = (d >> 24) | (d << 8);
   }
-  te_ready = true;
+  return t;
 }
+
+constexpr AesTables kT = make_tables();
 
 inline std::uint32_t sub_word(std::uint32_t w) {
   return (std::uint32_t(kSbox[(w >> 24) & 0xff]) << 24) |
@@ -88,7 +99,28 @@ inline std::uint32_t sub_word(std::uint32_t w) {
 
 inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
 
+/// InvMixColumns on a schedule word, via Td∘SubBytes (Td already contains
+/// InvSubBytes, so feeding it SubBytes(b) isolates the column transform).
+inline std::uint32_t inv_mix_word(std::uint32_t w) {
+  return kT.td[0][kSbox[(w >> 24) & 0xff]] ^ kT.td[1][kSbox[(w >> 16) & 0xff]] ^
+         kT.td[2][kSbox[(w >> 8) & 0xff]] ^ kT.td[3][kSbox[w & 0xff]];
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t w) {
+  p[0] = static_cast<std::uint8_t>(w >> 24);
+  p[1] = static_cast<std::uint8_t>(w >> 16);
+  p[2] = static_cast<std::uint8_t>(w >> 8);
+  p[3] = static_cast<std::uint8_t>(w);
+}
+
 }  // namespace
+
+bool Aes::hardware_accelerated() { return aesni::supported(); }
 
 Aes::Aes(BytesView key) {
   int nk;
@@ -102,12 +134,7 @@ Aes::Aes(BytesView key) {
     throw std::invalid_argument("Aes: key must be 16 or 32 bytes");
   }
   const int total = 4 * (rounds_ + 1);
-  for (int i = 0; i < nk; ++i) {
-    round_keys_[i] = (std::uint32_t(key[4 * i]) << 24) |
-                     (std::uint32_t(key[4 * i + 1]) << 16) |
-                     (std::uint32_t(key[4 * i + 2]) << 8) |
-                     std::uint32_t(key[4 * i + 3]);
-  }
+  for (int i = 0; i < nk; ++i) round_keys_[i] = load_be32(key.data() + 4 * i);
   std::uint32_t rcon = 0x01000000;
   for (int i = nk; i < total; ++i) {
     std::uint32_t temp = round_keys_[i - 1];
@@ -119,94 +146,139 @@ Aes::Aes(BytesView key) {
     }
     round_keys_[i] = round_keys_[i - nk] ^ temp;
   }
+
+  // Equivalent-inverse schedule for the T-table decrypt path: reversed
+  // round order, InvMixColumns applied to the middle keys (FIPS 197 §5.3.5).
+  for (int c = 0; c < 4; ++c) {
+    inv_round_keys_[c] = round_keys_[4 * rounds_ + c];
+    inv_round_keys_[4 * rounds_ + c] = round_keys_[c];
+  }
+  for (int r = 1; r < rounds_; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      inv_round_keys_[4 * r + c] = inv_mix_word(round_keys_[4 * (rounds_ - r) + c]);
+    }
+  }
+
+  for (int i = 0; i < total; ++i) {
+    store_be32(rk_bytes_.data() + 4 * i, round_keys_[i]);
+  }
+  aesni_ = aesni::supported();
+  if (aesni_) {
+    aesni::make_decrypt_schedule(rk_bytes_.data(), rounds_,
+                                 inv_rk_bytes_.data());
+  }
 }
 
 void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
-  if (!te_ready) build_te();
+  if (aesni_) {
+    aesni::encrypt_block(rk_bytes_.data(), rounds_, in, out);
+    return;
+  }
   // Load state as big-endian column words and XOR the first round key.
-  std::uint32_t c0 = ((std::uint32_t(in[0]) << 24) | (std::uint32_t(in[1]) << 16) |
-                      (std::uint32_t(in[2]) << 8) | in[3]) ^ round_keys_[0];
-  std::uint32_t c1 = ((std::uint32_t(in[4]) << 24) | (std::uint32_t(in[5]) << 16) |
-                      (std::uint32_t(in[6]) << 8) | in[7]) ^ round_keys_[1];
-  std::uint32_t c2 = ((std::uint32_t(in[8]) << 24) | (std::uint32_t(in[9]) << 16) |
-                      (std::uint32_t(in[10]) << 8) | in[11]) ^ round_keys_[2];
-  std::uint32_t c3 = ((std::uint32_t(in[12]) << 24) | (std::uint32_t(in[13]) << 16) |
-                      (std::uint32_t(in[14]) << 8) | in[15]) ^ round_keys_[3];
+  std::uint32_t c0 = load_be32(in) ^ round_keys_[0];
+  std::uint32_t c1 = load_be32(in + 4) ^ round_keys_[1];
+  std::uint32_t c2 = load_be32(in + 8) ^ round_keys_[2];
+  std::uint32_t c3 = load_be32(in + 12) ^ round_keys_[3];
   for (int r = 1; r < rounds_; ++r) {
     const std::uint32_t* rk = &round_keys_[4 * r];
-    const std::uint32_t t0 = te_table[0][c0 >> 24] ^ te_table[1][(c1 >> 16) & 0xff] ^
-                             te_table[2][(c2 >> 8) & 0xff] ^ te_table[3][c3 & 0xff] ^ rk[0];
-    const std::uint32_t t1 = te_table[0][c1 >> 24] ^ te_table[1][(c2 >> 16) & 0xff] ^
-                             te_table[2][(c3 >> 8) & 0xff] ^ te_table[3][c0 & 0xff] ^ rk[1];
-    const std::uint32_t t2 = te_table[0][c2 >> 24] ^ te_table[1][(c3 >> 16) & 0xff] ^
-                             te_table[2][(c0 >> 8) & 0xff] ^ te_table[3][c1 & 0xff] ^ rk[2];
-    const std::uint32_t t3 = te_table[0][c3 >> 24] ^ te_table[1][(c0 >> 16) & 0xff] ^
-                             te_table[2][(c1 >> 8) & 0xff] ^ te_table[3][c2 & 0xff] ^ rk[3];
+    const std::uint32_t t0 = kT.te[0][c0 >> 24] ^ kT.te[1][(c1 >> 16) & 0xff] ^
+                             kT.te[2][(c2 >> 8) & 0xff] ^ kT.te[3][c3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kT.te[0][c1 >> 24] ^ kT.te[1][(c2 >> 16) & 0xff] ^
+                             kT.te[2][(c3 >> 8) & 0xff] ^ kT.te[3][c0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kT.te[0][c2 >> 24] ^ kT.te[1][(c3 >> 16) & 0xff] ^
+                             kT.te[2][(c0 >> 8) & 0xff] ^ kT.te[3][c1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kT.te[0][c3 >> 24] ^ kT.te[1][(c0 >> 16) & 0xff] ^
+                             kT.te[2][(c1 >> 8) & 0xff] ^ kT.te[3][c2 & 0xff] ^ rk[3];
     c0 = t0; c1 = t1; c2 = t2; c3 = t3;
   }
   // Final round: SubBytes + ShiftRows (no MixColumns) + AddRoundKey.
   const std::uint32_t* rk = &round_keys_[4 * rounds_];
-  const std::uint32_t f0 =
-      ((std::uint32_t(kSbox[c0 >> 24]) << 24) | (std::uint32_t(kSbox[(c1 >> 16) & 0xff]) << 16) |
-       (std::uint32_t(kSbox[(c2 >> 8) & 0xff]) << 8) | kSbox[c3 & 0xff]) ^ rk[0];
-  const std::uint32_t f1 =
-      ((std::uint32_t(kSbox[c1 >> 24]) << 24) | (std::uint32_t(kSbox[(c2 >> 16) & 0xff]) << 16) |
-       (std::uint32_t(kSbox[(c3 >> 8) & 0xff]) << 8) | kSbox[c0 & 0xff]) ^ rk[1];
-  const std::uint32_t f2 =
-      ((std::uint32_t(kSbox[c2 >> 24]) << 24) | (std::uint32_t(kSbox[(c3 >> 16) & 0xff]) << 16) |
-       (std::uint32_t(kSbox[(c0 >> 8) & 0xff]) << 8) | kSbox[c1 & 0xff]) ^ rk[2];
-  const std::uint32_t f3 =
-      ((std::uint32_t(kSbox[c3 >> 24]) << 24) | (std::uint32_t(kSbox[(c0 >> 16) & 0xff]) << 16) |
-       (std::uint32_t(kSbox[(c1 >> 8) & 0xff]) << 8) | kSbox[c2 & 0xff]) ^ rk[3];
-  const std::uint32_t words[4] = {f0, f1, f2, f3};
-  for (int i = 0; i < 4; ++i) {
-    out[4 * i] = static_cast<std::uint8_t>(words[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(words[i]);
-  }
+  store_be32(out, ((std::uint32_t(kSbox[c0 >> 24]) << 24) |
+                   (std::uint32_t(kSbox[(c1 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(kSbox[(c2 >> 8) & 0xff]) << 8) |
+                   kSbox[c3 & 0xff]) ^ rk[0]);
+  store_be32(out + 4, ((std::uint32_t(kSbox[c1 >> 24]) << 24) |
+                       (std::uint32_t(kSbox[(c2 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(kSbox[(c3 >> 8) & 0xff]) << 8) |
+                       kSbox[c0 & 0xff]) ^ rk[1]);
+  store_be32(out + 8, ((std::uint32_t(kSbox[c2 >> 24]) << 24) |
+                       (std::uint32_t(kSbox[(c3 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(kSbox[(c0 >> 8) & 0xff]) << 8) |
+                       kSbox[c1 & 0xff]) ^ rk[2]);
+  store_be32(out + 12, ((std::uint32_t(kSbox[c3 >> 24]) << 24) |
+                        (std::uint32_t(kSbox[(c0 >> 16) & 0xff]) << 16) |
+                        (std::uint32_t(kSbox[(c1 >> 8) & 0xff]) << 8) |
+                        kSbox[c2 & 0xff]) ^ rk[3]);
 }
 
 void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
-  std::uint8_t s[16];
-  std::memcpy(s, in, 16);
-  const std::uint8_t* isb = inv_sbox();
-  // Straight inverse cipher (FIPS 197 §5.3) using the encryption schedule.
-  auto add_round_key = [&](int r) {
-    for (int c = 0; c < 4; ++c) {
-      const std::uint32_t w = round_keys_[4 * r + c];
-      s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
-      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
-      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
-      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
-    }
-  };
-  add_round_key(rounds_);
-  for (int r = rounds_ - 1; r >= 0; --r) {
-    // InvShiftRows
-    std::uint8_t t[16];
-    for (int c = 0; c < 4; ++c) {
-      for (int row = 0; row < 4; ++row) {
-        t[4 * ((c + row) % 4) + row] = s[4 * c + row];
-      }
-    }
-    std::memcpy(s, t, 16);
-    // InvSubBytes
-    for (auto& b : s) b = isb[b];
-    add_round_key(r);
-    if (r != 0) {
-      // InvMixColumns
-      for (int c = 0; c < 4; ++c) {
-        std::uint8_t* col = s + 4 * c;
-        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
-        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
-        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
-        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
-      }
-    }
+  if (aesni_) {
+    aesni::decrypt_block(inv_rk_bytes_.data(), rounds_, in, out);
+    return;
   }
-  std::memcpy(out, s, 16);
+  // Equivalent inverse cipher on the InvMixColumns'd schedule; mirrors the
+  // encrypt path with Td tables and InvShiftRows column indexing.
+  std::uint32_t c0 = load_be32(in) ^ inv_round_keys_[0];
+  std::uint32_t c1 = load_be32(in + 4) ^ inv_round_keys_[1];
+  std::uint32_t c2 = load_be32(in + 8) ^ inv_round_keys_[2];
+  std::uint32_t c3 = load_be32(in + 12) ^ inv_round_keys_[3];
+  for (int r = 1; r < rounds_; ++r) {
+    const std::uint32_t* rk = &inv_round_keys_[4 * r];
+    const std::uint32_t t0 = kT.td[0][c0 >> 24] ^ kT.td[1][(c3 >> 16) & 0xff] ^
+                             kT.td[2][(c2 >> 8) & 0xff] ^ kT.td[3][c1 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kT.td[0][c1 >> 24] ^ kT.td[1][(c0 >> 16) & 0xff] ^
+                             kT.td[2][(c3 >> 8) & 0xff] ^ kT.td[3][c2 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kT.td[0][c2 >> 24] ^ kT.td[1][(c1 >> 16) & 0xff] ^
+                             kT.td[2][(c0 >> 8) & 0xff] ^ kT.td[3][c3 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kT.td[0][c3 >> 24] ^ kT.td[1][(c2 >> 16) & 0xff] ^
+                             kT.td[2][(c1 >> 8) & 0xff] ^ kT.td[3][c0 & 0xff] ^ rk[3];
+    c0 = t0; c1 = t1; c2 = t2; c3 = t3;
+  }
+  const std::uint32_t* rk = &inv_round_keys_[4 * rounds_];
+  const std::uint8_t* is = kT.inv_sbox;
+  store_be32(out, ((std::uint32_t(is[c0 >> 24]) << 24) |
+                   (std::uint32_t(is[(c3 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(is[(c2 >> 8) & 0xff]) << 8) |
+                   is[c1 & 0xff]) ^ rk[0]);
+  store_be32(out + 4, ((std::uint32_t(is[c1 >> 24]) << 24) |
+                       (std::uint32_t(is[(c0 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(is[(c3 >> 8) & 0xff]) << 8) |
+                       is[c2 & 0xff]) ^ rk[1]);
+  store_be32(out + 8, ((std::uint32_t(is[c2 >> 24]) << 24) |
+                       (std::uint32_t(is[(c1 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(is[(c0 >> 8) & 0xff]) << 8) |
+                       is[c3 & 0xff]) ^ rk[2]);
+  store_be32(out + 12, ((std::uint32_t(is[c3 >> 24]) << 24) |
+                        (std::uint32_t(is[(c2 >> 16) & 0xff]) << 16) |
+                        (std::uint32_t(is[(c1 >> 8) & 0xff]) << 8) |
+                        is[c0 & 0xff]) ^ rk[3]);
+}
+
+void Aes::ctr_xor(const std::uint8_t nonce12[12], std::uint32_t initial_counter,
+                  std::uint8_t* data, std::size_t len) const {
+  if (aesni_) {
+    aesni::ctr_xor(rk_bytes_.data(), rounds_, nonce12, initial_counter, data,
+                   len);
+    return;
+  }
+  std::uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce12, 12);
+  std::uint32_t ctr = initial_counter;
+  std::uint8_t keystream[16];
+  for (std::size_t off = 0; off < len; off += 16) {
+    store_be32(counter_block + 12, ctr++);
+    encrypt_block(counter_block, keystream);
+    const std::size_t n = std::min<std::size_t>(16, len - off);
+    for (std::size_t i = 0; i < n; ++i) data[off + i] ^= keystream[i];
+  }
+}
+
+void aes_ctr_xor(const Aes& cipher, BytesView nonce12,
+                 std::uint32_t initial_counter, std::span<std::uint8_t> data) {
+  if (nonce12.size() != 12) {
+    throw std::invalid_argument("aes_ctr: nonce must be 12 bytes");
+  }
+  cipher.ctr_xor(nonce12.data(), initial_counter, data.data(), data.size());
 }
 
 Bytes aes_ctr(const Aes& cipher, BytesView nonce12, std::uint32_t initial_counter,
@@ -215,39 +287,56 @@ Bytes aes_ctr(const Aes& cipher, BytesView nonce12, std::uint32_t initial_counte
     throw std::invalid_argument("aes_ctr: nonce must be 12 bytes");
   }
   Bytes out(data.begin(), data.end());
-  std::uint8_t counter_block[16];
-  std::memcpy(counter_block, nonce12.data(), 12);
-  std::uint32_t ctr = initial_counter;
-  std::uint8_t keystream[16];
-  for (std::size_t off = 0; off < out.size(); off += 16) {
-    counter_block[12] = static_cast<std::uint8_t>(ctr >> 24);
-    counter_block[13] = static_cast<std::uint8_t>(ctr >> 16);
-    counter_block[14] = static_cast<std::uint8_t>(ctr >> 8);
-    counter_block[15] = static_cast<std::uint8_t>(ctr);
-    ++ctr;
-    cipher.encrypt_block(counter_block, keystream);
-    const std::size_t n = std::min<std::size_t>(16, out.size() - off);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
-  }
+  cipher.ctr_xor(nonce12.data(), initial_counter, out.data(), out.size());
   return out;
+}
+
+std::size_t aes_cbc_encrypt_inplace(const Aes& cipher, const std::uint8_t iv[16],
+                                    std::uint8_t* buf, std::size_t len) {
+  const std::size_t padded = aes_cbc_padded_len(len);
+  const std::uint8_t pad = static_cast<std::uint8_t>(padded - len);
+  for (std::size_t i = len; i < padded; ++i) buf[i] = pad;
+  const std::uint8_t* prev = iv;
+  for (std::size_t off = 0; off < padded; off += 16) {
+    for (int i = 0; i < 16; ++i) buf[off + i] ^= prev[i];
+    cipher.encrypt_block(buf + off, buf + off);
+    prev = buf + off;
+  }
+  return padded;
+}
+
+std::size_t aes_cbc_decrypt_inplace(const Aes& cipher, const std::uint8_t iv[16],
+                                    std::uint8_t* buf, std::size_t len) {
+  if (len == 0 || len % 16 != 0) {
+    throw std::runtime_error("aes_cbc_decrypt: bad ciphertext length");
+  }
+  std::uint8_t prev[16], cur[16];
+  std::memcpy(prev, iv, 16);
+  for (std::size_t off = 0; off < len; off += 16) {
+    std::memcpy(cur, buf + off, 16);
+    cipher.decrypt_block(buf + off, buf + off);
+    for (int i = 0; i < 16; ++i) buf[off + i] ^= prev[i];
+    std::memcpy(prev, cur, 16);
+  }
+  const std::uint8_t pad = buf[len - 1];
+  if (pad == 0 || pad > 16 || pad > len) {
+    throw std::runtime_error("aes_cbc_decrypt: bad padding");
+  }
+  for (std::size_t i = len - pad; i < len; ++i) {
+    if (buf[i] != pad) throw std::runtime_error("aes_cbc_decrypt: bad padding");
+  }
+  return len - pad;
 }
 
 Bytes aes_cbc_encrypt(const Aes& cipher, BytesView iv16, BytesView plaintext) {
   if (iv16.size() != 16) {
     throw std::invalid_argument("aes_cbc_encrypt: IV must be 16 bytes");
   }
-  const std::size_t pad = 16 - plaintext.size() % 16;
-  Bytes padded(plaintext.begin(), plaintext.end());
-  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
-  Bytes out(padded.size());
-  std::uint8_t prev[16];
-  std::memcpy(prev, iv16.data(), 16);
-  for (std::size_t off = 0; off < padded.size(); off += 16) {
-    std::uint8_t block[16];
-    for (int i = 0; i < 16; ++i) block[i] = padded[off + i] ^ prev[i];
-    cipher.encrypt_block(block, out.data() + off);
-    std::memcpy(prev, out.data() + off, 16);
+  Bytes out(aes_cbc_padded_len(plaintext.size()));
+  if (!plaintext.empty()) {
+    std::memcpy(out.data(), plaintext.data(), plaintext.size());
   }
+  aes_cbc_encrypt_inplace(cipher, iv16.data(), out.data(), plaintext.size());
   return out;
 }
 
@@ -255,26 +344,9 @@ Bytes aes_cbc_decrypt(const Aes& cipher, BytesView iv16, BytesView ciphertext) {
   if (iv16.size() != 16) {
     throw std::invalid_argument("aes_cbc_decrypt: IV must be 16 bytes");
   }
-  if (ciphertext.empty() || ciphertext.size() % 16 != 0) {
-    throw std::runtime_error("aes_cbc_decrypt: bad ciphertext length");
-  }
-  Bytes out(ciphertext.size());
-  std::uint8_t prev[16];
-  std::memcpy(prev, iv16.data(), 16);
-  for (std::size_t off = 0; off < ciphertext.size(); off += 16) {
-    std::uint8_t block[16];
-    cipher.decrypt_block(ciphertext.data() + off, block);
-    for (int i = 0; i < 16; ++i) out[off + i] = block[i] ^ prev[i];
-    std::memcpy(prev, ciphertext.data() + off, 16);
-  }
-  const std::uint8_t pad = out.back();
-  if (pad == 0 || pad > 16 || pad > out.size()) {
-    throw std::runtime_error("aes_cbc_decrypt: bad padding");
-  }
-  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
-    if (out[i] != pad) throw std::runtime_error("aes_cbc_decrypt: bad padding");
-  }
-  out.resize(out.size() - pad);
+  Bytes out(ciphertext.begin(), ciphertext.end());
+  out.resize(
+      aes_cbc_decrypt_inplace(cipher, iv16.data(), out.data(), out.size()));
   return out;
 }
 

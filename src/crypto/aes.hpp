@@ -7,9 +7,14 @@
 
 namespace hipcloud::crypto {
 
-/// AES block cipher (FIPS 197), 128- or 256-bit keys. Table-free S-box
-/// implementation, verified against FIPS/NIST vectors in
-/// tests/crypto/aes_test.cpp.
+/// AES block cipher (FIPS 197), 128- or 256-bit keys. Verified against
+/// FIPS/NIST vectors in tests/crypto/aes_test.cpp.
+///
+/// Two backends behind one interface, selected at construction:
+///  - AES-NI (x86 `aesenc`/`aesdec` via function multi-versioning) when the
+///    CPU supports it — the "as fast as the hardware allows" path;
+///  - portable 32-bit T-tables (constexpr-built, so there is no lazy
+///    initialisation to race on when bench worlds run on threads).
 class Aes {
  public:
   static constexpr std::size_t kBlockSize = 16;
@@ -17,14 +22,30 @@ class Aes {
   /// Key must be 16 or 32 bytes; throws std::invalid_argument otherwise.
   explicit Aes(BytesView key);
 
+  /// In-place operation (in == out) is supported by both backends.
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
+  /// XOR the CTR keystream for counter block `nonce(12) | counter(4)`
+  /// (counter big-endian, incrementing per block) into `data` in place.
+  /// Zero allocations; pipelines four blocks on the AES-NI backend.
+  void ctr_xor(const std::uint8_t nonce12[12], std::uint32_t initial_counter,
+               std::uint8_t* data, std::size_t len) const;
+
   std::size_t key_bits() const { return rounds_ == 10 ? 128 : 256; }
+
+  /// True when this process dispatches to the hardware AES backend.
+  static bool hardware_accelerated();
 
  private:
   int rounds_;
-  std::array<std::uint32_t, 60> round_keys_;  // shared by both directions
+  bool aesni_;
+  std::array<std::uint32_t, 60> round_keys_;      // encryption schedule
+  std::array<std::uint32_t, 60> inv_round_keys_;  // equivalent-inverse schedule
+  // Byte-serialized schedules for the AES-NI backend (one 16-byte round key
+  // per round, InvMixColumns-transformed for decryption).
+  alignas(16) std::array<std::uint8_t, 240> rk_bytes_;
+  alignas(16) std::array<std::uint8_t, 240> inv_rk_bytes_;
 };
 
 /// AES-CTR keystream encryption/decryption (symmetric). The 16-byte
@@ -32,10 +53,31 @@ class Aes {
 Bytes aes_ctr(const Aes& cipher, BytesView nonce12, std::uint32_t initial_counter,
               BytesView data);
 
+/// In-place variant of aes_ctr over a caller-owned buffer; validates the
+/// nonce length like aes_ctr but never allocates.
+void aes_ctr_xor(const Aes& cipher, BytesView nonce12,
+                 std::uint32_t initial_counter, std::span<std::uint8_t> data);
+
 /// AES-CBC with PKCS#7 padding.
 Bytes aes_cbc_encrypt(const Aes& cipher, BytesView iv16, BytesView plaintext);
 
 /// Throws std::runtime_error on bad padding.
 Bytes aes_cbc_decrypt(const Aes& cipher, BytesView iv16, BytesView ciphertext);
+
+/// CBC-encrypt `buf[0, len)` in place, appending PKCS#7 padding. The buffer
+/// must have room for `aes_cbc_padded_len(len)` bytes; returns that length.
+std::size_t aes_cbc_encrypt_inplace(const Aes& cipher, const std::uint8_t iv[16],
+                                    std::uint8_t* buf, std::size_t len);
+
+/// CBC-decrypt `buf[0, len)` in place and strip PKCS#7 padding. Returns the
+/// plaintext length; throws std::runtime_error on bad length or padding.
+std::size_t aes_cbc_decrypt_inplace(const Aes& cipher, const std::uint8_t iv[16],
+                                    std::uint8_t* buf, std::size_t len);
+
+/// Ciphertext length CBC produces for a `len`-byte plaintext (always at
+/// least one pad byte).
+constexpr std::size_t aes_cbc_padded_len(std::size_t len) {
+  return len + 16 - len % 16;
+}
 
 }  // namespace hipcloud::crypto

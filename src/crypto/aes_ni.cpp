@@ -1,0 +1,164 @@
+// Hardware AES backend. Compiled into the portable library with per-function
+// target attributes (no global -maes flag needed) and dispatched at runtime
+// from Aes, so the same binary runs on CPUs without the extension.
+
+#include "crypto/aes_ni.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HIPCLOUD_HAS_AESNI 1
+#include <immintrin.h>
+#else
+#define HIPCLOUD_HAS_AESNI 0
+#endif
+
+namespace hipcloud::crypto::aesni {
+
+#if HIPCLOUD_HAS_AESNI
+
+#define AESNI_TARGET __attribute__((target("aes,sse4.1")))
+
+bool supported() {
+  static const bool ok = [] {
+    // Escape hatch for benchmarking/testing the portable T-table path on
+    // hardware that has AES-NI.
+    if (std::getenv("HIPCLOUD_NO_AESNI") != nullptr) return false;
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse4.1");
+  }();
+  return ok;
+}
+
+AESNI_TARGET void make_decrypt_schedule(const std::uint8_t* enc_rk, int rounds,
+                                        std::uint8_t* dec_rk) {
+  auto rk = [&](int r) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(enc_rk + 16 * r));
+  };
+  auto store = [&](int r, __m128i k) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dec_rk + 16 * r), k);
+  };
+  store(0, rk(rounds));
+  for (int r = 1; r < rounds; ++r) store(r, _mm_aesimc_si128(rk(rounds - r)));
+  store(rounds, rk(0));
+}
+
+namespace {
+
+AESNI_TARGET inline __m128i ctr_block(__m128i base, std::uint32_t ctr) {
+  return _mm_insert_epi32(base, static_cast<int>(__builtin_bswap32(ctr)), 3);
+}
+
+AESNI_TARGET inline __m128i encrypt_m128(const std::uint8_t* rk, int rounds,
+                                         __m128i b) {
+  b = _mm_xor_si128(b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int r = 1; r < rounds; ++r) {
+    b = _mm_aesenc_si128(
+        b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r)));
+  }
+  return _mm_aesenclast_si128(
+      b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * rounds)));
+}
+
+}  // namespace
+
+AESNI_TARGET void encrypt_block(const std::uint8_t* rk, int rounds,
+                                const std::uint8_t in[16], std::uint8_t out[16]) {
+  const __m128i b =
+      encrypt_m128(rk, rounds,
+                   _mm_loadu_si128(reinterpret_cast<const __m128i*>(in)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+AESNI_TARGET void decrypt_block(const std::uint8_t* dec_rk, int rounds,
+                                const std::uint8_t in[16], std::uint8_t out[16]) {
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  b = _mm_xor_si128(b,
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(dec_rk)));
+  for (int r = 1; r < rounds; ++r) {
+    b = _mm_aesdec_si128(
+        b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dec_rk + 16 * r)));
+  }
+  b = _mm_aesdeclast_si128(
+      b,
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(dec_rk + 16 * rounds)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+AESNI_TARGET void ctr_xor(const std::uint8_t* rk, int rounds,
+                          const std::uint8_t nonce12[12], std::uint32_t counter,
+                          std::uint8_t* data, std::size_t len) {
+  // Counter block template with the nonce in bytes 0..11; the big-endian
+  // counter is inserted as lane 3 per block.
+  alignas(16) std::uint8_t tmpl[16] = {};
+  for (int i = 0; i < 12; ++i) tmpl[i] = nonce12[i];
+  const __m128i base = _mm_load_si128(reinterpret_cast<const __m128i*>(tmpl));
+
+  std::size_t off = 0;
+  // Four independent blocks in flight to cover the aesenc latency.
+  while (off + 64 <= len) {
+    __m128i b0 = _mm_xor_si128(
+        ctr_block(base, counter), _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+    __m128i b1 = _mm_xor_si128(
+        ctr_block(base, counter + 1),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+    __m128i b2 = _mm_xor_si128(
+        ctr_block(base, counter + 2),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+    __m128i b3 = _mm_xor_si128(
+        ctr_block(base, counter + 3),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+    for (int r = 1; r < rounds; ++r) {
+      const __m128i k =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r));
+      b0 = _mm_aesenc_si128(b0, k);
+      b1 = _mm_aesenc_si128(b1, k);
+      b2 = _mm_aesenc_si128(b2, k);
+      b3 = _mm_aesenc_si128(b3, k);
+    }
+    const __m128i kl =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * rounds));
+    b0 = _mm_aesenclast_si128(b0, kl);
+    b1 = _mm_aesenclast_si128(b1, kl);
+    b2 = _mm_aesenclast_si128(b2, kl);
+    b3 = _mm_aesenclast_si128(b3, kl);
+    auto xor_store = [&](std::size_t o, __m128i ks) {
+      __m128i* p = reinterpret_cast<__m128i*>(data + o);
+      _mm_storeu_si128(p, _mm_xor_si128(_mm_loadu_si128(p), ks));
+    };
+    xor_store(off, b0);
+    xor_store(off + 16, b1);
+    xor_store(off + 32, b2);
+    xor_store(off + 48, b3);
+    counter += 4;
+    off += 64;
+  }
+  while (off + 16 <= len) {
+    const __m128i ks = encrypt_m128(rk, rounds, ctr_block(base, counter++));
+    __m128i* p = reinterpret_cast<__m128i*>(data + off);
+    _mm_storeu_si128(p, _mm_xor_si128(_mm_loadu_si128(p), ks));
+    off += 16;
+  }
+  if (off < len) {
+    alignas(16) std::uint8_t ks[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks),
+                    encrypt_m128(rk, rounds, ctr_block(base, counter)));
+    for (std::size_t i = 0; off + i < len; ++i) data[off + i] ^= ks[i];
+  }
+}
+
+#else  // !HIPCLOUD_HAS_AESNI — stubs so non-x86 builds link; never called
+       // because supported() is false.
+
+bool supported() { return false; }
+void make_decrypt_schedule(const std::uint8_t*, int, std::uint8_t*) {}
+void encrypt_block(const std::uint8_t*, int, const std::uint8_t[16],
+                   std::uint8_t[16]) {}
+void decrypt_block(const std::uint8_t*, int, const std::uint8_t[16],
+                   std::uint8_t[16]) {}
+void ctr_xor(const std::uint8_t*, int, const std::uint8_t[12], std::uint32_t,
+             std::uint8_t*, std::size_t) {}
+
+#endif
+
+}  // namespace hipcloud::crypto::aesni

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hipcloud::crypto::aesni {
+
+/// True when the running CPU has the AES instruction set (checked once).
+/// Always false on non-x86 builds; every other function here must only be
+/// called when this returns true.
+bool supported();
+
+/// Build the `aesdec` schedule from a byte-serialized encryption schedule:
+/// reversed round order with InvMixColumns applied to the middle keys.
+void make_decrypt_schedule(const std::uint8_t* enc_rk, int rounds,
+                           std::uint8_t* dec_rk);
+
+void encrypt_block(const std::uint8_t* rk, int rounds,
+                   const std::uint8_t in[16], std::uint8_t out[16]);
+void decrypt_block(const std::uint8_t* dec_rk, int rounds,
+                   const std::uint8_t in[16], std::uint8_t out[16]);
+
+/// XOR the CTR keystream into `data` in place, four blocks in flight.
+void ctr_xor(const std::uint8_t* rk, int rounds, const std::uint8_t nonce12[12],
+             std::uint32_t counter, std::uint8_t* data, std::size_t len);
+
+}  // namespace hipcloud::crypto::aesni

@@ -1,30 +1,52 @@
 #include "crypto/hmac.hpp"
 
-#include "crypto/sha256.hpp"
+#include <cstring>
 
 namespace hipcloud::crypto {
 
-Bytes hmac_sha256(BytesView key, BytesView message) {
+HmacSha256::HmacSha256(BytesView key) {
   constexpr std::size_t kBlock = Sha256::kBlockSize;
-  Bytes k(key.begin(), key.end());
-  if (k.size() > kBlock) k = Sha256::digest(k);
-  k.resize(kBlock, 0);
+  std::uint8_t k[kBlock] = {};
+  if (key.size() > kBlock) {
+    Sha256 kh;
+    kh.update(key);
+    const auto d = kh.finish();
+    std::memcpy(k, d.data(), d.size());
+  } else if (!key.empty()) {
+    std::memcpy(k, key.data(), key.size());
+  }
 
-  Bytes ipad(kBlock, 0x36);
-  Bytes opad(kBlock, 0x5c);
-  xor_inplace(ipad, k);
-  xor_inplace(opad, k);
+  std::uint8_t pad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x36;
+  hash_.reset();
+  hash_.update(BytesView(pad, kBlock));
+  inner_ = hash_.midstate();
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x5c;
+  hash_.reset();
+  hash_.update(BytesView(pad, kBlock));
+  outer_ = hash_.midstate();
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
-  const auto inner_digest = inner.finish();
+  hash_.restore(inner_);
+}
 
-  Sha256 outer;
-  outer.update(opad);
-  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
-  const auto d = outer.finish();
-  return Bytes(d.begin(), d.end());
+void HmacSha256::reset() { hash_.restore(inner_); }
+
+void HmacSha256::update(BytesView data) { hash_.update(data); }
+
+void HmacSha256::finish(std::uint8_t out[kDigestSize]) {
+  const auto inner_digest = hash_.finish();
+  hash_.restore(outer_);
+  hash_.update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto d = hash_.finish();
+  std::memcpy(out, d.data(), d.size());
+}
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  Bytes out(HmacSha256::kDigestSize);
+  mac.finish(out.data());
+  return out;
 }
 
 Bytes hkdf_extract(BytesView salt, BytesView ikm) {
@@ -32,18 +54,22 @@ Bytes hkdf_extract(BytesView salt, BytesView ikm) {
 }
 
 Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  HmacSha256 mac(prk);
   Bytes out;
   out.reserve(length);
-  Bytes t;
+  std::uint8_t t[HmacSha256::kDigestSize];
+  std::size_t t_len = 0;
   std::uint8_t counter = 1;
   while (out.size() < length) {
-    Bytes input = t;
-    input.insert(input.end(), info.begin(), info.end());
-    input.push_back(counter++);
-    t = hmac_sha256(prk, input);
-    const std::size_t take =
-        std::min(t.size(), length - out.size());
-    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+    mac.reset();
+    mac.update(BytesView(t, t_len));
+    mac.update(info);
+    mac.update(BytesView(&counter, 1));
+    ++counter;
+    mac.finish(t);
+    t_len = sizeof t;
+    const std::size_t take = std::min(t_len, length - out.size());
+    out.insert(out.end(), t, t + take);
   }
   return out;
 }

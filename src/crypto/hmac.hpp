@@ -1,10 +1,37 @@
 #pragma once
 
 #include "crypto/bytes.hpp"
+#include "crypto/sha256.hpp"
 
 namespace hipcloud::crypto {
 
-/// HMAC-SHA256 (RFC 2104). Keys of any length; long keys are hashed first.
+/// Streaming HMAC-SHA256 (RFC 2104) with precomputed key schedule.
+///
+/// Construction hashes the ipad/opad blocks once; reset() rewinds to those
+/// midstates, so per-message cost is just the message blocks plus one extra
+/// compression — no key rehash, no concat temporaries, no heap. Copyable:
+/// keep one keyed instance per SA/session and copy (or reset) per packet.
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kDigestSize = Sha256::kDigestSize;
+
+  HmacSha256() = default;
+  explicit HmacSha256(BytesView key);
+
+  /// Restart the MAC for a new message under the same key.
+  void reset();
+  void update(BytesView data);
+  /// Finalize into a 32-byte buffer. reset() before reuse.
+  void finish(std::uint8_t out[kDigestSize]);
+
+ private:
+  Sha256::Midstate inner_{};  // state after the ipad block
+  Sha256::Midstate outer_{};  // state after the opad block
+  Sha256 hash_;
+};
+
+/// HMAC-SHA256 one-shot (RFC 2104). Keys of any length; long keys are
+/// hashed first.
 Bytes hmac_sha256(BytesView key, BytesView message);
 
 /// HKDF-style expand used for HIP KEYMAT (RFC 5201 §6.5 uses a similar

@@ -1,6 +1,7 @@
 #include "crypto/sha256.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace hipcloud::crypto {
 
@@ -108,6 +109,19 @@ std::array<std::uint8_t, Sha256::kDigestSize> Sha256::finish() {
     out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
   }
   return out;
+}
+
+Sha256::Midstate Sha256::midstate() const {
+  if (buf_len_ != 0) {
+    throw std::logic_error("Sha256::midstate: not at a block boundary");
+  }
+  return Midstate{h_, total_len_};
+}
+
+void Sha256::restore(const Midstate& m) {
+  h_ = m.h;
+  total_len_ = m.processed_bytes;
+  buf_len_ = 0;
 }
 
 Bytes Sha256::digest(BytesView data) {

@@ -25,6 +25,21 @@ class Sha256 {
   /// One-shot convenience.
   static Bytes digest(BytesView data);
 
+  /// Captured compression state at a block boundary. Lets HMAC precompute
+  /// the keyed inner/outer pad blocks once and restart from them per
+  /// message instead of rehashing 64 key bytes every call.
+  struct Midstate {
+    std::array<std::uint32_t, 8> h;
+    std::uint64_t processed_bytes;
+  };
+
+  /// Snapshot the state. Only valid at a block boundary (no buffered
+  /// partial block); throws std::logic_error otherwise.
+  Midstate midstate() const;
+
+  /// Reset to a previously captured midstate.
+  void restore(const Midstate& m);
+
  private:
   void process_block(const std::uint8_t* block);
 

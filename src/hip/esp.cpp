@@ -1,8 +1,7 @@
 #include "hip/esp.hpp"
 
+#include <cstring>
 #include <stdexcept>
-
-#include "crypto/hmac.hpp"
 
 namespace hipcloud::hip {
 
@@ -13,6 +12,18 @@ namespace {
 constexpr std::size_t kIvSize = 16;
 constexpr std::size_t kIcvSize = 12;
 constexpr std::size_t kFixedHeader = 4 + 4 + kIvSize;  // SPI | SEQ | IV
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
 }  // namespace
 
 std::size_t esp_overhead(EspSuite suite) {
@@ -36,8 +47,7 @@ const char* esp_suite_name(EspSuite suite) {
 
 EspSa::EspSa(std::uint32_t spi, EspSuite suite, BytesView enc_key,
              BytesView auth_key)
-    : spi_(spi), suite_(suite),
-      auth_key_(auth_key.begin(), auth_key.end()) {
+    : spi_(spi), suite_(suite), hmac_(auth_key) {
   if (suite != EspSuite::kNullSha256) {
     if (enc_key.size() < 16) {
       throw std::invalid_argument("EspSa: encryption key too short");
@@ -46,52 +56,58 @@ EspSa::EspSa(std::uint32_t spi, EspSuite suite, BytesView enc_key,
   }
 }
 
-Bytes EspSa::compute_icv(BytesView spi_seq_iv_ct) const {
-  Bytes mac = crypto::hmac_sha256(auth_key_, spi_seq_iv_ct);
-  mac.resize(kIcvSize);
-  return mac;
+void EspSa::compute_icv(BytesView spi_seq_iv_ct, std::uint8_t out[12]) {
+  std::uint8_t mac[crypto::HmacSha256::kDigestSize];
+  hmac_.reset();
+  hmac_.update(spi_seq_iv_ct);
+  hmac_.finish(mac);
+  std::memcpy(out, mac, kIcvSize);
 }
 
 Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
                      BytesView payload) {
-  Bytes plaintext;
-  plaintext.reserve(2 + payload.size());
-  plaintext.push_back(inner_proto);
-  plaintext.push_back(addr_mode);
-  plaintext.insert(plaintext.end(), payload.begin(), payload.end());
+  // One-pass, single-allocation datapath: reserve the exact wire size,
+  // build SPI|SEQ|IV in place, lay the plaintext down in the ciphertext
+  // region, encrypt it in place, then stream the HMAC over the wire
+  // prefix. (The seed implementation made ~5 heap allocations per packet
+  // via plaintext/ciphertext/icv temporaries; this is the hot loop behind
+  // the paper's Fig. 2 ESP cost.)
+  const std::size_t pt_len = 2 + payload.size();
+  const std::size_t ct_len = suite_ == EspSuite::kAes128CbcSha256
+                                 ? crypto::aes_cbc_padded_len(pt_len)
+                                 : pt_len;
+  Bytes wire(kFixedHeader + ct_len + kIcvSize);
+  std::uint8_t* p = wire.data();
+  store_be32(p, spi_);
+  store_be32(p + 4, next_seq_++);
 
-  // Deterministic per-SA IV counter (safe for CTR as it never repeats
-  // under one key; fine for CBC in the simulator's threat model).
-  Bytes iv(kIvSize, 0);
-  crypto::append_be(iv, spi_, 4);
-  crypto::append_be(iv, iv_counter_++, 8);
-  iv.erase(iv.begin(), iv.begin() + 12);  // keep trailing 16 bytes
-  iv.resize(kIvSize, 0);
+  // Deterministic per-SA IV: zero(4) | SPI(4) | counter(8) — never repeats
+  // under one key (safe for CTR; fine for CBC in the simulator's threat
+  // model).
+  std::uint8_t* iv = p + 8;
+  std::memset(iv, 0, 4);
+  store_be32(iv + 4, spi_);
+  store_be64(iv + 8, iv_counter_++);
 
-  Bytes ciphertext;
+  std::uint8_t* ct = p + kFixedHeader;
+  ct[0] = inner_proto;
+  ct[1] = addr_mode;
+  if (!payload.empty()) std::memcpy(ct + 2, payload.data(), payload.size());
   switch (suite_) {
     case EspSuite::kNullSha256:
-      ciphertext = std::move(plaintext);
       break;
     case EspSuite::kAes128CtrSha256:
-      ciphertext = crypto::aes_ctr(*cipher_, BytesView(iv).subspan(0, 12),
-                                   static_cast<std::uint32_t>(
-                                       crypto::read_be(iv, 12, 4)),
-                                   plaintext);
+      // Counter block = IV[0..12) | IV[12..16) as the initial counter.
+      cipher_->ctr_xor(iv, static_cast<std::uint32_t>(crypto::read_be(
+                               BytesView(iv, kIvSize), 12, 4)),
+                       ct, pt_len);
       break;
     case EspSuite::kAes128CbcSha256:
-      ciphertext = crypto::aes_cbc_encrypt(*cipher_, iv, plaintext);
+      crypto::aes_cbc_encrypt_inplace(*cipher_, iv, ct, pt_len);
       break;
   }
 
-  Bytes wire;
-  wire.reserve(kFixedHeader + ciphertext.size() + kIcvSize);
-  crypto::append_be(wire, spi_, 4);
-  crypto::append_be(wire, next_seq_++, 4);
-  wire.insert(wire.end(), iv.begin(), iv.end());
-  wire.insert(wire.end(), ciphertext.begin(), ciphertext.end());
-  const Bytes icv = compute_icv(wire);
-  wire.insert(wire.end(), icv.begin(), icv.end());
+  compute_icv(BytesView(p, kFixedHeader + ct_len), p + kFixedHeader + ct_len);
   return wire;
 }
 
@@ -118,9 +134,10 @@ std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
   if (spi != spi_) return std::nullopt;
   const auto seq = static_cast<std::uint32_t>(crypto::read_be(wire, 4, 4));
 
-  const BytesView authed = wire.subspan(0, wire.size() - kIcvSize);
-  const BytesView icv = wire.subspan(wire.size() - kIcvSize);
-  if (!crypto::ct_equal(icv, compute_icv(authed))) {
+  std::uint8_t expected_icv[kIcvSize];
+  compute_icv(wire.subspan(0, wire.size() - kIcvSize), expected_icv);
+  if (!crypto::ct_equal(wire.subspan(wire.size() - kIcvSize),
+                        BytesView(expected_icv, kIcvSize))) {
     ++auth_failures_;
     return std::nullopt;
   }
@@ -129,35 +146,40 @@ std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
     return std::nullopt;
   }
 
-  const BytesView iv = wire.subspan(8, kIvSize);
-  const BytesView ciphertext =
-      wire.subspan(kFixedHeader, wire.size() - kFixedHeader - kIcvSize);
-  Bytes plaintext;
+  const std::uint8_t* iv = wire.data() + 8;
+  const std::uint8_t* ct = wire.data() + kFixedHeader;
+  const std::size_t ct_len = wire.size() - kFixedHeader - kIcvSize;
+
+  // Single-allocation decrypt: copy the ciphertext into the output buffer,
+  // decrypt it in place, then strip the 2-byte inner header with a memmove
+  // instead of a reallocating erase.
+  Unprotected out;
+  out.payload.assign(ct, ct + ct_len);
+  std::size_t pt_len = ct_len;
   try {
     switch (suite_) {
       case EspSuite::kNullSha256:
-        plaintext.assign(ciphertext.begin(), ciphertext.end());
         break;
       case EspSuite::kAes128CtrSha256:
-        plaintext = crypto::aes_ctr(
-            *cipher_, iv.subspan(0, 12),
-            static_cast<std::uint32_t>(crypto::read_be(iv, 12, 4)),
-            ciphertext);
+        cipher_->ctr_xor(iv, static_cast<std::uint32_t>(crypto::read_be(
+                                 BytesView(iv, kIvSize), 12, 4)),
+                         out.payload.data(), ct_len);
         break;
       case EspSuite::kAes128CbcSha256:
-        plaintext = crypto::aes_cbc_decrypt(*cipher_, iv, ciphertext);
+        pt_len = crypto::aes_cbc_decrypt_inplace(*cipher_, iv,
+                                                 out.payload.data(), ct_len);
         break;
     }
   } catch (const std::runtime_error&) {
     ++auth_failures_;
     return std::nullopt;
   }
-  if (plaintext.size() < 2) return std::nullopt;
+  if (pt_len < 2) return std::nullopt;
 
-  Unprotected out;
-  out.inner_proto = plaintext[0];
-  out.addr_mode = plaintext[1];
-  out.payload.assign(plaintext.begin() + 2, plaintext.end());
+  out.inner_proto = out.payload[0];
+  out.addr_mode = out.payload[1];
+  std::memmove(out.payload.data(), out.payload.data() + 2, pt_len - 2);
+  out.payload.resize(pt_len - 2);
   out.seq = seq;
   return out;
 }

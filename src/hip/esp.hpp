@@ -6,6 +6,7 @@
 
 #include "crypto/aes.hpp"
 #include "crypto/bytes.hpp"
+#include "crypto/hmac.hpp"
 #include "net/packet.hpp"
 
 namespace hipcloud::hip {
@@ -66,13 +67,13 @@ class EspSa {
   std::uint32_t next_seq() const { return next_seq_; }
 
  private:
-  crypto::Bytes compute_icv(crypto::BytesView spi_seq_iv_ct) const;
+  void compute_icv(crypto::BytesView spi_seq_iv_ct, std::uint8_t out[12]);
   bool replay_check_and_update(std::uint32_t seq);
 
   std::uint32_t spi_;
   EspSuite suite_;
   std::optional<crypto::Aes> cipher_;  // absent for NULL suite
-  crypto::Bytes auth_key_;
+  crypto::HmacSha256 hmac_;  // keyed once; reset per packet
   std::uint32_t next_seq_ = 1;
   std::uint64_t iv_counter_ = 1;
 

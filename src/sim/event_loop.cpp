@@ -13,12 +13,17 @@ EventHandle EventLoop::schedule_at(Time when, Callback cb) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
   queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  live_ids_.insert(id);
   return EventHandle(id);
 }
 
 bool EventLoop::cancel(EventHandle h) {
-  if (!h.valid() || h.id_ >= next_id_) return false;
-  return cancelled_.insert(h.id_).second;
+  // Only a still-live id becomes a tombstone; cancelling a fired (or
+  // already-cancelled) event is a no-op, so cancelled_ never holds ids
+  // whose queue entry is gone.
+  if (!h.valid() || live_ids_.erase(h.id_) == 0) return false;
+  cancelled_.insert(h.id_);
+  return true;
 }
 
 bool EventLoop::step(Time until) {
@@ -32,10 +37,13 @@ bool EventLoop::step(Time until) {
     }
     Entry e = std::move(const_cast<Entry&>(top));
     queue_.pop();
+    live_ids_.erase(e.id);
     now_ = e.when;
     e.cb();
     return true;
   }
+  // Queue drained: any remaining tombstones can never pop, drop them.
+  cancelled_.clear();
   return false;
 }
 

@@ -50,7 +50,8 @@ class EventLoop {
   EventHandle schedule_at(Time when, Callback cb);
 
   /// Cancel a pending event. Returns true if the event existed and had
-  /// not yet fired. Cancelling twice (or after firing) is a harmless no-op.
+  /// not yet fired. Cancelling twice (or after firing) is a harmless no-op
+  /// and never leaves a tombstone behind.
   bool cancel(EventHandle h);
 
   /// Run until the event queue drains or `until` (if >= 0) is reached.
@@ -62,7 +63,14 @@ class EventLoop {
   bool step(Time until = -1);
 
   /// Pending (non-cancelled) event count.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_ids_.size(); }
+
+  /// Cancelled-but-not-yet-popped tombstone count. Bounded by pending():
+  /// tombstones are erased when their entry pops and cleared when the
+  /// queue drains, so long closed-loop runs with heavy timer re-arming
+  /// (every TCP ack re-arms the RTO) can't grow the set without bound.
+  /// Exposed for the consistency assertions in the tests.
+  std::size_t tombstones() const { return cancelled_.size(); }
 
   /// True when no live events remain.
   bool idle() const { return pending() == 0; }
@@ -89,14 +97,13 @@ class EventLoop {
   std::uint64_t next_id_ = 1;
   bool stopped_ = false;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  // Cancelled ids are tombstoned; entries are skipped lazily when popped.
-  // Hash set: cancellation churn is heavy (every TCP ack re-arms the RTO
-  // timer) and this is consulted on every pop.
+  // Ids of scheduled, not-yet-fired, not-cancelled events. Lets cancel()
+  // distinguish "pending" from "already fired" in O(1), which is what keeps
+  // the tombstone set from accumulating ids that can never pop.
+  std::unordered_set<std::uint64_t> live_ids_;
+  // Cancelled ids still sitting in the queue; entries are skipped lazily
+  // when popped (a hash set because this is consulted on every pop).
   std::unordered_set<std::uint64_t> cancelled_;
-
-  bool is_cancelled(std::uint64_t id) const {
-    return cancelled_.count(id) > 0;
-  }
 };
 
 }  // namespace hipcloud::sim

@@ -1,5 +1,6 @@
 #include "tls/tls.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -22,6 +23,12 @@ constexpr std::uint8_t kHsClientKeyExchange = 16;
 constexpr std::uint8_t kHsFinished = 20;
 
 constexpr std::size_t kMacLen = 16;
+
+void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * (7 - i)));
+  }
+}
 }  // namespace
 
 std::shared_ptr<TlsSession> TlsSession::client(
@@ -115,28 +122,29 @@ void TlsSession::fail(const char* reason) {
 
 void TlsSession::send_record(std::uint8_t type, BytesView body,
                              bool encrypted) {
-  Bytes payload;
-  if (encrypted) {
-    // Nonce from the record sequence number; MAC over seq|type|ciphertext.
-    Bytes nonce(12, 0);
-    crypto::Bytes seq_bytes;
-    crypto::append_be(seq_bytes, seq_out_, 8);
-    std::copy(seq_bytes.begin(), seq_bytes.end(), nonce.begin() + 4);
-    payload = crypto::aes_ctr(*enc_out_, nonce, 1, body);
-    Bytes mac_input{type};
-    mac_input.insert(mac_input.end(), seq_bytes.begin(), seq_bytes.end());
-    mac_input.insert(mac_input.end(), payload.begin(), payload.end());
-    Bytes mac = crypto::hmac_sha256(mac_out_key_, mac_input);
-    mac.resize(kMacLen);
-    payload.insert(payload.end(), mac.begin(), mac.end());
-    ++seq_out_;
-  } else {
-    payload.assign(body.begin(), body.end());
-  }
+  // Single-buffer record build: header, body encrypted in place (nonce from
+  // the record sequence number), then the streamed MAC over
+  // type|seq|ciphertext — no payload/mac_input temporaries.
   Bytes record;
+  record.reserve(4 + body.size() + (encrypted ? kMacLen : 0));
   record.push_back(type);
-  crypto::append_be(record, payload.size(), 3);
-  record.insert(record.end(), payload.begin(), payload.end());
+  crypto::append_be(record, body.size() + (encrypted ? kMacLen : 0), 3);
+  record.insert(record.end(), body.begin(), body.end());
+  if (encrypted) {
+    std::uint8_t seq_be[8];
+    store_be64(seq_be, seq_out_);
+    std::uint8_t nonce[12] = {};
+    std::memcpy(nonce + 4, seq_be, 8);
+    enc_out_->ctr_xor(nonce, 1, record.data() + 4, body.size());
+    mac_out_->reset();
+    mac_out_->update(BytesView(&type, 1));
+    mac_out_->update(BytesView(seq_be, 8));
+    mac_out_->update(BytesView(record.data() + 4, body.size()));
+    std::uint8_t mac[crypto::HmacSha256::kDigestSize];
+    mac_out_->finish(mac);
+    record.insert(record.end(), mac, mac + kMacLen);
+    ++seq_out_;
+  }
   conn_->send(std::move(record));
 }
 
@@ -166,19 +174,23 @@ void TlsSession::process_record(std::uint8_t type, Bytes body) {
        (type == kRecordHandshake && state_ == State::kWaitFinished));
   if (encrypted_phase) {
     if (body.size() < kMacLen) return fail("short record");
-    Bytes mac(body.end() - kMacLen, body.end());
-    body.resize(body.size() - kMacLen);
-    Bytes seq_bytes;
-    crypto::append_be(seq_bytes, seq_in_, 8);
-    Bytes mac_input{type};
-    mac_input.insert(mac_input.end(), seq_bytes.begin(), seq_bytes.end());
-    mac_input.insert(mac_input.end(), body.begin(), body.end());
-    Bytes expected = crypto::hmac_sha256(mac_in_key_, mac_input);
-    expected.resize(kMacLen);
-    if (!crypto::ct_equal(mac, expected)) return fail("bad record MAC");
-    Bytes nonce(12, 0);
-    std::copy(seq_bytes.begin(), seq_bytes.end(), nonce.begin() + 4);
-    body = crypto::aes_ctr(*enc_in_, nonce, 1, body);
+    const std::size_t ct_len = body.size() - kMacLen;
+    std::uint8_t seq_be[8];
+    store_be64(seq_be, seq_in_);
+    mac_in_->reset();
+    mac_in_->update(BytesView(&type, 1));
+    mac_in_->update(BytesView(seq_be, 8));
+    mac_in_->update(BytesView(body.data(), ct_len));
+    std::uint8_t expected[crypto::HmacSha256::kDigestSize];
+    mac_in_->finish(expected);
+    if (!crypto::ct_equal(BytesView(body).subspan(ct_len),
+                          BytesView(expected, kMacLen))) {
+      return fail("bad record MAC");
+    }
+    body.resize(ct_len);
+    std::uint8_t nonce[12] = {};
+    std::memcpy(nonce + 4, seq_be, 8);
+    enc_in_->ctr_xor(nonce, 1, body.data(), ct_len);
     ++seq_in_;
   }
 
@@ -217,14 +229,14 @@ void TlsSession::derive_keys() {
   const Bytes server_enc = slice(2), server_mac = slice(3);
   if (is_client_) {
     enc_out_.emplace(BytesView(client_enc).subspan(0, 16));
-    mac_out_key_ = client_mac;
+    mac_out_.emplace(client_mac);
     enc_in_.emplace(BytesView(server_enc).subspan(0, 16));
-    mac_in_key_ = server_mac;
+    mac_in_.emplace(server_mac);
   } else {
     enc_out_.emplace(BytesView(server_enc).subspan(0, 16));
-    mac_out_key_ = server_mac;
+    mac_out_.emplace(server_mac);
     enc_in_.emplace(BytesView(client_enc).subspan(0, 16));
-    mac_in_key_ = client_mac;
+    mac_in_.emplace(client_mac);
   }
 }
 

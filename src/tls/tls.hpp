@@ -7,6 +7,7 @@
 #include "crypto/aes.hpp"
 #include "crypto/cost_model.hpp"
 #include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
 #include "net/tcp.hpp"
 #include "tls/cert.hpp"
 
@@ -105,11 +106,12 @@ class TlsSession : public std::enable_shared_from_this<TlsSession> {
   crypto::Bytes master_;
   crypto::Bytes transcript_;  // running hash input of handshake messages
 
-  // Record protection (absent until keys derived).
+  // Record protection (absent until keys derived). The MACs are keyed once
+  // at derive_keys() and reset per record (no key rehash per packet).
   std::optional<crypto::Aes> enc_out_;
   std::optional<crypto::Aes> enc_in_;
-  crypto::Bytes mac_out_key_;
-  crypto::Bytes mac_in_key_;
+  std::optional<crypto::HmacSha256> mac_out_;
+  std::optional<crypto::HmacSha256> mac_in_;
   std::uint64_t seq_out_ = 0;
   std::uint64_t seq_in_ = 0;
 

@@ -176,6 +176,61 @@ INSTANTIATE_TEST_SUITE_P(
       return "Unknown";
     });
 
+// --- RFC 4303 replay-window edge cases -------------------------------------
+
+TEST(EspReplayWindow, DuplicateAtExactWindowEdge) {
+  // 64-entry window: with highest=65, seq=2 sits at offset 63 (the last
+  // in-window slot) and seq=1 at offset 64 (just outside).
+  EspSa tx(1, EspSuite::kAes128CtrSha256, Bytes(32, 0x11), Bytes(32, 0x22));
+  EspSa rx(1, EspSuite::kAes128CtrSha256, Bytes(32, 0x11), Bytes(32, 0x22));
+  std::vector<Bytes> wires;
+  for (int i = 0; i < 65; ++i) {
+    wires.push_back(tx.protect(6, EspSa::kModeHit, Bytes(4, 0)));
+  }
+  EXPECT_TRUE(rx.unprotect(wires[64]).has_value());   // seq 65
+  EXPECT_TRUE(rx.unprotect(wires[1]).has_value());    // seq 2: offset 63, in
+  EXPECT_FALSE(rx.unprotect(wires[1]).has_value());   // duplicate at the edge
+  EXPECT_FALSE(rx.unprotect(wires[0]).has_value());   // seq 1: offset 64, out
+  EXPECT_EQ(rx.replay_drops(), 2u);
+  EXPECT_EQ(rx.auth_failures(), 0u);
+}
+
+TEST(EspReplayWindow, ShiftOfSixtyFourOrMoreWipesWindow) {
+  // A jump of >= 64 sequence numbers must zero the whole window — stale
+  // bits surviving the shift would falsely flag unseen packets as replays.
+  EspSa tx(1, EspSuite::kAes128CtrSha256, Bytes(32, 0x11), Bytes(32, 0x22));
+  EspSa rx(1, EspSuite::kAes128CtrSha256, Bytes(32, 0x11), Bytes(32, 0x22));
+  std::vector<Bytes> wires;
+  for (int i = 0; i < 70; ++i) {
+    wires.push_back(tx.protect(6, EspSa::kModeHit, Bytes(4, 0)));
+  }
+  EXPECT_TRUE(rx.unprotect(wires[0]).has_value());   // seq 1
+  EXPECT_TRUE(rx.unprotect(wires[69]).has_value());  // seq 70: shift 69, wipe
+  EXPECT_TRUE(rx.unprotect(wires[68]).has_value());  // seq 69 unseen: accept
+  EXPECT_TRUE(rx.unprotect(wires[7]).has_value());   // seq 8: offset 62, in
+  EXPECT_FALSE(rx.unprotect(wires[0]).has_value());  // seq 1: offset 69, out
+  EXPECT_EQ(rx.replay_drops(), 1u);
+}
+
+TEST(EspReplayWindow, SequenceZeroRejected) {
+  // seq 0 is never sent (the SA starts at 1); a crafted packet with a
+  // valid ICV but seq 0 must still be dropped by the replay check.
+  const Bytes auth_key(32, 0x22);
+  EspSa rx(1, EspSuite::kNullSha256, {}, auth_key);
+  Bytes wire;
+  crypto::append_be(wire, 1, 4);  // SPI
+  crypto::append_be(wire, 0, 4);  // SEQ = 0
+  wire.insert(wire.end(), 16, 0);  // IV
+  wire.push_back(6);               // inner proto
+  wire.push_back(EspSa::kModeHit);
+  Bytes icv = crypto::hmac_sha256(auth_key, wire);
+  icv.resize(12);
+  wire.insert(wire.end(), icv.begin(), icv.end());
+  EXPECT_FALSE(rx.unprotect(wire).has_value());
+  EXPECT_EQ(rx.replay_drops(), 1u);   // rejected by replay, not by auth
+  EXPECT_EQ(rx.auth_failures(), 0u);
+}
+
 TEST(EspSa, SuiteNamesAreDistinct) {
   EXPECT_STRNE(esp_suite_name(EspSuite::kNullSha256),
                esp_suite_name(EspSuite::kAes128CtrSha256));

@@ -133,6 +133,69 @@ TEST(EventLoop, StepExecutesOneEvent) {
   EXPECT_FALSE(loop.step());
 }
 
+TEST(EventLoop, CancelAfterFireReturnsFalse) {
+  EventLoop loop;
+  const auto h = loop.schedule(10, [] {});
+  loop.run();
+  EXPECT_FALSE(loop.cancel(h));
+  EXPECT_EQ(loop.tombstones(), 0u);
+}
+
+// The RTO re-arm pattern: every ack cancels the pending retransmit timer
+// and schedules a new one; sometimes the timer wins and the cancel arrives
+// late. A long closed-loop run must not accumulate tombstones for events
+// that already fired (the seed leak) and must drain the set completely.
+TEST(EventLoop, HeavyRearmChurnLeavesNoTombstones) {
+  EventLoop loop;
+  std::size_t scheduled = 0, cancelled = 0, fired = 0, late_cancels = 0;
+  std::size_t rounds = 0;
+  EventHandle rto;
+  std::function<void()> ack = [&] {
+    ++fired;
+    if (rto.valid()) {
+      if (loop.cancel(rto)) {
+        ++cancelled;
+      } else {
+        ++late_cancels;  // timer already fired — must not tombstone
+      }
+    }
+    if (scheduled < 10000) {
+      rto = loop.schedule(100, [&] { ++fired; });
+      ++scheduled;
+      // Every 20th ack dawdles past the timer so the cancel arrives late.
+      loop.schedule(++rounds % 20 == 0 ? 150 : 1, ack);
+      ++scheduled;
+    }
+    // pending() counts exactly the scheduled-but-not-fired-or-cancelled
+    // events, and tombstones are bounded by the cancels still inside the
+    // 100-unit re-arm window — not by the whole history of the run.
+    EXPECT_EQ(loop.pending(), scheduled + 1 - fired - cancelled);
+    EXPECT_LE(loop.tombstones(), 150u);
+  };
+  loop.schedule(0, ack);
+  loop.run();
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.tombstones(), 0u);
+  EXPECT_TRUE(loop.idle());
+  EXPECT_GT(cancelled, 4000u);   // the churn actually happened
+  EXPECT_GT(late_cancels, 100u);  // and the late-cancel path was exercised
+}
+
+TEST(EventLoop, PendingMatchesLiveEventsUnderMixedCancellation) {
+  EventLoop loop;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) handles.push_back(loop.schedule(i, [] {}));
+  for (int i = 0; i < 100; i += 2) loop.cancel(handles[i]);
+  EXPECT_EQ(loop.pending(), 50u);
+  EXPECT_EQ(loop.tombstones(), 50u);
+  loop.run(49);  // fires odd-delay events up to t=49, skipping tombstones
+  EXPECT_EQ(loop.pending(), 25u);
+  loop.run();
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.tombstones(), 0u);
+  EXPECT_TRUE(loop.idle());
+}
+
 TEST(TimeFormat, HumanReadableUnits) {
   EXPECT_EQ(format_time(500), "500ns");
   EXPECT_EQ(format_time(1500), "1.500us");
