@@ -1,0 +1,218 @@
+// Failover experiment: the paper's testbed under injected faults.
+//
+// A baseline RUBiS run and a chaos run share one configuration; the chaos
+// run crashes a web VM mid-workload and live-migrates another (locator
+// flip). A 100 ms sampler watches the proxy's health view and the LB HIP
+// daemon's association state, so the emitted BENCH_failover.json carries
+// actual recovery times (fault -> detection -> service restored), not
+// just end-of-run aggregates.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "sim/fault.hpp"
+
+namespace hipcloud::bench {
+namespace {
+
+using core::SecurityMode;
+using core::Testbed;
+using core::TestbedConfig;
+
+constexpr int kConcurrency = 8;
+constexpr sim::Duration kRunFor = 40 * sim::kSecond;
+constexpr sim::Duration kCrashAt = 10 * sim::kSecond;     // after run start
+constexpr sim::Duration kCrashFor = 8 * sim::kSecond;
+constexpr sim::Duration kMigrateAt = 20 * sim::kSecond;
+constexpr sim::Duration kSamplePeriod = 100 * sim::kMillisecond;
+
+TestbedConfig make_config() {
+  TestbedConfig cfg;
+  cfg.deployment.mode = SecurityMode::kHip;
+  cfg.deployment.web_servers = 3;
+  cfg.deployment.hip.keepalive_interval = sim::kSecond;
+  cfg.deployment.hip.keepalive_max_misses = 2;
+  cfg.deployment.proxy_health.max_failures = 2;
+  cfg.deployment.proxy_health.reprobe_interval = 2 * sim::kSecond;
+  cfg.deployment.proxy_health.retry_limit = 1;
+  cfg.deployment.proxy_health.upstream_timeout = 2 * sim::kSecond;
+  return cfg;
+}
+
+struct Sample {
+  sim::Time at;
+  bool proxy_healthy0;
+  bool hip_established0;
+};
+
+struct FailoverResult {
+  apps::LoadReport baseline;
+  apps::LoadReport chaos;
+  // Absolute fault times (virtual).
+  sim::Time t_crash = 0, t_restart = 0, t_migrate = 0;
+  // Recovery metrics, milliseconds of virtual time (-1: never observed).
+  double proxy_detect_ms = -1;    // crash -> backend ejected
+  double proxy_revive_ms = -1;    // restart -> backend back in rotation
+  double hip_detect_ms = -1;      // crash -> association torn down
+  double hip_recover_ms = -1;     // restart -> association re-established
+  std::uint64_t ejections = 0, revivals = 0, retries = 0;
+  std::uint64_t rekeys = 0, keepalives = 0, peer_failures = 0;
+  std::uint64_t updates = 0;
+  bool migrated = false;
+};
+
+/// First sample at/after `from` where `pred` holds; -1 if none.
+template <typename Pred>
+double delay_ms(const std::vector<Sample>& samples, sim::Time from,
+                Pred pred) {
+  for (const auto& s : samples) {
+    if (s.at >= from && pred(s)) return sim::to_millis(s.at - from);
+  }
+  return -1;
+}
+
+FailoverResult run_failover() {
+  FailoverResult out;
+
+  {
+    Testbed tb(make_config());
+    out.baseline = tb.run_closed_loop(kConcurrency, kRunFor);
+  }
+
+  Testbed tb(make_config());
+  auto& loop = tb.network().loop();
+  auto& svc = tb.service();
+  // Start the LB->web2 outbound SA near the 2^32 sequence ceiling so the
+  // run also exercises a proactive rekey.
+  svc.lb_hip()->seek_esp_seq(svc.web_hip(2)->hit(), 0xFFFFFF00u);
+  const sim::Time t0 = loop.now();
+  out.t_crash = t0 + kCrashAt;
+  out.t_restart = t0 + kCrashAt + kCrashFor;
+  out.t_migrate = t0 + kMigrateAt;
+
+  sim::FaultInjector chaos(&loop);
+  net::Node* web0 = svc.web_vms()[0]->node();
+  chaos.window("web0-crash", out.t_crash, kCrashFor,
+               [web0] { web0->set_down(true); },
+               [web0] { web0->set_down(false); });
+  chaos.at("web1-migrate", out.t_migrate, [&] {
+    tb.cloud().migrate(svc.web_vms()[1], tb.cloud().hosts()[0].get(),
+                       [&](const cloud::Cloud::MigrationReport&) {
+                         out.migrated = true;
+                       });
+  });
+
+  // Sampler: the proxy's health view + the LB daemon's association state
+  // towards the crashed VM.
+  std::vector<Sample> samples;
+  const auto web0_hit = svc.web_hip(0)->hit();
+  std::function<void()> sample = [&] {
+    samples.push_back(Sample{
+        loop.now(), svc.proxy().healthy(0),
+        svc.lb_hip()->state(web0_hit) == hip::AssocState::kEstablished});
+    loop.schedule(kSamplePeriod, sample);
+  };
+  loop.schedule(0, sample);
+
+  out.chaos = tb.run_closed_loop(kConcurrency, kRunFor);
+
+  out.proxy_detect_ms =
+      delay_ms(samples, out.t_crash, [](const Sample& s) {
+        return !s.proxy_healthy0;
+      });
+  out.proxy_revive_ms =
+      delay_ms(samples, out.t_restart, [](const Sample& s) {
+        return s.proxy_healthy0;
+      });
+  out.hip_detect_ms = delay_ms(samples, out.t_crash, [](const Sample& s) {
+    return !s.hip_established0;
+  });
+  out.hip_recover_ms =
+      delay_ms(samples, out.t_restart, [](const Sample& s) {
+        return s.hip_established0;
+      });
+
+  const auto& st = svc.lb_hip()->stats();
+  out.ejections = svc.proxy().ejections();
+  out.revivals = svc.proxy().revivals();
+  out.retries = svc.proxy().retries();
+  out.rekeys = st.rekeys_completed;
+  out.keepalives = st.keepalives_sent;
+  out.peer_failures = st.peer_failures;
+  out.updates = st.updates_processed;
+  return out;
+}
+
+void write_json(const FailoverResult& r, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: could not write %s\n", path);
+    return;
+  }
+  const double err_rate =
+      r.chaos.completed + r.chaos.errors > 0
+          ? static_cast<double>(r.chaos.errors) /
+                static_cast<double>(r.chaos.completed + r.chaos.errors)
+          : 0.0;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"title\": \"RUBiS failover under injected faults\",\n");
+  std::fprintf(f, "  \"config\": {\"concurrency\": %d, "
+               "\"run_seconds\": %.0f, \"crash_at_s\": %.0f, "
+               "\"crash_for_s\": %.0f, \"migrate_at_s\": %.0f},\n",
+               kConcurrency, sim::to_seconds(kRunFor),
+               sim::to_seconds(kCrashAt), sim::to_seconds(kCrashFor),
+               sim::to_seconds(kMigrateAt));
+  std::fprintf(f, "  \"baseline\": {\"throughput_rps\": %.4f, "
+               "\"errors\": %llu, \"latency_ms_mean\": %.4f},\n",
+               r.baseline.throughput_rps(),
+               static_cast<unsigned long long>(r.baseline.errors),
+               r.baseline.latency_ms.mean());
+  std::fprintf(f, "  \"chaos\": {\"throughput_rps\": %.4f, "
+               "\"errors\": %llu, \"error_rate\": %.5f, "
+               "\"latency_ms_mean\": %.4f, \"latency_ms_p95\": %.4f},\n",
+               r.chaos.throughput_rps(),
+               static_cast<unsigned long long>(r.chaos.errors), err_rate,
+               r.chaos.latency_ms.mean(), r.chaos.latency_ms.percentile(95));
+  std::fprintf(f, "  \"recovery_ms\": {\"proxy_detect\": %.1f, "
+               "\"proxy_revive\": %.1f, \"hip_dead_peer_detect\": %.1f, "
+               "\"hip_reestablish\": %.1f},\n",
+               r.proxy_detect_ms, r.proxy_revive_ms, r.hip_detect_ms,
+               r.hip_recover_ms);
+  std::fprintf(f, "  \"events\": {\"ejections\": %llu, \"revivals\": %llu, "
+               "\"retries\": %llu, \"rekeys_completed\": %llu, "
+               "\"keepalives_sent\": %llu, \"peer_failures\": %llu, "
+               "\"updates_processed\": %llu, \"migration_completed\": %s}\n",
+               static_cast<unsigned long long>(r.ejections),
+               static_cast<unsigned long long>(r.revivals),
+               static_cast<unsigned long long>(r.retries),
+               static_cast<unsigned long long>(r.rekeys),
+               static_cast<unsigned long long>(r.keepalives),
+               static_cast<unsigned long long>(r.peer_failures),
+               static_cast<unsigned long long>(r.updates),
+               r.migrated ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("Wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace hipcloud::bench
+
+int main() {
+  using namespace hipcloud;
+  std::printf("Failover: baseline vs crash+migration chaos run\n");
+  const auto r = bench::run_failover();
+  std::printf("  baseline: %.1f rps, %llu errors\n",
+              r.baseline.throughput_rps(),
+              static_cast<unsigned long long>(r.baseline.errors));
+  std::printf("  chaos:    %.1f rps, %llu errors\n",
+              r.chaos.throughput_rps(),
+              static_cast<unsigned long long>(r.chaos.errors));
+  std::printf("  proxy: detect %.0f ms, revive %.0f ms  |  hip: dead-peer "
+              "%.0f ms, re-establish %.0f ms\n",
+              r.proxy_detect_ms, r.proxy_revive_ms, r.hip_detect_ms,
+              r.hip_recover_ms);
+  bench::write_json(r, "BENCH_failover.json");
+  return 0;
+}

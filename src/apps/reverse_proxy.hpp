@@ -1,11 +1,34 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "apps/http_client.hpp"
 #include "apps/http_server.hpp"
 
 namespace hipcloud::apps {
+
+/// HAProxy-flavoured failure masking for ReverseProxy. (Namespace-scope
+/// rather than nested so it can be a defaulted constructor argument —
+/// a nested aggregate's member initializers are not parsed early enough
+/// for that.)
+struct ProxyHealthConfig {
+  /// Consecutive upstream failures that eject a backend from rotation
+  /// (HAProxy `fall`).
+  int max_failures = 3;
+  /// How often an ejected backend is re-probed (`inter` for DOWN
+  /// servers).
+  sim::Duration reprobe_interval = 2 * sim::kSecond;
+  /// Path the health probe GETs.
+  std::string probe_path = "/";
+  /// Idempotent (GET) redispatches to an alternate backend after an
+  /// upstream failure; 0 disables retry.
+  int retry_limit = 1;
+  /// Delay before each redispatch.
+  sim::Duration retry_backoff = sim::from_millis(50);
+  /// Per-request upstream timeout (`timeout server`).
+  sim::Duration upstream_timeout = 10 * sim::kSecond;
+};
 
 /// HAProxy-style reverse HTTP proxy / load balancer.
 ///
@@ -14,15 +37,20 @@ namespace hipcloud::apps {
 /// on clients), while the back side addresses the web-server VMs by HIT
 /// or LSI so the proxy's HIP daemon protects everything entering the
 /// cloud. Round-robin balancing matches the paper's HAProxy
-/// configuration.
+/// configuration; health checks and idempotent-retry mirror HAProxy's
+/// `check`/`redispatch` options so a crashed backend is masked from
+/// clients instead of surfacing as 502s.
 class ReverseProxy {
  public:
   enum class Balance { kRoundRobin, kLeastOutstanding };
 
+  using HealthConfig = ProxyHealthConfig;
+
   ReverseProxy(net::Node* node, net::TcpStack* tcp, std::uint16_t port,
                TransportConfig front, TransportConfig back,
                std::vector<net::Endpoint> backends,
-               Balance balance = Balance::kRoundRobin);
+               Balance balance = Balance::kRoundRobin,
+               HealthConfig health = {});
 
   std::uint64_t relayed() const { return relayed_; }
   std::uint64_t errors() const { return errors_; }
@@ -32,18 +60,37 @@ class ReverseProxy {
   /// Total requests dispatched to each backend (index-aligned).
   const std::vector<std::uint64_t>& dispatched() const { return dispatched_; }
 
+  /// Health state (index-aligned with backends()).
+  bool healthy(std::size_t idx) const { return healthy_[idx] != 0; }
+  std::uint64_t ejections() const { return ejections_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t revivals() const { return revivals_; }
+  std::uint64_t retries() const { return retries_; }
+
  private:
   std::size_t pick_backend();
+  void dispatch(HttpRequest req, HttpServer::RespondFn respond, int attempt);
+  void note_failure(std::size_t idx);
+  void eject(std::size_t idx);
+  void probe(std::size_t idx);
 
+  net::Node* node_;
   HttpServer server_;
   HttpClient client_;
   std::vector<net::Endpoint> backends_;
   Balance balance_;
+  HealthConfig health_;
   std::size_t rr_next_ = 0;
   std::vector<int> outstanding_;
   std::vector<std::uint64_t> dispatched_;
+  std::vector<char> healthy_;
+  std::vector<int> consec_failures_;
   std::uint64_t relayed_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t ejections_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t revivals_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace hipcloud::apps

@@ -114,6 +114,9 @@ class Cloud {
                double dirty_page_rate = 0.1);
 
   const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+  const std::vector<std::unique_ptr<Hypervisor>>& hosts() const {
+    return hosts_;
+  }
 
  private:
   net::Ipv4Addr host_subnet(int host_index) const;

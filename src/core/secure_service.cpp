@@ -140,7 +140,8 @@ SecureService::SecureService(net::Network& net, cloud::Cloud& cloud,
   }
   proxy_ = std::make_unique<apps::ReverseProxy>(
       lb_node_, lb_tcp_.get(), config_.frontend_port, lb_front, lb_back,
-      std::move(backends), apps::ReverseProxy::Balance::kRoundRobin);
+      std::move(backends), apps::ReverseProxy::Balance::kRoundRobin,
+      config_.proxy_health);
 }
 
 Endpoint SecureService::web_backend_endpoint(std::size_t i) const {

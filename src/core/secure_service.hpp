@@ -28,6 +28,8 @@ struct DeploymentConfig {
   bool db_query_cache = false;
   apps::RubisConfig dataset;
   hip::HipConfig hip;
+  /// Frontend load-balancer failure masking (health checks + retry).
+  apps::ReverseProxy::HealthConfig proxy_health;
   std::uint64_t seed = 1;
   std::uint16_t frontend_port = 80;
 

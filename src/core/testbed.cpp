@@ -36,9 +36,16 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
                                              config_.deployment);
   client_tcp_ = std::make_unique<net::TcpStack>(client_node_);
 
-  // Pre-establish HIP associations before any measurement.
+  // Pre-establish HIP associations before any measurement. With
+  // keepalive enabled the daemons re-arm probe timers forever, so the
+  // loop never drains — bound the warm-up run instead.
   service_->prepare();
-  net_->loop().run();
+  if (config_.deployment.hip.keepalive_interval > 0 &&
+      config_.deployment.mode == SecurityMode::kHip) {
+    net_->loop().run(net_->loop().now() + 15 * sim::kSecond);
+  } else {
+    net_->loop().run();
+  }
 }
 
 apps::LoadReport Testbed::run_closed_loop(int concurrency,
@@ -57,6 +64,9 @@ apps::LoadReport Testbed::run_closed_loop(int concurrency,
   clients.start([&](const apps::LoadReport& r) {
     report = r;
     done = true;
+    // The measurement is over; stop instead of draining so perpetual
+    // timers (keepalives, health probes) can't keep the run alive.
+    net_->loop().stop();
   });
   net_->loop().run();
   if (!done) report.duration_seconds = 0;  // defensive; should not happen
@@ -80,6 +90,7 @@ apps::LoadReport Testbed::run_open_loop(double rate_rps,
   gen.start([&](const apps::LoadReport& r) {
     report = r;
     done = true;
+    net_->loop().stop();
   });
   net_->loop().run();
   if (!done) report.duration_seconds = 0;

@@ -75,8 +75,8 @@ class HipDaemon::Shim : public net::L3Shim {
       peer = daemon_->peer_for_lsi(dst.v4());
     }
     if (peer) {
-      if (const auto* assoc =
-              const_cast<HipDaemon*>(daemon_)->find_assoc(*peer)) {
+      const HipDaemon& daemon = *daemon_;
+      if (const auto* assoc = daemon.find_assoc(*peer)) {
         // LSI destinations make TCP assume a 20-byte IPv4 header, but the
         // ESP packet travels under the locator's family.
         if (dst.is_lsi() && assoc->peer_locator.is_v6()) overhead += 20;
@@ -112,6 +112,26 @@ HipDaemon::HipDaemon(net::Node* node, HostIdentity identity, HipConfig config)
   node_->register_protocol(IpProto::kHip, [this](Packet&& pkt) {
     on_hip_packet(std::move(pkt));
   });
+
+  // Locator-change detection: a new routable address on a link-backed
+  // interface means the host moved (e.g. a migration landed) — announce
+  // it to every established peer via the UPDATE exchange. Deferred one
+  // event so the caller finishes installing routes for the new address
+  // before the UPDATE tries to leave through them.
+  node_->on_address_change(
+      [this](const IpAddr& addr, std::size_t iface, bool added) {
+        if (!added || addr.is_hit() || addr.is_lsi()) return;
+        if (node_->link_at(iface) == nullptr) return;  // virtual iface
+        const bool scheduled = readdress_pending_.has_value();
+        readdress_pending_ = addr;
+        if (scheduled) return;
+        node_->network().loop().schedule(0, [this] {
+          if (!readdress_pending_) return;
+          const IpAddr locator = *readdress_pending_;
+          readdress_pending_.reset();
+          move_to(locator);
+        });
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -142,6 +162,20 @@ HipDaemon::Association& HipDaemon::assoc_for(const net::Ipv6Addr& peer_hit) {
 HipDaemon::Association* HipDaemon::find_assoc(const net::Ipv6Addr& peer_hit) {
   const auto it = assocs_.find(peer_hit);
   return it == assocs_.end() ? nullptr : &it->second;
+}
+
+const HipDaemon::Association* HipDaemon::find_assoc(
+    const net::Ipv6Addr& peer_hit) const {
+  const auto it = assocs_.find(peer_hit);
+  return it == assocs_.end() ? nullptr : &it->second;
+}
+
+bool HipDaemon::seek_esp_seq(const net::Ipv6Addr& peer_hit,
+                             std::uint32_t seq) {
+  Association* assoc = find_assoc(peer_hit);
+  if (assoc == nullptr || !assoc->sa_out) return false;
+  assoc->sa_out->seek_seq(seq);
+  return true;
 }
 
 std::optional<net::Ipv6Addr> HipDaemon::peer_for_lsi(net::Ipv4Addr lsi) const {
@@ -239,6 +273,15 @@ bool HipDaemon::shim_outbound(Packet& pkt) {
   }
   if (assoc.pending.size() < kMaxPendingPackets) {
     assoc.pending.push_back(std::move(pkt));
+  } else {
+    ++stats_.pending_dropped;
+    if (!assoc.pending_warn_logged) {
+      assoc.pending_warn_logged = true;
+      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
+                      "hip",
+                      node_->name() + ": pending queue full for " +
+                          peer_hit.to_string() + ", dropping outbound");
+    }
   }
   if (assoc.state == AssocState::kUnassociated ||
       assoc.state == AssocState::kFailed) {
@@ -269,10 +312,22 @@ void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
     out.proto = IpProto::kEsp;
     out.payload = assoc->sa_out->protect(static_cast<std::uint8_t>(p.proto),
                                          addr_mode, p.payload);
+    if (out.payload.empty()) {
+      // Outbound SA exhausted its 32-bit sequence space. The packet is
+      // lost (transport retransmits); force a rekey so the next ones
+      // aren't.
+      ++stats_.sa_exhausted_drops;
+      start_rekey(*assoc);
+      return;
+    }
     out.stamp_l3_overhead();
     ++stats_.esp_packets_out;
     stats_.esp_bytes_out += out.payload.size();
     node_->send(std::move(out));
+    if (config_.esp_rekey_threshold != 0 &&
+        assoc->sa_out->remaining_seq() <= config_.esp_rekey_threshold) {
+      start_rekey(*assoc);
+    }
   });
 }
 
@@ -284,14 +339,25 @@ void HipDaemon::on_esp_packet(Packet&& pkt) {
   if (it == spi_to_peer_.end()) return;
   const net::Ipv6Addr peer_hit = it->second;
   const double cycles = esp_cycles(pkt.payload.size());
-  charge(cycles, [this, peer_hit, p = std::move(pkt)]() mutable {
+  charge(cycles, [this, peer_hit, spi, p = std::move(pkt)]() mutable {
     Association* assoc = find_assoc(peer_hit);
     if (assoc == nullptr || assoc->sa_in == nullptr) return;
-    auto inner = assoc->sa_in->unprotect(p.payload);
+    // Dispatch by SPI: packets protected just before a rekey still carry
+    // the superseded SPI and decode via the grace-period SA.
+    EspSa* sa = assoc->sa_in.get();
+    if (spi != sa->spi()) {
+      if (assoc->old_sa_in != nullptr && spi == assoc->old_spi_in) {
+        sa = assoc->old_sa_in.get();
+      } else {
+        return;
+      }
+    }
+    auto inner = sa->unprotect(p.payload);
     if (!inner) {
       ++stats_.auth_failures;
       return;
     }
+    assoc->last_heard = node_->network().loop().now();
     ++stats_.esp_packets_in;
     stats_.esp_bytes_in += p.payload.size();
 
@@ -401,6 +467,14 @@ void HipDaemon::cancel_retry(Association& assoc) {
 
 void HipDaemon::fail_association(Association& assoc) {
   assoc.state = AssocState::kFailed;
+  if (!assoc.pending.empty()) {
+    stats_.pending_failed += assoc.pending.size();
+    sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
+                    "hip",
+                    node_->name() + ": dropping " +
+                        std::to_string(assoc.pending.size()) +
+                        " pending packets for " + assoc.peer_hit.to_string());
+  }
   assoc.pending.clear();
   cancel_retry(assoc);
   ++stats_.bex_failed;
@@ -671,9 +745,26 @@ void HipDaemon::handle_i2(const HipMessage& msg, const Packet& pkt) {
   charge(cycles, [this, peer_hit, peer_spi, suite, keymat, hi_copy,
                   initiator_locator] {
     Association& assoc = assoc_for(peer_hit);
-    if (assoc.state == AssocState::kEstablished) {
-      // Duplicate I2 (e.g. our R2 was lost): re-send R2 idempotently.
+    const bool duplicate_i2 = assoc.state == AssocState::kEstablished &&
+                              assoc.spi_out == peer_spi;
+    if (duplicate_i2) {
+      // Same exchange, our R2 was lost: re-send R2 idempotently.
     } else {
+      // Fresh exchange — including a re-BEX from a peer that tore down
+      // its side (crash, dead-peer timeout) while we still held the old
+      // association. Retire every stale SA/SPI before installing anew;
+      // reusing the old inbound SA would reject the restarted peer's
+      // low sequence numbers as replays.
+      if (assoc.state == AssocState::kEstablished) {
+        cancel_recovery_timers(assoc);
+        if (assoc.sa_in) spi_to_peer_.erase(assoc.spi_in);
+        if (assoc.old_sa_in) spi_to_peer_.erase(assoc.old_spi_in);
+        assoc.old_sa_in.reset();
+        assoc.old_spi_in = 0;
+        assoc.rekey_generation = 0;
+        assoc.rekey_in_flight = false;
+        assoc.state = AssocState::kUnassociated;
+      }
       assoc.peer_hi = hi_copy;
       assoc.peer_locator = initiator_locator;
       assoc.keymat = keymat;
@@ -745,6 +836,9 @@ void HipDaemon::handle_r2(const HipMessage& msg, const Packet& pkt) {
 void HipDaemon::establish(Association& assoc, sim::Duration latency) {
   assoc.state = AssocState::kEstablished;
   assoc.retries = 0;
+  assoc.last_heard = node_->network().loop().now();
+  assoc.keepalive_misses = 0;
+  if (!assoc.keepalive_armed) arm_keepalive(assoc);
   ++stats_.bex_completed;
   sim::Log::write(sim::LogLevel::kInfo, node_->network().loop().now(), "hip",
                   node_->name() + ": association with " +
@@ -801,21 +895,154 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
   }
 
   const net::Ipv6Addr peer_hit = msg.sender_hit;
+  assoc->last_heard = node_->network().loop().now();
 
-  // Echo response to our own earlier UPDATE?
+  const Bytes* esp_info = msg.param(ParamType::kEspInfo);
+  const auto ack_seq = msg.u64(ParamType::kAck);
+
+  // Rekey acknowledgement: the responder installed generation g+1 and
+  // tells us its fresh inbound SPI. Install our side symmetrically.
+  if (ack_seq && esp_info != nullptr && assoc->rekey_in_flight) {
+    if (esp_info->size() != 5) return;
+    const auto peer_spi =
+        static_cast<std::uint32_t>(crypto::read_be(*esp_info, 0, 4));
+    const auto suite = static_cast<EspSuite>((*esp_info)[4]);
+    const std::uint32_t gen = assoc->rekey_generation + 1;
+    assoc->keymat.ratchet_esp(gen);
+    retire_old_sa_in(*assoc);
+    assoc->spi_out = peer_spi;
+    assoc->spi_in = assoc->rekey_new_spi_in;
+    spi_to_peer_[assoc->spi_in] = peer_hit;
+    assoc->sa_out = std::make_unique<EspSa>(peer_spi, suite,
+                                            assoc->keymat.esp_enc_out,
+                                            assoc->keymat.esp_auth_out);
+    assoc->sa_in = std::make_unique<EspSa>(assoc->spi_in, suite,
+                                           assoc->keymat.esp_enc_in,
+                                           assoc->keymat.esp_auth_in);
+    assoc->rekey_generation = gen;
+    assoc->rekey_in_flight = false;
+    if (assoc->rekey_timer_armed) {
+      node_->network().loop().cancel(assoc->rekey_timer);
+      assoc->rekey_timer_armed = false;
+    }
+    ++stats_.rekeys_completed;
+    ++stats_.updates_processed;
+    sim::Log::write(sim::LogLevel::kInfo, node_->network().loop().now(),
+                    "hip",
+                    node_->name() + ": rekeyed with " + peer_hit.to_string() +
+                        " (generation " + std::to_string(gen) + ")");
+    return;
+  }
+
+  // Echo response: confirms our mobility UPDATE or answers a keepalive.
   if (const auto echoed = msg.u64(ParamType::kEchoResponseSigned)) {
     if (*echoed == assoc->echo_nonce && assoc->locator_in_flight) {
       assoc->locator_in_flight.reset();
       ++stats_.updates_processed;
+    } else if (*echoed == assoc->keepalive_nonce) {
+      assoc->keepalive_misses = 0;
     }
+    return;
+  }
+
+  const Bytes* locator_param = msg.param(ParamType::kLocator);
+  const auto seq = msg.u64(ParamType::kSeq);
+  const auto nonce = msg.u64(ParamType::kEchoRequestSigned);
+
+  // Rekey request (ESP_INFO + SEQ, no LOCATOR): peer wants generation
+  // g+1. Both sides ratchet the ESP keys independently from the shared
+  // keymat, so no new DH is needed — fresh SPIs, fresh replay windows.
+  if (esp_info != nullptr && seq && locator_param == nullptr) {
+    if (esp_info->size() != 5) return;
+    if (*seq <= assoc->update_seq_in_seen) {
+      // Retransmit of a rekey we already applied (our ack was lost):
+      // re-acknowledge with the SPI installed back then.
+      if (*seq == assoc->last_rekey_seq && assoc->sa_in != nullptr) {
+        HipMessage re_ack;
+        re_ack.type = MsgType::kUpdate;
+        re_ack.sender_hit = identity_.hit();
+        re_ack.receiver_hit = peer_hit;
+        re_ack.set_u64(ParamType::kAck, *seq);
+        Bytes info;
+        crypto::append_be(info, assoc->spi_in, 4);
+        info.push_back(static_cast<std::uint8_t>(assoc->sa_in->suite()));
+        re_ack.set_param(ParamType::kEspInfo, std::move(info));
+        re_ack.set_param(ParamType::kSignature,
+                         identity_.sign(re_ack.signed_view()));
+        re_ack.attach_hmac(assoc->keymat.hip_hmac_out);
+        send_control(re_ack, assoc->peer_locator);
+      }
+      return;
+    }
+    if (assoc->rekey_in_flight) {
+      // Simultaneous rekey: the larger HIT's exchange wins (mirrors the
+      // BEX tie-break); the smaller side abandons its own attempt and
+      // answers the peer's.
+      if (identity_.hit() > peer_hit) return;
+      assoc->rekey_in_flight = false;
+      if (assoc->rekey_timer_armed) {
+        node_->network().loop().cancel(assoc->rekey_timer);
+        assoc->rekey_timer_armed = false;
+      }
+    }
+    assoc->update_seq_in_seen = *seq;
+    assoc->last_rekey_seq = *seq;
+    const auto peer_spi =
+        static_cast<std::uint32_t>(crypto::read_be(*esp_info, 0, 4));
+    const auto suite = static_cast<EspSuite>((*esp_info)[4]);
+    const std::uint32_t gen = assoc->rekey_generation + 1;
+    assoc->keymat.ratchet_esp(gen);
+    retire_old_sa_in(*assoc);
+    assoc->spi_out = peer_spi;
+    assoc->spi_in = fresh_spi();
+    spi_to_peer_[assoc->spi_in] = peer_hit;
+    assoc->sa_out = std::make_unique<EspSa>(peer_spi, suite,
+                                            assoc->keymat.esp_enc_out,
+                                            assoc->keymat.esp_auth_out);
+    assoc->sa_in = std::make_unique<EspSa>(assoc->spi_in, suite,
+                                           assoc->keymat.esp_enc_in,
+                                           assoc->keymat.esp_auth_in);
+    assoc->rekey_generation = gen;
+    ++stats_.rekeys_completed;
+    ++stats_.updates_processed;
+
+    HipMessage rekey_ack;
+    rekey_ack.type = MsgType::kUpdate;
+    rekey_ack.sender_hit = identity_.hit();
+    rekey_ack.receiver_hit = peer_hit;
+    rekey_ack.set_u64(ParamType::kAck, *seq);
+    Bytes info;
+    crypto::append_be(info, assoc->spi_in, 4);
+    info.push_back(static_cast<std::uint8_t>(suite));
+    rekey_ack.set_param(ParamType::kEspInfo, std::move(info));
+    rekey_ack.set_param(ParamType::kSignature,
+                        identity_.sign(rekey_ack.signed_view()));
+    rekey_ack.attach_hmac(assoc->keymat.hip_hmac_out);
+    send_control(rekey_ack, assoc->peer_locator);
+    return;
+  }
+
+  // Keepalive probe (bare ECHO_REQUEST): answer so the peer knows we are
+  // alive; no state changes.
+  if (locator_param == nullptr && !seq && nonce) {
+    charge(sign_cycles(), [this, peer_hit, nonce = *nonce] {
+      Association* assoc = find_assoc(peer_hit);
+      if (assoc == nullptr) return;
+      HipMessage pong;
+      pong.type = MsgType::kUpdate;
+      pong.sender_hit = identity_.hit();
+      pong.receiver_hit = peer_hit;
+      pong.set_u64(ParamType::kEchoResponseSigned, nonce);
+      pong.set_param(ParamType::kSignature,
+                     identity_.sign(pong.signed_view()));
+      pong.attach_hmac(assoc->keymat.hip_hmac_out);
+      send_control(pong, assoc->peer_locator);
+    });
     return;
   }
 
   // Peer announces a new locator: verify, adopt, echo the nonce back
   // (the replay protection the paper describes for HIP mobility).
-  const Bytes* locator_param = msg.param(ParamType::kLocator);
-  const auto seq = msg.u64(ParamType::kSeq);
-  const auto nonce = msg.u64(ParamType::kEchoRequestSigned);
   if (locator_param == nullptr || !seq || !nonce) return;
   if (*seq <= assoc->update_seq_in_seen) return;  // stale or replayed
   const auto new_locator = decode_locator(*locator_param);
@@ -839,6 +1066,166 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
     send_control(ack, assoc->peer_locator);
   });
   (void)pkt;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: rekey, keepalive, dead-peer teardown
+
+void HipDaemon::start_rekey(Association& assoc) {
+  if (assoc.rekey_in_flight || assoc.state != AssocState::kEstablished) {
+    return;
+  }
+  assoc.rekey_in_flight = true;
+  assoc.rekey_retries = 0;
+  assoc.rekey_new_spi_in = fresh_spi();
+  ++assoc.update_seq_out;
+  ++stats_.rekeys_initiated;
+  send_rekey_update(assoc);
+}
+
+void HipDaemon::send_rekey_update(Association& assoc) {
+  HipMessage update;
+  update.type = MsgType::kUpdate;
+  update.sender_hit = identity_.hit();
+  update.receiver_hit = assoc.peer_hit;
+  Bytes esp_info;
+  crypto::append_be(esp_info, assoc.rekey_new_spi_in, 4);
+  esp_info.push_back(static_cast<std::uint8_t>(config_.esp_suite));
+  update.set_param(ParamType::kEspInfo, std::move(esp_info));
+  update.set_u64(ParamType::kSeq, assoc.update_seq_out);
+  update.set_param(ParamType::kSignature,
+                   identity_.sign(update.signed_view()));
+  update.attach_hmac(assoc.keymat.hip_hmac_out);
+  send_control(update, assoc.peer_locator);
+
+  const net::Ipv6Addr peer = assoc.peer_hit;
+  if (assoc.rekey_timer_armed) {
+    node_->network().loop().cancel(assoc.rekey_timer);
+  }
+  assoc.rekey_timer = node_->network().loop().schedule(
+      config_.bex_retry, [this, peer] {
+        Association* a = find_assoc(peer);
+        if (a == nullptr) return;
+        a->rekey_timer_armed = false;
+        if (!a->rekey_in_flight) return;
+        if (++a->rekey_retries > config_.bex_max_retries) {
+          // Give up: the SA keeps running on its old keys (keepalive
+          // handles a genuinely dead peer) and the next send below the
+          // threshold retries the rollover.
+          a->rekey_in_flight = false;
+          return;
+        }
+        send_rekey_update(*a);
+      });
+  assoc.rekey_timer_armed = true;
+}
+
+void HipDaemon::retire_old_sa_in(Association& assoc) {
+  if (assoc.old_sa_in != nullptr) {
+    // Back-to-back rekeys: the previous generation's grace ends now.
+    spi_to_peer_.erase(assoc.old_spi_in);
+    if (assoc.grace_armed) {
+      node_->network().loop().cancel(assoc.grace_timer);
+      assoc.grace_armed = false;
+    }
+  }
+  assoc.old_sa_in = std::move(assoc.sa_in);
+  assoc.old_spi_in = assoc.spi_in;
+  if (assoc.old_sa_in == nullptr) return;
+  const net::Ipv6Addr peer = assoc.peer_hit;
+  assoc.grace_timer =
+      node_->network().loop().schedule(config_.rekey_grace, [this, peer] {
+        Association* a = find_assoc(peer);
+        if (a == nullptr) return;
+        a->grace_armed = false;
+        if (a->old_sa_in != nullptr) {
+          spi_to_peer_.erase(a->old_spi_in);
+          a->old_sa_in.reset();
+          a->old_spi_in = 0;
+        }
+      });
+  assoc.grace_armed = true;
+}
+
+void HipDaemon::arm_keepalive(Association& assoc) {
+  if (config_.keepalive_interval <= 0) return;
+  const net::Ipv6Addr peer = assoc.peer_hit;
+  assoc.keepalive_timer = node_->network().loop().schedule(
+      config_.keepalive_interval, [this, peer] {
+        Association* a = find_assoc(peer);
+        if (a == nullptr) return;
+        a->keepalive_armed = false;
+        if (a->state != AssocState::kEstablished) return;
+        const sim::Time now = node_->network().loop().now();
+        if (now - a->last_heard < config_.keepalive_interval) {
+          // Data traffic is keeping the association demonstrably alive.
+          a->keepalive_misses = 0;
+          arm_keepalive(*a);
+          return;
+        }
+        if (a->keepalive_misses >= config_.keepalive_max_misses) {
+          ++stats_.peer_failures;
+          sim::Log::write(sim::LogLevel::kWarn, now, "hip",
+                          node_->name() + ": peer " + peer.to_string() +
+                              " declared dead after " +
+                              std::to_string(a->keepalive_misses) +
+                              " missed keepalives");
+          reset_association(*a);
+          return;
+        }
+        ++a->keepalive_misses;
+        a->keepalive_nonce = crypto::read_be(drbg_.generate(8), 0, 8);
+        HipMessage probe;
+        probe.type = MsgType::kUpdate;
+        probe.sender_hit = identity_.hit();
+        probe.receiver_hit = peer;
+        probe.set_u64(ParamType::kEchoRequestSigned, a->keepalive_nonce);
+        probe.set_param(ParamType::kSignature,
+                        identity_.sign(probe.signed_view()));
+        probe.attach_hmac(a->keymat.hip_hmac_out);
+        send_control(probe, a->peer_locator);
+        ++stats_.keepalives_sent;
+        arm_keepalive(*a);
+      });
+  assoc.keepalive_armed = true;
+}
+
+void HipDaemon::cancel_recovery_timers(Association& assoc) {
+  auto& loop = node_->network().loop();
+  if (assoc.rekey_timer_armed) {
+    loop.cancel(assoc.rekey_timer);
+    assoc.rekey_timer_armed = false;
+  }
+  if (assoc.grace_armed) {
+    loop.cancel(assoc.grace_timer);
+    assoc.grace_armed = false;
+  }
+  if (assoc.keepalive_armed) {
+    loop.cancel(assoc.keepalive_timer);
+    assoc.keepalive_armed = false;
+  }
+}
+
+void HipDaemon::reset_association(Association& assoc) {
+  cancel_retry(assoc);
+  cancel_recovery_timers(assoc);
+  if (assoc.sa_in != nullptr) spi_to_peer_.erase(assoc.spi_in);
+  if (assoc.old_sa_in != nullptr) spi_to_peer_.erase(assoc.old_spi_in);
+  assoc.sa_in.reset();
+  assoc.sa_out.reset();
+  assoc.old_sa_in.reset();
+  assoc.spi_in = assoc.spi_out = assoc.old_spi_in = 0;
+  assoc.rekey_in_flight = false;
+  assoc.rekey_generation = 0;
+  assoc.keepalive_misses = 0;
+  assoc.locator_in_flight.reset();
+  if (!assoc.pending.empty()) {
+    stats_.pending_failed += assoc.pending.size();
+    assoc.pending.clear();
+  }
+  // Peer locator and HI are kept: the next outbound packet re-triggers a
+  // full BEX through shim_outbound, which is the recovery path.
+  assoc.state = AssocState::kUnassociated;
 }
 
 // ---------------------------------------------------------------------------
@@ -872,7 +1259,10 @@ void HipDaemon::handle_close(const HipMessage& msg) {
   ack.attach_hmac(assoc->keymat.hip_hmac_out);
   send_control(ack, assoc->peer_locator);
 
+  cancel_retry(*assoc);
+  cancel_recovery_timers(*assoc);
   spi_to_peer_.erase(assoc->spi_in);
+  if (assoc->old_sa_in != nullptr) spi_to_peer_.erase(assoc->old_spi_in);
   assocs_.erase(msg.sender_hit);
 }
 
@@ -880,7 +1270,10 @@ void HipDaemon::handle_close_ack(const HipMessage& msg) {
   Association* assoc = find_assoc(msg.sender_hit);
   if (assoc == nullptr || assoc->state != AssocState::kClosing) return;
   if (!msg.check_hmac(assoc->keymat.hip_hmac_in)) return;
+  cancel_retry(*assoc);
+  cancel_recovery_timers(*assoc);
   spi_to_peer_.erase(assoc->spi_in);
+  if (assoc->old_sa_in != nullptr) spi_to_peer_.erase(assoc->old_spi_in);
   assocs_.erase(msg.sender_hit);
 }
 

@@ -35,6 +35,19 @@ struct HipConfig {
   crypto::CostModel costs;
   /// Our own LSI (HIPL convention assigns 1.0.0.1 to self).
   net::Ipv4Addr local_lsi = net::Ipv4Addr(1, 0, 0, 1);
+  /// Rekey the ESP SAs once the outbound SA has this few sequence numbers
+  /// left (RFC 4303 forbids seq wrap; 0 disables proactive rekeying —
+  /// exhaustion still forces one).
+  std::uint64_t esp_rekey_threshold = 0x10000;
+  /// How long the superseded inbound SA keeps decoding in-flight packets
+  /// after a rekey before its SPI is retired.
+  sim::Duration rekey_grace = sim::kSecond;
+  /// Established-state keepalive: probe the peer when nothing authentic
+  /// has been heard for this long (0 disables dead-peer detection).
+  sim::Duration keepalive_interval = 0;
+  /// Unanswered probes tolerated before the association is torn back to
+  /// kUnassociated (traffic then re-triggers BEX).
+  int keepalive_max_misses = 3;
 };
 
 /// Association state (RFC 5201 §4.4, abbreviated).
@@ -122,10 +135,27 @@ class HipDaemon {
     std::uint64_t auth_failures = 0;
     std::uint64_t updates_processed = 0;
     std::uint64_t r1_sent = 0;
+    /// Outbound packets discarded because the pre-BEX pending queue was
+    /// full, and packets thrown away when an association failed or was
+    /// torn down with traffic still queued.
+    std::uint64_t pending_dropped = 0;
+    std::uint64_t pending_failed = 0;
+    /// SA rollover before sequence exhaustion.
+    std::uint64_t rekeys_initiated = 0;
+    std::uint64_t rekeys_completed = 0;
+    std::uint64_t sa_exhausted_drops = 0;
+    /// Dead-peer detection.
+    std::uint64_t keepalives_sent = 0;
+    std::uint64_t peer_failures = 0;
   };
   const Stats& stats() const { return stats_; }
   std::uint8_t current_puzzle_difficulty() const;
   const HipConfig& config() const { return config_; }
+
+  /// Test hook: jump the outbound ESP sequence counter for `peer_hit`
+  /// towards 2^32 so exhaustion/rekey paths can be exercised without
+  /// protecting billions of packets. Returns false if no established SA.
+  bool seek_esp_seq(const net::Ipv6Addr& peer_hit, std::uint32_t seq);
 
  private:
   class Shim;
@@ -152,6 +182,27 @@ class HipDaemon {
     std::uint64_t update_seq_in_seen = 0;
     std::uint64_t echo_nonce = 0;
     std::optional<net::IpAddr> locator_in_flight;
+    // Rekey (SA rollover before 2^32 seq exhaustion). The superseded
+    // inbound SA stays in old_sa_in for a grace period so packets
+    // protected just before the switch still decode.
+    std::uint32_t rekey_generation = 0;
+    bool rekey_in_flight = false;
+    std::uint32_t rekey_new_spi_in = 0;
+    int rekey_retries = 0;
+    sim::EventHandle rekey_timer;
+    bool rekey_timer_armed = false;
+    std::uint64_t last_rekey_seq = 0;
+    std::unique_ptr<EspSa> old_sa_in;
+    std::uint32_t old_spi_in = 0;
+    sim::EventHandle grace_timer;
+    bool grace_armed = false;
+    // Keepalive / dead-peer detection.
+    sim::Time last_heard = 0;
+    sim::EventHandle keepalive_timer;
+    bool keepalive_armed = false;
+    int keepalive_misses = 0;
+    std::uint64_t keepalive_nonce = 0;
+    bool pending_warn_logged = false;
   };
 
   // Shim/datapath.
@@ -177,9 +228,18 @@ class HipDaemon {
   void handle_close_ack(const HipMessage& msg);
   void handle_rvs_register(const HipMessage& msg, const net::Packet& pkt);
 
+  // Recovery: rekey, dead-peer detection, teardown.
+  void start_rekey(Association& assoc);
+  void send_rekey_update(Association& assoc);
+  void retire_old_sa_in(Association& assoc);
+  void arm_keepalive(Association& assoc);
+  void reset_association(Association& assoc);
+  void cancel_recovery_timers(Association& assoc);
+
   // Helpers.
   Association& assoc_for(const net::Ipv6Addr& peer_hit);
   Association* find_assoc(const net::Ipv6Addr& peer_hit);
+  const Association* find_assoc(const net::Ipv6Addr& peer_hit) const;
   void send_control(const HipMessage& msg, const net::IpAddr& dst,
                     std::optional<net::IpAddr> src = std::nullopt);
   void charge(double cycles, std::function<void()> then);
@@ -217,6 +277,9 @@ class HipDaemon {
   Stats stats_;
   EstablishedFn on_established_;
   LocatorChangeFn on_locator_change_;
+  // Locator add seen but not yet announced (the announce is deferred one
+  // event so the caller can finish installing routes first).
+  std::optional<net::IpAddr> readdress_pending_;
 };
 
 }  // namespace hipcloud::hip

@@ -72,6 +72,14 @@ Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
   // prefix. (The seed implementation made ~5 heap allocations per packet
   // via plaintext/ciphertext/icv temporaries; this is the hot loop behind
   // the paper's Fig. 2 ESP cost.)
+  if (exhausted_) return {};
+  if (next_seq_ == 0) {
+    // 2^32 - 1 was the last valid sequence number. Wrapping to 0 would
+    // blackhole the SA permanently (seq 0 is always rejected by the
+    // peer's replay check), so refuse instead and let the caller rekey.
+    exhausted_ = true;
+    return {};
+  }
   const std::size_t pt_len = 2 + payload.size();
   const std::size_t ct_len = suite_ == EspSuite::kAes128CbcSha256
                                  ? crypto::aes_cbc_padded_len(pt_len)

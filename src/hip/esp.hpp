@@ -45,9 +45,30 @@ class EspSa {
   EspSuite suite() const { return suite_; }
 
   /// Protect a transport payload for transmission. Sequence numbers
-  /// increment per call.
+  /// increment per call. Once the 32-bit sequence space is spent the SA
+  /// is exhausted: returns an empty buffer and sets exhausted() instead
+  /// of wrapping to 0, which the peer's anti-replay window would reject
+  /// forever (RFC 4303 forbids wrap; the daemon rekeys well before this).
   crypto::Bytes protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
                         crypto::BytesView payload);
+
+  /// True once protect() has consumed the final sequence number. The SA
+  /// can no longer send; only a rekey (fresh SA) recovers.
+  bool exhausted() const { return exhausted_; }
+
+  /// Sequence numbers left before exhaustion. (next_seq_ == 0 means the
+  /// counter already wrapped; the next protect() will flag exhaustion.)
+  std::uint64_t remaining_seq() const {
+    if (exhausted_ || next_seq_ == 0) return 0;
+    return 0x1'0000'0000ULL - next_seq_;
+  }
+
+  /// Test hook: jump the outbound sequence counter (e.g. to just below
+  /// 2^32 - 1) without protecting billions of packets.
+  void seek_seq(std::uint32_t seq) {
+    next_seq_ = seq;
+    exhausted_ = false;
+  }
 
   struct Unprotected {
     std::uint8_t inner_proto;
@@ -75,6 +96,7 @@ class EspSa {
   std::optional<crypto::Aes> cipher_;  // absent for NULL suite
   crypto::HmacSha256 hmac_;  // keyed once; reset per packet
   std::uint32_t next_seq_ = 1;
+  bool exhausted_ = false;
   std::uint64_t iv_counter_ = 1;
 
   // 64-entry sliding anti-replay window (RFC 4303 §3.4.3).

@@ -46,4 +46,16 @@ Keymat Keymat::derive(BytesView dh_secret, const net::Ipv6Addr& local_hit,
   return keymat;
 }
 
+void Keymat::ratchet_esp(std::uint32_t generation) {
+  Bytes label = crypto::to_bytes("esp rekey");
+  crypto::append_be(label, generation, 4);
+  const auto step = [&label](Bytes& key) {
+    key = crypto::hmac_sha256(key, label);
+  };
+  step(esp_enc_out);
+  step(esp_auth_out);
+  step(esp_enc_in);
+  step(esp_auth_in);
+}
+
 }  // namespace hipcloud::hip

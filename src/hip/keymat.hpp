@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "crypto/bytes.hpp"
 #include "net/address.hpp"
 
@@ -23,6 +25,14 @@ struct Keymat {
   static Keymat derive(crypto::BytesView dh_secret,
                        const net::Ipv6Addr& local_hit,
                        const net::Ipv6Addr& peer_hit);
+
+  /// One-way ratchet of the four directional ESP keys to rekey
+  /// generation `generation` (new key = HMAC(old key, label || gen)).
+  /// My "out" keys are the peer's "in" keys, so both ends derive the
+  /// same generation independently — no new DH exchange needed. The HIP
+  /// HMAC keys are deliberately left alone: control messages from before
+  /// and after the rollover must both verify.
+  void ratchet_esp(std::uint32_t generation);
 };
 
 }  // namespace hipcloud::hip

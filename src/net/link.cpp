@@ -40,8 +40,9 @@ bool Link::transmit(Packet pkt, const Node* from) {
                     "MTU drop " + pkt.describe());
     return false;
   }
-  if (config_.loss_rate > 0.0 &&
-      net_.rng().uniform() < config_.loss_rate) {
+  const double loss =
+      config_.loss_rate + fault_loss_ - config_.loss_rate * fault_loss_;
+  if (loss > 0.0 && net_.rng().uniform() < loss) {
     ++dropped_;
     return false;
   }
@@ -64,7 +65,7 @@ bool Link::transmit(Packet pkt, const Node* from) {
   Node* to = dir.to;
   // Destination interface index: found at delivery time to keep Link
   // independent of attachment order.
-  const sim::Time arrival = dir.busy_until + config_.latency;
+  const sim::Time arrival = dir.busy_until + config_.latency + fault_latency_;
   loop.schedule_at(arrival, [to, this, p = std::move(pkt)]() mutable {
     std::size_t iface = 0;
     for (std::size_t i = 0; i < to->interface_count(); ++i) {

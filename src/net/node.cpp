@@ -44,11 +44,16 @@ std::size_t Node::attach_link(Link* link) {
 
 void Node::add_address(std::size_t iface, const IpAddr& addr) {
   ifaces_.at(iface).addrs.push_back(addr);
+  for (const auto& fn : addr_observers_) fn(addr, iface, true);
 }
 
 void Node::remove_address(std::size_t iface, const IpAddr& addr) {
   auto& addrs = ifaces_.at(iface).addrs;
+  const auto before = addrs.size();
   std::erase(addrs, addr);
+  if (addrs.size() != before) {
+    for (const auto& fn : addr_observers_) fn(addr, iface, false);
+  }
 }
 
 void Node::remove_routes_via(std::size_t iface) {
@@ -135,6 +140,7 @@ std::size_t Node::path_overhead(const IpAddr& dst) const {
 }
 
 void Node::send(Packet pkt) {
+  if (down_) return;
   for (const auto& shim : shims_) {
     if (shim->outbound(pkt)) return;  // consumed; shim re-injects
   }
@@ -142,6 +148,7 @@ void Node::send(Packet pkt) {
 }
 
 void Node::send_raw(Packet pkt) {
+  if (down_) return;
   // Loopback: packets to our own address short-circuit through the stack
   // with no wire cost (matches OS loopback behaviour).
   if (owns_address(pkt.dst)) {
@@ -162,6 +169,7 @@ void Node::send_raw(Packet pkt) {
 }
 
 void Node::deliver(Packet&& pkt, std::size_t in_iface) {
+  if (down_) return;  // crashed: in-flight packets vanish
   if (owns_address(pkt.dst)) {
     local_deliver(std::move(pkt));
     return;
@@ -191,6 +199,7 @@ void Node::deliver(Packet&& pkt, std::size_t in_iface) {
 }
 
 void Node::local_deliver(Packet&& pkt) {
+  if (down_) return;
   ++received_packets_;
   for (const auto& shim : shims_) {
     if (shim->inbound(pkt)) return;

@@ -47,6 +47,13 @@ class Node {
   /// Return false to drop instead of forwarding; may rewrite the packet.
   using ForwardHook = std::function<bool(Packet&, std::size_t in_iface)>;
 
+  /// Observer for address add/remove on link-backed or virtual
+  /// interfaces. HIP subscribes to this to detect "the VM just got a new
+  /// locator" (migration landed) and kick off the UPDATE readdressing
+  /// exchange without the test having to call move_to() by hand.
+  using AddressChangeFn =
+      std::function<void(const IpAddr& addr, std::size_t iface, bool added)>;
+
   Node(Network& net, std::string name, double cpu_cycles_per_second);
   virtual ~Node() = default;
 
@@ -79,6 +86,18 @@ class Node {
   std::size_t add_virtual_interface() { return attach_link(nullptr); }
   std::size_t interface_count() const { return ifaces_.size(); }
   Link* link_at(std::size_t iface) const { return ifaces_[iface].link; }
+
+  void on_address_change(AddressChangeFn fn) {
+    addr_observers_.push_back(std::move(fn));
+  }
+
+  /// --- fault injection -------------------------------------------------
+  /// A crashed node loses everything in flight: sends are dropped on the
+  /// floor and deliveries are discarded before any handler or shim runs.
+  /// Restarting (set_down(false)) keeps addresses, routes and protocol
+  /// state — the transport/HIP layers above decide what survived.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
 
   /// --- routing -------------------------------------------------------
   /// Longest-prefix-match table. `prefix_len` counts bits; v4 and v6
@@ -135,7 +154,9 @@ class Node {
   std::map<IpProto, ProtoHandler> proto_handlers_;
   std::vector<std::shared_ptr<L3Shim>> shims_;
   ForwardHook forward_hook_;
+  std::vector<AddressChangeFn> addr_observers_;
   bool forwarding_ = false;
+  bool down_ = false;
   std::uint64_t sent_packets_ = 0;
   std::uint64_t received_packets_ = 0;
   std::uint64_t forwarded_packets_ = 0;

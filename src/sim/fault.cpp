@@ -1,0 +1,61 @@
+#include "sim/fault.hpp"
+
+#include <utility>
+
+namespace hipcloud::sim {
+
+void FaultInjector::fire(const std::string& name, bool activate,
+                         const Action& action) {
+  timeline_.push_back(Event{name, loop_->now(), activate});
+  if (activate) {
+    ++injected_;
+    ++active_;
+  } else if (active_ > 0) {
+    --active_;
+  }
+  if (action) action();
+}
+
+void FaultInjector::window(std::string name, Time start, Duration duration,
+                           Action apply, Action revert) {
+  loop_->schedule_at(start, [this, name, apply = std::move(apply)] {
+    fire(name, true, apply);
+  });
+  if (revert) {
+    loop_->schedule_at(start + duration,
+                       [this, name = std::move(name),
+                        revert = std::move(revert)] {
+                         fire(name, false, revert);
+                       });
+  }
+}
+
+void FaultInjector::at(std::string name, Time start, Action apply) {
+  loop_->schedule_at(start, [this, name = std::move(name),
+                             apply = std::move(apply)] {
+    fire(name, true, apply);
+    // A one-shot fault is not a window; it does not stay "active".
+    if (active_ > 0) --active_;
+  });
+}
+
+void FaultInjector::random_windows(std::string name, Time from, Time until,
+                                   Duration mean_gap, Duration min_duration,
+                                   Duration max_duration, Action apply,
+                                   Action revert) {
+  // Pre-compute the whole schedule now so it depends only on the seed and
+  // the call order, never on what else the event loop interleaves.
+  Time t = from;
+  int index = 0;
+  while (true) {
+    t += static_cast<Duration>(
+        rng_.exponential(static_cast<double>(mean_gap)));
+    if (t >= until) break;
+    const auto dur = static_cast<Duration>(rng_.uniform(
+        static_cast<double>(min_duration), static_cast<double>(max_duration)));
+    window(name + "#" + std::to_string(index++), t, dur, apply, revert);
+    t += dur;
+  }
+}
+
+}  // namespace hipcloud::sim

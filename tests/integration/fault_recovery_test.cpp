@@ -1,0 +1,90 @@
+// Chaos test: the full paper testbed (clients -> LB -> HIP-protected
+// web/db VMs) survives a backend crash and a live-migration locator flip
+// injected mid-workload. Clients must see a bounded error rate, the
+// proxy must eject and revive the crashed backend, and the HIP layer
+// must rekey and re-establish associations without manual intervention.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "sim/fault.hpp"
+
+namespace hipcloud::core {
+namespace {
+
+TEST(FaultRecovery, ServiceSurvivesBackendCrashAndLocatorFlip) {
+  TestbedConfig cfg;
+  cfg.deployment.mode = SecurityMode::kHip;
+  cfg.deployment.web_servers = 3;
+  // Dead-peer detection fast enough to fire inside the run.
+  cfg.deployment.hip.keepalive_interval = sim::kSecond;
+  cfg.deployment.hip.keepalive_max_misses = 2;
+  // Frontend failure masking tuned for the chaos window.
+  cfg.deployment.proxy_health.max_failures = 2;
+  cfg.deployment.proxy_health.reprobe_interval = 2 * sim::kSecond;
+  cfg.deployment.proxy_health.retry_limit = 1;
+  cfg.deployment.proxy_health.upstream_timeout = 2 * sim::kSecond;
+  Testbed tb(cfg);
+  auto& loop = tb.network().loop();
+  auto& svc = tb.service();
+
+  // Force an ESP rekey during the run: pretend the LB->web2 outbound SA
+  // is a few hundred packets from the 2^32 sequence ceiling.
+  ASSERT_TRUE(
+      svc.lb_hip()->seek_esp_seq(svc.web_hip(2)->hit(), 0xFFFFFF00u));
+
+  sim::FaultInjector chaos(&loop);
+  const sim::Time t0 = loop.now();
+
+  // Fault 1: web VM 0 crashes 5 s in and stays dark for 8 s.
+  net::Node* web0 = svc.web_vms()[0]->node();
+  chaos.window(
+      "web0-crash", t0 + 5 * sim::kSecond, 8 * sim::kSecond,
+      [web0] { web0->set_down(true); }, [web0] { web0->set_down(false); });
+
+  // Fault 2: web VM 1 live-migrates 10 s in — its locator flips and the
+  // HIP daemons must readdress via UPDATE on their own (nobody calls
+  // move_to()).
+  bool migrated = false;
+  chaos.at("web1-migrate", t0 + 10 * sim::kSecond, [&] {
+    tb.cloud().migrate(svc.web_vms()[1], tb.cloud().hosts()[0].get(),
+                       [&](const cloud::Cloud::MigrationReport&) {
+                         migrated = true;
+                       });
+  });
+
+  const auto report = tb.run_closed_loop(8, 30 * sim::kSecond);
+
+  // The workload made real progress and the chaos stayed masked: well
+  // under 10 % of requests may error (unretryable POSTs that hit the
+  // dead backend before ejection).
+  EXPECT_GT(report.completed, 100u);
+  EXPECT_LE(report.errors * 10, report.completed)
+      << "error rate above 10%: " << report.errors << "/"
+      << report.completed;
+
+  // The proxy ejected the crashed backend and brought it back.
+  EXPECT_GE(svc.proxy().ejections(), 1u);
+  EXPECT_GE(svc.proxy().revivals(), 1u);
+
+  // The HIP layer noticed the dead peer, rekeyed the near-exhausted SA,
+  // and processed the migration UPDATE.
+  const auto& lb_stats = svc.lb_hip()->stats();
+  EXPECT_GE(lb_stats.peer_failures, 1u);
+  EXPECT_GE(lb_stats.rekeys_completed, 1u);
+  EXPECT_GT(lb_stats.updates_processed, 0u);
+  EXPECT_TRUE(migrated);
+
+  // Associations healed without manual intervention.
+  EXPECT_EQ(svc.lb_hip()->state(svc.web_hip(0)->hit()),
+            hip::AssocState::kEstablished);
+  EXPECT_EQ(svc.lb_hip()->state(svc.web_hip(1)->hit()),
+            hip::AssocState::kEstablished);
+  EXPECT_EQ(svc.lb_hip()->state(svc.web_hip(2)->hit()),
+            hip::AssocState::kEstablished);
+
+  EXPECT_EQ(chaos.injected(), 2u);
+  EXPECT_EQ(chaos.active(), 0u);
+}
+
+}  // namespace
+}  // namespace hipcloud::core

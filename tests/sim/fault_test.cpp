@@ -1,0 +1,103 @@
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hipcloud::sim {
+namespace {
+
+TEST(FaultInjector, ScriptedWindowAppliesAndReverts) {
+  EventLoop loop;
+  FaultInjector chaos(&loop);
+  bool down = false;
+  std::vector<Time> transitions;
+  chaos.window(
+      "link-down", 2 * kSecond, 3 * kSecond,
+      [&] {
+        down = true;
+        transitions.push_back(loop.now());
+      },
+      [&] {
+        down = false;
+        transitions.push_back(loop.now());
+      });
+
+  loop.run(kSecond);
+  EXPECT_FALSE(down);
+  EXPECT_EQ(chaos.active(), 0u);
+
+  loop.run(4 * kSecond);
+  EXPECT_TRUE(down);
+  EXPECT_EQ(chaos.active(), 1u);
+  EXPECT_EQ(chaos.injected(), 1u);
+
+  loop.run(10 * kSecond);
+  EXPECT_FALSE(down);
+  EXPECT_EQ(chaos.active(), 0u);
+
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], 2 * kSecond);
+  EXPECT_EQ(transitions[1], 5 * kSecond);
+
+  ASSERT_EQ(chaos.timeline().size(), 2u);
+  EXPECT_TRUE(chaos.timeline()[0].active);
+  EXPECT_FALSE(chaos.timeline()[1].active);
+  EXPECT_EQ(chaos.timeline()[0].name, "link-down");
+}
+
+TEST(FaultInjector, OneShotDoesNotStayActive) {
+  EventLoop loop;
+  FaultInjector chaos(&loop);
+  int fired = 0;
+  chaos.at("flip", kSecond, [&] { ++fired; });
+  loop.run(2 * kSecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(chaos.injected(), 1u);
+  EXPECT_EQ(chaos.active(), 0u);
+}
+
+TEST(FaultInjector, RandomWindowsAreSeedDeterministic) {
+  auto timeline_for = [](std::uint64_t seed) {
+    EventLoop loop;
+    FaultInjector chaos(&loop, seed);
+    chaos.random_windows("burst", 0, 60 * kSecond, 5 * kSecond,
+                         kSecond / 2, 2 * kSecond, [] {}, [] {});
+    loop.run(60 * kSecond);
+    return chaos.timeline();
+  };
+
+  const auto t1 = timeline_for(7);
+  const auto t2 = timeline_for(7);
+  const auto t3 = timeline_for(8);
+
+  ASSERT_FALSE(t1.empty());
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].at, t2[i].at);
+    EXPECT_EQ(t1[i].name, t2[i].name);
+    EXPECT_EQ(t1[i].active, t2[i].active);
+  }
+  // A different seed produces a different schedule.
+  bool differs = t1.size() != t3.size();
+  for (std::size_t i = 0; !differs && i < t1.size(); ++i) {
+    differs = t1[i].at != t3[i].at;
+  }
+  EXPECT_TRUE(differs);
+
+  // Windows never escape [from, until) on the apply side, and every
+  // window that opened inside the horizon also closed.
+  std::size_t opens = 0, closes = 0;
+  for (const auto& ev : t1) {
+    if (ev.active) {
+      EXPECT_LT(ev.at, 60 * kSecond);
+      ++opens;
+    } else {
+      ++closes;
+    }
+  }
+  EXPECT_EQ(opens, closes);
+}
+
+}  // namespace
+}  // namespace hipcloud::sim
