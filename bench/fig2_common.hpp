@@ -31,6 +31,11 @@ struct Fig2Report {
   double wall_seconds;
   unsigned threads;
   CryptoMicro crypto;
+  /// Simulator-substrate counters merged across every world in the sweep.
+  sim::PerfCounters sim_perf;
+  /// Per-mode latency distributions merged (Summary::merge) across every
+  /// client count in the sweep: [basic, hip, ssl].
+  sim::Summary latency_all[3];
 };
 
 inline void write_fig2_json(const Fig2Report& r, const char* path,
@@ -68,6 +73,20 @@ inline void write_fig2_json(const Fig2Report& r, const char* path,
                "    \"esp_protect_ops_per_sec\": {\"before\": %.0f, "
                "\"after\": %.0f}\n",
                r.crypto.esp_protect_ops_before, r.crypto.esp_protect_ops_after);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"sim_perf\": {\n");
+  r.sim_perf.write_json_fields(f, "    ");
+  std::fprintf(f, "\n  },\n");
+  static const char* kModeNames[] = {"basic", "hip", "ssl"};
+  std::fprintf(f, "  \"latency_ms_all_clients\": {\n");
+  for (int m = 0; m < 3; ++m) {
+    const auto& s = r.latency_all[m];
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %zu, \"mean\": %.4f, "
+                 "\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}%s\n",
+                 kModeNames[m], s.count(), s.mean(), s.percentile(50),
+                 s.percentile(95), s.percentile(99), m < 2 ? "," : "");
+  }
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -92,6 +111,8 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
   struct PointResult {
     double throughput;
     double latency_ms;
+    sim::PerfCounters perf;
+    sim::Summary latency;
   };
 
   const unsigned threads = sweep_thread_count(kJobs);
@@ -110,7 +131,8 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
         core::Testbed bed(cfg);
         const auto report =
             bed.run_closed_loop(kFig2Clients[i / 3], 30 * sim::kSecond);
-        return PointResult{report.throughput_rps(), report.latency_ms.mean()};
+        return PointResult{report.throughput_rps(), report.latency_ms.mean(),
+                           bed.network().perf(), report.latency_ms};
       },
       threads);
   const double wall =
@@ -157,7 +179,19 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
       mark(basic_highest), mark(comparable), mark(hip_slightly_below),
       mark(basic_surges));
 
-  Fig2Report report{std::move(rows), wall, threads, {}};
+  Fig2Report report{std::move(rows), wall, threads, {}, {}, {}};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    report.sim_perf.merge(results[i].perf);
+    report.latency_all[i % 3].merge(results[i].latency);
+  }
+  if (json_path) {
+    std::printf(
+        "Simulator substrate across the sweep: %.2f pool misses/packet "
+        "(%llu packets, %.0f%% pool hit rate)\n",
+        report.sim_perf.pool_misses_per_packet(),
+        static_cast<unsigned long long>(report.sim_perf.packets_delivered),
+        100.0 * report.sim_perf.pool_hit_rate());
+  }
   if (json_path) {
     std::printf("Crypto micro-bench (for the JSON perf trajectory)...\n");
     report.crypto = run_crypto_micro();

@@ -60,6 +60,7 @@ struct FailoverResult {
   std::uint64_t rekeys = 0, keepalives = 0, peer_failures = 0;
   std::uint64_t updates = 0;
   bool migrated = false;
+  sim::PerfCounters sim_perf;  // chaos world's simulator-substrate counters
 };
 
 /// First sample at/after `from` where `pred` holds; -1 if none.
@@ -141,6 +142,7 @@ FailoverResult run_failover() {
   out.keepalives = st.keepalives_sent;
   out.peer_failures = st.peer_failures;
   out.updates = st.updates_processed;
+  out.sim_perf = tb.network().perf();
   return out;
 }
 
@@ -182,7 +184,7 @@ void write_json(const FailoverResult& r, const char* path) {
   std::fprintf(f, "  \"events\": {\"ejections\": %llu, \"revivals\": %llu, "
                "\"retries\": %llu, \"rekeys_completed\": %llu, "
                "\"keepalives_sent\": %llu, \"peer_failures\": %llu, "
-               "\"updates_processed\": %llu, \"migration_completed\": %s}\n",
+               "\"updates_processed\": %llu, \"migration_completed\": %s},\n",
                static_cast<unsigned long long>(r.ejections),
                static_cast<unsigned long long>(r.revivals),
                static_cast<unsigned long long>(r.retries),
@@ -191,6 +193,9 @@ void write_json(const FailoverResult& r, const char* path) {
                static_cast<unsigned long long>(r.peer_failures),
                static_cast<unsigned long long>(r.updates),
                r.migrated ? "true" : "false");
+  std::fprintf(f, "  \"sim_perf\": {\n");
+  r.sim_perf.write_json_fields(f, "    ");
+  std::fprintf(f, "\n  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("Wrote %s\n", path);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full non-bench test suite in the normal build, then the
+# same suite under ASan+UBSan (-DHIPCLOUD_SANITIZE=ON). Run from anywhere;
+# builds land in build/ and build-san/ at the repo root.
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --fast     # normal build only (skip sanitizers)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== tier-1: normal build =="
+cmake -S "$root" -B "$root/build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$root/build" -j "$jobs"
+ctest --test-dir "$root/build" -LE bench --output-on-failure
+
+if [[ "$fast" == 1 ]]; then
+  echo "== skipping sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== tier-1: ASan+UBSan build =="
+cmake -S "$root" -B "$root/build-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHIPCLOUD_SANITIZE=ON >/dev/null
+cmake --build "$root/build-san" -j "$jobs"
+ctest --test-dir "$root/build-san" -LE bench --output-on-failure
+
+echo "== all green =="

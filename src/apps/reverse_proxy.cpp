@@ -104,12 +104,11 @@ void ReverseProxy::note_failure(std::size_t idx) {
 void ReverseProxy::eject(std::size_t idx) {
   healthy_[idx] = 0;
   ++ejections_;
-  sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
-                  "proxy",
-                  node_->name() + ": backend " + std::to_string(idx) +
-                      " ejected after " +
-                      std::to_string(consec_failures_[idx]) +
-                      " consecutive failures");
+  HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(), "proxy",
+               node_->name() + ": backend " + std::to_string(idx) +
+                   " ejected after " +
+                   std::to_string(consec_failures_[idx]) +
+                   " consecutive failures");
   node_->network().loop().schedule(health_.reprobe_interval,
                                    [this, idx] { probe(idx); });
 }
@@ -126,10 +125,10 @@ void ReverseProxy::probe(std::size_t idx) {
           healthy_[idx] = 1;
           consec_failures_[idx] = 0;
           ++revivals_;
-          sim::Log::write(sim::LogLevel::kInfo,
-                          node_->network().loop().now(), "proxy",
-                          node_->name() + ": backend " +
-                              std::to_string(idx) + " back in rotation");
+          HIPCLOUD_LOG(sim::LogLevel::kInfo,
+                       node_->network().loop().now(), "proxy",
+                       node_->name() + ": backend " +
+                           std::to_string(idx) + " back in rotation");
           return;
         }
         node_->network().loop().schedule(health_.reprobe_interval,

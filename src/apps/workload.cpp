@@ -164,32 +164,43 @@ void IperfClient::run(net::Node* node, net::TcpStack* tcp,
   const sim::Time start = loop.now();
 
   // Feed the connection in chunks, keeping a bounded send queue — the
-  // way iperf keeps the socket buffer full without unbounded memory.
+  // way iperf keeps the socket buffer full without unbounded memory. The
+  // feeder is a self-contained copyable object that re-schedules a copy
+  // of itself each tick (no self-capturing shared function, which would
+  // be a reference cycle pinning the connection forever).
   constexpr std::size_t kChunk = 128 * 1024;
   constexpr std::size_t kQueueCap = 512 * 1024;
-  auto feeder = std::make_shared<std::function<void()>>();
-  *feeder = [conn, &loop, deadline, feeder, start, done]() {
-    if (loop.now() >= deadline) {
-      const std::uint64_t acked = conn->bytes_acked();
-      Report report;
-      report.bytes_sent = acked;
-      report.mbits_per_second = static_cast<double>(acked) * 8.0 /
-                                sim::to_seconds(loop.now() - start) / 1e6;
-      conn->close();
-      if (done) done(report);
-      return;
+  struct Feeder {
+    std::shared_ptr<net::TcpConnection> conn;
+    sim::EventLoop* loop;
+    sim::Time deadline;
+    sim::Time start;
+    DoneFn done;
+
+    void operator()() const {
+      if (loop->now() >= deadline) {
+        const std::uint64_t acked = conn->bytes_acked();
+        Report report;
+        report.bytes_sent = acked;
+        report.mbits_per_second = static_cast<double>(acked) * 8.0 /
+                                  sim::to_seconds(loop->now() - start) / 1e6;
+        conn->close();
+        if (done) done(report);
+        return;
+      }
+      if (conn->established() && conn->send_queue_bytes() < kQueueCap) {
+        conn->send(crypto::Bytes(kChunk, 0x49));  // 'I'
+      }
+      loop->schedule(sim::kMillisecond, *this);
     }
-    if (conn->established() && conn->send_queue_bytes() < kQueueCap) {
-      conn->send(crypto::Bytes(kChunk, 0x49));  // 'I'
-    }
-    loop.schedule(sim::kMillisecond, *feeder);
   };
+  const Feeder feeder{conn, &loop, deadline, start, std::move(done)};
   if (conn->established()) {
-    (*feeder)();
+    feeder();
   } else {
-    conn->on_connect([feeder] { (*feeder)(); });
+    conn->on_connect([feeder] { feeder(); });
     // Also arm a watchdog in case the connection never comes up.
-    loop.schedule(duration, [feeder, conn, done, start, &loop, deadline] {
+    loop.schedule(duration, [conn, done = feeder.done, &loop, deadline] {
       if (!conn->established() && loop.now() >= deadline) {
         Report report;
         if (done) done(report);

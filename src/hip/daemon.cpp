@@ -310,8 +310,8 @@ void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
     if (!src) return;
     out.src = *src;
     out.proto = IpProto::kEsp;
-    out.payload = assoc->sa_out->protect(static_cast<std::uint8_t>(p.proto),
-                                         addr_mode, p.payload);
+    out.payload = assoc->sa_out->protect_packet(
+        static_cast<std::uint8_t>(p.proto), addr_mode, std::move(p.payload));
     if (out.payload.empty()) {
       // Outbound SA exhausted its 32-bit sequence space. The packet is
       // lost (transport retransmits); force a rekey so the next ones
@@ -352,14 +352,15 @@ void HipDaemon::on_esp_packet(Packet&& pkt) {
         return;
       }
     }
-    auto inner = sa->unprotect(p.payload);
+    const std::size_t wire_size = p.payload.size();
+    auto inner = sa->unprotect_packet(std::move(p.payload));
     if (!inner) {
       ++stats_.auth_failures;
       return;
     }
     assoc->last_heard = node_->network().loop().now();
     ++stats_.esp_packets_in;
-    stats_.esp_bytes_in += p.payload.size();
+    stats_.esp_bytes_in += wire_size;
 
     Packet out;
     out.proto = static_cast<IpProto>(inner->inner_proto);
@@ -401,8 +402,8 @@ void HipDaemon::send_control(const HipMessage& msg, const IpAddr& dst,
   pkt.proto = IpProto::kHip;
   pkt.payload = msg.serialize();
   pkt.stamp_l3_overhead();
-  sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(), "hip",
-                  node_->name() + " tx " + msg.describe());
+  HIPCLOUD_LOG(sim::LogLevel::kDebug, node_->network().loop().now(), "hip",
+               node_->name() + " tx " + msg.describe());
   node_->send(std::move(pkt));
 }
 
@@ -535,8 +536,8 @@ void HipDaemon::on_hip_packet(Packet&& pkt) {
   } catch (const std::runtime_error&) {
     return;
   }
-  sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(), "hip",
-                  node_->name() + " rx " + msg.describe());
+  HIPCLOUD_LOG(sim::LogLevel::kDebug, node_->network().loop().now(), "hip",
+               node_->name() + " rx " + msg.describe());
 
   // Rendezvous relay: control message for someone we front.
   if (msg.receiver_hit != identity_.hit()) {

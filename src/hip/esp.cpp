@@ -64,14 +64,17 @@ void EspSa::compute_icv(BytesView spi_seq_iv_ct, std::uint8_t out[12]) {
   std::memcpy(out, mac, kIcvSize);
 }
 
-Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
-                     BytesView payload) {
-  // One-pass, single-allocation datapath: reserve the exact wire size,
-  // build SPI|SEQ|IV in place, lay the plaintext down in the ciphertext
-  // region, encrypt it in place, then stream the HMAC over the wire
-  // prefix. (The seed implementation made ~5 heap allocations per packet
-  // via plaintext/ciphertext/icv temporaries; this is the hot loop behind
-  // the paper's Fig. 2 ESP cost.)
+crypto::Buffer EspSa::protect_packet(std::uint8_t inner_proto,
+                                     std::uint8_t addr_mode,
+                                     crypto::Buffer payload) {
+  // In-place datapath: the ESP header and the 2-byte protected inner
+  // header go into the payload buffer's headroom, CBC padding and the ICV
+  // into its tailroom, and the payload is encrypted where it sits. When
+  // the transport layer reserved enough room (TcpStack::transmit does),
+  // the whole protect step touches zero allocations. (The seed
+  // implementation made ~5 heap allocations per packet via
+  // plaintext/ciphertext/icv temporaries; this is the hot loop behind the
+  // paper's Fig. 2 ESP cost.)
   if (exhausted_) return {};
   if (next_seq_ == 0) {
     // 2^32 - 1 was the last valid sequence number. Wrapping to 0 would
@@ -84,8 +87,9 @@ Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
   const std::size_t ct_len = suite_ == EspSuite::kAes128CbcSha256
                                  ? crypto::aes_cbc_padded_len(pt_len)
                                  : pt_len;
-  Bytes wire(kFixedHeader + ct_len + kIcvSize);
-  std::uint8_t* p = wire.data();
+  payload.prepend(kFixedHeader + 2);
+  payload.append((ct_len - pt_len) + kIcvSize);
+  std::uint8_t* p = payload.data();
   store_be32(p, spi_);
   store_be32(p + 4, next_seq_++);
 
@@ -100,7 +104,6 @@ Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
   std::uint8_t* ct = p + kFixedHeader;
   ct[0] = inner_proto;
   ct[1] = addr_mode;
-  if (!payload.empty()) std::memcpy(ct + 2, payload.data(), payload.size());
   switch (suite_) {
     case EspSuite::kNullSha256:
       break;
@@ -116,7 +119,19 @@ Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
   }
 
   compute_icv(BytesView(p, kFixedHeader + ct_len), p + kFixedHeader + ct_len);
-  return wire;
+  return payload;
+}
+
+Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
+                     BytesView payload) {
+  // Copying wrapper over the in-place path so the wire format has a
+  // single source of truth (the golden vectors pin it). The staging
+  // buffer reserves exactly the room protect_packet() needs, so the
+  // wrapper costs two allocations total (staging + returned Bytes).
+  return Bytes(protect_packet(
+      inner_proto, addr_mode,
+      crypto::Buffer(payload, kFixedHeader + 2,
+                     kIcvSize + crypto::Aes::kBlockSize)));
 }
 
 bool EspSa::replay_check_and_update(std::uint32_t seq) {
@@ -136,15 +151,20 @@ bool EspSa::replay_check_and_update(std::uint32_t seq) {
   return true;
 }
 
-std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
-  if (wire.size() < kFixedHeader + kIcvSize) return std::nullopt;
-  const auto spi = static_cast<std::uint32_t>(crypto::read_be(wire, 0, 4));
+std::optional<EspSa::UnprotectedPacket> EspSa::unprotect_packet(
+    crypto::Buffer wire) {
+  // Zero-copy decrypt: authenticate over the buffer's view, decrypt the
+  // ciphertext region where it sits, then strip header/trailer with O(1)
+  // window arithmetic. The payload bytes are never copied.
+  const BytesView v = wire.view();
+  if (v.size() < kFixedHeader + kIcvSize) return std::nullopt;
+  const auto spi = static_cast<std::uint32_t>(crypto::read_be(v, 0, 4));
   if (spi != spi_) return std::nullopt;
-  const auto seq = static_cast<std::uint32_t>(crypto::read_be(wire, 4, 4));
+  const auto seq = static_cast<std::uint32_t>(crypto::read_be(v, 4, 4));
 
   std::uint8_t expected_icv[kIcvSize];
-  compute_icv(wire.subspan(0, wire.size() - kIcvSize), expected_icv);
-  if (!crypto::ct_equal(wire.subspan(wire.size() - kIcvSize),
+  compute_icv(v.subspan(0, v.size() - kIcvSize), expected_icv);
+  if (!crypto::ct_equal(v.subspan(v.size() - kIcvSize),
                         BytesView(expected_icv, kIcvSize))) {
     ++auth_failures_;
     return std::nullopt;
@@ -154,15 +174,10 @@ std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
     return std::nullopt;
   }
 
-  const std::uint8_t* iv = wire.data() + 8;
-  const std::uint8_t* ct = wire.data() + kFixedHeader;
+  std::uint8_t* p = wire.data();
+  const std::uint8_t* iv = p + 8;
+  std::uint8_t* ct = p + kFixedHeader;
   const std::size_t ct_len = wire.size() - kFixedHeader - kIcvSize;
-
-  // Single-allocation decrypt: copy the ciphertext into the output buffer,
-  // decrypt it in place, then strip the 2-byte inner header with a memmove
-  // instead of a reallocating erase.
-  Unprotected out;
-  out.payload.assign(ct, ct + ct_len);
   std::size_t pt_len = ct_len;
   try {
     switch (suite_) {
@@ -171,11 +186,10 @@ std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
       case EspSuite::kAes128CtrSha256:
         cipher_->ctr_xor(iv, static_cast<std::uint32_t>(crypto::read_be(
                                  BytesView(iv, kIvSize), 12, 4)),
-                         out.payload.data(), ct_len);
+                         ct, ct_len);
         break;
       case EspSuite::kAes128CbcSha256:
-        pt_len = crypto::aes_cbc_decrypt_inplace(*cipher_, iv,
-                                                 out.payload.data(), ct_len);
+        pt_len = crypto::aes_cbc_decrypt_inplace(*cipher_, iv, ct, ct_len);
         break;
     }
   } catch (const std::runtime_error&) {
@@ -184,11 +198,25 @@ std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
   }
   if (pt_len < 2) return std::nullopt;
 
-  out.inner_proto = out.payload[0];
-  out.addr_mode = out.payload[1];
-  std::memmove(out.payload.data(), out.payload.data() + 2, pt_len - 2);
-  out.payload.resize(pt_len - 2);
+  UnprotectedPacket out;
+  out.inner_proto = ct[0];
+  out.addr_mode = ct[1];
   out.seq = seq;
+  wire.pop_back(kIcvSize + (ct_len - pt_len));
+  wire.pop_front(kFixedHeader + 2);
+  out.payload = std::move(wire);
+  return out;
+}
+
+std::optional<EspSa::Unprotected> EspSa::unprotect(BytesView wire) {
+  // Copying wrapper over the in-place path (cold call sites and tests).
+  auto r = unprotect_packet(crypto::Buffer(wire));
+  if (!r) return std::nullopt;
+  Unprotected out;
+  out.inner_proto = r->inner_proto;
+  out.addr_mode = r->addr_mode;
+  out.payload = Bytes(r->payload);
+  out.seq = r->seq;
   return out;
 }
 

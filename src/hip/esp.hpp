@@ -52,6 +52,15 @@ class EspSa {
   crypto::Bytes protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
                         crypto::BytesView payload);
 
+  /// Zero-copy variant: encapsulates in place in the payload's buffer —
+  /// the ESP header and protected inner header go into the headroom,
+  /// padding and ICV into the tailroom, and the payload bytes are
+  /// encrypted where they sit. Wire bytes are identical to protect().
+  /// Returns an empty buffer on exhaustion.
+  crypto::Buffer protect_packet(std::uint8_t inner_proto,
+                                std::uint8_t addr_mode,
+                                crypto::Buffer payload);
+
   /// True once protect() has consumed the final sequence number. The SA
   /// can no longer send; only a rekey (fresh SA) recovers.
   bool exhausted() const { return exhausted_; }
@@ -82,6 +91,18 @@ class EspSa {
   /// input. (Inbound SAs only; using one SA for both directions would
   /// desynchronize the replay window.)
   std::optional<Unprotected> unprotect(crypto::BytesView wire);
+
+  struct UnprotectedPacket {
+    std::uint8_t inner_proto;
+    std::uint8_t addr_mode;
+    crypto::Buffer payload;
+    std::uint32_t seq;
+  };
+
+  /// Zero-copy variant of unprotect(): authenticates and decrypts in
+  /// place, then strips the ESP header/trailer by shrinking the buffer
+  /// window. Same acceptance behaviour and counters as unprotect().
+  std::optional<UnprotectedPacket> unprotect_packet(crypto::Buffer wire);
 
   std::uint64_t replay_drops() const { return replay_drops_; }
   std::uint64_t auth_failures() const { return auth_failures_; }

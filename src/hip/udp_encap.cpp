@@ -46,9 +46,11 @@ class UdpEncap::Shim : public net::L3Shim {
 UdpEncap::UdpEncap(net::Node* node, net::UdpStack* udp,
                    std::uint16_t local_port)
     : node_(node), udp_(udp), local_port_(local_port) {
-  local_port_ = udp_->bind(
-      local_port, [this](const net::Endpoint& from, const net::IpAddr& local,
-                         Bytes data) { on_datagram(from, local, std::move(data)); });
+  local_port_ = udp_->bind(local_port,
+                           [this](const net::Endpoint& from,
+                                  const net::IpAddr& local, crypto::Buffer data) {
+                             on_datagram(from, local, std::move(data));
+                           });
   node_->add_shim(std::make_shared<Shim>(this));
 }
 
@@ -60,14 +62,14 @@ void UdpEncap::add_encap_peer(const net::IpAddr& locator,
 void UdpEncap::send_encapsulated(Packet&& pkt) {
   const auto it = endpoints_.find(pkt.dst);
   if (it == endpoints_.end()) return;
-  Bytes wire{pkt.proto == IpProto::kHip ? kTagHip : kTagEsp};
-  wire.insert(wire.end(), pkt.payload.begin(), pkt.payload.end());
+  // The one-byte tag goes into the buffer's headroom — no copy.
+  *pkt.payload.prepend(1) = pkt.proto == IpProto::kHip ? kTagHip : kTagEsp;
   ++encapsulated_;
-  udp_->send(local_port_, it->second, std::move(wire));
+  udp_->send(local_port_, it->second, std::move(pkt.payload));
 }
 
 void UdpEncap::on_datagram(const net::Endpoint& from,
-                           const net::IpAddr& local, Bytes data) {
+                           const net::IpAddr& local, crypto::Buffer data) {
   if (data.empty()) return;
   // Learn/refresh the peer's observed endpoint: replies to this locator
   // must go to the NAT mapping we actually saw, not to port 10500 of an
@@ -80,7 +82,8 @@ void UdpEncap::on_datagram(const net::Endpoint& from,
   inner.src = from.addr;  // outer source: where replies must be aimed
   inner.dst = local;
   inner.proto = data[0] == kTagHip ? IpProto::kHip : IpProto::kEsp;
-  inner.payload.assign(data.begin() + 1, data.end());
+  data.pop_front(1);
+  inner.payload = std::move(data);
   inner.stamp_l3_overhead();
   node_->deliver(std::move(inner), 0);
 }

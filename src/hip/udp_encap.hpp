@@ -51,7 +51,7 @@ class UdpEncap {
   friend class Shim;
 
   void on_datagram(const net::Endpoint& from, const net::IpAddr& local,
-                   crypto::Bytes data);
+                   crypto::Buffer data);
   void send_encapsulated(net::Packet&& pkt);
   void send_keepalives();
 

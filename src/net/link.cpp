@@ -36,8 +36,8 @@ bool Link::transmit(Packet pkt, const Node* from) {
     // +20: grace for the structured L3 header bookkeeping; anything
     // beyond is a genuine MTU violation by a mis-sized sender.
     ++dropped_;
-    sim::Log::write(sim::LogLevel::kDebug, loop.now(), "link",
-                    "MTU drop " + pkt.describe());
+    HIPCLOUD_LOG(sim::LogLevel::kDebug, loop.now(), "link",
+                 "MTU drop " + pkt.describe());
     return false;
   }
   const double loss =
@@ -51,8 +51,8 @@ bool Link::transmit(Packet pkt, const Node* from) {
   const sim::Time start = std::max(now, dir.busy_until);
   if (start - now > config_.max_queue_delay) {
     ++dropped_;
-    sim::Log::write(sim::LogLevel::kDebug, now, "link",
-                    "queue drop " + pkt.describe());
+    HIPCLOUD_LOG(sim::LogLevel::kDebug, now, "link",
+                 "queue drop " + pkt.describe());
     return false;
   }
   const auto serialization = static_cast<sim::Duration>(

@@ -160,8 +160,8 @@ void Node::send_raw(Packet pkt) {
   const Route* route = lookup_route(pkt.dst);
   if (route == nullptr || ifaces_[route->iface].link == nullptr) {
     ++dropped_no_route_;
-    sim::Log::write(sim::LogLevel::kDebug, net_.loop().now(), name_.c_str(),
-                    "no route to " + pkt.dst.to_string());
+    HIPCLOUD_LOG(sim::LogLevel::kDebug, net_.loop().now(), name_.c_str(),
+                 "no route to " + pkt.dst.to_string());
     return;
   }
   ++sent_packets_;
@@ -176,8 +176,8 @@ void Node::deliver(Packet&& pkt, std::size_t in_iface) {
   }
   // Not ours: forward if we are a router/middlebox.
   if (!forwarding_) {
-    sim::Log::write(sim::LogLevel::kDebug, net_.loop().now(), name_.c_str(),
-                    "not for us, not forwarding: " + pkt.describe());
+    HIPCLOUD_LOG(sim::LogLevel::kDebug, net_.loop().now(), name_.c_str(),
+                 "not for us, not forwarding: " + pkt.describe());
     return;
   }
   if (pkt.ttl == 0) return;
@@ -201,20 +201,23 @@ void Node::deliver(Packet&& pkt, std::size_t in_iface) {
 void Node::local_deliver(Packet&& pkt) {
   if (down_) return;
   ++received_packets_;
+  ++net_.loop().perf().packets_delivered;
   for (const auto& shim : shims_) {
     if (shim->inbound(pkt)) return;
   }
   const auto it = proto_handlers_.find(pkt.proto);
   if (it == proto_handlers_.end()) {
-    sim::Log::write(sim::LogLevel::kDebug, net_.loop().now(), name_.c_str(),
-                    "no handler for proto " +
-                        std::to_string(static_cast<int>(pkt.proto)));
+    HIPCLOUD_LOG(sim::LogLevel::kDebug, net_.loop().now(), name_.c_str(),
+                 "no handler for proto " +
+                     std::to_string(static_cast<int>(pkt.proto)));
     return;
   }
   it->second(std::move(pkt));
 }
 
-Network::Network(std::uint64_t seed) : rng_(seed) {}
+Network::Network(std::uint64_t seed) : rng_(seed) {
+  pool_.set_perf(&loop_.perf());
+}
 
 Node* Network::add_node(std::string name, double cpu_cycles_per_second) {
   nodes_.push_back(

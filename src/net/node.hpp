@@ -171,6 +171,10 @@ class Network {
 
   sim::EventLoop& loop() { return loop_; }
   sim::Xoshiro256& rng() { return rng_; }
+  /// Per-world payload buffer pool used by the packet pipeline.
+  crypto::BufferPool& buffer_pool() { return pool_; }
+  /// Per-world perf counters (owned by the event loop).
+  sim::PerfCounters& perf() { return loop_.perf(); }
 
   /// Create a node. `cpu_cycles_per_second` sizes its CpuScheduler;
   /// infrastructure nodes default to a fast core so they never bottleneck.
@@ -188,6 +192,10 @@ class Network {
   Node* find(const std::string& name) const;
 
  private:
+  // Declared before the loop: pending events may hold pooled payload
+  // buffers whose destructors return blocks to the pool, so the pool must
+  // be destroyed after the loop (members destruct in reverse order).
+  crypto::BufferPool pool_;
   sim::EventLoop loop_;
   sim::Xoshiro256 rng_;
   std::vector<std::unique_ptr<Node>> nodes_;

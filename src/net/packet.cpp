@@ -1,5 +1,6 @@
 #include "net/packet.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace hipcloud::net {
@@ -49,6 +50,48 @@ Packet parse_ipv6(BytesView wire) {
   pkt.src = Ipv6Addr::from_bytes(wire.subspan(8, 16));
   pkt.dst = Ipv6Addr::from_bytes(wire.subspan(24, 16));
   pkt.payload.assign(wire.begin() + 40, wire.begin() + 40 + payload_len);
+  pkt.header_overhead = 40;
+  return pkt;
+}
+
+crypto::Buffer serialize_ipv6_in_place(Packet&& pkt) {
+  if (!pkt.src.is_v6() || !pkt.dst.is_v6()) {
+    throw std::runtime_error("serialize_ipv6: not an IPv6 packet");
+  }
+  const std::size_t payload_len = pkt.payload.size();
+  crypto::Buffer wire = std::move(pkt.payload);
+  std::uint8_t* h = wire.prepend(40);
+  h[0] = 0x60;  // version 6, traffic class 0
+  h[1] = 0;
+  h[2] = h[3] = 0;  // flow label
+  h[4] = static_cast<std::uint8_t>(payload_len >> 8);
+  h[5] = static_cast<std::uint8_t>(payload_len);
+  h[6] = static_cast<std::uint8_t>(pkt.proto);
+  h[7] = pkt.ttl;
+  const auto& src = pkt.src.v6().bytes();
+  const auto& dst = pkt.dst.v6().bytes();
+  std::memcpy(h + 8, src.data(), 16);
+  std::memcpy(h + 24, dst.data(), 16);
+  return wire;
+}
+
+Packet parse_ipv6_in_place(crypto::Buffer&& wire) {
+  const BytesView v = wire.view();
+  if (v.size() < 40 || (v[0] >> 4) != 6) {
+    throw std::runtime_error("parse_ipv6: malformed header");
+  }
+  const auto payload_len = static_cast<std::size_t>(read_be(v, 4, 2));
+  if (40 + payload_len > v.size()) {
+    throw std::runtime_error("parse_ipv6: bad payload length");
+  }
+  Packet pkt;
+  pkt.proto = static_cast<IpProto>(v[6]);
+  pkt.ttl = v[7];
+  pkt.src = Ipv6Addr::from_bytes(v.subspan(8, 16));
+  pkt.dst = Ipv6Addr::from_bytes(v.subspan(24, 16));
+  wire.pop_front(40);
+  wire.resize(payload_len);  // drop any trailing bytes beyond the v6 length
+  pkt.payload = std::move(wire);
   pkt.header_overhead = 40;
   return pkt;
 }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "crypto/buffer.hpp"
 #include "crypto/bytes.hpp"
 #include "net/address.hpp"
 
@@ -28,7 +29,9 @@ struct Packet {
   IpAddr dst;
   IpProto proto = IpProto::kUdp;
   std::uint8_t ttl = 64;
-  crypto::Bytes payload;
+  /// Pooled headroom buffer: encapsulation layers prepend/append headers
+  /// in place instead of reallocating (see crypto::Buffer).
+  crypto::Buffer payload;
   /// L3 header bytes: 20 for IPv4, 40 for IPv6, plus any outer
   /// encapsulation already applied (e.g. Teredo's outer IPv4+UDP).
   std::size_t header_overhead = 0;
@@ -49,6 +52,13 @@ crypto::Bytes serialize_ipv6(const Packet& pkt);
 
 /// Inverse of serialize_ipv6. Throws std::runtime_error on malformed input.
 Packet parse_ipv6(crypto::BytesView wire);
+
+/// Zero-copy variants for the Teredo datapath: prepend the 40-byte IPv6
+/// header into the packet's own payload buffer (consuming the packet) /
+/// strip it off the wire buffer and move the remainder into the returned
+/// packet's payload.
+crypto::Buffer serialize_ipv6_in_place(Packet&& pkt);
+Packet parse_ipv6_in_place(crypto::Buffer&& wire);
 
 /// UDP datagram view: ports + payload serialized as
 /// src_port(2) | dst_port(2) | length(2) | checksum(2, zero) | data.

@@ -1,6 +1,7 @@
 #include "net/tcp.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "sim/log.hpp"
@@ -31,27 +32,41 @@ constexpr sim::Duration kMaxRto = 60 * sim::kSecond;
 
 }  // namespace
 
-Bytes TcpHeader::serialize(BytesView data) const {
-  Bytes out;
-  out.reserve(kSize + data.size());
-  crypto::append_be(out, src_port, 2);
-  crypto::append_be(out, dst_port, 2);
-  crypto::append_be(out, seq, 4);
-  crypto::append_be(out, ack, 4);
+void TcpHeader::write(std::uint8_t* out) const {
+  out[0] = static_cast<std::uint8_t>(src_port >> 8);
+  out[1] = static_cast<std::uint8_t>(src_port);
+  out[2] = static_cast<std::uint8_t>(dst_port >> 8);
+  out[3] = static_cast<std::uint8_t>(dst_port);
+  out[4] = static_cast<std::uint8_t>(seq >> 24);
+  out[5] = static_cast<std::uint8_t>(seq >> 16);
+  out[6] = static_cast<std::uint8_t>(seq >> 8);
+  out[7] = static_cast<std::uint8_t>(seq);
+  out[8] = static_cast<std::uint8_t>(ack >> 24);
+  out[9] = static_cast<std::uint8_t>(ack >> 16);
+  out[10] = static_cast<std::uint8_t>(ack >> 8);
+  out[11] = static_cast<std::uint8_t>(ack);
   std::uint8_t flags = 0;
   if (syn) flags |= kFlagSyn;
   if (fin) flags |= kFlagFin;
   if (rst) flags |= kFlagRst;
   if (ack_flag) flags |= kFlagAck;
-  out.push_back(0x50);  // data offset 5 words, mirroring a real header
-  out.push_back(flags);
-  crypto::append_be(out, window, 4);
-  crypto::append_be(out, 0, 2);  // checksum placeholder
-  out.insert(out.end(), data.begin(), data.end());
+  out[12] = 0x50;  // data offset 5 words, mirroring a real header
+  out[13] = flags;
+  out[14] = static_cast<std::uint8_t>(window >> 24);
+  out[15] = static_cast<std::uint8_t>(window >> 16);
+  out[16] = static_cast<std::uint8_t>(window >> 8);
+  out[17] = static_cast<std::uint8_t>(window);
+  out[18] = out[19] = 0;  // checksum placeholder
+}
+
+Bytes TcpHeader::serialize(BytesView data) const {
+  Bytes out(kSize + data.size());
+  write(out.data());
+  if (!data.empty()) std::memcpy(out.data() + kSize, data.data(), data.size());
   return out;
 }
 
-TcpHeader TcpHeader::parse(BytesView wire, Bytes& data_out) {
+TcpHeader TcpHeader::parse_header(BytesView wire) {
   if (wire.size() < kSize) throw std::runtime_error("TcpHeader: truncated");
   TcpHeader h;
   h.src_port = static_cast<std::uint16_t>(crypto::read_be(wire, 0, 2));
@@ -64,6 +79,11 @@ TcpHeader TcpHeader::parse(BytesView wire, Bytes& data_out) {
   h.rst = flags & kFlagRst;
   h.ack_flag = flags & kFlagAck;
   h.window = static_cast<std::uint32_t>(crypto::read_be(wire, 14, 4));
+  return h;
+}
+
+TcpHeader TcpHeader::parse(BytesView wire, Bytes& data_out) {
+  TcpHeader h = parse_header(wire);
   data_out.assign(wire.begin() + kSize, wire.end());
   return h;
 }
@@ -293,7 +313,7 @@ void TcpConnection::on_rto() {
   arm_rto();
 }
 
-void TcpConnection::handle_segment(const TcpHeader& h, Bytes data) {
+void TcpConnection::handle_segment(const TcpHeader& h, crypto::Buffer data) {
   if (h.rst) {
     become_closed();
     return;
@@ -427,7 +447,7 @@ void TcpConnection::process_ack(const TcpHeader& h) {
   }
 }
 
-void TcpConnection::process_data(const TcpHeader& h, Bytes data) {
+void TcpConnection::process_data(const TcpHeader& h, crypto::Buffer data) {
   const std::uint32_t seg_seq = h.seq;
   if (h.fin) {
     peer_fin_seq_valid_ = true;
@@ -438,16 +458,19 @@ void TcpConnection::process_data(const TcpHeader& h, Bytes data) {
       // In-order (possibly with overlap).
       const std::uint32_t overlap = rcv_nxt_ - seg_seq;
       if (overlap < data.size()) {
-        Bytes fresh(data.begin() + overlap, data.end());
-        rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
-        bytes_received_ += fresh.size();
-        if (on_data_) on_data_(std::move(fresh));
+        // Strip the overlap in place and hand the buffer through — the
+        // common overlap==0 case moves the segment with zero copies.
+        data.pop_front(overlap);
+        rcv_nxt_ += static_cast<std::uint32_t>(data.size());
+        bytes_received_ += data.size();
+        if (on_data_) on_data_(std::move(data));
         // Drain contiguous reassembly segments.
         for (auto it = reassembly_.begin(); it != reassembly_.end();) {
           if (seq_gt(it->first, rcv_nxt_)) break;
           const std::uint32_t ov = rcv_nxt_ - it->first;
           if (ov < it->second.size()) {
-            Bytes more(it->second.begin() + ov, it->second.end());
+            crypto::Buffer more = std::move(it->second);
+            more.pop_front(ov);
             rcv_nxt_ += static_cast<std::uint32_t>(more.size());
             bytes_received_ += more.size();
             if (on_data_) on_data_(std::move(more));
@@ -457,7 +480,7 @@ void TcpConnection::process_data(const TcpHeader& h, Bytes data) {
       }
     } else {
       // Out of order: stash for later, ack current rcv_nxt_ (dup ack).
-      reassembly_.emplace(seg_seq, std::move(data));
+      reassembly_.insert_or_assign(seg_seq, std::move(data));
     }
   }
 
@@ -516,6 +539,13 @@ TcpStack::TcpStack(Node* node, TcpConfig config)
     : node_(node), config_(config) {
   node_->register_protocol(IpProto::kTcp,
                            [this](Packet&& pkt) { on_packet(std::move(pkt)); });
+}
+
+TcpStack::~TcpStack() {
+  // Connections still open at teardown hold application callbacks that
+  // usually capture the connection's own shared_ptr; break those cycles so
+  // the connection table actually frees.
+  for (auto& [key, conn] : connections_) conn->drop_handlers();
 }
 
 sim::EventLoop& TcpStack::loop() { return node_->network().loop(); }
@@ -577,25 +607,34 @@ void TcpStack::transmit(const Endpoint& local, const Endpoint& remote,
   pkt.src = local.addr;
   pkt.dst = remote.addr;
   pkt.proto = IpProto::kTcp;
-  pkt.payload = header.serialize(data);
+  // Pooled buffer with headroom for ESP/encap/Teredo prepends downstream
+  // and tailroom for ICV + cipher padding — the whole secure path then
+  // works in place on this one allocation.
+  crypto::Buffer buf = node_->network().buffer_pool().make(
+      TcpHeader::kSize + data.size(), /*headroom=*/96, /*tailroom=*/32);
+  header.write(buf.data());
+  if (!data.empty()) {
+    std::memcpy(buf.data() + TcpHeader::kSize, data.data(), data.size());
+  }
+  pkt.payload = std::move(buf);
   pkt.stamp_l3_overhead();
   node_->send(std::move(pkt));
 }
 
 void TcpStack::on_packet(Packet&& pkt) {
-  Bytes data;
   TcpHeader h;
   try {
-    h = TcpHeader::parse(pkt.payload, data);
+    h = TcpHeader::parse_header(pkt.payload.view());
   } catch (const std::runtime_error&) {
     return;
   }
+  pkt.payload.pop_front(TcpHeader::kSize);
   const FourTuple key{pkt.dst, h.dst_port, pkt.src, h.src_port};
   const auto it = connections_.find(key);
   if (it != connections_.end()) {
     // Hold a strong ref: handling may close and remove the connection.
     const auto conn = it->second;
-    conn->handle_segment(h, std::move(data));
+    conn->handle_segment(h, std::move(pkt.payload));
     return;
   }
   if (h.syn && !h.ack_flag) {
@@ -614,8 +653,17 @@ void TcpStack::on_packet(Packet&& pkt) {
 void TcpStack::remove(TcpConnection* conn) {
   const FourTuple key{conn->local().addr, conn->local().port,
                       conn->remote().addr, conn->remote().port};
-  // Deferred erase: the connection may be deep in its own call stack.
-  node_->network().loop().schedule(0, [this, key] { connections_.erase(key); });
+  // Deferred erase: the connection may be deep in its own call stack (the
+  // close may have been triggered from inside on_data_), so both the erase
+  // and the handler drop — application closures routinely capture the
+  // connection's own shared_ptr, a cycle that must be broken for a closed
+  // connection to free — wait until the current callback unwinds.
+  node_->network().loop().schedule(0, [this, key] {
+    const auto it = connections_.find(key);
+    if (it == connections_.end()) return;
+    it->second->drop_handlers();
+    connections_.erase(it);
+  });
 }
 
 }  // namespace hipcloud::net

@@ -29,7 +29,12 @@ struct TcpHeader {
 
   static constexpr std::size_t kSize = 20;
 
+  /// Write the 20 header bytes into `out` (the zero-copy path: the stack
+  /// writes straight into a pooled packet buffer).
+  void write(std::uint8_t* out) const;
   crypto::Bytes serialize(crypto::BytesView data) const;
+  /// Parse just the header fields from the first kSize bytes.
+  static TcpHeader parse_header(crypto::BytesView wire);
   /// Parses header and returns it; `data_out` receives the payload.
   static TcpHeader parse(crypto::BytesView wire, crypto::Bytes& data_out);
 
@@ -59,7 +64,10 @@ class TcpStack;
 class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  public:
   using ConnectFn = std::function<void()>;
-  using DataFn = std::function<void(crypto::Bytes)>;
+  /// Received payload is handed over as a pooled Buffer moved out of the
+  /// packet; callbacks written against crypto::Bytes still work (implicit
+  /// conversion copies at the app boundary).
+  using DataFn = std::function<void(crypto::Buffer)>;
   using CloseFn = std::function<void()>;
 
   enum class State {
@@ -88,6 +96,16 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void on_data(DataFn fn) { on_data_ = std::move(fn); }
   void on_close(CloseFn fn) { on_close_ = std::move(fn); }
 
+  /// Release the registered callbacks. Application closures routinely
+  /// capture the connection's own shared_ptr (`conn->on_data([conn](...)`),
+  /// which is a reference cycle the stack must break once the connection
+  /// can never fire them again — on full close and at stack teardown.
+  void drop_handlers() {
+    on_connect_ = nullptr;
+    on_data_ = nullptr;
+    on_close_ = nullptr;
+  }
+
   State state() const { return state_; }
   bool established() const { return state_ == State::kEstablished; }
   const Endpoint& local() const { return local_; }
@@ -113,14 +131,14 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   void start_connect();
   void start_accept(const TcpHeader& syn);
-  void handle_segment(const TcpHeader& header, crypto::Bytes data);
+  void handle_segment(const TcpHeader& header, crypto::Buffer data);
   void try_send();
   void send_segment(std::uint32_t seq, crypto::BytesView data, bool syn,
                     bool fin, bool ack);
   void send_ack();
   void send_rst();
   void process_ack(const TcpHeader& header);
-  void process_data(const TcpHeader& header, crypto::Bytes data);
+  void process_data(const TcpHeader& header, crypto::Buffer data);
   void arm_rto();
   void cancel_rto();
   void on_rto();
@@ -149,7 +167,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // Receive side.
   std::uint32_t irs_ = 0;      // initial receive sequence
   std::uint32_t rcv_nxt_ = 0;  // next expected
-  std::map<std::uint32_t, crypto::Bytes> reassembly_;
+  std::map<std::uint32_t, crypto::Buffer> reassembly_;
   bool peer_fin_seq_valid_ = false;
   std::uint32_t peer_fin_seq_ = 0;
 
@@ -188,6 +206,7 @@ class TcpStack {
   using AcceptFn = std::function<void(std::shared_ptr<TcpConnection>)>;
 
   explicit TcpStack(Node* node, TcpConfig config = {});
+  ~TcpStack();
 
   /// Active open. The returned connection fires on_connect when
   /// established. `src_addr` pins the source address (e.g. an LSI or HIT);

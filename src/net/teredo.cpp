@@ -60,14 +60,14 @@ Endpoint teredo_mapped_endpoint(const Ipv6Addr& addr) {
 
 TeredoServer::TeredoServer(Node* node, UdpStack* udp)
     : node_(node), udp_(udp) {
-  udp_->bind(kTeredoPort,
-             [this](const Endpoint& from, const IpAddr& local, Bytes data) {
-               on_datagram(from, local, std::move(data));
-             });
+  udp_->bind(kTeredoPort, [this](const Endpoint& from, const IpAddr& local,
+                                 crypto::Buffer data) {
+    on_datagram(from, local, std::move(data));
+  });
 }
 
 void TeredoServer::on_datagram(const Endpoint& from, const IpAddr& /*local*/,
-                               Bytes data) {
+                               crypto::Buffer data) {
   if (data.empty()) return;
   if (data[0] == kMsgSolicit) {
     // Router advertisement: tell the client its observed endpoint.
@@ -78,21 +78,19 @@ void TeredoServer::on_datagram(const Endpoint& from, const IpAddr& /*local*/,
     return;
   }
   if (data[0] == kMsgData) {
-    // Relay: deliver to the Teredo destination extracted from the inner
-    // IPv6 header.
-    Packet inner;
-    try {
-      inner = parse_ipv6(BytesView(data).subspan(1));
-    } catch (const std::runtime_error&) {
-      return;
-    }
-    if (!inner.dst.is_teredo()) {
+    // Relay: peek the inner IPv6 destination straight out of the datagram
+    // (offset 1 for the tag, 24 into the v6 header) and forward the whole
+    // buffer untouched — the relay never copies the tunnelled packet.
+    const BytesView v = data.view().subspan(1);
+    if (v.size() < 40 || (v[0] >> 4) != 6) return;
+    const IpAddr dst(Ipv6Addr::from_bytes(v.subspan(24, 16)));
+    if (!dst.is_teredo()) {
       sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(),
                       "teredo", "relay: non-Teredo destination " +
-                                    inner.dst.to_string() + ", dropping");
+                                    dst.to_string() + ", dropping");
       return;
     }
-    const Endpoint mapped = teredo_mapped_endpoint(inner.dst.v6());
+    const Endpoint mapped = teredo_mapped_endpoint(dst.v6());
     udp_->send(kTeredoPort, mapped, std::move(data));
   }
 }
@@ -130,10 +128,10 @@ class TeredoClient::Shim : public L3Shim {
 
 TeredoClient::TeredoClient(Node* node, UdpStack* udp, Endpoint server)
     : node_(node), udp_(udp), server_(std::move(server)) {
-  local_port_ = udp_->bind(
-      0, [this](const Endpoint& from, const IpAddr& local, Bytes data) {
-        on_datagram(from, local, std::move(data));
-      });
+  local_port_ = udp_->bind(0, [this](const Endpoint& from, const IpAddr& local,
+                                     crypto::Buffer data) {
+    on_datagram(from, local, std::move(data));
+  });
   node_->add_shim(std::make_shared<Shim>(this));
 }
 
@@ -143,7 +141,7 @@ void TeredoClient::qualify(QualifiedFn done) {
 }
 
 void TeredoClient::on_datagram(const Endpoint& /*from*/,
-                               const IpAddr& /*local*/, Bytes data) {
+                               const IpAddr& /*local*/, crypto::Buffer data) {
   if (data.empty()) return;
   if (data[0] == kMsgAdvert && data.size() >= 7) {
     const auto mapped_ip =
@@ -166,7 +164,8 @@ void TeredoClient::on_datagram(const Endpoint& /*from*/,
   if (data[0] == kMsgData) {
     Packet inner;
     try {
-      inner = parse_ipv6(BytesView(data).subspan(1));
+      data.pop_front(1);
+      inner = parse_ipv6_in_place(std::move(data));
     } catch (const std::runtime_error&) {
       return;
     }
@@ -179,9 +178,10 @@ void TeredoClient::on_datagram(const Endpoint& /*from*/,
 void TeredoClient::send_tunnelled(Packet&& pkt) {
   // Ensure the inner packet carries our Teredo source.
   if (!pkt.src.is_teredo()) pkt.src = address_;
-  Bytes wire{kMsgData};
-  const Bytes inner = serialize_ipv6(pkt);
-  wire.insert(wire.end(), inner.begin(), inner.end());
+  // Build the v6 header and the tag in the payload buffer's headroom —
+  // the tunnelled packet is never copied.
+  crypto::Buffer wire = serialize_ipv6_in_place(std::move(pkt));
+  *wire.prepend(1) = kMsgData;
   // All traffic goes via the server/relay — the conservative Teredo path,
   // and the one that reproduces the latency penalty the paper measured.
   udp_->send(local_port_, server_, std::move(wire));

@@ -33,7 +33,7 @@ class TeredoServer {
 
  private:
   void on_datagram(const Endpoint& from, const IpAddr& local,
-                   crypto::Bytes data);
+                   crypto::Buffer data);
 
   Node* node_;
   UdpStack* udp_;
@@ -62,7 +62,7 @@ class TeredoClient {
   class Shim;
 
   void on_datagram(const Endpoint& from, const IpAddr& local,
-                   crypto::Bytes data);
+                   crypto::Buffer data);
   void send_tunnelled(Packet&& pkt);
 
   Node* node_;

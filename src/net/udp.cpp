@@ -29,7 +29,7 @@ std::uint16_t UdpStack::bind(std::uint16_t port, ReceiveFn handler) {
 void UdpStack::unbind(std::uint16_t port) { bindings_.erase(port); }
 
 void UdpStack::send(std::uint16_t src_port, const Endpoint& dst,
-                    crypto::Bytes data, std::optional<IpAddr> src_addr) {
+                    crypto::Buffer data, std::optional<IpAddr> src_addr) {
   Packet pkt;
   pkt.dst = dst.addr;
   if (src_addr) {
@@ -45,25 +45,35 @@ void UdpStack::send(std::uint16_t src_port, const Endpoint& dst,
     pkt.src = *src;
   }
   pkt.proto = IpProto::kUdp;
-  UdpSegment seg;
-  seg.src_port = src_port;
-  seg.dst_port = dst.port;
-  seg.data = std::move(data);
-  pkt.payload = seg.serialize();
+  // Header goes into the buffer's headroom — no serialize-and-copy.
+  const std::size_t total = UdpSegment::kHeaderSize + data.size();
+  std::uint8_t* h = data.prepend(UdpSegment::kHeaderSize);
+  h[0] = static_cast<std::uint8_t>(src_port >> 8);
+  h[1] = static_cast<std::uint8_t>(src_port);
+  h[2] = static_cast<std::uint8_t>(dst.port >> 8);
+  h[3] = static_cast<std::uint8_t>(dst.port);
+  h[4] = static_cast<std::uint8_t>(total >> 8);
+  h[5] = static_cast<std::uint8_t>(total);
+  h[6] = h[7] = 0;  // checksum: links are loss-modelled, not bit-flipped
+  pkt.payload = std::move(data);
   pkt.stamp_l3_overhead();
   node_->send(std::move(pkt));
 }
 
 void UdpStack::on_packet(Packet&& pkt) {
-  UdpSegment seg;
-  try {
-    seg = UdpSegment::parse(pkt.payload);
-  } catch (const std::runtime_error&) {
-    return;  // malformed datagrams are silently dropped, as real stacks do
-  }
-  const auto it = bindings_.find(seg.dst_port);
+  const crypto::BytesView wire = pkt.payload.view();
+  if (wire.size() < UdpSegment::kHeaderSize) return;  // malformed: drop
+  const auto src_port =
+      static_cast<std::uint16_t>(crypto::read_be(wire, 0, 2));
+  const auto dst_port =
+      static_cast<std::uint16_t>(crypto::read_be(wire, 2, 2));
+  const auto length = static_cast<std::size_t>(crypto::read_be(wire, 4, 2));
+  if (length < UdpSegment::kHeaderSize || length > wire.size()) return;
+  const auto it = bindings_.find(dst_port);
   if (it == bindings_.end()) return;  // no listener: drop (no ICMP unreachable)
-  it->second(Endpoint{pkt.src, seg.src_port}, pkt.dst, std::move(seg.data));
+  pkt.payload.pop_front(UdpSegment::kHeaderSize);
+  pkt.payload.resize(length - UdpSegment::kHeaderSize);
+  it->second(Endpoint{pkt.src, src_port}, pkt.dst, std::move(pkt.payload));
 }
 
 }  // namespace hipcloud::net

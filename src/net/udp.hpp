@@ -15,10 +15,13 @@ namespace hipcloud::net {
 /// IpProto::kUdp on construction.
 class UdpStack {
  public:
-  /// (source endpoint, local destination address, payload)
+  /// (source endpoint, local destination address, payload). The payload
+  /// arrives as a pooled Buffer moved straight out of the packet; handlers
+  /// written against crypto::Bytes still work (the implicit conversion
+  /// copies at the boundary).
   using ReceiveFn =
       std::function<void(const Endpoint& from, const IpAddr& local,
-                         crypto::Bytes data)>;
+                         crypto::Buffer data)>;
 
   explicit UdpStack(Node* node);
 
@@ -29,8 +32,9 @@ class UdpStack {
   void unbind(std::uint16_t port);
 
   /// Send a datagram from `src_port` to `dst`. Source address is selected
-  /// from the node unless `src_addr` pins it.
-  void send(std::uint16_t src_port, const Endpoint& dst, crypto::Bytes data,
+  /// from the node unless `src_addr` pins it. The 8-byte UDP header is
+  /// prepended into the buffer's headroom in place.
+  void send(std::uint16_t src_port, const Endpoint& dst, crypto::Buffer data,
             std::optional<IpAddr> src_addr = std::nullopt);
 
   Node* node() { return node_; }

@@ -1,8 +1,56 @@
 #include "sim/event_loop.hpp"
 
-#include <algorithm>
-
 namespace hipcloud::sim {
+
+std::uint32_t EventLoop::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::recycle_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.cb.reset();
+  s.live = false;
+  ++s.gen;  // invalidate any outstanding handles to this slot
+  free_slots_.push_back(idx);
+}
+
+// Both sifts move the 24-byte POD entries through a hole instead of
+// swapping, so each level costs one copy rather than three.
+
+void EventLoop::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);  // grow first; the slot is overwritten below
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventLoop::heap_pop() {
+  const HeapEntry e = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
 
 EventHandle EventLoop::schedule(Duration delay, Callback cb) {
   if (delay < 0) delay = 0;
@@ -11,39 +59,59 @@ EventHandle EventLoop::schedule(Duration delay, Callback cb) {
 
 EventHandle EventLoop::schedule_at(Time when, Callback cb) {
   if (when < now_) when = now_;
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
-  live_ids_.insert(id);
-  return EventHandle(id);
+  const std::uint32_t idx = alloc_slot();
+  Slot& s = slots_[idx];
+  s.cb = std::move(cb);
+  s.live = true;
+  heap_push(HeapEntry{when, next_seq_++, idx});
+  ++live_;
+  ++perf_.events_scheduled;
+  return EventHandle((static_cast<std::uint64_t>(s.gen) << 32) |
+                     (static_cast<std::uint64_t>(idx) + 1));
 }
 
 bool EventLoop::cancel(EventHandle h) {
-  // Only a still-live id becomes a tombstone; cancelling a fired (or
-  // already-cancelled) event is a no-op, so cancelled_ never holds ids
-  // whose queue entry is gone.
-  if (!h.valid() || live_ids_.erase(h.id_) == 0) return false;
-  cancelled_.insert(h.id_);
+  if (!h.valid()) return false;
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(h.id_ & 0xffffffffu) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(h.id_ >> 32);
+  if (idx >= slots_.size()) return false;
+  Slot& s = slots_[idx];
+  // A fired (or already-cancelled) event has had its slot recycled and its
+  // generation bumped, so stale handles fail this check in O(1).
+  if (!s.live || s.gen != gen) return false;
+  s.live = false;
+  s.cb.reset();  // release captured state eagerly, not at pop time
+  --live_;
+  ++dead_in_heap_;
+  ++perf_.events_cancelled;
   return true;
 }
 
 bool EventLoop::step(Time until) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (until >= 0 && top.when > until) return false;
-    if (const auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    Slot& s = slots_[top.slot];
+    if (!s.live) {
+      // Cancelled entry reached the top: recycle its slot and move on.
+      recycle_slot(top.slot);
+      heap_pop();
+      --dead_in_heap_;
       continue;
     }
-    Entry e = std::move(const_cast<Entry&>(top));
-    queue_.pop();
-    live_ids_.erase(e.id);
-    now_ = e.when;
-    e.cb();
+    if (until >= 0 && top.when > until) return false;
+    const Time when = top.when;
+    // Move the callback out and retire the entry *before* invoking, so the
+    // callback can re-enter schedule()/cancel() freely.
+    Callback cb = std::move(s.cb);
+    recycle_slot(top.slot);
+    heap_pop();
+    --live_;
+    now_ = when;
+    ++perf_.events_fired;
+    cb();
     return true;
   }
-  // Queue drained: any remaining tombstones can never pop, drop them.
-  cancelled_.clear();
   return false;
 }
 

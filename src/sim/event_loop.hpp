@@ -1,12 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
+#include "sim/perf.hpp"
 #include "sim/time.hpp"
 
 namespace hipcloud::sim {
@@ -22,6 +21,7 @@ class EventHandle {
  private:
   friend class EventLoop;
   explicit EventHandle(std::uint64_t id) : id_(id) {}
+  // (generation << 32) | (slot index + 1); 0 is the invalid handle.
   std::uint64_t id_ = 0;
 };
 
@@ -32,9 +32,23 @@ class EventHandle {
 /// reproducible. Single-threaded by design: one EventLoop = one simulated
 /// world. Parallelism belongs one level up (independent worlds on
 /// independent threads, e.g. the bench harness sweeping client counts).
+///
+/// Internally the queue is an indexed binary heap of 24-byte POD entries
+/// over an arena of generation-tagged callback slots:
+///
+///  - schedule: grab a slot from the freelist (or grow the arena), store
+///    the callback in place (InlineFn — no heap allocation for callables
+///    up to 128 bytes), push {when, seq, slot} onto the heap.
+///  - cancel: O(1) — validate the handle's generation against the slot,
+///    mark the slot dead and destroy its callback eagerly. No tombstone
+///    hash sets, no per-event unordered_set inserts; the dead heap entry
+///    is skipped (and its slot recycled) when it reaches the top.
+///  - fire: pop the root, move the callback out, recycle the slot (bump
+///    its generation so stale handles can't cancel a reused slot), then
+///    invoke — so callbacks can freely schedule/cancel re-entrantly.
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFn;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -51,7 +65,7 @@ class EventLoop {
 
   /// Cancel a pending event. Returns true if the event existed and had
   /// not yet fired. Cancelling twice (or after firing) is a harmless no-op
-  /// and never leaves a tombstone behind.
+  /// (the slot generation has moved on) and costs O(1).
   bool cancel(EventHandle h);
 
   /// Run until the event queue drains or `until` (if >= 0) is reached.
@@ -63,14 +77,13 @@ class EventLoop {
   bool step(Time until = -1);
 
   /// Pending (non-cancelled) event count.
-  std::size_t pending() const { return live_ids_.size(); }
+  std::size_t pending() const { return live_; }
 
-  /// Cancelled-but-not-yet-popped tombstone count. Bounded by pending():
-  /// tombstones are erased when their entry pops and cleared when the
-  /// queue drains, so long closed-loop runs with heavy timer re-arming
-  /// (every TCP ack re-arms the RTO) can't grow the set without bound.
+  /// Cancelled-but-not-yet-popped heap entries. Bounded by the number of
+  /// scheduled events: each dead entry is dropped (and its slot recycled)
+  /// the moment it reaches the heap top, and a drained heap holds none.
   /// Exposed for the consistency assertions in the tests.
-  std::size_t tombstones() const { return cancelled_.size(); }
+  std::size_t tombstones() const { return dead_in_heap_; }
 
   /// True when no live events remain.
   bool idle() const { return pending() == 0; }
@@ -78,32 +91,44 @@ class EventLoop {
   /// Request run() to stop after the current event completes.
   void stop() { stopped_ = true; }
 
+  /// Per-world performance counters (event engine + buffer pool + packet
+  /// pipeline all record into this one instance).
+  PerfCounters& perf() { return perf_; }
+  const PerfCounters& perf() const { return perf_; }
+
  private:
-  struct Entry {
+  struct Slot {
+    InlineFn cb;
+    std::uint32_t gen = 0;
+    bool live = false;  // false: free-listed, or cancelled-awaiting-pop
+  };
+  // POD heap entry; the generation lives only in the handle because a slot
+  // is recycled exactly when its (single) heap entry pops.
+  struct HeapEntry {
     Time when;
     std::uint64_t seq;  // tiebreaker: FIFO within the same instant
-    std::uint64_t id;
-    Callback cb;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t alloc_slot();
+  void recycle_slot(std::uint32_t idx);
+  void heap_push(HeapEntry e);
+  void heap_pop();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  // Ids of scheduled, not-yet-fired, not-cancelled events. Lets cancel()
-  // distinguish "pending" from "already fired" in O(1), which is what keeps
-  // the tombstone set from accumulating ids that can never pop.
-  std::unordered_set<std::uint64_t> live_ids_;
-  // Cancelled ids still sitting in the queue; entries are skipped lazily
-  // when popped (a hash set because this is consulted on every pop).
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::size_t dead_in_heap_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  PerfCounters perf_;
 };
 
 }  // namespace hipcloud::sim

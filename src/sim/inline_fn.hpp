@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hipcloud::sim {
+
+/// Move-only type-erased `void()` callable with a large small-buffer
+/// optimisation, built for the event loop's hot path.
+///
+/// `std::function` keeps only ~16 bytes of inline storage on libstdc++, so
+/// every real simulator callback — a link-delivery lambda capturing a
+/// Packet, an RTO timer capturing a shared_ptr plus sequence state — heap
+/// allocates on schedule and frees on fire. InlineFn reserves
+/// `kInlineSize` bytes in place (≥ the largest per-packet lambda in the
+/// tree), so the per-event allocator round-trip disappears; callables that
+/// do not fit still work via a heap fallback.
+///
+/// Unlike `std::function` it is move-only, which is exactly what the event
+/// queue needs and lets captures hold move-only payload buffers.
+class InlineFn {
+ public:
+  /// Inline capacity. The largest hot callback today is the link-delivery
+  /// lambda (~112 bytes: Packet by value plus two pointers); 128 leaves
+  /// headroom without bloating the per-slot arena entry.
+  static constexpr std::size_t kInlineSize = 128;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= kAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (storage_) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*move_to)(void* from, void* to);  // move-construct into `to`
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* from, void* to) {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (**reinterpret_cast<Fn**>(s))(); },
+      [](void* from, void* to) {
+        *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
+      },
+      [](void* s) { delete *reinterpret_cast<Fn**>(s); },
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->move_to(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kAlign) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hipcloud::sim

@@ -16,6 +16,12 @@ class Log {
   static LogLevel level() { return level_; }
   static void set_level(LogLevel lvl) { level_ = lvl; }
 
+  /// Would a message at `lvl` actually be emitted? Callers on hot paths
+  /// check this before building the message string.
+  static bool enabled(LogLevel lvl) {
+    return lvl >= level_ && lvl < LogLevel::kOff;
+  }
+
   /// Emit one line: "[ 12.345ms] tag: message". Cheap no-op below level.
   static void write(LogLevel lvl, Time now, const char* tag,
                     const std::string& msg);
@@ -25,3 +31,14 @@ class Log {
 };
 
 }  // namespace hipcloud::sim
+
+/// Lazy logging: the message expression (everything after `tag`) is only
+/// evaluated when the level is enabled, so per-packet call sites stop
+/// paying for std::string concatenation that the default kWarn filter
+/// immediately discards.
+#define HIPCLOUD_LOG(lvl, now, tag, ...)                           \
+  do {                                                             \
+    if (::hipcloud::sim::Log::enabled(lvl)) {                      \
+      ::hipcloud::sim::Log::write((lvl), (now), (tag), __VA_ARGS__); \
+    }                                                              \
+  } while (0)

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+namespace hipcloud::sim {
+
+/// Always-on per-world performance counters. One instance per simulated
+/// world (owned by the EventLoop, shared with the buffer pool and the
+/// packet pipeline), so the bench harness can report exactly what the
+/// simulator substrate did: how many events the engine processed, how
+/// often the payload pool recycled a buffer instead of hitting the
+/// allocator, and how many payload bytes moved through the datapath by
+/// reference rather than by copy.
+///
+/// Counters are plain uint64 increments on paths that already do far more
+/// work per call — the overhead is noise, which is why they stay on even
+/// in release builds and can feed every BENCH_*.json.
+struct PerfCounters {
+  // Event engine.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t events_cancelled = 0;
+
+  // Payload buffer pool.
+  std::uint64_t pool_hits = 0;    // buffer recycled from a freelist
+  std::uint64_t pool_misses = 0;  // freelist empty: fresh heap allocation
+  std::uint64_t pool_returns = 0;
+
+  // Packet pipeline.
+  std::uint64_t packets_delivered = 0;   // local_deliver on any node
+  std::uint64_t payload_bytes_copied = 0;  // memcpy'd between buffers
+  std::uint64_t payload_bytes_moved = 0;   // changed owner without a copy
+
+  void merge(const PerfCounters& o) {
+    events_scheduled += o.events_scheduled;
+    events_fired += o.events_fired;
+    events_cancelled += o.events_cancelled;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    pool_returns += o.pool_returns;
+    packets_delivered += o.packets_delivered;
+    payload_bytes_copied += o.payload_bytes_copied;
+    payload_bytes_moved += o.payload_bytes_moved;
+  }
+
+  double pool_hit_rate() const {
+    const std::uint64_t total = pool_hits + pool_misses;
+    return total ? static_cast<double>(pool_hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+  /// Fresh payload-buffer heap allocations per delivered packet — the
+  /// headline number the pooled pipeline drives down.
+  double pool_misses_per_packet() const {
+    return packets_delivered ? static_cast<double>(pool_misses) /
+                                   static_cast<double>(packets_delivered)
+                             : 0.0;
+  }
+
+  /// Emit as a JSON object body (no surrounding braces) with the given
+  /// indent prefix — shared by every BENCH_*.json writer.
+  void write_json_fields(std::FILE* f, const char* indent) const {
+    std::fprintf(f,
+                 "%s\"events_scheduled\": %llu,\n"
+                 "%s\"events_fired\": %llu,\n"
+                 "%s\"events_cancelled\": %llu,\n"
+                 "%s\"pool_hits\": %llu,\n"
+                 "%s\"pool_misses\": %llu,\n"
+                 "%s\"pool_hit_rate\": %.4f,\n"
+                 "%s\"packets_delivered\": %llu,\n"
+                 "%s\"pool_misses_per_packet\": %.4f,\n"
+                 "%s\"payload_bytes_copied\": %llu,\n"
+                 "%s\"payload_bytes_moved\": %llu",
+                 indent, (unsigned long long)events_scheduled,
+                 indent, (unsigned long long)events_fired,
+                 indent, (unsigned long long)events_cancelled,
+                 indent, (unsigned long long)pool_hits,
+                 indent, (unsigned long long)pool_misses,
+                 indent, pool_hit_rate(),
+                 indent, (unsigned long long)packets_delivered,
+                 indent, pool_misses_per_packet(),
+                 indent, (unsigned long long)payload_bytes_copied,
+                 indent, (unsigned long long)payload_bytes_moved);
+  }
+};
+
+}  // namespace hipcloud::sim

@@ -35,6 +35,7 @@ double Summary::max() const {
 
 double Summary::percentile(double q) const {
   if (samples_.empty()) return 0.0;
+  if (std::isnan(q)) return 0.0;  // NaN survives both clamps below
   if (q < 0.0) q = 0.0;
   if (q > 100.0) q = 100.0;
   if (!sorted_) {
@@ -50,6 +51,26 @@ double Summary::percentile(double q) const {
   return samples_[rank - 1];
 }
 
+void Summary::merge(const Summary& o) {
+  if (o.samples_.empty()) return;
+  if (samples_.empty()) {
+    samples_ = o.samples_;
+    sorted_ = o.sorted_;
+    mean_ = o.mean_;
+    m2_ = o.m2_;
+    sum_ = o.sum_;
+    return;
+  }
+  const double na = static_cast<double>(samples_.size());
+  const double nb = static_cast<double>(o.samples_.size());
+  const double delta = o.mean_ - mean_;
+  m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+  mean_ += delta * nb / (na + nb);
+  sum_ += o.sum_;
+  samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+  sorted_ = false;
+}
+
 void Summary::clear() {
   samples_.clear();
   sorted_ = true;
@@ -62,6 +83,16 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
   if (buckets == 0 || hi <= lo) {
     throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
   }
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (lo_ != o.lo_ || width_ != o.width_ || counts_.size() != o.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: mismatched geometry");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  overflow_ += o.overflow_;
+  underflow_ += o.underflow_;
+  total_ += o.total_;
 }
 
 void Histogram::add(double x) {

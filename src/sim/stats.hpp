@@ -23,6 +23,13 @@ class Summary {
   double median() const { return percentile(50.0); }
   double sum() const { return sum_; }
 
+  /// Fold another summary into this one (Chan's parallel Welford
+  /// combination plus sample concatenation, so percentiles stay exact).
+  /// This is how the parallel sweep runner aggregates per-world summaries
+  /// — O(samples) memcpy instead of re-running the online update per
+  /// sample.
+  void merge(const Summary& o);
+
   void clear();
 
  private:
@@ -40,6 +47,10 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
+  /// Fold another histogram into this one. Both must share the same
+  /// geometry (lo/width/bucket count); throws std::invalid_argument
+  /// otherwise.
+  void merge(const Histogram& o);
   std::size_t bucket_count() const { return counts_.size(); }
   std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
   std::size_t overflow() const { return overflow_; }

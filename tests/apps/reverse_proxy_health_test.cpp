@@ -64,21 +64,25 @@ struct ProxyTopo {
   }
 
   /// Issue `n` sequential GETs through the proxy; returns how many
-  /// succeeded (non-502) once the loop has been run by the caller.
+  /// succeeded (non-502) once the loop has been run by the caller. The
+  /// continuation lives in a member (not a self-capturing shared
+  /// function, which would be a reference cycle); chains never overlap —
+  /// each call is followed by a loop.run() before the next.
   void send_sequential(int n, int* ok) {
-    auto send_next = std::make_shared<std::function<void(int)>>();
-    *send_next = [this, ok, send_next](int remaining) {
+    send_next_ = [this, ok](int remaining) {
       if (remaining == 0) return;
       client->request(Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), 80},
                       HttpRequest{},
-                      [this, ok, send_next, remaining](
-                          std::optional<HttpResponse> resp, sim::Duration) {
+                      [this, ok, remaining](std::optional<HttpResponse> resp,
+                                            sim::Duration) {
                         if (resp && resp->status == 200) ++*ok;
-                        (*send_next)(remaining - 1);
+                        send_next_(remaining - 1);
                       });
     };
-    (*send_next)(n);
+    send_next_(n);
   }
+
+  std::function<void(int)> send_next_;
 };
 
 ProxyHealthConfig fast_health() {

@@ -196,6 +196,48 @@ TEST(EventLoop, PendingMatchesLiveEventsUnderMixedCancellation) {
   EXPECT_TRUE(loop.idle());
 }
 
+TEST(EventLoop, GoldenFiringOrderUnderSameInstantCancelChurn) {
+  // Determinism regression for the indexed-heap engine: interleaved
+  // schedule / cancel / re-schedule at identical instants must fire in
+  // exactly the order the documented rule implies — same-instant events
+  // fire in schedule order, cancellations never perturb the order of
+  // survivors, and a re-schedule counts as a fresh schedule (it joins the
+  // back of its instant). The simulation results of every seeded world
+  // depend on this sequence, so it is pinned as a golden vector.
+  EventLoop loop;
+  std::vector<int> order;
+  auto rec = [&order](int id) {
+    return [&order, id] { order.push_back(id); };
+  };
+
+  const auto a = loop.schedule(10, rec(1));
+  const auto b = loop.schedule(10, rec(2));
+  loop.schedule(10, rec(3));
+  loop.cancel(b);          // tombstone between two survivors
+  loop.schedule(10, rec(4));  // "re-scheduled b": new event, back of t=10
+  loop.schedule(5, rec(5));   // scheduled later but fires first
+  loop.cancel(a);          // cancel the head of the t=10 instant
+  loop.schedule(10, rec(6));
+  // From inside a t=5 callback, schedule into the t=10 instant: it must
+  // land behind every event already queued there.
+  loop.schedule(5, [&] { loop.schedule(5, rec(7)); });
+
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 3, 4, 6, 7}));
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.tombstones(), 0u);
+
+  // Stale handles from the drained run must not cancel anything ever
+  // again, even after their slots are recycled by new events.
+  std::vector<EventHandle> fresh;
+  for (int i = 0; i < 8; ++i) fresh.push_back(loop.schedule(1, rec(100 + i)));
+  EXPECT_FALSE(loop.cancel(a));
+  EXPECT_FALSE(loop.cancel(b));
+  EXPECT_EQ(loop.pending(), 8u);
+  loop.run();
+  EXPECT_EQ(order.size(), 13u);
+}
+
 TEST(TimeFormat, HumanReadableUnits) {
   EXPECT_EQ(format_time(500), "500ns");
   EXPECT_EQ(format_time(1500), "1.500us");
