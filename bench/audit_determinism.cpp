@@ -1,0 +1,169 @@
+// Determinism auditor (hipcheck part 3).
+//
+// Every EventLoop folds each event firing `(when, seq, slot)` into a
+// rolling FNV-1a hash (sim::PerfCounters::determinism_hash), so one
+// 64-bit word captures the complete firing order of a world. This
+// harness replays the same sweep of (clients, mode) worlds under
+// different host-side execution conditions and diffs the per-world hash
+// streams:
+//
+//   run A   serial (1 thread)            — the reference order
+//   run B   2 worker threads
+//   run C   hardware_concurrency threads
+//   run D   N threads + perturbed scheduling slack: each job sleeps a
+//           deterministic, index-derived amount before building its
+//           world, shuffling which worker picks up which job and how
+//           the OS interleaves them.
+//
+// If any world's hash differs between runs, host parallelism is leaking
+// into simulated behaviour — exactly the bug class the paper's
+// reproducibility claims cannot tolerate — and the auditor prints the
+// offending grid point and fails. Per-world wall-clock never enters the
+// hash, so the slack injection cannot legitimately change it.
+//
+// `--quick` shrinks the grid and duration for the CTest registration
+// (label `audit`, runs inside tier-1); the full grid is the manual /
+// check.sh configuration.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/secure_service.hpp"
+#include "core/testbed.hpp"
+#include "sweep.hpp"
+
+namespace {
+
+using hipcloud::bench::sweep;
+using hipcloud::core::mode_name;
+
+struct WorldPoint {
+  int clients;
+  hipcloud::core::SecurityMode mode;
+};
+
+struct WorldResult {
+  std::uint64_t hash = 0;
+  std::uint64_t events = 0;
+  double throughput = 0.0;
+};
+
+struct RunSpec {
+  const char* name;
+  unsigned threads;
+  bool perturb;
+};
+
+std::vector<WorldResult> run_grid(const std::vector<WorldPoint>& grid,
+                                  hipcloud::sim::Duration duration,
+                                  unsigned threads, bool perturb) {
+  return sweep<WorldResult>(
+      grid.size(),
+      [&](std::size_t i) {
+        if (perturb) {
+          // Deterministic, index-derived slack (0..1.2 ms in 100 us
+          // steps): shuffles job->worker assignment and OS interleaving
+          // without touching anything inside the worlds.
+          const auto us = ((i * 7919) % 13) * 100;
+          std::this_thread::sleep_for(std::chrono::microseconds(us));
+        }
+        hipcloud::core::TestbedConfig cfg;
+        cfg.deployment.mode = grid[i].mode;
+        hipcloud::core::Testbed bed(cfg);
+        const auto report =
+            bed.run_closed_loop(grid[i].clients, duration);
+        const auto& perf = bed.network().perf();
+        return WorldResult{perf.determinism_hash, perf.events_fired,
+                           report.throughput_rps()};
+      },
+      threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::vector<int> client_counts =
+      quick ? std::vector<int>{2, 4} : std::vector<int>{2, 6, 10, 20};
+  // The closed-loop client's default warmup is 2 s; run past it so the
+  // reported throughput covers a real measurement window.
+  const hipcloud::sim::Duration duration =
+      (quick ? 4 : 10) * hipcloud::sim::kSecond;
+  constexpr hipcloud::core::SecurityMode kModes[] = {
+      hipcloud::core::SecurityMode::kBasic,
+      hipcloud::core::SecurityMode::kHip,
+      hipcloud::core::SecurityMode::kSsl};
+
+  std::vector<WorldPoint> grid;
+  for (int c : client_counts) {
+    for (auto m : kModes) grid.push_back({c, m});
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 2) hw = 2;
+  const RunSpec runs[] = {
+      {"serial", 1, false},
+      {"2-thread", 2, false},
+      {"N-thread", hw, false},
+      {"N-thread+slack", hw, true},
+  };
+
+  std::printf(
+      "Determinism audit: %zu worlds x %zu runs "
+      "(serial / 2 / %u / %u+slack threads), %s grid\n",
+      grid.size(), std::size(runs), hw, hw, quick ? "quick" : "full");
+
+  std::vector<std::vector<WorldResult>> results;
+  results.reserve(std::size(runs));
+  for (const RunSpec& r : runs) {
+    results.push_back(run_grid(grid, duration, r.threads, r.perturb));
+  }
+
+  int mismatches = 0;
+  const auto& ref = results[0];
+  for (std::size_t w = 0; w < grid.size(); ++w) {
+    bool ok = true;
+    for (std::size_t r = 1; r < results.size(); ++r) {
+      if (results[r][w].hash != ref[w].hash ||
+          results[r][w].events != ref[w].events) {
+        ok = false;
+        ++mismatches;
+        std::printf(
+            "  MISMATCH %3d clients/%-5s  %s: hash 0x%016llx (%llu events) "
+            "vs serial 0x%016llx (%llu events)\n",
+            grid[w].clients, mode_name(grid[w].mode), runs[r].name,
+            static_cast<unsigned long long>(results[r][w].hash),
+            static_cast<unsigned long long>(results[r][w].events),
+            static_cast<unsigned long long>(ref[w].hash),
+            static_cast<unsigned long long>(ref[w].events));
+      }
+    }
+    if (ok) {
+      std::printf("  ok  %3d clients/%-5s  0x%016llx  (%llu events, %.1f rps)\n",
+                  grid[w].clients, mode_name(grid[w].mode),
+                  static_cast<unsigned long long>(ref[w].hash),
+                  static_cast<unsigned long long>(ref[w].events),
+                  ref[w].throughput);
+    }
+  }
+
+  if (mismatches != 0) {
+    std::printf(
+        "\nFAIL: %d hash mismatch%s — host scheduling is leaking into "
+        "simulated behaviour\n",
+        mismatches, mismatches == 1 ? "" : "es");
+    return 1;
+  }
+  std::printf(
+      "\nPASS: all %zu worlds hash bit-identically across thread counts "
+      "and scheduling slack\n",
+      grid.size());
+  return 0;
+}

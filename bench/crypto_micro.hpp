@@ -212,6 +212,7 @@ template <typename Fn>
 double measure_mbps(std::size_t bytes_per_call, Fn&& fn,
                     std::chrono::milliseconds budget =
                         std::chrono::milliseconds(150)) {
+  // hipcheck:allow(wall-clock): micro-bench measures real elapsed time; never feeds sim state
   using Clock = std::chrono::steady_clock;
   fn();  // warm-up
   const auto start = Clock::now();
@@ -232,6 +233,7 @@ double measure_mbps(std::size_t bytes_per_call, Fn&& fn,
 template <typename Fn>
 double measure_ops(Fn&& fn, std::chrono::milliseconds budget =
                                 std::chrono::milliseconds(150)) {
+  // hipcheck:allow(wall-clock): micro-bench measures real elapsed time; never feeds sim state
   using Clock = std::chrono::steady_clock;
   fn();  // warm-up
   const auto start = Clock::now();

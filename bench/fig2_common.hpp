@@ -119,6 +119,7 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
   std::printf("Sweeping %zu (clients, mode) worlds on %u thread%s...\n\n",
               kJobs, threads, threads == 1 ? "" : "s");
 
+  // hipcheck:allow(wall-clock): wall-time of the parallel sweep, reporting only
   const auto start = std::chrono::steady_clock::now();
   // Job i = (clients index, mode index); each job builds its own Testbed
   // world, so the numbers match the serial run point for point.
@@ -136,6 +137,7 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
       },
       threads);
   const double wall =
+      // hipcheck:allow(wall-clock): wall-time of the parallel sweep, reporting only
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 

@@ -39,15 +39,27 @@ void* operator new(std::size_t n) {
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc();
 }
-void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+// The replaced operator new above allocates with std::malloc, so free()
+// is the matching deallocator; GCC can't see through the replacement
+// and reports a mismatched pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace hipcloud::bench {
 namespace {
 
+// hipcheck:allow(wall-clock): micro-bench measures real elapsed time; never feeds sim state
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {

@@ -115,7 +115,7 @@ int main() {
                          crypto::Bytes data) {
     std::printf("management reply     : %.*s\n",
                 static_cast<int>(data.size()),
-                reinterpret_cast<const char*>(data.data()));
+                data.empty() ? "" : reinterpret_cast<const char*>(data.data()));
     got_reply = true;
   });
   hip_admin.on_established([&](const net::Ipv6Addr&, sim::Duration rtt) {

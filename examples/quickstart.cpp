@@ -47,7 +47,7 @@ int main() {
                        crypto::Bytes data) {
     std::printf("bob received %zu bytes from %s: \"%.*s\"\n", data.size(),
                 from.to_string().c_str(), static_cast<int>(data.size()),
-                reinterpret_cast<const char*>(data.data()));
+                data.empty() ? "" : reinterpret_cast<const char*>(data.data()));
     udp_b.send(7777, from, crypto::to_bytes("hello alice, over ESP"));
   });
 
@@ -56,7 +56,7 @@ int main() {
                        crypto::Bytes data) {
     std::printf("alice received reply: \"%.*s\"\n",
                 static_cast<int>(data.size()),
-                reinterpret_cast<const char*>(data.data()));
+                data.empty() ? "" : reinterpret_cast<const char*>(data.data()));
     replied = true;
   });
 

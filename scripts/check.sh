@@ -1,31 +1,126 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the full non-bench test suite in the normal build, then the
-# same suite under ASan+UBSan (-DHIPCLOUD_SANITIZE=ON). Run from anywhere;
-# builds land in build/ and build-san/ at the repo root.
+# hipcheck driver: every quality gate the tree ships, one flag per pass.
 #
-#   scripts/check.sh            # both passes
-#   scripts/check.sh --fast     # normal build only (skip sanitizers)
-set -euo pipefail
+#   scripts/check.sh              # default gates: normal + ASan+UBSan tier-1
+#   scripts/check.sh --fast       # normal build only
+#   scripts/check.sh --lint       # hipcloud_lint over src/ bench/ tests/ + self-test
+#   scripts/check.sh --audit      # HIPCLOUD_AUDIT=ON build, full tier-1 +
+#                                 # audit-trip suite + determinism auditor
+#   scripts/check.sh --tsan       # HIPCLOUD_SANITIZE=thread build, tier-1 +
+#                                 # the parallel determinism sweep under TSan
+#   scripts/check.sh --all        # every pass above
+#
+# Flags compose (`--lint --tsan` runs exactly those two passes). Every
+# pass runs even if an earlier one fails; the exit status is nonzero if
+# ANY pass failed. Build parallelism honours CMAKE_BUILD_PARALLEL_LEVEL
+# and test parallelism CTEST_PARALLEL_LEVEL (both default to nproc). All
+# builds use -DHIPCLOUD_WERROR=ON: the gates are also the warning wall.
+set -uo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-jobs="$(nproc 2>/dev/null || echo 2)"
-fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+jobs="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
+tjobs="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== tier-1: normal build =="
-cmake -S "$root" -B "$root/build" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$root/build" -j "$jobs"
-ctest --test-dir "$root/build" -LE bench --output-on-failure
+run_normal=0 run_san=0 run_lint=0 run_audit=0 run_tsan=0
+if [[ $# -eq 0 ]]; then
+  run_normal=1 run_san=1
+fi
+for arg in "$@"; do
+  case "$arg" in
+    --fast)  run_normal=1 ;;
+    --lint)  run_lint=1 ;;
+    --audit) run_audit=1 ;;
+    --tsan)  run_tsan=1 ;;
+    --all)   run_normal=1 run_san=1 run_lint=1 run_audit=1 run_tsan=1 ;;
+    *)
+      echo "usage: $0 [--fast] [--lint] [--audit] [--tsan] [--all]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-if [[ "$fast" == 1 ]]; then
-  echo "== skipping sanitizer pass (--fast) =="
-  exit 0
+failures=()
+
+# run <pass-name> <cmd...> — runs the command, records the pass name on
+# failure, never aborts the script.
+run() {
+  local name="$1"
+  shift
+  echo "== $name =="
+  if ! "$@"; then
+    echo "** FAILED: $name **" >&2
+    failures+=("$name")
+  fi
+}
+
+# configure_build <dir> <extra cmake args...>
+configure_build() {
+  local dir="$1"
+  shift
+  cmake -S "$root" -B "$dir" -DHIPCLOUD_WERROR=ON "$@" >/dev/null &&
+    cmake --build "$dir" -j "$jobs"
+}
+
+if [[ "$run_normal" == 1 ]]; then
+  run "tier-1: normal build" \
+    configure_build "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  run "tier-1: normal tests" \
+    ctest --test-dir "$root/build" -LE bench -j "$tjobs" --output-on-failure
 fi
 
-echo "== tier-1: ASan+UBSan build =="
-cmake -S "$root" -B "$root/build-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHIPCLOUD_SANITIZE=ON >/dev/null
-cmake --build "$root/build-san" -j "$jobs"
-ctest --test-dir "$root/build-san" -LE bench --output-on-failure
+if [[ "$run_lint" == 1 ]]; then
+  # The lint pass only needs the linter binary, not the whole tree.
+  run "lint: build hipcloud_lint" bash -c \
+    "cmake -S '$root' -B '$root/build' -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DHIPCLOUD_WERROR=ON >/dev/null &&
+     cmake --build '$root/build' -j '$jobs' --target hipcloud_lint"
+  run "lint: self-test" \
+    "$root/build/tools/hipcloud_lint" --self-test "$root/tools/lint/fixtures"
+  run "lint: tree" \
+    "$root/build/tools/hipcloud_lint" --root "$root" src bench tests
+fi
 
+if [[ "$run_san" == 1 ]]; then
+  run "tier-1: ASan+UBSan build" \
+    configure_build "$root/build-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHIPCLOUD_SANITIZE=ON
+  run "tier-1: ASan+UBSan tests" \
+    ctest --test-dir "$root/build-san" -LE bench -j "$tjobs" \
+    --output-on-failure
+fi
+
+if [[ "$run_audit" == 1 ]]; then
+  run "audit: HIPCLOUD_AUDIT=ON build" \
+    configure_build "$root/build-audit" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHIPCLOUD_AUDIT=ON
+  # Full tier-1 with audits armed: healthy code must not trip a single
+  # invariant, and the audit-trip suite must see every planted
+  # regression throw.
+  run "audit: tier-1 with invariants armed" \
+    ctest --test-dir "$root/build-audit" -LE bench -j "$tjobs" \
+    --output-on-failure
+  run "audit: determinism auditor (full grid)" \
+    "$root/build-audit/bench/audit_determinism"
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  run "tsan: HIPCLOUD_SANITIZE=thread build" \
+    configure_build "$root/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHIPCLOUD_SANITIZE=thread
+  run "tsan: tier-1" \
+    ctest --test-dir "$root/build-tsan" -LE bench -j "$tjobs" \
+    --output-on-failure
+  # The determinism auditor is the only multi-threaded path in the tree
+  # (worlds are single-threaded by design); run it under TSan at full
+  # width to flush data races in the sweep/logging machinery.
+  run "tsan: parallel determinism sweep" \
+    "$root/build-tsan/bench/audit_determinism" --quick
+fi
+
+echo
+if [[ ${#failures[@]} -gt 0 ]]; then
+  echo "FAILED passes:"
+  printf '  - %s\n' "${failures[@]}"
+  exit 1
+fi
 echo "== all green =="

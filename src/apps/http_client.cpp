@@ -23,10 +23,10 @@ void HttpClient::request(const net::Endpoint& dst, HttpRequest req,
     auto& waiting = pit->second.waiting;
     for (auto it = waiting.begin(); it != waiting.end(); ++it) {
       if (it->id == wid) {
-        auto done = std::move(it->done);
+        auto expired = std::move(it->done);
         waiting.erase(it);
         ++failures_;
-        done(std::nullopt, timeout_);
+        expired(std::nullopt, timeout_);
         return;
       }
     }

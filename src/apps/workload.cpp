@@ -48,8 +48,8 @@ void ClosedLoopClients::user_loop(int user) {
   client_.request(
       config_.target, next_request(),
       [this, user](std::optional<HttpResponse> resp, sim::Duration latency) {
-        auto& loop = node_->network().loop();
-        const bool counted = loop.now() >= started_at_ + config_.warmup;
+        auto& evloop = node_->network().loop();
+        const bool counted = evloop.now() >= started_at_ + config_.warmup;
         if (counted) {
           if (resp && resp->status == 200) {
             ++report_.completed;
@@ -59,7 +59,8 @@ void ClosedLoopClients::user_loop(int user) {
           }
         }
         if (config_.think_time > 0) {
-          loop.schedule(config_.think_time, [this, user] { user_loop(user); });
+          evloop.schedule(config_.think_time,
+                          [this, user] { user_loop(user); });
         } else {
           user_loop(user);
         }

@@ -183,10 +183,10 @@ void Cloud::migrate(Vm* vm, Hypervisor* dst, MigrationDoneFn done,
     vm->host_ = dst;
     ++dst->vm_count_;
 
-    sim::Log::write(sim::LogLevel::kInfo, net_.loop().now(), "cloud",
-                    vm->name_ + " migrated to host" +
-                        std::to_string(dst->index()) + " as " +
-                        new_ip.to_string());
+    HIPCLOUD_LOG(sim::LogLevel::kInfo, net_.loop().now(), "cloud",
+                  vm->name_ + " migrated to host" +
+                      std::to_string(dst->index()) + " as " +
+                      new_ip.to_string());
     if (done) done(MigrationReport{total, downtime, new_ip, copied});
   });
 }

@@ -1,5 +1,7 @@
 #include "crypto/buffer.hpp"
 
+#include "sim/check.hpp"
+
 namespace hipcloud::crypto {
 
 Buffer::Buffer(BytesView v) {
@@ -118,7 +120,18 @@ std::uint8_t* BufferPool::acquire(std::size_t needed, std::uint32_t& cap_out) {
   return new std::uint8_t[needed];
 }
 
+bool BufferPool::audit_not_cached(const std::uint8_t* block) const {
+  for (const auto& cls : free_) {
+    for (const std::uint8_t* cached : cls) {
+      if (cached == block) return false;
+    }
+  }
+  return true;
+}
+
 void BufferPool::release(std::uint8_t* block, std::uint32_t cap) {
+  HIPCLOUD_AUDIT(audit_not_cached(block),
+                 "BufferPool double-release: block is already on a freelist");
   // Only exact pool-class blocks are cached; odd sizes (oversize direct
   // allocations) are freed.
   if (cap >= kMinClass && cap <= kMaxClass && (cap & (cap - 1)) == 0) {

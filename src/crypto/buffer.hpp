@@ -210,6 +210,11 @@ class BufferPool {
 
   std::uint8_t* acquire(std::size_t needed, std::uint32_t& cap_out);
   void release(std::uint8_t* block, std::uint32_t cap);
+  /// O(cached blocks) scan backing the audit-build double-release /
+  /// aliasing check: a block being released must not already sit in any
+  /// freelist (two Buffers thinking they own the same block corrupts
+  /// whichever packet recycles it first).
+  bool audit_not_cached(const std::uint8_t* block) const;
 
   std::vector<std::uint8_t*> free_[kClasses];
   sim::PerfCounters* perf_ = nullptr;

@@ -1,7 +1,9 @@
 #include "hip/daemon.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "sim/check.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::hip {
@@ -16,8 +18,16 @@ namespace {
 
 constexpr std::size_t kMaxPendingPackets = 64;
 
+// GCC 12's inliner fuses the v6 branch with the variant's smaller v4
+// alternative and then reports spurious out-of-bounds reads from the
+// 16-byte address array (-Warray-bounds / -Wstringop-overread depending
+// on optimisation decisions); the access is guarded by is_v4().
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wstringop-overread"
 Bytes encode_locator(const IpAddr& addr) {
   Bytes out;
+  out.reserve(17);
   if (addr.is_v4()) {
     out.push_back(4);
     crypto::append_be(out, addr.v4().value(), 4);
@@ -27,6 +37,7 @@ Bytes encode_locator(const IpAddr& addr) {
   }
   return out;
 }
+#pragma GCC diagnostic pop
 
 std::optional<IpAddr> decode_locator(BytesView data) {
   if (data.empty()) return std::nullopt;
@@ -101,9 +112,9 @@ HipDaemon::HipDaemon(net::Node* node, HostIdentity identity, HipConfig config)
   puzzle_i_ = crypto::read_be(drbg_.generate(8), 0, 8);
 
   // Own the HIT and local LSI as virtual addresses.
-  const std::size_t iface = node_->add_virtual_interface();
-  node_->add_address(iface, identity_.hit());
-  node_->add_address(iface, config_.local_lsi);
+  const std::size_t hit_iface = node_->add_virtual_interface();
+  node_->add_address(hit_iface, identity_.hit());
+  node_->add_address(hit_iface, config_.local_lsi);
 
   node_->add_shim(std::make_shared<Shim>(this));
   node_->register_protocol(IpProto::kEsp, [this](Packet&& pkt) {
@@ -203,6 +214,106 @@ AssocState HipDaemon::state(const net::Ipv6Addr& peer_hit) const {
 }
 
 // ---------------------------------------------------------------------------
+// State-machine invariants (hipcheck)
+
+const char* assoc_state_name(AssocState s) {
+  switch (s) {
+    case AssocState::kUnassociated:
+      return "UNASSOCIATED";
+    case AssocState::kI1Sent:
+      return "I1-SENT";
+    case AssocState::kI2Sent:
+      return "I2-SENT";
+    case AssocState::kEstablished:
+      return "ESTABLISHED";
+    case AssocState::kClosing:
+      return "CLOSING";
+    case AssocState::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+bool legal_assoc_transition(AssocState from, AssocState to) {
+  switch (from) {
+    case AssocState::kUnassociated:
+      // Initiator starts the BEX; a responder (stateless until I2) jumps
+      // straight to ESTABLISHED when a valid I2 arrives.
+      return to == AssocState::kI1Sent || to == AssocState::kEstablished;
+    case AssocState::kI1Sent:
+      // Valid R1 advances the ladder; the retry timer restarts from I1;
+      // signature/DH failure or retry exhaustion fails the association.
+      // Simultaneous initiation (both sides sent I1, the I1s crossed in
+      // flight): the peer's I2 can arrive while our own I1 is still
+      // outstanding, and we establish as responder directly.
+      return to == AssocState::kI1Sent || to == AssocState::kI2Sent ||
+             to == AssocState::kEstablished || to == AssocState::kFailed;
+    case AssocState::kI2Sent:
+      // Valid R2 establishes; the retry timer restarts from I1 (the
+      // responder is stateless until I2); retry exhaustion fails.
+      return to == AssocState::kI1Sent || to == AssocState::kEstablished ||
+             to == AssocState::kFailed;
+    case AssocState::kEstablished:
+      // Dead-peer reset / peer re-BEX tears back to UNASSOCIATED; local
+      // CLOSE starts teardown. Rekey and readdress stay ESTABLISHED.
+      return to == AssocState::kUnassociated || to == AssocState::kClosing;
+    case AssocState::kClosing:
+      // Traffic may legally re-open before the CLOSE_ACK lands (the ack
+      // erases the association rather than transitioning it).
+      return to == AssocState::kI1Sent;
+    case AssocState::kFailed:
+      // Fresh traffic retries the BEX.
+      return to == AssocState::kI1Sent;
+  }
+  return false;
+}
+
+void HipDaemon::set_state(Association& assoc, AssocState to) {
+  HIPCLOUD_AUDIT(legal_assoc_transition(assoc.state, to),
+                 std::string("illegal HIP association transition ") +
+                     assoc_state_name(assoc.state) + " -> " +
+                     assoc_state_name(to) + " for peer " +
+                     assoc.peer_hit.to_string());
+  assoc.state = to;
+  audit_association(assoc);
+}
+
+void HipDaemon::audit_association(const Association& assoc) const {
+#ifdef HIPCLOUD_AUDIT_ENABLED
+  if (assoc.state == AssocState::kEstablished) {
+    HIPCLOUD_AUDIT(assoc.sa_out != nullptr && assoc.sa_in != nullptr,
+                   "ESTABLISHED association without live SAs");
+    HIPCLOUD_AUDIT(assoc.spi_in != 0 && assoc.spi_out != 0,
+                   "ESTABLISHED association with unassigned SPIs");
+    const auto it = spi_to_peer_.find(assoc.spi_in);
+    HIPCLOUD_AUDIT(it != spi_to_peer_.end() && it->second == assoc.peer_hit,
+                   "inbound SPI not routed to this association");
+  } else {
+    HIPCLOUD_AUDIT(!assoc.rekey_in_flight,
+                   "rekey in flight outside ESTABLISHED");
+  }
+  // Old-SA drain lifecycle: the superseded inbound SA and its SPI are a
+  // unit, and while one exists its grace (drain) timer must be armed —
+  // otherwise the stale SPI would accept traffic forever.
+  HIPCLOUD_AUDIT((assoc.old_sa_in != nullptr) == (assoc.old_spi_in != 0),
+                 "old-SA/old-SPI pair out of sync");
+  if (assoc.old_sa_in != nullptr) {
+    HIPCLOUD_AUDIT(assoc.grace_armed, "draining old SA without grace timer");
+    const auto it = spi_to_peer_.find(assoc.old_spi_in);
+    HIPCLOUD_AUDIT(it != spi_to_peer_.end() && it->second == assoc.peer_hit,
+                   "draining SPI not routed to this association");
+  }
+#else
+  (void)assoc;
+#endif
+}
+
+void HipDaemon::debug_force_state(const net::Ipv6Addr& peer_hit,
+                                  AssocState to) {
+  set_state(assoc_for(peer_hit), to);
+}
+
+// ---------------------------------------------------------------------------
 // Cost helpers
 
 void HipDaemon::charge(double cycles, std::function<void()> then) {
@@ -258,9 +369,9 @@ bool HipDaemon::shim_outbound(Packet& pkt) {
   } else {
     const auto mapped = peer_for_lsi(pkt.dst.v4());
     if (!mapped) {
-      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
-                      "hip", node_->name() + ": no peer for LSI " +
-                                 pkt.dst.to_string());
+      HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(),
+                    "hip", node_->name() + ": no peer for LSI " +
+                               pkt.dst.to_string());
       return true;  // consumed: unroutable LSI
     }
     peer_hit = *mapped;
@@ -277,10 +388,10 @@ bool HipDaemon::shim_outbound(Packet& pkt) {
     ++stats_.pending_dropped;
     if (!assoc.pending_warn_logged) {
       assoc.pending_warn_logged = true;
-      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
-                      "hip",
-                      node_->name() + ": pending queue full for " +
-                          peer_hit.to_string() + ", dropping outbound");
+      HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(),
+                    "hip",
+                    node_->name() + ": pending queue full for " +
+                        peer_hit.to_string() + ", dropping outbound");
     }
   }
   if (assoc.state == AssocState::kUnassociated ||
@@ -302,22 +413,22 @@ void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
   // CPU delay.
   const net::Ipv6Addr peer_hit = assoc.peer_hit;
   charge(cycles, [this, peer_hit, addr_mode, p = std::move(pkt)]() mutable {
-    Association* assoc = find_assoc(peer_hit);
-    if (assoc == nullptr || assoc->state != AssocState::kEstablished) return;
+    Association* found = find_assoc(peer_hit);
+    if (found == nullptr || found->state != AssocState::kEstablished) return;
     Packet out;
-    out.dst = assoc->peer_locator;
+    out.dst = found->peer_locator;
     const auto src = node_->select_source(out.dst);
     if (!src) return;
     out.src = *src;
     out.proto = IpProto::kEsp;
-    out.payload = assoc->sa_out->protect_packet(
+    out.payload = found->sa_out->protect_packet(
         static_cast<std::uint8_t>(p.proto), addr_mode, std::move(p.payload));
     if (out.payload.empty()) {
       // Outbound SA exhausted its 32-bit sequence space. The packet is
       // lost (transport retransmits); force a rekey so the next ones
       // aren't.
       ++stats_.sa_exhausted_drops;
-      start_rekey(*assoc);
+      start_rekey(*found);
       return;
     }
     out.stamp_l3_overhead();
@@ -325,8 +436,8 @@ void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
     stats_.esp_bytes_out += out.payload.size();
     node_->send(std::move(out));
     if (config_.esp_rekey_threshold != 0 &&
-        assoc->sa_out->remaining_seq() <= config_.esp_rekey_threshold) {
-      start_rekey(*assoc);
+        found->sa_out->remaining_seq() <= config_.esp_rekey_threshold) {
+      start_rekey(*found);
     }
   });
 }
@@ -340,14 +451,14 @@ void HipDaemon::on_esp_packet(Packet&& pkt) {
   const net::Ipv6Addr peer_hit = it->second;
   const double cycles = esp_cycles(pkt.payload.size());
   charge(cycles, [this, peer_hit, spi, p = std::move(pkt)]() mutable {
-    Association* assoc = find_assoc(peer_hit);
-    if (assoc == nullptr || assoc->sa_in == nullptr) return;
+    Association* found = find_assoc(peer_hit);
+    if (found == nullptr || found->sa_in == nullptr) return;
     // Dispatch by SPI: packets protected just before a rekey still carry
     // the superseded SPI and decode via the grace-period SA.
-    EspSa* sa = assoc->sa_in.get();
+    EspSa* sa = found->sa_in.get();
     if (spi != sa->spi()) {
-      if (assoc->old_sa_in != nullptr && spi == assoc->old_spi_in) {
-        sa = assoc->old_sa_in.get();
+      if (found->old_sa_in != nullptr && spi == found->old_spi_in) {
+        sa = found->old_sa_in.get();
       } else {
         return;
       }
@@ -358,7 +469,7 @@ void HipDaemon::on_esp_packet(Packet&& pkt) {
       ++stats_.auth_failures;
       return;
     }
-    assoc->last_heard = node_->network().loop().now();
+    found->last_heard = node_->network().loop().now();
     ++stats_.esp_packets_in;
     stats_.esp_bytes_in += wire_size;
 
@@ -392,9 +503,9 @@ void HipDaemon::send_control(const HipMessage& msg, const IpAddr& dst,
   } else {
     const auto selected = node_->select_source(dst);
     if (!selected) {
-      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
-                      "hip", node_->name() + ": no source for control to " +
-                                 dst.to_string());
+      HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(),
+                    "hip", node_->name() + ": no source for control to " +
+                               dst.to_string());
       return;
     }
     pkt.src = *selected;
@@ -415,12 +526,12 @@ void HipDaemon::initiate(const net::Ipv6Addr& peer_hit) {
     return;
   }
   if (assoc.peer_locator == IpAddr{}) {
-    sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
-                    "hip", node_->name() + ": no locator for " +
-                               peer_hit.to_string());
+    HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(),
+                  "hip", node_->name() + ": no locator for " +
+                             peer_hit.to_string());
     return;
   }
-  assoc.state = AssocState::kI1Sent;
+  set_state(assoc, AssocState::kI1Sent);
   assoc.retries = 0;
   assoc.bex_start = node_->network().loop().now();
   ++stats_.bex_initiated;
@@ -453,7 +564,7 @@ void HipDaemon::arm_retry(Association& assoc) {
           return;
         }
         // Restart from I1; the responder is stateless until I2.
-        a->state = AssocState::kI1Sent;
+        set_state(*a, AssocState::kI1Sent);
         send_i1(*a);
       });
   assoc.retry_armed = true;
@@ -467,21 +578,21 @@ void HipDaemon::cancel_retry(Association& assoc) {
 }
 
 void HipDaemon::fail_association(Association& assoc) {
-  assoc.state = AssocState::kFailed;
+  set_state(assoc, AssocState::kFailed);
   if (!assoc.pending.empty()) {
     stats_.pending_failed += assoc.pending.size();
-    sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
-                    "hip",
-                    node_->name() + ": dropping " +
-                        std::to_string(assoc.pending.size()) +
-                        " pending packets for " + assoc.peer_hit.to_string());
+    HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(),
+                  "hip",
+                  node_->name() + ": dropping " +
+                      std::to_string(assoc.pending.size()) +
+                      " pending packets for " + assoc.peer_hit.to_string());
   }
   assoc.pending.clear();
   cancel_retry(assoc);
   ++stats_.bex_failed;
-  sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(), "hip",
-                  node_->name() + ": BEX with " + assoc.peer_hit.to_string() +
-                      " failed");
+  HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(), "hip",
+                node_->name() + ": BEX with " + assoc.peer_hit.to_string() +
+                    " failed");
 }
 
 std::uint8_t HipDaemon::current_puzzle_difficulty() const {
@@ -661,11 +772,11 @@ void HipDaemon::handle_r1(const HipMessage& msg, const Packet& pkt) {
   const net::Ipv6Addr peer_hit = msg.sender_hit;
   const Bytes puzzle_bytes = *puzzle_param;
   charge(cycles, [this, peer_hit, solution, dh_secret, puzzle_bytes] {
-    Association* assoc = find_assoc(peer_hit);
-    if (assoc == nullptr || assoc->state != AssocState::kI1Sent) return;
-    assoc->keymat = Keymat::derive(dh_secret, identity_.hit(), peer_hit);
-    assoc->spi_in = fresh_spi();
-    spi_to_peer_[assoc->spi_in] = peer_hit;
+    Association* found = find_assoc(peer_hit);
+    if (found == nullptr || found->state != AssocState::kI1Sent) return;
+    found->keymat = Keymat::derive(dh_secret, identity_.hit(), peer_hit);
+    found->spi_in = fresh_spi();
+    spi_to_peer_[found->spi_in] = peer_hit;
 
     HipMessage i2;
     i2.type = MsgType::kI2;
@@ -674,21 +785,21 @@ void HipDaemon::handle_r1(const HipMessage& msg, const Packet& pkt) {
     Bytes sol = puzzle_bytes;
     crypto::append_be(sol, solution.j, 8);
     i2.set_param(ParamType::kSolution, std::move(sol));
-    Bytes dh_param{static_cast<std::uint8_t>(config_.dh_group)};
-    dh_param.insert(dh_param.end(), dh_.public_value().begin(),
-                    dh_.public_value().end());
-    i2.set_param(ParamType::kDiffieHellman, std::move(dh_param));
+    Bytes dh_payload{static_cast<std::uint8_t>(config_.dh_group)};
+    dh_payload.insert(dh_payload.end(), dh_.public_value().begin(),
+                      dh_.public_value().end());
+    i2.set_param(ParamType::kDiffieHellman, std::move(dh_payload));
     i2.set_param(ParamType::kHostId, identity_.public_encoding());
     Bytes esp_info;
-    crypto::append_be(esp_info, assoc->spi_in, 4);
+    crypto::append_be(esp_info, found->spi_in, 4);
     esp_info.push_back(static_cast<std::uint8_t>(config_.esp_suite));
     i2.set_param(ParamType::kEspInfo, std::move(esp_info));
     i2.set_param(ParamType::kSignature, identity_.sign(i2.signed_view()));
-    i2.attach_hmac(assoc->keymat.hip_hmac_out);
+    i2.attach_hmac(found->keymat.hip_hmac_out);
 
-    assoc->state = AssocState::kI2Sent;
-    send_control(i2, assoc->peer_locator);
-    arm_retry(*assoc);
+    set_state(*found, AssocState::kI2Sent);
+    send_control(i2, found->peer_locator);
+    arm_retry(*found);
   });
 }
 
@@ -764,7 +875,7 @@ void HipDaemon::handle_i2(const HipMessage& msg, const Packet& pkt) {
         assoc.old_spi_in = 0;
         assoc.rekey_generation = 0;
         assoc.rekey_in_flight = false;
-        assoc.state = AssocState::kUnassociated;
+        set_state(assoc, AssocState::kUnassociated);
       }
       assoc.peer_hi = hi_copy;
       assoc.peer_locator = initiator_locator;
@@ -821,29 +932,29 @@ void HipDaemon::handle_r2(const HipMessage& msg, const Packet& pkt) {
       static_cast<std::uint32_t>(crypto::read_be(*esp_info, 0, 4));
   const auto suite = static_cast<EspSuite>((*esp_info)[4]);
   charge(verify_cycles(assoc->peer_hi), [this, peer_hit, peer_spi, suite] {
-    Association* assoc = find_assoc(peer_hit);
-    if (assoc == nullptr || assoc->state != AssocState::kI2Sent) return;
-    assoc->spi_out = peer_spi;
-    assoc->sa_out = std::make_unique<EspSa>(
-        peer_spi, suite, assoc->keymat.esp_enc_out, assoc->keymat.esp_auth_out);
-    assoc->sa_in = std::make_unique<EspSa>(
-        assoc->spi_in, suite, assoc->keymat.esp_enc_in,
-        assoc->keymat.esp_auth_in);
-    establish(*assoc,
-              node_->network().loop().now() - assoc->bex_start);
+    Association* found = find_assoc(peer_hit);
+    if (found == nullptr || found->state != AssocState::kI2Sent) return;
+    found->spi_out = peer_spi;
+    found->sa_out = std::make_unique<EspSa>(
+        peer_spi, suite, found->keymat.esp_enc_out, found->keymat.esp_auth_out);
+    found->sa_in = std::make_unique<EspSa>(
+        found->spi_in, suite, found->keymat.esp_enc_in,
+        found->keymat.esp_auth_in);
+    establish(*found,
+              node_->network().loop().now() - found->bex_start);
   });
 }
 
 void HipDaemon::establish(Association& assoc, sim::Duration latency) {
-  assoc.state = AssocState::kEstablished;
+  set_state(assoc, AssocState::kEstablished);
   assoc.retries = 0;
   assoc.last_heard = node_->network().loop().now();
   assoc.keepalive_misses = 0;
   if (!assoc.keepalive_armed) arm_keepalive(assoc);
   ++stats_.bex_completed;
-  sim::Log::write(sim::LogLevel::kInfo, node_->network().loop().now(), "hip",
-                  node_->name() + ": association with " +
-                      assoc.peer_hit.to_string() + " established");
+  HIPCLOUD_LOG(sim::LogLevel::kInfo, node_->network().loop().now(), "hip",
+                node_->name() + ": association with " +
+                    assoc.peer_hit.to_string() + " established");
   if (on_established_) on_established_(assoc.peer_hit, latency);
   if (pending_rvs_targets_.erase(assoc.peer_hit) > 0) {
     register_with_rvs(assoc.peer_hit);
@@ -926,12 +1037,13 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
       node_->network().loop().cancel(assoc->rekey_timer);
       assoc->rekey_timer_armed = false;
     }
+    audit_association(*assoc);
     ++stats_.rekeys_completed;
     ++stats_.updates_processed;
-    sim::Log::write(sim::LogLevel::kInfo, node_->network().loop().now(),
-                    "hip",
-                    node_->name() + ": rekeyed with " + peer_hit.to_string() +
-                        " (generation " + std::to_string(gen) + ")");
+    HIPCLOUD_LOG(sim::LogLevel::kInfo, node_->network().loop().now(),
+                  "hip",
+                  node_->name() + ": rekeyed with " + peer_hit.to_string() +
+                      " (generation " + std::to_string(gen) + ")");
     return;
   }
 
@@ -1004,6 +1116,7 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
                                            assoc->keymat.esp_enc_in,
                                            assoc->keymat.esp_auth_in);
     assoc->rekey_generation = gen;
+    audit_association(*assoc);
     ++stats_.rekeys_completed;
     ++stats_.updates_processed;
 
@@ -1027,8 +1140,8 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
   // alive; no state changes.
   if (locator_param == nullptr && !seq && nonce) {
     charge(sign_cycles(), [this, peer_hit, nonce = *nonce] {
-      Association* assoc = find_assoc(peer_hit);
-      if (assoc == nullptr) return;
+      Association* found = find_assoc(peer_hit);
+      if (found == nullptr) return;
       HipMessage pong;
       pong.type = MsgType::kUpdate;
       pong.sender_hit = identity_.hit();
@@ -1036,8 +1149,8 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
       pong.set_u64(ParamType::kEchoResponseSigned, nonce);
       pong.set_param(ParamType::kSignature,
                      identity_.sign(pong.signed_view()));
-      pong.attach_hmac(assoc->keymat.hip_hmac_out);
-      send_control(pong, assoc->peer_locator);
+      pong.attach_hmac(found->keymat.hip_hmac_out);
+      send_control(pong, found->peer_locator);
     });
     return;
   }
@@ -1054,8 +1167,8 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
   ++stats_.updates_processed;
 
   charge(sign_cycles(), [this, peer_hit, nonce = *nonce, seq = *seq] {
-    Association* assoc = find_assoc(peer_hit);
-    if (assoc == nullptr) return;
+    Association* found = find_assoc(peer_hit);
+    if (found == nullptr) return;
     HipMessage ack;
     ack.type = MsgType::kUpdate;
     ack.sender_hit = identity_.hit();
@@ -1063,8 +1176,8 @@ void HipDaemon::handle_update(const HipMessage& msg, const Packet& pkt) {
     ack.set_u64(ParamType::kAck, seq);
     ack.set_u64(ParamType::kEchoResponseSigned, nonce);
     ack.set_param(ParamType::kSignature, identity_.sign(ack.signed_view()));
-    ack.attach_hmac(assoc->keymat.hip_hmac_out);
-    send_control(ack, assoc->peer_locator);
+    ack.attach_hmac(found->keymat.hip_hmac_out);
+    send_control(ack, found->peer_locator);
   });
   (void)pkt;
 }
@@ -1132,7 +1245,12 @@ void HipDaemon::retire_old_sa_in(Association& assoc) {
   }
   assoc.old_sa_in = std::move(assoc.sa_in);
   assoc.old_spi_in = assoc.spi_in;
-  if (assoc.old_sa_in == nullptr) return;
+  if (assoc.old_sa_in == nullptr) {
+    // Nothing to drain; keep the old-SA/old-SPI pair in lockstep (the
+    // audit_association invariant).
+    assoc.old_spi_in = 0;
+    return;
+  }
   const net::Ipv6Addr peer = assoc.peer_hit;
   assoc.grace_timer =
       node_->network().loop().schedule(config_.rekey_grace, [this, peer] {
@@ -1166,11 +1284,11 @@ void HipDaemon::arm_keepalive(Association& assoc) {
         }
         if (a->keepalive_misses >= config_.keepalive_max_misses) {
           ++stats_.peer_failures;
-          sim::Log::write(sim::LogLevel::kWarn, now, "hip",
-                          node_->name() + ": peer " + peer.to_string() +
-                              " declared dead after " +
-                              std::to_string(a->keepalive_misses) +
-                              " missed keepalives");
+          HIPCLOUD_LOG(sim::LogLevel::kWarn, now, "hip",
+                        node_->name() + ": peer " + peer.to_string() +
+                            " declared dead after " +
+                            std::to_string(a->keepalive_misses) +
+                            " missed keepalives");
           reset_association(*a);
           return;
         }
@@ -1226,7 +1344,7 @@ void HipDaemon::reset_association(Association& assoc) {
   }
   // Peer locator and HI are kept: the next outbound packet re-triggers a
   // full BEX through shim_outbound, which is the recovery path.
-  assoc.state = AssocState::kUnassociated;
+  set_state(assoc, AssocState::kUnassociated);
 }
 
 // ---------------------------------------------------------------------------
@@ -1235,7 +1353,7 @@ void HipDaemon::reset_association(Association& assoc) {
 void HipDaemon::close_association(const net::Ipv6Addr& peer_hit) {
   Association* assoc = find_assoc(peer_hit);
   if (assoc == nullptr || assoc->state != AssocState::kEstablished) return;
-  assoc->state = AssocState::kClosing;
+  set_state(*assoc, AssocState::kClosing);
   HipMessage close;
   close.type = MsgType::kClose;
   close.sender_hit = identity_.hit();

@@ -60,6 +60,18 @@ enum class AssocState {
   kFailed,
 };
 
+const char* assoc_state_name(AssocState s);
+
+/// Legal transition table for the association state machine — the BEX
+/// ladder (kUnassociated → I1 → R1 → I2 → R2 → kEstablished, with the
+/// responder jumping kUnassociated → kEstablished at I2 since it is
+/// stateless until then), plus the retry, failure, re-BEX/reset,
+/// rekey/readdress (which stay within kEstablished) and teardown paths.
+/// Every state change in HipDaemon funnels through this predicate under
+/// HIPCLOUD_AUDIT; tests drive illegal edges through
+/// HipDaemon::debug_force_state() and expect the audit to trip.
+bool legal_assoc_transition(AssocState from, AssocState to);
+
 /// The HIP daemon: one per host. Implements the layer-3.5 shim that the
 /// paper deploys inside VMs — intercepting traffic addressed to HITs and
 /// LSIs, authenticating peers with the Base Exchange and protecting data
@@ -157,6 +169,14 @@ class HipDaemon {
   /// protecting billions of packets. Returns false if no established SA.
   bool seek_esp_seq(const net::Ipv6Addr& peer_hit, std::uint32_t seq);
 
+  /// Test hook: force the association state machine through the same
+  /// validated set_state() path the protocol handlers use. An illegal
+  /// edge trips the HIPCLOUD_AUDIT transition check in audit builds
+  /// (sim::CheckFailure); in normal builds the state is set as asked —
+  /// which is exactly the class of silent corruption the audit layer
+  /// exists to surface. Creates the association if missing.
+  void debug_force_state(const net::Ipv6Addr& peer_hit, AssocState to);
+
  private:
   class Shim;
   friend class Shim;
@@ -235,6 +255,13 @@ class HipDaemon {
   void arm_keepalive(Association& assoc);
   void reset_association(Association& assoc);
   void cancel_recovery_timers(Association& assoc);
+
+  // Invariants (src/sim/check.hpp). Every state change funnels through
+  // set_state, which audits the edge against legal_assoc_transition()
+  // and the per-state structural invariants (established implies live
+  // SAs, old-SA drain lifecycle, rekey flags).
+  void set_state(Association& assoc, AssocState to);
+  void audit_association(const Association& assoc) const;
 
   // Helpers.
   Association& assoc_for(const net::Ipv6Addr& peer_hit);

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/check.hpp"
+
 namespace hipcloud::hip {
 
 using crypto::Bytes;
@@ -75,6 +77,11 @@ crypto::Buffer EspSa::protect_packet(std::uint8_t inner_proto,
   // implementation made ~5 heap allocations per packet via
   // plaintext/ciphertext/icv temporaries; this is the hot loop behind the
   // paper's Fig. 2 ESP cost.)
+  // Exhaustion is latched: once set it can only be cleared by replacing
+  // the SA (rekey) or the seek_seq() test hook, and the counter must be
+  // parked on the wrapped value while latched.
+  HIPCLOUD_AUDIT(!exhausted_ || next_seq_ == 0,
+                 "exhausted SA with live sequence counter");
   if (exhausted_) return {};
   if (next_seq_ == 0) {
     // 2^32 - 1 was the last valid sequence number. Wrapping to 0 would
@@ -91,7 +98,15 @@ crypto::Buffer EspSa::protect_packet(std::uint8_t inner_proto,
   payload.append((ct_len - pt_len) + kIcvSize);
   std::uint8_t* p = payload.data();
   store_be32(p, spi_);
-  store_be32(p + 4, next_seq_++);
+  const std::uint32_t emitted_seq = next_seq_++;
+  // No sequence number ever reaches the wire out of order, repeated, or
+  // after exhaustion — the invariant RFC 4303's anti-replay contract and
+  // the daemon's rekey logic both stand on. seek_seq() (the test hook)
+  // moves the shadow along with the counter.
+  HIPCLOUD_CHECK(emitted_seq == last_emitted_seq_ + 1,
+                 "ESP outbound sequence not monotone");
+  last_emitted_seq_ = emitted_seq;
+  store_be32(p + 4, emitted_seq);
 
   // Deterministic per-SA IV: zero(4) | SPI(4) | counter(8) — never repeats
   // under one key (safe for CTR; fine for CBC in the simulator's threat
@@ -135,12 +150,23 @@ Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
 }
 
 bool EspSa::replay_check_and_update(std::uint32_t seq) {
+  // Replay-window monotonicity: the high-water mark only ever advances,
+  // and only this function advances it. A mismatch against the shadow
+  // means some other code path (or a regression like the
+  // debug_rewind_replay_window() hook simulates) moved the window
+  // backwards — at which point a span of already-accepted sequence
+  // numbers would be accepted again.
+  HIPCLOUD_AUDIT(highest_seq_ == audit_highest_seq_,
+                 "ESP anti-replay window regressed");
   if (seq == 0) return false;
   if (seq > highest_seq_) {
     const std::uint32_t shift = seq - highest_seq_;
     replay_window_ = shift >= 64 ? 0 : replay_window_ << shift;
     replay_window_ |= 1;  // bit 0 = highest seq seen
     highest_seq_ = seq;
+#ifdef HIPCLOUD_AUDIT_ENABLED
+    audit_highest_seq_ = seq;
+#endif
     return true;
   }
   const std::uint32_t offset = highest_seq_ - seq;

@@ -77,6 +77,17 @@ class EspSa {
   void seek_seq(std::uint32_t seq) {
     next_seq_ = seq;
     exhausted_ = false;
+    last_emitted_seq_ = seq == 0 ? 0xffffffffu : seq - 1;
+  }
+
+  /// Test hook for the audit-build regression suite: rewind the
+  /// anti-replay high-water mark *without* the bookkeeping that
+  /// legitimate paths do, simulating the class of replay-window
+  /// regression HIPCLOUD_AUDIT exists to catch. The next unprotect()
+  /// trips the window-monotonicity audit (audit builds only; in normal
+  /// builds the SA just re-accepts a span of old sequence numbers).
+  void debug_rewind_replay_window(std::uint32_t by) {
+    highest_seq_ = by > highest_seq_ ? 0 : highest_seq_ - by;
   }
 
   struct Unprotected {
@@ -125,6 +136,13 @@ class EspSa {
   std::uint64_t replay_window_ = 0;
   std::uint64_t replay_drops_ = 0;
   std::uint64_t auth_failures_ = 0;
+
+  // Invariant shadows (src/sim/check.hpp). last_emitted_seq_ backs the
+  // always-on send-monotonicity CHECK; audit_highest_seq_ is the
+  // audit-build high-water shadow that catches a replay window moving
+  // backwards between unprotect() calls.
+  std::uint32_t last_emitted_seq_ = 0;
+  std::uint32_t audit_highest_seq_ = 0;
 };
 
 }  // namespace hipcloud::hip

@@ -53,8 +53,8 @@ bool HipFirewall::on_forward(Packet& pkt) {
     ++passed_;
   } else {
     ++dropped_;
-    sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(),
-                    "hipfw", node_->name() + " dropped " + pkt.describe());
+    HIPCLOUD_LOG(sim::LogLevel::kDebug, node_->network().loop().now(),
+                  "hipfw", node_->name() + " dropped " + pkt.describe());
   }
   return pass;
 }

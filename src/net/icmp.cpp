@@ -44,9 +44,9 @@ void IcmpStack::ping(const IpAddr& dst, int count, sim::Duration interval,
       pkt.dst = dst;
       const auto src = node_->select_source(dst);
       if (!src) {
-        sim::Log::write(sim::LogLevel::kWarn,
-                        node_->network().loop().now(), "icmp",
-                        node_->name() + ": no source for ping");
+        HIPCLOUD_LOG(sim::LogLevel::kWarn,
+                      node_->network().loop().now(), "icmp",
+                      node_->name() + ": no source for ping");
         s.probes[seq].answered = true;  // consumed as lost
         ++s.lost;
         --s.outstanding;

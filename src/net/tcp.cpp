@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/check.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::net {
@@ -141,10 +142,15 @@ void TcpConnection::start_accept(const TcpHeader& syn) {
 void TcpConnection::send(Bytes data) {
   if (state_ != State::kEstablished && state_ != State::kSynSent &&
       state_ != State::kSynReceived && state_ != State::kCloseWait) {
-    sim::Log::write(sim::LogLevel::kWarn, stack_->loop().now(), "tcp",
-                    "send on closed connection to " + remote_.to_string());
+    HIPCLOUD_LOG(sim::LogLevel::kWarn, stack_->loop().now(), "tcp",
+                  "send on closed connection to " + remote_.to_string());
     return;
   }
+  // Data after close() is an API-misuse bug in the caller (distinct from
+  // the closed-state branch above, which network races reach
+  // legitimately). Normal builds drop it silently per the original
+  // contract; audit builds surface the caller.
+  HIPCLOUD_AUDIT(!fin_queued_, "TcpConnection::send() after close()");
   if (fin_queued_) return;  // no data after close()
   send_buf_.insert(send_buf_.end(), data.begin(), data.end());
   try_send();
@@ -280,8 +286,8 @@ void TcpConnection::on_rto() {
   rto_armed_ = false;
   if (state_ == State::kClosed || flight_size() == 0) return;
   if (++consecutive_rtos_ > config_.max_consecutive_rtos) {
-    sim::Log::write(sim::LogLevel::kDebug, stack_->loop().now(), "tcp",
-                    "giving up on " + remote_.to_string());
+    HIPCLOUD_LOG(sim::LogLevel::kDebug, stack_->loop().now(), "tcp",
+                  "giving up on " + remote_.to_string());
     become_closed();
     return;
   }
@@ -363,6 +369,7 @@ void TcpConnection::process_ack(const TcpHeader& h) {
   peer_window_ = h.window;
   if (seq_gt(h.ack, snd_nxt_)) return;  // acks something we never sent
   if (seq_gt(h.ack, snd_una_)) {
+    const std::uint32_t una_before = snd_una_;
     const std::uint32_t acked = h.ack - snd_una_;
     // Pop acked bytes (account for SYN/FIN sequence slots).
     std::uint32_t data_acked = acked;
@@ -374,6 +381,11 @@ void TcpConnection::process_ack(const TcpHeader& h) {
     send_buf_.erase(send_buf_.begin(),
                     send_buf_.begin() + static_cast<long>(pop));
     snd_una_ = h.ack;
+    // The cumulative ACK point only advances, and never past what was
+    // sent — the guards above enforce it today; the audit keeps future
+    // edits (wraparound arithmetic is easy to get wrong) honest.
+    HIPCLOUD_AUDIT(seq_le(una_before, snd_una_) && seq_le(snd_una_, snd_nxt_),
+                   "TCP send sequence space regressed");
     dup_acks_ = 0;
     consecutive_rtos_ = 0;
 
@@ -448,6 +460,7 @@ void TcpConnection::process_ack(const TcpHeader& h) {
 }
 
 void TcpConnection::process_data(const TcpHeader& h, crypto::Buffer data) {
+  const std::uint32_t rcv_nxt_before = rcv_nxt_;
   const std::uint32_t seg_seq = h.seq;
   if (h.fin) {
     peer_fin_seq_valid_ = true;
@@ -483,6 +496,12 @@ void TcpConnection::process_data(const TcpHeader& h, crypto::Buffer data) {
       reassembly_.insert_or_assign(seg_seq, std::move(data));
     }
   }
+
+  // Receive-side mirror of the send-side audit: the next-expected
+  // pointer is monotone; delivering the same byte range twice (or
+  // skipping one) would corrupt the application stream undetectably.
+  HIPCLOUD_AUDIT(seq_le(rcv_nxt_before, rcv_nxt_),
+                 "TCP receive sequence space regressed");
 
   // FIN processing once all data before it has arrived.
   if (peer_fin_seq_valid_ && rcv_nxt_ == peer_fin_seq_) {
@@ -585,6 +604,7 @@ std::shared_ptr<TcpConnection> TcpStack::connect(
   }
   const Endpoint local{local_addr, ephemeral_port()};
   auto conn = std::shared_ptr<TcpConnection>(
+      // hipcheck:allow(raw-alloc): private ctor blocks make_shared; the shared_ptr owns it
       new TcpConnection(this, local, remote, config_));
   connections_[FourTuple{local.addr, local.port, remote.addr, remote.port}] =
       conn;
@@ -643,6 +663,7 @@ void TcpStack::on_packet(Packet&& pkt) {
     const Endpoint local{pkt.dst, h.dst_port};
     const Endpoint remote{pkt.src, h.src_port};
     auto conn = std::shared_ptr<TcpConnection>(
+        // hipcheck:allow(raw-alloc): private ctor blocks make_shared; the shared_ptr owns it
         new TcpConnection(this, local, remote, config_));
     connections_[key] = conn;
     conn->start_accept(h);

@@ -85,9 +85,9 @@ void TeredoServer::on_datagram(const Endpoint& from, const IpAddr& /*local*/,
     if (v.size() < 40 || (v[0] >> 4) != 6) return;
     const IpAddr dst(Ipv6Addr::from_bytes(v.subspan(24, 16)));
     if (!dst.is_teredo()) {
-      sim::Log::write(sim::LogLevel::kDebug, node_->network().loop().now(),
-                      "teredo", "relay: non-Teredo destination " +
-                                    dst.to_string() + ", dropping");
+      HIPCLOUD_LOG(sim::LogLevel::kDebug, node_->network().loop().now(),
+                    "teredo", "relay: non-Teredo destination " +
+                                  dst.to_string() + ", dropping");
       return;
     }
     const Endpoint mapped = teredo_mapped_endpoint(dst.v6());
@@ -106,10 +106,10 @@ class TeredoClient::Shim : public L3Shim {
   bool outbound(Packet& pkt) override {
     if (!pkt.dst.is_teredo()) return false;
     if (!client_->qualified_) {
-      sim::Log::write(sim::LogLevel::kWarn,
-                      client_->node_->network().loop().now(), "teredo",
-                      client_->node_->name() +
-                          ": Teredo destination but not qualified; dropping");
+      HIPCLOUD_LOG(sim::LogLevel::kWarn,
+                    client_->node_->network().loop().now(), "teredo",
+                    client_->node_->name() +
+                        ": Teredo destination but not qualified; dropping");
       return true;
     }
     client_->send_tunnelled(std::move(pkt));

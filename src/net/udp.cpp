@@ -37,9 +37,9 @@ void UdpStack::send(std::uint16_t src_port, const Endpoint& dst,
   } else {
     const auto src = node_->select_source(dst.addr);
     if (!src) {
-      sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(),
-                      "udp", node_->name() + ": no source address for " +
-                                 dst.addr.to_string());
+      HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(),
+                    "udp", node_->name() + ": no source address for " +
+                               dst.addr.to_string());
       return;
     }
     pkt.src = *src;

@@ -1,0 +1,23 @@
+#include "sim/check.hpp"
+
+#include <cstdio>
+
+#include "sim/log.hpp"
+
+namespace hipcloud::sim {
+
+void check_fail(const char* kind, const char* file, int line,
+                const char* expr, const std::string& msg) {
+  std::string what = std::string(kind) + " failed at " + file + ":" +
+                     std::to_string(line) + ": " + expr;
+  if (!msg.empty()) what += " — " + msg;
+  // The failure is about to unwind through arbitrary simulation state;
+  // log it eagerly so the diagnostic survives even if the exception is
+  // swallowed or rethrown without its message.
+  if (Log::enabled(LogLevel::kError)) {
+    std::fprintf(stderr, "[hipcheck] %s\n", what.c_str());
+  }
+  throw CheckFailure(what);
+}
+
+}  // namespace hipcloud::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+// Runtime invariant layer (hipcheck part 2).
+//
+// Three tiers of machine-checked invariants, all reporting through one
+// failure path (sim::CheckFailure) so tests can assert that a deliberate
+// protocol-invariant regression actually trips:
+//
+//   HIPCLOUD_CHECK(cond, msg)   always on, every build. For cheap,
+//                               certain invariants on paths where a
+//                               violation means the simulation's results
+//                               are garbage (event time monotonicity,
+//                               ESP sequence emission order).
+//   HIPCLOUD_DCHECK(cond, msg)  on when NDEBUG is not defined or the
+//                               audit build is enabled. For invariants
+//                               cheap enough for debug runs but not for
+//                               release benchmarking.
+//   HIPCLOUD_AUDIT(cond, msg)   compiled in only under the dedicated
+//                               audit build (-DHIPCLOUD_AUDIT=ON, which
+//                               defines HIPCLOUD_AUDIT_ENABLED). For the
+//                               heavyweight protocol state-machine and
+//                               data-structure audits: HIP association
+//                               transition legality, ESP replay-window
+//                               monotonicity, event-heap shape, buffer
+//                               double-release scans.
+//
+// Failures throw sim::CheckFailure (after logging at kError) rather than
+// aborting: the audit-build regression tests drive an illegal transition
+// and EXPECT_THROW on it, which keeps the trip path itself under test and
+// plays well with the sanitizer builds (no death-test forking).
+//
+// The macros never evaluate the message expression unless the condition
+// fails. A disabled tier compiles to nothing: the condition is parsed
+// inside an unevaluated sizeof (so the variables it names count as used
+// and stay warning-clean) but generates no code. Audit-only shadow state
+// that would cost memory or writes must still live behind the same
+// HIPCLOUD_AUDIT_ENABLED gate as the audits that read it.
+
+#include <stdexcept>
+#include <string>
+
+namespace hipcloud::sim {
+
+/// Thrown by every failed HIPCLOUD_CHECK / DCHECK / AUDIT.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+/// Build the failure message lazily; overloads let call sites omit it.
+inline std::string check_msg() { return {}; }
+inline std::string check_msg(const char* m) { return m; }
+inline std::string check_msg(std::string m) { return m; }
+}  // namespace detail
+
+/// Format, log (kError) and throw. Out of line so the macro's cold path
+/// costs one call.
+[[noreturn]] void check_fail(const char* kind, const char* file, int line,
+                             const char* expr, const std::string& msg);
+
+}  // namespace hipcloud::sim
+
+#define HIPCLOUD_CHECK(cond, ...)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::hipcloud::sim::check_fail(                                       \
+          "CHECK", __FILE__, __LINE__, #cond,                            \
+          ::hipcloud::sim::detail::check_msg(__VA_ARGS__));              \
+    }                                                                    \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(HIPCLOUD_AUDIT_ENABLED)
+#define HIPCLOUD_DCHECK(cond, ...)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::hipcloud::sim::check_fail(                                       \
+          "DCHECK", __FILE__, __LINE__, #cond,                           \
+          ::hipcloud::sim::detail::check_msg(__VA_ARGS__));              \
+    }                                                                    \
+  } while (0)
+#else
+#define HIPCLOUD_DCHECK(cond, ...)   \
+  do {                               \
+    (void)sizeof(!(cond));            \
+  } while (0)
+#endif
+
+#ifdef HIPCLOUD_AUDIT_ENABLED
+#define HIPCLOUD_AUDIT(cond, ...)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::hipcloud::sim::check_fail(                                       \
+          "AUDIT", __FILE__, __LINE__, #cond,                            \
+          ::hipcloud::sim::detail::check_msg(__VA_ARGS__));              \
+    }                                                                    \
+  } while (0)
+#else
+#define HIPCLOUD_AUDIT(cond, ...)    \
+  do {                               \
+    (void)sizeof(!(cond));            \
+  } while (0)
+#endif

@@ -1,6 +1,46 @@
 #include "sim/event_loop.hpp"
 
+#include "sim/check.hpp"
+
 namespace hipcloud::sim {
+
+void EventLoop::audit_consistency() const {
+  const std::size_t n = heap_.size();
+  std::size_t live_in_heap = 0;
+  std::size_t dead_in_heap = 0;
+  std::vector<bool> referenced(slots_.size(), false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const HeapEntry& e = heap_[i];
+    HIPCLOUD_CHECK(e.slot < slots_.size(),
+                   "heap entry references a slot outside the arena");
+    HIPCLOUD_CHECK(!referenced[e.slot],
+                   "slot referenced by two heap entries");
+    referenced[e.slot] = true;
+    if (slots_[e.slot].live) {
+      ++live_in_heap;
+    } else {
+      ++dead_in_heap;
+    }
+    if (i > 0) {
+      const HeapEntry& parent = heap_[(i - 1) / 2];
+      HIPCLOUD_CHECK(!earlier(e, parent),
+                     "heap property violated: child earlier than parent");
+    }
+    HIPCLOUD_CHECK(e.when >= now_, "pending event scheduled in the past");
+  }
+  HIPCLOUD_CHECK(live_in_heap == live_,
+                 "live-event count disagrees with heap contents");
+  HIPCLOUD_CHECK(dead_in_heap == dead_in_heap_,
+                 "tombstone count disagrees with heap contents");
+  for (const std::uint32_t idx : free_slots_) {
+    HIPCLOUD_CHECK(idx < slots_.size(), "freelist entry outside the arena");
+    HIPCLOUD_CHECK(!slots_[idx].live, "live slot on the freelist");
+    HIPCLOUD_CHECK(!referenced[idx],
+                   "slot simultaneously freelisted and in the heap");
+  }
+  HIPCLOUD_CHECK(heap_.size() + free_slots_.size() == slots_.size(),
+                 "slot arena partition broken (leaked or duplicated slot)");
+}
 
 std::uint32_t EventLoop::alloc_slot() {
   if (!free_slots_.empty()) {
@@ -100,15 +140,23 @@ bool EventLoop::step(Time until) {
       continue;
     }
     if (until >= 0 && top.when > until) return false;
-    const Time when = top.when;
+    // Capture the entry by value: heap_pop() below rewrites the root.
+    const HeapEntry entry = top;
+    HIPCLOUD_CHECK(entry.when >= now_, "event fired with regressed time");
     // Move the callback out and retire the entry *before* invoking, so the
     // callback can re-enter schedule()/cancel() freely.
     Callback cb = std::move(s.cb);
-    recycle_slot(top.slot);
+    recycle_slot(entry.slot);
     heap_pop();
     --live_;
-    now_ = when;
+    now_ = entry.when;
     ++perf_.events_fired;
+    perf_.note_fire(entry.when, entry.seq, entry.slot);
+#ifdef HIPCLOUD_AUDIT_ENABLED
+    // Periodic full structural audit; every firing would make the suite
+    // O(events * pending).
+    if ((perf_.events_fired & 1023u) == 0) audit_consistency();
+#endif
     cb();
     return true;
   }

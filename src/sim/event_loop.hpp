@@ -91,6 +91,15 @@ class EventLoop {
   /// Request run() to stop after the current event completes.
   void stop() { stopped_ = true; }
 
+  /// Full structural audit of the engine: heap shape ((when, seq) order
+  /// holds on every parent/child edge), slot-arena partition (every slot
+  /// is referenced by exactly one heap entry or sits on the freelist,
+  /// never both), live/tombstone accounting, and no pending event in the
+  /// past. O(pending). Throws sim::CheckFailure on the first violation.
+  /// Always compiled (tests call it directly); the audit build
+  /// (-DHIPCLOUD_AUDIT=ON) additionally runs it every 1024 firings.
+  void audit_consistency() const;
+
   /// Per-world performance counters (event engine + buffer pool + packet
   /// pipeline all record into this one instance).
   PerfCounters& perf() { return perf_; }

@@ -2,11 +2,11 @@
 
 namespace hipcloud::sim {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
 
 void Log::write(LogLevel lvl, Time now, const char* tag,
                 const std::string& msg) {
-  if (lvl < level_) return;
+  if (lvl < level()) return;
   static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
   const auto idx = static_cast<int>(lvl);
   if (idx < 0 || idx > 4) return;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -11,15 +12,20 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Process-wide log sink for the simulator. Defaults to kWarn so tests and
 /// benches stay quiet; examples raise it to kInfo to narrate scenarios.
+/// The level is atomic (relaxed): parallel sweep workers each run their
+/// own world but share this one process-wide filter, and the bench
+/// driver may flip it while workers log.
 class Log {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel lvl) { level_ = lvl; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel lvl) {
+    level_.store(lvl, std::memory_order_relaxed);
+  }
 
   /// Would a message at `lvl` actually be emitted? Callers on hot paths
   /// check this before building the message string.
   static bool enabled(LogLevel lvl) {
-    return lvl >= level_ && lvl < LogLevel::kOff;
+    return lvl >= level() && lvl < LogLevel::kOff;
   }
 
   /// Emit one line: "[ 12.345ms] tag: message". Cheap no-op below level.
@@ -27,7 +33,7 @@ class Log {
                     const std::string& msg);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace hipcloud::sim

@@ -17,10 +17,40 @@ namespace hipcloud::sim {
 /// work per call — the overhead is noise, which is why they stay on even
 /// in release builds and can feed every BENCH_*.json.
 struct PerfCounters {
+  /// FNV-1a parameters (64-bit). The determinism hash folds in one
+  /// 64-bit word per round instead of the canonical byte-at-a-time
+  /// variant — same mixing structure, 3 multiplies per event instead
+  /// of 24, and the auditor only needs stream equality, not FNV
+  /// test-vector compatibility.
+  static constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
   // Event engine.
   std::uint64_t events_scheduled = 0;
   std::uint64_t events_fired = 0;
   std::uint64_t events_cancelled = 0;
+
+  /// Rolling hash of every event firing in this world, in firing order:
+  /// for each fired event the engine folds in (when, seq, site), where
+  /// `site` is the callback's arena slot — a deterministic stand-in for
+  /// *which* callback fired, since slot allocation is itself part of the
+  /// replayed schedule. Two runs of the same seeded world are
+  /// bit-deterministic iff their hash streams match; any hidden
+  /// nondeterminism (iteration-order leak, uninitialised read feeding a
+  /// timer, cross-world state) diverges the hash at the first bad
+  /// firing. bench/audit_determinism re-runs sweep worlds across thread
+  /// counts and schedule perturbations and diffs exactly this value.
+  std::uint64_t determinism_hash = kFnvOffset;
+
+  /// Fold one event firing into the determinism hash.
+  void note_fire(std::int64_t when, std::uint64_t seq, std::uint32_t site) {
+    auto fold = [this](std::uint64_t word) {
+      determinism_hash = (determinism_hash ^ word) * kFnvPrime;
+    };
+    fold(static_cast<std::uint64_t>(when));
+    fold(seq);
+    fold(site);
+  }
 
   // Payload buffer pool.
   std::uint64_t pool_hits = 0;    // buffer recycled from a freelist
@@ -36,6 +66,12 @@ struct PerfCounters {
     events_scheduled += o.events_scheduled;
     events_fired += o.events_fired;
     events_cancelled += o.events_cancelled;
+    // Per-world hashes are order-sensitive streams; the cross-world
+    // combination must not depend on merge order (sweep results arrive
+    // by job index regardless of which thread ran them), so worlds
+    // combine commutatively. A per-world regression still flips the
+    // merged value.
+    determinism_hash ^= o.determinism_hash;
     pool_hits += o.pool_hits;
     pool_misses += o.pool_misses;
     pool_returns += o.pool_returns;
@@ -62,6 +98,7 @@ struct PerfCounters {
   /// indent prefix — shared by every BENCH_*.json writer.
   void write_json_fields(std::FILE* f, const char* indent) const {
     std::fprintf(f,
+                 "%s\"determinism_hash\": \"0x%016llx\",\n"
                  "%s\"events_scheduled\": %llu,\n"
                  "%s\"events_fired\": %llu,\n"
                  "%s\"events_cancelled\": %llu,\n"
@@ -72,16 +109,18 @@ struct PerfCounters {
                  "%s\"pool_misses_per_packet\": %.4f,\n"
                  "%s\"payload_bytes_copied\": %llu,\n"
                  "%s\"payload_bytes_moved\": %llu",
-                 indent, (unsigned long long)events_scheduled,
-                 indent, (unsigned long long)events_fired,
-                 indent, (unsigned long long)events_cancelled,
-                 indent, (unsigned long long)pool_hits,
-                 indent, (unsigned long long)pool_misses,
+                 indent, static_cast<unsigned long long>(determinism_hash),
+                 indent, static_cast<unsigned long long>(events_scheduled),
+                 indent, static_cast<unsigned long long>(events_fired),
+                 indent, static_cast<unsigned long long>(events_cancelled),
+                 indent, static_cast<unsigned long long>(pool_hits),
+                 indent, static_cast<unsigned long long>(pool_misses),
                  indent, pool_hit_rate(),
-                 indent, (unsigned long long)packets_delivered,
+                 indent, static_cast<unsigned long long>(packets_delivered),
                  indent, pool_misses_per_packet(),
-                 indent, (unsigned long long)payload_bytes_copied,
-                 indent, (unsigned long long)payload_bytes_moved);
+                 indent, static_cast<unsigned long long>(payload_bytes_copied),
+                 indent,
+                 static_cast<unsigned long long>(payload_bytes_moved));
   }
 };
 

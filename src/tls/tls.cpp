@@ -113,8 +113,8 @@ void TlsSession::close() {
 }
 
 void TlsSession::fail(const char* reason) {
-  sim::Log::write(sim::LogLevel::kWarn, node_->network().loop().now(), "tls",
-                  node_->name() + ": handshake failed: " + reason);
+  HIPCLOUD_LOG(sim::LogLevel::kWarn, node_->network().loop().now(), "tls",
+                node_->name() + ": handshake failed: " + reason);
   state_ = State::kError;
   conn_->reset();
   if (on_close_) on_close_();

@@ -55,8 +55,8 @@ INSTANTIATE_TEST_SUITE_P(AllModes, ModeTest,
                          ::testing::Values(SecurityMode::kBasic,
                                            SecurityMode::kHip,
                                            SecurityMode::kSsl),
-                         [](const auto& info) {
-                           return std::string(mode_name(info.param));
+                         [](const auto& name_info) {
+                           return std::string(mode_name(name_info.param));
                          });
 
 TEST(SecureService, BasicIsFasterThanSecuredModes) {

@@ -1,0 +1,125 @@
+// Audit-build regression suite (hipcheck): deliberately drives the
+// protocol-invariant regressions the HIPCLOUD_AUDIT layer exists to
+// catch and asserts the audits actually trip. In normal builds the same
+// operations are silent corruption — which is the point — so every test
+// here skips unless HIPCLOUD_AUDIT_ENABLED is compiled in. Registered
+// under the `audit` CTest label; scripts/check.sh --audit runs the whole
+// suite in an audit-enabled build.
+
+#include <gtest/gtest.h>
+
+#include "hip/daemon.hpp"
+#include "hip/esp.hpp"
+#include "hip/keymat.hpp"
+#include "net/node.hpp"
+#include "sim/check.hpp"
+
+namespace hipcloud::hip {
+namespace {
+
+#ifdef HIPCLOUD_AUDIT_ENABLED
+constexpr bool kAuditBuild = true;
+#else
+constexpr bool kAuditBuild = false;
+#endif
+
+#define SKIP_UNLESS_AUDIT()                                              \
+  if (!kAuditBuild) {                                                    \
+    GTEST_SKIP() << "audits compiled out (build with -DHIPCLOUD_AUDIT=ON)"; \
+  }
+
+HostIdentity make_identity(const std::string& name) {
+  crypto::HmacDrbg drbg(crypto::to_bytes("id:" + name));
+  return HostIdentity::generate(drbg, HiAlgorithm::kRsa, 1024);
+}
+
+struct OneHost {
+  net::Network net{7};
+  net::Node* node = net.add_node("host", 3e9);
+  HipDaemon daemon{node, make_identity("host")};
+  net::Ipv6Addr peer = make_identity("peer").hit();
+};
+
+TEST(AuditTrip, IllegalAssociationTransitionThrows) {
+  SKIP_UNLESS_AUDIT();
+  OneHost h;
+  // kUnassociated -> kI2Sent skips the I1/R1 half of the BEX ladder:
+  // never legal for initiator or responder.
+  EXPECT_THROW(h.daemon.debug_force_state(h.peer, AssocState::kI2Sent),
+               sim::CheckFailure);
+}
+
+TEST(AuditTrip, EstablishedWithoutSasThrows) {
+  SKIP_UNLESS_AUDIT();
+  OneHost h;
+  // The edge kUnassociated -> kEstablished is legal (responder at I2),
+  // but the structural audit must then reject an "established"
+  // association that has no SAs installed.
+  EXPECT_THROW(h.daemon.debug_force_state(h.peer, AssocState::kEstablished),
+               sim::CheckFailure);
+}
+
+TEST(AuditTrip, LegalTransitionDoesNotThrow) {
+  SKIP_UNLESS_AUDIT();
+  OneHost h;
+  EXPECT_NO_THROW(h.daemon.debug_force_state(h.peer, AssocState::kI1Sent));
+  EXPECT_NO_THROW(h.daemon.debug_force_state(h.peer, AssocState::kFailed));
+  EXPECT_NO_THROW(h.daemon.debug_force_state(h.peer, AssocState::kI1Sent));
+}
+
+TEST(AuditTrip, TransitionTableMatchesBexLadder) {
+  // Pure predicate — verifiable in every build. Spot-check the ladder,
+  // the responder jump, and a few forbidden edges.
+  using S = AssocState;
+  EXPECT_TRUE(legal_assoc_transition(S::kUnassociated, S::kI1Sent));
+  EXPECT_TRUE(legal_assoc_transition(S::kUnassociated, S::kEstablished));
+  EXPECT_TRUE(legal_assoc_transition(S::kI1Sent, S::kI2Sent));
+  // Simultaneous initiation: the peer's I2 lands while our I1 is still
+  // outstanding and we establish as responder.
+  EXPECT_TRUE(legal_assoc_transition(S::kI1Sent, S::kEstablished));
+  EXPECT_TRUE(legal_assoc_transition(S::kI2Sent, S::kEstablished));
+  EXPECT_TRUE(legal_assoc_transition(S::kEstablished, S::kClosing));
+  EXPECT_TRUE(legal_assoc_transition(S::kFailed, S::kI1Sent));
+  EXPECT_FALSE(legal_assoc_transition(S::kUnassociated, S::kI2Sent));
+  EXPECT_FALSE(legal_assoc_transition(S::kUnassociated, S::kClosing));
+  EXPECT_FALSE(legal_assoc_transition(S::kEstablished, S::kI2Sent));
+  EXPECT_FALSE(legal_assoc_transition(S::kClosing, S::kEstablished));
+  EXPECT_FALSE(legal_assoc_transition(S::kFailed, S::kEstablished));
+}
+
+struct SaPair {
+  crypto::Bytes key = crypto::Bytes(16, 0x42);
+  EspSa out{0x1001, EspSuite::kAes128CtrSha256, key, key};
+  EspSa in{0x1001, EspSuite::kAes128CtrSha256, key, key};
+};
+
+TEST(AuditTrip, EspReplayWindowRegressionThrows) {
+  SKIP_UNLESS_AUDIT();
+  SaPair sa;
+  // Deliver a healthy run of packets so the inbound window advances.
+  for (int i = 0; i < 16; ++i) {
+    const auto wire =
+        sa.out.protect(42, EspSa::kModeHit, crypto::Bytes(64, 0x11));
+    ASSERT_TRUE(sa.in.unprotect(wire).has_value());
+  }
+  // Rewind the high-water mark behind the shadow's back — the class of
+  // replay-window regression (a span of old sequence numbers becomes
+  // acceptable again) the audit exists to catch.
+  sa.in.debug_rewind_replay_window(8);
+  const auto wire =
+      sa.out.protect(42, EspSa::kModeHit, crypto::Bytes(64, 0x22));
+  EXPECT_THROW(sa.in.unprotect(wire), sim::CheckFailure);
+}
+
+TEST(AuditTrip, EspHealthyTrafficDoesNotTrip) {
+  SKIP_UNLESS_AUDIT();
+  SaPair sa;
+  for (int i = 0; i < 64; ++i) {
+    const auto wire =
+        sa.out.protect(42, EspSa::kModeHit, crypto::Bytes(32, 0x33));
+    EXPECT_TRUE(sa.in.unprotect(wire).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace hipcloud::hip

@@ -139,8 +139,8 @@ INSTANTIATE_TEST_SUITE_P(
                       EspSuite::kNullSha256},
         HipSweepParam{HiAlgorithm::kEcdsa, crypto::DhGroup::kModp3072,
                       EspSuite::kAes128CbcSha256}),
-    [](const auto& info) {
-      const auto& p = info.param;
+    [](const auto& name_info) {
+      const auto& p = name_info.param;
       std::string name =
           p.algo == HiAlgorithm::kRsa ? "Rsa" : "Ecdsa";
       name += "Modp" + std::to_string(p.group == crypto::DhGroup::kModp1536

@@ -75,8 +75,8 @@ TEST_P(IdentityTest, EncodingCarriesAlgorithm) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, IdentityTest,
                          ::testing::Values(HiAlgorithm::kRsa,
                                            HiAlgorithm::kEcdsa),
-                         [](const auto& info) {
-                           return info.param == HiAlgorithm::kRsa ? "Rsa"
+                         [](const auto& name_info) {
+                           return name_info.param == HiAlgorithm::kRsa ? "Rsa"
                                                                   : "Ecdsa";
                          });
 

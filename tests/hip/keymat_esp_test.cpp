@@ -164,8 +164,8 @@ INSTANTIATE_TEST_SUITE_P(
     Suites, EspSuiteTest,
     ::testing::Values(EspSuite::kNullSha256, EspSuite::kAes128CtrSha256,
                       EspSuite::kAes128CbcSha256),
-    [](const auto& info) -> std::string {
-      switch (info.param) {
+    [](const auto& name_info) -> std::string {
+      switch (name_info.param) {
         case EspSuite::kNullSha256:
           return "Null";
         case EspSuite::kAes128CtrSha256:

@@ -222,8 +222,8 @@ INSTANTIATE_TEST_SUITE_P(
                       core::PathLab::Path::kTeredo,
                       core::PathLab::Path::kHitTeredo,
                       core::PathLab::Path::kLsiTeredo),
-    [](const auto& info) {
-      std::string name = core::PathLab::path_name(info.param);
+    [](const auto& name_info) {
+      std::string name = core::PathLab::path_name(name_info.param);
       std::erase_if(name, [](char c) { return !std::isalnum(c); });
       return name;
     });

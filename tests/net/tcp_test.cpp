@@ -49,6 +49,7 @@ TEST(Tcp, ConnectHandshake) {
   bool accepted = false, connected = false;
   sb.listen(kPort, [&](std::shared_ptr<TcpConnection> conn) {
     accepted = true;
+    // hipcheck:allow(self-capture): TcpStack::drop_handlers breaks the cycle at teardown
     conn->on_connect([&, conn] { EXPECT_TRUE(conn->established()); });
   });
   auto client = sa.connect(Endpoint{kAddrB, kPort});

@@ -1,0 +1,97 @@
+#include "sim/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.hpp"
+
+namespace hipcloud::sim {
+namespace {
+
+TEST(Check, CheckThrowsOnFailureWithContext) {
+  EXPECT_NO_THROW(HIPCLOUD_CHECK(1 + 1 == 2));
+  try {
+    HIPCLOUD_CHECK(1 == 2, "arithmetic broke");
+    FAIL() << "HIPCLOUD_CHECK(false) did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CHECK failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic broke"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MessageIsOptionalAndLazy) {
+  EXPECT_THROW(HIPCLOUD_CHECK(false), CheckFailure);
+  // The message expression must not be evaluated when the condition
+  // holds — call sites build std::strings in it on hot paths.
+  int message_builds = 0;
+  auto expensive = [&] {
+    ++message_builds;
+    return std::string("never needed");
+  };
+  HIPCLOUD_CHECK(true, expensive());
+  EXPECT_EQ(message_builds, 0);
+}
+
+TEST(Check, DcheckMatchesBuildConfiguration) {
+  int evaluations = 0;
+  HIPCLOUD_DCHECK((++evaluations, true));
+#if !defined(NDEBUG) || defined(HIPCLOUD_AUDIT_ENABLED)
+  EXPECT_EQ(evaluations, 1);  // enabled tier evaluates the condition
+  EXPECT_THROW(HIPCLOUD_DCHECK(false), CheckFailure);
+#else
+  EXPECT_EQ(evaluations, 0);  // disabled tier must not evaluate
+  EXPECT_NO_THROW(HIPCLOUD_DCHECK(false));
+#endif
+}
+
+TEST(Check, AuditMatchesBuildConfiguration) {
+  int evaluations = 0;
+  HIPCLOUD_AUDIT((++evaluations, true));
+#ifdef HIPCLOUD_AUDIT_ENABLED
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(HIPCLOUD_AUDIT(false, "tripped"), CheckFailure);
+#else
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_NO_THROW(HIPCLOUD_AUDIT(false, "compiled out"));
+#endif
+}
+
+TEST(Check, EventLoopStructuralAuditPassesOnHealthyLoop) {
+  // audit_consistency() is compiled in every build (audit builds run it
+  // automatically every 1024 firings); a healthy loop with live,
+  // cancelled and fired events must scan clean.
+  EventLoop loop;
+  int fired = 0;
+  loop.audit_consistency();
+  for (int i = 0; i < 100; ++i) {
+    auto h = loop.schedule((i % 10) * kMillisecond, [&] { ++fired; });
+    if (i % 3 == 0) loop.cancel(h);
+  }
+  loop.audit_consistency();
+  loop.run();
+  loop.audit_consistency();
+  EXPECT_EQ(fired, 66);  // 100 scheduled minus 34 cancelled (i % 3 == 0)
+  EXPECT_GT(loop.perf().determinism_hash, 0u);
+}
+
+TEST(Check, DeterminismHashIsReproducibleAndOrderSensitive) {
+  auto run_world = [](bool reversed) {
+    EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 50; ++i) {
+      const Duration d = reversed ? (50 - i) * kMillisecond
+                                  : (i + 1) * kMillisecond;
+      loop.schedule(d, [&] { ++sink; });
+    }
+    loop.run();
+    return loop.perf().determinism_hash;
+  };
+  // Same schedule -> same hash; different firing order -> different hash.
+  EXPECT_EQ(run_world(false), run_world(false));
+  EXPECT_NE(run_world(false), run_world(true));
+}
+
+}  // namespace
+}  // namespace hipcloud::sim

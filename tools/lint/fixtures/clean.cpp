@@ -1,0 +1,22 @@
+// Fixture: idiomatic code that must produce zero findings — smart
+// pointers, ordered containers, lazy logging via a macro, and virtual
+// time threaded in as a parameter.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct FixtureFlow {
+  long virtual_now = 0;
+  std::map<std::string, int> ordered;
+};
+
+int fixture_clean(long now) {
+  auto flow = std::make_unique<FixtureFlow>();
+  flow->virtual_now = now;
+  std::vector<int> timeline;
+  for (const auto& kv : flow->ordered) timeline.push_back(kv.second);
+  int sum = 0;
+  for (int v : timeline) sum += v;
+  return sum;
+}

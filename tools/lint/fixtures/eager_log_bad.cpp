@@ -1,0 +1,16 @@
+// Fixture: raw Log::write builds its message string even when the level
+// filter immediately discards it; HIPCLOUD_LOG wraps the call in an
+// enabled() check so the formatting is lazy.
+#include <string>
+
+namespace sim {
+enum class LogLevel { kInfo };
+struct Log {
+  static void write(LogLevel, long, const char*, const std::string&) {}
+};
+}  // namespace sim
+
+void fixture_eager_log(long now, const std::string& peer) {
+  // hipcheck:expect(eager-log)
+  sim::Log::write(sim::LogLevel::kInfo, now, "hip", "contacting " + peer);
+}

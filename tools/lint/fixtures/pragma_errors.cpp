@@ -1,0 +1,11 @@
+// Fixture: pragma hygiene. An allow that suppresses nothing is an error
+// (it would rot silently), and an allow without a justification is an
+// error (nobody can audit it later).
+
+// hipcheck:expect(unused-allow)
+// hipcheck:allow(raw-alloc): nothing below actually allocates
+int fixture_nothing_to_suppress() { return 0; }
+
+// hipcheck:expect(bad-pragma)
+// hipcheck:allow(wall-clock)
+int fixture_missing_justification() { return 1; }

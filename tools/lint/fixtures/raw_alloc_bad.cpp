@@ -1,0 +1,17 @@
+// Fixture: raw new/delete on the packet path bypasses the buffer pool.
+// `= delete` declarations and operator delete must NOT be flagged.
+struct FixturePacket {
+  FixturePacket() = default;
+  FixturePacket(const FixturePacket&) = delete;
+  FixturePacket& operator=(const FixturePacket&) = delete;
+  int payload = 0;
+};
+
+int fixture_raw_alloc() {
+  // hipcheck:expect(raw-alloc)
+  FixturePacket* p = new FixturePacket();
+  int v = p->payload;
+  // hipcheck:expect(raw-alloc)
+  delete p;
+  return v;
+}

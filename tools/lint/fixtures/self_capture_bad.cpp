@@ -1,0 +1,21 @@
+// Fixture: a shared_ptr installing a callback on itself that captures
+// itself by value — the reference cycle that leaks the object. Capture
+// by reference takes no ownership and is not flagged.
+#include <functional>
+#include <memory>
+
+struct FixtureConn {
+  void on_data(std::function<void()> fn) { cb = std::move(fn); }
+  std::function<void()> cb;
+  int bytes = 0;
+};
+
+void fixture_self_capture() {
+  auto conn = std::make_shared<FixtureConn>();
+  // hipcheck:expect(self-capture)
+  conn->on_data([conn] { conn->bytes++; });
+  auto conn2 = std::make_shared<FixtureConn>();
+  conn2->on_data([&conn2] { conn2->bytes++; });  // by-ref: no cycle, ok
+  // hipcheck:allow(self-capture): fixture for the allow path; cycle broken in reset
+  conn2->on_data([conn2] { conn2->bytes--; });
+}

@@ -1,0 +1,19 @@
+// Fixture: iterating a hash table feeds implementation-defined order
+// into whatever consumes the loop — scheduling, wire output, stats.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int fixture_unordered_iter() {
+  std::unordered_map<std::string, int> table;
+  std::unordered_set<int> members;
+  int sum = 0;
+  // hipcheck:expect(unordered-iter)
+  for (const auto& kv : table) sum += kv.second;
+  // hipcheck:expect(unordered-iter)
+  for (int v : members) sum += v;
+  // An allowed iteration (order-insensitive aggregation) is fine:
+  // hipcheck:allow(unordered-iter): sum is commutative, order cannot leak
+  for (const auto& kv : table) sum -= kv.second;
+  return sum;
+}

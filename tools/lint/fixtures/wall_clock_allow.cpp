@@ -1,0 +1,12 @@
+// Fixture: an allow pragma with a justification suppresses exactly one
+// wall-clock finding — and only one, so a second hit on the next line
+// still fires.
+#include <chrono>
+
+long fixture_wall_clock_allowed() {
+  // hipcheck:allow(wall-clock): benchmark harness measures real elapsed time
+  auto t0 = std::chrono::steady_clock::now();
+  // hipcheck:expect(wall-clock)
+  auto t1 = std::chrono::steady_clock::now();
+  return (t1 - t0).count();
+}

@@ -1,0 +1,583 @@
+// hipcloud_lint — in-tree determinism and idiom linter (hipcheck).
+//
+// The simulator's whole value proposition is bit-identical replay: the
+// same seed must produce the same packet trace, the same schedule, the
+// same Fig. 2 numbers, on any machine at any thread count. The bug
+// classes that silently break that promise (or that already bit us in
+// past PRs) are narrow and mechanical, so they are checked mechanically:
+//
+//   wall-clock      std::chrono::*_clock / time(nullptr) / std::rand /
+//                   std::random_device outside sim:: — real time leaking
+//                   into simulated time makes runs irreproducible.
+//   unordered-iter  range-for over a std::unordered_{map,set} declared in
+//                   the same file — hash-table iteration order is
+//                   implementation-defined, so anything it feeds
+//                   (scheduling, wire output, aggregation) diverges
+//                   across platforms.
+//   raw-alloc       raw new/delete on the packet path (src/net, src/hip,
+//                   src/apps) — the pooled zero-copy datapath exists so
+//                   per-packet heap traffic stays off the hot loop.
+//   self-capture    a shared_ptr invoking a member and capturing itself
+//                   by value in the callback (`x->on_foo([x]{...})`) —
+//                   the reference cycle that leaked connections in the
+//                   event-engine rework.
+//   eager-log       raw sim::Log::write() call sites — the message
+//                   argument is built even when the level filter drops
+//                   it; HIPCLOUD_LOG evaluates it lazily.
+//
+// Escape hatch: `// hipcheck:allow(<rule>): <justification>` on the
+// offending line or the line above suppresses exactly one finding of
+// that rule. The justification is mandatory and an allow that suppresses
+// nothing is itself an error, so pragmas cannot rot.
+//
+// Self-test mode (`--self-test <dir>`) lints fixture files in which every
+// expected finding is annotated `// hipcheck:expect(<rule>)`; the run
+// fails on any mismatch in either direction. The fixtures double as the
+// linter's regression suite and as documentation of each rule.
+//
+// The checker is token-based, not AST-based: the lexer strips comments,
+// string/char literals and raw strings, keeps line numbers, and folds
+// `::` into one token. That is deliberately simple — rules are phrased
+// as short token patterns, and the allow pragma covers the (rare) false
+// positives a real parser would avoid.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Token {
+  std::string text;
+  int line;
+};
+
+struct Finding {
+  std::string file;  // path as reported (relative to root)
+  int line;
+  std::string rule;
+  std::string msg;
+};
+
+struct AllowPragma {
+  int line;
+  std::string rule;
+  bool used = false;
+};
+
+struct ExpectPragma {
+  int line;
+  std::string rule;
+  bool matched = false;
+};
+
+// --------------------------------------------------------------------------
+// Lexer
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto at = [&](std::size_t k) -> char { return k < n ? src[k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && at(i + 1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && at(i + 1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && at(i + 1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = std::min(n, end + close.size());
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      out.push_back({src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Numbers (pp-number, loosely).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.' || src[j] == '\'')) {
+        ++j;
+      }
+      out.push_back({src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // `::` folded into one token so rule patterns and the range-for
+    // colon-scan can tell scope resolution from a plain colon.
+    if (c == ':' && at(i + 1) == ':') {
+      out.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && at(i + 1) == '>') {
+      out.push_back({"->", line});
+      i += 2;
+      continue;
+    }
+    out.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Pragmas (scanned on raw lines, since the lexer strips comments)
+
+void scan_pragmas(const std::string& src, std::vector<AllowPragma>& allows,
+                  std::vector<ExpectPragma>& expects,
+                  std::vector<Finding>& errors, const std::string& path) {
+  std::istringstream in(src);
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    for (const char* kind : {"allow", "expect"}) {
+      const std::string marker = std::string("hipcheck:") + kind + "(";
+      const std::size_t at = raw.find(marker);
+      if (at == std::string::npos) continue;
+      const std::size_t open = at + marker.size();
+      const std::size_t close = raw.find(')', open);
+      if (close == std::string::npos) {
+        errors.push_back({path, line, "bad-pragma",
+                          "unterminated hipcheck pragma"});
+        continue;
+      }
+      const std::string rule = raw.substr(open, close - open);
+      if (kind == std::string("expect")) {
+        expects.push_back({line, rule});
+        continue;
+      }
+      // allow(<rule>): <justification> — the justification is mandatory;
+      // an allow nobody can audit later is worse than no allow.
+      std::size_t p = close + 1;
+      bool justified = false;
+      if (p < raw.size() && raw[p] == ':') {
+        ++p;
+        while (p < raw.size()) {
+          if (!std::isspace(static_cast<unsigned char>(raw[p]))) {
+            justified = true;
+            break;
+          }
+          ++p;
+        }
+      }
+      if (!justified) {
+        errors.push_back(
+            {path, line, "bad-pragma",
+             "hipcheck:allow(" + rule +
+                 ") needs a justification: `// hipcheck:allow(" + rule +
+                 "): why this is safe`"});
+        continue;
+      }
+      allows.push_back({line, rule});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rules
+
+bool under(const std::string& path, const char* prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+const std::string& tok(const std::vector<Token>& t, std::size_t i) {
+  static const std::string empty;
+  return i < t.size() ? t[i].text : empty;
+}
+
+void rule_wall_clock(const std::string& path, const std::vector<Token>& t,
+                     std::vector<Finding>& out) {
+  // The sim:: layer owns virtual time and the seeded DRBG; everything
+  // else must get time from the event loop and entropy from sim::Rng.
+  if (under(path, "src/sim/")) return;
+  static const std::set<std::string> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (kClocks.count(s) != 0) {
+      out.push_back({path, t[i].line, "wall-clock",
+                     "std::chrono::" + s +
+                         " reads real time; use the event loop's virtual "
+                         "now()"});
+    } else if (s == "random_device") {
+      out.push_back({path, t[i].line, "wall-clock",
+                     "std::random_device is non-deterministic; seed "
+                     "sim::Rng / HmacDrbg instead"});
+    } else if (s == "rand" && tok(t, i - 1) == "::" &&
+               tok(t, i - 2) == "std") {
+      out.push_back({path, t[i].line, "wall-clock",
+                     "std::rand is a hidden global RNG; use the world's "
+                     "seeded generator"});
+    } else if (s == "time" && tok(t, i + 1) == "(" &&
+               (tok(t, i + 2) == "nullptr" || tok(t, i + 2) == "NULL" ||
+                tok(t, i + 2) == "0")) {
+      out.push_back({path, t[i].line, "wall-clock",
+                     "time(nullptr) reads the wall clock; use the event "
+                     "loop's virtual now()"});
+    }
+  }
+}
+
+void rule_unordered_iter(const std::string& path, const std::vector<Token>& t,
+                         std::vector<Finding>& out) {
+  // Pass 1: names declared (in this file) with an unordered container
+  // type. Pass 2: range-for statements whose range expression mentions
+  // one of those names.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "unordered_map" && t[i].text != "unordered_set") {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (tok(t, j) != "<") continue;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">" && --depth == 0) break;
+    }
+    ++j;  // past '>'
+    // Optional reference/pointer declarators, then the variable name.
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    const std::string& name = tok(t, j);
+    if (!name.empty() &&
+        (std::isalpha(static_cast<unsigned char>(name[0])) ||
+         name[0] == '_')) {
+      unordered_names.insert(name);
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "for" || tok(t, i + 1) != "(") continue;
+    // Find the matching ')' and the first top-level ':' inside it.
+    int depth = 0;
+    std::size_t colon = 0, end = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") {
+        if (--depth == 0) {
+          end = j;
+          break;
+        }
+      }
+      if (s == ":" && depth == 1 && colon == 0) colon = j;
+    }
+    if (colon == 0 || end == 0) continue;  // classic for / malformed
+    for (std::size_t j = colon + 1; j < end; ++j) {
+      if (unordered_names.count(t[j].text) != 0) {
+        out.push_back(
+            {path, t[j].line, "unordered-iter",
+             "range-for over std::unordered_* `" + t[j].text +
+                 "`: iteration order is implementation-defined and "
+                 "breaks cross-platform determinism"});
+        break;
+      }
+    }
+  }
+}
+
+void rule_raw_alloc(const std::string& path, const std::vector<Token>& t,
+                    std::vector<Finding>& out, bool force) {
+  // Packet-path directories only: the pooled buffer arena and
+  // make_unique/shared own all allocation there.
+  if (!force && !under(path, "src/net/") && !under(path, "src/hip/") &&
+      !under(path, "src/apps/")) {
+    return;
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "new") {
+      out.push_back({path, t[i].line, "raw-alloc",
+                     "raw `new` on the packet path; use make_unique/"
+                     "make_shared or the BufferPool"});
+    } else if (s == "delete") {
+      // `= delete` declarations and operator delete are not allocation.
+      if (tok(t, i - 1) == "=" || tok(t, i - 1) == "operator") continue;
+      out.push_back({path, t[i].line, "raw-alloc",
+                     "raw `delete` on the packet path; owning types "
+                     "should manage lifetime"});
+    }
+  }
+}
+
+void rule_self_capture(const std::string& path, const std::vector<Token>& t,
+                       std::vector<Finding>& out) {
+  // x->method([x]{...}) or x->method([a, x]{...}): the callback keeps its
+  // own owner alive — the shared_ptr cycle that leaked TcpConnections.
+  // By-reference capture ([&x]) takes no ownership and is not flagged.
+  for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+    if (t[i + 1].text != "->" || tok(t, i + 3) != "(" ||
+        tok(t, i + 4) != "[") {
+      continue;
+    }
+    const std::string& obj = t[i].text;
+    if (obj.empty() || !(std::isalpha(static_cast<unsigned char>(obj[0])) ||
+                         obj[0] == '_')) {
+      continue;
+    }
+    for (std::size_t j = i + 5; j < t.size() && t[j].text != "]"; ++j) {
+      // Only a plain-copy capture item (`[x]`, `[a, x]`) copies the
+      // shared_ptr and closes the cycle. `[&x]` takes no ownership,
+      // and in init-captures (`[p = x.get()]`,
+      // `[w = std::weak_ptr<T>(x)]`) `x` is not a direct list item.
+      const std::string& prev = tok(t, j - 1);
+      const std::string& next = tok(t, j + 1);
+      if (t[j].text == obj && (prev == "[" || prev == ",") &&
+          (next == "," || next == "]")) {
+        out.push_back(
+            {path, t[j].line, "self-capture",
+             "`" + obj + "` captures itself by value in a callback it "
+             "installs on itself — shared_ptr reference cycle (leak)"});
+        break;
+      }
+    }
+  }
+}
+
+void rule_eager_log(const std::string& path, const std::vector<Token>& t,
+                    std::vector<Finding>& out) {
+  // Log::write builds its std::string argument before the level check.
+  // Only the sink itself (and the HIPCLOUD_LOG macro wrapping it) may
+  // call it directly.
+  if (under(path, "src/sim/log.")) return;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].text == "Log" && t[i + 1].text == "::" &&
+        t[i + 2].text == "write") {
+      out.push_back({path, t[i].line, "eager-log",
+                     "raw sim::Log::write() builds the message eagerly; "
+                     "use HIPCLOUD_LOG (lazy format)"});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Driver
+
+struct FileResult {
+  std::vector<Finding> findings;       // post-suppression
+  std::vector<Finding> pragma_errors;  // bad-pragma / unused-allow
+  std::vector<ExpectPragma> expects;
+};
+
+FileResult lint_file(const fs::path& fspath, const std::string& rel,
+                     bool self_test) {
+  FileResult r;
+  std::ifstream in(fspath, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string src = ss.str();
+
+  std::vector<AllowPragma> allows;
+  scan_pragmas(src, allows, r.expects, r.pragma_errors, rel);
+
+  const std::vector<Token> tokens = lex(src);
+  std::vector<Finding> raw;
+  rule_wall_clock(rel, tokens, raw);
+  rule_unordered_iter(rel, tokens, raw);
+  rule_raw_alloc(rel, tokens, raw, /*force=*/self_test);
+  rule_self_capture(rel, tokens, raw);
+  rule_eager_log(rel, tokens, raw);
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+
+  // Each allow suppresses exactly one finding of its rule, on the same
+  // line or the line directly below the pragma.
+  for (const Finding& f : raw) {
+    bool suppressed = false;
+    for (AllowPragma& a : allows) {
+      if (!a.used && a.rule == f.rule &&
+          (a.line == f.line || a.line + 1 == f.line)) {
+        a.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) r.findings.push_back(f);
+  }
+  for (const AllowPragma& a : allows) {
+    if (!a.used) {
+      r.pragma_errors.push_back(
+          {rel, a.line, "unused-allow",
+           "hipcheck:allow(" + a.rule +
+               ") suppresses nothing — remove it or fix the rule name"});
+    }
+  }
+  return r;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+void print_finding(const Finding& f) {
+  std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+               f.rule.c_str(), f.msg.c_str());
+}
+
+int run_tree(const fs::path& root, const std::vector<std::string>& dirs) {
+  int files = 0, bad = 0;
+  for (const std::string& d : dirs) {
+    const fs::path base = root / d;
+    if (!fs::exists(base)) continue;
+    std::vector<fs::path> paths;
+    for (const auto& ent : fs::recursive_directory_iterator(base)) {
+      if (ent.is_regular_file() && lintable(ent.path())) {
+        paths.push_back(ent.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      ++files;
+      const std::string rel = fs::relative(p, root).generic_string();
+      const FileResult r = lint_file(p, rel, /*self_test=*/false);
+      for (const Finding& f : r.findings) print_finding(f);
+      for (const Finding& f : r.pragma_errors) print_finding(f);
+      bad += static_cast<int>(r.findings.size() + r.pragma_errors.size());
+    }
+  }
+  std::fprintf(stderr, "hipcloud_lint: %d files, %d finding%s\n", files, bad,
+               bad == 1 ? "" : "s");
+  return bad == 0 ? 0 : 1;
+}
+
+int run_self_test(const fs::path& dir) {
+  int checked = 0, failures = 0;
+  std::vector<fs::path> paths;
+  for (const auto& ent : fs::recursive_directory_iterator(dir)) {
+    if (ent.is_regular_file() && lintable(ent.path())) {
+      paths.push_back(ent.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    ++checked;
+    const std::string rel = p.filename().generic_string();
+    FileResult r = lint_file(p, rel, /*self_test=*/true);
+
+    // Every finding (and pragma error) must be annotated with an expect
+    // on its line or the line above; every expect must fire.
+    std::vector<Finding> all = r.findings;
+    all.insert(all.end(), r.pragma_errors.begin(), r.pragma_errors.end());
+    for (const Finding& f : all) {
+      bool matched = false;
+      for (ExpectPragma& e : r.expects) {
+        if (!e.matched && e.rule == f.rule &&
+            (e.line == f.line || e.line + 1 == f.line)) {
+          e.matched = true;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        ++failures;
+        std::fprintf(stderr, "self-test: unexpected finding:\n  ");
+        print_finding(f);
+      }
+    }
+    for (const ExpectPragma& e : r.expects) {
+      if (!e.matched) {
+        ++failures;
+        std::fprintf(stderr,
+                     "self-test: %s:%d: expected [%s] to fire here, it "
+                     "did not\n",
+                     rel.c_str(), e.line, e.rule.c_str());
+      }
+    }
+  }
+  std::fprintf(stderr, "hipcloud_lint self-test: %d fixtures, %d failure%s\n",
+               checked, failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path self_test_dir;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      self_test_dir = argv[++i];
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: hipcloud_lint [--root DIR] [dirs...]\n"
+                   "       hipcloud_lint --self-test FIXTURE_DIR\n");
+      return 0;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+  if (dirs.empty()) dirs = {"src", "bench", "tests"};
+  return run_tree(root, dirs);
+}
