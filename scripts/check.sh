@@ -4,6 +4,9 @@
 #   scripts/check.sh              # default gates: normal + ASan+UBSan tier-1
 #   scripts/check.sh --fast       # normal build only
 #   scripts/check.sh --lint       # hipcloud_lint over src/ bench/ tests/ + self-test
+#   scripts/check.sh --flow       # hipcloud_flow whole-tree analysis + self-test
+#   scripts/check.sh --tidy       # clang-tidy over compile_commands.json
+#                                 # (skips, not fails, if clang-tidy absent)
 #   scripts/check.sh --audit      # HIPCLOUD_AUDIT=ON build, full tier-1 +
 #                                 # audit-trip suite + determinism auditor
 #   scripts/check.sh --tsan       # HIPCLOUD_SANITIZE=thread build, tier-1 +
@@ -21,7 +24,7 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 tjobs="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 
-run_normal=0 run_san=0 run_lint=0 run_audit=0 run_tsan=0
+run_normal=0 run_san=0 run_lint=0 run_flow=0 run_tidy=0 run_audit=0 run_tsan=0
 if [[ $# -eq 0 ]]; then
   run_normal=1 run_san=1
 fi
@@ -29,11 +32,15 @@ for arg in "$@"; do
   case "$arg" in
     --fast)  run_normal=1 ;;
     --lint)  run_lint=1 ;;
+    --flow)  run_flow=1 ;;
+    --tidy)  run_tidy=1 ;;
     --audit) run_audit=1 ;;
     --tsan)  run_tsan=1 ;;
-    --all)   run_normal=1 run_san=1 run_lint=1 run_audit=1 run_tsan=1 ;;
+    --all)   run_normal=1 run_san=1 run_lint=1 run_flow=1 run_tidy=1 \
+             run_audit=1 run_tsan=1 ;;
     *)
-      echo "usage: $0 [--fast] [--lint] [--audit] [--tsan] [--all]" >&2
+      echo "usage: $0 [--fast] [--lint] [--flow] [--tidy] [--audit]" \
+           "[--tsan] [--all]" >&2
       exit 2
       ;;
   esac
@@ -78,6 +85,39 @@ if [[ "$run_lint" == 1 ]]; then
     "$root/build/tools/hipcloud_lint" --self-test "$root/tools/lint/fixtures"
   run "lint: tree" \
     "$root/build/tools/hipcloud_lint" --root "$root" src bench tests
+fi
+
+if [[ "$run_flow" == 1 ]]; then
+  # Flow analysis runs after lint (--all order): the cheap token linter
+  # catches style debris first, then the TU-level analyzer does the
+  # structural work. It needs the exported compile_commands.json, which
+  # the configure step below produces as a side effect.
+  run "flow: build hipcloud_flow" bash -c \
+    "cmake -S '$root' -B '$root/build' -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DHIPCLOUD_WERROR=ON >/dev/null &&
+     cmake --build '$root/build' -j '$jobs' --target hipcloud_flow"
+  run "flow: self-test" \
+    "$root/build/tools/hipcloud_flow" --self-test "$root/tools/flow/fixtures"
+  run "flow: tree" \
+    "$root/build/tools/hipcloud_flow" --root "$root" \
+    --compdb "$root/build/compile_commands.json" --jobs "$jobs"
+fi
+
+if [[ "$run_tidy" == 1 ]]; then
+  # clang-tidy is optional tooling: absent in the minimal container, so
+  # a missing binary is a SKIP, not a failure. When present it runs over
+  # the same compile_commands.json the flow analyzer uses, with the
+  # curated profile in .clang-tidy.
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "== tidy: SKIPPED (clang-tidy not installed) =="
+  else
+    run "tidy: configure (export compile commands)" bash -c \
+      "cmake -S '$root' -B '$root/build' -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+         -DHIPCLOUD_WERROR=ON >/dev/null"
+    run "tidy: clang-tidy" bash -c \
+      "cd '$root' && git ls-files 'src/*.cpp' |
+         xargs -P '$jobs' -n 8 clang-tidy -p '$root/build' --quiet"
+  fi
 fi
 
 if [[ "$run_san" == 1 ]]; then

@@ -42,8 +42,13 @@ Bytes from_hex(std::string_view hex) {
 
 bool ct_equal(BytesView a, BytesView b) {
   if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  // volatile accumulator: the compiler must keep every OR, so the loop
+  // cannot be short-circuited into an early exit on first mismatch and
+  // the comparison time is independent of where the buffers differ.
+  volatile std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = acc | static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
   return acc == 0;
 }
 

@@ -66,6 +66,7 @@ void EspSa::compute_icv(BytesView spi_seq_iv_ct, std::uint8_t out[12]) {
   std::memcpy(out, mac, kIcvSize);
 }
 
+// hipcheck:hot
 crypto::Buffer EspSa::protect_packet(std::uint8_t inner_proto,
                                      std::uint8_t addr_mode,
                                      crypto::Buffer payload) {
@@ -177,6 +178,7 @@ bool EspSa::replay_check_and_update(std::uint32_t seq) {
   return true;
 }
 
+// hipcheck:hot
 std::optional<EspSa::UnprotectedPacket> EspSa::unprotect_packet(
     crypto::Buffer wire) {
   // Zero-copy decrypt: authenticate over the buffer's view, decrypt the

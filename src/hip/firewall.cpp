@@ -29,6 +29,7 @@ void HipFirewall::deny_pair(const net::Ipv6Addr& a, const net::Ipv6Addr& b) {
   denied_pairs_.insert(canonical(a, b));
 }
 
+// hipcheck:hot
 bool HipFirewall::on_forward(Packet& pkt) {
   bool pass;
   switch (pkt.proto) {

@@ -59,6 +59,7 @@ void UdpEncap::add_encap_peer(const net::IpAddr& locator,
   endpoints_.emplace(locator, net::Endpoint{locator, remote_port});
 }
 
+// hipcheck:hot
 void UdpEncap::send_encapsulated(Packet&& pkt) {
   const auto it = endpoints_.find(pkt.dst);
   if (it == endpoints_.end()) return;
@@ -68,6 +69,7 @@ void UdpEncap::send_encapsulated(Packet&& pkt) {
   udp_->send(local_port_, it->second, std::move(pkt.payload));
 }
 
+// hipcheck:hot
 void UdpEncap::on_datagram(const net::Endpoint& from,
                            const net::IpAddr& local, crypto::Buffer data) {
   if (data.empty()) return;

@@ -26,6 +26,7 @@ Link::Direction& Link::direction_from(const Node* from) {
   throw std::logic_error("Link::transmit: node not attached");
 }
 
+// hipcheck:hot
 bool Link::transmit(Packet pkt, const Node* from) {
   auto& loop = net_.loop();
   if (down_) {

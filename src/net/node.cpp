@@ -139,6 +139,7 @@ std::size_t Node::path_overhead(const IpAddr& dst) const {
   return total;
 }
 
+// hipcheck:hot
 void Node::send(Packet pkt) {
   if (down_) return;
   for (const auto& shim : shims_) {
@@ -147,6 +148,7 @@ void Node::send(Packet pkt) {
   send_raw(std::move(pkt));
 }
 
+// hipcheck:hot
 void Node::send_raw(Packet pkt) {
   if (down_) return;
   // Loopback: packets to our own address short-circuit through the stack
@@ -168,6 +170,7 @@ void Node::send_raw(Packet pkt) {
   ifaces_[route->iface].link->transmit(std::move(pkt), this);
 }
 
+// hipcheck:hot
 void Node::deliver(Packet&& pkt, std::size_t in_iface) {
   if (down_) return;  // crashed: in-flight packets vanish
   if (owns_address(pkt.dst)) {

@@ -188,6 +188,7 @@ std::uint32_t TcpConnection::usable_window() const {
   return wnd > flight ? wnd - flight : 0;
 }
 
+// hipcheck:hot
 void TcpConnection::try_send() {
   if (state_ != State::kEstablished && state_ != State::kFinWait1 &&
       state_ != State::kLastAck && state_ != State::kCloseWait) {
@@ -226,6 +227,7 @@ void TcpConnection::try_send() {
   }
 }
 
+// hipcheck:hot
 void TcpConnection::send_segment(std::uint32_t seq, BytesView data, bool syn,
                                  bool fin, bool ack) {
   TcpHeader h;
@@ -319,6 +321,7 @@ void TcpConnection::on_rto() {
   arm_rto();
 }
 
+// hipcheck:hot
 void TcpConnection::handle_segment(const TcpHeader& h, crypto::Buffer data) {
   if (h.rst) {
     become_closed();
@@ -365,6 +368,7 @@ void TcpConnection::handle_segment(const TcpHeader& h, crypto::Buffer data) {
   if (!data.empty() || h.fin) process_data(h, std::move(data));
 }
 
+// hipcheck:hot
 void TcpConnection::process_ack(const TcpHeader& h) {
   peer_window_ = h.window;
   if (seq_gt(h.ack, snd_nxt_)) return;  // acks something we never sent
@@ -459,6 +463,7 @@ void TcpConnection::process_ack(const TcpHeader& h) {
   }
 }
 
+// hipcheck:hot
 void TcpConnection::process_data(const TcpHeader& h, crypto::Buffer data) {
   const std::uint32_t rcv_nxt_before = rcv_nxt_;
   const std::uint32_t seg_seq = h.seq;
@@ -621,6 +626,7 @@ void TcpStack::listen(std::uint16_t port, AcceptFn on_accept) {
 
 void TcpStack::close_listener(std::uint16_t port) { listeners_.erase(port); }
 
+// hipcheck:hot
 void TcpStack::transmit(const Endpoint& local, const Endpoint& remote,
                         const TcpHeader& header, BytesView data) {
   Packet pkt;
@@ -641,6 +647,7 @@ void TcpStack::transmit(const Endpoint& local, const Endpoint& remote,
   node_->send(std::move(pkt));
 }
 
+// hipcheck:hot
 void TcpStack::on_packet(Packet&& pkt) {
   TcpHeader h;
   try {

@@ -140,6 +140,7 @@ void TeredoClient::qualify(QualifiedFn done) {
   udp_->send(local_port_, server_, Bytes{kMsgSolicit});
 }
 
+// hipcheck:hot
 void TeredoClient::on_datagram(const Endpoint& /*from*/,
                                const IpAddr& /*local*/, crypto::Buffer data) {
   if (data.empty()) return;
@@ -175,6 +176,7 @@ void TeredoClient::on_datagram(const Endpoint& /*from*/,
   }
 }
 
+// hipcheck:hot
 void TeredoClient::send_tunnelled(Packet&& pkt) {
   // Ensure the inner packet carries our Teredo source.
   if (!pkt.src.is_teredo()) pkt.src = address_;

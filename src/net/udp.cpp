@@ -28,6 +28,7 @@ std::uint16_t UdpStack::bind(std::uint16_t port, ReceiveFn handler) {
 
 void UdpStack::unbind(std::uint16_t port) { bindings_.erase(port); }
 
+// hipcheck:hot
 void UdpStack::send(std::uint16_t src_port, const Endpoint& dst,
                     crypto::Buffer data, std::optional<IpAddr> src_addr) {
   Packet pkt;

@@ -199,7 +199,8 @@ TEST(Buffer, MoveTransfersBlockCopyDuplicates) {
   const std::uint8_t* block = a.data();
   Buffer moved = std::move(a);
   EXPECT_EQ(moved.data(), block);  // no copy, no new block
-  EXPECT_TRUE(a.empty());          // NOLINT(bugprone-use-after-move)
+  // hipcheck:allow(flow-buffer-lifetime): asserts moved-from state on purpose
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
   Buffer copied = moved;
   EXPECT_NE(copied.data(), moved.data());
   EXPECT_EQ(copied, moved);

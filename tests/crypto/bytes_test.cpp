@@ -29,6 +29,29 @@ TEST(Bytes, CtEqualBasic) {
   EXPECT_TRUE(ct_equal({}, {}));
 }
 
+// The property the ESP ICV and TLS record MAC checks rely on: a single
+// corrupted byte is detected no matter where it sits, including the very
+// last position (which a short-circuiting memcmp would reach latest —
+// the timing oracle ct_equal exists to close).
+TEST(Bytes, CtEqualMismatchAtEveryBytePosition) {
+  constexpr std::size_t kLen = 32;  // SHA-256 MAC / ICV width
+  Bytes ref(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    ref[i] = static_cast<std::uint8_t>(0xa5 ^ i);
+  }
+  EXPECT_TRUE(ct_equal(ref, ref));
+  for (std::size_t pos = 0; pos < kLen; ++pos) {
+    for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
+      Bytes bad = ref;
+      bad[pos] = static_cast<std::uint8_t>(bad[pos] ^ flip);
+      EXPECT_FALSE(ct_equal(ref, bad)) << "undetected flip 0x" << std::hex
+                                       << int{flip} << " at byte " << std::dec
+                                       << pos;
+      EXPECT_FALSE(ct_equal(bad, ref)) << "asymmetric at byte " << pos;
+    }
+  }
+}
+
 TEST(Bytes, XorInplace) {
   Bytes a = from_hex("ff00ff00");
   xor_inplace(a, from_hex("0f0f0f0f"));

@@ -88,6 +88,25 @@ TEST_P(EspSuiteTest, TamperedPacketRejected) {
   EXPECT_EQ(rx.auth_failures(), 1u);
 }
 
+TEST_P(EspSuiteTest, IcvMismatchDetectedAtEveryBytePosition) {
+  // The ICV check goes through crypto::ct_equal; corrupting any of its
+  // 12 trailing bytes — first, middle, last — must reject the packet.
+  EspSa tx = make_sa();
+  Bytes wire = tx.protect(6, EspSa::kModeHit, Bytes(48, 0x3c));
+  constexpr std::size_t kIcvSize = 12;
+  ASSERT_GT(wire.size(), kIcvSize);
+  for (std::size_t pos = 0; pos < kIcvSize; ++pos) {
+    EspSa rx = make_sa();
+    Bytes bad = wire;
+    bad[bad.size() - kIcvSize + pos] ^= 0x01;
+    EXPECT_FALSE(rx.unprotect(bad).has_value())
+        << "flipped ICV byte " << pos << " was accepted";
+    EXPECT_EQ(rx.auth_failures(), 1u);
+  }
+  EspSa rx = make_sa();
+  EXPECT_TRUE(rx.unprotect(wire).has_value());
+}
+
 TEST_P(EspSuiteTest, ReplayIsDropped) {
   EspSa tx = make_sa();
   EspSa rx = make_sa();

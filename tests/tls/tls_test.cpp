@@ -137,6 +137,62 @@ TEST(Tls, PlaintextNeverOnWire) {
   }
 }
 
+TEST(Tls, TamperedRecordMacRejectedOnWire) {
+  // Flip the last byte of the first application record on the wire — the
+  // final byte of its HMAC trailer, the one a short-circuiting compare
+  // would weigh least. The server's ct_equal check must reject the record
+  // and tear the session down without ever delivering the payload.
+  TlsTopo topo;
+  net::Network net{31};
+  auto* c = net.add_node("c", 3e9);
+  auto* r = net.add_node("r");
+  auto* s = net.add_node("s", 3e9);
+  const auto l1 = net.connect(c, r, {});
+  const auto l2 = net.connect(r, s, {});
+  c->add_address(l1.iface_a, Ipv4Addr(10, 0, 1, 1));
+  r->add_address(l1.iface_b, Ipv4Addr(10, 0, 1, 254));
+  r->add_address(l2.iface_a, Ipv4Addr(10, 0, 2, 254));
+  s->add_address(l2.iface_b, Ipv4Addr(10, 0, 2, 1));
+  c->set_default_route(l1.iface_a);
+  s->set_default_route(l2.iface_b);
+  r->add_route(IpAddr(Ipv4Addr(10, 0, 1, 0)), 24, l1.iface_b);
+  r->add_route(IpAddr(Ipv4Addr(10, 0, 2, 0)), 24, l2.iface_a);
+  r->set_forwarding(true);
+
+  bool client_established = false;
+  bool corrupted = false;
+  r->set_forward_hook([&](net::Packet& pkt, std::size_t) {
+    if (client_established && !corrupted &&
+        pkt.dst == IpAddr(Ipv4Addr(10, 0, 2, 1)) &&
+        pkt.payload.size() > net::TcpHeader::kSize) {
+      pkt.payload[pkt.payload.size() - 1] ^= 0x01;
+      corrupted = true;
+    }
+    return true;
+  });
+
+  net::TcpStack tc(c), ts(s);
+  Bytes server_got;
+  bool server_closed = false;
+  std::vector<std::shared_ptr<TlsSession>> keep;
+  ts.listen(443, [&](auto conn) {
+    auto session = TlsSession::server(conn, s, topo.server_cfg, 1);
+    session->on_data([&](Bytes data) { server_got = std::move(data); });
+    session->on_close([&] { server_closed = true; });
+    keep.push_back(std::move(session));
+  });
+  auto conn = tc.connect(Endpoint{IpAddr(Ipv4Addr(10, 0, 2, 1)), 443});
+  auto session = TlsSession::client(conn, c, topo.client_cfg, 2);
+  session->on_established([&] { client_established = true; });
+  session->send(crypto::to_bytes("tamper-me"));
+  net.loop().run();
+
+  EXPECT_TRUE(client_established);
+  EXPECT_TRUE(corrupted);
+  EXPECT_TRUE(server_got.empty()) << "tampered record was delivered";
+  EXPECT_TRUE(server_closed);
+}
+
 TEST(Tls, ClientRejectsUntrustedCertificate) {
   TlsTopo topo;
   // Client trusts a different CA.

@@ -1,0 +1,22 @@
+// Fixture: suppressed negatives for the buffer-lifetime analysis.
+#include <cstdint>
+#include <utility>
+
+struct Buffer {
+  std::uint8_t* data();
+  bool empty() const;
+};
+
+struct Pool {
+  Buffer make(unsigned n, unsigned headroom, unsigned tailroom);
+};
+
+void consume(Buffer b);
+
+void deliberate_moved_from_check(Pool& pool) {
+  Buffer buf = pool.make(64, 0, 0);
+  consume(std::move(buf));
+  // hipcheck:allow(flow-buffer-lifetime): fixture — asserting moved-from state
+  const bool gone = buf.empty();
+  (void)gone;
+}

@@ -1,0 +1,36 @@
+// Fixture: pooled-Buffer lifetime true positives — a use after the
+// block moved away, and a headroom pointer smuggled into a callback
+// that fires after this frame (and the pooled block) is gone.
+#include <cstdint>
+#include <utility>
+
+struct Buffer {
+  std::uint8_t* data();
+  std::uint8_t* prepend(unsigned n);
+  unsigned size() const;
+};
+
+struct Pool {
+  Buffer make(unsigned n, unsigned headroom, unsigned tailroom);
+};
+
+struct Loop {
+  template <typename F>
+  void schedule(long delay, F f);
+};
+
+void consume(Buffer b);
+
+void lifetime_bugs(Pool& pool, Loop& loop) {
+  Buffer buf = pool.make(64, 16, 16);
+  consume(std::move(buf));
+  // hipcheck:expect(flow-buffer-lifetime)
+  const unsigned n = buf.size();
+  (void)n;
+
+  Buffer wire = pool.make(64, 16, 16);
+  std::uint8_t* hdr = wire.prepend(8);
+  // hipcheck:expect(flow-buffer-lifetime)
+  loop.schedule(5, [hdr] { hdr[0] = 0; });
+  consume(std::move(wire));
+}

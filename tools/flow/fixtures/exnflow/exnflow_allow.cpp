@@ -1,0 +1,14 @@
+// Fixture: suppressed negative for the exception-flow analysis.
+#include <stdexcept>
+
+struct Loop {
+  template <typename F>
+  void schedule(long delay, F f);
+};
+
+void exn_justified(Loop& loop, int mode) {
+  loop.schedule(5, [mode] {
+    // hipcheck:allow(flow-exn): fixture — harness catches at the loop edge
+    if (mode == 1) throw std::runtime_error("boom");
+  });
+}

@@ -1,0 +1,31 @@
+// Fixture: exception-flow true positive — a callback posted to the
+// EventLoop throws something other than sim::CheckFailure with no
+// handler in the callback.
+#include <stdexcept>
+
+struct Loop {
+  template <typename F>
+  void schedule(long delay, F f);
+};
+
+struct CheckFailure {};
+
+void exn_bugs(Loop& loop, int mode) {
+  loop.schedule(5, [mode] {
+    // hipcheck:expect(flow-exn)
+    if (mode == 1) throw std::runtime_error("boom");
+  });
+
+  // CheckFailure is the sanctioned escape: no finding.
+  loop.schedule(5, [mode] {
+    if (mode == 2) throw CheckFailure{};
+  });
+
+  // A handled throw is no finding either.
+  loop.schedule(5, [mode] {
+    try {
+      if (mode == 3) throw std::runtime_error("handled");
+    } catch (const std::runtime_error&) {
+    }
+  });
+}

@@ -1,0 +1,19 @@
+// Fixture: suppressed negatives — reserve() satisfies the growth rule
+// without a pragma, the slow-path string is justified, and lazy log
+// macro arguments are exempt by design.
+#include <string>
+#include <vector>
+
+void emit(const std::string& s);
+
+// hipcheck:hot
+void per_packet_clean(int seq) {
+  std::vector<int> staging;
+  staging.reserve(4);
+  staging.push_back(seq);  // reserved above: no finding
+
+  HIPCLOUD_LOG(0, 0, "fx", std::to_string(seq));  // lazy macro arg: exempt
+
+  // hipcheck:allow(flow-hot-alloc): fixture — error slow path, once per conn
+  emit(std::to_string(seq));
+}

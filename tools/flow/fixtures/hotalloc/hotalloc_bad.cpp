@@ -1,0 +1,25 @@
+// Fixture: hot-path allocation true positives, including hotness
+// propagating from the marked entry point to a same-TU callee.
+#include <functional>
+#include <string>
+#include <vector>
+
+void emit(const std::string& s);
+
+void format_helper(int seq) {
+  // hipcheck:expect(flow-hot-alloc) — hot via the caller below
+  emit(std::to_string(seq));
+}
+
+// hipcheck:hot
+void per_packet(int seq, std::vector<unsigned char>& out) {
+  // hipcheck:expect(flow-hot-alloc)
+  std::function<void()> cb = [] {};
+  cb();
+
+  std::vector<int> staging;
+  // hipcheck:expect(flow-hot-alloc)
+  staging.push_back(seq);
+
+  format_helper(seq);
+}

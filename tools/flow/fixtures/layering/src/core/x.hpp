@@ -1,0 +1,8 @@
+// Fixture: a core-layer header (top of the DAG).
+#pragma once
+
+namespace fx {
+struct CoreX {
+  int v = 0;
+};
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: one half of a textual include cycle. `#pragma once` hides it
+// from the compiler; the analyzer still reports the back edge.
+#pragma once
+
+#include "crypto/cycle_b.hpp"
+
+namespace fx {
+inline int cycle_a() { return 1; }
+}  // namespace fx

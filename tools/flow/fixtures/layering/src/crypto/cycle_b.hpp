@@ -1,0 +1,9 @@
+// Fixture: the back edge of the include cycle lives here.
+#pragma once
+
+// hipcheck:expect(flow-include-cycle)
+#include "crypto/cycle_a.hpp"
+
+namespace fx {
+inline int cycle_b() { return 2; }
+}  // namespace fx

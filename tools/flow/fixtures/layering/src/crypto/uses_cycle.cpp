@@ -1,0 +1,6 @@
+// Fixture TU pulling the cyclic headers in.
+#include "crypto/cycle_a.hpp"
+
+namespace fx {
+int use_cycle() { return cycle_a() + cycle_b(); }
+}  // namespace fx

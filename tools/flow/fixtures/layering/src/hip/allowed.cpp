@@ -1,0 +1,8 @@
+// Fixture: the suppressed negative — a justified allow silences exactly
+// one layering finding, and the self-test fails if the allow goes unused.
+// hipcheck:allow(flow-layering): fixture exercising the pragma discipline
+#include "core/x.hpp"
+
+namespace fx {
+int hip_uses_core_with_permission() { return CoreX{}.v; }
+}  // namespace fx

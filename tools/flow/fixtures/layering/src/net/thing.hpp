@@ -1,0 +1,8 @@
+// Fixture: a well-behaved net-layer header.
+#pragma once
+
+namespace fx {
+struct Thing {
+  int id = 0;
+};
+}  // namespace fx

@@ -1,0 +1,6 @@
+// hipcheck:expect(flow-header-hygiene) — no #pragma once / #ifndef guard.
+namespace fx {
+struct Unguarded {
+  int x = 0;
+};
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture TU: pulls in the unguarded header (net -> net is a legal edge;
+// the hygiene finding is reported against the header itself) and commits
+// a relative-include sin of its own.
+#include "net/unguarded.hpp"
+
+// hipcheck:expect(flow-header-hygiene)
+#include "thing.hpp"
+
+namespace fx {
+int use_unguarded() { return Unguarded{}.x + Thing{}.id; }
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Fixture: the sim layer is the bottom of the DAG — it may not include
+// anything above itself.
+// hipcheck:expect(flow-layering)
+#include "net/thing.hpp"
+
+namespace fx {
+int sim_peeks_at_net() { return Thing{}.id; }
+}  // namespace fx

@@ -1,0 +1,105 @@
+#include "token.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hipflow {
+
+std::vector<Token> lex(const std::string& src, FileId file, int first_line) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = first_line;
+
+  auto at = [&](std::size_t k) -> char { return k < n ? src[k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && at(i + 1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && at(i + 1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && at(i + 1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = std::min(n, end + close.size());
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      out.push_back({src.substr(i, j - i), file, line});
+      i = j;
+      continue;
+    }
+    // Numbers (pp-number, loosely).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.' || src[j] == '\'')) {
+        ++j;
+      }
+      out.push_back({src.substr(i, j - i), file, line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && at(i + 1) == ':') {
+      out.push_back({"::", file, line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && at(i + 1) == '>') {
+      out.push_back({"->", file, line});
+      i += 2;
+      continue;
+    }
+    out.push_back({std::string(1, c), file, line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace hipflow

@@ -1,0 +1,289 @@
+#include "tu.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hipflow {
+
+namespace fs = std::filesystem;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string relativize(const std::string& root, const std::string& abs) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(abs, root, ec);
+  if (ec || rel.empty() || rel.generic_string().rfind("..", 0) == 0) {
+    return fs::path(abs).generic_string();
+  }
+  return rel.generic_string();
+}
+
+FileId FileTable::intern(const std::string& rel_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(rel_path);
+  if (it != ids_.end()) return it->second;
+  const FileId id = static_cast<FileId>(paths_.size());
+  paths_.push_back(rel_path);
+  ids_.emplace(rel_path, id);
+  return id;
+}
+
+namespace {
+
+// Object-like macro: name -> replacement tokens (lexed once, at the
+// definition site). Function-like macros are left unexpanded — analyses
+// treat their names as ordinary calls, which is what the taint and
+// exception rules want for HIPCLOUD_LOG / CHECK anyway.
+struct Macro {
+  std::vector<Token> body;
+  bool function_like = false;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Join backslash-continued directive lines, returning the number of raw
+// lines consumed.
+std::size_t read_directive(const std::vector<std::string>& lines,
+                           std::size_t i, std::string& out) {
+  out = lines[i];
+  std::size_t used = 1;
+  while (!out.empty() && out.back() == '\\' && i + used < lines.size()) {
+    out.pop_back();
+    out += lines[i + used];
+    ++used;
+  }
+  return used;
+}
+
+}  // namespace
+
+struct Preprocessor::TuState {
+  TranslationUnit tu;
+  std::set<std::string> included_once;     // rel paths already inlined
+  std::vector<std::string> include_stack;  // rel paths, for cycle report
+  std::map<std::string, Macro> macros;
+  int if0_depth = 0;  // nesting inside an `#if 0` dead region
+};
+
+void Preprocessor::process_file(const std::string& abs, const std::string& rel,
+                                TuState& st) const {
+  std::string src;
+  if (!read_file(abs, src)) return;
+  const FileId fid = files_->intern(rel);
+  st.tu.files.push_back(fid);
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(src);
+    std::string l;
+    while (std::getline(in, l)) lines.push_back(l);
+  }
+
+  const bool is_header = rel.size() > 4 && (rel.rfind(".hpp") == rel.size() - 4 ||
+                                            rel.rfind(".h") == rel.size() - 2);
+  bool guarded = false;
+  bool saw_tokens = false;
+
+  // Non-directive text is batched into chunks and lexed with the line of
+  // the chunk start, so token line numbers stay exact.
+  std::string chunk;
+  int chunk_line = 1;
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    std::vector<Token> toks = lex(chunk, fid, chunk_line);
+    // Object-like macro expansion, one level deep per site (enough for
+    // constant aliases; recursive schemes are not used in this tree).
+    for (Token& t : toks) {
+      auto it = st.macros.find(t.text);
+      if (it == st.macros.end() || it->second.function_like ||
+          it->second.body.size() != 1) {
+        st.tu.tokens.push_back(std::move(t));
+        continue;
+      }
+      Token rep = it->second.body.front();
+      rep.file = t.file;
+      rep.line = t.line;
+      st.tu.tokens.push_back(std::move(rep));
+    }
+    chunk.clear();
+  };
+
+  for (std::size_t i = 0; i < lines.size();) {
+    const std::string& raw = lines[i];
+    std::size_t ws = 0;
+    while (ws < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[ws]))) {
+      ++ws;
+    }
+    const bool directive = ws < raw.size() && raw[ws] == '#';
+    if (!directive) {
+      if (st.if0_depth == 0) {
+        if (chunk.empty()) chunk_line = static_cast<int>(i + 1);
+        chunk += raw;
+        chunk += '\n';
+        if (!trim(raw).empty()) saw_tokens = true;
+      }
+      ++i;
+      continue;
+    }
+
+    std::string dir;
+    const std::size_t used = read_directive(lines, i, dir);
+    const int dline = static_cast<int>(i + 1);
+    i += used;
+    flush();
+
+    std::istringstream ds(trim(dir).substr(1));  // past '#'
+    std::string kw;
+    ds >> kw;
+
+    if (st.if0_depth > 0) {
+      // Inside a dead `#if 0` region only the nesting structure matters.
+      if (kw == "if" || kw == "ifdef" || kw == "ifndef") {
+        ++st.if0_depth;
+      } else if (kw == "endif") {
+        --st.if0_depth;
+      } else if (kw == "else" || kw == "elif") {
+        if (st.if0_depth == 1) st.if0_depth = 0;  // live again
+      }
+      continue;
+    }
+
+    if (kw == "pragma") {
+      std::string what;
+      ds >> what;
+      if (what == "once") guarded = true;
+      continue;
+    }
+    if (kw == "ifndef") {
+      // Classic include guard: #ifndef FOO as the first directive before
+      // any real tokens counts as guarded.
+      if (is_header && !saw_tokens) guarded = true;
+      continue;
+    }
+    if (kw == "if") {
+      std::string cond;
+      std::getline(ds, cond);
+      if (trim(cond) == "0") st.if0_depth = 1;
+      continue;
+    }
+    if (kw == "define") {
+      std::string rest;
+      std::getline(ds, rest);
+      rest = trim(rest);
+      std::size_t p = 0;
+      while (p < rest.size() &&
+             (std::isalnum(static_cast<unsigned char>(rest[p])) ||
+              rest[p] == '_')) {
+        ++p;
+      }
+      if (p == 0) continue;
+      Macro m;
+      m.function_like = p < rest.size() && rest[p] == '(';
+      if (!m.function_like) {
+        m.body = lex(rest.substr(p), fid, dline);
+      }
+      st.macros[rest.substr(0, p)] = std::move(m);
+      continue;
+    }
+    if (kw == "undef") {
+      std::string nm;
+      ds >> nm;
+      st.macros.erase(nm);
+      continue;
+    }
+    if (kw != "include") continue;  // ifdef/else/elif/endif/error/...
+
+    std::string rest;
+    std::getline(ds, rest);
+    rest = trim(rest);
+    if (rest.size() < 2) continue;
+    const bool angled = rest[0] == '<';
+    const char closer = angled ? '>' : '"';
+    const std::size_t close = rest.find(closer, 1);
+    if (close == std::string::npos) continue;
+    const std::string target = rest.substr(1, close - 1);
+
+    IncludeEdge edge{fid, target, "", dline, angled};
+    std::string hit_abs, hit_rel;
+    if (!angled) {
+      // Standard quote-include order: the including file's own directory
+      // first, then the configured include dirs. Relative hits still get
+      // flagged by header hygiene — but only if they resolve in-project.
+      std::vector<std::string> search;
+      search.push_back(fs::path(abs).parent_path().string());
+      search.insert(search.end(), include_dirs_.begin(), include_dirs_.end());
+      for (const std::string& dirp : search) {
+        const fs::path cand = fs::path(dirp) / target;
+        std::error_code ec;
+        if (fs::is_regular_file(cand, ec)) {
+          hit_abs = cand.string();
+          hit_rel = relativize(root_, hit_abs);
+          break;
+        }
+      }
+    }
+    edge.resolved = hit_rel;
+    st.tu.includes.push_back(edge);
+    if (hit_abs.empty()) continue;
+
+    // Cycle: the header is already on the include stack.
+    bool on_stack = false;
+    for (const std::string& s : st.include_stack) {
+      if (s == hit_rel) {
+        on_stack = true;
+        break;
+      }
+    }
+    if (on_stack) {
+      std::string text;
+      bool in_cycle = false;
+      for (const std::string& s : st.include_stack) {
+        if (s == hit_rel) in_cycle = true;
+        if (in_cycle) {
+          text += s;
+          text += " -> ";
+        }
+      }
+      text += hit_rel;
+      st.tu.cycles.push_back({fid, dline, text});
+      continue;
+    }
+    if (st.included_once.count(hit_rel) != 0) continue;
+    st.included_once.insert(hit_rel);
+    st.include_stack.push_back(hit_rel);
+    process_file(hit_abs, hit_rel, st);
+    st.include_stack.pop_back();
+  }
+  flush();
+
+  if (is_header && !guarded && rel.rfind("src/", 0) == 0) {
+    st.tu.unguarded_headers.push_back(fid);
+  }
+}
+
+TranslationUnit Preprocessor::preprocess(const std::string& abs_path) const {
+  TuState st;
+  const std::string rel = relativize(root_, abs_path);
+  st.tu.main_file = files_->intern(rel);
+  st.included_once.insert(rel);
+  st.include_stack.push_back(rel);
+  process_file(abs_path, rel, st);
+  return std::move(st.tu);
+}
+
+}  // namespace hipflow

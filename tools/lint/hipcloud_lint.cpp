@@ -205,6 +205,9 @@ void scan_pragmas(const std::string& src, std::vector<AllowPragma>& allows,
         continue;
       }
       const std::string rule = raw.substr(open, close - open);
+      // flow-* pragmas belong to hipcloud_flow (tools/flow); skip them so
+      // both analyzers can annotate the same file.
+      if (rule.rfind("flow-", 0) == 0) continue;
       if (kind == std::string("expect")) {
         expects.push_back({line, rule});
         continue;
