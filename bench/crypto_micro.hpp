@@ -18,11 +18,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "crypto/aes.hpp"
 #include "crypto/bytes.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha_mb.hpp"
 #include "hip/esp.hpp"
 
 namespace hipcloud::bench {
@@ -252,10 +255,15 @@ double measure_ops(Fn&& fn, std::chrono::milliseconds budget =
 struct CryptoMicro {
   double aes_ctr_mbps_before;   // byte-oriented S-box reference
   double aes_ctr_mbps_after;    // library Aes (T-tables or AES-NI)
-  double hmac_mbps;             // streamed HmacSha256, 1500-byte packets
+  double hmac_mbps_scalar;      // streamed HmacSha256, compress forced scalar
+  double hmac_mbps;             // streamed HmacSha256, live dispatch
+  double hmac_mb_mbps;          // HmacSha256Mb, lane_width() lanes in flight
   double esp_protect_ops_before;  // seed-style allocating datapath
   double esp_protect_ops_after;   // EspSa::protect single-buffer path
+  double esp_protect_batch_ops;   // EspSa::protect_batch, per-packet rate
   bool aes_hw;                  // AES-NI in use
+  const char* sha_backend;      // sha256_backend::active_name()
+  std::size_t sha_mb_lanes;     // shamb::lane_width()
 };
 
 inline CryptoMicro run_crypto_micro() {
@@ -265,6 +273,8 @@ inline CryptoMicro run_crypto_micro() {
 
   CryptoMicro m{};
   m.aes_hw = crypto::Aes::hardware_accelerated();
+  m.sha_backend = crypto::sha256_backend::active_name();
+  m.sha_mb_lanes = crypto::shamb::lane_width();
 
   {
     // The reference is slow; a modest buffer keeps the measurement quick
@@ -288,25 +298,65 @@ inline CryptoMicro run_crypto_micro() {
     crypto::HmacSha256 hmac{crypto::BytesView(auth_key)};
     std::vector<std::uint8_t> pkt(1500, 0x5a);
     std::uint8_t mac[crypto::HmacSha256::kDigestSize];
-    m.hmac_mbps = measure_mbps(pkt.size(), [&] {
+    const auto one_packet = [&] {
       hmac.reset();
       hmac.update(crypto::BytesView(pkt.data(), pkt.size()));
       hmac.finish(mac);
-    });
+    };
+    crypto::sha256_backend::set_for_test(
+        crypto::sha256_backend::Kind::kScalar);
+    m.hmac_mbps_scalar = measure_mbps(pkt.size(), one_packet);
+    crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kAuto);
+    m.hmac_mbps = measure_mbps(pkt.size(), one_packet);
+
+    // Multi-buffer: lane_width() independent 1500-byte ICVs per pass, the
+    // shape protect_batch feeds it.
+    const std::size_t lanes = crypto::shamb::lane_width();
+    std::vector<std::vector<std::uint8_t>> msgs(
+        lanes, std::vector<std::uint8_t>(1500, 0x5a));
+    std::vector<std::array<std::uint8_t, 32>> tags(lanes);
+    std::vector<crypto::HmacSha256Mb::Job> jobs(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      jobs[l] = {msgs[l].data(), msgs[l].size(), tags[l].data()};
+    }
+    const crypto::HmacSha256Mb mb{crypto::BytesView(auth_key)};
+    m.hmac_mb_mbps = measure_mbps(lanes * pkt.size(),
+                                  [&] { mb.compute(jobs.data(), lanes); });
   }
   {
     const crypto::Bytes payload(1024, 0x5a);
+    // The legacy yardstick measures the seed's datapath, which predates
+    // the SHA-NI dispatch — pin its compress to scalar so the "before"
+    // number doesn't accelerate out from under the comparison.
     LegacyEspProtect legacy(0xabcd1234, key, auth_key);
+    crypto::sha256_backend::set_for_test(
+        crypto::sha256_backend::Kind::kScalar);
     m.esp_protect_ops_before = measure_ops([&] {
       const crypto::Bytes wire =
           legacy.protect(6, hip::EspSa::kModeHit, payload);
       (void)wire;
     });
+    crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kAuto);
     hip::EspSa sa(0xabcd1234, hip::EspSuite::kAes128CtrSha256, key, auth_key);
     m.esp_protect_ops_after = measure_ops([&] {
       const crypto::Bytes wire = sa.protect(6, hip::EspSa::kModeHit, payload);
       (void)wire;
     });
+
+    // Batched: one event tick's worth of packets through protect_batch,
+    // ICVs scheduled across SIMD lanes. Reported as a per-packet rate so
+    // it compares directly with the single-buffer numbers above.
+    constexpr std::size_t kBatch = 16;
+    hip::EspSa batch_sa(0xabcd1234, hip::EspSuite::kAes128CtrSha256, key,
+                        auth_key);
+    std::array<hip::EspSa::ProtectJob, kBatch> jobs;
+    const double batches_per_sec = measure_ops([&] {
+      for (auto& job : jobs) {
+        job = {6, hip::EspSa::kModeHit, crypto::Buffer(payload, 26, 28)};
+      }
+      batch_sa.protect_batch(std::span(jobs));
+    });
+    m.esp_protect_batch_ops = batches_per_sec * kBatch;
   }
   return m;
 }

@@ -23,7 +23,11 @@ inline constexpr int kFig2Clients[] = {2, 3, 4, 6, 10, 20, 30, 50};
 struct Fig2Row {
   int clients;
   double basic, hip, ssl;
+  /// HIP with the accelerated cost model (AES-NI + SHA-NI + batched
+  /// multi-buffer ICVs) — the crossover-shift arm, not a paper mode.
+  double hip_accel;
   double lat_basic, lat_hip, lat_ssl;  // mean latency, ms
+  double lat_hip_accel;
 };
 
 struct Fig2Report {
@@ -34,8 +38,8 @@ struct Fig2Report {
   /// Simulator-substrate counters merged across every world in the sweep.
   sim::PerfCounters sim_perf;
   /// Per-mode latency distributions merged (Summary::merge) across every
-  /// client count in the sweep: [basic, hip, ssl].
-  sim::Summary latency_all[3];
+  /// client count in the sweep: [basic, hip, ssl, hip_accel].
+  sim::Summary latency_all[4];
 };
 
 inline void write_fig2_json(const Fig2Report& r, const char* path,
@@ -55,37 +59,44 @@ inline void write_fig2_json(const Fig2Report& r, const char* path,
     std::fprintf(f,
                  "    {\"clients\": %d, "
                  "\"throughput_rps\": {\"basic\": %.4f, \"hip\": %.4f, "
-                 "\"ssl\": %.4f}, "
+                 "\"ssl\": %.4f, \"hip_accel\": %.4f}, "
                  "\"latency_ms\": {\"basic\": %.4f, \"hip\": %.4f, "
-                 "\"ssl\": %.4f}}%s\n",
-                 row.clients, row.basic, row.hip, row.ssl, row.lat_basic,
-                 row.lat_hip, row.lat_ssl,
+                 "\"ssl\": %.4f, \"hip_accel\": %.4f}}%s\n",
+                 row.clients, row.basic, row.hip, row.ssl, row.hip_accel,
+                 row.lat_basic, row.lat_hip, row.lat_ssl, row.lat_hip_accel,
                  i + 1 < r.rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"crypto_micro\": {\n");
   std::fprintf(f, "    \"aes_hardware\": %s,\n",
                r.crypto.aes_hw ? "true" : "false");
+  std::fprintf(f, "    \"sha256_backend\": \"%s\",\n", r.crypto.sha_backend);
+  std::fprintf(f, "    \"sha256_mb_lanes\": %zu,\n", r.crypto.sha_mb_lanes);
   std::fprintf(f, "    \"aes128_ctr_mbps\": {\"before\": %.1f, \"after\": %.1f},\n",
                r.crypto.aes_ctr_mbps_before, r.crypto.aes_ctr_mbps_after);
-  std::fprintf(f, "    \"hmac_sha256_mbps\": %.1f,\n", r.crypto.hmac_mbps);
+  std::fprintf(f,
+               "    \"hmac_sha256_mbps\": {\"scalar\": %.1f, \"after\": %.1f, "
+               "\"multibuffer\": %.1f},\n",
+               r.crypto.hmac_mbps_scalar, r.crypto.hmac_mbps,
+               r.crypto.hmac_mb_mbps);
   std::fprintf(f,
                "    \"esp_protect_ops_per_sec\": {\"before\": %.0f, "
-               "\"after\": %.0f}\n",
-               r.crypto.esp_protect_ops_before, r.crypto.esp_protect_ops_after);
+               "\"after\": %.0f, \"batched\": %.0f}\n",
+               r.crypto.esp_protect_ops_before, r.crypto.esp_protect_ops_after,
+               r.crypto.esp_protect_batch_ops);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"sim_perf\": {\n");
   r.sim_perf.write_json_fields(f, "    ");
   std::fprintf(f, "\n  },\n");
-  static const char* kModeNames[] = {"basic", "hip", "ssl"};
+  static const char* kModeNames[] = {"basic", "hip", "ssl", "hip_accel"};
   std::fprintf(f, "  \"latency_ms_all_clients\": {\n");
-  for (int m = 0; m < 3; ++m) {
+  for (int m = 0; m < 4; ++m) {
     const auto& s = r.latency_all[m];
     std::fprintf(f,
                  "    \"%s\": {\"count\": %zu, \"mean\": %.4f, "
                  "\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}%s\n",
                  kModeNames[m], s.count(), s.mean(), s.percentile(50),
-                 s.percentile(95), s.percentile(99), m < 2 ? "," : "");
+                 s.percentile(95), s.percentile(99), m < 3 ? "," : "");
   }
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
@@ -103,10 +114,13 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
       "round-robin LB,\nclosed-loop clients, 30 s per point.\n\n");
 
   constexpr std::size_t kNumClients = std::size(kFig2Clients);
-  constexpr std::size_t kJobs = kNumClients * 3;
-  constexpr core::SecurityMode kModes[] = {core::SecurityMode::kBasic,
-                                           core::SecurityMode::kHip,
-                                           core::SecurityMode::kSsl};
+  // Four arms per client count: the paper's three modes plus hip_accel —
+  // HIP re-run under CostModel::accelerated() to locate the crossover
+  // shift the hardware-crypto datapath buys.
+  constexpr std::size_t kJobs = kNumClients * 4;
+  constexpr core::SecurityMode kModes[] = {
+      core::SecurityMode::kBasic, core::SecurityMode::kHip,
+      core::SecurityMode::kSsl, core::SecurityMode::kHip};
 
   struct PointResult {
     double throughput;
@@ -128,10 +142,13 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
       [&](std::size_t i) {
         core::TestbedConfig cfg;
         cfg.provider = provider;
-        cfg.deployment.mode = kModes[i % 3];
+        cfg.deployment.mode = kModes[i % 4];
+        if (i % 4 == 3) {
+          cfg.deployment.hip.costs = crypto::CostModel::accelerated();
+        }
         core::Testbed bed(cfg);
         const auto report =
-            bed.run_closed_loop(kFig2Clients[i / 3], 30 * sim::kSecond);
+            bed.run_closed_loop(kFig2Clients[i / 4], 30 * sim::kSecond);
         return PointResult{report.throughput_rps(), report.latency_ms.mean(),
                            bed.network().perf(), report.latency_ms};
       },
@@ -141,18 +158,20 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  std::printf("%8s %10s %10s %10s   %s\n", "clients", "basic", "hip", "ssl",
-              "(mean latency ms: basic/hip/ssl)");
+  std::printf("%8s %10s %10s %10s %10s   %s\n", "clients", "basic", "hip",
+              "ssl", "hip_accel", "(mean latency ms: basic/hip/ssl/accel)");
   std::vector<Fig2Row> rows;
   for (std::size_t c = 0; c < kNumClients; ++c) {
-    const auto& b = results[3 * c];
-    const auto& h = results[3 * c + 1];
-    const auto& s = results[3 * c + 2];
-    Fig2Row row{kFig2Clients[c], b.throughput,  h.throughput, s.throughput,
-                b.latency_ms,    h.latency_ms, s.latency_ms};
-    std::printf("%8d %10.1f %10.1f %10.1f   (%.0f / %.0f / %.0f)\n",
-                row.clients, row.basic, row.hip, row.ssl, row.lat_basic,
-                row.lat_hip, row.lat_ssl);
+    const auto& b = results[4 * c];
+    const auto& h = results[4 * c + 1];
+    const auto& s = results[4 * c + 2];
+    const auto& ha = results[4 * c + 3];
+    Fig2Row row{kFig2Clients[c], b.throughput,  h.throughput,  s.throughput,
+                ha.throughput,   b.latency_ms,  h.latency_ms,  s.latency_ms,
+                ha.latency_ms};
+    std::printf("%8d %10.1f %10.1f %10.1f %10.1f   (%.0f / %.0f / %.0f / %.0f)\n",
+                row.clients, row.basic, row.hip, row.ssl, row.hip_accel,
+                row.lat_basic, row.lat_hip, row.lat_ssl, row.lat_hip_accel);
     rows.push_back(row);
   }
   std::printf("\nSweep wall-clock: %.1f s (%u thread%s)\n", wall, threads,
@@ -171,20 +190,33 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
   const bool hip_slightly_below =
       last.hip < last.ssl && last.hip > last.ssl * 0.7;
   const bool basic_surges = last.basic > 1.1 * last.ssl;
+  // Crossover shift: the accelerated datapath must dominate stock HIP at
+  // every point, and at 50 clients the HIP-vs-SSL deficit must shrink or
+  // flip — the data-plane crypto stops being what separates them.
+  bool accel_dominates = true;
+  for (const auto& row : rows) {
+    if (row.hip_accel < row.hip) accel_dominates = false;
+  }
+  const bool accel_closes_gap =
+      (last.ssl - last.hip_accel) < 0.5 * (last.ssl - last.hip);
   auto mark = [](bool ok) { return ok ? "PASS" : "FAIL"; };
   std::printf(
       "\nPaper (Fig. 2) shape checks:\n"
       "  [%s] basic has the highest throughput at every point\n"
       "  [%s] HIP comparable to SSL (within 12%%) up to 20 clients\n"
       "  [%s] at 50 clients HIP is slightly below SSL\n"
-      "  [%s] basic surges ahead of both at 50 clients\n\n",
+      "  [%s] basic surges ahead of both at 50 clients\n"
+      "Accelerated-datapath checks (hip_accel arm):\n"
+      "  [%s] hip_accel >= hip at every point\n"
+      "  [%s] at 50 clients the SSL-HIP gap at least halves under "
+      "acceleration\n\n",
       mark(basic_highest), mark(comparable), mark(hip_slightly_below),
-      mark(basic_surges));
+      mark(basic_surges), mark(accel_dominates), mark(accel_closes_gap));
 
   Fig2Report report{std::move(rows), wall, threads, {}, {}, {}};
   for (std::size_t i = 0; i < results.size(); ++i) {
     report.sim_perf.merge(results[i].perf);
-    report.latency_all[i % 3].merge(results[i].latency);
+    report.latency_all[i % 4].merge(results[i].latency);
   }
   if (json_path) {
     std::printf(
@@ -200,12 +232,17 @@ inline Fig2Report run_fig2(const cloud::ProviderProfile& provider,
     std::printf(
         "  AES-128-CTR: %.0f MB/s before (S-box ref) -> %.0f MB/s after "
         "(%s)\n"
-        "  HMAC-SHA256 (1500 B): %.0f MB/s\n"
-        "  ESP protect (1 KiB): %.0f ops/s before -> %.0f ops/s after\n\n",
+        "  HMAC-SHA256 (1500 B): %.0f MB/s scalar -> %.0f MB/s (%s) -> "
+        "%.0f MB/s multi-buffer x%zu\n"
+        "  ESP protect (1 KiB): %.0f ops/s before -> %.0f ops/s after -> "
+        "%.0f ops/s batched\n\n",
         report.crypto.aes_ctr_mbps_before, report.crypto.aes_ctr_mbps_after,
         report.crypto.aes_hw ? "AES-NI" : "T-tables",
-        report.crypto.hmac_mbps, report.crypto.esp_protect_ops_before,
-        report.crypto.esp_protect_ops_after);
+        report.crypto.hmac_mbps_scalar, report.crypto.hmac_mbps,
+        report.crypto.sha_backend, report.crypto.hmac_mb_mbps,
+        report.crypto.sha_mb_lanes, report.crypto.esp_protect_ops_before,
+        report.crypto.esp_protect_ops_after,
+        report.crypto.esp_protect_batch_ops);
     write_fig2_json(report, json_path, title);
   }
   return report;

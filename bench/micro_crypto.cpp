@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <span>
+#include <vector>
+
 #include "crypto/aes.hpp"
 #include "crypto/dh.hpp"
 #include "crypto/drbg.hpp"
@@ -11,6 +15,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha_mb.hpp"
 #include "crypto_micro.hpp"
 #include "hip/esp.hpp"
 #include "hip/puzzle.hpp"
@@ -54,6 +59,51 @@ void BM_HmacSha256Streaming(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_HmacSha256Streaming)->Arg(64)->Arg(1500);
+
+void BM_HmacSha256StreamingScalar(benchmark::State& state) {
+  // Same streaming path with the SHA-256 compress forced to the portable
+  // scalar backend — the "before" yardstick for SHA-NI.
+  crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kScalar);
+  crypto::HmacSha256 hmac{crypto::BytesView(Bytes(32, 0x11))};
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  std::uint8_t mac[crypto::HmacSha256::kDigestSize];
+  for (auto _ : state) {
+    hmac.reset();
+    hmac.update(data);
+    hmac.finish(mac);
+    benchmark::DoNotOptimize(mac);
+  }
+  crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kAuto);
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256StreamingScalar)->Arg(64)->Arg(1500);
+
+void BM_HmacSha256MultiBuffer(benchmark::State& state) {
+  // N independent 1500-byte ICVs per compute() call, lanes capped at
+  // range(0): 1 = per-lane fallback, 4 = SSE tier, 8 = AVX2 tier. Caps
+  // above the host's detected width silently clamp, so every arg runs.
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  crypto::shamb::set_lane_cap_for_test(cap);
+  const std::size_t lanes = crypto::shamb::lane_width();
+  const crypto::HmacSha256Mb mb{crypto::BytesView(Bytes(32, 0x11))};
+  std::vector<Bytes> msgs(lanes, Bytes(1500, 0xab));
+  std::vector<std::array<std::uint8_t, 32>> tags(lanes);
+  std::vector<crypto::HmacSha256Mb::Job> jobs(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    jobs[l] = {msgs[l].data(), msgs[l].size(), tags[l].data()};
+  }
+  for (auto _ : state) {
+    mb.compute(jobs.data(), lanes);
+    benchmark::DoNotOptimize(tags.data());
+  }
+  crypto::shamb::set_lane_cap_for_test(0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes) * 1500);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+  state.counters["lanes"] = static_cast<double>(lanes);
+}
+BENCHMARK(BM_HmacSha256MultiBuffer)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_AesCtrSboxRef(benchmark::State& state) {
   // Byte-oriented S-box baseline ("before") — the acceptance yardstick
@@ -115,11 +165,15 @@ BENCHMARK(BM_AesCbcDecrypt);
 
 void BM_EspProtectLegacy(benchmark::State& state) {
   // The seed's allocating datapath, replicated in bench/crypto_micro.hpp.
+  // Its compress is pinned to scalar: the seed predates the SHA-NI
+  // dispatch, so the yardstick must not accelerate with it.
+  crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kScalar);
   bench::LegacyEspProtect sa(0xabcd1234, Bytes(16, 0x11), Bytes(32, 0x22));
   const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sa.protect(6, hip::EspSa::kModeHit, payload));
   }
+  crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kAuto);
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EspProtectLegacy)->Arg(64)->Arg(1024);
@@ -134,6 +188,30 @@ void BM_EspProtect(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EspProtect)->Arg(64)->Arg(1024);
+
+void BM_EspProtectBatch(benchmark::State& state) {
+  // One event tick's worth of packets (range(0) of them, 1 KiB each)
+  // through protect_batch: encryption per packet, ICVs scheduled across
+  // SIMD lanes. Items/s is the per-packet rate to compare with
+  // BM_EspProtect.
+  hip::EspSa sa(0xabcd1234, hip::EspSuite::kAes128CtrSha256, Bytes(16, 0x11),
+                Bytes(32, 0x22));
+  const Bytes payload(1024, 0x5a);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<hip::EspSa::ProtectJob> jobs(batch);
+  for (auto _ : state) {
+    for (auto& job : jobs) {
+      job = {6, hip::EspSa::kModeHit, crypto::Buffer(payload, 26, 28)};
+    }
+    sa.protect_batch(std::span(jobs));
+    benchmark::DoNotOptimize(jobs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch) * 1024);
+}
+BENCHMARK(BM_EspProtectBatch)->Arg(1)->Arg(8)->Arg(16);
 
 void BM_EspRoundTrip(benchmark::State& state) {
   hip::EspSa out_sa(0xabcd1234, hip::EspSuite::kAes128CtrSha256,

@@ -11,6 +11,9 @@
 #                                 # audit-trip suite + determinism auditor
 #   scripts/check.sh --tsan       # HIPCLOUD_SANITIZE=thread build, tier-1 +
 #                                 # the parallel determinism sweep under TSan
+#   scripts/check.sh --bench-smoke # build every bench binary and run the
+#                                 # `bench`-labeled tests once (no JSON emit),
+#                                 # including a no-acceleration env-matrix run
 #   scripts/check.sh --all        # every pass above
 #
 # Flags compose (`--lint --tsan` runs exactly those two passes). Every
@@ -24,7 +27,8 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 tjobs="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 
-run_normal=0 run_san=0 run_lint=0 run_flow=0 run_tidy=0 run_audit=0 run_tsan=0
+run_normal=0 run_san=0 run_lint=0 run_flow=0 run_tidy=0 run_audit=0 \
+  run_tsan=0 run_bench=0
 if [[ $# -eq 0 ]]; then
   run_normal=1 run_san=1
 fi
@@ -36,11 +40,12 @@ for arg in "$@"; do
     --tidy)  run_tidy=1 ;;
     --audit) run_audit=1 ;;
     --tsan)  run_tsan=1 ;;
+    --bench-smoke) run_bench=1 ;;
     --all)   run_normal=1 run_san=1 run_lint=1 run_flow=1 run_tidy=1 \
-             run_audit=1 run_tsan=1 ;;
+             run_audit=1 run_tsan=1 run_bench=1 ;;
     *)
       echo "usage: $0 [--fast] [--lint] [--flow] [--tidy] [--audit]" \
-           "[--tsan] [--all]" >&2
+           "[--tsan] [--bench-smoke] [--all]" >&2
       exit 2
       ;;
   esac
@@ -155,6 +160,22 @@ if [[ "$run_tsan" == 1 ]]; then
   # width to flush data races in the sweep/logging machinery.
   run "tsan: parallel determinism sweep" \
     "$root/build-tsan/bench/audit_determinism" --quick
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  # Perf smoke: every bench binary must still build, and the
+  # `bench`-labeled CTest entries (micro_crypto symmetric filter,
+  # micro_sim --quick) must run clean once. No JSON is emitted — this
+  # gate catches bit-rot in the bench tree, not perf regressions. A
+  # second run with the accelerated crypto backends disabled proves the
+  # scalar fallbacks stay healthy on every host.
+  run "bench-smoke: build benches" \
+    configure_build "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  run "bench-smoke: bench-labeled tests" \
+    ctest --test-dir "$root/build" -L bench -j "$tjobs" --output-on-failure
+  run "bench-smoke: bench-labeled tests (no SHA-NI / no multi-buffer)" \
+    env HIPCLOUD_NO_SHANI=1 HIPCLOUD_NO_SHAMB=1 HIPCLOUD_NO_AESNI=1 \
+    ctest --test-dir "$root/build" -L bench -j "$tjobs" --output-on-failure
 fi
 
 echo

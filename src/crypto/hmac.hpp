@@ -24,6 +24,12 @@ class HmacSha256 {
   /// Finalize into a 32-byte buffer. reset() before reuse.
   void finish(std::uint8_t out[kDigestSize]);
 
+  /// Keyed midstates (post-ipad/-opad compression). HmacSha256Mb seeds its
+  /// lanes from these so the multi-buffer path shares the exact key
+  /// schedule this streaming instance uses.
+  const Sha256::Midstate& inner_midstate() const { return inner_; }
+  const Sha256::Midstate& outer_midstate() const { return outer_; }
+
  private:
   Sha256::Midstate inner_{};  // state after the ipad block
   Sha256::Midstate outer_{};  // state after the opad block

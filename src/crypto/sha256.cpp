@@ -1,7 +1,10 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
+
+#include "crypto/sha_ni.hpp"
 
 namespace hipcloud::crypto {
 
@@ -26,40 +29,76 @@ inline std::uint32_t rotr(std::uint32_t x, int n) {
 
 }  // namespace
 
+namespace sha256_backend {
+
+namespace {
+// kAuto by default; tests flip this with set_for_test(). Relaxed is fine:
+// there is no data guarded by the flag, only a pure-function choice.
+std::atomic<Kind> g_forced{Kind::kAuto};
+}  // namespace
+
+void compress_scalar(std::uint32_t state[8], const std::uint8_t* blocks,
+                     std::size_t nblocks) {
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::uint8_t* p = blocks + 64 * blk;
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t(p[4 * i]) << 24) |
+             (std::uint32_t(p[4 * i + 1]) << 16) |
+             (std::uint32_t(p[4 * i + 2]) << 8) | std::uint32_t(p[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g; g = f; f = e; e = d + t1;
+      d = c; c = b; b = a; a = t1 + t2;
+    }
+    state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+    state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+  }
+}
+
+void compress(std::uint32_t state[8], const std::uint8_t* blocks,
+              std::size_t nblocks) {
+  const Kind forced = g_forced.load(std::memory_order_relaxed);
+  if (forced != Kind::kScalar && shani::supported()) {
+    shani::compress(state, blocks, nblocks);
+  } else {
+    compress_scalar(state, blocks, nblocks);
+  }
+}
+
+void set_for_test(Kind kind) {
+  g_forced.store(kind, std::memory_order_relaxed);
+}
+
+const char* active_name() {
+  return g_forced.load(std::memory_order_relaxed) != Kind::kScalar &&
+                 shani::supported()
+             ? "sha-ni"
+             : "scalar";
+}
+
+}  // namespace sha256_backend
+
 void Sha256::reset() {
   h_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
         0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
   buf_len_ = 0;
   total_len_ = 0;
-}
-
-void Sha256::process_block(const std::uint8_t* p) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (std::uint32_t(p[4 * i]) << 24) | (std::uint32_t(p[4 * i + 1]) << 16) |
-           (std::uint32_t(p[4 * i + 2]) << 8) | std::uint32_t(p[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g; g = f; f = e; e = d + t1;
-    d = c; c = b; b = a; a = t1 + t2;
-  }
-  h_[0] += a; h_[1] += b; h_[2] += c; h_[3] += d;
-  h_[4] += e; h_[5] += f; h_[6] += g; h_[7] += h;
 }
 
 void Sha256::update(BytesView data) {
@@ -72,13 +111,15 @@ void Sha256::update(BytesView data) {
     buf_len_ += take;
     off += take;
     if (buf_len_ == kBlockSize) {
-      process_block(buf_.data());
+      sha256_backend::compress(h_.data(), buf_.data(), 1);
       buf_len_ = 0;
     }
   }
-  while (off + kBlockSize <= data.size()) {
-    process_block(data.data() + off);
-    off += kBlockSize;
+  // Hand all full blocks to the backend in one call so SHA-NI amortizes
+  // its state shuffles across the whole run instead of per block.
+  if (const std::size_t nblocks = (data.size() - off) / kBlockSize) {
+    sha256_backend::compress(h_.data(), data.data() + off, nblocks);
+    off += nblocks * kBlockSize;
   }
   if (off < data.size()) {
     buf_len_ = data.size() - off;

@@ -7,6 +7,38 @@
 
 namespace hipcloud::crypto {
 
+/// Block-compression backend shared by Sha256 (streaming) and the
+/// multi-buffer scheduler in sha_mb.cpp. Dispatches once per call between
+/// the scalar compression and the SHA-NI kernel (sha_ni.cpp) based on
+/// CPUID — the digests are byte-identical either way (pinned by
+/// tests/crypto/sha_parity_test.cpp).
+namespace sha256_backend {
+
+enum class Kind {
+  kAuto,    // runtime CPUID dispatch (production default)
+  kScalar,  // force the portable compression
+  kShaNi,   // prefer SHA-NI; silently falls back to scalar if unsupported
+};
+
+/// Compress `nblocks` consecutive 64-byte blocks into `state` using the
+/// active backend.
+void compress(std::uint32_t state[8], const std::uint8_t* blocks,
+              std::size_t nblocks);
+
+/// The portable compression, always available (parity reference).
+void compress_scalar(std::uint32_t state[8], const std::uint8_t* blocks,
+                     std::size_t nblocks);
+
+/// Test hook: override the dispatch for the whole process. Unlike the
+/// HIPCLOUD_NO_SHANI env knob (read once), this switches backends
+/// in-process so parity tests can interleave them.
+void set_for_test(Kind kind);
+
+/// Name of the backend compress() would use right now ("sha-ni"/"scalar").
+const char* active_name();
+
+}  // namespace sha256_backend
+
 /// Incremental SHA-256 (FIPS 180-4). Implemented from scratch; verified
 /// against the NIST test vectors in tests/crypto/sha256_test.cpp.
 class Sha256 {
@@ -41,8 +73,6 @@ class Sha256 {
   void restore(const Midstate& m);
 
  private:
-  void process_block(const std::uint8_t* block);
-
   std::array<std::uint32_t, 8> h_;
   std::array<std::uint8_t, kBlockSize> buf_;
   std::size_t buf_len_ = 0;

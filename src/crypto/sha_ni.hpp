@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hipcloud::crypto::shani {
+
+/// True when the running CPU has the SHA extensions (checked once, like
+/// aesni::supported()). Always false on non-x86 builds; compress() must
+/// only be called when this returns true. `HIPCLOUD_NO_SHANI` in the
+/// environment forces false so the portable path stays benchmarkable and
+/// testable on SHA-NI hardware.
+bool supported();
+
+/// Run `nblocks` SHA-256 compressions over consecutive 64-byte blocks,
+/// updating the 8-word state in place. Same contract as the scalar
+/// compression in sha256.cpp — byte-identical digests, just ~10x faster.
+void compress(std::uint32_t state[8], const std::uint8_t* blocks,
+              std::size_t nblocks);
+
+}  // namespace hipcloud::crypto::shani

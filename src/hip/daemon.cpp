@@ -408,12 +408,29 @@ void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
       esp_cycles(pkt.payload.size()) +
       (addr_mode == EspSa::kModeLsi ? config_.costs.lsi_translation_cycles
                                     : config_.costs.hit_processing_cycles);
-  // Capture what we need; the association object may move (std::map is
-  // stable, but the assoc may be erased) — re-find by HIT after the
-  // CPU delay.
-  const net::Ipv6Addr peer_hit = assoc.peer_hit;
-  charge(cycles, [this, peer_hit, addr_mode, p = std::move(pkt)]() mutable {
-    Association* found = find_assoc(peer_hit);
+  // Stage the packet on the coalescing queue; the association object may
+  // move (std::map is stable, but the assoc may be erased), so the job
+  // re-finds it by HIT. The per-packet CPU charge is unchanged — only the
+  // ICV computation is deferred into a batch at flush time.
+  EspOutJob job;
+  job.peer_hit = assoc.peer_hit;
+  job.inner_proto = static_cast<std::uint8_t>(pkt.proto);
+  job.addr_mode = addr_mode;
+  job.buf = std::move(pkt.payload);
+  esp_out_queue_.push_back(std::move(job));
+  charge(cycles, [this]() {
+    // CPU completions pop 1:1 and FIFO against the charges above, so the
+    // front job is always this callback's packet.
+    if (esp_out_queue_.empty()) return;
+    if (!esp_out_queue_.front().protected_ && !esp_out_queue_.front().skipped) {
+      // First completion of a burst: everything staged in the meantime
+      // (the whole event tick's worth) gets its ICVs in one batch.
+      flush_esp_out_queue();
+    }
+    EspOutJob done = std::move(esp_out_queue_.front());
+    esp_out_queue_.pop_front();
+    if (done.skipped) return;  // association went away before the flush
+    Association* found = find_assoc(done.peer_hit);
     if (found == nullptr || found->state != AssocState::kEstablished) return;
     Packet out;
     out.dst = found->peer_locator;
@@ -421,8 +438,7 @@ void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
     if (!src) return;
     out.src = *src;
     out.proto = IpProto::kEsp;
-    out.payload = found->sa_out->protect_packet(
-        static_cast<std::uint8_t>(p.proto), addr_mode, std::move(p.payload));
+    out.payload = std::move(done.buf);
     if (out.payload.empty()) {
       // Outbound SA exhausted its 32-bit sequence space. The packet is
       // lost (transport retransmits); force a rekey so the next ones
@@ -440,6 +456,40 @@ void HipDaemon::esp_send(Association& assoc, Packet&& pkt) {
       start_rekey(*found);
     }
   });
+}
+
+void HipDaemon::flush_esp_out_queue() {
+  // Protect every still-unprotected job, grouped per SA but in queue
+  // order within each group — sequence numbers and IVs land exactly as
+  // sequential protect_packet() calls would have assigned them.
+  for (std::size_t i = 0; i < esp_out_queue_.size(); ++i) {
+    EspOutJob& head = esp_out_queue_[i];
+    if (head.protected_ || head.skipped) continue;
+    Association* assoc = find_assoc(head.peer_hit);
+    if (assoc == nullptr || assoc->state != AssocState::kEstablished ||
+        assoc->sa_out == nullptr) {
+      head.skipped = true;
+      continue;
+    }
+    std::vector<EspSa::ProtectJob> batch;
+    std::vector<std::size_t> positions;
+    batch.reserve(esp_out_queue_.size() - i);
+    positions.reserve(esp_out_queue_.size() - i);
+    for (std::size_t j = i; j < esp_out_queue_.size(); ++j) {
+      EspOutJob& job = esp_out_queue_[j];
+      if (job.protected_ || job.skipped || job.peer_hit != head.peer_hit) {
+        continue;
+      }
+      batch.push_back(
+          {job.inner_proto, job.addr_mode, std::move(job.buf)});
+      positions.push_back(j);
+    }
+    assoc->sa_out->protect_batch(batch);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      esp_out_queue_[positions[k]].buf = std::move(batch[k].buf);
+      esp_out_queue_[positions[k]].protected_ = true;
+    }
+  }
 }
 
 void HipDaemon::on_esp_packet(Packet&& pkt) {

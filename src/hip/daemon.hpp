@@ -231,6 +231,24 @@ class HipDaemon {
   void on_esp_packet(net::Packet&& pkt);
   void on_hip_packet(net::Packet&& pkt);
 
+  /// Coalescing ESP send queue. esp_send() stages the packet here and
+  /// charges the CPU as before; the first per-packet completion callback
+  /// that finds its job still unprotected flushes the *whole* queue
+  /// through EspSa::protect_batch() — TCP bursts hand the SA every packet
+  /// queued in the same event tick as one multi-buffer ICV pass. Each
+  /// callback then pops exactly one job (FIFO, 1:1 with the CPU charges),
+  /// so event order, virtual time, and the determinism hash are identical
+  /// to the sequential path at any lane count.
+  struct EspOutJob {
+    net::Ipv6Addr peer_hit;
+    std::uint8_t inner_proto = 0;
+    std::uint8_t addr_mode = 0;
+    crypto::Buffer buf;       // payload until protected, then wire bytes
+    bool protected_ = false;  // set by flush (empty buf + true: exhausted)
+    bool skipped = false;     // assoc vanished before the flush
+  };
+  void flush_esp_out_queue();
+
   // BEX.
   void send_i1(Association& assoc);
   void handle_i1(const HipMessage& msg, const net::Packet& pkt);
@@ -300,6 +318,8 @@ class HipDaemon {
 
   std::uint64_t puzzle_i_;
   std::deque<sim::Time> recent_r1_times_;  // adaptive puzzle load window
+
+  std::deque<EspOutJob> esp_out_queue_;
 
   Stats stats_;
   EstablishedFn on_established_;

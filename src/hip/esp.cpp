@@ -49,7 +49,7 @@ const char* esp_suite_name(EspSuite suite) {
 
 EspSa::EspSa(std::uint32_t spi, EspSuite suite, BytesView enc_key,
              BytesView auth_key)
-    : spi_(spi), suite_(suite), hmac_(auth_key) {
+    : spi_(spi), suite_(suite), hmac_(auth_key), hmac_mb_(auth_key) {
   if (suite != EspSuite::kNullSha256) {
     if (enc_key.size() < 16) {
       throw std::invalid_argument("EspSa: encryption key too short");
@@ -67,9 +67,9 @@ void EspSa::compute_icv(BytesView spi_seq_iv_ct, std::uint8_t out[12]) {
 }
 
 // hipcheck:hot
-crypto::Buffer EspSa::protect_packet(std::uint8_t inner_proto,
-                                     std::uint8_t addr_mode,
-                                     crypto::Buffer payload) {
+crypto::Buffer EspSa::protect_prepare(std::uint8_t inner_proto,
+                                      std::uint8_t addr_mode,
+                                      crypto::Buffer payload) {
   // In-place datapath: the ESP header and the 2-byte protected inner
   // header go into the payload buffer's headroom, CBC padding and the ICV
   // into its tailroom, and the payload is encrypted where it sits. When
@@ -134,8 +134,54 @@ crypto::Buffer EspSa::protect_packet(std::uint8_t inner_proto,
       break;
   }
 
-  compute_icv(BytesView(p, kFixedHeader + ct_len), p + kFixedHeader + ct_len);
   return payload;
+}
+
+// hipcheck:hot
+crypto::Buffer EspSa::protect_packet(std::uint8_t inner_proto,
+                                     std::uint8_t addr_mode,
+                                     crypto::Buffer payload) {
+  crypto::Buffer wire =
+      protect_prepare(inner_proto, addr_mode, std::move(payload));
+  if (wire.empty()) return wire;
+  std::uint8_t* p = wire.data();
+  compute_icv(BytesView(p, wire.size() - kIcvSize),
+              p + wire.size() - kIcvSize);
+  return wire;
+}
+
+// hipcheck:hot
+void EspSa::protect_batch(std::span<ProtectJob> jobs) {
+  // Per-packet state (sequence numbers, IVs, encryption) is applied in
+  // job order, so the wire bytes match sequential protect_packet() calls
+  // exactly; only the ICVs are deferred and computed lanes-at-a-time.
+  // Chunked so the MAC staging stays on the stack at any batch size.
+  constexpr std::size_t kChunk = 2 * crypto::shamb::kMaxLanes;
+  std::size_t at = 0;
+  while (at < jobs.size()) {
+    const std::size_t n = std::min(kChunk, jobs.size() - at);
+    crypto::HmacSha256Mb::Job macs[kChunk];
+    std::uint8_t tags[kChunk][crypto::HmacSha256Mb::kDigestSize];
+    std::size_t nmac = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ProtectJob& job = jobs[at + i];
+      job.buf = protect_prepare(job.inner_proto, job.addr_mode,
+                                std::move(job.buf));
+      if (job.buf.empty()) continue;  // exhausted mid-batch
+      macs[nmac] = {job.buf.data(), job.buf.size() - kIcvSize, tags[nmac]};
+      ++nmac;
+    }
+    hmac_mb_.compute(macs, nmac);
+    nmac = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ProtectJob& job = jobs[at + i];
+      if (job.buf.empty()) continue;
+      std::memcpy(job.buf.data() + job.buf.size() - kIcvSize, tags[nmac],
+                  kIcvSize);
+      ++nmac;
+    }
+    at += n;
+  }
 }
 
 Bytes EspSa::protect(std::uint8_t inner_proto, std::uint8_t addr_mode,
@@ -188,10 +234,56 @@ std::optional<EspSa::UnprotectedPacket> EspSa::unprotect_packet(
   if (v.size() < kFixedHeader + kIcvSize) return std::nullopt;
   const auto spi = static_cast<std::uint32_t>(crypto::read_be(v, 0, 4));
   if (spi != spi_) return std::nullopt;
-  const auto seq = static_cast<std::uint32_t>(crypto::read_be(v, 4, 4));
 
   std::uint8_t expected_icv[kIcvSize];
   compute_icv(v.subspan(0, v.size() - kIcvSize), expected_icv);
+  return finish_unprotect(std::move(wire), expected_icv);
+}
+
+// hipcheck:hot
+void EspSa::unprotect_batch(std::span<UnprotectJob> jobs) {
+  // Expected ICVs are pure functions of the wire bytes, so hoisting them
+  // into one multi-buffer pass cannot change acceptance decisions; the
+  // stateful pipeline (replay window, counters) then runs per packet in
+  // job order, exactly as sequential unprotect_packet() calls would.
+  constexpr std::size_t kChunk = 2 * crypto::shamb::kMaxLanes;
+  std::size_t at = 0;
+  while (at < jobs.size()) {
+    const std::size_t n = std::min(kChunk, jobs.size() - at);
+    crypto::HmacSha256Mb::Job macs[kChunk];
+    std::uint8_t tags[kChunk][crypto::HmacSha256Mb::kDigestSize];
+    bool eligible[kChunk];
+    std::size_t nmac = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      UnprotectJob& job = jobs[at + i];
+      const BytesView v = job.wire.view();
+      eligible[i] =
+          v.size() >= kFixedHeader + kIcvSize &&
+          static_cast<std::uint32_t>(crypto::read_be(v, 0, 4)) == spi_;
+      if (!eligible[i]) continue;
+      macs[nmac] = {v.data(), v.size() - kIcvSize, tags[nmac]};
+      ++nmac;
+    }
+    hmac_mb_.compute(macs, nmac);
+    nmac = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      UnprotectJob& job = jobs[at + i];
+      if (!eligible[i]) {
+        job.result = std::nullopt;
+        continue;
+      }
+      job.result = finish_unprotect(std::move(job.wire), tags[nmac]);
+      ++nmac;
+    }
+    at += n;
+  }
+}
+
+// hipcheck:hot
+std::optional<EspSa::UnprotectedPacket> EspSa::finish_unprotect(
+    crypto::Buffer wire, const std::uint8_t expected_icv[kIcvSize]) {
+  const BytesView v = wire.view();
+  const auto seq = static_cast<std::uint32_t>(crypto::read_be(v, 4, 4));
   if (!crypto::ct_equal(v.subspan(v.size() - kIcvSize),
                         BytesView(expected_icv, kIcvSize))) {
     ++auth_failures_;

@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "crypto/aes.hpp"
 #include "crypto/bytes.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/sha_mb.hpp"
 #include "net/packet.hpp"
 
 namespace hipcloud::hip {
@@ -60,6 +62,23 @@ class EspSa {
   crypto::Buffer protect_packet(std::uint8_t inner_proto,
                                 std::uint8_t addr_mode,
                                 crypto::Buffer payload);
+
+  /// One unit of a protect_batch() call. `buf` holds the payload going in
+  /// and the full wire packet coming out (empty if the SA exhausted
+  /// before this job's sequence number was assigned).
+  struct ProtectJob {
+    std::uint8_t inner_proto = 0;
+    std::uint8_t addr_mode = kModeHit;
+    crypto::Buffer buf;
+  };
+
+  /// Batch variant of protect_packet(): headers, sequence numbers, IVs
+  /// and encryption are applied per packet *in order* — the wire bytes
+  /// are byte-identical to sequential protect_packet() calls — but the
+  /// ICVs for the whole batch are computed in one multi-buffer HMAC pass
+  /// (lane_width() packets per SIMD sweep). This is where the ESP send
+  /// queue's per-tick packet bursts get their throughput.
+  void protect_batch(std::span<ProtectJob> jobs);
 
   /// True once protect() has consumed the final sequence number. The SA
   /// can no longer send; only a rekey (fresh SA) recovers.
@@ -115,6 +134,20 @@ class EspSa {
   /// window. Same acceptance behaviour and counters as unprotect().
   std::optional<UnprotectedPacket> unprotect_packet(crypto::Buffer wire);
 
+  /// One unit of an unprotect_batch() call: `wire` is consumed, `result`
+  /// mirrors what unprotect_packet() would have returned for it.
+  struct UnprotectJob {
+    crypto::Buffer wire;
+    std::optional<UnprotectedPacket> result;
+  };
+
+  /// Batch variant of unprotect_packet(): expected ICVs for the whole
+  /// batch come from one multi-buffer HMAC pass, then each packet runs
+  /// the normal acceptance pipeline in order — auth failures, replay
+  /// drops (including a window hit mid-batch), and counters behave
+  /// exactly as sequential unprotect_packet() calls.
+  void unprotect_batch(std::span<UnprotectJob> jobs);
+
   std::uint64_t replay_drops() const { return replay_drops_; }
   std::uint64_t auth_failures() const { return auth_failures_; }
   std::uint32_t next_seq() const { return next_seq_; }
@@ -122,11 +155,23 @@ class EspSa {
  private:
   void compute_icv(crypto::BytesView spi_seq_iv_ct, std::uint8_t out[12]);
   bool replay_check_and_update(std::uint32_t seq);
+  /// Everything protect_packet() does except the ICV: header, sequence
+  /// number, IV, in-place encryption. Leaves kIcvSize reserved bytes at
+  /// the tail for the caller (streaming or multi-buffer) to fill.
+  crypto::Buffer protect_prepare(std::uint8_t inner_proto,
+                                 std::uint8_t addr_mode,
+                                 crypto::Buffer payload);
+  /// The acceptance pipeline after the expected ICV is known: constant-
+  /// time compare, replay window, decrypt, strip. Shared by the streaming
+  /// and batch unprotect paths so counters/ordering can't diverge.
+  std::optional<UnprotectedPacket> finish_unprotect(
+      crypto::Buffer wire, const std::uint8_t expected_icv[12]);
 
   std::uint32_t spi_;
   EspSuite suite_;
   std::optional<crypto::Aes> cipher_;  // absent for NULL suite
   crypto::HmacSha256 hmac_;  // keyed once; reset per packet
+  crypto::HmacSha256Mb hmac_mb_;  // same key; lanes for the batch paths
   std::uint32_t next_seq_ = 1;
   bool exhausted_ = false;
   std::uint64_t iv_counter_ = 1;

@@ -13,10 +13,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.hpp"
+#include "crypto/sha_mb.hpp"
 #include "hip/esp.hpp"
 
 // --- counting allocator (whole-binary, gated by a flag) ---------------------
@@ -155,6 +157,110 @@ TEST(EspFastPath, GoldenVectorsUnprotectToOriginalPayloads) {
       EXPECT_EQ(out->payload, payloads[p]);
       EXPECT_EQ(out->seq, p + 1);
     }
+  }
+}
+
+// The batch paths must be byte-identical to the sequential golden wire —
+// the multi-buffer ICV pass is an implementation detail, never a format
+// change.
+TEST(EspFastPath, ProtectBatchMatchesSeedGoldenVectors) {
+  const auto payloads = golden_payloads();
+  for (int s = 0; s < 3; ++s) {
+    EspSa tx(0xabcd1234, kSuites[s], Bytes(32, 0x11), Bytes(32, 0x22));
+    std::vector<EspSa::ProtectJob> jobs(payloads.size());
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+      jobs[p] = {6, EspSa::kModeHit,
+                 crypto::Buffer(payloads[p], 26, 28)};
+    }
+    tx.protect_batch(jobs);
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+      EXPECT_EQ(to_hex(Bytes(jobs[p].buf)), kGolden[s][p])
+          << esp_suite_name(kSuites[s]) << " pkt " << p;
+    }
+  }
+}
+
+TEST(EspFastPath, UnprotectBatchAcceptsGoldenVectors) {
+  const auto payloads = golden_payloads();
+  for (int s = 0; s < 3; ++s) {
+    EspSa rx(0xabcd1234, kSuites[s], Bytes(32, 0x11), Bytes(32, 0x22));
+    std::vector<EspSa::UnprotectJob> jobs(payloads.size());
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+      jobs[p].wire = crypto::Buffer(from_hex(kGolden[s][p]));
+    }
+    rx.unprotect_batch(jobs);
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+      ASSERT_TRUE(jobs[p].result.has_value())
+          << esp_suite_name(kSuites[s]) << " pkt " << p;
+      EXPECT_EQ(jobs[p].result->inner_proto, 6);
+      EXPECT_EQ(Bytes(jobs[p].result->payload), payloads[p]);
+      EXPECT_EQ(jobs[p].result->seq, p + 1);
+    }
+  }
+}
+
+// Batch sizes around the SIMD lane width (1, W, W+1) must all match what
+// a sequential twin SA emits — partial lane groups and the spill lane are
+// where a scheduler bug would hide.
+TEST(EspFastPath, BatchSizesAroundLaneWidthMatchSequential) {
+  // Force each multi-buffer tier in turn (caps above the hardware's
+  // width clamp, so every iteration runs *some* valid tier) — on SHA-NI
+  // hosts the preferred width is 1, and this keeps the SIMD lane
+  // schedulers under test there too.
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{4},
+                                std::size_t{8}}) {
+    crypto::shamb::set_lane_cap_for_test(cap);
+    const std::size_t width = crypto::shamb::lane_width();
+    for (const auto suite : kSuites) {
+      EspSa batch_tx(0xabcd1234, suite, Bytes(32, 0x11), Bytes(32, 0x22));
+      EspSa seq_tx(0xabcd1234, suite, Bytes(32, 0x11), Bytes(32, 0x22));
+      for (const std::size_t n : {std::size_t{1}, width, width + 1}) {
+        std::vector<Bytes> payloads;
+        for (std::size_t i = 0; i < n; ++i) {
+          payloads.push_back(Bytes(17 * i % 200, static_cast<std::uint8_t>(i)));
+        }
+        std::vector<EspSa::ProtectJob> jobs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          jobs[i] = {6, EspSa::kModeHit, crypto::Buffer(payloads[i], 26, 28)};
+        }
+        batch_tx.protect_batch(jobs);
+        for (std::size_t i = 0; i < n; ++i) {
+          const Bytes want = seq_tx.protect(6, EspSa::kModeHit, payloads[i]);
+          EXPECT_EQ(to_hex(Bytes(jobs[i].buf)), to_hex(want))
+              << esp_suite_name(suite) << " cap=" << cap << " batch=" << n
+              << " pkt " << i;
+        }
+      }
+    }
+  }
+  crypto::shamb::set_lane_cap_for_test(0);
+}
+
+// A replayed packet in the middle of a batch must be dropped (and counted)
+// without disturbing acceptance of its neighbours — the stateful replay
+// window runs strictly in job order even though the ICVs were batched.
+TEST(EspFastPath, ReplayWindowHitMidBatch) {
+  const auto payloads = golden_payloads();
+  for (int s = 0; s < 3; ++s) {
+    EspSa rx(0xabcd1234, kSuites[s], Bytes(32, 0x11), Bytes(32, 0x22));
+    // seq 1, 2, 2 (replay), 3, corrupted-5 — one batch.
+    std::vector<EspSa::UnprotectJob> jobs(5);
+    jobs[0].wire = crypto::Buffer(from_hex(kGolden[s][0]));
+    jobs[1].wire = crypto::Buffer(from_hex(kGolden[s][1]));
+    jobs[2].wire = crypto::Buffer(from_hex(kGolden[s][1]));
+    jobs[3].wire = crypto::Buffer(from_hex(kGolden[s][2]));
+    Bytes bad = from_hex(kGolden[s][4]);
+    bad[bad.size() - 1] ^= 0x01;  // break the ICV
+    jobs[4].wire = crypto::Buffer(bad);
+    rx.unprotect_batch(jobs);
+
+    EXPECT_TRUE(jobs[0].result.has_value());
+    EXPECT_TRUE(jobs[1].result.has_value());
+    EXPECT_FALSE(jobs[2].result.has_value()) << "replayed seq accepted";
+    EXPECT_TRUE(jobs[3].result.has_value());
+    EXPECT_FALSE(jobs[4].result.has_value()) << "corrupt ICV accepted";
+    EXPECT_EQ(rx.replay_drops(), 1u);
+    EXPECT_EQ(rx.auth_failures(), 1u);
   }
 }
 

@@ -6,6 +6,8 @@
 #include "cloud/cloud.hpp"
 #include "core/path_lab.hpp"
 #include "core/testbed.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha_mb.hpp"
 #include "net/dns.hpp"
 
 namespace hipcloud {
@@ -14,6 +16,32 @@ namespace {
 using net::Endpoint;
 using net::IpAddr;
 using net::Ipv4Addr;
+
+TEST(Determinism, HashIdenticalAcrossCryptoBackends) {
+  // The crypto backend (scalar vs SHA-NI vs multi-buffer lanes) and the
+  // batched ESP datapath must never leak into simulation state: the
+  // per-world FNV-1a event-order hash is byte-identical whichever
+  // backend computes the (bit-identical) ciphertext and ICVs.
+  auto run = [] {
+    core::TestbedConfig cfg;
+    cfg.deployment.mode = core::SecurityMode::kHip;
+    cfg.deployment.dataset.items = 100;
+    core::Testbed bed(cfg);
+    const auto report = bed.run_closed_loop(5, 8 * sim::kSecond);
+    EXPECT_GT(report.completed, 0u);
+    return bed.network().perf().determinism_hash;
+  };
+  crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kScalar);
+  crypto::shamb::set_lane_cap_for_test(1);
+  const auto scalar_hash = run();
+  crypto::sha256_backend::set_for_test(crypto::sha256_backend::Kind::kAuto);
+  crypto::shamb::set_lane_cap_for_test(4);
+  const auto sse_hash = run();
+  crypto::shamb::set_lane_cap_for_test(0);
+  const auto auto_hash = run();
+  EXPECT_EQ(scalar_hash, sse_hash);
+  EXPECT_EQ(scalar_hash, auto_hash);
+}
 
 TEST(Determinism, IdenticalSeedsGiveIdenticalResults) {
   auto run = [] {

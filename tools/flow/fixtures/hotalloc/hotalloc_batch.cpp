@@ -1,0 +1,39 @@
+// Fixture: batch/lane hot paths. The multi-buffer ICV scheduler pattern
+// (sha_mb.cpp / esp.cpp protect_batch) must stay allocation-free per
+// batch — heap-staging lane pointers or formatting per job is a finding;
+// the real shape (fixed-size lane arrays, chunked batches) is clean.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+void lanes_compress(std::uint32_t (*states)[8],
+                    const std::uint8_t* const* blocks, std::size_t nlanes);
+void emit(const char* s);
+
+// hipcheck:hot
+void compute_batch_heap(const std::uint8_t* const* msgs, std::size_t njobs) {
+  std::vector<const std::uint8_t*> ptrs;
+  for (std::size_t i = 0; i < njobs; ++i) {
+    // hipcheck:expect(flow-hot-alloc) — growable staging per batch
+    ptrs.push_back(msgs[i]);
+  }
+  std::uint32_t states[8][8];
+  lanes_compress(states, ptrs.data(), ptrs.size());
+  // hipcheck:expect(flow-hot-alloc) — per-batch format temporary
+  emit(std::to_string(njobs).c_str());
+}
+
+// hipcheck:hot — the accepted shape: lanes live in fixed stack arrays and
+// oversized batches are chunked, so no call allocates.
+void compute_batch_stack(const std::uint8_t* const* msgs, std::size_t njobs) {
+  std::uint32_t states[8][8];
+  const std::uint8_t* ptrs[8];
+  std::size_t at = 0;
+  while (at < njobs) {
+    std::size_t n = njobs - at < 8 ? njobs - at : 8;
+    for (std::size_t l = 0; l < n; ++l) ptrs[l] = msgs[at + l];
+    lanes_compress(states, ptrs, n);
+    at += n;
+  }
+}
