@@ -21,6 +21,14 @@
 // offending grid point and fails. Per-world wall-clock never enters the
 // hash, so the slack injection cannot legitimately change it.
 //
+// A second section audits the sharded simulator the same way but along
+// the other parallelism axis: one multi-rack ShardedFabric world is run
+// at 1/2/4/8 worker threads over its fixed shard partition, and the
+// shard-id-order merged world hash must stay byte-identical. This is the
+// cross-shard seam (inbox drain order, barrier epochs, lookahead
+// boundary deliveries) under real traffic, not the synthetic loops the
+// unit tests use.
+//
 // `--quick` shrinks the grid and duration for the CTest registration
 // (label `audit`, runs inside tier-1); the full grid is the manual /
 // check.sh configuration.
@@ -31,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "cloud/shard_fabric.hpp"
 #include "core/secure_service.hpp"
 #include "core/testbed.hpp"
 #include "sweep.hpp"
@@ -80,6 +89,75 @@ std::vector<WorldResult> run_grid(const std::vector<WorldPoint>& grid,
                            report.throughput_rps()};
       },
       threads);
+}
+
+struct ShardRunResult {
+  std::uint64_t hash = 0;
+  std::uint64_t events = 0;
+};
+
+/// Build a fixed multi-rack sharded fabric, drive periodic cross-rack UDP
+/// probe trains from every VM, run to `duration` on `workers` threads and
+/// return the merged world hash. The world build is a pure function of
+/// (racks, duration); only `workers` varies between runs.
+ShardRunResult run_sharded_world(std::size_t racks,
+                                 hipcloud::sim::Duration duration,
+                                 unsigned workers) {
+  namespace cloud = hipcloud::cloud;
+  namespace net = hipcloud::net;
+  namespace sim = hipcloud::sim;
+
+  cloud::FabricConfig cfg;
+  cfg.racks = racks;
+  cfg.hosts_per_rack = 2;
+  cfg.vms_per_host = 2;
+  cloud::ShardedFabric fabric(cfg);
+
+  std::vector<net::IpAddr> vm_ip;
+  std::vector<net::Node*> vm_node;
+  std::vector<std::size_t> vm_rack;
+  for (std::size_t r = 0; r < racks; ++r) {
+    for (const auto& vm : fabric.rack_vms(r)) {
+      vm_ip.emplace_back(vm->private_ip());
+      vm_node.push_back(vm->node());
+      vm_rack.push_back(r);
+    }
+  }
+  // Receivers echo nothing (one-way probes keep the event count an exact
+  // function of the schedule), but must consume the datagrams so they
+  // count as received rather than unhandled.
+  for (net::Node* n : vm_node) {
+    n->register_protocol(net::IpProto::kUdp, [](net::Packet&&) {});
+  }
+  // Every VM probes the "same slot" VM in every other rack on a fixed
+  // period, phase-staggered by sender index so the inboxes carry a
+  // steady interleaving of cross-shard posts.
+  const sim::Duration period = sim::from_micros(500);
+  const std::size_t per_rack = cfg.hosts_per_rack * cfg.vms_per_host;
+  for (std::size_t i = 0; i < vm_node.size(); ++i) {
+    const std::size_t r = vm_rack[i];
+    const std::size_t slot = i % per_rack;
+    for (sim::Time t = sim::from_micros(10 + 13 * static_cast<int>(i));
+         t < duration; t += period) {
+      for (std::size_t pr = 0; pr < racks; ++pr) {
+        if (pr == r) continue;
+        const std::size_t peer = pr * per_rack + slot;
+        fabric.world().shard(r).loop().schedule_at(t, [&fabric, &vm_ip,
+                                                       &vm_node, i, peer, r] {
+          net::Packet pkt;
+          pkt.src = vm_ip[i];
+          pkt.dst = vm_ip[peer];
+          pkt.proto = net::IpProto::kUdp;
+          pkt.payload = fabric.world().shard(r).buffer_pool().make(200);
+          pkt.stamp_l3_overhead();
+          vm_node[i]->send(std::move(pkt));
+        });
+      }
+    }
+  }
+  fabric.run(duration, workers);
+  const auto perf = fabric.merged_perf();
+  return ShardRunResult{perf.determinism_hash, perf.events_fired};
 }
 
 }  // namespace
@@ -154,6 +232,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- sharded-simulator section: same world, varying worker threads ---
+  const std::size_t racks = quick ? 4u : 8u;
+  const hipcloud::sim::Duration shard_duration =
+      (quick ? 1 : 4) * hipcloud::sim::kSecond;
+  std::printf(
+      "\nSharded audit: %zu-rack fabric at 1/2/4/8 workers, %s duration\n",
+      racks, quick ? "quick" : "full");
+  const ShardRunResult shard_ref = run_sharded_world(racks, shard_duration, 1);
+  std::printf("  serial    0x%016llx  (%llu events)\n",
+              static_cast<unsigned long long>(shard_ref.hash),
+              static_cast<unsigned long long>(shard_ref.events));
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    const ShardRunResult got = run_sharded_world(racks, shard_duration, workers);
+    if (got.hash != shard_ref.hash || got.events != shard_ref.events) {
+      ++mismatches;
+      std::printf(
+          "  MISMATCH %u workers: hash 0x%016llx (%llu events) vs serial "
+          "0x%016llx (%llu events)\n",
+          workers, static_cast<unsigned long long>(got.hash),
+          static_cast<unsigned long long>(got.events),
+          static_cast<unsigned long long>(shard_ref.hash),
+          static_cast<unsigned long long>(shard_ref.events));
+    } else {
+      std::printf("  ok %u workers  0x%016llx\n", workers,
+                  static_cast<unsigned long long>(got.hash));
+    }
+  }
+
   if (mismatches != 0) {
     std::printf(
         "\nFAIL: %d hash mismatch%s — host scheduling is leaking into "
@@ -163,7 +269,7 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\nPASS: all %zu worlds hash bit-identically across thread counts "
-      "and scheduling slack\n",
+      "and scheduling slack, and the sharded world is worker-invariant\n",
       grid.size());
   return 0;
 }

@@ -1,0 +1,246 @@
+// Sharded-simulator scaling curve (BENCH_scale.json).
+//
+// One fixed 8-rack ShardedFabric world (8 shards, 32 VMs) is driven with
+// N cross-rack probe "clients" for N in {1k, 10k, 100k, 1M}, and the same
+// world is run at 1/2/4/8 worker threads. Two speedup numbers come out:
+//
+//   speedup_wall_vs_1      measured wall-clock ratio. Only meaningful on
+//                          a multi-core host — the JSON records host_cpus
+//                          so a 1-core CI box's flat curve reads as what
+//                          it is, not as a regression.
+//   speedup_workspan_vs_1  work/span bound from the actual per-shard
+//                          event counts and the round-robin shard->worker
+//                          assignment: total events fired divided by the
+//                          busiest worker's share. This is the speedup
+//                          the partition itself admits, independent of
+//                          how many cores the host happens to have.
+//
+// The determinism hash is asserted byte-identical across every worker
+// count at every scale point — a scaling curve from a world whose
+// behaviour drifts with thread count would be meaningless. The binary
+// exits non-zero on any hash mismatch, so check.sh --scale doubles as a
+// large-world determinism gate.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/shard_fabric.hpp"
+#include "net/node.hpp"
+#include "sim/time.hpp"
+
+namespace hipcloud::bench {
+namespace {
+
+// hipcheck:allow(wall-clock): bench measures real elapsed time; never feeds sim state
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRacks = 8;
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+struct RunStats {
+  unsigned workers = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t hash = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t payload_bytes_copied = 0;  // cross-shard seam traffic
+  double workspan_speedup = 1.0;
+  std::vector<std::uint64_t> shard_events;
+};
+
+/// Build the fixed fabric, pre-schedule `clients` cross-rack UDP probes
+/// (round-robin over the 32 VMs, fixed per-VM period, each probe aimed at
+/// the same-slot VM of a cycling peer rack) and run to completion on
+/// `workers` threads. The schedule is a pure function of `clients`.
+RunStats run_scale_point(std::size_t clients, unsigned workers) {
+  cloud::FabricConfig cfg;
+  cfg.racks = kRacks;
+  cfg.hosts_per_rack = 2;
+  cfg.vms_per_host = 2;
+  cloud::ShardedFabric fabric(cfg);
+
+  std::vector<net::IpAddr> vm_ip;
+  std::vector<net::Node*> vm_node;
+  std::vector<std::size_t> vm_rack;
+  for (std::size_t r = 0; r < kRacks; ++r) {
+    for (const auto& vm : fabric.rack_vms(r)) {
+      vm_ip.emplace_back(vm->private_ip());
+      vm_node.push_back(vm->node());
+      vm_rack.push_back(r);
+    }
+  }
+  for (net::Node* n : vm_node) {
+    n->register_protocol(net::IpProto::kUdp, [](net::Packet&&) {});
+  }
+
+  const std::size_t vm_count = vm_node.size();
+  const std::size_t per_rack = cfg.hosts_per_rack * cfg.vms_per_host;
+  const sim::Duration period = sim::from_micros(100);
+  sim::Time horizon = 0;
+  for (std::size_t k = 0; k < clients; ++k) {
+    const std::size_t i = k % vm_count;
+    const std::size_t r = vm_rack[i];
+    const std::size_t slot = i % per_rack;
+    // Cycle the peer rack per round so cross-shard pairs all see traffic.
+    const std::size_t pr = (r + 1 + (k / vm_count) % (kRacks - 1)) % kRacks;
+    const std::size_t peer = pr * per_rack + slot;
+    const sim::Time at =
+        sim::from_micros(10 + 3 * static_cast<int>(i)) +
+        static_cast<sim::Time>(k / vm_count) * period;
+    if (at > horizon) horizon = at;
+    fabric.world().shard(r).loop().schedule_at(
+        at, [&fabric, &vm_ip, &vm_node, i, peer, r] {
+          net::Packet pkt;
+          pkt.src = vm_ip[i];
+          pkt.dst = vm_ip[peer];
+          pkt.proto = net::IpProto::kUdp;
+          pkt.payload = fabric.world().shard(r).buffer_pool().make(200);
+          pkt.stamp_l3_overhead();
+          vm_node[i]->send(std::move(pkt));
+        });
+  }
+
+  const auto t0 = Clock::now();
+  fabric.run(horizon + sim::from_millis(10), workers);
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunStats s;
+  s.workers = workers;
+  s.wall_seconds = wall;
+  const auto perf = fabric.merged_perf();
+  s.hash = perf.determinism_hash;
+  s.events_fired = perf.events_fired;
+  s.payload_bytes_copied = perf.payload_bytes_copied;
+  for (std::size_t sh = 0; sh < kRacks; ++sh) {
+    s.shard_events.push_back(fabric.world().shard(sh).perf().events_fired);
+  }
+  // Work/span bound: total events over the busiest worker's events under
+  // the coordinator's round-robin shard ownership (shard s -> worker s%w).
+  std::vector<std::uint64_t> per_worker(workers, 0);
+  for (std::size_t sh = 0; sh < s.shard_events.size(); ++sh) {
+    per_worker[sh % workers] += s.shard_events[sh];
+  }
+  std::uint64_t span = 0;
+  for (const std::uint64_t w : per_worker) span = std::max(span, w);
+  s.workspan_speedup =
+      span == 0 ? 1.0
+                : static_cast<double>(s.events_fired) /
+                      static_cast<double>(span);
+  return s;
+}
+
+struct ScalePoint {
+  std::size_t clients = 0;
+  std::vector<RunStats> runs;
+  bool hash_identical = true;
+};
+
+void write_scale_json(const std::vector<ScalePoint>& points,
+                      const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig_scale: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"title\": \"Sharded world scaling: workers over a "
+                  "fixed %zu-shard rack partition\",\n",
+               kRacks);
+  std::fprintf(f, "  \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"shards\": %zu,\n", kRacks);
+  std::fprintf(f,
+               "  \"note\": \"speedup_wall_vs_1 is measured wall clock and "
+               "is bounded by host_cpus; speedup_workspan_vs_1 is the "
+               "event-balance bound the partition admits (total events / "
+               "busiest worker's events)\",\n");
+  std::fprintf(f, "  \"scale\": [\n");
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const ScalePoint& pt = points[p];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"clients\": %zu,\n", pt.clients);
+    std::fprintf(f, "      \"events_fired\": %" PRIu64 ",\n",
+                 pt.runs[0].events_fired);
+    std::fprintf(f, "      \"cross_shard_bytes\": %" PRIu64 ",\n",
+                 pt.runs[0].payload_bytes_copied);
+    std::fprintf(f, "      \"determinism_hash\": \"0x%016" PRIx64 "\",\n",
+                 pt.runs[0].hash);
+    std::fprintf(f, "      \"hash_identical_across_workers\": %s,\n",
+                 pt.hash_identical ? "true" : "false");
+    std::fprintf(f, "      \"runs\": [\n");
+    for (std::size_t i = 0; i < pt.runs.size(); ++i) {
+      const RunStats& r = pt.runs[i];
+      const double wall1 = pt.runs[0].wall_seconds;
+      std::fprintf(f,
+                   "        {\"workers\": %u, \"wall_seconds\": %.4f, "
+                   "\"speedup_wall_vs_1\": %.3f, "
+                   "\"speedup_workspan_vs_1\": %.3f}%s\n",
+                   r.workers, r.wall_seconds,
+                   r.wall_seconds > 0 ? wall1 / r.wall_seconds : 0.0,
+                   r.workspan_speedup, i + 1 < pt.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n");
+    std::fprintf(f, "    }%s\n", p + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace hipcloud::bench
+
+int main(int argc, char** argv) {
+  using namespace hipcloud::bench;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::vector<std::size_t> client_counts =
+      quick ? std::vector<std::size_t>{1'000, 10'000}
+            : std::vector<std::size_t>{1'000, 10'000, 100'000, 1'000'000};
+
+  std::printf("fig_scale: %zu-shard fabric, workers {1,2,4,8}, host_cpus=%u\n",
+              kRacks, std::thread::hardware_concurrency());
+
+  std::vector<ScalePoint> points;
+  int mismatches = 0;
+  for (const std::size_t clients : client_counts) {
+    ScalePoint pt;
+    pt.clients = clients;
+    for (const std::size_t workers : kWorkerCounts) {
+      RunStats s = run_scale_point(clients, static_cast<unsigned>(workers));
+      if (!pt.runs.empty() && (s.hash != pt.runs[0].hash ||
+                               s.events_fired != pt.runs[0].events_fired)) {
+        pt.hash_identical = false;
+        ++mismatches;
+        std::printf("  MISMATCH %zu clients @ %u workers: hash 0x%016" PRIx64
+                    " vs 0x%016" PRIx64 "\n",
+                    clients, s.workers, s.hash, pt.runs[0].hash);
+      }
+      std::printf("  %7zu clients @ %u workers: %.3fs wall, %" PRIu64
+                  " events, workspan x%.2f, hash 0x%016" PRIx64 "\n",
+                  clients, s.workers, s.wall_seconds, s.events_fired,
+                  s.workspan_speedup, s.hash);
+      pt.runs.push_back(std::move(s));
+    }
+    points.push_back(std::move(pt));
+  }
+
+  // The quick CTest smoke run keeps the JSON artifact from the full run.
+  if (!quick) write_scale_json(points, "BENCH_scale.json");
+
+  if (mismatches != 0) {
+    std::printf("\nFAIL: %d worker-count hash mismatch%s\n", mismatches,
+                mismatches == 1 ? "" : "es");
+    return 1;
+  }
+  std::printf("\nPASS: hash byte-identical across workers at every scale\n");
+  return 0;
+}

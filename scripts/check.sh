@@ -14,6 +14,10 @@
 #   scripts/check.sh --bench-smoke # build every bench binary and run the
 #                                 # `bench`-labeled tests once (no JSON emit),
 #                                 # including a no-acceleration env-matrix run
+#   scripts/check.sh --scale      # full fig_scale run: the sharded world at
+#                                 # 1/2/4/8 workers across all client scales,
+#                                 # regenerating BENCH_scale.json (fails on
+#                                 # any worker-count hash mismatch)
 #   scripts/check.sh --all        # every pass above
 #
 # Flags compose (`--lint --tsan` runs exactly those two passes). Every
@@ -28,7 +32,7 @@ jobs="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 tjobs="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 
 run_normal=0 run_san=0 run_lint=0 run_flow=0 run_tidy=0 run_audit=0 \
-  run_tsan=0 run_bench=0
+  run_tsan=0 run_bench=0 run_scale=0
 if [[ $# -eq 0 ]]; then
   run_normal=1 run_san=1
 fi
@@ -41,11 +45,12 @@ for arg in "$@"; do
     --audit) run_audit=1 ;;
     --tsan)  run_tsan=1 ;;
     --bench-smoke) run_bench=1 ;;
+    --scale) run_scale=1 ;;
     --all)   run_normal=1 run_san=1 run_lint=1 run_flow=1 run_tidy=1 \
-             run_audit=1 run_tsan=1 run_bench=1 ;;
+             run_audit=1 run_tsan=1 run_bench=1 run_scale=1 ;;
     *)
       echo "usage: $0 [--fast] [--lint] [--flow] [--tidy] [--audit]" \
-           "[--tsan] [--bench-smoke] [--all]" >&2
+           "[--tsan] [--bench-smoke] [--scale] [--all]" >&2
       exit 2
       ;;
   esac
@@ -155,11 +160,15 @@ if [[ "$run_tsan" == 1 ]]; then
   run "tsan: tier-1" \
     ctest --test-dir "$root/build-tsan" -LE bench -j "$tjobs" \
     --output-on-failure
-  # The determinism auditor is the only multi-threaded path in the tree
-  # (worlds are single-threaded by design); run it under TSan at full
-  # width to flush data races in the sweep/logging machinery.
+  # The multi-threaded paths in the tree: the parallel sweep runner, the
+  # shard coordinator (cross-shard inboxes, barrier epochs, per-shard
+  # logging) and the sweep/logging machinery under them. Tier-1 above
+  # already covers the shard unit/fabric tests under TSan; the two
+  # auditors below drive both axes at full width.
   run "tsan: parallel determinism sweep" \
     "$root/build-tsan/bench/audit_determinism" --quick
+  run "tsan: sharded scaling smoke" \
+    "$root/build-tsan/bench/fig_scale" --quick
 fi
 
 if [[ "$run_bench" == 1 ]]; then
@@ -176,6 +185,18 @@ if [[ "$run_bench" == 1 ]]; then
   run "bench-smoke: bench-labeled tests (no SHA-NI / no multi-buffer)" \
     env HIPCLOUD_NO_SHANI=1 HIPCLOUD_NO_SHAMB=1 HIPCLOUD_NO_AESNI=1 \
     ctest --test-dir "$root/build" -L bench -j "$tjobs" --output-on-failure
+fi
+
+if [[ "$run_scale" == 1 ]]; then
+  # Full scaling curve: regenerates BENCH_scale.json from the normal
+  # build and fails on any worker-count hash divergence. Runs from $root
+  # so the JSON lands next to the other BENCH_*.json artifacts.
+  run "scale: build fig_scale" bash -c \
+    "cmake -S '$root' -B '$root/build' -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DHIPCLOUD_WERROR=ON >/dev/null &&
+     cmake --build '$root/build' -j '$jobs' --target fig_scale"
+  run "scale: sharded scaling curve (full)" bash -c \
+    "cd '$root' && '$root/build/bench/fig_scale'"
 fi
 
 echo

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/cloud.hpp"
+#include "net/shard_world.hpp"
+
+namespace hipcloud::cloud {
+
+/// Deterministic rack/hypervisor → shard assignment. The fabric puts one
+/// rack per shard (a rack's hypervisors, VMs, ToR fabric and gateway all
+/// share one event loop — almost all traffic a VM generates stays inside
+/// its rack's loop); when a caller wants fewer shards than racks it folds
+/// racks onto shards round-robin, keeping the mapping a pure function of
+/// topology, never of thread timing.
+inline std::size_t shard_for_rack(std::size_t rack, std::size_t shards) {
+  return shards == 0 ? 0 : rack % shards;
+}
+inline std::size_t shard_for_hypervisor(std::size_t rack,
+                                        std::size_t hypervisor,
+                                        std::size_t hosts_per_rack,
+                                        std::size_t shards) {
+  // Hypervisors inherit their rack's shard; the parameters only exist so
+  // call sites state what they are placing.
+  (void)hypervisor;
+  (void)hosts_per_rack;
+  return shard_for_rack(rack, shards);
+}
+
+struct FabricConfig {
+  std::size_t racks = 4;
+  std::size_t hosts_per_rack = 2;
+  std::size_t vms_per_host = 2;
+  ProviderProfile profile = ProviderProfile::ec2();
+  /// Rack-to-rack interconnect. Its latency is the world's lookahead
+  /// floor: bigger = longer epochs and fewer barriers, smaller = tighter
+  /// cross-rack RTTs. Must stay positive.
+  net::LinkConfig cross_rack{/*bandwidth_bps=*/10e9,
+                             /*latency=*/sim::from_micros(100),
+                             /*max_queue_delay=*/sim::from_millis(50),
+                             /*loss_rate=*/0.0,
+                             /*mtu=*/1500};
+  std::uint64_t seed = 1;
+};
+
+/// A datacenter built for the sharded simulator: `racks` Cloud instances
+/// (cloud index = rack id, so rack r owns 10.r.0.0/16), each living in
+/// its own shard of a net::ShardedWorld, with a full mesh of cross-shard
+/// gateway-to-gateway links carrying the inter-rack routes. Worker
+/// threads are chosen at run() time; the topology (and therefore every
+/// event stream) never depends on them.
+class ShardedFabric {
+ public:
+  explicit ShardedFabric(const FabricConfig& config);
+
+  net::ShardedWorld& world() { return world_; }
+  const FabricConfig& config() const { return config_; }
+  std::size_t racks() const { return clouds_.size(); }
+  Cloud& rack(std::size_t r) { return *clouds_[r]; }
+
+  /// All VMs of one rack, in launch order.
+  const std::vector<std::unique_ptr<Vm>>& rack_vms(std::size_t r) const {
+    return clouds_[r]->vms();
+  }
+
+  std::size_t run(sim::Time until, unsigned workers = 1) {
+    return world_.run(until, workers);
+  }
+  sim::PerfCounters merged_perf() const { return world_.merged_perf(); }
+  std::uint64_t world_hash() const { return world_.world_hash(); }
+
+ private:
+  FabricConfig config_;
+  net::ShardedWorld world_;
+  std::vector<std::unique_ptr<Cloud>> clouds_;
+};
+
+}  // namespace hipcloud::cloud

@@ -492,6 +492,52 @@ void HipDaemon::flush_esp_out_queue() {
   }
 }
 
+EspSa* HipDaemon::resolve_in_sa(Association* assoc, std::uint32_t spi) {
+  if (assoc == nullptr || assoc->sa_in == nullptr) return nullptr;
+  // Dispatch by SPI: packets protected just before a rekey still carry
+  // the superseded SPI and decode via the grace-period SA.
+  if (spi == assoc->sa_in->spi()) return assoc->sa_in.get();
+  if (assoc->old_sa_in != nullptr && spi == assoc->old_spi_in) {
+    return assoc->old_sa_in.get();
+  }
+  return nullptr;
+}
+
+void HipDaemon::flush_esp_in_queue() {
+  // Unwrap every still-wrapped job, grouped per resolved inbound SA but
+  // in queue order within each group — queue order is charge-completion
+  // order, so replay-window updates and drop decisions land exactly as
+  // sequential unprotect_packet() calls would have made them.
+  for (std::size_t i = 0; i < esp_in_queue_.size(); ++i) {
+    EspInJob& head = esp_in_queue_[i];
+    if (head.unprotected || head.skipped) continue;
+    EspSa* head_sa = resolve_in_sa(find_assoc(head.peer_hit), head.spi);
+    if (head_sa == nullptr) {
+      head.skipped = true;
+      continue;
+    }
+    std::vector<EspSa::UnprotectJob> batch;
+    std::vector<std::size_t> positions;
+    batch.reserve(esp_in_queue_.size() - i);
+    positions.reserve(esp_in_queue_.size() - i);
+    for (std::size_t j = i; j < esp_in_queue_.size(); ++j) {
+      EspInJob& job = esp_in_queue_[j];
+      if (job.unprotected || job.skipped) continue;
+      if (j > i &&
+          resolve_in_sa(find_assoc(job.peer_hit), job.spi) != head_sa) {
+        continue;
+      }
+      batch.push_back({std::move(job.wire), std::nullopt});
+      positions.push_back(j);
+    }
+    head_sa->unprotect_batch(batch);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      esp_in_queue_[positions[k]].result = std::move(batch[k].result);
+      esp_in_queue_[positions[k]].unprotected = true;
+    }
+  }
+}
+
 void HipDaemon::on_esp_packet(Packet&& pkt) {
   if (pkt.payload.size() < 4) return;
   const auto spi =
@@ -500,42 +546,49 @@ void HipDaemon::on_esp_packet(Packet&& pkt) {
   if (it == spi_to_peer_.end()) return;
   const net::Ipv6Addr peer_hit = it->second;
   const double cycles = esp_cycles(pkt.payload.size());
-  charge(cycles, [this, peer_hit, spi, p = std::move(pkt)]() mutable {
-    Association* found = find_assoc(peer_hit);
-    if (found == nullptr || found->sa_in == nullptr) return;
-    // Dispatch by SPI: packets protected just before a rekey still carry
-    // the superseded SPI and decode via the grace-period SA.
-    EspSa* sa = found->sa_in.get();
-    if (spi != sa->spi()) {
-      if (found->old_sa_in != nullptr && spi == found->old_spi_in) {
-        sa = found->old_sa_in.get();
-      } else {
-        return;
-      }
+  // Stage on the receive coalescing queue; the per-packet CPU charge is
+  // unchanged — only the ICV verification is deferred into a batch at
+  // flush time, so a tick's worth of inbound datagrams shares one
+  // multi-buffer HMAC pass.
+  EspInJob job;
+  job.peer_hit = peer_hit;
+  job.spi = spi;
+  job.wire_size = pkt.payload.size();
+  job.wire = std::move(pkt.payload);
+  esp_in_queue_.push_back(std::move(job));
+  charge(cycles, [this]() {
+    // CPU completions pop 1:1 and FIFO against the charges above, so the
+    // front job is always this callback's packet.
+    if (esp_in_queue_.empty()) return;
+    if (!esp_in_queue_.front().unprotected && !esp_in_queue_.front().skipped) {
+      flush_esp_in_queue();
     }
-    const std::size_t wire_size = p.payload.size();
-    auto inner = sa->unprotect_packet(std::move(p.payload));
-    if (!inner) {
+    EspInJob done = std::move(esp_in_queue_.front());
+    esp_in_queue_.pop_front();
+    if (done.skipped) return;
+    Association* found = find_assoc(done.peer_hit);
+    if (found == nullptr || found->sa_in == nullptr) return;
+    if (!done.result) {
       ++stats_.auth_failures;
       return;
     }
     found->last_heard = node_->network().loop().now();
     ++stats_.esp_packets_in;
-    stats_.esp_bytes_in += wire_size;
+    stats_.esp_bytes_in += done.wire_size;
 
     Packet out;
-    out.proto = static_cast<IpProto>(inner->inner_proto);
-    if (inner->addr_mode == EspSa::kModeLsi) {
+    out.proto = static_cast<IpProto>(done.result->inner_proto);
+    if (done.result->addr_mode == EspSa::kModeLsi) {
       // Charge the extra HIT<->LSI rewrite the paper blames for HIP's
       // deficit vs SSL.
       node_->cpu().charge(config_.costs.lsi_translation_cycles);
-      out.src = *lsi_for_peer(peer_hit);
+      out.src = *lsi_for_peer(done.peer_hit);
       out.dst = config_.local_lsi;
     } else {
-      out.src = peer_hit;
+      out.src = done.peer_hit;
       out.dst = identity_.hit();
     }
-    out.payload = std::move(inner->payload);
+    out.payload = std::move(done.result->payload);
     out.stamp_l3_overhead();
     node_->deliver(std::move(out), 0);
   });

@@ -249,6 +249,29 @@ class HipDaemon {
   };
   void flush_esp_out_queue();
 
+  /// Coalescing ESP receive queue — the unprotect mirror of the send
+  /// queue above. on_esp_packet() stages the wire bytes here and charges
+  /// the CPU exactly as the sequential path did; the first per-packet
+  /// completion that finds its job still wrapped flushes the whole queue
+  /// through EspSa::unprotect_batch() (grouped per inbound SA, queue
+  /// order within each group, so replay-window updates land in the same
+  /// order as sequential unprotect_packet() calls). Each completion then
+  /// pops exactly one job FIFO — charge count and order are untouched,
+  /// so the determinism hash is identical to the unbatched path.
+  struct EspInJob {
+    net::Ipv6Addr peer_hit;
+    std::uint32_t spi = 0;
+    std::size_t wire_size = 0;
+    crypto::Buffer wire;  // consumed by the flush
+    std::optional<EspSa::UnprotectedPacket> result;
+    bool unprotected = false;  // flush ran (empty result: auth/replay drop)
+    bool skipped = false;      // SA vanished before the flush
+  };
+  void flush_esp_in_queue();
+  /// The inbound SA a wire packet with `spi` decodes against (the live
+  /// SA, or the rekey grace-period SA), nullptr when neither matches.
+  EspSa* resolve_in_sa(Association* assoc, std::uint32_t spi);
+
   // BEX.
   void send_i1(Association& assoc);
   void handle_i1(const HipMessage& msg, const net::Packet& pkt);
@@ -320,6 +343,7 @@ class HipDaemon {
   std::deque<sim::Time> recent_r1_times_;  // adaptive puzzle load window
 
   std::deque<EspOutJob> esp_out_queue_;
+  std::deque<EspInJob> esp_in_queue_;
 
   Stats stats_;
   EstablishedFn on_established_;

@@ -64,10 +64,15 @@ bool Link::transmit(Packet pkt, const Node* from) {
   delivered_bytes_ += pkt.wire_size();
 
   Node* to = dir.to;
+  const sim::Time arrival = dir.busy_until + config_.latency + fault_latency_;
+  schedule_delivery(arrival, to, std::move(pkt));
+  return true;
+}
+
+void Link::schedule_delivery(sim::Time arrival, Node* to, Packet pkt) {
   // Destination interface index: found at delivery time to keep Link
   // independent of attachment order.
-  const sim::Time arrival = dir.busy_until + config_.latency + fault_latency_;
-  loop.schedule_at(arrival, [to, this, p = std::move(pkt)]() mutable {
+  net_.loop().schedule_at(arrival, [to, this, p = std::move(pkt)]() mutable {
     std::size_t iface = 0;
     for (std::size_t i = 0; i < to->interface_count(); ++i) {
       if (to->link_at(i) == this) {
@@ -77,7 +82,6 @@ bool Link::transmit(Packet pkt, const Node* from) {
     }
     to->deliver(std::move(p), iface);
   });
-  return true;
 }
 
 }  // namespace hipcloud::net

@@ -31,6 +31,10 @@ struct LinkConfig {
 class Link {
  public:
   Link(Network& net, Node* a, Node* b, const LinkConfig& config);
+  virtual ~Link() = default;
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
 
   /// Transmit a packet from `from` towards the opposite endpoint.
   /// Returns false when the packet was dropped (queue overflow, loss or
@@ -58,6 +62,18 @@ class Link {
   std::uint64_t delivered_packets() const { return delivered_; }
   std::uint64_t dropped_packets() const { return dropped_; }
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+ protected:
+  /// Delivery hook: transmit() has done loss/queue/serialization and
+  /// computed the arrival instant; this schedules the actual handoff to
+  /// `to`. The base implementation schedules into this world's own loop.
+  /// Cross-shard half-links override it to post the delivery into the
+  /// destination shard's future through the shard coordinator — every
+  /// other physics stays identical, and all of it runs on the sending
+  /// shard's thread against the sending shard's rng/counters.
+  virtual void schedule_delivery(sim::Time arrival, Node* to, Packet pkt);
+
+  Network& network() { return net_; }
 
  private:
   struct Direction {

@@ -1,0 +1,82 @@
+#include "net/shard_world.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+#include "sim/random.hpp"
+
+namespace hipcloud::net {
+
+void CrossLinkHalf::schedule_delivery(sim::Time arrival, Node* to,
+                                      Packet pkt) {
+  // The payload may sit in a pooled block owned by the sending shard's
+  // BufferPool; pools are single-threaded, so the block must not cross
+  // the seam (the destination would run its destructor and push it onto
+  // a foreign freelist). Stage a pool-free copy here, on the sending
+  // thread, preserving the head/tailroom window so the receive path can
+  // still grow headers in place. The copy is charged to the sending
+  // shard — it is the real cost of the shard seam and shows up in every
+  // BENCH json as payload_bytes_copied.
+  crypto::Buffer staged(pkt.payload.view(), pkt.payload.headroom(),
+                        pkt.payload.tailroom());
+  network().perf().payload_bytes_copied += pkt.payload.size();
+  pkt.payload = std::move(staged);
+  CrossLinkHalf* twin = twin_;
+  HIPCLOUD_CHECK(twin != nullptr, "cross-shard half-link has no twin");
+  coord_.post(src_shard_, dst_shard_, arrival,
+              [to, twin, p = std::move(pkt)]() mutable {
+                std::size_t iface = 0;
+                for (std::size_t i = 0; i < to->interface_count(); ++i) {
+                  if (to->link_at(i) == twin) {
+                    iface = i;
+                    break;
+                  }
+                }
+                to->deliver(std::move(p), iface);
+              });
+}
+
+ShardedWorld::ShardedWorld(std::size_t shards, std::uint64_t seed) {
+  HIPCLOUD_CHECK(shards > 0, "a sharded world needs at least one shard");
+  sim::SplitMix64 seeder(seed);
+  nets_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    nets_.push_back(std::make_unique<Network>(seeder.next()));
+    coord_.add_shard(&nets_.back()->loop());
+  }
+}
+
+ShardedWorld::CrossAttachment ShardedWorld::connect_cross(
+    std::size_t shard_a, Node* a, std::size_t shard_b, Node* b,
+    const LinkConfig& config) {
+  HIPCLOUD_CHECK(shard_a < nets_.size() && shard_b < nets_.size(),
+                 "connect_cross outside the world");
+  HIPCLOUD_CHECK(shard_a != shard_b,
+                 "connect_cross within one shard: use Network::connect");
+  HIPCLOUD_CHECK(config.latency > 0,
+                 "cross-shard links need positive latency (lookahead)");
+  auto ab = std::make_unique<CrossLinkHalf>(coord_, shard_a, shard_b,
+                                            *nets_[shard_a], a, b, config);
+  auto ba = std::make_unique<CrossLinkHalf>(coord_, shard_b, shard_a,
+                                            *nets_[shard_b], b, a, config);
+  ab->set_twin(ba.get());
+  ba->set_twin(ab.get());
+  CrossAttachment att;
+  att.a_to_b = ab.get();
+  att.b_to_a = ba.get();
+  att.iface_a = a->attach_link(ab.get());
+  att.iface_b = b->attach_link(ba.get());
+  cross_links_.push_back(std::move(ab));
+  cross_links_.push_back(std::move(ba));
+  if (min_cross_latency_ < 0 || config.latency < min_cross_latency_) {
+    min_cross_latency_ = config.latency;
+    coord_.set_lookahead(min_cross_latency_);
+  }
+  return att;
+}
+
+std::size_t ShardedWorld::run(sim::Time until, unsigned workers) {
+  return coord_.run(until, workers);
+}
+
+}  // namespace hipcloud::net

@@ -163,6 +163,17 @@ bool EventLoop::step(Time until) {
   return false;
 }
 
+Time EventLoop::next_event_time() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slots_[top.slot].live) return top.when;
+    recycle_slot(top.slot);
+    heap_pop();
+    --dead_in_heap_;
+  }
+  return -1;
+}
+
 std::size_t EventLoop::run(Time until) {
   stopped_ = false;
   std::size_t n = 0;

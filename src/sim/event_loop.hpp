@@ -79,6 +79,13 @@ class EventLoop {
   /// Pending (non-cancelled) event count.
   std::size_t pending() const { return live_; }
 
+  /// Time of the earliest live event, or -1 when no live events remain.
+  /// Non-const: cancelled entries sitting on the heap top are recycled on
+  /// the way (same bounded work step() would have done). The shard
+  /// coordinator uses this between epochs to skip idle stretches
+  /// deterministically.
+  Time next_event_time();
+
   /// Cancelled-but-not-yet-popped heap entries. Bounded by the number of
   /// scheduled events: each dead entry is dropped (and its slot recycled)
   /// the moment it reaches the heap top, and a drained heap holds none.

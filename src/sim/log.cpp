@@ -1,8 +1,19 @@
 #include "sim/log.hpp"
 
+#include <cstring>
+
 namespace hipcloud::sim {
 
 std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
+
+namespace {
+// Thread-local, not per-Log-call state: a worker thread runs one shard's
+// loop at a time, and every log line it emits belongs to that shard.
+thread_local int t_shard_id = -1;
+}  // namespace
+
+void Log::set_shard_id(int shard) { t_shard_id = shard; }
+int Log::shard_id() { return t_shard_id; }
 
 void Log::write(LogLevel lvl, Time now, const char* tag,
                 const std::string& msg) {
@@ -10,8 +21,30 @@ void Log::write(LogLevel lvl, Time now, const char* tag,
   static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
   const auto idx = static_cast<int>(lvl);
   if (idx < 0 || idx > 4) return;
-  std::fprintf(stderr, "[%12s] %-5s %s: %s\n", format_time(now).c_str(),
-               names[idx], tag, msg.c_str());
+  // Format the whole line into one buffer and emit it with a single
+  // fwrite: concurrent shard workers each complete their own line, so
+  // stderr never carries a half-line from one shard spliced into
+  // another's. Oversized messages are truncated (with a marker) rather
+  // than split across writes.
+  char line[512];
+  int n;
+  if (t_shard_id >= 0) {
+    n = std::snprintf(line, sizeof(line), "[%12s] s%-3d %-5s %s: %s\n",
+                      format_time(now).c_str(), t_shard_id, names[idx], tag,
+                      msg.c_str());
+  } else {
+    n = std::snprintf(line, sizeof(line), "[%12s] %-5s %s: %s\n",
+                      format_time(now).c_str(), names[idx], tag, msg.c_str());
+  }
+  if (n < 0) return;
+  auto len = static_cast<std::size_t>(n);
+  if (len >= sizeof(line)) {
+    // Truncated: keep the trailing newline and mark the cut.
+    len = sizeof(line) - 1;
+    std::memcpy(line + len - 5, "...\n", 5);
+    len -= 1;
+  }
+  std::fwrite(line, 1, len, stderr);
 }
 
 }  // namespace hipcloud::sim

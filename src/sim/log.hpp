@@ -15,6 +15,12 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 /// The level is atomic (relaxed): parallel sweep workers each run their
 /// own world but share this one process-wide filter, and the bench
 /// driver may flip it while workers log.
+///
+/// Emission is multi-thread clean: each line is formatted into a stack
+/// buffer and handed to stderr as ONE write, so concurrent shard workers
+/// can never interleave mid-line. A shard worker declares itself with
+/// set_shard_id(); every line it emits is then tagged "s<id>" so
+/// interleaved output from a parallel world run stays attributable.
 class Log {
  public:
   static LogLevel level() { return level_.load(std::memory_order_relaxed); }
@@ -28,7 +34,16 @@ class Log {
     return lvl >= level() && lvl < LogLevel::kOff;
   }
 
-  /// Emit one line: "[ 12.345ms] tag: message". Cheap no-op below level.
+  /// Tag every line emitted from the calling thread with the given shard
+  /// id (-1 = untagged; the single-threaded default). Thread-local: the
+  /// shard coordinator sets it on each worker before running a shard's
+  /// loop and clears it at teardown.
+  static void set_shard_id(int shard);
+  static int shard_id();
+
+  /// Emit one line: "[ 12.345ms] tag: message" (plus a "s<id>" column
+  /// when the calling thread declared a shard id). Cheap no-op below
+  /// level. One write(2)-style emission per line.
   static void write(LogLevel lvl, Time now, const char* tag,
                     const std::string& msg);
 

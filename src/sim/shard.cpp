@@ -1,0 +1,190 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "sim/check.hpp"
+#include "sim/log.hpp"
+
+namespace hipcloud::sim {
+
+std::size_t ShardCoordinator::add_shard(EventLoop* loop) {
+  const std::size_t id = shards_.size();
+  shards_.push_back(loop);
+  const std::size_t n = shards_.size();
+  // Resizing invalidates mailbox contents, so shards must all register
+  // before the first post()/run(); cells are addressed src * n + dst.
+  HIPCLOUD_CHECK(inbox_pending() == 0,
+                 "add_shard after cross-shard events were posted");
+  inboxes_.clear();
+  inboxes_.resize(n * n);
+  post_seq_.assign(n, 0);
+  return id;
+}
+
+void ShardCoordinator::post(std::size_t src, std::size_t dst, Time when,
+                            InlineFn fn) {
+  const std::size_t n = shards_.size();
+  HIPCLOUD_CHECK(src < n && dst < n, "cross-shard post outside the world");
+  Inbox& cell = inboxes_[src * n + dst];
+  cell.events.push_back(CrossEvent{when, post_seq_[src]++, std::move(fn)});
+}
+
+std::size_t ShardCoordinator::inbox_pending() const {
+  std::size_t total = 0;
+  for (const Inbox& cell : inboxes_) total += cell.events.size();
+  return total;
+}
+
+PerfCounters ShardCoordinator::merged_perf() const {
+  // Shard-id order, always: PerfCounters::merge folds the per-shard
+  // hashes commutatively, but the float-free counters here and the
+  // Summary/Histogram merges one level up are only byte-stable when the
+  // merge order itself is fixed — so the coordinator pins it to the id
+  // order regardless of which worker finished last.
+  PerfCounters merged;
+  for (const EventLoop* loop : shards_) merged.merge(loop->perf());
+  return merged;
+}
+
+void ShardCoordinator::drain_into(std::size_t dst) {
+  const std::size_t n = shards_.size();
+  struct Pending {
+    Time when;
+    std::uint32_t src;
+    std::uint64_t post_idx;
+    InlineFn fn;
+  };
+  std::vector<Pending> batch;
+  for (std::size_t src = 0; src < n; ++src) {
+    Inbox& cell = inboxes_[src * n + dst];
+    for (CrossEvent& e : cell.events) {
+      batch.push_back(Pending{e.when, static_cast<std::uint32_t>(src),
+                              e.post_idx, std::move(e.fn)});
+    }
+    cell.events.clear();
+  }
+  if (batch.empty()) return;
+  // (when, src shard, per-source post index) is a total order independent
+  // of drain timing, so the destination loop sees one canonical schedule
+  // sequence — its (when, seq) firing stream cannot depend on workers.
+  std::sort(batch.begin(), batch.end(), [](const Pending& a, const Pending& b) {
+    return std::tie(a.when, a.src, a.post_idx) <
+           std::tie(b.when, b.src, b.post_idx);
+  });
+  EventLoop* loop = shards_[dst];
+  for (Pending& p : batch) loop->schedule_at(p.when, std::move(p.fn));
+}
+
+void ShardCoordinator::record_failure() {
+  const std::lock_guard<std::mutex> lock(failure_mu_);
+  if (!first_failure_) first_failure_ = std::current_exception();
+  failed_.store(true, std::memory_order_relaxed);
+}
+
+std::size_t ShardCoordinator::run(Time until, unsigned workers) {
+  const std::size_t n = shards_.size();
+  if (n == 0) return 0;
+  if (workers < 1) workers = 1;
+  if (workers > n) workers = static_cast<unsigned>(n);
+  HIPCLOUD_CHECK(lookahead_ > 0, "shard lookahead must be positive");
+  failed_.store(false, std::memory_order_relaxed);
+  first_failure_ = nullptr;
+
+  std::uint64_t fired_before = 0;
+  for (const EventLoop* loop : shards_) fired_before += loop->perf().events_fired;
+
+  // Epoch state: written only inside the barrier completion (all workers
+  // parked) or before the workers start, read by workers after release —
+  // the barrier itself is the synchronization.
+  Time epoch_end = 0;
+  bool done = false;
+  auto advance = [&]() noexcept {
+    if (failed_.load(std::memory_order_relaxed)) {
+      done = true;
+      return;
+    }
+    // Skip-ahead: the next epoch starts at the earliest pending work
+    // anywhere (loop events or undrained inbox entries), so idle
+    // stretches cost one barrier round instead of (gap / lookahead).
+    Time min_next = -1;
+    for (EventLoop* loop : shards_) {
+      const Time t = loop->next_event_time();
+      if (t >= 0 && (min_next < 0 || t < min_next)) min_next = t;
+    }
+    for (const Inbox& cell : inboxes_) {
+      for (const CrossEvent& e : cell.events) {
+        if (min_next < 0 || e.when < min_next) min_next = e.when;
+      }
+    }
+    if (min_next < 0 || (until >= 0 && min_next > until)) {
+      done = true;
+      return;
+    }
+    epoch_end = min_next + lookahead_;
+    if (until >= 0 && epoch_end > until) epoch_end = until;
+  };
+
+  std::barrier drain_gate(static_cast<std::ptrdiff_t>(workers));
+  std::barrier sync(static_cast<std::ptrdiff_t>(workers), advance);
+
+  advance();  // compute the first epoch before any worker exists
+
+  auto worker_main = [&](unsigned w) {
+    while (!done) {
+      // Phase A: drain inboxes filled during the previous epoch. The
+      // drain_gate keeps phase-B posts (into cells another worker may
+      // still be draining) from starting early.
+      if (!failed_.load(std::memory_order_relaxed)) {
+        try {
+          for (std::size_t s = w; s < n; s += workers) drain_into(s);
+        } catch (...) {
+          record_failure();
+        }
+      }
+      drain_gate.arrive_and_wait();
+      // Phase B: run each owned shard's loop through the epoch. Static
+      // id-striped ownership: assignment affects only wall time, never
+      // what any shard executes.
+      if (!failed_.load(std::memory_order_relaxed)) {
+        try {
+          for (std::size_t s = w; s < n; s += workers) {
+            Log::set_shard_id(static_cast<int>(s));
+            shards_[s]->run(epoch_end);
+          }
+        } catch (...) {
+          record_failure();
+        }
+        Log::set_shard_id(-1);
+      }
+      sync.arrive_and_wait();  // completion computes the next epoch
+    }
+  };
+
+  if (workers == 1) {
+    worker_main(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (first_failure_) std::rethrow_exception(first_failure_);
+
+  if (until >= 0) {
+    // Leave every clock at exactly `until` (EventLoop::run semantics for
+    // bounded runs); nothing fires — the termination check proved no
+    // event at or before `until` remains anywhere.
+    for (EventLoop* loop : shards_) loop->run(until);
+  }
+
+  std::uint64_t fired_after = 0;
+  for (const EventLoop* loop : shards_) fired_after += loop->perf().events_fired;
+  return static_cast<std::size_t>(fired_after - fired_before);
+}
+
+}  // namespace hipcloud::sim

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/inline_fn.hpp"
+#include "sim/perf.hpp"
+#include "sim/time.hpp"
+
+namespace hipcloud::sim {
+
+/// Conservative parallel discrete-event coordinator: N single-threaded
+/// EventLoops (one per shard) advance in lockstep epochs whose length is
+/// the cross-shard *lookahead* — the minimum latency of any cross-shard
+/// link. Within an epoch every shard is causally independent (nothing one
+/// shard emits can reach another before the epoch ends), so the shards'
+/// loops run concurrently on worker threads with no locks on the hot
+/// path.
+///
+/// Cross-shard traffic flows through per-(src,dst) inboxes:
+///
+///  - During an epoch, a shard posts a cross-shard event with post():
+///    an absolute firing time plus a callback. Each (src,dst) cell has
+///    exactly one writer (the source shard's worker), so appends are
+///    plain vector pushes — no locks, no atomics.
+///  - At the epoch barrier, each destination drains the cells addressed
+///    to it, sorts the entries by (when, src shard, source post index),
+///    and schedules them into its own loop. The two barrier crossings
+///    between a post and its drain give the happens-before edge.
+///
+/// Determinism: the shard partition is part of the world's topology, and
+/// nothing in the epoch schedule, drain order, or per-loop event order
+/// depends on the number of worker threads or on OS scheduling. The
+/// per-loop (when, seq) firing streams — and therefore every per-shard
+/// FNV-1a determinism hash and their shard-id-order merge — are
+/// byte-identical whether the same world runs on 1 worker or N.
+class ShardCoordinator {
+ public:
+  ShardCoordinator() = default;
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// Register a shard's loop; returns its shard id (dense, 0-based).
+  /// All shards must be added before the first run().
+  std::size_t add_shard(EventLoop* loop);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  EventLoop* shard(std::size_t id) { return shards_[id]; }
+
+  /// Epoch length. Must be positive and no larger than the minimum
+  /// cross-shard delivery latency, or conservative synchronization is
+  /// violated (a post could land inside the epoch that issued it).
+  /// Callers building worlds shrink this to their minimum cross link
+  /// latency before running.
+  void set_lookahead(Duration lookahead) { lookahead_ = lookahead; }
+  Duration lookahead() const { return lookahead_; }
+
+  /// Post a cross-shard event: run `fn` in shard `dst`'s loop at absolute
+  /// time `when`. Called only from `src`'s worker during an epoch (or
+  /// from the setup thread before run()); the lookahead contract requires
+  /// `when` to be at or beyond the end of the posting epoch.
+  void post(std::size_t src, std::size_t dst, Time when, InlineFn fn);
+
+  /// Run every shard to `until` (inclusive, like EventLoop::run; pass -1
+  /// to run until all loops and inboxes drain) using `workers` threads.
+  /// workers is clamped to [1, shard_count]; 1 runs inline on the caller.
+  /// Returns the total number of events fired across all shards.
+  std::size_t run(Time until, unsigned workers = 1);
+
+  /// Cross-shard events still waiting in inboxes (only meaningful between
+  /// runs; exposed for tests).
+  std::size_t inbox_pending() const;
+
+  /// Per-shard counters merged in shard-id order — never in worker
+  /// completion order — so the merged stream (and the JSON it feeds) is
+  /// byte-identical for every worker count.
+  PerfCounters merged_perf() const;
+
+  /// The world determinism hash: the shard-id-order merge of the
+  /// per-shard FNV-1a firing streams.
+  std::uint64_t world_hash() const { return merged_perf().determinism_hash; }
+
+ private:
+  struct CrossEvent {
+    Time when;
+    std::uint64_t post_idx;  // per-source posting counter: drain tiebreak
+    InlineFn fn;
+  };
+  /// One single-writer mailbox per (src,dst) shard pair.
+  struct Inbox {
+    std::vector<CrossEvent> events;
+  };
+
+  void drain_into(std::size_t dst);
+  void record_failure();
+
+  std::vector<EventLoop*> shards_;
+  std::vector<Inbox> inboxes_;            // src * shard_count + dst
+  std::vector<std::uint64_t> post_seq_;   // per-source posting counters
+  Duration lookahead_ = from_micros(50);
+
+  // Per-run worker failure funnel: a throwing shard callback must not
+  // deadlock the barrier protocol, so workers record here, go passive,
+  // and the epoch completion shuts the run down.
+  std::atomic<bool> failed_{false};
+  std::mutex failure_mu_;
+  std::exception_ptr first_failure_;
+};
+
+}  // namespace hipcloud::sim

@@ -51,6 +51,15 @@ double Summary::percentile(double q) const {
   return samples_[rank - 1];
 }
 
+// ORDER-SENSITIVE: Chan's parallel-Welford combination below is exact in
+// real arithmetic but not associative in floating point — merging shard
+// B then C produces bit-different mean_/m2_ than C then B, and the
+// sample concatenation order decides percentile ties. Aggregators MUST
+// merge partial summaries in a fixed structural order (shard id, sweep
+// job index), never in worker-completion order, or the BENCH_*.json
+// bytes stop being reproducible across thread counts.
+// sim::ShardCoordinator::merged_perf and the bench sweeps already do;
+// tests/sim/stats_test pins the contract.
 void Summary::merge(const Summary& o) {
   if (o.samples_.empty()) return;
   if (samples_.empty()) {

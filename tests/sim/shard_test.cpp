@@ -1,0 +1,253 @@
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/check.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace hipcloud::sim {
+namespace {
+
+constexpr Duration kLookahead = from_micros(100);
+
+/// A deterministic synthetic multi-shard world: every shard runs a
+/// self-rescheduling tick chain, folds what it sees into a local
+/// accumulator, and every third tick posts a cross-shard event to the
+/// next shard (which in turn schedules a local follow-up). The whole
+/// construction is a pure function of (shards, ticks); only the worker
+/// count at run() time varies across test runs.
+struct SyntheticWorld {
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  ShardCoordinator coord;
+  std::vector<std::uint64_t> acc;       // written only by the owning shard
+  std::vector<std::uint64_t> arrivals;  // cross-event count per shard
+
+  SyntheticWorld(std::size_t shards, int ticks) : acc(shards), arrivals(shards) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      loops.push_back(std::make_unique<EventLoop>());
+      coord.add_shard(loops.back().get());
+    }
+    coord.set_lookahead(kLookahead);
+    for (std::size_t s = 0; s < shards; ++s) {
+      schedule_tick(s, shards, /*tick=*/0, ticks);
+    }
+  }
+
+  void fold(std::size_t s, std::uint64_t word) {
+    acc[s] = (acc[s] ^ word) * 1099511628211ULL;
+  }
+
+  void schedule_tick(std::size_t s, std::size_t shards, int tick, int ticks) {
+    if (tick >= ticks) return;
+    const Duration step = from_micros(10 + static_cast<int>(s));
+    loops[s]->schedule(step, [this, s, shards, tick, ticks] {
+      fold(s, static_cast<std::uint64_t>(loops[s]->now()));
+      fold(s, static_cast<std::uint64_t>(tick));
+      if (tick % 3 == 0 && shards > 1) {
+        const std::size_t dst = (s + 1) % shards;
+        // Lookahead contract: the post lands at or beyond the end of the
+        // epoch that issued it.
+        const Time when = loops[s]->now() + kLookahead + from_micros(7);
+        coord.post(s, dst, when, [this, dst, s] {
+          ++arrivals[dst];
+          fold(dst, 0x9e3779b97f4a7c15ULL + s);
+          loops[dst]->schedule(from_micros(5),
+                               [this, dst] { fold(dst, 0xfeedULL); });
+        });
+      }
+      schedule_tick(s, shards, tick + 1, ticks);
+    });
+  }
+};
+
+struct RunResult {
+  std::uint64_t hash;
+  std::uint64_t fired;
+  std::vector<std::uint64_t> acc;
+  std::vector<std::uint64_t> arrivals;
+  std::vector<Time> clocks;
+};
+
+RunResult run_world(std::size_t shards, int ticks, Time until,
+                    unsigned workers) {
+  SyntheticWorld w(shards, ticks);
+  w.coord.run(until, workers);
+  RunResult r;
+  r.hash = w.coord.world_hash();
+  r.fired = w.coord.merged_perf().events_fired;
+  r.acc = w.acc;
+  r.arrivals = w.arrivals;
+  for (auto& loop : w.loops) r.clocks.push_back(loop->now());
+  return r;
+}
+
+TEST(ShardCoordinator, HashByteIdenticalAcrossWorkerCounts) {
+  const Time until = from_millis(3);
+  const RunResult base = run_world(8, 40, until, 1);
+  EXPECT_GT(base.fired, 0u);
+  EXPECT_GT(base.arrivals[1], 0u);
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    const RunResult r = run_world(8, 40, until, workers);
+    EXPECT_EQ(r.hash, base.hash) << "workers=" << workers;
+    EXPECT_EQ(r.fired, base.fired) << "workers=" << workers;
+    EXPECT_EQ(r.acc, base.acc) << "workers=" << workers;
+    EXPECT_EQ(r.arrivals, base.arrivals) << "workers=" << workers;
+    EXPECT_EQ(r.clocks, base.clocks) << "workers=" << workers;
+  }
+}
+
+TEST(ShardCoordinator, DrainToCompletionMatchesBoundedRun) {
+  // until = -1 runs until every loop and inbox drains; the event streams
+  // must still be worker-count independent.
+  const RunResult base = run_world(4, 30, -1, 1);
+  for (const unsigned workers : {2u, 4u}) {
+    const RunResult r = run_world(4, 30, -1, workers);
+    EXPECT_EQ(r.hash, base.hash);
+    EXPECT_EQ(r.acc, base.acc);
+  }
+}
+
+TEST(ShardCoordinator, CrossShardDeliveryAtExactLookaheadBoundary) {
+  // A post whose arrival lands exactly one lookahead ahead — the tightest
+  // legal cross-shard delivery — must fire at precisely that virtual
+  // time in the destination, at every worker count.
+  for (const unsigned workers : {1u, 2u}) {
+    std::vector<std::unique_ptr<EventLoop>> loops;
+    ShardCoordinator coord;
+    for (int s = 0; s < 2; ++s) {
+      loops.push_back(std::make_unique<EventLoop>());
+      coord.add_shard(loops.back().get());
+    }
+    coord.set_lookahead(kLookahead);
+    Time boundary_fire = -1;
+    Time far_fire = -1;
+    loops[0]->schedule_at(0, [&] {
+      coord.post(0, 1, kLookahead,
+                 [&] { boundary_fire = loops[1]->now(); });
+      coord.post(0, 1, 3 * kLookahead + from_micros(50),
+                 [&] { far_fire = loops[1]->now(); });
+    });
+    coord.run(from_millis(1), workers);
+    EXPECT_EQ(boundary_fire, kLookahead) << "workers=" << workers;
+    EXPECT_EQ(far_fire, 3 * kLookahead + from_micros(50))
+        << "workers=" << workers;
+    EXPECT_EQ(loops[0]->now(), from_millis(1));
+    EXPECT_EQ(loops[1]->now(), from_millis(1));
+  }
+}
+
+TEST(ShardCoordinator, DrainOrderIsWhenThenSourceThenPostIndex) {
+  // Three sources post events for the same destination instant; the
+  // drain must schedule them by (when, src shard, post index), never by
+  // which worker drained first.
+  for (const unsigned workers : {1u, 4u}) {
+    std::vector<std::unique_ptr<EventLoop>> loops;
+    ShardCoordinator coord;
+    for (int s = 0; s < 4; ++s) {
+      loops.push_back(std::make_unique<EventLoop>());
+      coord.add_shard(loops.back().get());
+    }
+    coord.set_lookahead(kLookahead);
+    std::vector<int> order;
+    const Time when = kLookahead + from_micros(1);
+    // Post from sources 3, 1, 2 (registration order must not matter) —
+    // plus a second event from source 1 to exercise the post index.
+    loops[3]->schedule_at(0, [&] {
+      coord.post(3, 0, when, [&] { order.push_back(30); });
+    });
+    loops[1]->schedule_at(0, [&] {
+      coord.post(1, 0, when, [&] { order.push_back(10); });
+      coord.post(1, 0, when, [&] { order.push_back(11); });
+    });
+    loops[2]->schedule_at(0, [&] {
+      coord.post(2, 0, when, [&] { order.push_back(20); });
+    });
+    coord.run(from_millis(1), workers);
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 30}))
+        << "workers=" << workers;
+  }
+}
+
+TEST(ShardCoordinator, SkipAheadOverIdleStretches) {
+  // Two events a long idle gap apart: the coordinator must not grind
+  // through (gap / lookahead) empty epochs. events_fired and the final
+  // clock prove the far event still fires at its exact time.
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  ShardCoordinator coord;
+  for (int s = 0; s < 2; ++s) {
+    loops.push_back(std::make_unique<EventLoop>());
+    coord.add_shard(loops.back().get());
+  }
+  coord.set_lookahead(kLookahead);
+  Time fired_at = -1;
+  loops[0]->schedule_at(from_micros(5), [] {});
+  loops[1]->schedule_at(from_seconds(10), [&] { fired_at = loops[1]->now(); });
+  coord.run(from_seconds(11), 2);
+  EXPECT_EQ(fired_at, from_seconds(10));
+  EXPECT_EQ(coord.merged_perf().events_fired, 2u);
+}
+
+TEST(ShardCoordinator, MergedPerfIsShardIdOrderAndWorkerInvariant) {
+  SyntheticWorld w(4, 20);
+  w.coord.run(from_millis(2), 4);
+  // Manual shard-id-order merge must match what the coordinator reports.
+  PerfCounters manual;
+  for (std::size_t s = 0; s < 4; ++s) manual.merge(w.loops[s]->perf());
+  const PerfCounters merged = w.coord.merged_perf();
+  EXPECT_EQ(merged.determinism_hash, manual.determinism_hash);
+  EXPECT_EQ(merged.events_fired, manual.events_fired);
+  EXPECT_EQ(merged.events_scheduled, manual.events_scheduled);
+}
+
+TEST(ShardCoordinator, CallbackFailurePropagatesWithoutDeadlock) {
+  for (const unsigned workers : {1u, 2u}) {
+    std::vector<std::unique_ptr<EventLoop>> loops;
+    ShardCoordinator coord;
+    for (int s = 0; s < 2; ++s) {
+      loops.push_back(std::make_unique<EventLoop>());
+      coord.add_shard(loops.back().get());
+    }
+    coord.set_lookahead(kLookahead);
+    loops[1]->schedule_at(from_micros(10), [] {
+      throw CheckFailure("synthetic shard failure");
+    });
+    loops[0]->schedule_at(from_micros(1), [] {});
+    EXPECT_THROW(coord.run(from_millis(1), workers), CheckFailure);
+  }
+}
+
+TEST(SummaryMerge, FixedOrderMergesAreByteIdentical) {
+  // Chan's combination is order-sensitive in floating point; the contract
+  // is that merging the same partials in the same (shard-id) order twice
+  // yields bit-identical state. See Summary::merge.
+  std::vector<Summary> parts(4);
+  std::uint64_t x = 88172645463325252ULL;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    for (int i = 0; i < 1000; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      parts[s].add(static_cast<double>(x % 100000) / 7.0);
+    }
+  }
+  Summary a;
+  for (const Summary& p : parts) a.merge(p);
+  Summary b;
+  for (const Summary& p : parts) b.merge(p);
+  // Bit-level equality, not EXPECT_DOUBLE_EQ: the JSON writers print
+  // these values, and the bytes must reproduce.
+  const double ma = a.mean(), mb = b.mean();
+  const double va = a.stddev(), vb = b.stddev();
+  EXPECT_EQ(std::memcmp(&ma, &mb, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&va, &vb, sizeof(double)), 0);
+  EXPECT_EQ(a.percentile(99), b.percentile(99));
+}
+
+}  // namespace
+}  // namespace hipcloud::sim

@@ -1,0 +1,26 @@
+// Fixture: the legal way across the shard seam — the callback owns its
+// bytes (captured by value / moved), so nothing pooled or frame-local
+// crosses to the destination shard's thread. No findings expected.
+#include <cstdint>
+#include <utility>
+
+struct Buffer {
+  Buffer() = default;
+  Buffer(Buffer&&) noexcept;
+  std::uint8_t* data();
+  unsigned size() const;
+};
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+Buffer stage_unpooled_copy(const Buffer& pooled);
+
+void cross_shard_staged(ShardCoordinator& coord, const Buffer& pooled) {
+  Buffer staged = stage_unpooled_copy(pooled);
+  coord.post(0, 1, 100, [owned = std::move(staged)]() mutable {
+    owned.data()[0] = 0;
+  });
+}

@@ -1,0 +1,32 @@
+// Fixture: the shard-thread seam. A cross-shard post is a suspension
+// point executed later on ANOTHER shard's thread, so a pooled-buffer
+// pointer captured into the posted callback outlives both this frame
+// and the pool's thread — the exact hazard CrossLinkHalf avoids by
+// staging an unpooled copy before coord.post().
+#include <cstdint>
+#include <utility>
+
+struct Buffer {
+  std::uint8_t* data();
+  std::uint8_t* prepend(unsigned n);
+  unsigned size() const;
+};
+
+struct Pool {
+  Buffer make(unsigned n, unsigned headroom, unsigned tailroom);
+};
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+void consume(Buffer b);
+
+void cross_shard_escape(Pool& pool, ShardCoordinator& coord) {
+  Buffer wire = pool.make(256, 32, 16);
+  std::uint8_t* payload = wire.data();
+  // hipcheck:expect(flow-buffer-lifetime)
+  coord.post(0, 1, 100, [payload] { payload[0] = 0; });
+  consume(std::move(wire));
+}

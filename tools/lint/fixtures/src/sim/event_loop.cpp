@@ -1,0 +1,9 @@
+// Fixture impersonating a core src/sim/ file: the sim:: layer owns
+// virtual time, so the wall-clock rule stays silent here (no expects) —
+// this is the carve-out boundary's other side, paired with shard.cpp.
+#include <chrono>
+
+long fixture_sim_core_clock() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,14 @@
+// Fixture impersonating src/sim/shard.cpp: the shard seam runs on real
+// worker threads, so the sim/ wall-clock exemption must NOT cover it —
+// a clock or entropy read inside the shard loop leaks host scheduling
+// straight into the world hash.
+#include <chrono>
+#include <random>
+
+long fixture_shard_seam() {
+  // hipcheck:expect(wall-clock)
+  auto epoch_start = std::chrono::steady_clock::now();
+  // hipcheck:expect(wall-clock)
+  std::random_device seed;
+  return epoch_start.time_since_epoch().count() + seed();
+}

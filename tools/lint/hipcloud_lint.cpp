@@ -255,7 +255,11 @@ void rule_wall_clock(const std::string& path, const std::vector<Token>& t,
                      std::vector<Finding>& out) {
   // The sim:: layer owns virtual time and the seeded DRBG; everything
   // else must get time from the event loop and entropy from sim::Rng.
-  if (under(path, "src/sim/")) return;
+  // One carve-out inside sim/: the shard seam (src/sim/shard.*) runs on
+  // real worker threads, where a wall-clock or entropy read is exactly
+  // the cross-thread determinism leak this rule exists to catch — the
+  // exemption does not extend to it.
+  if (under(path, "src/sim/") && !under(path, "src/sim/shard.")) return;
   static const std::set<std::string> kClocks = {
       "steady_clock", "system_clock", "high_resolution_clock"};
   for (std::size_t i = 0; i < t.size(); ++i) {
@@ -521,7 +525,11 @@ int run_self_test(const fs::path& dir) {
   std::sort(paths.begin(), paths.end());
   for (const fs::path& p : paths) {
     ++checked;
-    const std::string rel = p.filename().generic_string();
+    // Relative to the fixture root, so fixtures in subdirectories can
+    // impersonate tree paths and exercise path-scoped rules (e.g.
+    // fixtures/src/sim/shard.cpp tests the sim/ wall-clock carve-out).
+    // Top-level fixtures keep their bare filename as before.
+    const std::string rel = fs::relative(p, dir).generic_string();
     FileResult r = lint_file(p, rel, /*self_test=*/true);
 
     // Every finding (and pragma error) must be annotated with an expect
