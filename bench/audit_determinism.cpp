@@ -41,6 +41,7 @@
 
 #include "cloud/shard_fabric.hpp"
 #include "core/secure_service.hpp"
+#include "core/sharded_service.hpp"
 #include "core/testbed.hpp"
 #include "sweep.hpp"
 
@@ -160,6 +161,38 @@ ShardRunResult run_sharded_world(std::size_t racks,
   return ShardRunResult{perf.determinism_hash, perf.events_fired};
 }
 
+/// The same worker-invariance check over *real* traffic: a sharded RUBiS
+/// + reverse-proxy deployment in HIP mode, so closed-loop HTTP requests,
+/// BEET-ESP tunnels and the batched-crypto datapath all cross the shard
+/// seams. Every request, retransmit and ESP packet must land identically
+/// at any worker count.
+ShardRunResult run_sharded_rubis(bool quick, unsigned workers) {
+  namespace cloud = hipcloud::cloud;
+  namespace core = hipcloud::core;
+  namespace sim = hipcloud::sim;
+
+  cloud::FabricConfig fcfg;
+  fcfg.racks = quick ? 4u : 6u;
+  fcfg.hosts_per_rack = 1;
+  fcfg.vms_per_host = 1;
+  cloud::ShardedFabric fabric(fcfg);
+
+  core::ShardedServiceConfig scfg;
+  scfg.mode = core::SecurityMode::kHip;
+  scfg.dataset.items = 200;
+  scfg.dataset.users = 50;
+  scfg.dataset.bids = 400;
+  scfg.clients_per_rack = 2;
+  scfg.duration = (quick ? 2 : 4) * sim::kSecond;
+  core::ShardedService service(fabric, scfg);
+  service.prepare();
+  fabric.run(sim::kSecond, workers);  // BEX warm-up
+  service.start_clients();
+  fabric.run((quick ? 5 : 8) * sim::kSecond, workers);
+  const auto perf = fabric.merged_perf();
+  return ShardRunResult{perf.determinism_hash, perf.events_fired};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +287,29 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(got.events),
           static_cast<unsigned long long>(shard_ref.hash),
           static_cast<unsigned long long>(shard_ref.events));
+    } else {
+      std::printf("  ok %u workers  0x%016llx\n", workers,
+                  static_cast<unsigned long long>(got.hash));
+    }
+  }
+
+  // --- sharded RUBiS section: real HIP/ESP traffic across the seams ---
+  std::printf("\nSharded RUBiS audit (HIP mode) at 1/2/4/8 workers\n");
+  const ShardRunResult rubis_ref = run_sharded_rubis(quick, 1);
+  std::printf("  serial    0x%016llx  (%llu events)\n",
+              static_cast<unsigned long long>(rubis_ref.hash),
+              static_cast<unsigned long long>(rubis_ref.events));
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    const ShardRunResult got = run_sharded_rubis(quick, workers);
+    if (got.hash != rubis_ref.hash || got.events != rubis_ref.events) {
+      ++mismatches;
+      std::printf(
+          "  MISMATCH %u workers: hash 0x%016llx (%llu events) vs serial "
+          "0x%016llx (%llu events)\n",
+          workers, static_cast<unsigned long long>(got.hash),
+          static_cast<unsigned long long>(got.events),
+          static_cast<unsigned long long>(rubis_ref.hash),
+          static_cast<unsigned long long>(rubis_ref.events));
     } else {
       std::printf("  ok %u workers  0x%016llx\n", workers,
                   static_cast<unsigned long long>(got.hash));

@@ -1,24 +1,45 @@
 // Sharded-simulator scaling curve (BENCH_scale.json).
 //
-// One fixed 8-rack ShardedFabric world (8 shards, 32 VMs) is driven with
-// N cross-rack probe "clients" for N in {1k, 10k, 100k, 1M}, and the same
-// world is run at 1/2/4/8 worker threads. Two speedup numbers come out:
+// Three sections:
 //
-//   speedup_wall_vs_1      measured wall-clock ratio. Only meaningful on
-//                          a multi-core host — the JSON records host_cpus
-//                          so a 1-core CI box's flat curve reads as what
-//                          it is, not as a regression.
-//   speedup_workspan_vs_1  work/span bound from the actual per-shard
-//                          event counts and the round-robin shard->worker
-//                          assignment: total events fired divided by the
-//                          busiest worker's share. This is the speedup
-//                          the partition itself admits, independent of
-//                          how many cores the host happens to have.
+//  1. scale   One fixed 8-rack ShardedFabric world (8 shards, 32 VMs)
+//             driven with N cross-rack probe "clients" for N in
+//             {1k, 10k, 100k, 1M}, run at 1/2/4/8 worker threads plus an
+//             auto-planned run (workers=0: the coordinator clamps the
+//             worker count to the work actually on hand, so tiny worlds
+//             no longer pay 8 threads' barrier overhead for 1 thread's
+//             work). Two speedup numbers come out:
+//
+//               speedup_wall_vs_1      measured wall-clock ratio; only
+//                                      meaningful on a multi-core host
+//                                      (host_cpus is recorded).
+//               speedup_workspan_vs_1  work/span bound from per-shard
+//                                      event counts — the speedup the
+//                                      partition admits, independent of
+//                                      the host.
+//
+//             Each run also reports the coordinator's schedule shape:
+//             barrier epochs, events per epoch, per-shard strides and
+//             wall time lost inside the two barriers.
+//
+//  2. adaptive_ablation  A heterogeneous 8-rack / 4-pod fabric (fast
+//             100 us seams inside a pod, 5 ms seams between pods) with
+//             phase-staggered per-rack traffic, run with per-pair
+//             adaptive lookahead vs the global-min horizon. The world
+//             hash and event count must be byte-identical — only the
+//             slicing may change — and the adaptive run must need
+//             strictly fewer epochs. The binary fails otherwise.
+//
+//  3. rubis   The sharded RUBiS + reverse-proxy service (HIP mode, ESP
+//             on every proxy->web and web->db hop) at growing
+//             closed-loop client farms, run at every worker count: real
+//             protocol traffic through the parallel worlds, not probe
+//             datagrams.
 //
 // The determinism hash is asserted byte-identical across every worker
-// count at every scale point — a scaling curve from a world whose
-// behaviour drifts with thread count would be meaningless. The binary
-// exits non-zero on any hash mismatch, so check.sh --scale doubles as a
+// count at every point — a scaling curve from a world whose behaviour
+// drifts with thread count would be meaningless. The binary exits
+// non-zero on any violation, so check.sh --scale doubles as a
 // large-world determinism gate.
 
 #include <chrono>
@@ -30,6 +51,7 @@
 #include <vector>
 
 #include "cloud/shard_fabric.hpp"
+#include "core/sharded_service.hpp"
 #include "net/node.hpp"
 #include "sim/time.hpp"
 
@@ -40,17 +62,35 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kRacks = 8;
-constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+constexpr unsigned kWorkerCounts[] = {1, 2, 4, 8};
 
 struct RunStats {
-  unsigned workers = 0;
+  unsigned workers = 0;        // as requested (0 = auto)
+  unsigned workers_planned = 0;  // what the coordinator actually used
   double wall_seconds = 0.0;
   std::uint64_t hash = 0;
   std::uint64_t events_fired = 0;
   std::uint64_t payload_bytes_copied = 0;  // cross-shard seam traffic
+  std::uint64_t epochs = 0;
+  std::uint64_t strides = 0;
+  double events_per_epoch = 0.0;
+  double barrier_wait_ms = 0.0;
   double workspan_speedup = 1.0;
   std::vector<std::uint64_t> shard_events;
 };
+
+void fill_coordinator_stats(cloud::ShardedFabric& fabric, RunStats& s) {
+  const auto perf = fabric.merged_perf();
+  s.hash = perf.determinism_hash;
+  s.events_fired = perf.events_fired;
+  s.payload_bytes_copied = perf.payload_bytes_copied;
+  s.epochs = perf.shard_epochs;
+  s.strides = perf.shard_strides;
+  s.events_per_epoch = perf.events_per_epoch();
+  s.barrier_wait_ms =
+      static_cast<double>(fabric.world().coordinator().barrier_wait_ns()) /
+      1e6;
+}
 
 /// Build the fixed fabric, pre-schedule `clients` cross-rack UDP probes
 /// (round-robin over the 32 VMs, fixed per-VM period, each probe aimed at
@@ -104,25 +144,25 @@ RunStats run_scale_point(std::size_t clients, unsigned workers) {
         });
   }
 
+  const unsigned planned = fabric.world().coordinator().plan_workers(workers);
   const auto t0 = Clock::now();
   fabric.run(horizon + sim::from_millis(10), workers);
   const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
 
   RunStats s;
   s.workers = workers;
+  s.workers_planned = planned;
   s.wall_seconds = wall;
-  const auto perf = fabric.merged_perf();
-  s.hash = perf.determinism_hash;
-  s.events_fired = perf.events_fired;
-  s.payload_bytes_copied = perf.payload_bytes_copied;
+  fill_coordinator_stats(fabric, s);
   for (std::size_t sh = 0; sh < kRacks; ++sh) {
     s.shard_events.push_back(fabric.world().shard(sh).perf().events_fired);
   }
   // Work/span bound: total events over the busiest worker's events under
   // the coordinator's round-robin shard ownership (shard s -> worker s%w).
-  std::vector<std::uint64_t> per_worker(workers, 0);
+  const unsigned span_workers = planned == 0 ? 1 : planned;
+  std::vector<std::uint64_t> per_worker(span_workers, 0);
   for (std::size_t sh = 0; sh < s.shard_events.size(); ++sh) {
-    per_worker[sh % workers] += s.shard_events[sh];
+    per_worker[sh % span_workers] += s.shard_events[sh];
   }
   std::uint64_t span = 0;
   for (const std::uint64_t w : per_worker) span = std::max(span, w);
@@ -133,13 +173,153 @@ RunStats run_scale_point(std::size_t clients, unsigned workers) {
   return s;
 }
 
+// --- adaptive-lookahead ablation --------------------------------------------
+
+/// Heterogeneous fabric: 4 pods of 2 racks; 100 us seams inside a pod,
+/// 5 ms between pods. Traffic is phase-staggered so at any instant one
+/// rack of each pod is bursting probes at the *other pods* while its pod
+/// sibling idles — exactly the shape where a per-pair horizon lets busy
+/// shards stride far past the global-min epoch length (bounded only by
+/// the slow seams and the idle sibling's distant next-event time).
+RunStats run_hetero_point(bool adaptive, unsigned workers,
+                          sim::Duration duration) {
+  cloud::FabricConfig cfg;
+  cfg.racks = kRacks;
+  cfg.hosts_per_rack = 1;
+  cfg.vms_per_host = 1;
+  cfg.racks_per_pod = 2;
+  cfg.cross_pod.latency = sim::from_millis(5);
+  cloud::ShardedFabric fabric(cfg);
+  fabric.world().coordinator().set_adaptive(adaptive);
+
+  std::vector<net::IpAddr> vm_ip;
+  std::vector<net::Node*> vm_node;
+  for (std::size_t r = 0; r < kRacks; ++r) {
+    vm_ip.emplace_back(fabric.rack_vms(r)[0]->private_ip());
+    vm_node.push_back(fabric.rack_vms(r)[0]->node());
+    vm_node.back()->register_protocol(net::IpProto::kUdp,
+                                      [](net::Packet&&) {});
+  }
+
+  // Rack r is active during window r (mod kRacks) of a rotating cycle;
+  // during its window it probes the same-slot VM of every *other pod*
+  // every 250 us. Its pod sibling is idle then, so the sibling's clock
+  // can run ahead and the fast intra-pod seam never throttles anyone.
+  const sim::Duration window = sim::from_millis(2);
+  const sim::Duration probe_gap = sim::from_micros(250);
+  for (std::size_t r = 0; r < kRacks; ++r) {
+    for (sim::Time cycle = 0; cycle < duration;
+         cycle += static_cast<sim::Duration>(kRacks) * window) {
+      const sim::Time start =
+          cycle + static_cast<sim::Duration>(r) * window;
+      for (sim::Time t = start; t < start + window; t += probe_gap) {
+        for (std::size_t peer = 0; peer < kRacks; ++peer) {
+          if (fabric.pod_of(peer) == fabric.pod_of(r)) continue;
+          fabric.world().shard(r).loop().schedule_at(
+              t, [&fabric, &vm_ip, &vm_node, r, peer] {
+                net::Packet pkt;
+                pkt.src = vm_ip[r];
+                pkt.dst = vm_ip[peer];
+                pkt.proto = net::IpProto::kUdp;
+                pkt.payload = fabric.world().shard(r).buffer_pool().make(200);
+                pkt.stamp_l3_overhead();
+                vm_node[r]->send(std::move(pkt));
+              });
+        }
+      }
+    }
+  }
+
+  const auto t0 = Clock::now();
+  fabric.run(duration + sim::from_millis(20), workers);
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunStats s;
+  s.workers = workers;
+  s.workers_planned = workers;
+  s.wall_seconds = wall;
+  fill_coordinator_stats(fabric, s);
+  return s;
+}
+
+// --- sharded RUBiS section ---------------------------------------------------
+
+struct RubisStats {
+  RunStats run;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t esp_packets = 0;
+};
+
+/// Real traffic: the RUBiS + reverse-proxy service in HIP mode across a
+/// kRacks-rack fabric, `farm_users` closed-loop users per rack farm.
+RubisStats run_rubis_point(int farm_users, unsigned workers,
+                           sim::Duration duration) {
+  cloud::FabricConfig fcfg;
+  fcfg.racks = kRacks;
+  fcfg.hosts_per_rack = 1;
+  fcfg.vms_per_host = 1;
+  cloud::ShardedFabric fabric(fcfg);
+
+  core::ShardedServiceConfig scfg;
+  scfg.mode = core::SecurityMode::kHip;
+  scfg.dataset.items = 500;
+  scfg.dataset.users = 100;
+  scfg.dataset.bids = 1000;
+  scfg.clients_per_rack = farm_users;
+  scfg.duration = duration;
+  core::ShardedService service(fabric, scfg);
+  service.prepare();
+  fabric.run(sim::kSecond, workers);  // BEX warm-up window
+  service.start_clients();
+
+  const auto t0 = Clock::now();
+  fabric.run(sim::kSecond + duration + 3 * sim::kSecond, workers);
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RubisStats rs;
+  rs.run.workers = workers;
+  rs.run.workers_planned = workers;
+  rs.run.wall_seconds = wall;
+  fill_coordinator_stats(fabric, rs.run);
+  const auto report = service.report();
+  rs.completed = report.completed;
+  rs.errors = report.errors;
+  rs.esp_packets = service.total_esp_packets();
+  return rs;
+}
+
+// --- reporting ---------------------------------------------------------------
+
 struct ScalePoint {
   std::size_t clients = 0;
   std::vector<RunStats> runs;
   bool hash_identical = true;
 };
 
+struct RubisPoint {
+  int total_clients = 0;
+  std::vector<RubisStats> runs;
+  bool hash_identical = true;
+};
+
+void write_run_json(std::FILE* f, const RunStats& r, double wall1,
+                    const char* trailer) {
+  std::fprintf(f,
+               "        {\"workers\": %u, \"workers_planned\": %u, "
+               "\"wall_seconds\": %.4f, \"speedup_wall_vs_1\": %.3f, "
+               "\"speedup_workspan_vs_1\": %.3f, \"epochs\": %" PRIu64
+               ", \"events_per_epoch\": %.1f, \"shard_strides\": %" PRIu64
+               ", \"barrier_wait_ms\": %.2f}%s\n",
+               r.workers, r.workers_planned, r.wall_seconds,
+               r.wall_seconds > 0 ? wall1 / r.wall_seconds : 0.0,
+               r.workspan_speedup, r.epochs, r.events_per_epoch, r.strides,
+               r.barrier_wait_ms, trailer);
+}
+
 void write_scale_json(const std::vector<ScalePoint>& points,
+                      const std::vector<RunStats>& hetero,
+                      const std::vector<RubisPoint>& rubis,
                       const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -157,7 +337,8 @@ void write_scale_json(const std::vector<ScalePoint>& points,
                "  \"note\": \"speedup_wall_vs_1 is measured wall clock and "
                "is bounded by host_cpus; speedup_workspan_vs_1 is the "
                "event-balance bound the partition admits (total events / "
-               "busiest worker's events)\",\n");
+               "busiest worker's events); workers=0 rows are the "
+               "auto-planned clamp (workers_planned shows the choice)\",\n");
   std::fprintf(f, "  \"scale\": [\n");
   for (std::size_t p = 0; p < points.size(); ++p) {
     const ScalePoint& pt = points[p];
@@ -173,18 +354,55 @@ void write_scale_json(const std::vector<ScalePoint>& points,
                  pt.hash_identical ? "true" : "false");
     std::fprintf(f, "      \"runs\": [\n");
     for (std::size_t i = 0; i < pt.runs.size(); ++i) {
-      const RunStats& r = pt.runs[i];
-      const double wall1 = pt.runs[0].wall_seconds;
-      std::fprintf(f,
-                   "        {\"workers\": %u, \"wall_seconds\": %.4f, "
-                   "\"speedup_wall_vs_1\": %.3f, "
-                   "\"speedup_workspan_vs_1\": %.3f}%s\n",
-                   r.workers, r.wall_seconds,
-                   r.wall_seconds > 0 ? wall1 / r.wall_seconds : 0.0,
-                   r.workspan_speedup, i + 1 < pt.runs.size() ? "," : "");
+      write_run_json(f, pt.runs[i], pt.runs[0].wall_seconds,
+                     i + 1 < pt.runs.size() ? "," : "");
     }
     std::fprintf(f, "      ]\n");
     std::fprintf(f, "    }%s\n", p + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  std::fprintf(f, "  \"adaptive_ablation\": {\n");
+  std::fprintf(f,
+               "    \"note\": \"8 racks in 4 pods, 100us intra-pod / 5ms "
+               "cross-pod seams, phase-staggered bursts; identical world, "
+               "identical hash, only the horizon rule changes\",\n");
+  std::fprintf(f, "    \"runs\": [\n");
+  for (std::size_t i = 0; i < hetero.size(); ++i) {
+    const RunStats& r = hetero[i];
+    std::fprintf(f,
+                 "      {\"horizon\": \"%s\", \"workers\": %u, "
+                 "\"epochs\": %" PRIu64 ", \"events_per_epoch\": %.1f, "
+                 "\"shard_strides\": %" PRIu64 ", \"barrier_wait_ms\": %.2f, "
+                 "\"determinism_hash\": \"0x%016" PRIx64 "\"}%s\n",
+                 i < hetero.size() / 2 ? "per-pair" : "global-min", r.workers,
+                 r.epochs, r.events_per_epoch, r.strides, r.barrier_wait_ms,
+                 r.hash, i + 1 < hetero.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+
+  std::fprintf(f, "  \"rubis\": [\n");
+  for (std::size_t p = 0; p < rubis.size(); ++p) {
+    const RubisPoint& pt = rubis[p];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"total_clients\": %d,\n", pt.total_clients);
+    std::fprintf(f, "      \"completed_requests\": %" PRIu64 ",\n",
+                 pt.runs[0].completed);
+    std::fprintf(f, "      \"errors\": %" PRIu64 ",\n", pt.runs[0].errors);
+    std::fprintf(f, "      \"esp_packets\": %" PRIu64 ",\n",
+                 pt.runs[0].esp_packets);
+    std::fprintf(f, "      \"determinism_hash\": \"0x%016" PRIx64 "\",\n",
+                 pt.runs[0].run.hash);
+    std::fprintf(f, "      \"hash_identical_across_workers\": %s,\n",
+                 pt.hash_identical ? "true" : "false");
+    std::fprintf(f, "      \"runs\": [\n");
+    for (std::size_t i = 0; i < pt.runs.size(); ++i) {
+      write_run_json(f, pt.runs[i].run, pt.runs[0].run.wall_seconds,
+                     i + 1 < pt.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n");
+    std::fprintf(f, "    }%s\n", p + 1 < rubis.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
@@ -197,6 +415,7 @@ void write_scale_json(const std::vector<ScalePoint>& points,
 
 int main(int argc, char** argv) {
   using namespace hipcloud::bench;
+  namespace sim = hipcloud::sim;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -206,41 +425,116 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::size_t>{1'000, 10'000}
             : std::vector<std::size_t>{1'000, 10'000, 100'000, 1'000'000};
 
-  std::printf("fig_scale: %zu-shard fabric, workers {1,2,4,8}, host_cpus=%u\n",
+  std::printf("fig_scale: %zu-shard fabric, workers {1,2,4,8,auto}, "
+              "host_cpus=%u\n",
               kRacks, std::thread::hardware_concurrency());
 
+  int failures = 0;
+
   std::vector<ScalePoint> points;
-  int mismatches = 0;
   for (const std::size_t clients : client_counts) {
     ScalePoint pt;
     pt.clients = clients;
-    for (const std::size_t workers : kWorkerCounts) {
-      RunStats s = run_scale_point(clients, static_cast<unsigned>(workers));
+    // Explicit worker counts, then the auto-planned run (workers=0).
+    std::vector<unsigned> workers_list(std::begin(kWorkerCounts),
+                                       std::end(kWorkerCounts));
+    workers_list.push_back(0);
+    for (const unsigned workers : workers_list) {
+      RunStats s = run_scale_point(clients, workers);
       if (!pt.runs.empty() && (s.hash != pt.runs[0].hash ||
                                s.events_fired != pt.runs[0].events_fired)) {
         pt.hash_identical = false;
-        ++mismatches;
+        ++failures;
         std::printf("  MISMATCH %zu clients @ %u workers: hash 0x%016" PRIx64
                     " vs 0x%016" PRIx64 "\n",
                     clients, s.workers, s.hash, pt.runs[0].hash);
       }
-      std::printf("  %7zu clients @ %u workers: %.3fs wall, %" PRIu64
-                  " events, workspan x%.2f, hash 0x%016" PRIx64 "\n",
-                  clients, s.workers, s.wall_seconds, s.events_fired,
-                  s.workspan_speedup, s.hash);
+      std::printf("  %7zu clients @ %u workers (planned %u): %.3fs wall, "
+                  "%" PRIu64 " events, %" PRIu64
+                  " epochs (%.0f ev/epoch), workspan x%.2f\n",
+                  clients, s.workers, s.workers_planned, s.wall_seconds,
+                  s.events_fired, s.epochs, s.events_per_epoch,
+                  s.workspan_speedup);
       pt.runs.push_back(std::move(s));
     }
     points.push_back(std::move(pt));
   }
 
-  // The quick CTest smoke run keeps the JSON artifact from the full run.
-  if (!quick) write_scale_json(points, "BENCH_scale.json");
+  // Adaptive-vs-global-min ablation on the heterogeneous pod fabric.
+  std::printf("\nadaptive ablation: 4 pods x 2 racks, staggered bursts\n");
+  const sim::Duration hetero_dur = (quick ? 40 : 160) * sim::from_millis(1);
+  std::vector<RunStats> hetero;
+  for (const bool adaptive : {true, false}) {
+    for (const unsigned workers : {1u, 4u}) {
+      RunStats s = run_hetero_point(adaptive, workers, hetero_dur);
+      std::printf("  %-10s @ %u workers: %" PRIu64 " epochs, %" PRIu64
+                  " strides, %.0f ev/epoch, hash 0x%016" PRIx64 "\n",
+                  adaptive ? "per-pair" : "global-min", workers, s.epochs,
+                  s.strides, s.events_per_epoch, s.hash);
+      hetero.push_back(std::move(s));
+    }
+  }
+  // Same world, same behaviour: every run one hash. Fewer epochs with the
+  // per-pair horizon: the whole point of the adaptive rule.
+  for (const RunStats& s : hetero) {
+    if (s.hash != hetero[0].hash || s.events_fired != hetero[0].events_fired) {
+      ++failures;
+      std::printf("  MISMATCH: ablation changed the world hash\n");
+    }
+  }
+  if (hetero[0].epochs >= hetero[2].epochs) {
+    ++failures;
+    std::printf("  FAIL: per-pair lookahead did not reduce epochs (%" PRIu64
+                " vs %" PRIu64 ")\n",
+                hetero[0].epochs, hetero[2].epochs);
+  }
 
-  if (mismatches != 0) {
-    std::printf("\nFAIL: %d worker-count hash mismatch%s\n", mismatches,
-                mismatches == 1 ? "" : "es");
+  // Sharded RUBiS: real HIP/ESP traffic through the parallel worlds.
+  const std::vector<int> farm_sizes =
+      quick ? std::vector<int>{2} : std::vector<int>{2, 8, 32};
+  const sim::Duration rubis_dur = (quick ? 2 : 4) * sim::kSecond;
+  std::printf("\nsharded rubis (HIP): %zu racks, farm sizes per rack\n",
+              kRacks);
+  std::vector<RubisPoint> rubis;
+  for (const int farm : farm_sizes) {
+    RubisPoint pt;
+    pt.total_clients = farm * static_cast<int>(kRacks);
+    for (const unsigned workers : kWorkerCounts) {
+      RubisStats rs = run_rubis_point(farm, workers, rubis_dur);
+      if (!pt.runs.empty() &&
+          (rs.run.hash != pt.runs[0].run.hash ||
+           rs.completed != pt.runs[0].completed)) {
+        pt.hash_identical = false;
+        ++failures;
+        std::printf("  MISMATCH %d clients @ %u workers: hash 0x%016" PRIx64
+                    " vs 0x%016" PRIx64 "\n",
+                    pt.total_clients, rs.run.workers, rs.run.hash,
+                    pt.runs[0].run.hash);
+      }
+      std::printf("  %4d clients @ %u workers: %.3fs wall, %" PRIu64
+                  " requests, %" PRIu64 " errors, %" PRIu64
+                  " esp pkts, hash 0x%016" PRIx64 "\n",
+                  pt.total_clients, rs.run.workers, rs.run.wall_seconds,
+                  rs.completed, rs.errors, rs.esp_packets, rs.run.hash);
+      pt.runs.push_back(std::move(rs));
+    }
+    if (pt.runs[0].errors != 0) {
+      ++failures;
+      std::printf("  FAIL: rubis point had %" PRIu64 " errors\n",
+                  pt.runs[0].errors);
+    }
+    rubis.push_back(std::move(pt));
+  }
+
+  // The quick CTest smoke run keeps the JSON artifact from the full run.
+  if (!quick) write_scale_json(points, hetero, rubis, "BENCH_scale.json");
+
+  if (failures != 0) {
+    std::printf("\nFAIL: %d violation%s\n", failures,
+                failures == 1 ? "" : "s");
     return 1;
   }
-  std::printf("\nPASS: hash byte-identical across workers at every scale\n");
+  std::printf("\nPASS: hash byte-identical across workers at every point, "
+              "per-pair horizon needs fewer epochs, rubis error-free\n");
   return 0;
 }

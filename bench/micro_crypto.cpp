@@ -80,8 +80,9 @@ BENCHMARK(BM_HmacSha256StreamingScalar)->Arg(64)->Arg(1500);
 
 void BM_HmacSha256MultiBuffer(benchmark::State& state) {
   // N independent 1500-byte ICVs per compute() call, lanes capped at
-  // range(0): 1 = per-lane fallback, 4 = SSE tier, 8 = AVX2 tier. Caps
-  // above the host's detected width silently clamp, so every arg runs.
+  // range(0): 1 = per-lane fallback, 2 = dual-stream SHA-NI tier, 4 =
+  // SSE tier, 8 = AVX2 tier. Caps above the host's detected width
+  // silently clamp, so every arg runs.
   const auto cap = static_cast<std::size_t>(state.range(0));
   crypto::shamb::set_lane_cap_for_test(cap);
   const std::size_t lanes = crypto::shamb::lane_width();
@@ -103,7 +104,7 @@ void BM_HmacSha256MultiBuffer(benchmark::State& state) {
                           static_cast<std::int64_t>(lanes));
   state.counters["lanes"] = static_cast<double>(lanes);
 }
-BENCHMARK(BM_HmacSha256MultiBuffer)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_HmacSha256MultiBuffer)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_AesCtrSboxRef(benchmark::State& state) {
   // Byte-oriented S-box baseline ("before") — the acceptance yardstick

@@ -15,9 +15,14 @@
 #                                 # `bench`-labeled tests once (no JSON emit),
 #                                 # including a no-acceleration env-matrix run
 #   scripts/check.sh --scale      # full fig_scale run: the sharded world at
-#                                 # 1/2/4/8 workers across all client scales,
+#                                 # 1/2/4/8(+auto) workers across all client
+#                                 # scales plus the adaptive-lookahead
+#                                 # ablation and the sharded RUBiS curve,
 #                                 # regenerating BENCH_scale.json (fails on
-#                                 # any worker-count hash mismatch)
+#                                 # any worker-count hash mismatch), then the
+#                                 # full sharded chaos drill (guest-link
+#                                 # flaps masked with zero client errors),
+#                                 # regenerating BENCH_shard_chaos.json
 #   scripts/check.sh --all        # every pass above
 #
 # Flags compose (`--lint --tsan` runs exactly those two passes). Every
@@ -169,6 +174,8 @@ if [[ "$run_tsan" == 1 ]]; then
     "$root/build-tsan/bench/audit_determinism" --quick
   run "tsan: sharded scaling smoke" \
     "$root/build-tsan/bench/fig_scale" --quick
+  run "tsan: sharded chaos smoke" \
+    "$root/build-tsan/bench/fig_shard_chaos" --quick
 fi
 
 if [[ "$run_bench" == 1 ]]; then
@@ -191,12 +198,15 @@ if [[ "$run_scale" == 1 ]]; then
   # Full scaling curve: regenerates BENCH_scale.json from the normal
   # build and fails on any worker-count hash divergence. Runs from $root
   # so the JSON lands next to the other BENCH_*.json artifacts.
-  run "scale: build fig_scale" bash -c \
+  run "scale: build fig_scale + fig_shard_chaos" bash -c \
     "cmake -S '$root' -B '$root/build' -DCMAKE_BUILD_TYPE=RelWithDebInfo \
        -DHIPCLOUD_WERROR=ON >/dev/null &&
-     cmake --build '$root/build' -j '$jobs' --target fig_scale"
+     cmake --build '$root/build' -j '$jobs' --target fig_scale \
+       fig_shard_chaos"
   run "scale: sharded scaling curve (full)" bash -c \
     "cd '$root' && '$root/build/bench/fig_scale'"
+  run "scale: sharded chaos drill (full)" bash -c \
+    "cd '$root' && '$root/build/bench/fig_shard_chaos'"
 fi
 
 echo

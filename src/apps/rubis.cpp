@@ -163,7 +163,7 @@ HttpRequest RubisRequestMix::next() {
     req.path = "/item?id=" + std::to_string(rng_.below(config_.items));
   } else if (roll < 0.80) {
     req.path = "/bids?item=" + std::to_string(rng_.below(config_.items));
-  } else if (roll < 0.90) {
+  } else if (roll < 0.90 || config_.read_only) {
     req.path = "/user?id=" + std::to_string(rng_.below(config_.users));
   } else {
     req.method = "POST";

@@ -14,6 +14,12 @@ struct RubisConfig {
   std::size_t item_bytes = 2048;
   std::size_t user_bytes = 512;
   std::size_t bid_bytes = 256;
+  /// Drop POST /bid from the request mix (its 10% bucket falls through
+  /// to /user). Failover drills use this: only idempotent requests are
+  /// redispatched after an upstream failure (HAProxy `redispatch`
+  /// semantics), so a mix with writes cannot promise zero client-visible
+  /// errors across an outage.
+  bool read_only = false;
 };
 
 /// Bulk-load the auction tables into a DatabaseServer.

@@ -57,6 +57,9 @@ class Vm {
   Hypervisor* host() { return host_; }
   net::Ipv4Addr private_ip() const { return private_ip_; }
   const std::string& tenant() const { return tenant_; }
+  /// The VM's virtual NIC link. Chaos experiments take it down/up
+  /// (set_down) to model guest crashes without tearing down topology.
+  net::Link* guest_link() { return guest_link_; }
 
  private:
   friend class Cloud;

@@ -1,5 +1,6 @@
 #include "cloud/shard_fabric.hpp"
 
+#include <limits>
 #include <string>
 
 #include "sim/check.hpp"
@@ -25,6 +26,8 @@ ShardedFabric::ShardedFabric(const FabricConfig& config)
     }
     clouds_.push_back(std::move(cloud));
   }
+  mesh_iface_.assign(config.racks * config.racks,
+                     std::numeric_limits<std::size_t>::max());
   // Full mesh of rack-to-rack links: every pair of racks gets its own
   // cross-shard path, so inter-rack traffic never funnels through a
   // single shard's spine node (which would serialize the whole world on
@@ -32,17 +35,29 @@ ShardedFabric::ShardedFabric(const FabricConfig& config)
   // the pair's own interface.
   for (std::size_t i = 0; i < config.racks; ++i) {
     for (std::size_t j = i + 1; j < config.racks; ++j) {
-      const auto att =
-          world_.connect_cross(i, clouds_[i]->gateway(), j,
-                               clouds_[j]->gateway(), config.cross_rack);
+      // Intra-pod pairs ride the fast cross_rack link; pairs spanning
+      // pods ride cross_pod — registering a per-pair lookahead as slow
+      // as the seam really is.
+      const bool same_pod = pod_of(i) == pod_of(j);
+      const auto att = world_.connect_cross(
+          i, clouds_[i]->gateway(), j, clouds_[j]->gateway(),
+          same_pod ? config.cross_rack : config.cross_pod);
       clouds_[i]->gateway()->add_route(
           net::IpAddr(net::Ipv4Addr(10, static_cast<std::uint8_t>(j), 0, 0)),
           16, att.iface_a);
       clouds_[j]->gateway()->add_route(
           net::IpAddr(net::Ipv4Addr(10, static_cast<std::uint8_t>(i), 0, 0)),
           16, att.iface_b);
+      mesh_iface_[i * config.racks + j] = att.iface_a;
+      mesh_iface_[j * config.racks + i] = att.iface_b;
     }
   }
+}
+
+std::size_t ShardedFabric::cross_iface(std::size_t from, std::size_t to) const {
+  HIPCLOUD_CHECK(from < racks() && to < racks() && from != to,
+                 "cross_iface needs two distinct racks");
+  return mesh_iface_[from * config_.racks + to];
 }
 
 }  // namespace hipcloud::cloud

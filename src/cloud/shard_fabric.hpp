@@ -42,6 +42,19 @@ struct FabricConfig {
                              /*max_queue_delay=*/sim::from_millis(50),
                              /*loss_rate=*/0.0,
                              /*mtu=*/1500};
+  /// Heterogeneous interconnect: racks group into pods of
+  /// `racks_per_pod` consecutive racks (0 = one flat pod, every link
+  /// `cross_rack`). Links between racks in *different* pods use
+  /// `cross_pod` instead — typically WAN-ish latency, which is exactly
+  /// the shape where per-pair lookahead beats the global minimum: only
+  /// the intra-pod seams are fast, so remote pods stride at cross_pod
+  /// cadence instead of barriering at cross_rack cadence.
+  std::size_t racks_per_pod = 0;
+  net::LinkConfig cross_pod{/*bandwidth_bps=*/1e9,
+                            /*latency=*/sim::from_millis(5),
+                            /*max_queue_delay=*/sim::from_millis(50),
+                            /*loss_rate=*/0.0,
+                            /*mtu=*/1500};
   std::uint64_t seed = 1;
 };
 
@@ -60,10 +73,21 @@ class ShardedFabric {
   std::size_t racks() const { return clouds_.size(); }
   Cloud& rack(std::size_t r) { return *clouds_[r]; }
 
+  /// Pod of a rack under this fabric's grouping (0 when flat).
+  std::size_t pod_of(std::size_t rack_id) const {
+    return config_.racks_per_pod ? rack_id / config_.racks_per_pod : 0;
+  }
+
   /// All VMs of one rack, in launch order.
   const std::vector<std::unique_ptr<Vm>>& rack_vms(std::size_t r) const {
     return clouds_[r]->vms();
   }
+
+  /// Gateway interface index on rack `from` for the mesh link toward
+  /// rack `to` — what callers use to add routes for non-10/8 prefixes
+  /// (consumer subnets, frontends) across the rack mesh. CHECK-fails on
+  /// from == to.
+  std::size_t cross_iface(std::size_t from, std::size_t to) const;
 
   std::size_t run(sim::Time until, unsigned workers = 1) {
     return world_.run(until, workers);
@@ -75,6 +99,9 @@ class ShardedFabric {
   FabricConfig config_;
   net::ShardedWorld world_;
   std::vector<std::unique_ptr<Cloud>> clouds_;
+  /// mesh_iface_[from * racks + to] = gateway iface on `from` toward
+  /// `to` (SIZE_MAX on the diagonal).
+  std::vector<std::size_t> mesh_iface_;
 };
 
 }  // namespace hipcloud::cloud

@@ -4,10 +4,12 @@
 // advances every message by one round — throughput scales with lane
 // count rather than with the (serial) dependency chain of one hash.
 //
-// Tiering: 8 lanes under AVX2, 4 under SSE2+SSSE3, and a per-lane
-// fallback through sha256_backend::compress (which is itself SHA-NI when
-// available). Everything here is allocation-free: the ESP batch path
-// runs through HmacSha256Mb::compute on the per-packet hot path.
+// Tiering: 8 lanes under AVX2, 4 under SSE2+SSSE3, 2 interleaved SHA-NI
+// streams when the CPU has the SHA extensions (shani::compress2 — faster
+// than any transposed tier there), and a per-lane fallback through
+// sha256_backend::compress. Everything here is allocation-free: the ESP
+// batch path runs through HmacSha256Mb::compute on the per-packet hot
+// path.
 
 #include "crypto/sha_mb.hpp"
 
@@ -290,6 +292,9 @@ std::size_t hw_simd_width() {
         __builtin_cpu_supports("ssse3")) {
       return std::size_t{4};
     }
+    // Width 2 is not a transposed tier: it is two interleaved SHA-NI
+    // streams (shani::compress2), so it needs the SHA extensions.
+    if (cap >= 2 && shani::supported()) return std::size_t{2};
 #endif
     return std::size_t{1};
   }();
@@ -297,15 +302,19 @@ std::size_t hw_simd_width() {
 }
 
 // The tier actually used when nothing forces one. On SHA-NI parts the
-// single-stream kernel outruns even 8 transposed AVX2 lanes (measured
-// ~1.25x over AVX2-x8 here), so batches run one lane at a time through
-// it; the transposed tiers carry pre-SHA-NI hosts. An explicit
-// HIPCLOUD_SHAMB_LANES still forces a SIMD tier — that is how benches
-// measure the transposed kernels on SHA-NI machines.
+// single-stream kernel already outruns 8 transposed AVX2 lanes (measured
+// ~1.25x over AVX2-x8 here), and interleaving two independent streams
+// per pass hides the sha256rnds2 latency chain on top of that — so
+// batches run two lanes at a time through shani::compress2; the
+// transposed tiers carry pre-SHA-NI hosts. An explicit
+// HIPCLOUD_SHAMB_LANES still forces a tier ("1" the single stream, "4"/
+// "8" the transposed kernels) — that is how benches compare backends on
+// SHA-NI machines.
 std::size_t preferred_width() {
   static const std::size_t width = [] {
-    if (shani::supported() && std::getenv("HIPCLOUD_SHAMB_LANES") == nullptr) {
-      return std::size_t{1};
+    if (shani::supported() && std::getenv("HIPCLOUD_NO_SHAMB") == nullptr &&
+        std::getenv("HIPCLOUD_SHAMB_LANES") == nullptr) {
+      return std::size_t{2};
     }
     return hw_simd_width();
   }();
@@ -321,10 +330,12 @@ std::size_t lane_width() {
   const std::size_t cap = g_test_cap.load(std::memory_order_relaxed);
   if (cap == 0) return preferred_width();
   // A test cap selects a tier outright (so SIMD kernels are testable on
-  // SHA-NI hosts, where the preferred width is 1): >=8 the AVX2 tier,
-  // >=4 the SSE tier, below that single-stream — always bounded by what
-  // the hardware and env knobs support.
-  const std::size_t tier = cap >= 8 ? 8 : cap >= 4 ? 4 : 1;
+  // SHA-NI hosts, where the preferred width is 2): >=8 the AVX2 tier,
+  // >=4 the SSE tier, >=2 the dual-stream SHA-NI pair, below that
+  // single-stream — always bounded by what the hardware and env knobs
+  // support.
+  const std::size_t tier =
+      cap >= 8 ? 8 : cap >= 4 ? 4 : (cap >= 2 && shani::supported()) ? 2 : 1;
   return std::min(tier, hw_simd_width());
 }
 
@@ -336,6 +347,7 @@ const char* active_name() {
   switch (lane_width()) {
     case 8: return "avx2-x8";
     case 4: return "sse-x4";
+    case 2: return "sha-ni-x2";
     // Width 1 runs lanes through the single-stream backend — report
     // which one ("sha-ni" or "scalar").
     default: return sha256_backend::active_name();
@@ -357,11 +369,20 @@ void compress_blocks(std::uint32_t (*states)[8],
     compress4_sse(states + done, blocks + done, nblocks);
     done += 4;
   }
-#else
-  (void)width;
 #endif
-  // Odd lanes (and the no-SIMD tier) run one at a time through the
-  // single-stream backend — SHA-NI when the CPU has it.
+  // Remaining lanes — the width-2 tier and any odd remainder of the
+  // transposed tiers — run pairwise through the dual-stream SHA-NI
+  // kernel when the CPU has it (width 1 means single-stream was forced,
+  // so stay off it there).
+  if (width >= 2 && shani::supported()) {
+    while (nlanes - done >= 2) {
+      shani::compress2(states[done], blocks[done], states[done + 1],
+                       blocks[done + 1], nblocks);
+      done += 2;
+    }
+  }
+  // A last odd lane (and the no-SIMD tier) runs one at a time through
+  // the single-stream backend — SHA-NI when the CPU has it.
   for (; done < nlanes; ++done) {
     sha256_backend::compress(states[done], blocks[done], nblocks);
   }

@@ -154,11 +154,171 @@ SHANI_TARGET void compress(std::uint32_t state[8], const std::uint8_t* blocks,
   _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
 }
 
+SHANI_TARGET void compress2(std::uint32_t state_a[8],
+                            const std::uint8_t* blocks_a,
+                            std::uint32_t state_b[8],
+                            const std::uint8_t* blocks_b,
+                            std::size_t nblocks) {
+  // Same canonical scheduling as compress(), two lanes interleaved: every
+  // sha256rnds2 of lane a is immediately followed by lane b's, so the two
+  // dependency chains overlap in the pipeline. Layout per lane is the
+  // usual {A,B,E,F}/{C,D,G,H}.
+  __m128i tmp_a = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state_a)), 0xB1);
+  __m128i s1a = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state_a + 4)), 0x1B);
+  __m128i s0a = _mm_alignr_epi8(tmp_a, s1a, 8);
+  s1a = _mm_blend_epi16(s1a, tmp_a, 0xF0);
+  __m128i tmp_b = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state_b)), 0xB1);
+  __m128i s1b = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state_b + 4)), 0x1B);
+  __m128i s0b = _mm_alignr_epi8(tmp_b, s1b, 8);
+  s1b = _mm_blend_epi16(s1b, tmp_b, 0xF0);
+
+  const __m128i bswap_mask = _mm_set_epi64x(
+      static_cast<long long>(0x0c0d0e0f08090a0bULL),
+      static_cast<long long>(0x0405060700010203ULL));
+
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t* pa = blocks_a + 64 * b;
+    const std::uint8_t* pb = blocks_b + 64 * b;
+    const __m128i save0a = s0a, save1a = s1a;
+    const __m128i save0b = s0b, save1b = s1b;
+    __m128i ma, mb;
+    __m128i m0a, m1a, m2a, m3a;
+    __m128i m0b, m1b, m2b, m3b;
+
+#define SHANI2_K(hi, lo)                          \
+  _mm_set_epi64x(static_cast<long long>(hi##ULL), \
+                 static_cast<long long>(lo##ULL))
+// Four rounds for both lanes: a's rnds2 issues, then b's uses the
+// otherwise-dead latency cycles, round pair by round pair.
+#define SHANI2_QROUNDS(wka, wkb)                 \
+  ma = (wka);                                    \
+  mb = (wkb);                                    \
+  s1a = _mm_sha256rnds2_epu32(s1a, s0a, ma);     \
+  s1b = _mm_sha256rnds2_epu32(s1b, s0b, mb);     \
+  ma = _mm_shuffle_epi32(ma, 0x0E);              \
+  mb = _mm_shuffle_epi32(mb, 0x0E);              \
+  s0a = _mm_sha256rnds2_epu32(s0a, s1a, ma);     \
+  s0b = _mm_sha256rnds2_epu32(s0b, s1b, mb)
+#define SHANI2_LOAD(dst_a, dst_b, off)                                      \
+  dst_a = _mm_shuffle_epi8(                                                 \
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + (off))),        \
+      bswap_mask);                                                          \
+  dst_b = _mm_shuffle_epi8(                                                 \
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + (off))),        \
+      bswap_mask)
+
+    // Rounds 0-15: load + byte-swap both message blocks.
+    SHANI2_LOAD(m0a, m0b, 0);
+    SHANI2_QROUNDS(
+        _mm_add_epi32(m0a, SHANI2_K(0xE9B5DBA5B5C0FBCF, 0x71374491428A2F98)),
+        _mm_add_epi32(m0b, SHANI2_K(0xE9B5DBA5B5C0FBCF, 0x71374491428A2F98)));
+    SHANI2_LOAD(m1a, m1b, 16);
+    SHANI2_QROUNDS(
+        _mm_add_epi32(m1a, SHANI2_K(0xAB1C5ED5923F82A4, 0x59F111F13956C25B)),
+        _mm_add_epi32(m1b, SHANI2_K(0xAB1C5ED5923F82A4, 0x59F111F13956C25B)));
+    m0a = _mm_sha256msg1_epu32(m0a, m1a);
+    m0b = _mm_sha256msg1_epu32(m0b, m1b);
+    SHANI2_LOAD(m2a, m2b, 32);
+    SHANI2_QROUNDS(
+        _mm_add_epi32(m2a, SHANI2_K(0x550C7DC3243185BE, 0x12835B01D807AA98)),
+        _mm_add_epi32(m2b, SHANI2_K(0x550C7DC3243185BE, 0x12835B01D807AA98)));
+    m1a = _mm_sha256msg1_epu32(m1a, m2a);
+    m1b = _mm_sha256msg1_epu32(m1b, m2b);
+    SHANI2_LOAD(m3a, m3b, 48);
+    SHANI2_QROUNDS(
+        _mm_add_epi32(m3a, SHANI2_K(0xC19BF1749BDC06A7, 0x80DEB1FE72BE5D74)),
+        _mm_add_epi32(m3b, SHANI2_K(0xC19BF1749BDC06A7, 0x80DEB1FE72BE5D74)));
+    m0a = _mm_sha256msg2_epu32(
+        _mm_add_epi32(m0a, _mm_alignr_epi8(m3a, m2a, 4)), m3a);
+    m0b = _mm_sha256msg2_epu32(
+        _mm_add_epi32(m0b, _mm_alignr_epi8(m3b, m2b, 4)), m3b);
+    m2a = _mm_sha256msg1_epu32(m2a, m3a);
+    m2b = _mm_sha256msg1_epu32(m2b, m3b);
+
+#define SHANI2_SCHED_QROUNDS(cur, prev, next, hi, lo)                        \
+  SHANI2_QROUNDS(_mm_add_epi32(cur##a, SHANI2_K(hi, lo)),                    \
+                 _mm_add_epi32(cur##b, SHANI2_K(hi, lo)));                   \
+  next##a = _mm_sha256msg2_epu32(                                            \
+      _mm_add_epi32(next##a, _mm_alignr_epi8(cur##a, prev##a, 4)), cur##a);  \
+  next##b = _mm_sha256msg2_epu32(                                            \
+      _mm_add_epi32(next##b, _mm_alignr_epi8(cur##b, prev##b, 4)), cur##b);  \
+  prev##a = _mm_sha256msg1_epu32(prev##a, cur##a);                           \
+  prev##b = _mm_sha256msg1_epu32(prev##b, cur##b)
+
+    SHANI2_SCHED_QROUNDS(m0, m3, m1, 0x240CA1CC0FC19DC6,
+                         0xEFBE4786E49B69C1);  // 16-19
+    SHANI2_SCHED_QROUNDS(m1, m0, m2, 0x76F988DA5CB0A9DC,
+                         0x4A7484AA2DE92C6F);  // 20-23
+    SHANI2_SCHED_QROUNDS(m2, m1, m3, 0xBF597FC7B00327C8,
+                         0xA831C66D983E5152);  // 24-27
+    SHANI2_SCHED_QROUNDS(m3, m2, m0, 0x1429296706CA6351,
+                         0xD5A79147C6E00BF3);  // 28-31
+    SHANI2_SCHED_QROUNDS(m0, m3, m1, 0x53380D134D2C6DFC,
+                         0x2E1B213827B70A85);  // 32-35
+    SHANI2_SCHED_QROUNDS(m1, m0, m2, 0x92722C8581C2C92E,
+                         0x766A0ABB650A7354);  // 36-39
+    SHANI2_SCHED_QROUNDS(m2, m1, m3, 0xC76C51A3C24B8B70,
+                         0xA81A664BA2BFE8A1);  // 40-43
+    SHANI2_SCHED_QROUNDS(m3, m2, m0, 0x106AA070F40E3585,
+                         0xD6990624D192E819);  // 44-47
+    SHANI2_SCHED_QROUNDS(m0, m3, m1, 0x34B0BCB52748774C,
+                         0x1E376C0819A4C116);  // 48-51
+
+    // Rounds 52-63: schedule tail.
+    SHANI2_QROUNDS(
+        _mm_add_epi32(m1a, SHANI2_K(0x682E6FF35B9CCA4F, 0x4ED8AA4A391C0CB3)),
+        _mm_add_epi32(m1b, SHANI2_K(0x682E6FF35B9CCA4F, 0x4ED8AA4A391C0CB3)));
+    m2a = _mm_sha256msg2_epu32(
+        _mm_add_epi32(m2a, _mm_alignr_epi8(m1a, m0a, 4)), m1a);
+    m2b = _mm_sha256msg2_epu32(
+        _mm_add_epi32(m2b, _mm_alignr_epi8(m1b, m0b, 4)), m1b);
+    SHANI2_QROUNDS(
+        _mm_add_epi32(m2a, SHANI2_K(0x8CC7020884C87814, 0x78A5636F748F82EE)),
+        _mm_add_epi32(m2b, SHANI2_K(0x8CC7020884C87814, 0x78A5636F748F82EE)));
+    m3a = _mm_sha256msg2_epu32(
+        _mm_add_epi32(m3a, _mm_alignr_epi8(m2a, m1a, 4)), m2a);
+    m3b = _mm_sha256msg2_epu32(
+        _mm_add_epi32(m3b, _mm_alignr_epi8(m2b, m1b, 4)), m2b);
+    SHANI2_QROUNDS(
+        _mm_add_epi32(m3a, SHANI2_K(0xC67178F2BEF9A3F7, 0xA4506CEB90BEFFFA)),
+        _mm_add_epi32(m3b, SHANI2_K(0xC67178F2BEF9A3F7, 0xA4506CEB90BEFFFA)));
+
+#undef SHANI2_SCHED_QROUNDS
+#undef SHANI2_LOAD
+#undef SHANI2_QROUNDS
+#undef SHANI2_K
+
+    s0a = _mm_add_epi32(s0a, save0a);
+    s1a = _mm_add_epi32(s1a, save1a);
+    s0b = _mm_add_epi32(s0b, save0b);
+    s1b = _mm_add_epi32(s1b, save1b);
+  }
+
+  tmp_a = _mm_shuffle_epi32(s0a, 0x1B);
+  s1a = _mm_shuffle_epi32(s1a, 0xB1);
+  s0a = _mm_blend_epi16(tmp_a, s1a, 0xF0);
+  s1a = _mm_alignr_epi8(s1a, tmp_a, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state_a), s0a);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state_a + 4), s1a);
+  tmp_b = _mm_shuffle_epi32(s0b, 0x1B);
+  s1b = _mm_shuffle_epi32(s1b, 0xB1);
+  s0b = _mm_blend_epi16(tmp_b, s1b, 0xF0);
+  s1b = _mm_alignr_epi8(s1b, tmp_b, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state_b), s0b);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state_b + 4), s1b);
+}
+
 #else  // !HIPCLOUD_HAS_SHANI — stubs so non-x86 builds link; never called
        // because supported() is false.
 
 bool supported() { return false; }
 void compress(std::uint32_t[8], const std::uint8_t*, std::size_t) {}
+void compress2(std::uint32_t[8], const std::uint8_t*, std::uint32_t[8],
+               const std::uint8_t*, std::size_t) {}
 
 #endif
 

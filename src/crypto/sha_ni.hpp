@@ -18,4 +18,15 @@ bool supported();
 void compress(std::uint32_t state[8], const std::uint8_t* blocks,
               std::size_t nblocks);
 
+/// Two independent streams, interleaved round-for-round. sha256rnds2 has
+/// multi-cycle latency but single-cycle throughput, and within one
+/// stream every round depends on the previous — the port sits idle most
+/// cycles. Interleaving a second stream's chain fills those slots
+/// (~1.7x the single-stream rate on two streams) without touching the
+/// digest: each lane computes exactly what two compress() calls would.
+/// Both streams advance `nblocks` blocks; states update in place.
+void compress2(std::uint32_t state_a[8], const std::uint8_t* blocks_a,
+               std::uint32_t state_b[8], const std::uint8_t* blocks_b,
+               std::size_t nblocks);
+
 }  // namespace hipcloud::crypto::shani

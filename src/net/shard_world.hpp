@@ -69,9 +69,12 @@ class ShardedWorld {
   };
 
   /// Connect node `a` (in shard_a) to node `b` (in shard_b) with a
-  /// cross-shard link. `config.latency` must be positive: it bounds the
-  /// coordinator's lookahead (the epoch length shrinks to the smallest
-  /// cross-shard latency in the world).
+  /// cross-shard link. `config.latency` must be positive: it is the
+  /// channel lookahead registered for the (shard_a, shard_b) seam in
+  /// both directions, so each shard's per-round horizon is bounded only
+  /// by the seams actually pointing at it. The coordinator's global
+  /// lookahead() keeps tracking the smallest cross-shard latency in the
+  /// world (the global-min ablation's epoch length).
   CrossAttachment connect_cross(std::size_t shard_a, Node* a,
                                 std::size_t shard_b, Node* b,
                                 const LinkConfig& config);

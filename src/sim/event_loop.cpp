@@ -98,12 +98,29 @@ EventHandle EventLoop::schedule(Duration delay, Callback cb) {
 }
 
 EventHandle EventLoop::schedule_at(Time when, Callback cb) {
+  return schedule_with_seq(when, next_seq_++, std::move(cb));
+}
+
+EventHandle EventLoop::schedule_cross(Time when, std::uint32_t src_shard,
+                                      std::uint64_t post_idx, Callback cb) {
+  HIPCLOUD_DCHECK(src_shard < (1u << (63 - kCrossSrcShift)),
+                  "cross seq encoding: shard id too wide");
+  HIPCLOUD_DCHECK(post_idx < (1ULL << kCrossSrcShift),
+                  "cross seq encoding: post index too wide");
+  const std::uint64_t seq =
+      kCrossSeqBit | (static_cast<std::uint64_t>(src_shard) << kCrossSrcShift) |
+      post_idx;
+  return schedule_with_seq(when, seq, std::move(cb));
+}
+
+EventHandle EventLoop::schedule_with_seq(Time when, std::uint64_t seq,
+                                         Callback cb) {
   if (when < now_) when = now_;
   const std::uint32_t idx = alloc_slot();
   Slot& s = slots_[idx];
   s.cb = std::move(cb);
   s.live = true;
-  heap_push(HeapEntry{when, next_seq_++, idx});
+  heap_push(HeapEntry{when, seq, idx});
   ++live_;
   ++perf_.events_scheduled;
   return EventHandle((static_cast<std::uint64_t>(s.gen) << 32) |
@@ -151,7 +168,7 @@ bool EventLoop::step(Time until) {
     --live_;
     now_ = entry.when;
     ++perf_.events_fired;
-    perf_.note_fire(entry.when, entry.seq, entry.slot);
+    perf_.note_fire(entry.when, entry.seq);
 #ifdef HIPCLOUD_AUDIT_ENABLED
     // Periodic full structural audit; every firing would make the suite
     // O(events * pending).

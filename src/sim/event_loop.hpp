@@ -63,6 +63,27 @@ class EventLoop {
   /// Schedule `cb` at an absolute virtual time (>= now).
   EventHandle schedule_at(Time when, Callback cb);
 
+  /// Schedule a cross-shard arrival with a schedule-stable identity.
+  /// Instead of drawing from the local FIFO counter (whose value depends
+  /// on *when* the coordinator drained this post), the entry's seq is the
+  /// encoding `kCrossSeqBit | (src << kCrossSrcShift) | post_idx` — a
+  /// name fixed at post() time. Consequences, both load-bearing for the
+  /// determinism hash:
+  ///  - at the same instant, every cross arrival fires after every local
+  ///    event (kCrossSeqBit dominates any realistic local counter), and
+  ///    cross arrivals order among themselves by (src shard, post index)
+  ///    — exactly the coordinator's canonical drain order;
+  ///  - the (when, seq) pair folded by PerfCounters::note_fire is
+  ///    invariant across epoch slicings, so adaptive and global-min
+  ///    lookahead produce byte-identical hashes by construction.
+  /// The local counter is NOT consumed, so local seq streams are equally
+  /// slicing-invariant.
+  EventHandle schedule_cross(Time when, std::uint32_t src_shard,
+                             std::uint64_t post_idx, Callback cb);
+
+  static constexpr std::uint64_t kCrossSeqBit = 1ULL << 63;
+  static constexpr unsigned kCrossSrcShift = 40;  // post_idx < 2^40
+
   /// Cancel a pending event. Returns true if the event existed and had
   /// not yet fired. Cancelling twice (or after firing) is a harmless no-op
   /// (the slot generation has moved on) and costs O(1).
@@ -131,6 +152,7 @@ class EventLoop {
     return a.seq < b.seq;
   }
 
+  EventHandle schedule_with_seq(Time when, std::uint64_t seq, Callback cb);
   std::uint32_t alloc_slot();
   void recycle_slot(std::uint32_t idx);
   void heap_push(HeapEntry e);

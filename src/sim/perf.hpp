@@ -31,11 +31,17 @@ struct PerfCounters {
   std::uint64_t events_cancelled = 0;
 
   /// Rolling hash of every event firing in this world, in firing order:
-  /// for each fired event the engine folds in (when, seq, site), where
-  /// `site` is the callback's arena slot — a deterministic stand-in for
-  /// *which* callback fired, since slot allocation is itself part of the
-  /// replayed schedule. Two runs of the same seeded world are
-  /// bit-deterministic iff their hash streams match; any hidden
+  /// for each fired event the engine folds in (when, seq). The pair is a
+  /// unique, schedule-stable name for the event: local events draw seq
+  /// from the loop's FIFO counter, cross-shard events carry a
+  /// (src shard, post index) encoding assigned at post time (see
+  /// EventLoop::schedule_cross) — so the stream is invariant not only
+  /// across worker counts but across epoch slicings (adaptive vs
+  /// global-min lookahead drain the same posts at different barriers).
+  /// Arena slot indices are deliberately NOT folded: slot recycling
+  /// depends on when cross events are drained, which is exactly the
+  /// freedom the adaptive horizon exploits. Two runs of the same seeded
+  /// world are bit-deterministic iff their hash streams match; any hidden
   /// nondeterminism (iteration-order leak, uninitialised read feeding a
   /// timer, cross-world state) diverges the hash at the first bad
   /// firing. bench/audit_determinism re-runs sweep worlds across thread
@@ -43,13 +49,12 @@ struct PerfCounters {
   std::uint64_t determinism_hash = kFnvOffset;
 
   /// Fold one event firing into the determinism hash.
-  void note_fire(std::int64_t when, std::uint64_t seq, std::uint32_t site) {
+  void note_fire(std::int64_t when, std::uint64_t seq) {
     auto fold = [this](std::uint64_t word) {
       determinism_hash = (determinism_hash ^ word) * kFnvPrime;
     };
     fold(static_cast<std::uint64_t>(when));
     fold(seq);
-    fold(site);
   }
 
   // Payload buffer pool.
@@ -61,6 +66,14 @@ struct PerfCounters {
   std::uint64_t packets_delivered = 0;   // local_deliver on any node
   std::uint64_t payload_bytes_copied = 0;  // memcpy'd between buffers
   std::uint64_t payload_bytes_moved = 0;   // changed owner without a copy
+
+  // Sharded coordinator (filled in by ShardCoordinator::merged_perf).
+  // All three are pure functions of the simulated schedule — identical
+  // at every worker count — so they can sit next to the hash in every
+  // BENCH_*.json without harming comparability.
+  std::uint64_t shard_epochs = 0;      // barrier rounds executed
+  std::uint64_t shard_strides = 0;     // per-shard bounded run intervals
+  std::uint64_t shard_stride_ns = 0;   // total simulated ns those strides span
 
   void merge(const PerfCounters& o) {
     events_scheduled += o.events_scheduled;
@@ -78,6 +91,17 @@ struct PerfCounters {
     packets_delivered += o.packets_delivered;
     payload_bytes_copied += o.payload_bytes_copied;
     payload_bytes_moved += o.payload_bytes_moved;
+    shard_epochs += o.shard_epochs;
+    shard_strides += o.shard_strides;
+    shard_stride_ns += o.shard_stride_ns;
+  }
+
+  /// Mean events executed per barrier round — the headline the adaptive
+  /// per-pair lookahead drives up (same events, fewer barriers).
+  double events_per_epoch() const {
+    return shard_epochs ? static_cast<double>(events_fired) /
+                              static_cast<double>(shard_epochs)
+                        : 0.0;
   }
 
   double pool_hit_rate() const {
@@ -108,7 +132,11 @@ struct PerfCounters {
                  "%s\"packets_delivered\": %llu,\n"
                  "%s\"pool_misses_per_packet\": %.4f,\n"
                  "%s\"payload_bytes_copied\": %llu,\n"
-                 "%s\"payload_bytes_moved\": %llu",
+                 "%s\"payload_bytes_moved\": %llu,\n"
+                 "%s\"shard_epochs\": %llu,\n"
+                 "%s\"shard_strides\": %llu,\n"
+                 "%s\"shard_stride_ns\": %llu,\n"
+                 "%s\"events_per_epoch\": %.2f",
                  indent, static_cast<unsigned long long>(determinism_hash),
                  indent, static_cast<unsigned long long>(events_scheduled),
                  indent, static_cast<unsigned long long>(events_fired),
@@ -119,8 +147,11 @@ struct PerfCounters {
                  indent, static_cast<unsigned long long>(packets_delivered),
                  indent, pool_misses_per_packet(),
                  indent, static_cast<unsigned long long>(payload_bytes_copied),
-                 indent,
-                 static_cast<unsigned long long>(payload_bytes_moved));
+                 indent, static_cast<unsigned long long>(payload_bytes_moved),
+                 indent, static_cast<unsigned long long>(shard_epochs),
+                 indent, static_cast<unsigned long long>(shard_strides),
+                 indent, static_cast<unsigned long long>(shard_stride_ns),
+                 indent, events_per_epoch());
   }
 };
 

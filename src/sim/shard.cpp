@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
+#include <limits>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -10,6 +12,19 @@
 #include "sim/log.hpp"
 
 namespace hipcloud::sim {
+
+namespace {
+
+constexpr Time kInfTime = std::numeric_limits<Time>::max();
+
+/// Saturating add for horizon arithmetic: an unconstrained bound plus a
+/// finite lookahead stays unconstrained instead of wrapping.
+Time sat_add(Time a, Duration b) {
+  if (a >= kInfTime - b) return kInfTime;
+  return a + b;
+}
+
+}  // namespace
 
 std::size_t ShardCoordinator::add_shard(EventLoop* loop) {
   const std::size_t id = shards_.size();
@@ -22,13 +37,57 @@ std::size_t ShardCoordinator::add_shard(EventLoop* loop) {
   inboxes_.clear();
   inboxes_.resize(n * n);
   post_seq_.assign(n, 0);
+  pair_lookahead_.assign(n * n, -1);
+  horizons_.assign(n, -1);
+  lbts_.assign(n, kInfTime);
   return id;
+}
+
+void ShardCoordinator::register_pair_lookahead(std::size_t src,
+                                               std::size_t dst,
+                                               Duration lookahead) {
+  const std::size_t n = shards_.size();
+  HIPCLOUD_CHECK(src < n && dst < n && src != dst,
+                 "pair lookahead outside the world");
+  HIPCLOUD_CHECK(lookahead > 0, "pair lookahead must be positive");
+  Duration& cell = pair_lookahead_[src * n + dst];
+  if (cell < 0 || lookahead < cell) cell = lookahead;
+}
+
+Duration ShardCoordinator::pair_lookahead(std::size_t src,
+                                          std::size_t dst) const {
+  const std::size_t n = shards_.size();
+  HIPCLOUD_CHECK(src < n && dst < n, "pair lookahead outside the world");
+  return pair_lookahead_[src * n + dst];
+}
+
+Duration ShardCoordinator::effective_lookahead(std::size_t src,
+                                               std::size_t dst) const {
+  const Duration reg = pair_lookahead_[src * shards_.size() + dst];
+  if (reg >= 0) return reg;
+  return registered_only_ ? -1 : lookahead_;
+}
+
+Duration ShardCoordinator::min_effective_lookahead() const {
+  const std::size_t n = shards_.size();
+  Duration min_la = registered_only_ ? -1 : lookahead_;
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const Duration reg = pair_lookahead_[src * n + dst];
+      if (reg >= 0 && (min_la < 0 || reg < min_la)) min_la = reg;
+    }
+  }
+  // A world with no seams at all still needs a positive epoch for the
+  // global-min rule; the default lookahead serves.
+  return min_la >= 0 ? min_la : lookahead_;
 }
 
 void ShardCoordinator::post(std::size_t src, std::size_t dst, Time when,
                             InlineFn fn) {
   const std::size_t n = shards_.size();
   HIPCLOUD_CHECK(src < n && dst < n, "cross-shard post outside the world");
+  HIPCLOUD_CHECK(!registered_only_ || pair_lookahead_[src * n + dst] >= 0,
+                 "cross-shard post on an unregistered seam");
   Inbox& cell = inboxes_[src * n + dst];
   cell.events.push_back(CrossEvent{when, post_seq_[src]++, std::move(fn)});
 }
@@ -47,6 +106,9 @@ PerfCounters ShardCoordinator::merged_perf() const {
   // order regardless of which worker finished last.
   PerfCounters merged;
   for (const EventLoop* loop : shards_) merged.merge(loop->perf());
+  merged.shard_epochs += epochs_;
+  merged.shard_strides += strides_;
+  merged.shard_stride_ns += stride_ns_;
   return merged;
 }
 
@@ -69,14 +131,18 @@ void ShardCoordinator::drain_into(std::size_t dst) {
   }
   if (batch.empty()) return;
   // (when, src shard, per-source post index) is a total order independent
-  // of drain timing, so the destination loop sees one canonical schedule
-  // sequence — its (when, seq) firing stream cannot depend on workers.
+  // of drain timing. schedule_cross stamps each entry with exactly this
+  // identity, so the heap would order them correctly in any insertion
+  // order; the sort keeps the canonical sequence visible in schedule
+  // order too (events_scheduled traces, audit dumps).
   std::sort(batch.begin(), batch.end(), [](const Pending& a, const Pending& b) {
     return std::tie(a.when, a.src, a.post_idx) <
            std::tie(b.when, b.src, b.post_idx);
   });
   EventLoop* loop = shards_[dst];
-  for (Pending& p : batch) loop->schedule_at(p.when, std::move(p.fn));
+  for (Pending& p : batch) {
+    loop->schedule_cross(p.when, p.src, p.post_idx, std::move(p.fn));
+  }
 }
 
 void ShardCoordinator::record_failure() {
@@ -85,11 +151,112 @@ void ShardCoordinator::record_failure() {
   failed_.store(true, std::memory_order_relaxed);
 }
 
+void ShardCoordinator::compute_horizons(Time until, bool& done) {
+  const std::size_t n = shards_.size();
+  // l(i) starts at next(i): the earliest pending work for shard i, from
+  // its own heap or from undrained inbox posts addressed to it. These
+  // are the committed clocks' forward projections published at this
+  // barrier — every shard's loop is parked, so the reads are exact.
+  Time global_min = kInfTime;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time t = shards_[i]->next_event_time();
+    lbts_[i] = t >= 0 ? t : kInfTime;
+  }
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      for (const CrossEvent& e : inboxes_[src * n + dst].events) {
+        if (e.when < lbts_[dst]) lbts_[dst] = e.when;
+      }
+    }
+  }
+  for (const Time t : lbts_) global_min = std::min(global_min, t);
+  if (global_min == kInfTime || (until >= 0 && global_min > until)) {
+    done = true;
+    return;
+  }
+
+  if (!adaptive_) {
+    // Global-min ablation: one epoch length for everyone, the PR-7 rule.
+    const Duration la = min_effective_lookahead();
+    HIPCLOUD_CHECK(la > 0, "shard lookahead must be positive");
+    Time h = sat_add(global_min, la);
+    if (until >= 0 && h > until) h = until;
+    horizons_.assign(n, h);
+  } else {
+    // Fixed point of l(i) = min(next(i), min_j l(j) + la(j,i)) — a
+    // shortest-path relaxation, so at most n-1 sweeps converge; worlds
+    // converge in 2-3 because seams are few. l(i) lower-bounds the next
+    // instant shard i can fire (and hence emit) anything.
+    for (std::size_t round = 1; round < n; ++round) {
+      bool changed = false;
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        for (std::size_t src = 0; src < n; ++src) {
+          if (src == dst) continue;
+          const Duration la = effective_lookahead(src, dst);
+          if (la < 0) continue;
+          const Time cand = sat_add(lbts_[src], la);
+          if (cand < lbts_[dst]) {
+            lbts_[dst] = cand;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    // horizon(i): nothing can arrive from seam (j,i) before l(j) +
+    // la(j,i), so shard i safely commits through the min of those. The
+    // shard holding the global minimum l always clears its own horizon
+    // (every term is >= l_min + positive la), so each round fires at
+    // least one event — progress is unconditional.
+    for (std::size_t i = 0; i < n; ++i) {
+      Time h = kInfTime;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const Duration la = effective_lookahead(j, i);
+        if (la < 0) continue;
+        h = std::min(h, sat_add(lbts_[j], la));
+      }
+      if (until >= 0 && h > until) h = until;
+      horizons_[i] = h == kInfTime ? -1 : h;
+    }
+  }
+
+  ++epochs_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time h = horizons_[i];
+    if (h < 0) {
+      // Unconstrained drain stride (no incoming seam).
+      if (shards_[i]->pending() > 0) ++strides_;
+    } else if (h > shards_[i]->now()) {
+      ++strides_;
+      stride_ns_ += static_cast<std::uint64_t>(h - shards_[i]->now());
+    }
+  }
+}
+
+unsigned ShardCoordinator::plan_workers(unsigned requested) const {
+  const std::size_t n = shards_.size();
+  if (n == 0) return 1;
+  if (requested >= 1) {
+    return requested > n ? static_cast<unsigned>(n) : requested;
+  }
+  // Auto: size the pool from the work on hand. Barrier rounds cost real
+  // wall time per worker, so tiny worlds (the 1k-client fig_scale point)
+  // must collapse to few workers no matter how many cores the host has.
+  std::size_t pending = inbox_pending();
+  for (const EventLoop* loop : shards_) pending += loop->pending();
+  std::size_t by_work = pending / kAutoEventsPerWorker;
+  if (by_work < 1) by_work = 1;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::size_t w = std::min<std::size_t>({by_work, n, hw});
+  return static_cast<unsigned>(w);
+}
+
 std::size_t ShardCoordinator::run(Time until, unsigned workers) {
   const std::size_t n = shards_.size();
   if (n == 0) return 0;
-  if (workers < 1) workers = 1;
-  if (workers > n) workers = static_cast<unsigned>(n);
+  workers = plan_workers(workers);
   HIPCLOUD_CHECK(lookahead_ > 0, "shard lookahead must be positive");
   failed_.store(false, std::memory_order_relaxed);
   first_failure_ = nullptr;
@@ -97,45 +264,26 @@ std::size_t ShardCoordinator::run(Time until, unsigned workers) {
   std::uint64_t fired_before = 0;
   for (const EventLoop* loop : shards_) fired_before += loop->perf().events_fired;
 
-  // Epoch state: written only inside the barrier completion (all workers
+  // Round state: written only inside the barrier completion (all workers
   // parked) or before the workers start, read by workers after release —
   // the barrier itself is the synchronization.
-  Time epoch_end = 0;
   bool done = false;
   auto advance = [&]() noexcept {
     if (failed_.load(std::memory_order_relaxed)) {
       done = true;
       return;
     }
-    // Skip-ahead: the next epoch starts at the earliest pending work
-    // anywhere (loop events or undrained inbox entries), so idle
-    // stretches cost one barrier round instead of (gap / lookahead).
-    Time min_next = -1;
-    for (EventLoop* loop : shards_) {
-      const Time t = loop->next_event_time();
-      if (t >= 0 && (min_next < 0 || t < min_next)) min_next = t;
-    }
-    for (const Inbox& cell : inboxes_) {
-      for (const CrossEvent& e : cell.events) {
-        if (min_next < 0 || e.when < min_next) min_next = e.when;
-      }
-    }
-    if (min_next < 0 || (until >= 0 && min_next > until)) {
-      done = true;
-      return;
-    }
-    epoch_end = min_next + lookahead_;
-    if (until >= 0 && epoch_end > until) epoch_end = until;
+    compute_horizons(until, done);
   };
 
   std::barrier drain_gate(static_cast<std::ptrdiff_t>(workers));
   std::barrier sync(static_cast<std::ptrdiff_t>(workers), advance);
 
-  advance();  // compute the first epoch before any worker exists
+  advance();  // compute the first round's horizons before any worker exists
 
   auto worker_main = [&](unsigned w) {
     while (!done) {
-      // Phase A: drain inboxes filled during the previous epoch. The
+      // Phase A: drain inboxes filled during the previous round. The
       // drain_gate keeps phase-B posts (into cells another worker may
       // still be draining) from starting early.
       if (!failed_.load(std::memory_order_relaxed)) {
@@ -145,22 +293,40 @@ std::size_t ShardCoordinator::run(Time until, unsigned workers) {
           record_failure();
         }
       }
+      // hipcheck:allow(wall-clock): barrier-wait telemetry; never feeds sim state
+      const auto wait_a = std::chrono::steady_clock::now();
       drain_gate.arrive_and_wait();
-      // Phase B: run each owned shard's loop through the epoch. Static
+      barrier_wait_ns_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  // hipcheck:allow(wall-clock): barrier-wait telemetry; never feeds sim state
+                  std::chrono::steady_clock::now() - wait_a)
+                  .count()),
+          std::memory_order_relaxed);
+      // Phase B: run each owned shard's loop to its own horizon. Static
       // id-striped ownership: assignment affects only wall time, never
       // what any shard executes.
       if (!failed_.load(std::memory_order_relaxed)) {
         try {
           for (std::size_t s = w; s < n; s += workers) {
             Log::set_shard_id(static_cast<int>(s));
-            shards_[s]->run(epoch_end);
+            shards_[s]->run(horizons_[s]);
           }
         } catch (...) {
           record_failure();
         }
         Log::set_shard_id(-1);
       }
-      sync.arrive_and_wait();  // completion computes the next epoch
+      // hipcheck:allow(wall-clock): barrier-wait telemetry; never feeds sim state
+      const auto wait_b = std::chrono::steady_clock::now();
+      sync.arrive_and_wait();  // completion computes the next horizons
+      barrier_wait_ns_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  // hipcheck:allow(wall-clock): barrier-wait telemetry; never feeds sim state
+                  std::chrono::steady_clock::now() - wait_b)
+                  .count()),
+          std::memory_order_relaxed);
     }
   };
 

@@ -14,30 +14,48 @@
 namespace hipcloud::sim {
 
 /// Conservative parallel discrete-event coordinator: N single-threaded
-/// EventLoops (one per shard) advance in lockstep epochs whose length is
-/// the cross-shard *lookahead* — the minimum latency of any cross-shard
-/// link. Within an epoch every shard is causally independent (nothing one
-/// shard emits can reach another before the epoch ends), so the shards'
-/// loops run concurrently on worker threads with no locks on the hot
-/// path.
+/// EventLoops (one per shard) advance in barrier-synchronized rounds.
+/// Each round computes a *per-shard horizon* from adaptive per-pair
+/// channel lookahead: every ordered shard pair (j,i) carries the minimum
+/// delivery latency of links crossing that seam, and shard i may run to
+///
+///   horizon(i) = min over incoming seams (j,i) of  l(j) + lookahead(j,i)
+///
+/// where l(j) is a lower bound on the next instant shard j can fire any
+/// event — the fixed point of l(j) = min(next(j), min_k l(k) +
+/// lookahead(k,j)) over the published per-shard committed clocks and
+/// next-event times, computed once per barrier. Shards connected only by
+/// slow seams take long strides; idle shards skip ahead; a fast seam
+/// between two other shards never throttles them. Pairs with no
+/// registered seam fall back to the global default lookahead — or, in
+/// registered-pairs-only mode (net::ShardedWorld, where all cross
+/// traffic flows over registered CrossLinkHalf twins), to no constraint
+/// at all. `set_adaptive(false)` reverts to the PR-7 global-min epoch
+/// rule for ablation; both modes produce byte-identical hashes.
 ///
 /// Cross-shard traffic flows through per-(src,dst) inboxes:
 ///
-///  - During an epoch, a shard posts a cross-shard event with post():
+///  - During a round, a shard posts a cross-shard event with post():
 ///    an absolute firing time plus a callback. Each (src,dst) cell has
 ///    exactly one writer (the source shard's worker), so appends are
 ///    plain vector pushes — no locks, no atomics.
-///  - At the epoch barrier, each destination drains the cells addressed
-///    to it, sorts the entries by (when, src shard, source post index),
-///    and schedules them into its own loop. The two barrier crossings
-///    between a post and its drain give the happens-before edge.
+///  - At the barrier, each destination drains the cells addressed to it,
+///    sorts the entries by (when, src shard, source post index), and
+///    schedules them into its own loop via EventLoop::schedule_cross,
+///    which stamps the entry with a (src, post index) identity fixed at
+///    post time. The two barrier crossings between a post and its drain
+///    give the happens-before edge.
 ///
 /// Determinism: the shard partition is part of the world's topology, and
-/// nothing in the epoch schedule, drain order, or per-loop event order
-/// depends on the number of worker threads or on OS scheduling. The
-/// per-loop (when, seq) firing streams — and therefore every per-shard
-/// FNV-1a determinism hash and their shard-id-order merge — are
-/// byte-identical whether the same world runs on 1 worker or N.
+/// nothing in the horizon computation, drain order, or per-loop event
+/// order depends on the number of worker threads or on OS scheduling.
+/// Moreover the per-loop (when, seq) firing streams are invariant across
+/// *epoch slicings*: local events draw seq from the loop's FIFO counter
+/// (which cross arrivals do not consume) and cross arrivals carry their
+/// post-time identity, so draining the same posts at different barriers
+/// cannot reorder or rename any firing. The per-shard FNV-1a hashes and
+/// their shard-id-order merge are therefore byte-identical whether the
+/// same world runs on 1 worker or N, adaptive or global-min.
 class ShardCoordinator {
  public:
   ShardCoordinator() = default;
@@ -51,33 +69,88 @@ class ShardCoordinator {
   std::size_t shard_count() const { return shards_.size(); }
   EventLoop* shard(std::size_t id) { return shards_[id]; }
 
-  /// Epoch length. Must be positive and no larger than the minimum
-  /// cross-shard delivery latency, or conservative synchronization is
-  /// violated (a post could land inside the epoch that issued it).
-  /// Callers building worlds shrink this to their minimum cross link
-  /// latency before running.
+  /// Default lookahead for shard pairs with no registered seam, and the
+  /// floor of the global-min ablation. Must be positive and no larger
+  /// than the minimum cross-shard delivery latency of any unregistered
+  /// seam, or conservative synchronization is violated (a post could
+  /// land inside the round that issued it). Callers building worlds
+  /// shrink this to their minimum cross link latency before running.
   void set_lookahead(Duration lookahead) { lookahead_ = lookahead; }
   Duration lookahead() const { return lookahead_; }
 
+  /// Record that links cross the ordered seam (src,dst) with delivery
+  /// latency >= `lookahead`. Shrink-only min: registering a faster link
+  /// later tightens the pair (legal between runs — outstanding posts
+  /// were validated against the older, larger bound). Posts on a
+  /// registered pair must arrive at least `pair_lookahead(src,dst)`
+  /// after the source's committed clock.
+  void register_pair_lookahead(std::size_t src, std::size_t dst,
+                               Duration lookahead);
+
+  /// The registered seam lookahead, or -1 when (src,dst) has none.
+  Duration pair_lookahead(std::size_t src, std::size_t dst) const;
+
+  /// When true, cross-shard posts are only legal on registered pairs
+  /// (checked), and unregistered pairs impose no horizon constraint at
+  /// all. net::ShardedWorld enables this: every cross post it issues
+  /// rides a CrossLinkHalf whose seam was registered at connect time.
+  void set_registered_pairs_only(bool on) { registered_only_ = on; }
+  bool registered_pairs_only() const { return registered_only_; }
+
+  /// Adaptive per-pair horizons (default) vs the PR-7 global-min epoch
+  /// rule (every shard runs to min-next-event + min-lookahead). The
+  /// ablation knob for bench/fig_scale; hashes are identical either way.
+  void set_adaptive(bool on) { adaptive_ = on; }
+  bool adaptive() const { return adaptive_; }
+
   /// Post a cross-shard event: run `fn` in shard `dst`'s loop at absolute
-  /// time `when`. Called only from `src`'s worker during an epoch (or
+  /// time `when`. Called only from `src`'s worker during a round (or
   /// from the setup thread before run()); the lookahead contract requires
-  /// `when` to be at or beyond the end of the posting epoch.
+  /// `when` to be at or beyond `dst`'s current horizon.
   void post(std::size_t src, std::size_t dst, Time when, InlineFn fn);
 
   /// Run every shard to `until` (inclusive, like EventLoop::run; pass -1
   /// to run until all loops and inboxes drain) using `workers` threads.
-  /// workers is clamped to [1, shard_count]; 1 runs inline on the caller.
-  /// Returns the total number of events fired across all shards.
+  /// workers is clamped to [1, shard_count]; 1 runs inline on the caller;
+  /// 0 picks a count automatically (see plan_workers). Returns the total
+  /// number of events fired across all shards.
   std::size_t run(Time until, unsigned workers = 1);
+
+  /// The worker count run() will actually use for `requested`. An
+  /// explicit request (>= 1) is only clamped to [1, shard_count]. A
+  /// request of 0 sizes the pool from the work on hand: one worker per
+  /// kAutoEventsPerWorker currently-pending events, capped by the host's
+  /// hardware concurrency and the shard count — so tiny worlds run
+  /// inline instead of paying barrier traffic for microseconds of work.
+  unsigned plan_workers(unsigned requested) const;
+
+  /// Auto-sizing grain: pending events per worker below which adding a
+  /// worker costs more in barrier rounds than it saves in parallelism
+  /// (measured on the 1k-client fig_scale point, which regressed to
+  /// 0.895x at 8 workers before the clamp).
+  static constexpr std::size_t kAutoEventsPerWorker = 2048;
 
   /// Cross-shard events still waiting in inboxes (only meaningful between
   /// runs; exposed for tests).
   std::size_t inbox_pending() const;
 
+  /// Barrier rounds executed across all runs so far. A pure function of
+  /// the simulated schedule — identical at every worker count — and the
+  /// denominator of the events-per-epoch bench column.
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// Total wall-clock nanoseconds workers spent parked at the two
+  /// barriers, summed across workers and runs. Telemetry only (never
+  /// feeds simulation state or the hash): the BENCH_scale.json
+  /// barrier-wait column showing what the adaptive horizon saves.
+  std::uint64_t barrier_wait_ns() const {
+    return barrier_wait_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Per-shard counters merged in shard-id order — never in worker
   /// completion order — so the merged stream (and the JSON it feeds) is
-  /// byte-identical for every worker count.
+  /// byte-identical for every worker count. The coordinator's own
+  /// epoch/stride counters ride along in the shard_* fields.
   PerfCounters merged_perf() const;
 
   /// The world determinism hash: the shard-id-order merge of the
@@ -95,17 +168,43 @@ class ShardCoordinator {
     std::vector<CrossEvent> events;
   };
 
+  /// Seam lookahead used by the horizon rule for (src,dst): the
+  /// registered pair value, else the global default, else (in
+  /// registered-pairs-only mode) no constraint (-1).
+  Duration effective_lookahead(std::size_t src, std::size_t dst) const;
+  /// min over all ordered pairs of effective_lookahead — the global-min
+  /// ablation's epoch length (and the PR-7 behavior).
+  Duration min_effective_lookahead() const;
+  void compute_horizons(Time until, bool& done);
   void drain_into(std::size_t dst);
   void record_failure();
 
   std::vector<EventLoop*> shards_;
   std::vector<Inbox> inboxes_;            // src * shard_count + dst
   std::vector<std::uint64_t> post_seq_;   // per-source posting counters
+  std::vector<Duration> pair_lookahead_;  // src * shard_count + dst; -1 unset
   Duration lookahead_ = from_micros(50);
+  bool registered_only_ = false;
+  bool adaptive_ = true;
+
+  // Round state: written only inside the barrier completion (all workers
+  // parked) or before the workers start, read by workers after release —
+  // the barrier itself is the synchronization. horizons_[i] is the bound
+  // shard i runs to this round (-1: unconstrained, run to drain).
+  std::vector<Time> horizons_;
+  std::vector<Time> lbts_;  // scratch for the fixed point
+
+  // Deterministic schedule counters (see epochs()).
+  std::uint64_t epochs_ = 0;
+  std::uint64_t strides_ = 0;
+  std::uint64_t stride_ns_ = 0;
+
+  // Wall-clock telemetry (see barrier_wait_ns()).
+  std::atomic<std::uint64_t> barrier_wait_ns_{0};
 
   // Per-run worker failure funnel: a throwing shard callback must not
   // deadlock the barrier protocol, so workers record here, go passive,
-  // and the epoch completion shuts the run down.
+  // and the round completion shuts the run down.
   std::atomic<bool> failed_{false};
   std::mutex failure_mu_;
   std::exception_ptr first_failure_;

@@ -79,6 +79,27 @@ TEST(ShardedFabric, CrossRackTrafficArrivesAndHashIsWorkerInvariant) {
   }
 }
 
+TEST(ShardedFabric, HeterogeneousPodsRegisterSlowInterPodSeams) {
+  FabricConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 1;
+  cfg.vms_per_host = 1;
+  cfg.racks_per_pod = 2;  // racks {0,1} and {2,3}
+  cfg.cross_pod.latency = sim::from_millis(5);
+  ShardedFabric fabric(cfg);
+  EXPECT_EQ(fabric.pod_of(0), 0u);
+  EXPECT_EQ(fabric.pod_of(3), 1u);
+  auto& coord = fabric.world().coordinator();
+  // Intra-pod seams carry the fast cross_rack lookahead, inter-pod the
+  // slow cross_pod one — the heterogeneity the adaptive horizon exploits.
+  EXPECT_EQ(coord.pair_lookahead(0, 1), cfg.cross_rack.latency);
+  EXPECT_EQ(coord.pair_lookahead(2, 3), cfg.cross_rack.latency);
+  EXPECT_EQ(coord.pair_lookahead(0, 2), cfg.cross_pod.latency);
+  EXPECT_EQ(coord.pair_lookahead(1, 3), cfg.cross_pod.latency);
+  // The global view still reports the smallest seam in the world.
+  EXPECT_EQ(coord.lookahead(), cfg.cross_rack.latency);
+}
+
 TEST(ShardedFabric, RackTopologyAndAddressing) {
   FabricConfig cfg;
   cfg.racks = 3;

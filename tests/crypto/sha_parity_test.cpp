@@ -87,6 +87,30 @@ TEST(ShaParity, ShaNiMatchesScalarStreaming) {
   }
 }
 
+TEST(ShaParity, DualStreamCompressMatchesTwoSingleStreamCalls) {
+  if (!shani::supported()) {
+    GTEST_SKIP() << "CPU lacks SHA-NI (or HIPCLOUD_NO_SHANI set)";
+  }
+  Rng rng;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t nblocks = 1 + rng.below(9);
+    const Bytes blocks_a = rng.bytes(64 * nblocks);
+    const Bytes blocks_b = rng.bytes(64 * nblocks);
+    std::uint32_t want_a[8], want_b[8], got_a[8], got_b[8];
+    for (int i = 0; i < 8; ++i) {
+      want_a[i] = got_a[i] = static_cast<std::uint32_t>(rng.next());
+      want_b[i] = got_b[i] = static_cast<std::uint32_t>(rng.next());
+    }
+    shani::compress(want_a, blocks_a.data(), nblocks);
+    shani::compress(want_b, blocks_b.data(), nblocks);
+    shani::compress2(got_a, blocks_a.data(), got_b, blocks_b.data(), nblocks);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(got_a[i], want_a[i]) << "trial=" << trial << " word=" << i;
+      ASSERT_EQ(got_b[i], want_b[i]) << "trial=" << trial << " word=" << i;
+    }
+  }
+}
+
 TEST(ShaParity, MultiBufferMatchesStreamingHmacAtEveryLaneWidth) {
   BackendGuard guard;
   Rng rng;
@@ -108,8 +132,8 @@ TEST(ShaParity, MultiBufferMatchesStreamingHmacAtEveryLaneWidth) {
     }
 
     sha256_backend::set_for_test(sha256_backend::Kind::kAuto);
-    for (const std::size_t cap : {std::size_t{1}, std::size_t{4},
-                                  std::size_t{8}}) {
+    for (const std::size_t cap : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8}}) {
       shamb::set_lane_cap_for_test(cap);
       HmacSha256Mb mb(key);
       std::vector<Bytes> got(msgs.size(), Bytes(HmacSha256::kDigestSize));

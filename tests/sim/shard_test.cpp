@@ -222,6 +222,224 @@ TEST(ShardCoordinator, CallbackFailurePropagatesWithoutDeadlock) {
   }
 }
 
+TEST(ShardCoordinator, AdaptiveAndGlobalMinHashesAreByteIdentical) {
+  // The tentpole invariant: per-pair horizons re-slice the epochs but
+  // must not rename or reorder a single firing. Same world, both modes,
+  // every worker count — one hash.
+  const Time until = from_millis(3);
+  std::uint64_t want_hash = 0;
+  std::uint64_t want_epochs_adaptive = 0;
+  for (const bool adaptive : {true, false}) {
+    for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+      SyntheticWorld w(8, 40);
+      w.coord.set_adaptive(adaptive);
+      w.coord.run(until, workers);
+      if (want_hash == 0) want_hash = w.coord.world_hash();
+      EXPECT_EQ(w.coord.world_hash(), want_hash)
+          << "adaptive=" << adaptive << " workers=" << workers;
+      // Epoch count is a pure function of the schedule and the mode.
+      if (adaptive && want_epochs_adaptive == 0) {
+        want_epochs_adaptive = w.coord.epochs();
+      }
+      if (adaptive) {
+        EXPECT_EQ(w.coord.epochs(), want_epochs_adaptive)
+            << "workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(ShardCoordinator, DeliveryAtExactPerPairLookaheadBoundary) {
+  // Two seams with very different registered lookaheads; a post that
+  // lands exactly one *pair* lookahead ahead — tighter than the slow
+  // seam, looser than nothing — must fire at precisely that instant.
+  constexpr Duration kFast = from_micros(200);
+  constexpr Duration kSlow = from_millis(4);
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    std::vector<std::unique_ptr<EventLoop>> loops;
+    ShardCoordinator coord;
+    for (int s = 0; s < 3; ++s) {
+      loops.push_back(std::make_unique<EventLoop>());
+      coord.add_shard(loops.back().get());
+    }
+    coord.set_registered_pairs_only(true);
+    coord.register_pair_lookahead(0, 1, kFast);
+    coord.register_pair_lookahead(0, 2, kSlow);
+    EXPECT_EQ(coord.pair_lookahead(0, 1), kFast);
+    EXPECT_EQ(coord.pair_lookahead(0, 2), kSlow);
+    EXPECT_EQ(coord.pair_lookahead(1, 0), Duration{-1});
+    Time fast_fire = -1;
+    Time slow_fire = -1;
+    loops[0]->schedule_at(0, [&] {
+      coord.post(0, 1, kFast, [&] { fast_fire = loops[1]->now(); });
+      coord.post(0, 2, kSlow, [&] { slow_fire = loops[2]->now(); });
+    });
+    coord.run(from_millis(10), workers);
+    EXPECT_EQ(fast_fire, kFast) << "workers=" << workers;
+    EXPECT_EQ(slow_fire, kSlow) << "workers=" << workers;
+  }
+}
+
+/// Two isolated seam groups with very different cadences: shards 0<->1
+/// ping-pong every ~kFast over a fast seam, shards 2<->3 every ~kSlow
+/// over a slow one. Registered-pairs-only, so no seam crosses the
+/// groups. Built as a fixture so the heterogeneous tests below can run
+/// it in both horizon modes and at any worker count.
+struct TwoPairWorld {
+  static constexpr Duration kFast = from_micros(100);
+  static constexpr Duration kSlow = from_millis(10);
+
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  ShardCoordinator coord;
+  std::vector<std::uint64_t> bounces{0, 0, 0, 0};
+
+  TwoPairWorld() {
+    for (int s = 0; s < 4; ++s) {
+      loops.push_back(std::make_unique<EventLoop>());
+      coord.add_shard(loops.back().get());
+    }
+    coord.set_registered_pairs_only(true);
+    coord.register_pair_lookahead(0, 1, kFast);
+    coord.register_pair_lookahead(1, 0, kFast);
+    coord.register_pair_lookahead(2, 3, kSlow);
+    coord.register_pair_lookahead(3, 2, kSlow);
+    loops[0]->schedule_at(0, [this] { bounce(0, 1, kFast); });
+    loops[2]->schedule_at(0, [this] { bounce(2, 3, kSlow); });
+  }
+
+  void bounce(std::size_t from, std::size_t to, Duration la) {
+    ++bounces[from];
+    coord.post(from, to, loops[from]->now() + la, [this, to, from, la] {
+      bounce(to, from, la);
+    });
+  }
+};
+
+TEST(ShardCoordinator, FastSeamDoesNotThrottleSlowPairStride) {
+  // Under the global-min rule every shard's horizon creeps at kFast
+  // cadence, so the slow pair is dragged through thousands of tiny
+  // strides. Under per-pair horizons the slow shards take one stride
+  // per bounce. Same firings, same hash, far fewer strides.
+  const Time until = from_millis(50);
+  PerfCounters adaptive_perf;
+  PerfCounters global_perf;
+  std::uint64_t adaptive_hash = 0;
+  std::uint64_t global_hash = 0;
+  std::vector<std::uint64_t> adaptive_bounces;
+  {
+    TwoPairWorld w;
+    w.coord.run(until, 1);
+    adaptive_perf = w.coord.merged_perf();
+    adaptive_hash = w.coord.world_hash();
+    adaptive_bounces = w.bounces;
+  }
+  {
+    TwoPairWorld w;
+    w.coord.set_adaptive(false);
+    w.coord.run(until, 1);
+    global_perf = w.coord.merged_perf();
+    global_hash = w.coord.world_hash();
+    EXPECT_EQ(w.bounces, adaptive_bounces);
+  }
+  // ~500 fast bounces and ~5 slow ones actually happened either way.
+  EXPECT_GT(adaptive_bounces[0], 100u);
+  EXPECT_GE(adaptive_bounces[2], 3u);
+  EXPECT_EQ(adaptive_hash, global_hash);
+  EXPECT_EQ(adaptive_perf.events_fired, global_perf.events_fired);
+  // The stride economy is the point: the slow pair rides long strides
+  // instead of being marched at the fast seam's cadence.
+  EXPECT_LT(adaptive_perf.shard_strides, global_perf.shard_strides / 2);
+  EXPECT_GE(adaptive_perf.events_per_epoch(), global_perf.events_per_epoch());
+  // Worker-count invariance for the heterogeneous world, both modes.
+  for (const bool adaptive : {true, false}) {
+    for (const unsigned workers : {2u, 4u}) {
+      TwoPairWorld w;
+      w.coord.set_adaptive(adaptive);
+      w.coord.run(until, workers);
+      EXPECT_EQ(w.coord.world_hash(), adaptive_hash)
+          << "adaptive=" << adaptive << " workers=" << workers;
+      EXPECT_EQ(w.bounces, adaptive_bounces)
+          << "adaptive=" << adaptive << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ShardCoordinator, DynamicLinkAdditionShrinksPairLookaheadMidRun) {
+  // A new, faster link appears on an existing seam between runs:
+  // registration is shrink-only, tightens only that pair, and the
+  // delivery contract switches to the new bound for traffic posted
+  // afterwards. Hashes stay worker-invariant across the whole
+  // two-segment schedule.
+  constexpr Duration kInitial = from_millis(2);
+  constexpr Duration kShrunk = from_micros(250);
+  auto run_segments = [&](unsigned workers) {
+    std::vector<std::unique_ptr<EventLoop>> loops;
+    ShardCoordinator coord;
+    for (int s = 0; s < 2; ++s) {
+      loops.push_back(std::make_unique<EventLoop>());
+      coord.add_shard(loops.back().get());
+    }
+    coord.set_registered_pairs_only(true);
+    coord.register_pair_lookahead(0, 1, kInitial);
+    coord.register_pair_lookahead(1, 0, kInitial);
+    std::vector<Time> fires;
+    loops[0]->schedule_at(0, [&] {
+      coord.post(0, 1, kInitial, [&] { fires.push_back(loops[1]->now()); });
+    });
+    coord.run(from_millis(5), workers);
+    // The new link lands: the seam is now 8x tighter. A larger value
+    // must NOT loosen it back.
+    coord.register_pair_lookahead(0, 1, kShrunk);
+    coord.register_pair_lookahead(0, 1, from_millis(50));
+    EXPECT_EQ(coord.pair_lookahead(0, 1), kShrunk);
+    EXPECT_EQ(coord.pair_lookahead(1, 0), kInitial);
+    const Time t0 = from_millis(5);
+    loops[0]->schedule_at(t0, [&] {
+      coord.post(0, 1, t0 + kShrunk,
+                 [&] { fires.push_back(loops[1]->now()); });
+    });
+    coord.run(from_millis(10), workers);
+    EXPECT_EQ(fires,
+              (std::vector<Time>{kInitial, t0 + kShrunk}))
+        << "workers=" << workers;
+    return coord.world_hash();
+  };
+  const std::uint64_t base = run_segments(1);
+  EXPECT_EQ(run_segments(2), base);
+}
+
+TEST(ShardCoordinator, PlanWorkersClampsAutoRequestsToWorkOnHand) {
+  SyntheticWorld tiny(4, 2);
+  // Explicit requests pass through, clamped only by the shard count.
+  EXPECT_EQ(tiny.coord.plan_workers(2), 2u);
+  EXPECT_EQ(tiny.coord.plan_workers(8), 4u);
+  // Auto on a tiny world collapses to 1: a handful of pending events
+  // cannot amortize even one barrier round of thread traffic.
+  EXPECT_LT(tiny.coord.shard(0)->pending() * 4,
+            ShardCoordinator::kAutoEventsPerWorker);
+  EXPECT_EQ(tiny.coord.plan_workers(0), 1u);
+  // run(until, 0) must behave like an explicit run at the planned count:
+  // same hash as every other worker count.
+  const Time until = from_millis(1);
+  const RunResult base = run_world(4, 10, until, 1);
+  SyntheticWorld w(4, 10);
+  w.coord.run(until, 0);
+  EXPECT_EQ(w.coord.world_hash(), base.hash);
+}
+
+TEST(ShardCoordinator, PostOnUnregisteredSeamTripsInRegisteredOnlyMode) {
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  ShardCoordinator coord;
+  for (int s = 0; s < 2; ++s) {
+    loops.push_back(std::make_unique<EventLoop>());
+    coord.add_shard(loops.back().get());
+  }
+  coord.set_registered_pairs_only(true);
+  coord.register_pair_lookahead(0, 1, kLookahead);
+  EXPECT_NO_THROW(coord.post(0, 1, kLookahead, [] {}));
+  EXPECT_THROW(coord.post(1, 0, kLookahead, [] {}), CheckFailure);
+}
+
 TEST(SummaryMerge, FixedOrderMergesAreByteIdentical) {
   // Chan's combination is order-sensitive in floating point; the contract
   // is that merging the same partials in the same (shard-id) order twice

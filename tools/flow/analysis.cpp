@@ -459,7 +459,7 @@ void analyze_taint(const std::vector<Token>& t, const FileTable& files,
 // later fires.
 const std::set<std::string>& suspension_calls() {
   static const std::set<std::string> s = {"schedule", "schedule_at", "post",
-                                          "defer"};
+                                          "defer", "schedule_cross"};
   return s;
 }
 

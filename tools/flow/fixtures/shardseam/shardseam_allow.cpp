@@ -14,6 +14,14 @@ struct Buffer {
 struct ShardCoordinator {
   template <typename F>
   void post(unsigned src, unsigned dst, long when, F f);
+  void register_pair_lookahead(unsigned src, unsigned dst, long lookahead);
+  void set_registered_pairs_only(bool on);
+};
+
+struct EventLoop {
+  template <typename F>
+  void schedule_cross(long when, std::uint32_t src_shard,
+                      std::uint64_t post_idx, F f);
 };
 
 Buffer stage_unpooled_copy(const Buffer& pooled);
@@ -21,6 +29,20 @@ Buffer stage_unpooled_copy(const Buffer& pooled);
 void cross_shard_staged(ShardCoordinator& coord, const Buffer& pooled) {
   Buffer staged = stage_unpooled_copy(pooled);
   coord.post(0, 1, 100, [owned = std::move(staged)]() mutable {
+    owned.data()[0] = 0;
+  });
+}
+
+// Per-pair lookahead registration path: the seam declares its latency
+// bound up front (connect_cross), the coordinator switches to
+// registered-pairs-only, and the later cross post carries owned bytes.
+// The registration itself parks nothing — no findings expected.
+void cross_shard_registered(ShardCoordinator& coord, EventLoop& dst_loop,
+                            const Buffer& pooled) {
+  coord.register_pair_lookahead(0, 1, 200);
+  coord.set_registered_pairs_only(true);
+  Buffer staged = stage_unpooled_copy(pooled);
+  dst_loop.schedule_cross(300, 0, 7, [owned = std::move(staged)]() mutable {
     owned.data()[0] = 0;
   });
 }

@@ -21,6 +21,12 @@ struct ShardCoordinator {
   void post(unsigned src, unsigned dst, long when, F f);
 };
 
+struct EventLoop {
+  template <typename F>
+  void schedule_cross(long when, std::uint32_t src_shard,
+                      std::uint64_t post_idx, F f);
+};
+
 void consume(Buffer b);
 
 void cross_shard_escape(Pool& pool, ShardCoordinator& coord) {
@@ -28,5 +34,17 @@ void cross_shard_escape(Pool& pool, ShardCoordinator& coord) {
   std::uint8_t* payload = wire.data();
   // hipcheck:expect(flow-buffer-lifetime)
   coord.post(0, 1, 100, [payload] { payload[0] = 0; });
+  consume(std::move(wire));
+}
+
+// The destination-side twin: schedule_cross is the seam's landing API
+// (slicing-invariant seq derived from (src_shard, post_idx)), and it
+// parks the callback just like post() does — a pooled window pointer
+// captured here dangles by the time the destination shard fires it.
+void cross_seq_escape(Pool& pool, EventLoop& dst_loop) {
+  Buffer wire = pool.make(256, 32, 16);
+  std::uint8_t* window = wire.prepend(8);
+  // hipcheck:expect(flow-buffer-lifetime)
+  dst_loop.schedule_cross(100, 0, 7, [window] { window[0] = 0; });
   consume(std::move(wire));
 }
