@@ -5,6 +5,9 @@
 #   scripts/check.sh --fast       # normal build only
 #   scripts/check.sh --lint       # hipcloud_lint over src/ bench/ tests/ + self-test
 #   scripts/check.sh --flow       # hipcloud_flow whole-tree analysis + self-test
+#   scripts/check.sh --flow-ipa   # --flow plus the interprocedural gates:
+#                                 # cross-TU call-graph determinism at
+#                                 # several job counts against the golden
 #   scripts/check.sh --tidy       # clang-tidy over compile_commands.json
 #                                 # (skips, not fails, if clang-tidy absent)
 #   scripts/check.sh --audit      # HIPCLOUD_AUDIT=ON build, full tier-1 +
@@ -36,8 +39,8 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 tjobs="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 
-run_normal=0 run_san=0 run_lint=0 run_flow=0 run_tidy=0 run_audit=0 \
-  run_tsan=0 run_bench=0 run_scale=0
+run_normal=0 run_san=0 run_lint=0 run_flow=0 run_flow_ipa=0 run_tidy=0 \
+  run_audit=0 run_tsan=0 run_bench=0 run_scale=0
 if [[ $# -eq 0 ]]; then
   run_normal=1 run_san=1
 fi
@@ -46,16 +49,17 @@ for arg in "$@"; do
     --fast)  run_normal=1 ;;
     --lint)  run_lint=1 ;;
     --flow)  run_flow=1 ;;
+    --flow-ipa) run_flow=1 run_flow_ipa=1 ;;
     --tidy)  run_tidy=1 ;;
     --audit) run_audit=1 ;;
     --tsan)  run_tsan=1 ;;
     --bench-smoke) run_bench=1 ;;
     --scale) run_scale=1 ;;
-    --all)   run_normal=1 run_san=1 run_lint=1 run_flow=1 run_tidy=1 \
-             run_audit=1 run_tsan=1 run_bench=1 run_scale=1 ;;
+    --all)   run_normal=1 run_san=1 run_lint=1 run_flow=1 run_flow_ipa=1 \
+             run_tidy=1 run_audit=1 run_tsan=1 run_bench=1 run_scale=1 ;;
     *)
-      echo "usage: $0 [--fast] [--lint] [--flow] [--tidy] [--audit]" \
-           "[--tsan] [--bench-smoke] [--scale] [--all]" >&2
+      echo "usage: $0 [--fast] [--lint] [--flow] [--flow-ipa] [--tidy]" \
+           "[--audit] [--tsan] [--bench-smoke] [--scale] [--all]" >&2
       exit 2
       ;;
   esac
@@ -116,6 +120,16 @@ if [[ "$run_flow" == 1 ]]; then
   run "flow: tree" \
     "$root/build/tools/hipcloud_flow" --root "$root" \
     --compdb "$root/build/compile_commands.json" --jobs "$jobs"
+  if [[ "$run_flow_ipa" == 1 ]]; then
+    # Interprocedural extras: the linked cross-TU call graph must be
+    # byte-identical to the golden at every job count (extraction
+    # parallelism must never be observable in the merged graph).
+    run "flow-ipa: call-graph determinism (jobs 1/2/8)" \
+      bash "$root/tools/flow/callgraph_determinism_test.sh" \
+      "$root/build/tools/hipcloud_flow" \
+      "$root/tools/flow/fixtures/callgraph" \
+      "$root/tools/flow/fixtures/callgraph/expected_callgraph.txt"
+  fi
 fi
 
 if [[ "$run_tidy" == 1 ]]; then

@@ -98,7 +98,10 @@ class ShardedFabric {
  private:
   FabricConfig config_;
   net::ShardedWorld world_;
-  std::vector<std::unique_ptr<Cloud>> clouds_;
+  // One Cloud per rack; rack r's nodes, links and pools are confined to
+  // shard r's event loop (the fabric's whole point), so the analyzer
+  // treats the racks as shard-confined state.
+  std::vector<std::unique_ptr<Cloud>> clouds_;  // hipcheck:shard_owned
   /// mesh_iface_[from * racks + to] = gateway iface on `from` toward
   /// `to` (SIZE_MAX on the diagonal).
   std::vector<std::size_t> mesh_iface_;

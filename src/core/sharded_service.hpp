@@ -115,8 +115,12 @@ class ShardedService {
   std::unique_ptr<apps::ReverseProxy> proxy_;
 
   std::vector<std::unique_ptr<apps::ClosedLoopClients>> farms_;
-  std::vector<apps::LoadReport> farm_reports_;
-  std::vector<char> farm_done_;
+  // Per-rack completion slots: farm_reports_[r] / farm_done_[r] are
+  // written only by rack r's own shard (the farm's completion callback
+  // runs on that loop) and read after run() joins the workers — one
+  // writer per slot, no seam crossing, hence owned rather than shared.
+  std::vector<apps::LoadReport> farm_reports_;  // hipcheck:shard_owned
+  std::vector<char> farm_done_;                 // hipcheck:shard_owned
 };
 
 }  // namespace hipcloud::core

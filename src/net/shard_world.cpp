@@ -7,6 +7,9 @@
 
 namespace hipcloud::net {
 
+// hipcheck:seam — the one sanctioned shard crossing in the network layer:
+// the posted callback touches only by-value copies (twin/node pointers
+// resolve on the destination shard; the payload is re-staged pool-free).
 void CrossLinkHalf::schedule_delivery(sim::Time arrival, Node* to,
                                       Packet pkt) {
   // The payload may sit in a pooled block owned by the sending shard's

@@ -24,6 +24,9 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 class Log {
  public:
   static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  // hipcheck:seam — relaxed store on the process-wide filter; racing
+  // readers may see either level for a line or two, which is the
+  // documented contract (see the class comment).
   static void set_level(LogLevel lvl) {
     level_.store(lvl, std::memory_order_relaxed);
   }
@@ -48,7 +51,7 @@ class Log {
                     const std::string& msg);
 
  private:
-  static std::atomic<LogLevel> level_;
+  static std::atomic<LogLevel> level_;  // hipcheck:shard_shared
 };
 
 }  // namespace hipcloud::sim

@@ -26,6 +26,7 @@ Time sat_add(Time a, Duration b) {
 
 }  // namespace
 
+// hipcheck:seam — setup-time (re)build of the round state; no workers exist
 std::size_t ShardCoordinator::add_shard(EventLoop* loop) {
   const std::size_t id = shards_.size();
   shards_.push_back(loop);
@@ -112,6 +113,8 @@ PerfCounters ShardCoordinator::merged_perf() const {
   return merged;
 }
 
+// hipcheck:seam — the sanctioned barrier-phase inbox drain: both barrier
+// crossings between a post and this drain give the happens-before edge.
 void ShardCoordinator::drain_into(std::size_t dst) {
   const std::size_t n = shards_.size();
   struct Pending {
@@ -145,12 +148,16 @@ void ShardCoordinator::drain_into(std::size_t dst) {
   }
 }
 
+// hipcheck:seam — the cross-worker failure funnel; mutex-serialized
 void ShardCoordinator::record_failure() {
-  const std::lock_guard<std::mutex> lock(failure_mu_);
+  const MutexLock lock(failure_mu_);
   if (!first_failure_) first_failure_ = std::current_exception();
   failed_.store(true, std::memory_order_relaxed);
 }
 
+// hipcheck:seam — barrier-completion step: every worker is parked, so the
+// shared round state (horizons_, lbts_, the schedule counters) has exactly
+// one running writer and the barrier release publishes it.
 void ShardCoordinator::compute_horizons(Time until, bool& done) {
   const std::size_t n = shards_.size();
   // l(i) starts at next(i): the earliest pending work for shard i, from
@@ -253,6 +260,8 @@ unsigned ShardCoordinator::plan_workers(unsigned requested) const {
   return static_cast<unsigned>(w);
 }
 
+// hipcheck:seam — owns the worker pool: resets the shared failure funnel
+// before any worker exists and reads it back after every join.
 std::size_t ShardCoordinator::run(Time until, unsigned workers) {
   const std::size_t n = shards_.size();
   if (n == 0) return 0;
@@ -282,6 +291,12 @@ std::size_t ShardCoordinator::run(Time until, unsigned workers) {
   advance();  // compute the first round's horizons before any worker exists
 
   auto worker_main = [&](unsigned w) {
+    // Audited shared reads in this loop: `done` and horizons_ are written
+    // only by the barrier completion (advance) while every worker is
+    // parked, and the barrier release sequences those writes before the
+    // reads below — plain loads are race-free. failed_ and
+    // barrier_wait_ns_ are relaxed atomics by design (flag and counter;
+    // no data rides on their ordering).
     while (!done) {
       // Phase A: drain inboxes filled during the previous round. The
       // drain_gate keeps phase-B posts (into cells another worker may
@@ -339,7 +354,13 @@ std::size_t ShardCoordinator::run(Time until, unsigned workers) {
     for (std::thread& t : pool) t.join();
   }
 
-  if (first_failure_) std::rethrow_exception(first_failure_);
+  {
+    // The joins above already order every record_failure() before this
+    // read; the lock is for the thread-safety analysis (first_failure_ is
+    // GUARDED_BY) and costs one uncontended acquire per run.
+    const MutexLock lock(failure_mu_);
+    if (first_failure_) std::rethrow_exception(first_failure_);
+  }
 
   if (until >= 0) {
     // Leave every clock at exactly `until` (EventLoop::run semantics for

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <vector>
 
 #include "sim/event_loop.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/perf.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace hipcloud::sim {
@@ -177,11 +177,14 @@ class ShardCoordinator {
   Duration min_effective_lookahead() const;
   void compute_horizons(Time until, bool& done);
   void drain_into(std::size_t dst);
-  void record_failure();
+  void record_failure() HIPCLOUD_EXCLUDES(failure_mu_);
 
   std::vector<EventLoop*> shards_;
-  std::vector<Inbox> inboxes_;            // src * shard_count + dst
-  std::vector<std::uint64_t> post_seq_;   // per-source posting counters
+  // Single-writer mailbox cells: inboxes_[src * n + dst] and
+  // post_seq_[src] are appended only by src's worker during a round, so
+  // the ownership analyzer treats them as confined to the posting shard.
+  std::vector<Inbox> inboxes_;            // hipcheck:shard_owned
+  std::vector<std::uint64_t> post_seq_;   // hipcheck:shard_owned
   std::vector<Duration> pair_lookahead_;  // src * shard_count + dst; -1 unset
   Duration lookahead_ = from_micros(50);
   bool registered_only_ = false;
@@ -191,23 +194,25 @@ class ShardCoordinator {
   // parked) or before the workers start, read by workers after release —
   // the barrier itself is the synchronization. horizons_[i] is the bound
   // shard i runs to this round (-1: unconstrained, run to drain).
-  std::vector<Time> horizons_;
-  std::vector<Time> lbts_;  // scratch for the fixed point
+  std::vector<Time> horizons_;  // hipcheck:shard_shared
+  std::vector<Time> lbts_;      // hipcheck:shard_shared — fixed-point scratch
 
-  // Deterministic schedule counters (see epochs()).
-  std::uint64_t epochs_ = 0;
-  std::uint64_t strides_ = 0;
-  std::uint64_t stride_ns_ = 0;
+  // Deterministic schedule counters (see epochs()); barrier-published
+  // like the horizons above.
+  std::uint64_t epochs_ = 0;     // hipcheck:shard_shared
+  std::uint64_t strides_ = 0;    // hipcheck:shard_shared
+  std::uint64_t stride_ns_ = 0;  // hipcheck:shard_shared
 
-  // Wall-clock telemetry (see barrier_wait_ns()).
-  std::atomic<std::uint64_t> barrier_wait_ns_{0};
+  // Wall-clock telemetry (see barrier_wait_ns()); relaxed atomic, any
+  // worker may add at any time.
+  std::atomic<std::uint64_t> barrier_wait_ns_{0};  // hipcheck:shard_shared
 
   // Per-run worker failure funnel: a throwing shard callback must not
   // deadlock the barrier protocol, so workers record here, go passive,
   // and the round completion shuts the run down.
-  std::atomic<bool> failed_{false};
-  std::mutex failure_mu_;
-  std::exception_ptr first_failure_;
+  std::atomic<bool> failed_{false};  // hipcheck:shard_shared
+  Mutex failure_mu_;
+  std::exception_ptr first_failure_ HIPCLOUD_GUARDED_BY(failure_mu_);  // hipcheck:shard_shared
 };
 
 }  // namespace hipcloud::sim

@@ -3,66 +3,15 @@
 #include <algorithm>
 #include <cctype>
 
+#include "callgraph.hpp"
+
 namespace hipflow {
 
 namespace {
 
-// --------------------------------------------------------------------------
-// Small token helpers
-
-const std::string& tok(const std::vector<Token>& t, std::size_t i) {
-  static const std::string empty;
-  return i < t.size() ? t[i].text : empty;
-}
-
-bool is_ident(const std::string& s) {
-  return !s.empty() && (std::isalpha(static_cast<unsigned char>(s[0])) ||
-                        s[0] == '_');
-}
-
-/// Index of the matching ')' for the '(' at `open`; tokens.size() if
-/// unbalanced.
-std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t j = open; j < t.size(); ++j) {
-    if (t[j].text == "(") ++depth;
-    if (t[j].text == ")" && --depth == 0) return j;
-  }
-  return t.size();
-}
-
-std::size_t match_brace(const std::vector<Token>& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t j = open; j < t.size(); ++j) {
-    if (t[j].text == "{") ++depth;
-    if (t[j].text == "}" && --depth == 0) return j;
-  }
-  return t.size();
-}
-
-/// Lowercased '_'-separated parts of an identifier ("EspKeyMat" is not
-/// split on case — the tree's naming is snake_case throughout).
-std::vector<std::string> name_parts(const std::string& id) {
-  std::vector<std::string> parts;
-  std::string cur;
-  for (char c : id) {
-    if (c == '_') {
-      if (!cur.empty()) parts.push_back(cur);
-      cur.clear();
-    } else {
-      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-  }
-  if (!cur.empty()) parts.push_back(cur);
-  return parts;
-}
-
-bool has_part(const std::string& id, const std::set<std::string>& wanted) {
-  for (const std::string& p : name_parts(id)) {
-    if (wanted.count(p) != 0) return true;
-  }
-  return false;
-}
+// Token helpers (tok/is_ident/match_paren/match_brace/name_parts/
+// has_part) and the function-span scanner now live in callgraph.hpp so
+// the whole-program extractor and these per-TU rules agree on them.
 
 // Secret-name vocabularies. `kStrongSecret` parts taint an identifier on
 // sight (member fields like `master_`, `dh_secret`); the wider
@@ -126,67 +75,12 @@ bool in_ranges(const std::vector<std::pair<std::size_t, std::size_t>>& rs,
 }
 
 // --------------------------------------------------------------------------
-// Function extraction
-
-struct Function {
-  std::string name;       // last name component ("protect_packet")
-  std::size_t name_idx;   // token index of the name
-  std::size_t args_open;  // '(' of the parameter list
-  std::size_t body_open;  // '{'
-  std::size_t body_close; // matching '}'
-  bool hot = false;
-};
-
-const std::set<std::string>& control_keywords() {
-  static const std::set<std::string> s = {
-      "if",     "for",     "while",  "switch",       "catch",  "return",
-      "sizeof", "alignas", "new",    "static_assert", "delete", "else",
-      "do",     "decltype", "alignof"};
-  return s;
-}
-
-std::vector<Function> find_functions(const std::vector<Token>& t) {
-  std::vector<Function> out;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i + 1].text != "(" || !is_ident(t[i].text)) continue;
-    if (control_keywords().count(t[i].text) != 0) continue;
-    // `operator` overloads: name token is "operator", fine as-is.
-    const std::size_t close = match_paren(t, i + 1);
-    if (close >= t.size()) continue;
-    // Walk past trailing qualifiers / ctor init list to the body brace.
-    std::size_t j = close + 1;
-    int pdepth = 0;
-    bool is_def = false;
-    for (; j < t.size(); ++j) {
-      const std::string& s = t[j].text;
-      if (s == "(") ++pdepth;
-      else if (s == ")") --pdepth;
-      else if (pdepth == 0) {
-        if (s == "{") {
-          is_def = true;
-          break;
-        }
-        if (s == ";" || s == "}" || s == "=") break;
-        // const / noexcept / override / -> Type / : init-list tokens all
-        // pass through; a ',' at depth 0 means we were inside an
-        // expression, not a declarator.
-        if (s == ",") break;
-      }
-    }
-    if (!is_def) continue;
-    const std::size_t body_close = match_brace(t, j);
-    if (body_close >= t.size()) continue;
-    out.push_back({t[i].text, i, i + 1, j, body_close, false});
-    // Nested definitions (class methods) are found by the same scan; do
-    // not skip the body.
-  }
-  return out;
-}
+// Function extraction — shared FnSpan scanner from callgraph.hpp.
 
 void mark_hot(const std::vector<Token>& t, const FileTable& files,
-              const AnalysisOptions& opts, std::vector<Function>& fns) {
+              const AnalysisOptions& opts, std::vector<FnSpan>& fns) {
   if (opts.hot_marks != nullptr) {
-    for (Function& f : fns) {
+    for (FnSpan& f : fns) {
       const Token& nt = t[f.name_idx];
       auto it = opts.hot_marks->find(files.path(nt.file));
       if (it == opts.hot_marks->end()) continue;
@@ -204,7 +98,7 @@ void mark_hot(const std::vector<Token>& t, const FileTable& files,
   while (changed) {
     changed = false;
     std::set<std::string> hot_names;
-    for (const Function& f : fns) {
+    for (const FnSpan& f : fns) {
       if (f.hot) {
         const auto lazy = lazy_ranges(t, f.body_open, f.body_close);
         for (std::size_t j = f.body_open; j < f.body_close; ++j) {
@@ -215,7 +109,7 @@ void mark_hot(const std::vector<Token>& t, const FileTable& files,
         }
       }
     }
-    for (Function& f : fns) {
+    for (FnSpan& f : fns) {
       if (!f.hot && hot_names.count(f.name) != 0) {
         f.hot = true;
         changed = true;
@@ -332,7 +226,7 @@ bool range_tainted(const std::vector<Token>& t, std::size_t b, std::size_t e,
 bool mac_like(const std::string& id) { return has_part(id, mac_parts()); }
 
 void analyze_taint(const std::vector<Token>& t, const FileTable& files,
-                   const Function& fn, const AnalysisOptions& opts,
+                   const FnSpan& fn, const AnalysisOptions& opts,
                    std::vector<Finding>& out) {
   if (!opts.all_paths) {
     // Sink scope: src/ only. Tests compare derived keys with EXPECT_EQ
@@ -454,17 +348,12 @@ void analyze_taint(const std::vector<Token>& t, const FileTable& files,
 // --------------------------------------------------------------------------
 // 3. Pooled-Buffer lifetime
 
-// Suspension points: calls that park a callback on the EventLoop. The
-// frame (and every pooled Buffer local in it) is gone when the callback
-// later fires.
-const std::set<std::string>& suspension_calls() {
-  static const std::set<std::string> s = {"schedule", "schedule_at", "post",
-                                          "defer", "schedule_cross"};
-  return s;
-}
+// Suspension points (suspension_calls() in callgraph.hpp): calls that
+// park a callback on the EventLoop. The frame (and every pooled Buffer
+// local in it) is gone when the callback later fires.
 
 void analyze_buffer_lifetime(const std::vector<Token>& t,
-                             const FileTable& files, const Function& fn,
+                             const FileTable& files, const FnSpan& fn,
                              std::vector<Finding>& out) {
   // Buffer locals declared by value in this body.
   std::set<std::string> buffers;
@@ -581,7 +470,7 @@ void analyze_buffer_lifetime(const std::vector<Token>& t,
 // 4. Hot-path allocation
 
 void analyze_hot_alloc(const std::vector<Token>& t, const FileTable& files,
-                       const Function& fn, std::vector<Finding>& out) {
+                       const FnSpan& fn, std::vector<Finding>& out) {
   if (!fn.hot) return;
   const auto exempt = lazy_ranges(t, fn.body_open, fn.body_close);
   auto exempted = [&](std::size_t i) { return in_ranges(exempt, i); };
@@ -650,7 +539,7 @@ void analyze_hot_alloc(const std::vector<Token>& t, const FileTable& files,
 // 5. Exception flow out of EventLoop callbacks
 
 void analyze_exception_flow(const std::vector<Token>& t,
-                            const FileTable& files, const Function& fn,
+                            const FileTable& files, const FnSpan& fn,
                             std::vector<Finding>& out) {
   for (std::size_t i = fn.body_open; i + 1 < fn.body_close; ++i) {
     if (suspension_calls().count(t[i].text) == 0 || tok(t, i + 1) != "(") {
@@ -699,19 +588,149 @@ void analyze_exception_flow(const std::vector<Token>& t,
   }
 }
 
+// --------------------------------------------------------------------------
+// 6. Shard ownership, intra-TU half (the interprocedural half lives in
+//    ownership.cpp over the linked call graph).
+
+/// flow-shard-owned: a lambda crossing the shard seam (handed to
+/// ShardCoordinator::post / EventLoop::schedule_cross) must not smuggle
+/// the sending shard's state across threads. Value captures and
+/// init-captures are legal ownership transfer (the CrossLinkHalf staged
+/// copy); `this`, by-reference captures, and any use of a
+/// hipcheck:shard_owned-marked name (or a `member_`-shaped name under a
+/// default capture) are not — the callback runs on the receiving shard's
+/// worker while the sender keeps mutating that state.
+void analyze_shard_owned(const std::vector<Token>& t, const FileTable& files,
+                         const FnSpan& fn, const AnalysisOptions& opts,
+                         std::vector<Finding>& out) {
+  if (opts.marks == nullptr) return;
+  if (!opts.all_paths) {
+    const std::string& fpath = files.path(t[fn.name_idx].file);
+    if (fpath.rfind("src/", 0) != 0) return;
+  }
+  const std::set<std::string>& owned = opts.marks->owned_names;
+  for (std::size_t i = fn.body_open; i + 1 < fn.body_close; ++i) {
+    if (!is_ident(t[i].text) || !is_cross_seam_call(t, i)) continue;
+    const std::size_t close = match_paren(t, i + 1);
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (t[j].text != "[") continue;
+      std::size_t cap_end = j;
+      while (cap_end < close && t[cap_end].text != "]") ++cap_end;
+      std::size_t lb = cap_end + 1;
+      if (tok(t, lb) == "(") lb = match_paren(t, lb) + 1;
+      while (lb < close && is_ident(tok(t, lb))) ++lb;
+      if (tok(t, lb) != "{") continue;
+      const std::size_t le = match_brace(t, lb);
+
+      auto flag = [&](std::size_t at, const std::string& msg) {
+        out.push_back({files.path(t[at].file), t[at].line,
+                       "flow-shard-owned", msg});
+      };
+      bool default_cap = false;
+      bool in_init = false;
+      for (std::size_t k = j + 1; k < cap_end; ++k) {
+        const std::string& c = t[k].text;
+        if (c == ",") {
+          in_init = false;
+          continue;
+        }
+        if (c == "=") {
+          if (tok(t, k + 1) == "]" || tok(t, k + 1) == "," || k == j + 1) {
+            default_cap = true;
+          } else {
+            in_init = true;  // init-capture: value/move transfer, legal
+          }
+          continue;
+        }
+        if (c == "this") {
+          flag(k, "`this` captured into a cross-shard callback — the "
+                  "receiving worker would alias the sending shard's "
+                  "object; stage a copy instead");
+          continue;
+        }
+        if (c == "&") {
+          const std::string& nx = tok(t, k + 1);
+          if (nx == "]" || nx == ",") {
+            flag(k, "default by-reference capture crosses the shard seam "
+                    "— the frame and its shard-owned state stay on the "
+                    "sending side; capture by value");
+          } else if (is_ident(nx) && !in_init) {
+            flag(k, "`" + nx + "` captured by reference into a "
+                                "cross-shard callback; capture by value "
+                                "or stage a copy");
+            ++k;
+          }
+          continue;
+        }
+        if (is_ident(c) && !in_init && owned.count(c) != 0) {
+          flag(k, "`" + c + "` is hipcheck:shard_owned — copying it "
+                            "across the seam aliases shard-confined "
+                            "state; send a staged value instead");
+        }
+      }
+      // Body uses of owned-marked or member-shaped names only reach the
+      // other shard when something captured the enclosing object.
+      if (default_cap) {
+        for (std::size_t k = lb; k < le; ++k) {
+          const std::string& s = t[k].text;
+          if (!is_ident(s)) continue;
+          const bool member_shaped = s.size() > 1 && s.back() == '_';
+          if (owned.count(s) != 0 || member_shaped) {
+            flag(k, "`" + s + "` (" +
+                        (owned.count(s) != 0 ? "hipcheck:shard_owned"
+                                             : "member field") +
+                        ") used under a default capture in a cross-shard "
+                        "callback — the receiving worker races the "
+                        "owning shard");
+            break;  // one finding per lambda is enough signal
+          }
+        }
+      }
+      j = le < close ? le : j;
+    }
+  }
+}
+
+/// flow-shard-shared: state marked hipcheck:shard_shared is published
+/// across threads by design (atomics, mutex- or barrier-protected), but
+/// its *writers* must be sanctioned — only hipcheck:seam functions may
+/// mutate it, so every write site is auditable.
+void analyze_shard_shared(const std::vector<Token>& t, const FileTable& files,
+                          const FnSpan& fn, const AnalysisOptions& opts,
+                          std::vector<Finding>& out) {
+  if (opts.marks == nullptr || opts.marks->shared_names.empty()) return;
+  const std::string& fpath = files.path(t[fn.name_idx].file);
+  if (!opts.all_paths && fpath.rfind("src/", 0) != 0) return;
+  if (opts.marks->fn_marked(fpath, t[fn.name_idx].line, OwnMark::kSeam)) {
+    return;
+  }
+  for (std::size_t i = fn.body_open; i < fn.body_close; ++i) {
+    if (!is_ident(t[i].text)) continue;
+    if (opts.marks->shared_names.count(t[i].text) == 0) continue;
+    if (!is_write(t, i)) continue;
+    out.push_back(
+        {files.path(t[i].file), t[i].line, "flow-shard-shared",
+         "`" + t[i].text + "` is hipcheck:shard_shared but `" + fn.name +
+             "` is not a hipcheck:seam — writes to shared shard state "
+             "are only sanctioned inside seam functions"});
+  }
+}
+
 }  // namespace
 
 void analyze_tu(const TranslationUnit& tu, const FileTable& files,
                 const AnalysisOptions& opts, std::vector<Finding>& out) {
   analyze_layering(tu, files, out);
 
-  std::vector<Function> fns = find_functions(tu.tokens);
+  std::vector<FnSpan> fns = find_fn_spans(tu.tokens);
   mark_hot(tu.tokens, files, opts, fns);
-  for (const Function& fn : fns) {
+  for (const FnSpan& fn : fns) {
     analyze_taint(tu.tokens, files, fn, opts, out);
     analyze_buffer_lifetime(tu.tokens, files, fn, out);
     analyze_hot_alloc(tu.tokens, files, fn, out);
     analyze_exception_flow(tu.tokens, files, fn, out);
+    analyze_shard_owned(tu.tokens, files, fn, opts, out);
+    analyze_shard_shared(tu.tokens, files, fn, opts, out);
   }
 }
 

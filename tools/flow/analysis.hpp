@@ -27,6 +27,12 @@
 //   flow-exn             a callback handed to EventLoop::schedule/
 //                        schedule_at/post can leak an exception other
 //                        than sim::CheckFailure
+//   flow-shard-owned     a lambda crossing the shard seam captures
+//                        `this`, by-reference state, or a
+//                        hipcheck:shard_owned name (intra-TU half of the
+//                        shard-ownership family; see ownership.hpp)
+//   flow-shard-shared    a write to hipcheck:shard_shared state outside
+//                        a hipcheck:seam function
 #pragma once
 
 #include <map>
@@ -37,6 +43,8 @@
 #include "tu.hpp"
 
 namespace hipflow {
+
+struct OwnershipMarks;  // callgraph.hpp
 
 struct Finding {
   std::string file;
@@ -64,6 +72,11 @@ struct AnalysisOptions {
   // Lines (per physical file) carrying a `hipcheck:hot` marker; a
   // function whose name line is within 3 lines below a marker is hot.
   const std::map<std::string, std::vector<int>>* hot_marks = nullptr;
+  // Shard-ownership annotations (hipcheck:shard_owned / shard_shared /
+  // seam / shard_entry), scanned by the driver alongside the hot marks.
+  // Drives the intra-TU flow-shard-owned / flow-shard-shared rules; the
+  // interprocedural rules get the same marks through extract_tu_summary.
+  const OwnershipMarks* marks = nullptr;
 };
 
 /// Run every analysis over one TU. Findings are appended unsorted and

@@ -1,0 +1,678 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+
+namespace hipflow {
+
+// --------------------------------------------------------------------------
+// Shared token utilities (moved here from analysis.cpp so the extractor
+// and the per-TU rules agree on what a function is).
+
+const std::string& tok(const std::vector<Token>& t, std::size_t i) {
+  static const std::string empty;
+  return i < t.size() ? t[i].text : empty;
+}
+
+bool is_ident(const std::string& s) {
+  return !s.empty() && (std::isalpha(static_cast<unsigned char>(s[0])) ||
+                        s[0] == '_');
+}
+
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].text == "(") ++depth;
+    if (t[j].text == ")" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].text == "{") ++depth;
+    if (t[j].text == "}" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+std::vector<std::string> name_parts(const std::string& id) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : id) {
+    if (c == '_') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+bool has_part(const std::string& id, const std::set<std::string>& wanted) {
+  for (const std::string& p : name_parts(id)) {
+    if (wanted.count(p) != 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> s = {
+      "if",     "for",     "while",  "switch",        "catch",  "return",
+      "sizeof", "alignas", "new",    "static_assert", "delete", "else",
+      "do",     "decltype", "alignof"};
+  return s;
+}
+
+}  // namespace
+
+std::vector<FnSpan> find_fn_spans(const std::vector<Token>& t) {
+  std::vector<FnSpan> out;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i + 1].text != "(" || !is_ident(t[i].text)) continue;
+    if (control_keywords().count(t[i].text) != 0) continue;
+    const std::size_t close = match_paren(t, i + 1);
+    if (close >= t.size()) continue;
+    // Walk past trailing qualifiers / ctor init list to the body brace.
+    std::size_t j = close + 1;
+    int pdepth = 0;
+    bool is_def = false;
+    for (; j < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(") ++pdepth;
+      else if (s == ")") --pdepth;
+      else if (pdepth == 0) {
+        if (s == "{") {
+          is_def = true;
+          break;
+        }
+        if (s == ";" || s == "}" || s == "=") break;
+        if (s == ",") break;
+      }
+    }
+    if (!is_def) continue;
+    const std::size_t body_close = match_brace(t, j);
+    if (body_close >= t.size()) continue;
+    out.push_back({t[i].text, i, i + 1, j, body_close, false});
+  }
+  return out;
+}
+
+const std::set<std::string>& suspension_calls() {
+  static const std::set<std::string> s = {"schedule", "schedule_at", "post",
+                                          "defer", "schedule_cross"};
+  return s;
+}
+
+bool is_cross_seam_call(const std::vector<Token>& t, std::size_t i) {
+  if (tok(t, i + 1) != "(") return false;
+  const std::string& s = t[i].text;
+  if (s != "schedule_cross" && s != "post") return false;
+  const std::string& prev = tok(t, i - 1);
+  if (prev != "." && prev != "->") return false;
+  if (s == "schedule_cross") return true;
+  // `post` is a generic name; only claim it when the receiver chain names
+  // a coordinator (`coord.post`, `coord_.post`, `coordinator().post`).
+  static const std::set<std::string> kCoord = {"coord", "coordinator"};
+  for (std::size_t back = 2; back <= 5 && back <= i; ++back) {
+    const std::string& r = t[i - back].text;
+    if (is_ident(r) && has_part(r, kCoord)) return true;
+    if (r == ";" || r == "{" || r == "}") break;
+  }
+  return false;
+}
+
+bool OwnershipMarks::fn_marked(const std::string& file, int name_line,
+                               OwnMark kind) const {
+  auto it = lines.find(file);
+  if (it == lines.end()) return false;
+  for (const auto& [ml, mk] : it->second) {
+    if (mk == kind && ml <= name_line && name_line - ml <= 3) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Phase 1: extraction.
+
+namespace {
+
+/// Type-ish tokens that make a `static` declaration safe to share across
+/// shard threads (or not shared at all).
+bool static_exempt_token(const std::string& s) {
+  static const std::set<std::string> kExempt = {
+      "const",        "constexpr",       "constinit",
+      "thread_local", "atomic",          "atomic_flag",
+      "mutex",        "shared_mutex",    "recursive_mutex",
+      "timed_mutex",  "once_flag",       "condition_variable",
+      "barrier",      "latch",           "atomic_bool",
+      "atomic_int",   "atomic_uint64_t", "atomic_size_t"};
+  return kExempt.count(s) != 0;
+}
+
+/// Scan a `static` keyword at `i`; fills `out` when it declares a
+/// mutable variable. Returns the index to resume scanning from.
+std::size_t scan_static_decl(const std::vector<Token>& t, std::size_t i,
+                             const FileTable& files, bool block_scope,
+                             std::vector<StaticDecl>& out) {
+  std::size_t j = i + 1;
+  std::string last_ident;
+  bool exempt = false;
+  for (; j < t.size(); ++j) {
+    const std::string& s = t[j].text;
+    if (s == ";" || s == "=" || s == "{") break;
+    if (s == "(") {
+      // Function declaration/definition (or constructor-style init of a
+      // typed name — rare at static scope in this tree); either way the
+      // name before '(' is a function, not shared data.
+      exempt = true;
+      break;
+    }
+    if (static_exempt_token(s)) exempt = true;
+    if (is_ident(s)) last_ident = s;
+    if (j - i > 24) break;  // declarators are short; bail on weirdness
+  }
+  if (!exempt && !last_ident.empty()) {
+    out.push_back({last_ident, files.path(t[i].file), t[i].line,
+                   block_scope});
+  }
+  return j;
+}
+
+}  // namespace
+
+bool is_write(const std::vector<Token>& t, std::size_t i) {
+  const std::string& n1 = tok(t, i + 1);
+  const std::string& n2 = tok(t, i + 2);
+  if (n1 == "=" && n2 != "=" && tok(t, i - 1) != "=" &&
+      tok(t, i - 1) != "!" && tok(t, i - 1) != "<" && tok(t, i - 1) != ">") {
+    return true;
+  }
+  static const std::set<std::string> kCompound = {"+", "-", "*", "/",
+                                                  "|", "&", "^", "%"};
+  if (kCompound.count(n1) != 0 && n2 == "=") return true;
+  if ((n1 == "+" && n2 == "+") || (n1 == "-" && n2 == "-")) return true;
+  if ((tok(t, i - 1) == "+" && tok(t, i - 2) == "+") ||
+      (tok(t, i - 1) == "-" && tok(t, i - 2) == "-")) {
+    return true;
+  }
+  if (n1 == ".") {
+    static const std::set<std::string> kAtomicMut = {
+        "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+        "fetch_or", "fetch_xor", "push_back", "emplace_back", "clear",
+        "insert", "erase", "resize", "assign"};
+    if (kAtomicMut.count(n2) != 0 && tok(t, i + 3) == "(") return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct ParamInfo {
+  std::vector<std::string> names;
+  std::vector<bool> alias;  // reference or pointer parameter
+};
+
+ParamInfo parse_params(const std::vector<Token>& t, std::size_t args_open,
+                       std::size_t args_close) {
+  ParamInfo pi;
+  std::size_t seg_b = args_open + 1;
+  int paren = 0, angle = 0, brace = 0;
+  auto close_segment = [&](std::size_t seg_e) {
+    if (seg_e <= seg_b) return;
+    std::string name;
+    bool alias = false;
+    bool past_default = false;
+    for (std::size_t k = seg_b; k < seg_e; ++k) {
+      const std::string& s = t[k].text;
+      if (s == "=") past_default = true;  // default argument: name is left
+      if (past_default) continue;
+      if (s == "&" || s == "*") alias = true;
+      if (is_ident(s)) name = s;
+    }
+    if (!name.empty() && name != "void") {
+      pi.names.push_back(name);
+      pi.alias.push_back(alias);
+    }
+  };
+  for (std::size_t k = args_open + 1; k < args_close; ++k) {
+    const std::string& s = t[k].text;
+    if (s == "(") ++paren;
+    else if (s == ")") --paren;
+    else if (s == "{") ++brace;
+    else if (s == "}") --brace;
+    else if (s == "<" && is_ident(tok(t, k - 1))) ++angle;
+    else if (s == ">" && angle > 0) --angle;
+    else if (s == "," && paren == 0 && angle == 0 && brace == 0) {
+      close_segment(k);
+      seg_b = k + 1;
+    }
+  }
+  close_segment(args_close);
+  return pi;
+}
+
+/// One lambda inside a suspension call's argument list.
+struct LambdaSite {
+  std::size_t cap_open;   // '['
+  std::size_t cap_close;  // ']'
+  std::size_t body_open;  // '{'
+  std::size_t body_close;
+  bool default_ref = false;  // [&...]
+  bool default_val = false;  // [=...]
+  std::set<std::string> by_ref;    // &name captures
+  std::set<std::string> by_value;  // plain name captures + init-capture RHS
+                                   // identifiers (copied pointers still
+                                   // alias the pointee)
+  bool captures_this = false;
+};
+
+/// Parse the lambda starting at '[' (`j`); returns false if `j` does not
+/// actually start a lambda (array subscript, attribute).
+bool parse_lambda(const std::vector<Token>& t, std::size_t j,
+                  std::size_t limit, LambdaSite& out) {
+  std::size_t cap_end = j;
+  while (cap_end < limit && t[cap_end].text != "]") ++cap_end;
+  if (cap_end >= limit) return false;
+  std::size_t lb = cap_end + 1;
+  if (tok(t, lb) == "(") lb = match_paren(t, lb) + 1;
+  while (lb < limit && is_ident(tok(t, lb))) ++lb;  // mutable / noexcept
+  if (tok(t, lb) == "-" && tok(t, lb + 1) == ">") {  // trailing return
+    lb += 2;
+    while (lb < limit && tok(t, lb) != "{") ++lb;
+  }
+  if (tok(t, lb) != "{") return false;
+  out.cap_open = j;
+  out.cap_close = cap_end;
+  out.body_open = lb;
+  out.body_close = match_brace(t, lb);
+  bool in_init = false;  // past an '=' inside one capture item
+  for (std::size_t k = j + 1; k < cap_end; ++k) {
+    const std::string& s = t[k].text;
+    if (s == ",") {
+      in_init = false;
+      continue;
+    }
+    if (s == "=") {
+      if (tok(t, k + 1) == "]" || tok(t, k + 1) == ",") {
+        out.default_val = true;
+      } else if (k == j + 1) {
+        out.default_val = true;  // [=, ...]
+      } else {
+        in_init = true;
+      }
+      continue;
+    }
+    if (s == "&") {
+      const std::string& nx = tok(t, k + 1);
+      if (nx == "]" || nx == ",") {
+        out.default_ref = true;
+      } else if (is_ident(nx) && !in_init) {
+        out.by_ref.insert(nx);
+        ++k;
+      }
+      continue;
+    }
+    if (s == "this") {
+      out.captures_this = true;
+      continue;
+    }
+    if (is_ident(s)) out.by_value.insert(s);
+  }
+  return true;
+}
+
+/// Suspension call at `i` (name token, '(' follows, member-ish receiver)?
+bool is_suspension_call(const std::vector<Token>& t, std::size_t i) {
+  if (suspension_calls().count(t[i].text) == 0 || tok(t, i + 1) != "(") {
+    return false;
+  }
+  const std::string& prev = tok(t, i - 1);
+  return prev == "." || prev == "->" || prev == "::";
+}
+
+}  // namespace
+
+TuSummary extract_tu_summary(const TranslationUnit& tu,
+                             const FileTable& files,
+                             const OwnershipMarks& marks) {
+  const std::vector<Token>& t = tu.tokens;
+  TuSummary out;
+  std::vector<FnSpan> spans = find_fn_spans(t);
+
+  // Namespace-scope mutable statics: `static` tokens outside every
+  // function body. (Class-scope static data members land here too; the
+  // tree's are all atomic/const, and any new mutable one *should* be
+  // flagged.)
+  {
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    bodies.reserve(spans.size());
+    for (const FnSpan& f : spans) bodies.emplace_back(f.body_open, f.body_close);
+    std::sort(bodies.begin(), bodies.end());
+    std::size_t bi = 0;
+    std::size_t skip_until = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      while (bi < bodies.size() && bodies[bi].second < i) ++bi;
+      if (bi < bodies.size() && i >= bodies[bi].first &&
+          i <= bodies[bi].second) {
+        i = bodies[bi].second;  // jump past this body
+        continue;
+      }
+      if (i < skip_until) continue;
+      if (t[i].text == "static") {
+        skip_until = scan_static_decl(t, i, files, /*block_scope=*/false,
+                                      out.globals);
+      }
+    }
+  }
+
+  for (const FnSpan& fn : spans) {
+    FnSummary fs;
+    fs.name = fn.name;
+    fs.file = files.path(t[fn.name_idx].file);
+    fs.line = t[fn.name_idx].line;
+    fs.seam = marks.fn_marked(fs.file, fs.line, OwnMark::kSeam);
+    fs.entry = marks.fn_marked(fs.file, fs.line, OwnMark::kEntry);
+
+    const std::size_t args_close = match_paren(t, fn.args_open);
+    ParamInfo params = parse_params(t, fn.args_open, args_close);
+    fs.params = params.names;
+    fs.param_alias.assign(params.alias.begin(), params.alias.end());
+
+    // Pooled Buffer locals and window pointers, same definitions as the
+    // intra-TU buffer-lifetime rule.
+    std::set<std::string> buffers;
+    for (std::size_t i = fn.body_open; i + 1 < fn.body_close; ++i) {
+      if (t[i].text != "Buffer") continue;
+      if (tok(t, i - 1) == "class" || tok(t, i - 1) == "struct") continue;
+      std::size_t j = i + 1;
+      if (tok(t, j) == "&" || tok(t, j) == "*") continue;
+      if (is_ident(tok(t, j)) && tok(t, j + 1) != "(") buffers.insert(tok(t, j));
+    }
+    std::set<std::string> window_ptrs;
+    static const std::set<std::string> kWindowFns = {"data", "prepend",
+                                                     "append"};
+    for (std::size_t i = fn.body_open; i + 4 < fn.body_close; ++i) {
+      if (t[i + 1].text != "=" || !is_ident(t[i].text)) continue;
+      const std::string& owner = tok(t, i + 2);
+      if (buffers.count(owner) == 0) continue;
+      if (tok(t, i + 3) != ".") continue;
+      if (kWindowFns.count(tok(t, i + 4)) != 0 && tok(t, i + 5) == "(") {
+        window_ptrs.insert(t[i].text);
+      }
+    }
+
+    std::set<std::string> callees, scheduled, writes;
+    std::set<int> escaping;
+
+    auto param_index = [&](const std::string& nm) -> int {
+      for (std::size_t p = 0; p < fs.params.size(); ++p) {
+        if (fs.params[p] == nm) return static_cast<int>(p);
+      }
+      return -1;
+    };
+
+    for (std::size_t i = fn.body_open; i < fn.body_close; ++i) {
+      const std::string& s = t[i].text;
+      if (!is_ident(s)) continue;
+
+      // Calls.
+      if (tok(t, i + 1) == "(" && control_keywords().count(s) == 0) {
+        callees.insert(s);
+        if (is_cross_seam_call(t, i)) {
+          fs.cross_calls.push_back(
+              {s, files.path(t[i].file), t[i].line});
+        }
+        if (is_suspension_call(t, i)) {
+          // Lambdas in the argument list: their callees become shard-side
+          // roots, and alias params they capture escape the frame.
+          const std::size_t close = match_paren(t, i + 1);
+          for (std::size_t j = i + 2; j < close; ++j) {
+            if (t[j].text != "[") continue;
+            LambdaSite lam;
+            if (!parse_lambda(t, j, close, lam)) continue;
+            for (std::size_t k = lam.body_open; k < lam.body_close; ++k) {
+              if (is_ident(t[k].text) && tok(t, k + 1) == "(" &&
+                  control_keywords().count(t[k].text) == 0) {
+                scheduled.insert(t[k].text);
+              }
+            }
+            for (std::size_t p = 0; p < fs.params.size(); ++p) {
+              const std::string& nm = fs.params[p];
+              if (!fs.param_alias[p]) continue;
+              bool caught = lam.by_ref.count(nm) != 0;
+              // A copied pointer still aliases the pointee; a copied
+              // reference param deep-copies and is safe.
+              if (!caught && lam.by_value.count(nm) != 0) caught = true;
+              if (!caught && (lam.default_ref || lam.default_val)) {
+                for (std::size_t k = lam.body_open; k < lam.body_close;
+                     ++k) {
+                  if (t[k].text == nm) {
+                    caught = true;
+                    break;
+                  }
+                }
+              }
+              if (caught) escaping.insert(static_cast<int>(p));
+            }
+            j = lam.body_close < close ? lam.body_close : j;
+          }
+        }
+
+        // Argument scan: forwarded alias params and pooled buffers.
+        if (suspension_calls().count(s) == 0) {
+          const std::size_t close = match_paren(t, i + 1);
+          int pos = 0;
+          std::size_t seg_b = i + 2;
+          int depth = 0;
+          auto scan_arg = [&](std::size_t b, std::size_t e) {
+            if (e <= b) return;
+            // The argument's "payload" identifiers, ignoring wrappers
+            // (std::move, &, window-fn projections).
+            static const std::set<std::string> kWrap = {
+                "std", "move", "data", "prepend", "append"};
+            std::string payload;
+            int others = 0;
+            for (std::size_t k = b; k < e; ++k) {
+              if (!is_ident(t[k].text)) continue;
+              if (kWrap.count(t[k].text) != 0) continue;
+              if (payload.empty()) payload = t[k].text;
+              else ++others;
+            }
+            if (payload.empty() || others > 0) return;
+            const int pidx = param_index(payload);
+            if (pidx >= 0 && fs.param_alias[static_cast<std::size_t>(pidx)]) {
+              fs.forwards.push_back({s, pos, pidx});
+            }
+            if (buffers.count(payload) != 0 ||
+                window_ptrs.count(payload) != 0) {
+              fs.pooled_args.push_back({s, pos, payload,
+                                        files.path(t[b].file), t[b].line});
+            }
+          };
+          for (std::size_t k = i + 2; k < close; ++k) {
+            const std::string& a = t[k].text;
+            if (a == "(" || a == "{" || a == "[") ++depth;
+            else if (a == ")" || a == "}" || a == "]") --depth;
+            else if (a == "," && depth == 0) {
+              scan_arg(seg_b, k);
+              seg_b = k + 1;
+              ++pos;
+            }
+          }
+          scan_arg(seg_b, close);
+        }
+      }
+
+      // Writes.
+      if (is_write(t, i)) writes.insert(s);
+
+      // Mutable block-scope statics.
+      if (s == "static") {
+        scan_static_decl(t, i, files, /*block_scope=*/true, fs.statics);
+      }
+    }
+
+    fs.callees.assign(callees.begin(), callees.end());
+    fs.scheduled_callees.assign(scheduled.begin(), scheduled.end());
+    fs.writes.assign(writes.begin(), writes.end());
+    fs.escaping_params.assign(escaping.begin(), escaping.end());
+    out.fns.push_back(std::move(fs));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Phase 2: linking.
+
+CallGraph link_call_graph(const std::vector<TuSummary>& tus) {
+  CallGraph cg;
+  std::set<std::string> scheduled_roots;
+
+  for (const TuSummary& tu : tus) {
+    for (const StaticDecl& g : tu.globals) {
+      auto it = cg.globals.find(g.name);
+      if (it == cg.globals.end()) cg.globals.emplace(g.name, g);
+    }
+    for (const FnSummary& fs : tu.fns) {
+      CallGraph::Node& n = cg.nodes[fs.name];
+      if (n.name.empty()) {
+        n.name = fs.name;
+        n.file = fs.file;
+        n.line = fs.line;
+      }
+      n.seam = n.seam || fs.seam;
+      n.entry = n.entry || fs.entry;
+      n.callees.insert(fs.callees.begin(), fs.callees.end());
+      n.writes.insert(fs.writes.begin(), fs.writes.end());
+      // Call-site lists dedupe by (file, line): the same header-defined
+      // function body is extracted once per including TU.
+      auto add_sites = [](auto& dst, const auto& src) {
+        for (const auto& e : src) {
+          bool dup = false;
+          for (const auto& d : dst) {
+            if (d.file == e.file && d.line == e.line) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) dst.push_back(e);
+        }
+      };
+      add_sites(n.cross_calls, fs.cross_calls);
+      add_sites(n.pooled_args, fs.pooled_args);
+      add_sites(n.statics, fs.statics);
+      for (const FnSummary::Forward& f : fs.forwards) {
+        bool dup = false;
+        for (const FnSummary::Forward& d : n.forwards) {
+          if (d.callee == f.callee && d.arg_pos == f.arg_pos &&
+              d.param_idx == f.param_idx) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) n.forwards.push_back(f);
+      }
+      for (int p : fs.escaping_params) n.escaping_params.insert(p);
+      for (const std::string& r : fs.scheduled_callees) {
+        scheduled_roots.insert(r);
+      }
+    }
+  }
+
+  // Close parameter escapes over forwards: if F forwards param p to a
+  // position of C that escapes, p escapes too. Monotone over a finite
+  // lattice; iterate to the fixed point (map order, so deterministic).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, n] : cg.nodes) {
+      for (const FnSummary::Forward& f : n.forwards) {
+        auto it = cg.nodes.find(f.callee);
+        if (it == cg.nodes.end()) continue;
+        if (it->second.escaping_params.count(f.arg_pos) == 0) continue;
+        if (n.escaping_params.insert(f.param_idx).second) changed = true;
+      }
+    }
+  }
+
+  // Roots: callbacks parked on loops, Link::schedule_delivery overrides,
+  // explicit entry marks. Only defined functions matter for reachability.
+  for (const auto& [name, n] : cg.nodes) {
+    if (name == "schedule_delivery" || n.entry ||
+        scheduled_roots.count(name) != 0) {
+      cg.roots.insert(name);
+    }
+  }
+
+  // BFS in sorted-root order; parent_ remembers the tree for path_to.
+  std::deque<std::string> queue(cg.roots.begin(), cg.roots.end());
+  cg.shard_reachable = cg.roots;
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    const CallGraph::Node& n = cg.nodes.at(cur);
+    for (const std::string& callee : n.callees) {
+      auto it = cg.nodes.find(callee);
+      if (it == cg.nodes.end()) continue;
+      if (!cg.shard_reachable.insert(callee).second) continue;
+      cg.parent_[callee] = cur;
+      queue.push_back(callee);
+    }
+  }
+  return cg;
+}
+
+std::string CallGraph::path_to(const std::string& to) const {
+  std::vector<std::string> chain;
+  std::string cur = to;
+  while (true) {
+    auto it = parent_.find(cur);
+    if (it == parent_.end()) break;
+    chain.push_back(it->second);
+    cur = it->second;
+    if (chain.size() > 32) break;  // cycles cannot happen in a BFS tree
+  }
+  std::string out;
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    out += *rit;
+    out += " -> ";
+  }
+  if (!out.empty()) out += to;
+  return out;
+}
+
+void dump_callgraph(const CallGraph& cg, std::FILE* out) {
+  for (const auto& [name, n] : cg.nodes) {
+    std::fprintf(out, "fn %s %s:%d", name.c_str(), n.file.c_str(), n.line);
+    if (n.seam) std::fprintf(out, " seam");
+    if (n.entry) std::fprintf(out, " entry");
+    if (cg.roots.count(name) != 0) std::fprintf(out, " root");
+    if (cg.shard_reachable.count(name) != 0) std::fprintf(out, " reach");
+    if (!n.escaping_params.empty()) {
+      std::fprintf(out, " escapes=");
+      bool first = true;
+      for (int p : n.escaping_params) {
+        std::fprintf(out, "%s%d", first ? "" : ",", p);
+        first = false;
+      }
+    }
+    std::fprintf(out, " ->");
+    for (const std::string& c : n.callees) {
+      if (cg.nodes.count(c) != 0) std::fprintf(out, " %s", c.c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  for (const auto& [name, g] : cg.globals) {
+    std::fprintf(out, "global %s %s:%d\n", name.c_str(), g.file.c_str(),
+                 g.line);
+  }
+}
+
+}  // namespace hipflow

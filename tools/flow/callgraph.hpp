@@ -1,0 +1,244 @@
+// hipcloud_flow whole-program call graph.
+//
+// PR 5's analyses were strictly per-TU: a rule could see one preprocessed
+// token stream at a time. The shard-ownership analyses (ownership.hpp)
+// need to reason about *paths* — "this callback reaches a mutable global
+// three calls away", "this helper parks its pointer argument on another
+// shard's loop" — across all 119+ TUs of the tree. This header is the
+// two-phase machinery that makes that possible while keeping the
+// parallel-over-TUs / byte-identical-output contract:
+//
+//   phase 1 (parallel, per TU)   extract_tu_summary() distills each
+//                                preprocessed TU into a TuSummary:
+//                                function definitions, their callees,
+//                                crossing-primitive call sites, mutable
+//                                globals/statics, identifier writes, and
+//                                parameter-escape facts. Summaries land
+//                                in a vector indexed by TU, so worker
+//                                scheduling cannot reorder anything.
+//   phase 2 (serial, merged)     link_call_graph() folds the summaries —
+//                                in TU order — into one name-keyed graph.
+//                                Linking is by function name: overloads
+//                                and same-named methods merge into one
+//                                node, a deliberate over-approximation
+//                                (a path that exists for *any* overload
+//                                is assumed for all), which errs toward
+//                                reporting, never toward missing a path.
+//
+// The graph also owns the shared token utilities (tok/match_paren/...)
+// and the function-span scanner that analysis.cpp's per-TU rules use, so
+// both layers see the same definition of "a function".
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tu.hpp"
+
+namespace hipflow {
+
+// --------------------------------------------------------------------------
+// Shared token utilities (used by analysis.cpp and the extractor).
+
+/// Token text at `i`, or "" past the end — bounds-safe lookahead.
+const std::string& tok(const std::vector<Token>& t, std::size_t i);
+
+bool is_ident(const std::string& s);
+
+/// Index of the ')' matching the '(' at `open`; tokens.size() if
+/// unbalanced.
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open);
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open);
+
+/// Lowercased '_'-separated parts of an identifier.
+std::vector<std::string> name_parts(const std::string& id);
+bool has_part(const std::string& id, const std::set<std::string>& wanted);
+
+/// A function definition's token span.
+struct FnSpan {
+  std::string name;        // last name component ("protect_packet")
+  std::size_t name_idx;    // token index of the name
+  std::size_t args_open;   // '(' of the parameter list
+  std::size_t body_open;   // '{'
+  std::size_t body_close;  // matching '}'
+  bool hot = false;        // filled in by analysis.cpp's hot marking
+};
+
+/// Every function definition in the token stream (nested class methods
+/// included; lambdas are part of their enclosing function's span).
+std::vector<FnSpan> find_fn_spans(const std::vector<Token>& t);
+
+/// Calls that park a callback on an event loop: the callback outlives
+/// the calling frame, and for the cross-seam subset it also changes
+/// threads.
+const std::set<std::string>& suspension_calls();
+
+/// True when the call at `i` (identifier followed by '(') is a
+/// cross-seam crossing primitive: `schedule_cross` on any receiver, or
+/// `post` on a receiver whose name contains the part "coord"/
+/// "coordinator" (ShardCoordinator::post — `post` alone is too generic
+/// a name to claim globally).
+bool is_cross_seam_call(const std::vector<Token>& t, std::size_t i);
+
+/// True when the identifier occurrence at `i` is written: plain or
+/// compound assignment, ++/--, an atomic mutation method
+/// (.store/.fetch_*/.exchange) or a container mutator (.push_back etc).
+bool is_write(const std::vector<Token>& t, std::size_t i);
+
+// --------------------------------------------------------------------------
+// Ownership annotation marks (scanned from raw source lines by the
+// driver, alongside hipcheck:hot).
+
+enum class OwnMark {
+  kOwned,   // hipcheck:shard_owned — confined to the owning shard
+  kShared,  // hipcheck:shard_shared — cross-thread by design (atomics,
+            // mutex- or barrier-published state); writes only in seams
+  kSeam,    // hipcheck:seam — sanctioned crossing function
+  kEntry,   // hipcheck:shard_entry — explicit shard-side entry point
+};
+
+struct OwnershipMarks {
+  /// file -> sorted (line, mark) pairs. A kSeam/kEntry mark applies to a
+  /// function whose name line is within 3 lines below it; kOwned/kShared
+  /// marks carry their declarator name in `owned_names`/`shared_names`
+  /// (extracted by the driver from the declaration line's raw text).
+  std::map<std::string, std::vector<std::pair<int, OwnMark>>> lines;
+  std::set<std::string> owned_names;
+  std::set<std::string> shared_names;
+
+  bool fn_marked(const std::string& file, int name_line, OwnMark kind) const;
+};
+
+// --------------------------------------------------------------------------
+// Phase 1: per-TU summaries.
+
+/// A mutable namespace-scope or block-scope `static` declaration (const,
+/// constexpr, atomic, mutex-family and thread_local declarations are
+/// filtered out at extraction).
+struct StaticDecl {
+  std::string name;
+  std::string file;
+  int line = 0;
+  bool block_scope = false;  // declared inside a function body
+};
+
+struct FnSummary {
+  std::string name;
+  std::string file;  // definition site
+  int line = 0;
+  bool seam = false;
+  bool entry = false;
+  /// Callee names invoked anywhere in the body (sorted, unique).
+  std::vector<std::string> callees;
+  /// Callee names invoked from inside lambda bodies handed to suspension
+  /// calls — these run later as event callbacks, so they are shard-side
+  /// roots for the reachability analysis.
+  std::vector<std::string> scheduled_callees;
+  /// Crossing-primitive call sites (ShardCoordinator::post /
+  /// EventLoop::schedule_cross) in this body.
+  struct CrossCall {
+    std::string callee;  // "post" or "schedule_cross"
+    std::string file;
+    int line = 0;
+  };
+  std::vector<CrossCall> cross_calls;
+  /// Mutable block-scope statics declared in this body.
+  std::vector<StaticDecl> statics;
+  /// Identifiers this body writes (assignment, compound assignment,
+  /// ++/--, .store()/.fetch_*()); intersected with global names at link
+  /// time.
+  std::vector<std::string> writes;
+  /// Parameter names in declaration order; alias[i] is true when the
+  /// parameter is a reference or pointer (only alias parameters can leak
+  /// caller-owned memory).
+  std::vector<std::string> params;
+  std::vector<bool> param_alias;
+  /// Alias parameters captured by a lambda handed to a suspension call
+  /// directly in this body (indices into params).
+  std::vector<int> escaping_params;
+  /// Alias parameters forwarded to a callee: if the callee's `arg_pos`
+  /// parameter escapes, so does ours — the link phase closes this.
+  struct Forward {
+    std::string callee;
+    int arg_pos = 0;
+    int param_idx = 0;
+  };
+  std::vector<Forward> forwards;
+  /// Call sites passing a pooled Buffer local (or one of its window
+  /// pointers) as an argument — the interprocedural escape check fires
+  /// here when the callee parks that argument position.
+  struct PooledArg {
+    std::string callee;
+    int arg_pos = 0;
+    std::string arg_name;
+    std::string file;
+    int line = 0;
+  };
+  std::vector<PooledArg> pooled_args;
+};
+
+struct TuSummary {
+  std::vector<FnSummary> fns;
+  std::vector<StaticDecl> globals;  // namespace-scope mutable statics
+};
+
+TuSummary extract_tu_summary(const TranslationUnit& tu,
+                             const FileTable& files,
+                             const OwnershipMarks& marks);
+
+// --------------------------------------------------------------------------
+// Phase 2: the linked graph.
+
+class CallGraph {
+ public:
+  struct Node {
+    std::string name;
+    std::string file;  // first definition site in TU order
+    int line = 0;
+    bool seam = false;
+    bool entry = false;
+    std::set<std::string> callees;
+    std::vector<FnSummary::CrossCall> cross_calls;
+    std::vector<StaticDecl> statics;
+    std::set<std::string> writes;
+    std::vector<FnSummary::Forward> forwards;
+    std::vector<FnSummary::PooledArg> pooled_args;
+    std::set<int> escaping_params;  // closed over forwards at link time
+  };
+
+  /// Nodes keyed by function name; globals keyed by variable name. Both
+  /// std::map so iteration order never depends on job count.
+  std::map<std::string, Node> nodes;
+  std::map<std::string, StaticDecl> globals;
+
+  /// Functions reachable from shard-side entry points: scheduled
+  /// callbacks, Link::schedule_delivery overrides, and explicit
+  /// hipcheck:shard_entry marks. BFS over name-linked callees.
+  std::set<std::string> shard_reachable;
+  /// The subset of shard_reachable roots (for path reporting).
+  std::set<std::string> roots;
+
+  /// A call path root -> ... -> `to` (function names joined with " -> ")
+  /// for diagnostics; "" if `to` is itself a root.
+  std::string path_to(const std::string& to) const;
+
+ private:
+  friend CallGraph link_call_graph(const std::vector<TuSummary>& tus);
+  std::map<std::string, std::string> parent_;  // BFS tree for path_to
+};
+
+/// Merge per-TU summaries (in vector order — the driver's sorted TU
+/// order) into one graph, close parameter escapes over forwards, and
+/// compute shard reachability. Deterministic for any extraction
+/// parallelism.
+CallGraph link_call_graph(const std::vector<TuSummary>& tus);
+
+/// Human-readable, line-oriented dump: one `fn` line per node (sorted)
+/// with flags and sorted callees, then `global` lines. Byte-identical at
+/// any job count — pinned by the flow_callgraph_determinism test.
+void dump_callgraph(const CallGraph& cg, std::FILE* out);
+
+}  // namespace hipflow

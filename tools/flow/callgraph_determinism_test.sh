@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Pins the linked call graph: `hipcloud_flow --dump-callgraph` over the
+# callgraph fixture mini-tree must be byte-identical to the checked-in
+# golden at every job count — worker scheduling must not be observable.
+set -u
+
+FLOW="$1"      # path to the hipcloud_flow binary
+FIXTURE="$2"   # tools/flow/fixtures/callgraph
+GOLDEN="$3"    # expected_callgraph.txt
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+rc=0
+for j in 1 2 8; do
+  if ! "$FLOW" --root "$FIXTURE" --dump-callgraph --jobs "$j" src \
+      > "$tmp/dump.$j" 2> "$tmp/err.$j"; then
+    echo "FAIL: hipcloud_flow --dump-callgraph --jobs $j exited non-zero"
+    cat "$tmp/err.$j"
+    rc=1
+  fi
+  if ! diff -u "$GOLDEN" "$tmp/dump.$j" > "$tmp/diff.$j"; then
+    echo "FAIL: callgraph dump at --jobs $j differs from golden:"
+    cat "$tmp/diff.$j"
+    rc=1
+  fi
+done
+
+# Belt and braces: the three dumps must also agree with each other.
+if ! cmp -s "$tmp/dump.1" "$tmp/dump.2" || ! cmp -s "$tmp/dump.1" "$tmp/dump.8"; then
+  echo "FAIL: callgraph dumps differ across job counts"
+  rc=1
+fi
+
+if [ "$rc" -eq 0 ]; then
+  echo "callgraph determinism: OK (jobs 1/2/8 byte-identical to golden)"
+fi
+exit "$rc"

@@ -1,0 +1,22 @@
+// Callgraph fixture, TU 2: the shard-side chain. `encode_frame` is only
+// rooted through TU 1's scheduled lambda; `on_frame_entry` is rooted by
+// its explicit mark; the atomic static is exempt from flow-shard-global.
+#include <atomic>
+
+#include "pipeline.hpp"
+
+static std::atomic<long> g_frames{0};
+
+void encode_frame() {
+  g_frames.fetch_add(1);
+  emit_stats();
+}
+
+void emit_stats() {
+  g_frames.load();
+}
+
+// hipcheck:shard_entry
+void on_frame_entry() {
+  encode_frame();
+}

@@ -1,0 +1,20 @@
+// Callgraph fixture, TU 1: the scheduling side. `arm_pipeline` roots
+// `encode_frame` (defined in the other TU); `forward_frame` forwards its
+// pointer argument into `park_audit`, whose escape closes back over the
+// forward edge at link time.
+#include "pipeline.hpp"
+
+void forward_frame(ShardCoordinator& coord, std::uint8_t* frame);
+
+void arm_pipeline(EventLoop& loop) {
+  loop.schedule(5, [] { encode_frame(); });
+}
+
+// hipcheck:seam
+void park_audit(ShardCoordinator& coord, std::uint8_t* frame) {
+  coord.post(0, 1, 20, [frame] { frame[0] = 0; });
+}
+
+void forward_frame(ShardCoordinator& coord, std::uint8_t* frame) {
+  park_audit(coord, frame);
+}

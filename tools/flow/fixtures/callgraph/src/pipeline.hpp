@@ -1,0 +1,20 @@
+// Callgraph fixture: shared surface between the two TUs. The fixture is
+// deliberately clean (no findings) — it exists to pin the linked graph:
+// tools/flow/fixtures/callgraph/expected_callgraph.txt is diffed against
+// `hipcloud_flow --dump-callgraph` output at -j 1/2/8.
+#pragma once
+#include <cstdint>
+
+struct EventLoop {
+  template <typename F>
+  void schedule(long when, F f);
+};
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+void ingest_frame(ShardCoordinator& coord, std::uint8_t* frame);
+void encode_frame();
+void emit_stats();

@@ -1,0 +1,34 @@
+// Fixture: flow-shard-capture, entry TU. `send_frame` draws a pooled
+// Buffer, takes a window pointer, and hands it to `relay_frame` —
+// defined in crosscapture_relay.cpp — which forwards it to `park_frame`,
+// which parks it on another shard's loop. The escape is two calls deep
+// and crosses a TU boundary: only the linked call graph can see it.
+#include <cstdint>
+#include <utility>
+
+struct Buffer {
+  Buffer(Buffer&&) noexcept;
+  std::uint8_t* data();
+  std::uint8_t* prepend(unsigned n);
+  unsigned size() const;
+};
+
+struct Pool {
+  Buffer make(unsigned n, unsigned headroom, unsigned tailroom);
+};
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+void relay_frame(ShardCoordinator& coord, std::uint8_t* frame);
+void consume(Buffer b);
+
+void send_frame(Pool& pool, ShardCoordinator& coord) {
+  Buffer wire = pool.make(256, 32, 16);
+  std::uint8_t* head = wire.data();
+  // hipcheck:expect(flow-shard-capture)
+  relay_frame(coord, head);
+  consume(std::move(wire));
+}

@@ -1,0 +1,44 @@
+// Fixture: flow-shard-capture negatives. Passing owned bytes by value
+// down the chain is legal ownership transfer — only alias parameters
+// (pointers/references) can leak the pooled block. The audited direct
+// case shows the allow-pragma escape hatch.
+#include <cstdint>
+#include <utility>
+
+struct Buffer {
+  Buffer(Buffer&&) noexcept;
+  std::uint8_t* data();
+  unsigned size() const;
+};
+
+struct Pool {
+  Buffer make(unsigned n, unsigned headroom, unsigned tailroom);
+};
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+Buffer stage_unpooled_copy(const Buffer& pooled);
+void drain(Buffer b);
+
+// hipcheck:seam
+void relay_owned(ShardCoordinator& coord, Buffer owned) {
+  // `owned` is a by-value parameter: this frame owns the bytes, and the
+  // init-capture moves them into the callback. Nothing pooled escapes.
+  coord.post(0, 1, 60, [p = std::move(owned)]() mutable { p.data()[0] = 0; });
+}
+
+void send_staged(Pool& pool, ShardCoordinator& coord) {
+  Buffer wire = pool.make(128, 32, 16);
+  Buffer staged = stage_unpooled_copy(wire);
+  relay_owned(coord, std::move(staged));
+  drain(std::move(wire));
+}
+
+// hipcheck:seam
+void audit_raw(ShardCoordinator& coord, std::uint8_t* scratch) {
+  // hipcheck:allow(flow-shard-owned): scratch points into the epoch
+  coord.post(0, 1, 70, [&scratch] { scratch[0] = 0; });
+}

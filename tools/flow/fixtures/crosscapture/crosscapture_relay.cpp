@@ -1,0 +1,23 @@
+// Fixture: flow-shard-capture, relay TU. `relay_frame` forwards its
+// pointer argument to `park_frame`, whose cross-shard post captures it.
+// The link phase closes parameter escapes over forwards, so the finding
+// fires back at send_frame's call site in crosscapture_entry.cpp.
+#include <cstdint>
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+void park_frame(ShardCoordinator& coord, std::uint8_t* frame);
+
+void relay_frame(ShardCoordinator& coord, std::uint8_t* frame) {
+  park_frame(coord, frame);
+}
+
+// hipcheck:seam
+void park_frame(ShardCoordinator& coord, std::uint8_t* frame) {
+  // A copied pointer still aliases the pooled block — parking it is what
+  // makes the whole chain an escape.
+  coord.post(0, 1, 50, [frame] { frame[0] = 0; });
+}

@@ -1,0 +1,58 @@
+// Fixture: flow-shard-owned — a lambda crossing the shard seam smuggles
+// the sending shard's state across threads. Every case here aliases
+// state the source shard keeps mutating: `this`, by-reference captures,
+// or names carrying the shard_owned annotation. The functions are
+// seam-marked on purpose: even a sanctioned seam must not leak
+// ownership.
+#include <cstdint>
+#include <vector>
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+struct EventLoop {
+  template <typename F>
+  void schedule_cross(long when, std::uint32_t src_shard,
+                      std::uint64_t post_idx, F f);
+};
+
+struct RackState {
+  std::vector<int> inflight_;  // hipcheck:shard_owned
+  ShardCoordinator* coord_ = nullptr;
+
+  // hipcheck:seam
+  void cross_this() {
+    // hipcheck:expect(flow-shard-owned)
+    coord_->post(0, 1, 10, [this] { inflight_.push_back(1); });
+  }
+
+  // hipcheck:seam
+  void cross_default_ref(EventLoop& dst_loop) {
+    // hipcheck:expect(flow-shard-owned)
+    dst_loop.schedule_cross(10, 0, 1, [&] { return 0; });
+  }
+
+  // hipcheck:seam
+  void cross_default_value(ShardCoordinator& coord) {
+    // The default value capture implicitly copies `this`, so the member
+    // use below aliases this rack's shard-owned vector on the receiver.
+    // hipcheck:expect(flow-shard-owned)
+    coord.post(0, 1, 10, [=] { return inflight_.size(); });
+  }
+};
+
+// hipcheck:seam
+void cross_byref_local(ShardCoordinator& coord) {
+  int pending = 0;
+  // hipcheck:expect(flow-shard-owned)
+  coord.post(0, 1, 10, [&pending] { pending = 1; });
+}
+
+// hipcheck:seam
+void cross_owned_copy(ShardCoordinator& coord) {
+  std::vector<int> rack_queue;  // hipcheck:shard_owned
+  // hipcheck:expect(flow-shard-owned)
+  coord.post(0, 1, 10, [rack_queue] { return rack_queue.empty(); });
+}

@@ -1,0 +1,53 @@
+// Fixture: the legal side of flow-shard-owned. Ownership transfer by
+// value / init-capture is exactly how CrossLinkHalf crosses the seam:
+// the callback owns its bytes, nothing aliases the sending shard.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+struct ShardCoordinator {
+  template <typename F>
+  void post(unsigned src, unsigned dst, long when, F f);
+};
+
+struct Node {
+  void deliver(int v);
+};
+
+// hipcheck:seam
+void cross_value_transfer(ShardCoordinator& coord, Node* to) {
+  std::vector<int> staged;
+  staged.push_back(7);
+  // `to` is the destination shard's node: a pointer *into the receiving
+  // shard* crosses legally. `owned` is an init-capture move — transfer.
+  coord.post(0, 1, 10, [to, owned = std::move(staged)]() mutable {
+    to->deliver(static_cast<int>(owned.size()));
+  });
+}
+
+// hipcheck:seam
+void cross_plain_copy(ShardCoordinator& coord, int seq) {
+  // Plain value captures of unmarked locals are copies — no aliasing.
+  coord.post(0, 1, 10, [seq] { return seq + 1; });
+}
+
+// hipcheck:seam
+void cross_audited_alias(ShardCoordinator& coord) {
+  long probe = 0;
+  // Single-shot diagnostic: the caller joins the epoch barrier before
+  // hipcheck:allow(flow-shard-owned): barrier joins before the read-back
+  coord.post(0, 1, 10, [&probe] { probe = 1; });
+}
+
+// Declarator extraction must see through trailing attribute macros (the
+// thread-safety annotation shape): the marked name below is `slot_`, not
+// the macro or its mutex argument. A failure here surfaces as bad-pragma.
+#define FIXTURE_GUARDED_BY(mu)
+
+struct FailureFunnel {
+  int mu_ = 0;
+  long slot_ FIXTURE_GUARDED_BY(mu_) = 0;  // hipcheck:shard_shared
+
+  // hipcheck:seam
+  void reset() { slot_ = 0; }
+};

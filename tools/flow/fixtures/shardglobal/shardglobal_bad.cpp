@@ -1,0 +1,46 @@
+// Fixture: flow-shard-global — mutable globals/statics reachable from
+// shard-side entry points. Once callbacks run on per-shard worker
+// threads, a plain static is a data race: every shard's worker executes
+// the callback chain concurrently.
+
+struct EventLoop {
+  template <typename F>
+  void schedule(long when, F f);
+};
+
+void count_event();
+void tally_delivery();
+
+// Parking a callback roots everything it calls: count_event (and its
+// callees) run shard-side.
+void arm_counter(EventLoop& loop) {
+  loop.schedule(10, [] { count_event(); });
+}
+
+// hipcheck:expect(flow-shard-global)
+static long g_total_events = 0;
+
+void count_event() {
+  // hipcheck:expect(flow-shard-global)
+  static long calls = 0;
+  ++calls;
+  g_total_events += 1;
+  tally_delivery();
+}
+
+// Two calls deep from the scheduled callback — reachability is
+// transitive over the linked call graph.
+void tally_delivery() {
+  // hipcheck:expect(flow-shard-global)
+  static int last_delta = 0;
+  last_delta = 1;
+}
+
+// hipcheck:shard_entry
+void on_rack_drain() {
+  // Explicitly marked entry point: reachable without any scheduling
+  // call in this fixture.
+  // hipcheck:expect(flow-shard-global)
+  static unsigned drains = 0;
+  drains++;
+}

@@ -1,0 +1,45 @@
+// Fixture: flow-shard-global negatives. Immutable, atomic, thread-local
+// and mutex-family statics are exempt; mutable statics in functions no
+// shard-side entry point reaches are fine; and a justified allow-pragma
+// covers the audited exception.
+#include <atomic>
+#include <mutex>
+
+struct EventLoop {
+  template <typename F>
+  void schedule(long when, F f);
+};
+
+void sample_clock();
+
+void arm_sampler(EventLoop& loop) {
+  loop.schedule(10, [] { sample_clock(); });
+}
+
+// Exempt by declaration: const / constexpr / atomic / thread_local /
+// mutex-family statics are either immutable or synchronized.
+static const int g_version = 3;
+static constexpr unsigned g_lanes = 8;
+static std::atomic<long> g_samples{0};
+static std::mutex g_clock_mu;
+static thread_local int g_worker_id = -1;
+
+// hipcheck:allow(flow-shard-global): epoch-published snapshot, written
+static long g_clock_skew = 0;
+
+void sample_clock() {
+  static const char* const kPhase = "steady";  // const: exempt
+  g_samples.fetch_add(1);
+  g_worker_id = 0;
+  (void)kPhase;
+  (void)g_version;
+  (void)g_lanes;
+  g_clock_skew = 1;
+}
+
+// Never scheduled, never marked: a mutable static here stays
+// single-threaded tooling code.
+void offline_report() {
+  static int runs = 0;
+  runs++;
+}

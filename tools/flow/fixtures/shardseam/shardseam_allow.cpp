@@ -26,6 +26,7 @@ struct EventLoop {
 
 Buffer stage_unpooled_copy(const Buffer& pooled);
 
+// hipcheck:seam — sanctioned crossing: the staged copy owns its bytes.
 void cross_shard_staged(ShardCoordinator& coord, const Buffer& pooled) {
   Buffer staged = stage_unpooled_copy(pooled);
   coord.post(0, 1, 100, [owned = std::move(staged)]() mutable {
@@ -37,6 +38,7 @@ void cross_shard_staged(ShardCoordinator& coord, const Buffer& pooled) {
 // bound up front (connect_cross), the coordinator switches to
 // registered-pairs-only, and the later cross post carries owned bytes.
 // The registration itself parks nothing — no findings expected.
+// hipcheck:seam — sanctioned crossing on the registered pair.
 void cross_shard_registered(ShardCoordinator& coord, EventLoop& dst_loop,
                             const Buffer& pooled) {
   coord.register_pair_lookahead(0, 1, 200);

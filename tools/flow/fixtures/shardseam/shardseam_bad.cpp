@@ -33,7 +33,7 @@ void cross_shard_escape(Pool& pool, ShardCoordinator& coord) {
   Buffer wire = pool.make(256, 32, 16);
   std::uint8_t* payload = wire.data();
   // hipcheck:expect(flow-buffer-lifetime)
-  coord.post(0, 1, 100, [payload] { payload[0] = 0; });
+  coord.post(0, 1, 100, [payload] { payload[0] = 0; });  // hipcheck:expect(flow-shard-seam)
   consume(std::move(wire));
 }
 
@@ -45,6 +45,6 @@ void cross_seq_escape(Pool& pool, EventLoop& dst_loop) {
   Buffer wire = pool.make(256, 32, 16);
   std::uint8_t* window = wire.prepend(8);
   // hipcheck:expect(flow-buffer-lifetime)
-  dst_loop.schedule_cross(100, 0, 7, [window] { window[0] = 0; });
+  dst_loop.schedule_cross(100, 0, 7, [window] { window[0] = 0; });  // hipcheck:expect(flow-shard-seam)
   consume(std::move(wire));
 }

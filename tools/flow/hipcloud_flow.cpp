@@ -50,6 +50,8 @@
 #include <vector>
 
 #include "analysis.hpp"
+#include "callgraph.hpp"
+#include "ownership.hpp"
 #include "tu.hpp"
 
 namespace hipflow {
@@ -79,19 +81,102 @@ struct PragmaIndex {
   std::vector<ExpectPragma> expects;
   std::vector<Finding> errors;  // bad-pragma
   std::map<std::string, std::vector<int>> hot_lines;  // rel path -> lines
+  OwnershipMarks marks;  // hipcheck:shard_owned/shard_shared/seam/entry
   std::set<std::string> scanned;
 };
+
+/// The declared name on a `hipcheck:shard_owned` / `shard_shared` line:
+/// the identifier just before the first of `;` `=` `{` `[` in the code
+/// part (before any `//`). Empty when the line declares nothing — the
+/// mark then applies to the next declaration line.
+std::string declarator_name(const std::string& raw) {
+  std::string code = raw.substr(0, raw.find("//"));
+  const std::size_t stop = code.find_first_of(";={[");
+  if (stop == std::string::npos) return "";
+  std::size_t e = stop;
+  // Walk back over trailing attribute macros — `Type name MACRO(args);`
+  // is how thread-safety annotations (HIPCLOUD_GUARDED_BY etc.) attach —
+  // so the declared name is extracted, not the macro or its argument.
+  for (;;) {
+    while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1]))) --e;
+    if (e == 0 || code[e - 1] != ')') break;
+    int depth = 0;
+    std::size_t p = e;
+    while (p > 0) {
+      --p;
+      if (code[p] == ')') ++depth;
+      else if (code[p] == '(' && --depth == 0) break;
+    }
+    if (depth != 0) return "";
+    e = p;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1]))) --e;
+    std::size_t m = e;
+    while (m > 0 && (std::isalnum(static_cast<unsigned char>(code[m - 1])) ||
+                     code[m - 1] == '_')) {
+      --m;
+    }
+    if (m == e) return "";  // bare `(...)` — a call or init, not a macro
+    e = m;
+  }
+  while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1]))) --e;
+  std::size_t b = e;
+  while (b > 0 && (std::isalnum(static_cast<unsigned char>(code[b - 1])) ||
+                   code[b - 1] == '_')) {
+    --b;
+  }
+  if (b == e) return "";
+  const std::string nm = code.substr(b, e - b);
+  if (std::isdigit(static_cast<unsigned char>(nm[0]))) return "";
+  return nm;
+}
 
 void scan_file_pragmas(const std::string& rel, const std::string& src,
                        PragmaIndex& px) {
   if (!px.scanned.insert(rel).second) return;
-  std::istringstream in(src);
-  std::string raw;
-  int line = 0;
-  while (std::getline(in, raw)) {
-    ++line;
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(src);
+    std::string raw;
+    while (std::getline(in, raw)) lines.push_back(raw);
+  }
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& raw = lines[li];
+    const int line = static_cast<int>(li) + 1;
     if (raw.find("hipcheck:hot") != std::string::npos) {
       px.hot_lines[rel].push_back(line);
+    }
+    // Ownership marks. seam/entry apply to the function definition within
+    // 3 lines below (same convention as hipcheck:hot); owned/shared carry
+    // the declared name from their own line or the next two.
+    if (raw.find("hipcheck:seam") != std::string::npos) {
+      px.marks.lines[rel].emplace_back(line, OwnMark::kSeam);
+    }
+    if (raw.find("hipcheck:shard_entry") != std::string::npos) {
+      px.marks.lines[rel].emplace_back(line, OwnMark::kEntry);
+    }
+    for (const auto& [marker, kind] :
+         {std::pair<const char*, OwnMark>{"hipcheck:shard_owned",
+                                          OwnMark::kOwned},
+          std::pair<const char*, OwnMark>{"hipcheck:shard_shared",
+                                          OwnMark::kShared}}) {
+      if (raw.find(marker) == std::string::npos) continue;
+      px.marks.lines[rel].emplace_back(line, kind);
+      std::string nm;
+      for (std::size_t look = li; look < lines.size() && look < li + 3;
+           ++look) {
+        nm = declarator_name(lines[look]);
+        if (!nm.empty()) break;
+      }
+      if (nm.empty()) {
+        px.errors.push_back(
+            {rel, line, "bad-pragma",
+             std::string(marker) +
+                 " must sit on (or just above) a declaration — no "
+                 "declared name found"});
+        continue;
+      }
+      if (kind == OwnMark::kOwned) px.marks.owned_names.insert(nm);
+      else px.marks.shared_names.insert(nm);
     }
     for (const char* kind : {"allow", "expect"}) {
       const std::string marker = std::string("hipcheck:") + kind + "(";
@@ -252,6 +337,7 @@ int parse_jobs(int requested) {
 struct RunResult {
   std::vector<Finding> findings;  // deduped, sorted, pre-suppression
   PragmaIndex pragmas;
+  CallGraph cg;  // linked whole-program graph (for --dump-callgraph)
 };
 
 RunResult analyze_paths(const std::string& root,
@@ -301,11 +387,15 @@ RunResult analyze_paths(const std::string& root,
     if (read_file(abs.string(), src)) scan_file_pragmas(rel, src, rr.pragmas);
   }
 
-  // Pass 2: analyses (parallel over TUs, merged under the lock).
+  // Pass 2: analyses + call-graph extraction (parallel over TUs, merged
+  // under the lock). Summaries land in a TU-indexed vector, so worker
+  // scheduling cannot change what the serial link phase sees.
   AnalysisOptions opts;
   opts.all_paths = all_paths;
   opts.hot_marks = &rr.pragmas.hot_lines;
+  opts.marks = &rr.pragmas.marks;
   std::vector<Finding> all;
+  std::vector<TuSummary> summaries(units.size());
   next = 0;
   auto analyzer = [&] {
     std::vector<Finding> local;
@@ -317,6 +407,8 @@ RunResult analyze_paths(const std::string& root,
         idx = next++;
       }
       analyze_tu(units[idx], files, opts, local);
+      summaries[idx] = extract_tu_summary(units[idx], files,
+                                          rr.pragmas.marks);
     }
     std::lock_guard<std::mutex> lock(mu);
     all.insert(all.end(), local.begin(), local.end());
@@ -328,6 +420,10 @@ RunResult analyze_paths(const std::string& root,
     for (int i = 0; i < n; ++i) pool.emplace_back(analyzer);
     for (std::thread& th : pool) th.join();
   }
+
+  // Phase 2 (serial): link the graph, run the interprocedural rules.
+  rr.cg = link_call_graph(summaries);
+  analyze_ownership(rr.cg, all_paths, all);
 
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
@@ -375,7 +471,7 @@ void print_finding(const Finding& f) {
 
 int run_tree(const std::string& root, const std::vector<std::string>& dirs,
              const std::string& compdb, const std::string& baseline_path,
-             int jobs) {
+             int jobs, bool dump_cg) {
   std::vector<std::string> tus;
   if (!compdb.empty()) {
     tus = compdb_tus(compdb);
@@ -404,6 +500,12 @@ int run_tree(const std::string& root, const std::vector<std::string>& dirs,
   // headers nothing included (they still deserve hygiene/layer checks).
   RunResult rr = analyze_paths(root, {root + "/src", root}, tus, jobs,
                                /*all_paths=*/false);
+  if (dump_cg) {
+    // Machine-diffable dump of the linked graph; byte-identical at any
+    // job count (pinned by the flow_callgraph_determinism test).
+    dump_callgraph(rr.cg, stdout);
+    return 0;
+  }
   std::set<std::string> seen(rr.pragmas.scanned);
   std::vector<std::string> orphan_headers;
   for (const std::string& f : walked) {
@@ -547,12 +649,15 @@ int main(int argc, char** argv) {
   std::string root = hipflow::fs::current_path().string();
   std::string compdb, self_test, baseline;
   bool baseline_set = false;
+  bool dump_cg = false;
   int jobs = 0;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg == "--dump-callgraph") {
+      dump_cg = true;
     } else if (arg == "--compdb" && i + 1 < argc) {
       compdb = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -566,7 +671,8 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: hipcloud_flow [--root DIR] [--compdb FILE] [--jobs N]\n"
-          "                     [--baseline FILE] [dirs...]\n"
+          "                     [--baseline FILE] [--dump-callgraph]\n"
+          "                     [dirs...]\n"
           "       hipcloud_flow --self-test FIXTURE_DIR\n");
       return 0;
     } else {
@@ -582,5 +688,5 @@ int main(int argc, char** argv) {
     std::error_code ec;
     if (hipflow::fs::exists(def, ec)) baseline = def.string();
   }
-  return hipflow::run_tree(root, dirs, compdb, baseline, jobs);
+  return hipflow::run_tree(root, dirs, compdb, baseline, jobs, dump_cg);
 }

@@ -1,0 +1,87 @@
+#include "ownership.hpp"
+
+namespace hipflow {
+
+namespace {
+
+bool in_scope(const std::string& file, bool all_paths) {
+  return all_paths || file.rfind("src/", 0) == 0;
+}
+
+std::string with_path(const CallGraph& cg, const std::string& fn) {
+  const std::string p = cg.path_to(fn);
+  if (p.empty()) return "`" + fn + "`";
+  return "`" + fn + "` (shard path " + p + ")";
+}
+
+}  // namespace
+
+void analyze_ownership(const CallGraph& cg, bool all_paths,
+                       std::vector<Finding>& out) {
+  for (const auto& [name, n] : cg.nodes) {
+    // flow-shard-seam: crossing primitives only from seam functions.
+    if (!n.seam) {
+      for (const auto& cc : n.cross_calls) {
+        if (!in_scope(cc.file, all_paths)) continue;
+        out.push_back(
+            {cc.file, cc.line, "flow-shard-seam",
+             "`" + cc.callee + "` crosses shards from " +
+                 with_path(cg, name) +
+                 ", which is not marked hipcheck:seam — cross-shard "
+                 "effects must flow through a sanctioned seam "
+                 "(CrossLinkHalf, the coordinator drain)"});
+      }
+    }
+
+    // flow-shard-global (block-scope half): a mutable function-local
+    // static in shard-reachable code is shared by every worker thread
+    // that runs the callback.
+    if (cg.shard_reachable.count(name) != 0) {
+      for (const StaticDecl& sd : n.statics) {
+        if (!in_scope(sd.file, all_paths)) continue;
+        out.push_back(
+            {sd.file, sd.line, "flow-shard-global",
+             "mutable function-local static `" + sd.name + "` in " +
+                 with_path(cg, name) +
+                 " — shard workers race on it; make it const, atomic or "
+                 "thread_local"});
+      }
+    }
+
+    // flow-shard-capture: pooled buffer handed to a callee that parks
+    // that argument position on an event loop (any depth, cross-TU).
+    for (const auto& pa : n.pooled_args) {
+      if (!in_scope(pa.file, all_paths)) continue;
+      auto it = cg.nodes.find(pa.callee);
+      if (it == cg.nodes.end()) continue;
+      if (it->second.escaping_params.count(pa.arg_pos) == 0) continue;
+      out.push_back(
+          {pa.file, pa.line, "flow-shard-capture",
+           "`" + pa.arg_name + "` (pooled buffer window) passed to `" +
+               pa.callee + "`, which parks argument " +
+               std::to_string(pa.arg_pos) +
+               " on an event loop — the pooled block is recycled before "
+               "the callback fires (escape closes through the call "
+               "graph)"});
+    }
+  }
+
+  // flow-shard-global (namespace-scope half): a mutable static written
+  // by any shard-reachable function. Reported at the declaration so the
+  // finding (and its allow-pragma) lives next to the variable.
+  for (const auto& [gname, g] : cg.globals) {
+    if (!in_scope(g.file, all_paths)) continue;
+    for (const auto& [fname, n] : cg.nodes) {
+      if (cg.shard_reachable.count(fname) == 0) continue;
+      if (n.writes.count(gname) == 0) continue;
+      out.push_back(
+          {g.file, g.line, "flow-shard-global",
+           "mutable static `" + gname + "` written by shard-reachable " +
+               with_path(cg, fname) +
+               " — unsynchronized cross-shard write; make it atomic, "
+               "guard it, or confine it to one shard"});
+    }
+  }
+}
+
+}  // namespace hipflow

@@ -1,0 +1,45 @@
+// hipcloud_flow shard-ownership analyses (interprocedural).
+//
+// The sharded PDES runtime (PRs 7-8) rests on a convention the compiler
+// never sees: shard-confined state is only touched from its owning
+// shard's event callbacks, and cross-shard effects flow only through the
+// sanctioned seams. These rules check that convention over the linked
+// whole-program call graph (callgraph.hpp):
+//
+//   flow-shard-seam     a crossing primitive (ShardCoordinator::post,
+//                       EventLoop::schedule_cross) called from a function
+//                       not marked `hipcheck:seam` — cross-shard effects
+//                       must go through a sanctioned seam
+//   flow-shard-global   a mutable global/static reachable from shard-side
+//                       entry points: a function-local `static` declared
+//                       in a shard-reachable function, or a namespace-
+//                       scope mutable static written by one (const,
+//                       constexpr, atomic, thread_local and mutex-family
+//                       declarations are exempt)
+//   flow-shard-capture  a pooled crypto::Buffer (or one of its window
+//                       pointers) passed to a callee that parks that
+//                       argument position on an event loop — the
+//                       interprocedural generalization of PR 5's
+//                       flow-buffer-lifetime: the escape can be any
+//                       number of calls deep, across TUs
+//
+// Two sibling rules (flow-shard-owned, flow-shard-shared) are intra-TU
+// and live in analysis.cpp; they share the annotation vocabulary
+// (OwnershipMarks) scanned by the driver.
+#pragma once
+
+#include <vector>
+
+#include "analysis.hpp"
+#include "callgraph.hpp"
+
+namespace hipflow {
+
+/// Run the interprocedural shard-ownership rules over the linked graph.
+/// In tree mode (`all_paths == false`) findings are scoped to src/ files
+/// — tests and benches drive the coordinator directly on purpose. The
+/// driver dedupes and sorts findings globally, same as analyze_tu.
+void analyze_ownership(const CallGraph& cg, bool all_paths,
+                       std::vector<Finding>& out);
+
+}  // namespace hipflow
