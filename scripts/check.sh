@@ -8,6 +8,10 @@
 #   scripts/check.sh --flow-ipa   # --flow plus the interprocedural gates:
 #                                 # cross-TU call-graph determinism at
 #                                 # several job counts against the golden
+#   scripts/check.sh --flow-wire  # --flow plus the wire-taint gates: the
+#                                 # flow-wire-* fixture self-tests and the
+#                                 # taint-map determinism dump against its
+#                                 # golden at several job counts
 #   scripts/check.sh --tidy       # clang-tidy over compile_commands.json
 #                                 # (skips, not fails, if clang-tidy absent)
 #   scripts/check.sh --audit      # HIPCLOUD_AUDIT=ON build, full tier-1 +
@@ -39,8 +43,8 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 tjobs="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 
-run_normal=0 run_san=0 run_lint=0 run_flow=0 run_flow_ipa=0 run_tidy=0 \
-  run_audit=0 run_tsan=0 run_bench=0 run_scale=0
+run_normal=0 run_san=0 run_lint=0 run_flow=0 run_flow_ipa=0 \
+  run_flow_wire=0 run_tidy=0 run_audit=0 run_tsan=0 run_bench=0 run_scale=0
 if [[ $# -eq 0 ]]; then
   run_normal=1 run_san=1
 fi
@@ -50,16 +54,18 @@ for arg in "$@"; do
     --lint)  run_lint=1 ;;
     --flow)  run_flow=1 ;;
     --flow-ipa) run_flow=1 run_flow_ipa=1 ;;
+    --flow-wire) run_flow=1 run_flow_wire=1 ;;
     --tidy)  run_tidy=1 ;;
     --audit) run_audit=1 ;;
     --tsan)  run_tsan=1 ;;
     --bench-smoke) run_bench=1 ;;
     --scale) run_scale=1 ;;
     --all)   run_normal=1 run_san=1 run_lint=1 run_flow=1 run_flow_ipa=1 \
-             run_tidy=1 run_audit=1 run_tsan=1 run_bench=1 run_scale=1 ;;
+             run_flow_wire=1 run_tidy=1 run_audit=1 run_tsan=1 run_bench=1 \
+             run_scale=1 ;;
     *)
-      echo "usage: $0 [--fast] [--lint] [--flow] [--flow-ipa] [--tidy]" \
-           "[--audit] [--tsan] [--bench-smoke] [--scale] [--all]" >&2
+      echo "usage: $0 [--fast] [--lint] [--flow] [--flow-ipa] [--flow-wire]" \
+           "[--tidy] [--audit] [--tsan] [--bench-smoke] [--scale] [--all]" >&2
       exit 2
       ;;
   esac
@@ -121,14 +127,32 @@ if [[ "$run_flow" == 1 ]]; then
     "$root/build/tools/hipcloud_flow" --root "$root" \
     --compdb "$root/build/compile_commands.json" --jobs "$jobs"
   if [[ "$run_flow_ipa" == 1 ]]; then
-    # Interprocedural extras: the linked cross-TU call graph must be
-    # byte-identical to the golden at every job count (extraction
-    # parallelism must never be observable in the merged graph).
+    # Interprocedural extras: the linked cross-TU call graph and the
+    # resolved wire-taint map must be byte-identical to their goldens at
+    # every job count (extraction parallelism must never be observable
+    # in the merged summaries).
     run "flow-ipa: call-graph determinism (jobs 1/2/8)" \
       bash "$root/tools/flow/callgraph_determinism_test.sh" \
       "$root/build/tools/hipcloud_flow" \
       "$root/tools/flow/fixtures/callgraph" \
-      "$root/tools/flow/fixtures/callgraph/expected_callgraph.txt"
+      "$root/tools/flow/fixtures/callgraph/expected_callgraph.txt" \
+      "$root/tools/flow/fixtures/wireindex" \
+      "$root/tools/flow/fixtures/wireindex/expected_taint.txt"
+  fi
+  if [[ "$run_flow_wire" == 1 ]]; then
+    # Wire-taint extras: the resolved taint map must be byte-identical at
+    # every job count (same harness as the call graph), and the baseline
+    # must carry zero flow-wire debt — hand-rolled parsers converge onto
+    # wire::Reader instead of accumulating quotas.
+    run "flow-wire: taint-map determinism (jobs 1/2/8)" \
+      bash "$root/tools/flow/callgraph_determinism_test.sh" \
+      "$root/build/tools/hipcloud_flow" \
+      "$root/tools/flow/fixtures/callgraph" \
+      "$root/tools/flow/fixtures/callgraph/expected_callgraph.txt" \
+      "$root/tools/flow/fixtures/wireindex" \
+      "$root/tools/flow/fixtures/wireindex/expected_taint.txt"
+    run "flow-wire: no flow-wire baseline debt" \
+      bash -c "! grep -q '^flow-wire' '$root/tools/flow/baseline.flow'"
   fi
 fi
 

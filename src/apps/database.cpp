@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "net/wire_reader.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::apps {
@@ -56,22 +57,24 @@ Bytes DbResult::serialize() const {
   return out;
 }
 
+// hipcheck:wire_input
 std::optional<DbResult> DbResult::parse(BytesView wire) {
-  if (wire.size() < 5) return std::nullopt;
+  hipcloud::wire::Reader r(wire);
+  const auto ok = r.u8();
+  const auto count = r.u32be();
+  if (!ok || !count) return std::nullopt;
   DbResult result;
-  result.ok = wire[0] == 1;
-  const auto count = static_cast<std::size_t>(crypto::read_be(wire, 1, 4));
-  std::size_t off = 5;
-  for (std::size_t i = 0; i < count; ++i) {
-    if (off + 12 > wire.size()) return std::nullopt;
-    const std::uint64_t id = crypto::read_be(wire, off, 8);
-    const auto len = static_cast<std::size_t>(crypto::read_be(wire, off + 8, 4));
-    off += 12;
-    if (off + len > wire.size()) return std::nullopt;
+  result.ok = *ok == 1;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto id_hi = r.u32be();
+    const auto id_lo = r.u32be();
+    const auto len = r.u32be();
+    if (!id_hi || !id_lo || !len) return std::nullopt;
+    const auto payload = r.bytes(*len);
+    if (!payload) return std::nullopt;
     result.rows.emplace_back(
-        id, Bytes(wire.begin() + static_cast<long>(off),
-                  wire.begin() + static_cast<long>(off + len)));
-    off += len;
+        (static_cast<std::uint64_t>(*id_hi) << 32) | *id_lo,
+        Bytes(payload->begin(), payload->end()));
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #include "hip/udp_encap.hpp"
 
+#include "net/wire_reader.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::hip {
@@ -70,20 +71,23 @@ void UdpEncap::send_encapsulated(Packet&& pkt) {
 }
 
 // hipcheck:hot
+// hipcheck:wire_input
 void UdpEncap::on_datagram(const net::Endpoint& from,
                            const net::IpAddr& local, crypto::Buffer data) {
-  if (data.empty()) return;
+  hipcloud::wire::Reader r(data.view());
+  const auto tag = r.u8();
+  if (!tag) return;
   // Learn/refresh the peer's observed endpoint: replies to this locator
   // must go to the NAT mapping we actually saw, not to port 10500 of an
   // unroutable private address.
   endpoints_[from.addr] = from;
-  if (data[0] == kTagKeepalive) return;
-  if (data[0] != kTagHip && data[0] != kTagEsp) return;
+  if (*tag == kTagKeepalive) return;
+  if (*tag != kTagHip && *tag != kTagEsp) return;
   ++decapsulated_;
   Packet inner;
   inner.src = from.addr;  // outer source: where replies must be aimed
   inner.dst = local;
-  inner.proto = data[0] == kTagHip ? IpProto::kHip : IpProto::kEsp;
+  inner.proto = *tag == kTagHip ? IpProto::kHip : IpProto::kEsp;
   data.pop_front(1);
   inner.payload = std::move(data);
   inner.stamp_l3_overhead();

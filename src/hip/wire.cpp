@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
+#include "net/wire_reader.hpp"
 
 namespace hipcloud::hip {
 
@@ -70,26 +71,31 @@ Bytes HipMessage::signed_view() const {
                                /*include_auth=*/false);
 }
 
+// hipcheck:wire_input
 HipMessage HipMessage::parse(BytesView wire) {
-  if (wire.size() < 33) throw std::runtime_error("HipMessage: truncated");
+  hipcloud::wire::Reader r(wire);
+  const auto type = r.u8();
+  const auto sender = r.bytes(16);
+  const auto receiver = r.bytes(16);
+  if (!type || !sender || !receiver) {
+    throw std::runtime_error("HipMessage: truncated");
+  }
   HipMessage msg;
-  msg.type = static_cast<MsgType>(wire[0]);
-  msg.sender_hit = net::Ipv6Addr::from_bytes(wire.subspan(1, 16));
-  msg.receiver_hit = net::Ipv6Addr::from_bytes(wire.subspan(17, 16));
-  std::size_t off = 33;
-  while (off < wire.size()) {
-    if (off + 4 > wire.size()) {
+  msg.type = static_cast<MsgType>(*type);
+  msg.sender_hit = net::Ipv6Addr::from_bytes(*sender);
+  msg.receiver_hit = net::Ipv6Addr::from_bytes(*receiver);
+  while (r.remaining() > 0) {
+    const auto ptype = r.u16be();
+    const auto len = r.u16be();
+    if (!ptype || !len) {
       throw std::runtime_error("HipMessage: truncated parameter header");
     }
-    const auto ptype = static_cast<ParamType>(read_be(wire, off, 2));
-    const auto len = static_cast<std::size_t>(read_be(wire, off + 2, 2));
-    off += 4;
-    if (off + len > wire.size()) {
+    const auto value = r.bytes(*len);
+    if (!value) {
       throw std::runtime_error("HipMessage: truncated parameter value");
     }
-    msg.params_[ptype].assign(wire.begin() + static_cast<long>(off),
-                              wire.begin() + static_cast<long>(off + len));
-    off += len;
+    msg.params_[static_cast<ParamType>(*ptype)].assign(value->begin(),
+                                                       value->end());
   }
   return msg;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "net/wire_reader.hpp"
+
 namespace hipcloud::net {
 
 using crypto::append_be;
@@ -92,17 +94,20 @@ std::size_t DnsServer::record_count() const {
   return n;
 }
 
+// hipcheck:wire_input
 void DnsServer::on_query(const Endpoint& from, Bytes data) {
-  if (data.size() < 5) return;
-  const auto id = static_cast<std::uint16_t>(read_be(data, 0, 2));
-  const auto type = static_cast<DnsType>(data[2]);
-  const auto name_len = static_cast<std::size_t>(read_be(data, 3, 2));
-  if (5 + name_len > data.size()) return;
-  const std::string name(data.begin() + 5,
-                         data.begin() + 5 + static_cast<long>(name_len));
+  wire::Reader r(data);
+  const auto id = r.u16be();
+  const auto raw_type = r.u8();
+  const auto name_len = r.u16be();
+  if (!id || !raw_type || !name_len) return;
+  const auto name_bytes = r.bytes(*name_len);
+  if (!name_bytes) return;
+  const auto type = static_cast<DnsType>(*raw_type);
+  const std::string name(name_bytes->begin(), name_bytes->end());
 
   Bytes reply;
-  append_be(reply, id, 2);
+  append_be(reply, *id, 2);
   std::uint8_t count = 0;
   Bytes records;
   const auto it = zone_.find(name);
@@ -143,28 +148,29 @@ void DnsResolver::query(const std::string& name, DnsType type, ResultFn done) {
   udp_->send(port_, server_, encode_query(id, type, name));
 }
 
+// hipcheck:wire_input
 void DnsResolver::on_response(Bytes data) {
-  if (data.size() < 3) return;
-  const auto id = static_cast<std::uint16_t>(read_be(data, 0, 2));
-  const auto it = pending_.find(id);
+  wire::Reader r(data);
+  const auto id = r.u16be();
+  const auto count = r.u8();
+  if (!id || !count) return;
+  const auto it = pending_.find(*id);
   if (it == pending_.end()) return;
   node_->network().loop().cancel(it->second.timeout);
   auto done = std::move(it->second.done);
   pending_.erase(it);
 
   std::vector<DnsRecord> records;
-  const std::uint8_t count = data[2];
-  std::size_t off = 3;
-  for (int i = 0; i < count; ++i) {
-    if (off + 3 > data.size()) break;
+  for (unsigned i = 0; i < *count; ++i) {
+    const auto rtype = r.u8();
+    if (!rtype) break;
+    const auto len = r.u16be();
+    if (!len) break;
+    const auto rdata = r.bytes(*len);
+    if (!rdata) break;
     DnsRecord record;
-    record.type = static_cast<DnsType>(data[off]);
-    const auto len = static_cast<std::size_t>(read_be(data, off + 1, 2));
-    off += 3;
-    if (off + len > data.size()) break;
-    record.data.assign(data.begin() + static_cast<long>(off),
-                       data.begin() + static_cast<long>(off + len));
-    off += len;
+    record.type = static_cast<DnsType>(*rtype);
+    record.data.assign(rdata->begin(), rdata->end());
     records.push_back(std::move(record));
   }
   done(std::move(records));

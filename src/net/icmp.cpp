@@ -76,6 +76,7 @@ void IcmpStack::ping(const IpAddr& dst, int count, sim::Duration interval,
   }
 }
 
+// hipcheck:wire_input
 void IcmpStack::on_packet(Packet&& pkt) {
   IcmpEcho echo;
   try {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/wire_reader.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::net {
@@ -26,9 +27,11 @@ bool read_ports(const Packet& pkt, PortFields& out) {
         return true;
       }
       case IpProto::kTcp: {
-        if (pkt.payload.size() < 4) return false;
-        out.src = static_cast<std::uint16_t>(crypto::read_be(pkt.payload, 0, 2));
-        out.dst = static_cast<std::uint16_t>(crypto::read_be(pkt.payload, 2, 2));
+        wire::Reader r(pkt.payload);
+        const auto src = r.u16be();
+        const auto dst = r.u16be();
+        if (!src || !dst) return false;
+        out = {*src, *dst};
         return true;
       }
       case IpProto::kIcmp: {
@@ -44,14 +47,19 @@ bool read_ports(const Packet& pkt, PortFields& out) {
   }
 }
 
+// The writers re-check the payload size themselves: read_ports succeeding
+// earlier is an invariant of the callers, not of these helpers, and a
+// too-short buffer here would be out-of-bounds writes into pooled memory.
 void write_src_port(Packet& pkt, std::uint16_t port) {
   switch (pkt.proto) {
     case IpProto::kUdp:
     case IpProto::kTcp:
+      if (pkt.payload.size() < 4) return;
       pkt.payload[0] = static_cast<std::uint8_t>(port >> 8);
       pkt.payload[1] = static_cast<std::uint8_t>(port);
       break;
     case IpProto::kIcmp:
+      if (pkt.payload.size() < 6) return;
       pkt.payload[4] = static_cast<std::uint8_t>(port >> 8);
       pkt.payload[5] = static_cast<std::uint8_t>(port);
       break;
@@ -64,10 +72,12 @@ void write_dst_port(Packet& pkt, std::uint16_t port) {
   switch (pkt.proto) {
     case IpProto::kUdp:
     case IpProto::kTcp:
+      if (pkt.payload.size() < 4) return;
       pkt.payload[2] = static_cast<std::uint8_t>(port >> 8);
       pkt.payload[3] = static_cast<std::uint8_t>(port);
       break;
     case IpProto::kIcmp:
+      if (pkt.payload.size() < 6) return;
       pkt.payload[4] = static_cast<std::uint8_t>(port >> 8);
       pkt.payload[5] = static_cast<std::uint8_t>(port);
       break;
@@ -97,6 +107,7 @@ std::uint16_t Nat::allocate_port(IpProto proto) {
   throw std::runtime_error("Nat: port space exhausted");
 }
 
+// hipcheck:wire_input
 bool Nat::on_forward(Packet& pkt, std::size_t in_iface) {
   if (!pkt.src.is_v4() || !pkt.dst.is_v4()) return true;  // v6 passes through
   if (in_iface == inside_iface_) return translate_outbound(pkt);

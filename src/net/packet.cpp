@@ -3,12 +3,13 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/wire_reader.hpp"
+
 namespace hipcloud::net {
 
 using crypto::append_be;
 using crypto::Bytes;
 using crypto::BytesView;
-using crypto::read_be;
 
 std::string Packet::describe() const {
   return src.to_string() + " -> " + dst.to_string() + " proto=" +
@@ -36,20 +37,26 @@ Bytes serialize_ipv6(const Packet& pkt) {
   return out;
 }
 
+// hipcheck:wire_input
 Packet parse_ipv6(BytesView wire) {
-  if (wire.size() < 40 || (wire[0] >> 4) != 6) {
+  wire::Reader r(wire);
+  const auto hdr = r.bytes(40);
+  if (!hdr || ((*hdr)[0] >> 4) != 6) {
     throw std::runtime_error("parse_ipv6: malformed header");
   }
-  const auto payload_len = static_cast<std::size_t>(read_be(wire, 4, 2));
-  if (40 + payload_len > wire.size()) {
+  const BytesView h = *hdr;
+  const std::size_t payload_len =
+      static_cast<std::size_t>(h[4]) << 8 | h[5];
+  const auto payload = r.bytes(payload_len);
+  if (!payload) {
     throw std::runtime_error("parse_ipv6: bad payload length");
   }
   Packet pkt;
-  pkt.proto = static_cast<IpProto>(wire[6]);
-  pkt.ttl = wire[7];
-  pkt.src = Ipv6Addr::from_bytes(wire.subspan(8, 16));
-  pkt.dst = Ipv6Addr::from_bytes(wire.subspan(24, 16));
-  pkt.payload.assign(wire.begin() + 40, wire.begin() + 40 + payload_len);
+  pkt.proto = static_cast<IpProto>(h[6]);
+  pkt.ttl = h[7];
+  pkt.src = Ipv6Addr::from_bytes(h.subspan(8, 16));
+  pkt.dst = Ipv6Addr::from_bytes(h.subspan(24, 16));
+  pkt.payload.assign(payload->begin(), payload->end());
   pkt.header_overhead = 40;
   return pkt;
 }
@@ -75,20 +82,24 @@ crypto::Buffer serialize_ipv6_in_place(Packet&& pkt) {
   return wire;
 }
 
+// hipcheck:wire_input
 Packet parse_ipv6_in_place(crypto::Buffer&& wire) {
-  const BytesView v = wire.view();
-  if (v.size() < 40 || (v[0] >> 4) != 6) {
+  wire::Reader r(wire.view());
+  const auto hdr = r.bytes(40);
+  if (!hdr || ((*hdr)[0] >> 4) != 6) {
     throw std::runtime_error("parse_ipv6: malformed header");
   }
-  const auto payload_len = static_cast<std::size_t>(read_be(v, 4, 2));
-  if (40 + payload_len > v.size()) {
+  const BytesView h = *hdr;
+  const std::size_t payload_len =
+      static_cast<std::size_t>(h[4]) << 8 | h[5];
+  if (!r.need(payload_len)) {
     throw std::runtime_error("parse_ipv6: bad payload length");
   }
   Packet pkt;
-  pkt.proto = static_cast<IpProto>(v[6]);
-  pkt.ttl = v[7];
-  pkt.src = Ipv6Addr::from_bytes(v.subspan(8, 16));
-  pkt.dst = Ipv6Addr::from_bytes(v.subspan(24, 16));
+  pkt.proto = static_cast<IpProto>(h[6]);
+  pkt.ttl = h[7];
+  pkt.src = Ipv6Addr::from_bytes(h.subspan(8, 16));
+  pkt.dst = Ipv6Addr::from_bytes(h.subspan(24, 16));
   wire.pop_front(40);
   wire.resize(payload_len);  // drop any trailing bytes beyond the v6 length
   pkt.payload = std::move(wire);
@@ -107,18 +118,25 @@ Bytes UdpSegment::serialize() const {
   return out;
 }
 
+// hipcheck:wire_input
 UdpSegment UdpSegment::parse(BytesView wire) {
-  if (wire.size() < kHeaderSize) {
+  wire::Reader r(wire);
+  const auto src_port = r.u16be();
+  const auto dst_port = r.u16be();
+  const auto length = r.u16be();
+  const auto checksum = r.u16be();
+  if (!src_port || !dst_port || !length || !checksum) {
     throw std::runtime_error("UdpSegment: truncated header");
   }
-  UdpSegment seg;
-  seg.src_port = static_cast<std::uint16_t>(read_be(wire, 0, 2));
-  seg.dst_port = static_cast<std::uint16_t>(read_be(wire, 2, 2));
-  const auto length = static_cast<std::size_t>(read_be(wire, 4, 2));
-  if (length < kHeaderSize || length > wire.size()) {
+  std::optional<BytesView> body;
+  if (*length >= kHeaderSize) body = r.bytes(*length - kHeaderSize);
+  if (!body) {
     throw std::runtime_error("UdpSegment: bad length field");
   }
-  seg.data.assign(wire.begin() + kHeaderSize, wire.begin() + length);
+  UdpSegment seg;
+  seg.src_port = *src_port;
+  seg.dst_port = *dst_port;
+  seg.data.assign(body->begin(), body->end());
   return seg;
 }
 
@@ -134,19 +152,25 @@ Bytes IcmpEcho::serialize() const {
   return out;
 }
 
+// hipcheck:wire_input
 IcmpEcho IcmpEcho::parse(BytesView wire) {
-  if (wire.size() < kHeaderSize) {
+  wire::Reader r(wire);
+  const auto type = r.u8();
+  const auto code_checksum = r.bytes(3);
+  const auto ident = r.u16be();
+  const auto seq = r.u16be();
+  if (!type || !code_checksum || !ident || !seq) {
     throw std::runtime_error("IcmpEcho: truncated header");
   }
-  IcmpEcho echo;
-  const std::uint8_t type = wire[0];
-  if (type != 0 && type != 8) {
+  if (*type != 0 && *type != 8) {
     throw std::runtime_error("IcmpEcho: unsupported type");
   }
-  echo.is_reply = (type == 0);
-  echo.ident = static_cast<std::uint16_t>(read_be(wire, 4, 2));
-  echo.seq = static_cast<std::uint16_t>(read_be(wire, 6, 2));
-  echo.data.assign(wire.begin() + kHeaderSize, wire.end());
+  IcmpEcho echo;
+  echo.is_reply = (*type == 0);
+  echo.ident = *ident;
+  echo.seq = *seq;
+  const BytesView body = r.rest();
+  echo.data.assign(body.begin(), body.end());
   return echo;
 }
 

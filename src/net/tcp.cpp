@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/wire_reader.hpp"
 #include "sim/check.hpp"
 #include "sim/log.hpp"
 
@@ -67,25 +68,41 @@ Bytes TcpHeader::serialize(BytesView data) const {
   return out;
 }
 
+// hipcheck:wire_input
 TcpHeader TcpHeader::parse_header(BytesView wire) {
-  if (wire.size() < kSize) throw std::runtime_error("TcpHeader: truncated");
+  hipcloud::wire::Reader r(wire);
+  const auto src_port = r.u16be();
+  const auto dst_port = r.u16be();
+  const auto seq = r.u32be();
+  const auto ack = r.u32be();
+  const auto off_flags = r.bytes(2);  // data offset byte + flags byte
+  const auto window = r.u32be();
+  const auto checksum = r.bytes(2);
+  if (!src_port || !dst_port || !seq || !ack || !off_flags || !window ||
+      !checksum) {
+    throw std::runtime_error("TcpHeader: truncated");
+  }
   TcpHeader h;
-  h.src_port = static_cast<std::uint16_t>(crypto::read_be(wire, 0, 2));
-  h.dst_port = static_cast<std::uint16_t>(crypto::read_be(wire, 2, 2));
-  h.seq = static_cast<std::uint32_t>(crypto::read_be(wire, 4, 4));
-  h.ack = static_cast<std::uint32_t>(crypto::read_be(wire, 8, 4));
-  const std::uint8_t flags = wire[13];
+  h.src_port = *src_port;
+  h.dst_port = *dst_port;
+  h.seq = *seq;
+  h.ack = *ack;
+  const std::uint8_t flags = (*off_flags)[1];
   h.syn = flags & kFlagSyn;
   h.fin = flags & kFlagFin;
   h.rst = flags & kFlagRst;
   h.ack_flag = flags & kFlagAck;
-  h.window = static_cast<std::uint32_t>(crypto::read_be(wire, 14, 4));
+  h.window = *window;
   return h;
 }
 
+// hipcheck:wire_input
 TcpHeader TcpHeader::parse(BytesView wire, Bytes& data_out) {
   TcpHeader h = parse_header(wire);
-  data_out.assign(wire.begin() + kSize, wire.end());
+  hipcloud::wire::Reader r(wire);
+  if (!r.skip(kSize)) throw std::runtime_error("TcpHeader: truncated");
+  const BytesView body = r.rest();
+  data_out.assign(body.begin(), body.end());
   return h;
 }
 

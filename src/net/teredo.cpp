@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/wire_reader.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::net {
@@ -66,10 +67,13 @@ TeredoServer::TeredoServer(Node* node, UdpStack* udp)
   });
 }
 
+// hipcheck:wire_input
 void TeredoServer::on_datagram(const Endpoint& from, const IpAddr& /*local*/,
                                crypto::Buffer data) {
-  if (data.empty()) return;
-  if (data[0] == kMsgSolicit) {
+  wire::Reader r(data.view());
+  const auto tag = r.u8();
+  if (!tag) return;
+  if (*tag == kMsgSolicit) {
     // Router advertisement: tell the client its observed endpoint.
     Bytes reply{kMsgAdvert};
     crypto::append_be(reply, from.addr.v4().value(), 4);
@@ -77,13 +81,13 @@ void TeredoServer::on_datagram(const Endpoint& from, const IpAddr& /*local*/,
     udp_->send(kTeredoPort, from, std::move(reply));
     return;
   }
-  if (data[0] == kMsgData) {
+  if (*tag == kMsgData) {
     // Relay: peek the inner IPv6 destination straight out of the datagram
-    // (offset 1 for the tag, 24 into the v6 header) and forward the whole
+    // (the 40-byte v6 header right after the tag) and forward the whole
     // buffer untouched — the relay never copies the tunnelled packet.
-    const BytesView v = data.view().subspan(1);
-    if (v.size() < 40 || (v[0] >> 4) != 6) return;
-    const IpAddr dst(Ipv6Addr::from_bytes(v.subspan(24, 16)));
+    const auto hdr = r.bytes(40);
+    if (!hdr || ((*hdr)[0] >> 4) != 6) return;
+    const IpAddr dst(Ipv6Addr::from_bytes(hdr->subspan(24, 16)));
     if (!dst.is_teredo()) {
       HIPCLOUD_LOG(sim::LogLevel::kDebug, node_->network().loop().now(),
                     "teredo", "relay: non-Teredo destination " +
@@ -141,14 +145,18 @@ void TeredoClient::qualify(QualifiedFn done) {
 }
 
 // hipcheck:hot
+// hipcheck:wire_input
 void TeredoClient::on_datagram(const Endpoint& /*from*/,
                                const IpAddr& /*local*/, crypto::Buffer data) {
-  if (data.empty()) return;
-  if (data[0] == kMsgAdvert && data.size() >= 7) {
-    const auto mapped_ip =
-        Ipv4Addr(static_cast<std::uint32_t>(crypto::read_be(data, 1, 4)));
-    const auto mapped_port =
-        static_cast<std::uint16_t>(crypto::read_be(data, 5, 2));
+  wire::Reader r(data.view());
+  const auto tag = r.u8();
+  if (!tag) return;
+  if (*tag == kMsgAdvert) {
+    const auto raw_ip = r.u32be();
+    const auto raw_port = r.u16be();
+    if (!raw_ip || !raw_port) return;
+    const auto mapped_ip = Ipv4Addr(*raw_ip);
+    const auto mapped_port = static_cast<std::uint16_t>(*raw_port);
     address_ = make_teredo_address(server_.addr.v4(), mapped_ip, mapped_port);
     if (!qualified_) {
       const std::size_t iface = node_->add_virtual_interface();
@@ -162,7 +170,7 @@ void TeredoClient::on_datagram(const Endpoint& /*from*/,
     }
     return;
   }
-  if (data[0] == kMsgData) {
+  if (*tag == kMsgData) {
     Packet inner;
     try {
       data.pop_front(1);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/wire_reader.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::net {
@@ -61,20 +62,23 @@ void UdpStack::send(std::uint16_t src_port, const Endpoint& dst,
   node_->send(std::move(pkt));
 }
 
+// hipcheck:wire_input
 void UdpStack::on_packet(Packet&& pkt) {
-  const crypto::BytesView wire = pkt.payload.view();
-  if (wire.size() < UdpSegment::kHeaderSize) return;  // malformed: drop
-  const auto src_port =
-      static_cast<std::uint16_t>(crypto::read_be(wire, 0, 2));
-  const auto dst_port =
-      static_cast<std::uint16_t>(crypto::read_be(wire, 2, 2));
-  const auto length = static_cast<std::size_t>(crypto::read_be(wire, 4, 2));
-  if (length < UdpSegment::kHeaderSize || length > wire.size()) return;
-  const auto it = bindings_.find(dst_port);
+  wire::Reader r(pkt.payload.view());
+  const auto src_port = r.u16be();
+  const auto dst_port = r.u16be();
+  const auto length = r.u16be();
+  const auto checksum = r.u16be();
+  if (!src_port || !dst_port || !length || !checksum) return;  // malformed
+  if (*length < UdpSegment::kHeaderSize ||
+      !r.need(*length - UdpSegment::kHeaderSize)) {
+    return;  // length field lies about the datagram size: drop
+  }
+  const auto it = bindings_.find(*dst_port);
   if (it == bindings_.end()) return;  // no listener: drop (no ICMP unreachable)
   pkt.payload.pop_front(UdpSegment::kHeaderSize);
-  pkt.payload.resize(length - UdpSegment::kHeaderSize);
-  it->second(Endpoint{pkt.src, src_port}, pkt.dst, std::move(pkt.payload));
+  pkt.payload.resize(*length - UdpSegment::kHeaderSize);
+  it->second(Endpoint{pkt.src, *src_port}, pkt.dst, std::move(pkt.payload));
 }
 
 }  // namespace hipcloud::net

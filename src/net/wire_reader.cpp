@@ -1,0 +1,53 @@
+#include "net/wire_reader.hpp"
+
+namespace hipcloud::wire {
+
+std::optional<std::uint8_t> Reader::u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> Reader::u16be() {
+  if (!need(2)) return std::nullopt;
+  const auto hi = static_cast<std::uint16_t>(data_[pos_]);
+  const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return static_cast<std::uint16_t>(hi << 8 | lo);
+}
+
+std::optional<std::uint32_t> Reader::u24be() {
+  if (!need(3)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 3; ++i) v = v << 8 | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 3;
+  return v;
+}
+
+std::optional<std::uint32_t> Reader::u32be() {
+  if (!need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<crypto::BytesView> Reader::bytes(std::size_t n) {
+  if (!need(n)) return std::nullopt;
+  const crypto::BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+bool Reader::skip(std::size_t n) {
+  if (!need(n)) return false;
+  pos_ += n;
+  return true;
+}
+
+crypto::BytesView Reader::rest() {
+  const crypto::BytesView out = data_.subspan(pos_);
+  pos_ = data_.size();
+  return out;
+}
+
+}  // namespace hipcloud::wire

@@ -1,0 +1,59 @@
+// Bounded cursor over untrusted wire bytes — the sanitization sink the
+// flow-wire analysis converges on (DESIGN.md §5k).
+//
+// Every parser that consumes attacker-controlled bytes (HIP messages,
+// UDP-encap/Teredo decapsulation, DNS, ICMP, UDP/TCP headers, TLS
+// records and handshakes, database results) reads through a Reader
+// instead of hand-rolled cursor arithmetic. The contract:
+//
+//   * every read validates against the remaining window first and
+//     reports failure as an empty optional — error-results, not
+//     exceptions, on the hot path, and no partial advance on failure;
+//   * the internal guard is the non-wrapping shape `n <= size - pos`
+//     (never `pos + n <= size`, which wraps for attacker-chosen n);
+//   * values obtained through a Reader are therefore bounds-sanitized:
+//     a u16be() is at most 65535 and a bytes(n) span is exactly n bytes
+//     long, both proven against the real buffer, so the flow-wire-*
+//     rules (tools/flow/taint.hpp) treat Reader results as clean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/bytes.hpp"
+
+namespace hipcloud::wire {
+
+class Reader {
+ public:
+  explicit Reader(crypto::BytesView data) : data_(data) {}
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// True when `n` more bytes can be read. Non-wrapping by shape:
+  /// pos_ never exceeds data_.size(), so the subtraction is exact.
+  bool need(std::size_t n) const { return n <= data_.size() - pos_; }
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16be();
+  std::optional<std::uint32_t> u24be();
+  std::optional<std::uint32_t> u32be();
+
+  /// The next `n` bytes as a view into the underlying buffer; fails
+  /// without advancing when fewer remain.
+  std::optional<crypto::BytesView> bytes(std::size_t n);
+
+  /// Skip `n` bytes; false (and no advance) when fewer remain.
+  bool skip(std::size_t n);
+
+  /// Consume and return everything left (possibly empty).
+  crypto::BytesView rest();
+
+ private:
+  crypto::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hipcloud::wire

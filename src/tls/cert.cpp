@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "net/wire_reader.hpp"
+
 namespace hipcloud::tls {
 
 using crypto::append_be;
@@ -15,15 +17,12 @@ void append_blob(Bytes& out, BytesView blob) {
   out.insert(out.end(), blob.begin(), blob.end());
 }
 
-Bytes read_blob(BytesView wire, std::size_t& off) {
-  if (off + 2 > wire.size()) throw std::runtime_error("cert: truncated");
-  const auto len = static_cast<std::size_t>(read_be(wire, off, 2));
-  off += 2;
-  if (off + len > wire.size()) throw std::runtime_error("cert: truncated");
-  Bytes out(wire.begin() + static_cast<long>(off),
-            wire.begin() + static_cast<long>(off + len));
-  off += len;
-  return out;
+Bytes read_blob(wire::Reader& r) {
+  const auto len = r.u16be();
+  if (!len) throw std::runtime_error("cert: truncated");
+  const auto blob = r.bytes(*len);
+  if (!blob) throw std::runtime_error("cert: truncated");
+  return Bytes(blob->begin(), blob->end());
 }
 }  // namespace
 
@@ -41,15 +40,16 @@ Bytes Certificate::encode() const {
   return out;
 }
 
+// hipcheck:wire_input
 Certificate Certificate::decode(BytesView wire) {
   Certificate cert;
-  std::size_t off = 0;
-  const Bytes subject = read_blob(wire, off);
-  const Bytes issuer = read_blob(wire, off);
+  hipcloud::wire::Reader r(wire);
+  const Bytes subject = read_blob(r);
+  const Bytes issuer = read_blob(r);
   cert.subject.assign(subject.begin(), subject.end());
   cert.issuer.assign(issuer.begin(), issuer.end());
-  cert.public_key = read_blob(wire, off);
-  cert.signature = read_blob(wire, off);
+  cert.public_key = read_blob(r);
+  cert.signature = read_blob(r);
   return cert;
 }
 

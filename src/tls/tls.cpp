@@ -5,6 +5,7 @@
 
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "net/wire_reader.hpp"
 #include "sim/log.hpp"
 
 namespace hipcloud::tls {
@@ -23,6 +24,12 @@ constexpr std::uint8_t kHsClientKeyExchange = 16;
 constexpr std::uint8_t kHsFinished = 20;
 
 constexpr std::size_t kMacLen = 16;
+
+// Hard ceiling on the claimed record length. Without it, a peer that sends a
+// 4-byte header claiming a multi-megabyte body makes us buffer the connection
+// bytes forever waiting for a record that never completes. Far above any
+// legitimate record (largest app payloads are a few KiB).
+constexpr std::size_t kMaxRecordLen = 1 << 20;
 
 void store_be64(std::uint8_t* p, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -148,25 +155,30 @@ void TlsSession::send_record(std::uint8_t type, BytesView body,
   conn_->send(std::move(record));
 }
 
+// hipcheck:wire_input
 void TlsSession::on_tcp_data(Bytes chunk) {
   recv_buf_.insert(recv_buf_.end(), chunk.begin(), chunk.end());
   pump();
 }
 
 void TlsSession::pump() {
-  while (!paused_ && recv_buf_.size() >= 4) {
-    const std::uint8_t type = recv_buf_[0];
-    const auto len = static_cast<std::size_t>(crypto::read_be(recv_buf_, 1, 3));
-    if (recv_buf_.size() < 4 + len) return;
-    Bytes body(recv_buf_.begin() + 4,
-               recv_buf_.begin() + 4 + static_cast<long>(len));
+  while (!paused_) {
+    wire::Reader r(recv_buf_);
+    const auto type = r.u8();
+    const auto len = r.u24be();
+    if (!type || !len) return;  // incomplete record header
+    if (*len > kMaxRecordLen) return fail("oversized record");
+    const auto body_view = r.bytes(*len);
+    if (!body_view) return;  // body not fully arrived yet
+    Bytes body(body_view->begin(), body_view->end());
     recv_buf_.erase(recv_buf_.begin(),
-                    recv_buf_.begin() + 4 + static_cast<long>(len));
-    process_record(type, std::move(body));
+                    recv_buf_.begin() + 4 + static_cast<long>(*len));
+    process_record(*type, std::move(body));
     if (state_ == State::kError || state_ == State::kClosed) return;
   }
 }
 
+// hipcheck:wire_input
 void TlsSession::process_record(std::uint8_t type, Bytes body) {
   const bool encrypted_phase =
       enc_in_.has_value() &&
@@ -260,15 +272,18 @@ void TlsSession::finish_handshake() {
   }
 }
 
+// hipcheck:wire_input
 void TlsSession::handle_handshake(Bytes body) {
-  if (body.empty()) return fail("empty handshake");
-  const std::uint8_t msg_type = body[0];
+  wire::Reader r(body);
+  const auto msg_type = r.u8();
+  if (!msg_type) return fail("empty handshake");
 
-  switch (msg_type) {
+  switch (*msg_type) {
     case kHsClientHello: {
       if (is_client_ || state_ != State::kWaitHello) return fail("bad hello");
-      if (body.size() != 33) return fail("malformed ClientHello");
-      client_random_.assign(body.begin() + 1, body.end());
+      const auto rnd = r.bytes(32);
+      if (!rnd || r.remaining() != 0) return fail("malformed ClientHello");
+      client_random_.assign(rnd->begin(), rnd->end());
       transcript_.insert(transcript_.end(), body.begin(), body.end());
       if (!config_.certificate || !config_.private_key) {
         return fail("server has no certificate");
@@ -286,14 +301,15 @@ void TlsSession::handle_handshake(Bytes body) {
     }
     case kHsServerHello: {
       if (!is_client_ || state_ != State::kHelloSent) return fail("bad hello");
-      if (body.size() < 35) return fail("malformed ServerHello");
-      server_random_.assign(body.begin() + 1, body.begin() + 33);
-      const auto cert_len =
-          static_cast<std::size_t>(crypto::read_be(body, 33, 2));
-      if (35 + cert_len > body.size()) return fail("malformed certificate");
+      const auto rnd = r.bytes(32);
+      const auto cert_len = r.u16be();
+      if (!rnd || !cert_len) return fail("malformed ServerHello");
+      const auto cert_bytes = r.bytes(*cert_len);
+      if (!cert_bytes) return fail("malformed certificate");
+      server_random_.assign(rnd->begin(), rnd->end());
       Certificate cert;
       try {
-        cert = Certificate::decode(BytesView(body).subspan(35, cert_len));
+        cert = Certificate::decode(*cert_bytes);
       } catch (const std::runtime_error&) {
         return fail("unparseable certificate");
       }
@@ -348,12 +364,11 @@ void TlsSession::handle_handshake(Bytes body) {
     }
     case kHsClientKeyExchange: {
       if (is_client_ || state_ != State::kWaitKeyEx) return fail("bad keyex");
-      if (body.size() < 3) return fail("malformed keyex");
-      const auto enc_len =
-          static_cast<std::size_t>(crypto::read_be(body, 1, 2));
-      if (3 + enc_len > body.size()) return fail("malformed keyex");
-      const Bytes encrypted(body.begin() + 3,
-                            body.begin() + 3 + static_cast<long>(enc_len));
+      const auto enc_len = r.u16be();
+      if (!enc_len) return fail("malformed keyex");
+      const auto enc = r.bytes(*enc_len);
+      if (!enc) return fail("malformed keyex");
+      const Bytes encrypted(enc->begin(), enc->end());
       transcript_.insert(transcript_.end(), body.begin(), body.end());
 
       // RSA private decryption: the server's expensive step.
@@ -379,8 +394,9 @@ void TlsSession::handle_handshake(Bytes body) {
     case kHsFinished: {
       if (state_ != State::kWaitFinished) return fail("unexpected finished");
       const Bytes expected = finished_mac(/*client_side=*/!is_client_);
-      if (body.size() != 1 + expected.size() ||
-          !crypto::ct_equal(BytesView(body).subspan(1), expected)) {
+      const auto got_mac = r.bytes(expected.size());
+      if (!got_mac || r.remaining() != 0 ||
+          !crypto::ct_equal(*got_mac, expected)) {
         return fail("finished MAC mismatch");
       }
       if (is_client_) {

@@ -149,5 +149,34 @@ TEST(Nat, IcmpEchoThroughNat) {
   EXPECT_TRUE(done);
 }
 
+// Regression: transport payloads too short to carry their port fields
+// must be dropped untranslated. The port writers re-check the payload
+// size before indexing — without those guards a truncated datagram that
+// slipped past read_ports would mean out-of-bounds writes into pooled
+// memory (caught by ASan in this suite's default build).
+TEST(Nat, TruncatedTransportPayloadDropped) {
+  NattedTopo topo;
+  int server_got = 0;
+  for (const auto proto :
+       {IpProto::kUdp, IpProto::kTcp, IpProto::kIcmp}) {
+    topo.server->register_protocol(proto, [&](Packet&&) { ++server_got; });
+  }
+  for (const auto proto :
+       {IpProto::kUdp, IpProto::kTcp, IpProto::kIcmp}) {
+    for (std::size_t n = 0; n < 4; ++n) {
+      Packet pkt;
+      pkt.src = IpAddr(Ipv4Addr(192, 168, 0, 2));
+      pkt.dst = IpAddr(Ipv4Addr(8, 0, 0, 10));
+      pkt.proto = proto;
+      pkt.payload = crypto::Bytes(n, 0xab);
+      pkt.stamp_l3_overhead();
+      topo.client->send(std::move(pkt));
+    }
+  }
+  topo.net.loop().run();
+  EXPECT_EQ(server_got, 0);
+  EXPECT_EQ(topo.nat->active_mappings(), 0u);
+}
+
 }  // namespace
 }  // namespace hipcloud::net

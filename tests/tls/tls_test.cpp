@@ -324,5 +324,28 @@ TEST(Certificate, EncodeDecodeRoundTrip) {
   EXPECT_THROW(Certificate::decode(crypto::Bytes{0xff}), std::runtime_error);
 }
 
+// Regression: a 4-byte record header claiming a multi-megabyte body used
+// to make the receiver buffer connection bytes forever waiting for a
+// payload that never arrives. The record layer now caps the claimed
+// length (kMaxRecordLen) and fails the session immediately.
+TEST(Tls, OversizedRecordHeaderRejected) {
+  TlsTopo topo;
+  std::vector<std::shared_ptr<TlsSession>> keep;
+  bool server_closed = false;
+  topo.ts->listen(443, [&](auto conn) {
+    auto session =
+        TlsSession::server(conn, topo.server_node, topo.server_cfg, 99);
+    session->on_close([&] { server_closed = true; });
+    keep.push_back(std::move(session));
+  });
+  // Raw TCP client, no TLS: handshake record type with a 2 MiB length.
+  auto conn = topo.tc->connect(Endpoint{IpAddr(Ipv4Addr(10, 0, 0, 2)), 443});
+  conn->on_connect([&] { conn->send(Bytes{0x16, 0x20, 0x00, 0x00}); });
+  topo.net.loop().run();
+  EXPECT_TRUE(server_closed);
+  ASSERT_EQ(keep.size(), 1u);
+  EXPECT_FALSE(keep[0]->established());
+}
+
 }  // namespace
 }  // namespace hipcloud::tls

@@ -98,6 +98,8 @@ enum class OwnMark {
             // mutex- or barrier-published state); writes only in seams
   kSeam,    // hipcheck:seam — sanctioned crossing function
   kEntry,   // hipcheck:shard_entry — explicit shard-side entry point
+  kWire,    // hipcheck:wire_input — network entry point; byte-span and
+            // Packet parameters carry untrusted wire bytes (taint.hpp)
 };
 
 struct OwnershipMarks {

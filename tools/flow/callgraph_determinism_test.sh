@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Pins the linked call graph: `hipcloud_flow --dump-callgraph` over the
-# callgraph fixture mini-tree must be byte-identical to the checked-in
-# golden at every job count — worker scheduling must not be observable.
+# Pins the cross-TU summaries: `hipcloud_flow --dump-callgraph` over the
+# callgraph fixture mini-tree, and `--dump-wire` over the wireindex
+# fixture mini-tree, must be byte-identical to the checked-in goldens at
+# every job count — worker scheduling must not be observable in either
+# the linked graph or the resolved taint map.
 set -u
 
-FLOW="$1"      # path to the hipcloud_flow binary
-FIXTURE="$2"   # tools/flow/fixtures/callgraph
-GOLDEN="$3"    # expected_callgraph.txt
+FLOW="$1"         # path to the hipcloud_flow binary
+FIXTURE="$2"      # tools/flow/fixtures/callgraph
+GOLDEN="$3"       # expected_callgraph.txt
+WIRE_FIXTURE="$4" # tools/flow/fixtures/wireindex
+WIRE_GOLDEN="$5"  # expected_taint.txt
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -24,15 +28,30 @@ for j in 1 2 8; do
     cat "$tmp/diff.$j"
     rc=1
   fi
+  if ! "$FLOW" --root "$WIRE_FIXTURE" --dump-wire --jobs "$j" src \
+      > "$tmp/wire.$j" 2> "$tmp/werr.$j"; then
+    echo "FAIL: hipcloud_flow --dump-wire --jobs $j exited non-zero"
+    cat "$tmp/werr.$j"
+    rc=1
+  fi
+  if ! diff -u "$WIRE_GOLDEN" "$tmp/wire.$j" > "$tmp/wdiff.$j"; then
+    echo "FAIL: wire-taint dump at --jobs $j differs from golden:"
+    cat "$tmp/wdiff.$j"
+    rc=1
+  fi
 done
 
-# Belt and braces: the three dumps must also agree with each other.
+# Belt and braces: the per-jobs dumps must also agree with each other.
 if ! cmp -s "$tmp/dump.1" "$tmp/dump.2" || ! cmp -s "$tmp/dump.1" "$tmp/dump.8"; then
   echo "FAIL: callgraph dumps differ across job counts"
   rc=1
 fi
+if ! cmp -s "$tmp/wire.1" "$tmp/wire.2" || ! cmp -s "$tmp/wire.1" "$tmp/wire.8"; then
+  echo "FAIL: wire-taint dumps differ across job counts"
+  rc=1
+fi
 
 if [ "$rc" -eq 0 ]; then
-  echo "callgraph determinism: OK (jobs 1/2/8 byte-identical to golden)"
+  echo "callgraph + wire-taint determinism: OK (jobs 1/2/8 byte-identical)"
 fi
 exit "$rc"

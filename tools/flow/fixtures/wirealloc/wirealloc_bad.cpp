@@ -1,0 +1,19 @@
+// Wire-taint fixture: allocation sized straight from a wire field. A
+// 2-byte length can demand any buffer the encoding allows before a
+// single byte of payload is validated — the classic amplification bug.
+#include <vector>
+
+struct BytesView {
+  unsigned size() const;
+  unsigned char operator[](unsigned i) const;
+};
+
+unsigned read_u16(BytesView b, unsigned at);
+
+// hipcheck:wire_input
+void parse_frame(BytesView wire) {
+  unsigned len = read_u16(wire, 0);
+  std::vector<unsigned char> out;
+  // hipcheck:expect(flow-wire-alloc)
+  out.resize(len);
+}

@@ -1,0 +1,19 @@
+// Wire-taint fixture: the validated twin. The claimed length is clamped
+// against a protocol ceiling before it sizes anything — no findings
+// expected.
+#include <vector>
+
+struct BytesView {
+  unsigned size() const;
+  unsigned char operator[](unsigned i) const;
+};
+
+unsigned read_u16(BytesView b, unsigned at);
+
+// hipcheck:wire_input
+void parse_frame_checked(BytesView wire) {
+  unsigned len = read_u16(wire, 0);
+  if (len > 4096) return;
+  std::vector<unsigned char> out;
+  out.resize(len);
+}

@@ -1,0 +1,16 @@
+// Wire-taint fixture, TU 2: the parsers. Neither function is marked —
+// their taint arrives interprocedurally from recv.cpp's entry point.
+// `parse_record` indexes the tainted span with no dominating size
+// check; `parse_guarded` is the annotated negative (the check at the
+// top dominates every later index).
+#include "wire.hpp"
+
+std::uint8_t parse_record(BytesView wire) {
+  // hipcheck:expect(flow-wire-index)
+  return wire[0];
+}
+
+std::uint8_t parse_guarded(BytesView wire) {
+  if (wire.size() < 2) return 0;
+  return wire[1];
+}

@@ -1,0 +1,11 @@
+// Wire-taint fixture, TU 1: the network entry point. The mark seeds the
+// byte-span parameter; both forwarding calls taint position 0 of the
+// parsers defined in the other TU. No finding fires here — the bug
+// lives where the bytes are indexed, not where they arrive.
+#include "wire.hpp"
+
+// hipcheck:wire_input
+void on_datagram(BytesView data) {
+  parse_record(data);
+  parse_guarded(data);
+}

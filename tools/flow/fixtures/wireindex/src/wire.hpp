@@ -1,0 +1,16 @@
+// Wire-taint fixture: shared surface between the entry TU (recv.cpp,
+// which carries the hipcheck:wire_input mark) and the parser TU
+// (parse.cpp, which never mentions the mark). The finding only exists if
+// taint crosses the TU boundary through the linked call graph — this is
+// the cross-TU propagation proof for flow-wire-*.
+#pragma once
+#include <cstdint>
+
+struct BytesView {
+  unsigned size() const;
+  bool empty() const;
+  std::uint8_t operator[](unsigned i) const;
+};
+
+std::uint8_t parse_record(BytesView wire);
+std::uint8_t parse_guarded(BytesView wire);

@@ -1,0 +1,20 @@
+// Wire-taint fixture: a loop bounded by an attacker-chosen count whose
+// body never advances the compared values and never escapes — a crafted
+// message with count > 0 spins the event loop forever.
+struct BytesView {
+  unsigned size() const;
+  unsigned char operator[](unsigned i) const;
+};
+
+unsigned read_u16(BytesView b, unsigned at);
+void emit(unsigned v);
+
+// hipcheck:wire_input
+void parse_chunks(BytesView wire) {
+  unsigned count = read_u16(wire, 0);
+  unsigned i = 0;
+  // hipcheck:expect(flow-wire-loop)
+  while (i < count) {
+    emit(i);
+  }
+}

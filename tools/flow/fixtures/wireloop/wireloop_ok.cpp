@@ -1,0 +1,33 @@
+// Wire-taint fixture: the two terminating shapes. The indexed for-loop
+// makes visible progress on the compared induction variable; the Reader
+// loop's cursor is bounds-proven and advances every iteration — no
+// findings expected.
+struct BytesView {
+  unsigned size() const;
+  unsigned char operator[](unsigned i) const;
+};
+
+struct Reader {
+  explicit Reader(BytesView d);
+  unsigned remaining() const;
+  unsigned u8();
+};
+
+unsigned read_u16(BytesView b, unsigned at);
+void emit(unsigned v);
+
+// hipcheck:wire_input
+void parse_chunks_counted(BytesView wire) {
+  unsigned count = read_u16(wire, 0);
+  for (unsigned i = 0; i < count; ++i) {
+    emit(i);
+  }
+}
+
+// hipcheck:wire_input
+void parse_chunks_stream(BytesView wire) {
+  Reader r(wire);
+  while (r.remaining() > 0) {
+    emit(r.u8());
+  }
+}

@@ -1,0 +1,29 @@
+// Wire-taint fixture: the wrap-prone bounds guard. `off + len` are both
+// attacker-chosen 16-bit fields widened to unsigned; their sum can wrap
+// and the `> size()` comparison then passes for values that read far
+// past the buffer. Both operand orders of the comparison are covered.
+struct BytesView {
+  unsigned size() const;
+  unsigned char operator[](unsigned i) const;
+};
+
+unsigned read_u16(BytesView b, unsigned at);
+void consume(BytesView b, unsigned off, unsigned len);
+
+// hipcheck:wire_input
+void parse_tlv(BytesView wire) {
+  unsigned off = read_u16(wire, 0);
+  unsigned len = read_u16(wire, 2);
+  // hipcheck:expect(flow-wire-overflow)
+  if (off + len > wire.size()) return;
+  consume(wire, off, len);
+}
+
+// hipcheck:wire_input
+void parse_tlv_reversed(BytesView wire) {
+  unsigned off = read_u16(wire, 0);
+  unsigned len = read_u16(wire, 2);
+  // hipcheck:expect(flow-wire-overflow)
+  if (wire.size() < off + len) return;
+  consume(wire, off, len);
+}

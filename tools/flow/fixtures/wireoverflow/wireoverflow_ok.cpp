@@ -1,0 +1,20 @@
+// Wire-taint fixture: the wrap-free spelling of the same guard. With
+// `off` already bounded by the first comparison, `size() - off` cannot
+// underflow and `len` is compared against the true remaining space — no
+// findings expected.
+struct BytesView {
+  unsigned size() const;
+  unsigned char operator[](unsigned i) const;
+};
+
+unsigned read_u16(BytesView b, unsigned at);
+void consume(BytesView b, unsigned off, unsigned len);
+
+// hipcheck:wire_input
+void parse_tlv_safe(BytesView wire) {
+  unsigned off = read_u16(wire, 0);
+  unsigned len = read_u16(wire, 2);
+  if (off > wire.size()) return;
+  if (len > wire.size() - off) return;
+  consume(wire, off, len);
+}

@@ -52,6 +52,7 @@
 #include "analysis.hpp"
 #include "callgraph.hpp"
 #include "ownership.hpp"
+#include "taint.hpp"
 #include "tu.hpp"
 
 namespace hipflow {
@@ -153,6 +154,9 @@ void scan_file_pragmas(const std::string& rel, const std::string& src,
     }
     if (raw.find("hipcheck:shard_entry") != std::string::npos) {
       px.marks.lines[rel].emplace_back(line, OwnMark::kEntry);
+    }
+    if (raw.find("hipcheck:wire_input") != std::string::npos) {
+      px.marks.lines[rel].emplace_back(line, OwnMark::kWire);
     }
     for (const auto& [marker, kind] :
          {std::pair<const char*, OwnMark>{"hipcheck:shard_owned",
@@ -338,6 +342,7 @@ struct RunResult {
   std::vector<Finding> findings;  // deduped, sorted, pre-suppression
   PragmaIndex pragmas;
   CallGraph cg;  // linked whole-program graph (for --dump-callgraph)
+  WireTaint taint;  // resolved wire-taint map (for --dump-wire)
 };
 
 RunResult analyze_paths(const std::string& root,
@@ -424,6 +429,7 @@ RunResult analyze_paths(const std::string& root,
   // Phase 2 (serial): link the graph, run the interprocedural rules.
   rr.cg = link_call_graph(summaries);
   analyze_ownership(rr.cg, all_paths, all);
+  rr.taint = analyze_wire(units, files, rr.pragmas.marks, all_paths, all);
 
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
@@ -471,7 +477,7 @@ void print_finding(const Finding& f) {
 
 int run_tree(const std::string& root, const std::vector<std::string>& dirs,
              const std::string& compdb, const std::string& baseline_path,
-             int jobs, bool dump_cg) {
+             int jobs, bool dump_cg, bool dump_wire) {
   std::vector<std::string> tus;
   if (!compdb.empty()) {
     tus = compdb_tus(compdb);
@@ -504,6 +510,12 @@ int run_tree(const std::string& root, const std::vector<std::string>& dirs,
     // Machine-diffable dump of the linked graph; byte-identical at any
     // job count (pinned by the flow_callgraph_determinism test).
     dump_callgraph(rr.cg, stdout);
+    return 0;
+  }
+  if (dump_wire) {
+    // Machine-diffable dump of the resolved wire-taint map; pinned by
+    // the same determinism test as the call graph.
+    dump_wire_taint(rr.taint, stdout);
     return 0;
   }
   std::set<std::string> seen(rr.pragmas.scanned);
@@ -650,6 +662,7 @@ int main(int argc, char** argv) {
   std::string compdb, self_test, baseline;
   bool baseline_set = false;
   bool dump_cg = false;
+  bool dump_wire = false;
   int jobs = 0;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
@@ -658,6 +671,8 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--dump-callgraph") {
       dump_cg = true;
+    } else if (arg == "--dump-wire") {
+      dump_wire = true;
     } else if (arg == "--compdb" && i + 1 < argc) {
       compdb = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -672,7 +687,7 @@ int main(int argc, char** argv) {
           stderr,
           "usage: hipcloud_flow [--root DIR] [--compdb FILE] [--jobs N]\n"
           "                     [--baseline FILE] [--dump-callgraph]\n"
-          "                     [dirs...]\n"
+          "                     [--dump-wire] [dirs...]\n"
           "       hipcloud_flow --self-test FIXTURE_DIR\n");
       return 0;
     } else {
@@ -688,5 +703,6 @@ int main(int argc, char** argv) {
     std::error_code ec;
     if (hipflow::fs::exists(def, ec)) baseline = def.string();
   }
-  return hipflow::run_tree(root, dirs, compdb, baseline, jobs, dump_cg);
+  return hipflow::run_tree(root, dirs, compdb, baseline, jobs, dump_cg,
+                           dump_wire);
 }

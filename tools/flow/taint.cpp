@@ -1,0 +1,637 @@
+#include "taint.hpp"
+
+#include <algorithm>
+
+namespace hipflow {
+
+namespace {
+
+bool in_scope(const std::string& file, bool all_paths) {
+  return all_paths || file.rfind("src/", 0) == 0;
+}
+
+const std::set<std::string>& control_kw() {
+  static const std::set<std::string> s = {
+      "if",     "for",     "while",  "switch",        "catch",  "return",
+      "sizeof", "alignas", "new",    "static_assert", "delete", "else",
+      "do",     "decltype", "alignof"};
+  return s;
+}
+
+/// Type tokens that mark a parameter as carrying raw wire bytes.
+bool byte_type_token(const std::string& s) {
+  static const std::set<std::string> k = {"Bytes", "BytesView", "Buffer",
+                                          "span"};
+  return k.count(s) != 0;
+}
+
+/// Tokens on an expression's RHS that make the result a byte *view*
+/// (still a buffer) rather than a scalar derived from buffer contents.
+bool view_token(const std::string& s) {
+  static const std::set<std::string> k = {"view",  "subspan", "BytesView",
+                                          "Bytes", "span",    "rest",
+                                          "first", "last"};
+  return k.count(s) != 0;
+}
+
+// --------------------------------------------------------------------------
+// Per-definition model.
+
+struct WireParam {
+  std::string name;
+  bool byte = false;     // Bytes/BytesView/Buffer/span — a raw byte span
+  bool carrier = false;  // Packet — wire bytes ride in `.payload`
+};
+
+/// Parse the parameter list like callgraph.cpp does, keeping per-segment
+/// type facts instead of alias-ness.
+std::vector<WireParam> parse_wire_params(const std::vector<Token>& t,
+                                         std::size_t args_open,
+                                         std::size_t args_close) {
+  std::vector<WireParam> out;
+  std::size_t seg_b = args_open + 1;
+  int paren = 0, angle = 0, brace = 0;
+  auto close_segment = [&](std::size_t seg_e) {
+    if (seg_e <= seg_b) return;
+    WireParam wp;
+    bool past_default = false;
+    for (std::size_t k = seg_b; k < seg_e; ++k) {
+      const std::string& s = t[k].text;
+      if (s == "=") past_default = true;
+      if (past_default) continue;
+      if (byte_type_token(s)) wp.byte = true;
+      if (s == "Packet") wp.carrier = true;
+      if (is_ident(s)) wp.name = s;
+    }
+    if (!wp.name.empty() && wp.name != "void") out.push_back(std::move(wp));
+  };
+  for (std::size_t k = args_open + 1; k < args_close; ++k) {
+    const std::string& s = t[k].text;
+    if (s == "(") ++paren;
+    else if (s == ")") --paren;
+    else if (s == "{") ++brace;
+    else if (s == "}") --brace;
+    else if (s == "<" && is_ident(tok(t, k - 1))) ++angle;
+    else if (s == ">" && angle > 0) --angle;
+    else if (s == "," && paren == 0 && angle == 0 && brace == 0) {
+      close_segment(k);
+      seg_b = k + 1;
+    }
+  }
+  close_segment(args_close);
+  return out;
+}
+
+struct FnDef {
+  FnSpan span;
+  std::vector<WireParam> params;
+  std::string file;  // of the name token
+  int line = 0;
+  bool marked = false;  // hipcheck:wire_input above the definition
+};
+
+/// A dotted access chain ("pkt.payload" = {"pkt","payload"}).
+using Chain = std::vector<std::string>;
+
+std::string chain_str(const Chain& c) {
+  std::string s;
+  for (const std::string& p : c) {
+    if (!s.empty()) s += ".";
+    s += p;
+  }
+  return s;
+}
+
+/// Token length of chain `c` spelled out at `i` (ident . ident ...), or
+/// 0 when it does not match. Rejects suffix matches (`x.pkt.payload`).
+std::size_t chain_len(const std::vector<Token>& t, std::size_t i,
+                      const Chain& c) {
+  if (tok(t, i) != c[0]) return 0;
+  const std::string& prev = tok(t, i - 1);
+  if (prev == "." || prev == "->") return 0;
+  std::size_t k = i;
+  for (std::size_t p = 1; p < c.size(); ++p) {
+    const std::string& dot = tok(t, k + 1);
+    if (dot != "." && dot != "->") return 0;
+    if (tok(t, k + 2) != c[p]) return 0;
+    k += 2;
+  }
+  return k - i + 1;
+}
+
+/// What a tainted definition knows about its own body.
+struct BodyState {
+  std::vector<Chain> buffers;      // tainted byte spans (dotted chains)
+  std::set<std::string> carriers;  // tainted Packet locals/params
+  std::set<std::string> scalars;   // values derived from tainted bytes
+  std::set<std::string> readers;   // wire::Reader variables (sanitizers)
+};
+
+/// True when the chain occurrence at `i` (length `len`) is a clean use:
+/// `.size()` / `.empty()` inspect the real buffer, not its contents.
+bool clean_chain_use(const std::vector<Token>& t, std::size_t i,
+                     std::size_t len) {
+  const std::string& dot = tok(t, i + len);
+  if (dot != "." && dot != "->") return false;
+  const std::string& m = tok(t, i + len + 1);
+  return m == "size" || m == "empty";
+}
+
+/// Scan [b, e) for tainted mentions; sets `has_view` when the span also
+/// contains a view-producing token (the result stays a buffer).
+bool mentions_taint(const std::vector<Token>& t, std::size_t b, std::size_t e,
+                    const BodyState& st, bool& has_view) {
+  bool tainted = false;
+  for (std::size_t k = b; k < e; ++k) {
+    if (view_token(t[k].text)) has_view = true;
+    if (!is_ident(t[k].text)) continue;
+    for (const Chain& c : st.buffers) {
+      const std::size_t len = chain_len(t, k, c);
+      if (len != 0 && !clean_chain_use(t, k, len)) tainted = true;
+    }
+    if (tok(t, k - 1) != "." && tok(t, k - 1) != "->" &&
+        st.scalars.count(t[k].text) != 0) {
+      tainted = true;
+    }
+  }
+  return tainted;
+}
+
+bool mentions_reader(const std::vector<Token>& t, std::size_t b,
+                     std::size_t e, const BodyState& st) {
+  for (std::size_t k = b; k < e; ++k) {
+    if (is_ident(t[k].text) && st.readers.count(t[k].text) != 0) return true;
+  }
+  return false;
+}
+
+/// End of the statement starting inside `i` (first `;` at depth 0).
+std::size_t stmt_end(const std::vector<Token>& t, std::size_t i,
+                     std::size_t limit) {
+  int depth = 0;
+  for (std::size_t k = i; k < limit; ++k) {
+    const std::string& s = t[k].text;
+    if (s == "(" || s == "{" || s == "[") ++depth;
+    else if (s == ")" || s == "}" || s == "]") --depth;
+    else if (s == ";" && depth <= 0) return k;
+  }
+  return limit;
+}
+
+void erase_local(BodyState& st, const std::string& name) {
+  st.scalars.erase(name);
+  st.buffers.erase(std::remove_if(st.buffers.begin(), st.buffers.end(),
+                                  [&](const Chain& c) {
+                                    return c.size() == 1 && c[0] == name;
+                                  }),
+                   st.buffers.end());
+}
+
+void add_buffer(BodyState& st, Chain c) {
+  for (const Chain& have : st.buffers) {
+    if (have == c) return;
+  }
+  st.buffers.push_back(std::move(c));
+}
+
+/// Local dataflow over one definition's body: seed from tainted params,
+/// then follow assignments. Reader variables sanitize; `.size()` is
+/// clean; view-producing right-hand sides stay buffers, everything else
+/// derived from tainted bytes becomes a tainted scalar. Two forward
+/// passes reach the fixed point for the straight-line declaration chains
+/// this models.
+BodyState compute_body_state(const std::vector<Token>& t, const FnDef& def,
+                             const std::set<int>& tainted_params) {
+  BodyState st;
+  for (int p : tainted_params) {
+    if (p < 0 || static_cast<std::size_t>(p) >= def.params.size()) continue;
+    const WireParam& wp = def.params[static_cast<std::size_t>(p)];
+    if (wp.byte) add_buffer(st, {wp.name});
+    if (wp.carrier) {
+      st.carriers.insert(wp.name);
+      add_buffer(st, {wp.name, "payload"});
+    }
+  }
+  if (st.buffers.empty() && st.carriers.empty()) return st;
+
+  const std::size_t b = def.span.body_open, e = def.span.body_close;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = b; i < e; ++i) {
+      // `Reader r(...)` / `Reader r{...}` declares a sanitizing cursor.
+      if (t[i].text == "Reader" && is_ident(tok(t, i + 1)) &&
+          (tok(t, i + 2) == "(" || tok(t, i + 2) == "{")) {
+        st.readers.insert(tok(t, i + 1));
+        continue;
+      }
+      // Assignments / compound assignments to a plain local.
+      if (!is_ident(t[i].text)) continue;
+      const std::string& prev = tok(t, i - 1);
+      if (prev == "." || prev == "->") continue;  // member write: not a local
+      std::size_t rhs_b = 0;
+      if (tok(t, i + 1) == "=" && tok(t, i + 2) != "=" && prev != "=" &&
+          prev != "!" && prev != "<" && prev != ">") {
+        rhs_b = i + 2;
+      } else {
+        static const std::set<std::string> kCompound = {"+", "-", "*", "/",
+                                                        "|", "&", "^", "%"};
+        if (kCompound.count(tok(t, i + 1)) != 0 && tok(t, i + 2) == "=") {
+          rhs_b = i + 3;
+        }
+      }
+      if (rhs_b == 0) continue;
+      const std::size_t rhs_e = stmt_end(t, rhs_b, e);
+      if (mentions_reader(t, rhs_b, rhs_e, st)) {
+        // Reader-derived values are bounds-proven — and overwrite any
+        // previous taint the local carried.
+        erase_local(st, t[i].text);
+        continue;
+      }
+      bool has_view = false;
+      if (mentions_taint(t, rhs_b, rhs_e, st, has_view)) {
+        if (has_view) add_buffer(st, {t[i].text});
+        else st.scalars.insert(t[i].text);
+      }
+      i = rhs_e;
+    }
+  }
+  return st;
+}
+
+// --------------------------------------------------------------------------
+// Interprocedural propagation.
+
+/// Call sites in a tainted body that pass a tainted span / Packet:
+/// record (callee name, argument position) pairs into the taint map.
+bool propagate_calls(const std::vector<Token>& t, const FnDef& def,
+                     const BodyState& st, WireTaint& taint) {
+  bool changed = false;
+  const std::size_t b = def.span.body_open, e = def.span.body_close;
+  for (std::size_t i = b; i < e; ++i) {
+    if (!is_ident(t[i].text) || tok(t, i + 1) != "(") continue;
+    if (control_kw().count(t[i].text) != 0) continue;
+    const std::size_t close = match_paren(t, i + 1);
+    if (close >= e) continue;
+    int pos = 0;
+    std::size_t seg_b = i + 2;
+    int depth = 0;
+    auto scan_arg = [&](std::size_t ab, std::size_t ae) {
+      bool hit = false;
+      for (std::size_t k = ab; k < ae && !hit; ++k) {
+        if (!is_ident(t[k].text)) continue;
+        for (const Chain& c : st.buffers) {
+          const std::size_t len = chain_len(t, k, c);
+          if (len != 0 && !clean_chain_use(t, k, len)) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit && tok(t, k - 1) != "." && tok(t, k - 1) != "->" &&
+            st.carriers.count(t[k].text) != 0 && tok(t, k + 1) != ".") {
+          hit = true;
+        }
+      }
+      if (hit && taint.fns[t[i].text].insert(pos).second) changed = true;
+    };
+    for (std::size_t k = i + 2; k < close; ++k) {
+      const std::string& a = t[k].text;
+      if (a == "(" || a == "{" || a == "[") ++depth;
+      else if (a == ")" || a == "}" || a == "]") --depth;
+      else if (a == "," && depth == 0) {
+        scan_arg(seg_b, k);
+        seg_b = k + 1;
+        ++pos;
+      }
+    }
+    scan_arg(seg_b, close);
+  }
+  return changed;
+}
+
+// --------------------------------------------------------------------------
+// Rules.
+
+/// Comparison-context occurrence of scalar `s` strictly before `before`:
+/// adjacent to a relational operator or inside a min/max clamp. This is
+/// the "some validation dominates the use" heuristic — like the rest of
+/// the analyzer it is flow-insensitive within a body, which is sound
+/// enough for the early-exit parser style this tree writes.
+bool scalar_guarded(const std::vector<Token>& t, std::size_t body_open,
+                    std::size_t before, const std::string& s) {
+  for (std::size_t k = body_open; k < before; ++k) {
+    if (t[k].text != s) continue;
+    const std::string& p = tok(t, k - 1);
+    const std::string& n = tok(t, k + 1);
+    if (p == "<" || p == ">" || n == "<" || n == ">") return true;
+    if ((n == "=" && tok(t, k + 2) == "=") ||
+        (p == "=" && (tok(t, k - 2) == "=" || tok(t, k - 2) == "!"))) {
+      return true;
+    }
+    if (tok(t, k - 1) == "(" &&
+        (tok(t, k - 2) == "min" || tok(t, k - 2) == "max")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Positions (token indices) where buffer chain `c` is size-checked.
+std::vector<std::size_t> size_check_positions(const std::vector<Token>& t,
+                                              std::size_t b, std::size_t e,
+                                              const Chain& c) {
+  std::vector<std::size_t> out;
+  for (std::size_t k = b; k < e; ++k) {
+    const std::size_t len = chain_len(t, k, c);
+    if (len != 0 && clean_chain_use(t, k, len)) out.push_back(k);
+  }
+  return out;
+}
+
+/// Tainted scalars mentioned in [b, e) (plain idents, not member names).
+std::vector<std::string> tainted_scalars_in(const std::vector<Token>& t,
+                                            std::size_t b, std::size_t e,
+                                            const BodyState& st) {
+  std::vector<std::string> out;
+  for (std::size_t k = b; k < e; ++k) {
+    if (!is_ident(t[k].text)) continue;
+    if (tok(t, k - 1) == "." || tok(t, k - 1) == "->") continue;
+    if (st.scalars.count(t[k].text) != 0) out.push_back(t[k].text);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void run_rules(const std::vector<Token>& t, const FileTable& files,
+               const FnDef& def, const BodyState& st, bool all_paths,
+               std::vector<Finding>& out) {
+  const std::size_t b = def.span.body_open, e = def.span.body_close;
+
+  auto report = [&](std::size_t at, const std::string& rule,
+                    const std::string& msg) {
+    const std::string file = files.path(t[at].file);
+    if (!in_scope(file, all_paths)) return;
+    out.push_back({file, t[at].line, rule, msg});
+  };
+
+  // flow-wire-index: tainted buffer indexed or sliced unguarded.
+  for (const Chain& c : st.buffers) {
+    const std::vector<std::size_t> checks = size_check_positions(t, b, e, c);
+    auto checked_before = [&](std::size_t i) {
+      for (std::size_t p : checks) {
+        if (p < i) return true;
+      }
+      return false;
+    };
+    for (std::size_t i = b; i < e; ++i) {
+      const std::size_t len = chain_len(t, i, c);
+      if (len == 0) continue;
+      const std::string cs = chain_str(c);
+      if (tok(t, i + len) == "[" && !checked_before(i)) {
+        report(i, "flow-wire-index",
+               "`" + cs + "` holds wire-tainted bytes (source: `" +
+                   def.span.name +
+                   "`) and is indexed with no dominating size check — read "
+                   "through wire::Reader or guard with `" + cs +
+                   ".size()` first");
+        continue;
+      }
+      const std::string& dot = tok(t, i + len);
+      const std::string& m = tok(t, i + len + 1);
+      if ((dot == "." || dot == "->") && (m == "substr" || m == "subspan") &&
+          tok(t, i + len + 2) == "(") {
+        const std::size_t ac = match_paren(t, i + len + 2);
+        for (const std::string& s :
+             tainted_scalars_in(t, i + len + 3, ac, st)) {
+          if (scalar_guarded(t, b, i, s)) continue;
+          report(i, "flow-wire-index",
+                 "`" + cs + "." + m + "(...)` sliced by wire-tainted `" + s +
+                     "` with no dominating bounds check — a crafted "
+                     "length reads past the buffer; use wire::Reader's "
+                     "bytes()/skip()");
+          break;
+        }
+      }
+    }
+  }
+
+  // flow-wire-overflow: `a + b > buf.size()` (either order) with a
+  // tainted operand — the sum wraps for attacker-chosen values.
+  for (std::size_t i = b; i + 3 < e; ++i) {
+    // Forward form: A + B > ... size ...
+    if (is_ident(t[i].text) && tok(t, i + 1) == "+" &&
+        is_ident(t[i + 2].text) && tok(t, i - 1) != "." &&
+        (tok(t, i + 3) == ">" || tok(t, i + 3) == ">=")) {
+      const bool tainted = st.scalars.count(t[i].text) != 0 ||
+                           st.scalars.count(t[i + 2].text) != 0;
+      bool vs_size = false;
+      for (std::size_t k = i + 4; k < std::min(e, i + 12); ++k) {
+        if (t[k].text == "size") vs_size = true;
+        if (t[k].text == ")" || t[k].text == ";") break;
+      }
+      if (tainted && vs_size) {
+        report(i, "flow-wire-overflow",
+               "wrap-prone bounds guard: `" + t[i].text + " + " +
+                   t[i + 2].text +
+                   " > ...size()` overflows for attacker-chosen values and "
+                   "the check passes — compare `" + t[i + 2].text +
+                   " > size - " + t[i].text +
+                   "` instead, or read through wire::Reader");
+      }
+    }
+    // Reversed form: ... size ( ) < A + B
+    if (t[i].text == "size" && tok(t, i - 1) == "." &&
+        tok(t, i + 1) == "(" && tok(t, i + 2) == ")" &&
+        tok(t, i + 3) == "<") {
+      std::size_t j = i + 4;
+      if (tok(t, j) == "=") ++j;
+      if (is_ident(tok(t, j)) && tok(t, j + 1) == "+" &&
+          is_ident(tok(t, j + 2))) {
+        if (st.scalars.count(tok(t, j)) != 0 ||
+            st.scalars.count(tok(t, j + 2)) != 0) {
+          report(j, "flow-wire-overflow",
+                 "wrap-prone bounds guard: `...size() < " + tok(t, j) +
+                     " + " + tok(t, j + 2) +
+                     "` overflows for attacker-chosen values — compare "
+                     "against `size - " + tok(t, j) +
+                     "` instead, or read through wire::Reader");
+        }
+      }
+    }
+  }
+
+  // flow-wire-alloc: resize/reserve sized by a tainted value with no
+  // earlier validation.
+  for (std::size_t i = b; i < e; ++i) {
+    if ((t[i].text != "resize" && t[i].text != "reserve") ||
+        tok(t, i - 1) != "." || tok(t, i + 1) != "(") {
+      continue;
+    }
+    const std::size_t ac = match_paren(t, i + 1);
+    for (const std::string& s : tainted_scalars_in(t, i + 2, ac, st)) {
+      if (scalar_guarded(t, b, i, s)) continue;
+      report(i, "flow-wire-alloc",
+             "allocation sized by wire-tainted `" + s + "` (`." + t[i].text +
+                 "`) before any validation — a 2-byte length field can "
+                 "demand a huge buffer; validate or clamp it first");
+      break;
+    }
+  }
+
+  // flow-wire-loop: loop bounded by a tainted value whose body shows no
+  // progress and no escape.
+  for (std::size_t i = b; i < e; ++i) {
+    if ((t[i].text != "while" && t[i].text != "for") || tok(t, i + 1) != "(") {
+      continue;
+    }
+    const std::size_t cond_close = match_paren(t, i + 1);
+    if (cond_close >= e) continue;
+    const std::vector<std::string> bound =
+        tainted_scalars_in(t, i + 2, cond_close, st);
+    if (bound.empty()) continue;
+    std::size_t body_end;
+    if (tok(t, cond_close + 1) == "{") {
+      body_end = match_brace(t, cond_close + 1);
+    } else {
+      body_end = stmt_end(t, cond_close + 1, e);
+    }
+    if (body_end > e) body_end = e;
+    // Idents compared in the condition — progress on any of them (or a
+    // Reader advancing, or an escape) means the loop can terminate.
+    std::set<std::string> cond_idents;
+    for (std::size_t k = i + 2; k < cond_close; ++k) {
+      if (is_ident(t[k].text) && control_kw().count(t[k].text) == 0) {
+        cond_idents.insert(t[k].text);
+      }
+    }
+    bool progress = false;
+    for (std::size_t k = i + 1; k <= body_end && !progress; ++k) {
+      const std::string& s = t[k].text;
+      if (s == "break" || s == "return" || s == "throw" || s == "goto") {
+        progress = true;
+      }
+      if (is_ident(s) && st.readers.count(s) != 0) progress = true;
+      if (cond_idents.count(s) != 0) {
+        const std::string& n1 = tok(t, k + 1);
+        const std::string& n2 = tok(t, k + 2);
+        const std::string& p1 = tok(t, k - 1);
+        const std::string& p2 = tok(t, k - 2);
+        if ((n1 == "+" && n2 == "+") || (n1 == "-" && n2 == "-") ||
+            (p1 == "+" && p2 == "+") || (p1 == "-" && p2 == "-") ||
+            ((n1 == "+" || n1 == "-") && n2 == "=") ||
+            (n1 == "=" && n2 != "=")) {
+          progress = true;
+        }
+      }
+    }
+    if (!progress) {
+      report(i, "flow-wire-loop",
+             "loop bounded by wire-tainted `" + bound[0] +
+                 "` makes no visible progress (no ++/+=/assignment on the "
+                 "compared values, no break/return, no Reader advance) — a "
+                 "crafted message spins it forever; cap the bound or "
+                 "advance through wire::Reader");
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Driver.
+
+WireTaint analyze_wire(const std::vector<TranslationUnit>& units,
+                       const FileTable& files, const OwnershipMarks& marks,
+                       bool all_paths, std::vector<Finding>& out) {
+  // Collect every function definition once, with its wire-relevant
+  // parameter facts. Unit order is the driver's sorted TU order, so the
+  // whole resolution is deterministic at any --jobs.
+  std::vector<std::vector<FnDef>> defs(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const std::vector<Token>& t = units[u].tokens;
+    for (const FnSpan& fn : find_fn_spans(t)) {
+      FnDef d;
+      d.span = fn;
+      d.file = files.path(t[fn.name_idx].file);
+      d.line = t[fn.name_idx].line;
+      d.params =
+          parse_wire_params(t, fn.args_open, match_paren(t, fn.args_open));
+      d.marked = marks.fn_marked(d.file, d.line, OwnMark::kWire);
+      defs[u].push_back(std::move(d));
+    }
+  }
+
+  // Seed: every byte-span / Packet parameter of a marked definition.
+  WireTaint taint;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (const FnDef& d : defs[u]) {
+      if (!d.marked) continue;
+      for (std::size_t p = 0; p < d.params.size(); ++p) {
+        if (d.params[p].byte || d.params[p].carrier) {
+          taint.fns[d.span.name].insert(static_cast<int>(p));
+        }
+      }
+    }
+  }
+
+  // Fixpoint: tainted definitions taint the argument positions they pass
+  // tainted spans/Packets into. Positions are interpreted lazily — a
+  // definition only *uses* an entry when its own parameter there is
+  // byte-typed — so over-approximate entries on unrelated same-named
+  // functions are inert.
+  auto tainted_positions = [&](const FnDef& d) {
+    std::set<int> pos;
+    auto it = taint.fns.find(d.span.name);
+    if (it != taint.fns.end()) pos = it->second;
+    if (d.marked) {
+      for (std::size_t p = 0; p < d.params.size(); ++p) {
+        if (d.params[p].byte || d.params[p].carrier) {
+          pos.insert(static_cast<int>(p));
+        }
+      }
+    }
+    return pos;
+  };
+  for (int round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const std::vector<Token>& t = units[u].tokens;
+      for (const FnDef& d : defs[u]) {
+        const std::set<int> pos = tainted_positions(d);
+        if (pos.empty()) continue;
+        const BodyState st = compute_body_state(t, d, pos);
+        if (st.buffers.empty() && st.carriers.empty()) continue;
+        if (propagate_calls(t, d, st, taint)) changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Rules over every tainted definition. Header-defined functions are
+  // seen once per including TU; identical findings collapse in the
+  // driver's global sort+unique.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const std::vector<Token>& t = units[u].tokens;
+    for (const FnDef& d : defs[u]) {
+      const std::set<int> pos = tainted_positions(d);
+      if (pos.empty()) continue;
+      const BodyState st = compute_body_state(t, d, pos);
+      if (st.buffers.empty() && st.carriers.empty()) continue;
+      run_rules(t, files, d, st, all_paths, out);
+    }
+  }
+  return taint;
+}
+
+void dump_wire_taint(const WireTaint& taint, std::FILE* out) {
+  for (const auto& [name, positions] : taint.fns) {
+    std::fprintf(out, "wire %s ", name.c_str());
+    bool first = true;
+    for (int p : positions) {
+      std::fprintf(out, "%s%d", first ? "" : ",", p);
+      first = false;
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace hipflow

@@ -1,0 +1,72 @@
+// hipcloud_flow untrusted-input taint & bounds analysis (flow-wire-*).
+//
+// The third interprocedural analysis family, alongside the per-TU rules
+// (analysis.hpp) and the shard-ownership rules (ownership.hpp). Network
+// entry points are annotated `// hipcheck:wire_input` above their
+// definition; their byte-span parameters (Bytes, BytesView, Buffer,
+// span) and Packet parameters (whose `.payload` carries raw datagram
+// bytes) are the taint sources. Taint propagates through the cross-TU
+// graph at call sites: passing a tainted byte span (or a tainted Packet)
+// at argument position k taints position k of every same-named
+// definition whose own parameter k is byte-typed — the name-keyed merge
+// over-approximates exactly like the call graph does, and the byte-type
+// gate keeps `Ipv4Addr::parse(std::string_view)` from inheriting
+// `HipMessage::parse(BytesView)`'s taint.
+//
+// The blessed sanitization sink is `hipcloud::wire::Reader`
+// (src/net/wire_reader.hpp): every value produced by a Reader, and every
+// local assigned from one, is bounds-proven and therefore clean. `.size()`
+// and `.empty()` results on tainted buffers are likewise clean — they
+// describe the real buffer, not attacker-claimed lengths.
+//
+// Rule catalogue (DESIGN.md §5k):
+//   flow-wire-index     tainted buffer indexed/sliced without a
+//                       dominating `.size()`/`.empty()` check (or a
+//                       tainted offset/length used to slice it)
+//   flow-wire-overflow  wrap-prone guard `off + len > buf.size()` with
+//                       tainted wide operands — the sum wraps for
+//                       attacker-chosen values; `len > size - off` does
+//                       not
+//   flow-wire-alloc     allocation (resize/reserve) sized by a tainted
+//                       value before any comparison validates it
+//   flow-wire-loop      loop whose bound is tainted and whose body makes
+//                       no visible progress (no ++/+=/--/-=, no break or
+//                       return, no Reader advance) — a crafted message
+//                       spins it forever
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+#include "callgraph.hpp"
+#include "tu.hpp"
+
+namespace hipflow {
+
+/// The resolved interprocedural taint map: function name (last
+/// component, same key as the call graph) -> parameter positions that
+/// receive raw wire bytes on some path from a hipcheck:wire_input entry.
+/// Positions are interpreted per definition: a byte-typed parameter at
+/// that position is a tainted span, a Packet parameter a tainted
+/// carrier, anything else ignores the entry.
+struct WireTaint {
+  std::map<std::string, std::set<int>> fns;
+};
+
+/// Resolve the taint map over all TUs (serial, unit order — byte-
+/// identical at any extraction parallelism) and run the flow-wire-*
+/// rules over every tainted definition. Findings outside src/ are
+/// dropped unless `all_paths` (self-test fixtures) is set.
+WireTaint analyze_wire(const std::vector<TranslationUnit>& units,
+                       const FileTable& files, const OwnershipMarks& marks,
+                       bool all_paths, std::vector<Finding>& out);
+
+/// Line-oriented dump of the taint map for the determinism test:
+/// `wire <fn> <pos>[,<pos>...]` per tainted function, sorted by name.
+void dump_wire_taint(const WireTaint& taint, std::FILE* out);
+
+}  // namespace hipflow
